@@ -1,0 +1,225 @@
+(* Benchmark / reproduction harness.
+
+   With no arguments: run every experiment (one per table/figure of the
+   paper's evaluation) and a quick Bechamel performance section (E14).
+   With arguments: run only the named experiments, e.g.
+
+     dune exec bench/main.exe -- fig1 fig7 perf *)
+
+let experiments : (string * string * (Format.formatter -> unit)) list =
+  [
+    ("fig1", "Figure 1: max estimators, Poisson p=1/2", Experiments.Fig1.run);
+    ("table41", "Sec 4.1 table: max^(L) general p", Experiments.Table41.run);
+    ("table42", "Sec 4.2 tables: max^(U), max^(Uas)", Experiments.Table42.run);
+    ("fig2", "Figure 2 + asymptotics: OR variances", Experiments.Fig2.run);
+    ("fig3", "Figure 3: PPS known-seeds max^(L)", Experiments.Fig3.run);
+    ("fig4", "Figure 4: PPS max^(L) vs max^(HT)", Experiments.Fig4.run);
+    ("fig5", "Figure 5: worked example", Experiments.Fig5.run);
+    ("fig6", "Figure 6: distinct-count sample sizes", Experiments.Fig6.run);
+    ("fig7", "Figure 7: max dominance on traffic", Experiments.Fig7.run);
+    ("table51", "Sec 5.1 tables: weighted OR", Experiments.Table51.run);
+    ("thm61", "Theorem 6.1: LP certificates", Experiments.Thm61.run);
+    ("coeffs", "Theorem 4.2: coefficient recursion", Experiments.Coeffs.run);
+    ("coord", "E15: coordination ablation (§7.2)", Experiments.Coord.run);
+    ("bottomk", "E16: bottom-k / priority samples", Experiments.Bottomk.run);
+    ("quantiles", "E17: derived median/range estimators", Experiments.Quantiles.run);
+    ("multiperiod", "E18: distinct counts across r > 2 periods", Experiments.Multiperiod.run);
+  ]
+
+(* --- E14: Bechamel micro-benchmarks of the library kernels --- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let rng = Numerics.Prng.create ~seed:17 () in
+  let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r:8 ~p:0.2 in
+  let probs8 = Array.make 8 0.2 in
+  let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
+  let outcome8 = Sampling.Outcome.Oblivious.draw rng ~probs:probs8 v8 in
+  let taus = [| 1.0; 1.3 |] in
+  let pps_outcome =
+    Sampling.Outcome.Pps.of_seeds ~taus ~seeds:[| 0.3; 0.3 |] [| 0.6; 0.25 |]
+  in
+  let inst =
+    Sampling.Instance.of_assoc
+      (List.init 1000 (fun i -> (i, float_of_int (1 + (i mod 50)))))
+  in
+  let seeds = Sampling.Seeds.create ~master:5 Sampling.Seeds.Independent in
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"coeffs r=32 (Thm 4.2 recursion)"
+        (Staged.stage (fun () ->
+             ignore (Estcore.Max_oblivious.Coeffs.compute ~r:32 ~p:0.2)));
+      Test.make ~name:"max^(L) uniform estimate r=8"
+        (Staged.stage (fun () ->
+             ignore (Estcore.Max_oblivious.l_uniform coeffs8 outcome8)));
+      Test.make ~name:"max^(L) PPS estimate (Fig 3)"
+        (Staged.stage (fun () -> ignore (Estcore.Max_pps.l pps_outcome)));
+      Test.make ~name:"exact per-key moments (pps_r2_fast)"
+        (Staged.stage (fun () ->
+             ignore
+               (Estcore.Exact.pps_r2_fast ~taus ~v:[| 0.6; 0.25 |]
+                  Estcore.Max_pps.l)));
+      Test.make ~name:"PPS sample, 1k-key instance"
+        (Staged.stage (fun () ->
+             ignore (Sampling.Poisson.pps_sample seeds ~instance:0 ~tau:100. inst)));
+      Test.make ~name:"bottom-64 sample, 1k-key instance"
+        (Staged.stage (fun () ->
+             ignore
+               (Sampling.Bottom_k.sample seeds ~family:Sampling.Rank.PPS
+                  ~instance:0 ~k:64 inst)));
+      Test.make ~name:"VarOpt-64, 1k-item stream"
+        (Staged.stage (fun () ->
+             let rng = Numerics.Prng.create ~seed:3 () in
+             ignore (Sampling.Varopt.of_instance ~k:64 rng inst)));
+      Test.make ~name:"General (Thm 4.1) table r=10"
+        (Staged.stage (fun () ->
+             ignore
+               (Estcore.Max_oblivious.General.create
+                  ~probs:(Array.init 10 (fun i -> 0.1 +. (0.08 *. float_of_int i))))));
+      Test.make ~name:"coordinated exact moments r=2"
+        (Staged.stage (fun () ->
+             ignore
+               (Estcore.Coordinated.moments ~taus ~v:[| 0.6; 0.25 |]
+                  Estcore.Coordinated.max_ht)));
+      Test.make ~name:"designer: derive OR^(L) r=2"
+        (Staged.stage (fun () ->
+             let problem =
+               Estcore.Designer.Problems.oblivious ~probs:[| 0.3; 0.6 |]
+                 ~grid:[ 0.; 1. ]
+                 ~f:(fun v -> Float.max v.(0) v.(1))
+               |> Estcore.Designer.Problems.sort_data
+                    Estcore.Designer.Problems.order_l
+             in
+             ignore (Estcore.Designer.solve_order problem)));
+    ]
+
+let run_perf ppf =
+  let open Bechamel in
+  Format.fprintf ppf "=== E14: kernel micro-benchmarks (Bechamel) ===@.";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) -> Format.fprintf ppf "  %-48s %14.1f ns/run@." name est)
+    rows
+
+(* --- self-contained HTML report: all experiment outputs + figures --- *)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run_report ppf =
+  let dir = "report" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* Figures first (inlined below). *)
+  let figure_paths = Experiments.Figures.write_all ~dir:(Filename.concat dir "figures") () in
+  let buf = Buffer.create 65536 in
+  let add = Buffer.add_string buf in
+  add
+    "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+     <title>optsample — reproduction report</title>\n\
+     <style>\n\
+     body { font: 15px/1.5 system-ui, sans-serif; color: #0b0b0b;\n\
+            background: #fcfcfb; max-width: 980px; margin: 2rem auto;\n\
+            padding: 0 1rem; }\n\
+     pre { background: #f4f3f0; padding: 12px; overflow-x: auto;\n\
+           font-size: 12.5px; border-radius: 6px; }\n\
+     h1, h2 { line-height: 1.25; }\n\
+     nav a { margin-right: 10px; }\n\
+     figure { margin: 1rem 0; }\n\
+     </style></head><body>\n";
+  add "<h1>optsample — paper reproduction report</h1>\n";
+  add
+    "<p>Cohen &amp; Kaplan, <em>Get the Most out of Your Sample: Optimal \
+     Unbiased Estimators using Partial Information</em> (PODS 2011). Every \
+     experiment below regenerates a table or figure of the paper (or an \
+     extension study); see EXPERIMENTS.md for the paper-vs-measured record \
+     and the errata found along the way.</p>\n";
+  add "<nav>";
+  List.iter
+    (fun (n, _, _) -> add (Printf.sprintf "<a href=\"#%s\">%s</a> " n n))
+    experiments;
+  add "<a href=\"#figures\">figures</a></nav>\n";
+  List.iter
+    (fun (name, doc, run) ->
+      add (Printf.sprintf "<h2 id=\"%s\">%s — %s</h2>\n" name name (html_escape doc));
+      let b = Buffer.create 4096 in
+      let f = Format.formatter_of_buffer b in
+      run f;
+      Format.pp_print_flush f ();
+      add "<pre>";
+      add (html_escape (Buffer.contents b));
+      add "</pre>\n")
+    experiments;
+  add "<h2 id=\"figures\">Figures (SVG)</h2>\n";
+  List.iter
+    (fun path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let svg = really_input_string ic len in
+      close_in ic;
+      (* Drop the XML declaration for inline embedding. *)
+      let svg =
+        match String.index_opt svg '\n' with
+        | Some i when String.length svg > 5 && String.sub svg 0 5 = "<?xml" ->
+            String.sub svg (i + 1) (String.length svg - i - 1)
+        | _ -> svg
+      in
+      add (Printf.sprintf "<figure>%s<figcaption>%s</figcaption></figure>\n" svg
+             (html_escape (Filename.basename path))))
+    figure_paths;
+  add "</body></html>\n";
+  let out = Filename.concat dir "index.html" in
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.fprintf ppf "report written to %s@." out
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ppf = Format.std_formatter in
+  let names =
+    match args with
+    | [] -> List.map (fun (n, _, _) -> n) experiments @ [ "perf"; "plots" ]
+    | _ -> args
+  in
+  List.iter
+    (fun name ->
+      if name = "report" then run_report ppf
+      else if name = "plots" then begin
+        let paths = Experiments.Figures.write_all ~dir:"plots" () in
+        Format.fprintf ppf "=== figures written ===@.";
+        List.iter (fun p -> Format.fprintf ppf "  %s@." p) paths
+      end
+      else if name = "perf" then run_perf ppf
+      else
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, _, run) ->
+            run ppf;
+            Format.fprintf ppf "@."
+        | None ->
+            Format.fprintf ppf "unknown experiment %S; available: %s perf@."
+              name
+              (String.concat " " (List.map (fun (n, _, _) -> n) experiments)))
+    names

@@ -1,0 +1,385 @@
+(* optsample — command-line front end.
+
+   Subcommands:
+     repro    — run the paper-reproduction experiments (all or named)
+     distinct — estimate a distinct count over two synthetic sets
+     maxdom   — estimate max dominance over synthetic traffic
+     derive   — machine-derive an estimator with the designer engine
+     exists   — query the LP existence oracle *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* ---------- repro ---------- *)
+
+let experiments =
+  [
+    ("fig1", Experiments.Fig1.run);
+    ("table41", Experiments.Table41.run);
+    ("table42", Experiments.Table42.run);
+    ("fig2", Experiments.Fig2.run);
+    ("fig3", Experiments.Fig3.run);
+    ("fig4", Experiments.Fig4.run);
+    ("fig5", Experiments.Fig5.run);
+    ("fig6", Experiments.Fig6.run);
+    ("fig7", Experiments.Fig7.run);
+    ("table51", Experiments.Table51.run);
+    ("thm61", Experiments.Thm61.run);
+    ("coeffs", Experiments.Coeffs.run);
+    ("coord", Experiments.Coord.run);
+    ("bottomk", Experiments.Bottomk.run);
+    ("quantiles", Experiments.Quantiles.run);
+    ("multiperiod", Experiments.Multiperiod.run);
+  ]
+
+let repro_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiments to run (default: all). One of fig1 table41 \
+                table42 fig2 fig3 fig4 fig5 fig6 fig7 table51 thm61 coeffs.")
+  in
+  let run names =
+    let todo = if names = [] then List.map fst experiments else names in
+    List.iter
+      (fun n ->
+        match List.assoc_opt n experiments with
+        | Some f ->
+            f ppf;
+            Format.fprintf ppf "@."
+        | None -> Format.fprintf ppf "unknown experiment %S@." n)
+      todo
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ names)
+
+(* ---------- distinct ---------- *)
+
+let distinct_cmd =
+  let n =
+    Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Per-instance set size.")
+  in
+  let jaccard =
+    Arg.(
+      value & opt float 0.5
+      & info [ "j"; "jaccard" ] ~doc:"Jaccard coefficient of the two sets.")
+  in
+  let p =
+    Arg.(value & opt float 0.05 & info [ "p" ] ~doc:"Sampling probability.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed.") in
+  let run n jaccard p seed =
+    let a, b = Workload.Setpairs.pair ~n ~jaccard in
+    let seeds = Sampling.Seeds.create ~master:seed Sampling.Seeds.Independent in
+    let s1 = Aggregates.Distinct.sample_binary seeds ~p ~instance:0 a in
+    let s2 = Aggregates.Distinct.sample_binary seeds ~p ~instance:1 b in
+    let c =
+      Aggregates.Distinct.classify seeds ~p1:p ~p2:p ~s1 ~s2
+        ~select:(fun _ -> true)
+    in
+    let truth = Workload.Setpairs.union_size a b in
+    Format.fprintf ppf "truth = %d, sampled %d + %d keys@." truth
+      (List.length s1) (List.length s2);
+    Format.fprintf ppf "OR^(L)  = %.1f@."
+      (Aggregates.Distinct.l_estimate c ~p1:p ~p2:p);
+    Format.fprintf ppf "OR^(U)  = %.1f@."
+      (Aggregates.Distinct.u_estimate c ~p1:p ~p2:p);
+    Format.fprintf ppf "OR^(HT) = %.1f@."
+      (Aggregates.Distinct.ht_estimate c ~p1:p ~p2:p);
+    let d = float_of_int truth in
+    Format.fprintf ppf "exact stddev: L %.1f, HT %.1f@."
+      (sqrt (Aggregates.Distinct.var_l ~d ~jaccard ~p1:p ~p2:p))
+      (sqrt (Aggregates.Distinct.var_ht ~d ~p1:p ~p2:p))
+  in
+  Cmd.v
+    (Cmd.info "distinct" ~doc:"Distinct count over two sampled sets")
+    Term.(const run $ n $ jaccard $ p $ seed)
+
+(* ---------- maxdom ---------- *)
+
+let maxdom_cmd =
+  let percent =
+    Arg.(
+      value & opt float 5.
+      & info [ "percent" ] ~doc:"Expected percentage of keys sampled.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Use the full-size Section 8.2 workload.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed.") in
+  let run percent full seed =
+    let params =
+      if full then Workload.Traffic.default
+      else
+        {
+          Workload.Traffic.default with
+          Workload.Traffic.n_shared = 2_200;
+          n_only = 2_700;
+          total_per_hour = 1.1e5;
+        }
+    in
+    let ((a, b) as pair) = Workload.Traffic.generate params in
+    Format.fprintf ppf "workload: %a@." Workload.Traffic.pp_stats
+      (Workload.Traffic.stats pair);
+    let instances = [ a; b ] in
+    let truth = Sampling.Instance.max_dominance instances in
+    let k inst =
+      percent /. 100. *. float_of_int (Sampling.Instance.cardinality inst)
+    in
+    let taus =
+      [|
+        Sampling.Poisson.tau_for_expected_size a (k a);
+        Sampling.Poisson.tau_for_expected_size b (k b);
+      |]
+    in
+    let seeds = Sampling.Seeds.create ~master:seed Sampling.Seeds.Independent in
+    let samples = Aggregates.Sum_agg.sample_pps seeds ~taus instances in
+    let all _ = true in
+    Format.fprintf ppf "truth    = %.4e@." truth;
+    Format.fprintf ppf "max^(L)  = %.4e@."
+      (Aggregates.Dominance.max_dominance_l samples ~select:all);
+    Format.fprintf ppf "max^(HT) = %.4e@."
+      (Aggregates.Dominance.max_dominance_ht samples ~select:all);
+    let vht, vl =
+      Aggregates.Dominance.exact_variances ~taus ~instances ~select:all
+    in
+    Format.fprintf ppf "exact se: L %.2f%%, HT %.2f%% (Var ratio %.2f)@."
+      (100. *. sqrt vl /. truth)
+      (100. *. sqrt vht /. truth)
+      (vht /. vl)
+  in
+  Cmd.v
+    (Cmd.info "maxdom" ~doc:"Max dominance over two-hour traffic")
+    Term.(const run $ percent $ full $ seed)
+
+(* ---------- derive ---------- *)
+
+let derive_cmd =
+  let fn =
+    Arg.(
+      value
+      & opt (enum [ ("max", `Max); ("or", `Or); ("min", `Min) ]) `Max
+      & info [ "f" ] ~doc:"Function to estimate: max, or, min.")
+  in
+  let probs =
+    Arg.(
+      value & opt (list float) [ 0.5; 0.5 ]
+      & info [ "p" ] ~doc:"Per-instance sampling probabilities.")
+  in
+  let grid =
+    Arg.(
+      value & opt (list float) [ 0.; 1. ]
+      & info [ "grid" ] ~doc:"Value grid per entry.")
+  in
+  let order =
+    Arg.(
+      value
+      & opt (enum [ ("dense", `L); ("sparse", `U) ]) `L
+      & info [ "order" ]
+          ~doc:"dense = order-based L (Algorithm 1); sparse = partition U \
+                (Algorithm 2).")
+  in
+  let run fn probs grid order =
+    let probs = Array.of_list probs in
+    let f =
+      match fn with
+      | `Max -> fun v -> Array.fold_left Float.max 0. v
+      | `Min -> fun v -> Array.fold_left Float.min infinity v
+      | `Or -> fun v -> if Array.exists (fun x -> x > 0.5) v then 1. else 0.
+    in
+    let module D = Estcore.Designer in
+    let problem = D.Problems.oblivious ~probs ~grid ~f in
+    let result =
+      match order with
+      | `L ->
+          D.solve_order (D.Problems.sort_data D.Problems.order_l problem)
+      | `U ->
+          let batches =
+            D.Problems.batches_by
+              (fun v ->
+                Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+              problem.D.data
+          in
+          D.solve_partition ~batches ~f ~dist:problem.D.dist ()
+    in
+    match result with
+    | Error e -> Format.fprintf ppf "no estimator: %s@." e
+    | Ok est ->
+        Format.fprintf ppf
+          "derived estimator (unbiased: %b, min estimate: %.4f):@."
+          (D.is_unbiased problem est)
+          (D.min_estimate est);
+        List.iter
+          (fun (k, v) ->
+            Format.fprintf ppf "  (%s) -> %.6f@."
+              (String.concat ", "
+                 (Array.to_list
+                    (Array.map
+                       (function
+                         | None -> "·" | Some x -> Printf.sprintf "%g" x)
+                       k)))
+              v)
+          (List.sort compare (D.bindings est))
+  in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:"Machine-derive an optimal estimator (Algorithms 1/2)")
+    Term.(const run $ fn $ probs $ grid $ order)
+
+(* ---------- catalog ---------- *)
+
+let catalog_cmd =
+  let run () = Estcore.Catalog.print ppf in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"List the estimators, their models and properties")
+    Term.(const run $ const ())
+
+(* ---------- plots ---------- *)
+
+let plots_cmd =
+  let dir =
+    Arg.(value & opt string "plots" & info [ "dir" ] ~doc:"Output directory.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-size Figure 7 workload.")
+  in
+  let run dir full =
+    let paths =
+      if full then
+        Experiments.Figures.write_all ~fig7_params:Workload.Traffic.default
+          ~dir ()
+      else Experiments.Figures.write_all ~dir ()
+    in
+    List.iter (fun p -> Format.fprintf ppf "%s@." p) paths
+  in
+  Cmd.v
+    (Cmd.info "plots" ~doc:"Render the paper's figures to SVG files")
+    Term.(const run $ dir $ full)
+
+(* ---------- sample / estimate: the persisted-sample pipeline ---------- *)
+
+let gen_cmd =
+  let n = Arg.(value & opt int 5_000 & info [ "n" ] ~doc:"Number of keys.") in
+  let zipf = Arg.(value & opt float 0.8 & info [ "zipf" ] ~doc:"Value skew.") in
+  let total = Arg.(value & opt float 1e5 & info [ "total" ] ~doc:"Total value.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "out" ] ~doc:"Output file.") in
+  let run n zipf total seed out =
+    let insts =
+      Workload.Changes.generate
+        { Workload.Changes.default with Workload.Changes.n_keys = n; r = 1;
+          zipf_s = zipf; total; seed }
+    in
+    Sampling.Io.write_instance ~path:out (List.hd insts);
+    Format.fprintf ppf "wrote %d-key instance to %s@." n out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic instance file")
+    Term.(const run $ n $ zipf $ total $ seed $ out)
+
+let sample_cmd =
+  let input = Arg.(required & opt (some file) None & info [ "i"; "input" ] ~doc:"Instance file.") in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "out" ] ~doc:"Sample output file.") in
+  let k = Arg.(value & opt float 500. & info [ "k" ] ~doc:"Expected sample size.") in
+  let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed (must be shared with `estimate`).") in
+  let instance = Arg.(value & opt int 0 & info [ "instance" ] ~doc:"Instance id (position in the later estimate).") in
+  let run input out k master instance =
+    let inst = Sampling.Io.read_instance ~path:input in
+    let tau = Sampling.Poisson.tau_for_expected_size inst k in
+    let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
+    let s = Sampling.Poisson.pps_sample seeds ~instance ~tau inst in
+    Sampling.Io.write_pps ~path:out s;
+    Format.fprintf ppf
+      "sampled %d of %d keys (tau = %g) into %s — the instance can now be        discarded@."
+      (List.length s.Sampling.Poisson.entries)
+      (Sampling.Instance.cardinality inst)
+      tau out
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"PPS-sample an instance file (what a data source would retain)")
+    Term.(const run $ input $ out $ k $ master $ instance)
+
+let estimate_cmd =
+  let s1 = Arg.(required & opt (some file) None & info [ "s1" ] ~doc:"Sample of instance 0.") in
+  let s2 = Arg.(required & opt (some file) None & info [ "s2" ] ~doc:"Sample of instance 1.") in
+  let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed used when sampling.") in
+  let run s1 s2 master =
+    let a = Sampling.Io.read_pps ~path:s1 in
+    let b = Sampling.Io.read_pps ~path:s2 in
+    let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
+    let samples =
+      {
+        Aggregates.Sum_agg.seeds;
+        taus = [| a.Sampling.Poisson.tau; b.Sampling.Poisson.tau |];
+        samples = [| a; b |];
+      }
+    in
+    let all _ = true in
+    Format.fprintf ppf "max-dominance  max^(L)  = %.6e@."
+      (Aggregates.Dominance.max_dominance_l samples ~select:all);
+    Format.fprintf ppf "max-dominance  max^(HT) = %.6e@."
+      (Aggregates.Dominance.max_dominance_ht samples ~select:all);
+    Format.fprintf ppf "min-dominance  min^(HT) = %.6e@."
+      (Aggregates.Dominance.min_dominance_ht samples ~select:all)
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate multi-instance aggregates from two persisted samples")
+    Term.(const run $ s1 $ s2 $ master)
+
+(* ---------- exists ---------- *)
+
+let exists_cmd =
+  let fn =
+    Arg.(
+      value
+      & opt (enum [ ("or", `Or); ("xor", `Xor) ]) `Or
+      & info [ "f" ] ~doc:"Function: or, xor.")
+  in
+  let p1 = Arg.(value & opt float 0.3 & info [ "p1" ] ~doc:"Probability 1.") in
+  let p2 = Arg.(value & opt float 0.3 & info [ "p2" ] ~doc:"Probability 2.") in
+  let known =
+    Arg.(value & flag & info [ "known-seeds" ] ~doc:"Seeds available.")
+  in
+  let run fn p1 p2 known =
+    let feasible =
+      match (fn, known) with
+      | `Or, false -> Estcore.Existence.or_unknown_seeds ~p1 ~p2
+      | `Or, true -> Estcore.Existence.or_known_seeds ~p1 ~p2
+      | `Xor, false -> Estcore.Existence.xor_unknown_seeds ~p1 ~p2
+      | `Xor, true ->
+          Estcore.Existence.exists
+            (Estcore.Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |]
+               ~f:(fun v ->
+                 if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0.))
+    in
+    Format.fprintf ppf
+      "nonnegative unbiased estimator %s (p = %.2f, %.2f, %s seeds)@."
+      (if feasible then "EXISTS" else "DOES NOT EXIST")
+      p1 p2
+      (if known then "known" else "unknown")
+  in
+  Cmd.v
+    (Cmd.info "exists" ~doc:"LP existence oracle (Theorem 6.1)")
+    Term.(const run $ fn $ p1 $ p2 $ known)
+
+let () =
+  let info =
+    Cmd.info "optsample" ~version:"1.0.0"
+      ~doc:
+        "Optimal unbiased estimators over sampled instances (Cohen & \
+         Kaplan, PODS 2011)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            repro_cmd; distinct_cmd; maxdom_cmd; derive_cmd; exists_cmd;
+            gen_cmd; sample_cmd; estimate_cmd; plots_cmd; catalog_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/coordination.ml: Aggregates Array Estcore Float Format List Numerics Sampling

@@ -1,0 +1,1 @@
+examples/designer_demo.ml: Array Estcore Float Format List Numerics Printf Sampling String

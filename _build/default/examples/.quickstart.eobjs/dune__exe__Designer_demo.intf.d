@@ -1,0 +1,1 @@
+examples/designer_demo.mli:

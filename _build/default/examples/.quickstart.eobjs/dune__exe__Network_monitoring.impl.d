@@ -1,0 +1,1 @@
+examples/network_monitoring.ml: Aggregates Array Format List Sampling Sys Workload

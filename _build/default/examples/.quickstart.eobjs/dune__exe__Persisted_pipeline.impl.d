@@ -1,0 +1,1 @@
+examples/persisted_pipeline.ml: Aggregates Filename List Printf Sampling String Sys Workload

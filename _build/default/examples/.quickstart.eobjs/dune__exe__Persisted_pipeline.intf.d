@@ -1,0 +1,1 @@
+examples/persisted_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregates Float List Numerics Printf Sampling

@@ -1,0 +1,1 @@
+examples/sensor_union.ml: Aggregates Format List Sampling Workload

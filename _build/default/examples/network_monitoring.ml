@@ -1,0 +1,65 @@
+(* Network monitoring (the Section 8.2 scenario): two consecutive hours
+   of per-destination flow counts, summarized independently by PPS
+   Poisson samples at a router. Post hoc, an analyst asks a
+   multi-instance question — the max-dominance norm, a robust measure of
+   combined activity used for planning — from the two samples alone.
+
+     dune exec examples/network_monitoring.exe [-- <percent sampled>]
+
+   The example sweeps the sampling rate and reports, for max^(L) and the
+   HT baseline: a realized estimate, the exact standard error, and the
+   variance ratio (the paper reports 2.45–2.7 on its AT&T data). *)
+
+let () =
+  let percent =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.
+  in
+  let params =
+    (* A scaled-down replica of the paper's two-hour trace keeps the
+       example snappy; pass a percentage to run a single full-size point. *)
+    if percent > 0. then Workload.Traffic.default
+    else
+      {
+        Workload.Traffic.default with
+        Workload.Traffic.n_shared = 2_200;
+        n_only = 2_700;
+        total_per_hour = 1.1e5;
+      }
+  in
+  let ((hour1, hour2) as pair) = Workload.Traffic.generate params in
+  Format.printf "workload: %a@." Workload.Traffic.pp_stats
+    (Workload.Traffic.stats pair);
+  let instances = [ hour1; hour2 ] in
+  let truth = Sampling.Instance.max_dominance instances in
+  Format.printf "true max-dominance = %.4e@.@." truth;
+  Format.printf "%-10s %-12s %-12s %-10s %-10s %-8s@." "%sampled" "est(L)"
+    "est(HT)" "se(L)%" "se(HT)%" "VarHT/VarL";
+  let percents = if percent > 0. then [ percent ] else [ 1.; 3.; 10.; 30. ] in
+  List.iter
+    (fun pc ->
+      let k inst =
+        pc /. 100. *. float_of_int (Sampling.Instance.cardinality inst)
+      in
+      let taus =
+        [|
+          Sampling.Poisson.tau_for_expected_size hour1 (k hour1);
+          Sampling.Poisson.tau_for_expected_size hour2 (k hour2);
+        |]
+      in
+      let seeds = Sampling.Seeds.create ~master:99 Sampling.Seeds.Independent in
+      let samples = Aggregates.Sum_agg.sample_pps seeds ~taus instances in
+      let all _ = true in
+      let est_l = Aggregates.Dominance.max_dominance_l samples ~select:all in
+      let est_ht = Aggregates.Dominance.max_dominance_ht samples ~select:all in
+      let vht, vl =
+        Aggregates.Dominance.exact_variances ~taus ~instances ~select:all
+      in
+      Format.printf "%-10.1f %-12.4e %-12.4e %-10.2f %-10.2f %-8.2f@." pc
+        est_l est_ht
+        (100. *. sqrt vl /. truth)
+        (100. *. sqrt vht /. truth)
+        (vht /. vl))
+    percents;
+  Format.printf
+    "@.The optimal estimator extracts the same accuracy from roughly 40%% \
+     of the samples the HT baseline needs.@."

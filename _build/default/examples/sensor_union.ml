@@ -1,0 +1,53 @@
+(* Sensor coverage (the Section 8.1 scenario): two battery-powered sensor
+   gateways each observe a set of active device identifiers and can only
+   transmit a small sample of them (independent weighted sampling with
+   hash seeds — no coordination needed between the gateways). The
+   operator wants the number of distinct active devices.
+
+     dune exec examples/sensor_union.exe
+
+   The example sweeps the overlap (Jaccard coefficient) between the two
+   gateways' device sets and shows (a) the realized OR^(L) vs OR^(HT)
+   estimates at a fixed 5% transmission budget and (b) the budget each
+   estimator would need for a 10% coefficient of variation — the Figure 6
+   story: L needs ≈ √(1−J)/2 of HT's budget, and O(1) transmissions
+   when the sets coincide. *)
+
+let () =
+  let n = 20_000 in
+  let p = 0.05 in
+  Format.printf
+    "two gateways, %d devices each, 5%% transmission budget (p = %.2f)@.@."
+    n p;
+  Format.printf "%-8s %-9s %-11s %-11s %-12s %-12s %-10s@." "J" "truth"
+    "OR^(L)" "OR^(HT)" "s(L)@cv=.1" "s(HT)@cv=.1" "ratio";
+  List.iter
+    (fun jaccard ->
+      let a, b = Workload.Setpairs.pair ~n ~jaccard in
+      let truth = Workload.Setpairs.union_size a b in
+      let seeds = Sampling.Seeds.create ~master:5 Sampling.Seeds.Independent in
+      let s1 = Aggregates.Distinct.sample_binary seeds ~p ~instance:0 a in
+      let s2 = Aggregates.Distinct.sample_binary seeds ~p ~instance:1 b in
+      let c =
+        Aggregates.Distinct.classify seeds ~p1:p ~p2:p ~s1 ~s2
+          ~select:(fun _ -> true)
+      in
+      let cv = 0.1 in
+      let nf = float_of_int n in
+      let s_l =
+        Aggregates.Distinct.Required.(
+          sample_size ~p:(p_l ~n:nf ~jaccard ~cv) ~n:nf)
+      in
+      let s_ht =
+        Aggregates.Distinct.Required.(
+          sample_size ~p:(p_ht ~n:nf ~jaccard ~cv) ~n:nf)
+      in
+      Format.printf "%-8.2f %-9d %-11.1f %-11.1f %-12.1f %-12.1f %-10.3f@."
+        jaccard truth
+        (Aggregates.Distinct.l_estimate c ~p1:p ~p2:p)
+        (Aggregates.Distinct.ht_estimate c ~p1:p ~p2:p)
+        s_l s_ht (s_l /. s_ht))
+    [ 0.; 0.25; 0.5; 0.75; 0.9; 1. ];
+  Format.printf
+    "@.(expected ratio → √(1−J)/2; at J = 1 a constant number of \
+     transmissions suffices for OR^(L))@."

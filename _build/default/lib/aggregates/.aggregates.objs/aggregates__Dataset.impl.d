@@ -1,0 +1,1 @@
+lib/aggregates/dataset.ml: Array Float List Sampling

@@ -1,0 +1,1 @@
+lib/aggregates/dataset.mli: Sampling

@@ -1,0 +1,1 @@
+lib/aggregates/distinct.ml: Array Estcore Float Fun Hashtbl Int List Numerics Option Sampling Set

@@ -1,0 +1,1 @@
+lib/aggregates/distinct.mli: Sampling

@@ -1,0 +1,1 @@
+lib/aggregates/dominance.ml: Array Estcore Float Sum_agg

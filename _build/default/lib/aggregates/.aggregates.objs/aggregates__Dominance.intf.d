@@ -1,0 +1,1 @@
+lib/aggregates/dominance.mli: Sampling Sum_agg

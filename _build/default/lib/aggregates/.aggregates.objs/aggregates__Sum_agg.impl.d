@@ -1,0 +1,1 @@
+lib/aggregates/sum_agg.ml: Array Estcore Int List Sampling Set

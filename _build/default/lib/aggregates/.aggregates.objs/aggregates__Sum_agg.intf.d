@@ -1,0 +1,1 @@
+lib/aggregates/sum_agg.mli: Estcore Sampling

@@ -1,0 +1,83 @@
+module I = Sampling.Instance
+
+type t = { insts : I.t array }
+
+let create l = { insts = Array.of_list l }
+
+let load ~paths =
+  create (List.map (fun path -> Sampling.Io.read_instance ~path) paths)
+let instances t = Array.to_list t.insts
+let num_instances t = Array.length t.insts
+let instance t i = t.insts.(i)
+let keys t = I.union_keys (instances t)
+let values t h = I.values_of_key (instances t) h
+
+let sum_aggregate t ~f ~select =
+  List.fold_left
+    (fun acc h -> if select h then acc +. f (values t h) else acc)
+    0. (keys t)
+
+let all _ = true
+
+let max_dominance ?(select = all) t =
+  sum_aggregate t ~select ~f:(Array.fold_left Float.max 0.)
+
+let min_dominance ?(select = all) t =
+  sum_aggregate t ~select ~f:(Array.fold_left Float.min infinity)
+
+let distinct_count ?(select = all) t =
+  List.length (List.filter select (keys t))
+
+let l1_distance t i j = I.l1_distance t.insts.(i) t.insts.(j)
+
+module Figure5 = struct
+  (* Figure 5(A): rows = instances 1..3, columns = keys 1..6. *)
+  let matrix =
+    [|
+      [| 15.; 0.; 10.; 5.; 10.; 10. |];
+      [| 20.; 10.; 12.; 20.; 0.; 10. |];
+      [| 10.; 15.; 15.; 0.; 15.; 10. |];
+    |]
+
+  let dataset =
+    create
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              I.of_assoc (List.init 6 (fun j -> (j + 1, row.(j)))))
+            matrix))
+
+  let seeds_u =
+    [ (1, 0.22); (2, 0.75); (3, 0.07); (4, 0.92); (5, 0.55); (6, 0.37) ]
+
+  let independent_u =
+    [
+      (1, [| 0.22; 0.47; 0.63 |]);
+      (2, [| 0.75; 0.58; 0.92 |]);
+      (3, [| 0.07; 0.71; 0.08 |]);
+      (4, [| 0.92; 0.84; 0.59 |]);
+      (5, [| 0.55; 0.25; 0.32 |]);
+      (6, [| 0.37; 0.32; 0.80 |]);
+    ]
+
+  let pps_rank u v = if v = 0. then infinity else u /. v
+
+  let shared_ranks () =
+    List.map
+      (fun (h, u) ->
+        (h, Array.init 3 (fun i -> pps_rank u matrix.(i).(h - 1))))
+      seeds_u
+
+  let independent_ranks () =
+    List.map
+      (fun (h, us) ->
+        (h, Array.init 3 (fun i -> pps_rank us.(i) matrix.(i).(h - 1))))
+      independent_u
+
+  let bottom3 ~ranks ~instance =
+    ranks
+    |> List.map (fun (h, rs) -> (rs.(instance), h))
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map snd
+end

@@ -1,0 +1,52 @@
+(** Multi-instance data sets: the instances × keys matrix of Section 7,
+    together with the paper's worked example (Figure 5). *)
+
+type t
+
+val create : Sampling.Instance.t list -> t
+(** Instances are numbered 0, 1, ... in list order. *)
+
+val load : paths:string list -> t
+(** Build a data set from instance files written by
+    {!Sampling.Io.write_instance}, in path order. *)
+
+val instances : t -> Sampling.Instance.t list
+val num_instances : t -> int
+val instance : t -> int -> Sampling.Instance.t
+val keys : t -> int list
+(** Union of supports, ascending. *)
+
+val values : t -> int -> float array
+(** Data vector of a key across all instances. *)
+
+val sum_aggregate :
+  t -> f:(float array -> float) -> select:(int -> bool) -> float
+(** Ground truth [Σ_{h ∈ select} f(v(h))] over the union of supports. *)
+
+val max_dominance : ?select:(int -> bool) -> t -> float
+val min_dominance : ?select:(int -> bool) -> t -> float
+val distinct_count : ?select:(int -> bool) -> t -> int
+val l1_distance : t -> int -> int -> float
+(** L1 distance between two instances by index. *)
+
+(** The Figure 5(A) example: keys 1..6, instances 1..3 (0-indexed here). *)
+module Figure5 : sig
+  val dataset : t
+
+  val seeds_u : (int * float) list
+  (** The shared-seed values u printed in Figure 5(B):
+        key 1 → 0.22, 2 → 0.75, 3 → 0.07, 4 → 0.92, 5 → 0.55, 6 → 0.37. *)
+
+  val independent_u : (int * float array) list
+  (** Per-key seed vectors (u1,u2,u3) of the independent panel. *)
+
+  val shared_ranks : unit -> (int * float array) list
+  (** Consistent shared-seed PPS ranks r_i(h) = u(h)/v_i(h) for each key
+      (infinity for zero values) — must reproduce the printed table. *)
+
+  val independent_ranks : unit -> (int * float array) list
+
+  val bottom3 : ranks:(int * float array) list -> instance:int -> int list
+  (** The bottom-3 sample (keys of the 3 smallest ranks) of an instance
+      under the given rank table. *)
+end

@@ -1,0 +1,31 @@
+let max_dominance_l samples ~select =
+  Sum_agg.estimate samples ~est:Estcore.Max_pps.l ~select
+
+let max_dominance_ht samples ~select =
+  Sum_agg.estimate samples ~est:Estcore.Ht.max_pps ~select
+
+let min_dominance_ht samples ~select =
+  Sum_agg.estimate samples ~est:Estcore.Ht.min_pps ~select
+
+let max_dominance_coordinated samples ~select =
+  Sum_agg.estimate samples ~est:Estcore.Coordinated.max_ht ~select
+
+let exact_variance_coordinated ~taus ~instances ~select =
+  Sum_agg.exact_variance ~taus ~instances ~select ~moments:(fun ~taus ~v ->
+      Estcore.Coordinated.moments ~taus ~v Estcore.Coordinated.max_ht)
+
+let exact_variances ~taus ~instances ~select =
+  let var_ht =
+    Sum_agg.exact_variance ~taus ~instances ~select ~moments:(fun ~taus ~v ->
+        {
+          Estcore.Exact.mean = Array.fold_left Float.max 0. v;
+          var = Estcore.Ht.max_pps_variance ~taus ~v;
+        })
+  in
+  let var_l =
+    Sum_agg.exact_variance ~taus ~instances ~select ~moments:(fun ~taus ~v ->
+        Estcore.Exact.pps_r2_fast ~taus ~v Estcore.Max_pps.l)
+  in
+  (var_ht, var_l)
+
+let normalized_variance ~var ~truth = var /. (truth *. truth)

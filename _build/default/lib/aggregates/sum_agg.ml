@@ -1,0 +1,104 @@
+module P = Sampling.Poisson
+module O = Sampling.Outcome.Pps
+
+type pps_samples = {
+  seeds : Sampling.Seeds.t;
+  taus : float array;
+  samples : P.pps array;
+}
+
+let sample_pps seeds ~taus instances =
+  let samples =
+    List.mapi
+      (fun i inst -> P.pps_sample seeds ~instance:i ~tau:taus.(i) inst)
+      instances
+  in
+  { seeds; taus; samples = Array.of_list samples }
+
+let sample_priority seeds ~k instances =
+  let samples =
+    List.mapi
+      (fun i inst ->
+        let bk =
+          Sampling.Bottom_k.sample seeds ~family:Sampling.Rank.PPS ~instance:i
+            ~k inst
+        in
+        (* rank < τ_rank  ⇔  u/v < τ_rank  ⇔  v ≥ u·(1/τ_rank):
+           the (k+1)-smallest rank is a PPS threshold τ* = 1/τ_rank. An
+           infinite rank threshold (≤ k keys) means every key is sampled
+           with probability 1; a tiny positive τ* encodes that while
+           keeping the PPS algebra well defined. *)
+        let tau =
+          if bk.Sampling.Bottom_k.threshold = infinity then 1e-300
+          else 1. /. bk.Sampling.Bottom_k.threshold
+        in
+        {
+          P.instance_id = i;
+          tau;
+          entries =
+            List.sort compare
+              (List.map
+                 (fun e -> (e.Sampling.Bottom_k.key, e.Sampling.Bottom_k.value))
+                 bk.Sampling.Bottom_k.entries);
+        })
+      instances
+  in
+  { seeds; taus = Array.of_list (List.map (fun s -> s.P.tau) samples);
+    samples = Array.of_list samples }
+
+let of_summaries seeds summaries =
+  let samples =
+    Array.mapi
+      (fun i s ->
+        match Sampling.Summary.threshold s with
+        | None ->
+            invalid_arg
+              "Sum_agg.of_summaries: summary exposes no PPS threshold"
+        | Some tau ->
+            {
+              P.instance_id = i;
+              tau;
+              entries = Sampling.Summary.entries s;
+            })
+      summaries
+  in
+  {
+    seeds;
+    taus = Array.map (fun s -> s.P.tau) samples;
+    samples;
+  }
+
+let key_outcome t h =
+  let r = Array.length t.samples in
+  let values =
+    Array.init r (fun i -> List.assoc_opt h t.samples.(i).P.entries)
+  in
+  let seeds =
+    Array.init r (fun i -> Sampling.Seeds.seed t.seeds ~instance:i ~key:h)
+  in
+  { O.taus = t.taus; seeds; values }
+
+module ISet = Set.Make (Int)
+
+let sampled_keys t =
+  Array.fold_left
+    (fun acc (s : P.pps) ->
+      List.fold_left (fun acc (h, _) -> ISet.add h acc) acc s.P.entries)
+    ISet.empty t.samples
+  |> ISet.elements
+
+let estimate t ~est ~select =
+  List.fold_left
+    (fun acc h -> if select h then acc +. est (key_outcome t h) else acc)
+    0. (sampled_keys t)
+
+let exact_variance ~taus ~instances ~moments ~select =
+  List.fold_left
+    (fun acc h ->
+      if select h then begin
+        let v = Sampling.Instance.values_of_key instances h in
+        acc +. (moments ~taus ~v).Estcore.Exact.var
+      end
+      else acc)
+    0.
+    (Sampling.Instance.union_keys instances)

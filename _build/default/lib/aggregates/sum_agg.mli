@@ -1,0 +1,64 @@
+(** Sum-aggregate estimation from per-instance samples (Section 7).
+
+    A sum aggregate [Σ_{h ∈ select} f(v(h))] is estimated by summing
+    per-key estimates; only keys that appear in at least one sample can
+    contribute (every estimator assigns 0 to the empty outcome), so the
+    estimator runs over the samples, never the raw data. Seeds are
+    recomputed from the {!Sampling.Seeds.t} — the "known seeds" model. *)
+
+type pps_samples = {
+  seeds : Sampling.Seeds.t;
+  taus : float array;
+  samples : Sampling.Poisson.pps array;  (** one per instance *)
+}
+
+val sample_pps :
+  Sampling.Seeds.t -> taus:float array -> Sampling.Instance.t list -> pps_samples
+(** Draw independent (or shared-seed, per the seeds mode) PPS samples of
+    each instance. *)
+
+val sample_priority :
+  Sampling.Seeds.t -> k:int -> Sampling.Instance.t list -> pps_samples
+(** Bottom-k sampling with PPS ranks ({e priority sampling}) of each
+    instance, exposed through the same interface: the (k+1)-smallest rank
+    [τ_rank] of instance [i] acts — by rank conditioning (Section 7.1) —
+    as a fixed PPS threshold [τ*_i = 1/τ_rank], since
+    [rank < τ_rank ⇔ v ≥ u/τ_rank]. All per-key estimators then apply
+    unchanged; this is the "results are the same for priority sampling"
+    statement under Figure 7. Instances with at most [k] keys get
+    [τ* = 0⁺] semantics via an infinite rank threshold (every key
+    sampled, inclusion probability 1), represented by a tiny [τ*]. *)
+
+val of_summaries :
+  Sampling.Seeds.t -> Sampling.Summary.t array -> pps_samples
+(** Assemble the multi-instance view from per-instance {!Sampling.Summary}
+    values (one per instance, in instance order). Every summary must
+    expose a PPS threshold (Poisson or bottom-k with PPS ranks); raises
+    [Invalid_argument] otherwise (EXP-rank bottom-k and VarOpt do not
+    support the known-seeds estimators). *)
+
+val key_outcome : pps_samples -> int -> Sampling.Outcome.Pps.t
+(** Estimator-side reconstruction of the single-key outcome of [h]:
+    sampled values read from the samples, seeds recomputed. *)
+
+val sampled_keys : pps_samples -> int list
+(** Union of sampled keys, ascending. *)
+
+val estimate :
+  pps_samples ->
+  est:(Sampling.Outcome.Pps.t -> float) ->
+  select:(int -> bool) ->
+  float
+(** [Σ_{h ∈ select ∩ sampled} est(outcome h)]. Unbiased for the sum
+    aggregate when [est] is unbiased per key. *)
+
+val exact_variance :
+  taus:float array ->
+  instances:Sampling.Instance.t list ->
+  moments:(taus:float array -> v:float array -> Estcore.Exact.moments) ->
+  select:(int -> bool) ->
+  float
+(** [Σ_{h ∈ select} Var[est | v(h)]] — the exact variance of {!estimate}
+    under independent sampling (per-key estimates are independent, so
+    variances add). [moments] supplies per-key moments (e.g.
+    {!Estcore.Exact.pps_r2_fast} partially applied to the estimator). *)

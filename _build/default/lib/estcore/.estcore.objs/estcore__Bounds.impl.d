@@ -1,0 +1,1 @@
+lib/estcore/bounds.ml: Designer Hashtbl List

@@ -1,0 +1,1 @@
+lib/estcore/bounds.mli: Designer

@@ -1,0 +1,1 @@
+lib/estcore/catalog.ml: Format List String

@@ -1,0 +1,1 @@
+lib/estcore/coordinated.ml: Array Exact Float List Numerics Sampling

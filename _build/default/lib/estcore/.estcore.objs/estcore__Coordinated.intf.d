@@ -1,0 +1,1 @@
+lib/estcore/coordinated.mli: Exact Numerics Sampling

@@ -1,0 +1,1 @@
+lib/estcore/designer.ml: Array Float Fmt Format Fun Hashtbl List Numerics Option Sampling

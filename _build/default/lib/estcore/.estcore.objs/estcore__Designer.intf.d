@@ -1,0 +1,1 @@
+lib/estcore/designer.mli:

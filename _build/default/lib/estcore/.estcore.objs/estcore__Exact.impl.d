@@ -1,0 +1,1 @@
+lib/estcore/exact.ml: Array Float List Numerics Sampling

@@ -1,0 +1,1 @@
+lib/estcore/exact.mli: Numerics Sampling

@@ -1,0 +1,1 @@
+lib/estcore/existence.ml: Array Designer Hashtbl List Numerics

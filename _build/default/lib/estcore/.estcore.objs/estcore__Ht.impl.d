@@ -1,0 +1,1 @@
+lib/estcore/ht.ml: Array Float Sampling

@@ -1,0 +1,1 @@
+lib/estcore/max_oblivious.ml: Array Exact Float Fun Hashtbl Ht List Numerics Sampling

@@ -1,0 +1,1 @@
+lib/estcore/max_oblivious.mli: Sampling

@@ -1,0 +1,1 @@
+lib/estcore/or_oblivious.ml: Array Exact Ht Max_oblivious Sampling

@@ -1,0 +1,1 @@
+lib/estcore/or_oblivious.mli: Max_oblivious Sampling

@@ -1,0 +1,1 @@
+lib/estcore/or_weighted.ml: Exact Or_oblivious Sampling

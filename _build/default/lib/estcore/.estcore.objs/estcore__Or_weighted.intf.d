@@ -1,0 +1,1 @@
+lib/estcore/or_weighted.mli: Sampling

@@ -1,0 +1,48 @@
+let support problem v =
+  List.filter (fun (p, _) -> p > 0.) (problem.Designer.dist v)
+
+(* Probability mass of v's outcomes that are also possible under z. *)
+let shared_mass problem ~v ~z =
+  let z_keys = Hashtbl.create 16 in
+  List.iter (fun (_, k) -> Hashtbl.replace z_keys k ()) (support problem z);
+  List.fold_left
+    (fun acc (p, k) -> if Hashtbl.mem z_keys k then acc +. p else acc)
+    0. (support problem v)
+
+let witness problem ~v ~eps =
+  let fv = problem.Designer.f v in
+  let best = ref None in
+  List.iter
+    (fun z ->
+      if problem.Designer.f z <= fv -. eps then begin
+        let mass = shared_mass problem ~v ~z in
+        match !best with
+        | Some (_, m) when m >= mass -> ()
+        | _ -> best := Some (z, mass)
+      end)
+    problem.Designer.data;
+  !best
+
+let delta problem ~v ~eps =
+  match witness problem ~v ~eps with
+  | None -> 1.
+  | Some (_, mass) -> 1. -. mass
+
+let refutes_existence problem =
+  (* Candidate gaps: differences between attained f values. *)
+  let fvals =
+    List.sort_uniq compare (List.map problem.Designer.f problem.Designer.data)
+  in
+  let gaps =
+    List.concat_map
+      (fun a ->
+        List.filter_map (fun b -> if b < a then Some (a -. b) else None) fvals)
+      fvals
+    |> List.sort_uniq compare
+  in
+  List.exists
+    (fun v ->
+      List.exists
+        (fun eps -> delta problem ~v ~eps <= 1e-12)
+        (List.map (fun g -> g /. 2.) gaps))
+    problem.Designer.data

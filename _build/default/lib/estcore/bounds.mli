@@ -1,0 +1,33 @@
+(** Necessary conditions for estimator existence (Section 2.3,
+    Lemma 2.1), computed exactly for finite problems.
+
+    For a data vector [v] and gap [ε > 0], [Δ(v,ε)] is 1 minus the
+    largest probability of a set of outcomes all consistent with some
+    data vector [z] with [f(z) ≤ f(v) − ε]. Lemma 2.1:
+
+    - an unbiased nonnegative estimator exists ⟹ [Δ(v,ε) > 0] for all
+      [v, ε];
+    - with bounded variance ⟹ [Δ(v,ε) = Ω(ε²)];
+    - bounded ⟹ [Δ(v,ε) = Ω(ε)].
+
+    On finite problems the supremum is attained at some witness [z]
+    (taking Ω′ = all outcomes of [v] consistent with [z]), so Δ is
+    computed by scanning the data domain. A zero Δ is a machine-checkable
+    proof of non-existence — the combinatorial core of the Theorem 6.1
+    impossibility arguments, complementary to the LP certificates in
+    {!Existence}. *)
+
+val delta : 'k Designer.problem -> v:float array -> eps:float -> float
+(** [delta problem ~v ~eps] = Δ(v, ε). Returns 1. when no data vector of
+    the domain satisfies [f(z) ≤ f(v) − ε]. *)
+
+val witness :
+  'k Designer.problem -> v:float array -> eps:float -> (float array * float) option
+(** The maximizing witness vector [z] together with [Pr(Ω′_z | v)]
+    (so [delta = 1 − snd]); [None] when no vector is ε below [f(v)]. *)
+
+val refutes_existence : 'k Designer.problem -> bool
+(** Is there a [(v, ε)] with [Δ(v,ε) = 0]? (Scans ε over the gaps between
+    attained f-values.) [true] certifies that no unbiased nonnegative
+    estimator exists — cross-checked against {!Existence.exists} in the
+    tests. *)

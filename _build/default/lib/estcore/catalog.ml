@@ -1,0 +1,164 @@
+type model =
+  | Oblivious_poisson
+  | Weighted_pps_known_seeds
+  | Weighted_binary_known_seeds
+  | Coordinated_pps
+
+type entry = {
+  name : string;
+  target : string;
+  model : model;
+  arity : string;
+  properties : string list;
+  source : string;
+}
+
+let unb = "unbiased"
+let nn = "nonnegative"
+let mono = "monotone"
+let pareto = "Pareto optimal"
+let dom = "dominates HT"
+
+let all =
+  [
+    {
+      name = "Ht.max_oblivious";
+      target = "max";
+      model = Oblivious_poisson;
+      arity = "any r";
+      properties = [ unb; nn; mono; "baseline" ];
+      source = "Sec 2.2, eq. (10)";
+    };
+    {
+      name = "Ht.min_oblivious";
+      target = "min";
+      model = Oblivious_poisson;
+      arity = "any r";
+      properties = [ unb; nn; mono; pareto ];
+      source = "Sec 4";
+    };
+    {
+      name = "Ht.range_oblivious";
+      target = "max - min";
+      model = Oblivious_poisson;
+      arity = "any r (Pareto optimal at r = 2)";
+      properties = [ unb; nn; mono ];
+      source = "Sec 4";
+    };
+    {
+      name = "Ht.quantile_oblivious";
+      target = "l-th largest";
+      model = Oblivious_poisson;
+      arity = "any r";
+      properties = [ unb; nn; mono; "suboptimal for 1 < l < r" ];
+      source = "Sec 4";
+    };
+    {
+      name = "Max_oblivious.l_r2 / l_r3 / l_uniform / General.estimate";
+      target = "max";
+      model = Oblivious_poisson;
+      arity = "r = 2, 3 any p; any r uniform p; any r any p (General)";
+      properties = [ unb; nn; mono; pareto; dom ];
+      source = "Sec 4.1: eq. (12), Thm 4.1/4.2, Alg 3; General = extension";
+    };
+    {
+      name = "Max_oblivious.u_r2";
+      target = "max";
+      model = Oblivious_poisson;
+      arity = "r = 2";
+      properties = [ unb; nn; pareto; dom; "symmetric, sparse-first" ];
+      source = "Sec 4.2";
+    };
+    {
+      name = "Max_oblivious.u_asym_r2";
+      target = "max";
+      model = Oblivious_poisson;
+      arity = "r = 2";
+      properties = [ unb; nn; pareto; "asymmetric, sparse-first" ];
+      source = "Sec 4.2";
+    };
+    {
+      name = "Or_oblivious.ht / l_r2 / u_r2 / l_uniform / l_general";
+      target = "Boolean OR";
+      model = Oblivious_poisson;
+      arity = "r = 2 closed forms; any r via coefficients";
+      properties = [ unb; nn; pareto ];
+      source = "Sec 4.3";
+    };
+    {
+      name = "Ht.max_pps";
+      target = "max";
+      model = Weighted_pps_known_seeds;
+      arity = "any r";
+      properties = [ unb; nn; mono; "optimal inverse-probability" ];
+      source = "Sec 5.2 (from CKS'09)";
+    };
+    {
+      name = "Ht.min_pps";
+      target = "min";
+      model = Weighted_pps_known_seeds;
+      arity = "any r";
+      properties = [ unb; nn; mono ];
+      source = "Sec 5.2 / Sec 6";
+    };
+    {
+      name = "Max_pps.l";
+      target = "max";
+      model = Weighted_pps_known_seeds;
+      arity = "r = 2";
+      properties =
+        [ unb; nn; mono; pareto; "dominates HT at equal thresholds" ];
+      source = "Sec 5.2, Fig 3, eqs. (25)-(30); eq. (30) corrected";
+    };
+    {
+      name = "Or_weighted.ht / l / u";
+      target = "Boolean OR";
+      model = Weighted_binary_known_seeds;
+      arity = "r = 2";
+      properties = [ unb; nn; pareto ];
+      source = "Sec 5.1";
+    };
+    {
+      name = "Coordinated.max_ht";
+      target = "max";
+      model = Coordinated_pps;
+      arity = "any r";
+      properties = [ unb; nn; "Pareto optimal at equal thresholds" ];
+      source = "Sec 7.2 (extension)";
+    };
+    {
+      name = "Coordinated.min_ht";
+      target = "min";
+      model = Coordinated_pps;
+      arity = "any r";
+      properties = [ unb; nn ];
+      source = "Sec 7.2 (extension)";
+    };
+    {
+      name = "Designer.solve_order / solve_partition";
+      target = "any f over a finite domain";
+      model = Oblivious_poisson;
+      arity = "any r (any finite outcome model)";
+      properties = [ "machine-derived"; "Pareto optimal when it succeeds" ];
+      source = "Sec 3, Algorithms 1-2";
+    };
+  ]
+
+let pp_model ppf = function
+  | Oblivious_poisson -> Format.pp_print_string ppf "oblivious Poisson"
+  | Weighted_pps_known_seeds -> Format.pp_print_string ppf "weighted PPS, known seeds"
+  | Weighted_binary_known_seeds ->
+      Format.pp_print_string ppf "weighted binary, known seeds"
+  | Coordinated_pps -> Format.pp_print_string ppf "coordinated PPS"
+
+let pp_entry ppf e =
+  let model = Format.asprintf "%a" pp_model e.model in
+  Format.fprintf ppf "%-58s %-10s %-28s %s@.    %s; %s@." e.name e.target
+    model e.arity
+    (String.concat ", " e.properties)
+    e.source
+
+let print ppf =
+  Format.fprintf ppf "%-58s %-10s %-28s %s@." "estimator" "target" "model"
+    "arity";
+  List.iter (pp_entry ppf) all

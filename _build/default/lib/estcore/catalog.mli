@@ -1,0 +1,25 @@
+(** A machine-readable inventory of the estimators in this library: which
+    sampling model each needs, what it estimates, its properties, and
+    where in the paper it comes from. Drives the CLI's [catalog]
+    subcommand and keeps the library's surface discoverable. *)
+
+type model =
+  | Oblivious_poisson  (** weight-oblivious Poisson (Section 4) *)
+  | Weighted_pps_known_seeds  (** PPS with recomputable seeds (Section 5) *)
+  | Weighted_binary_known_seeds  (** binary weighted, known seeds (Sec 5.1) *)
+  | Coordinated_pps  (** shared-seed PPS (Section 7.2) *)
+
+type entry = {
+  name : string;
+  target : string;  (** the function estimated *)
+  model : model;
+  arity : string;  (** supported r *)
+  properties : string list;
+  source : string;  (** paper section / equation, or "extension" *)
+}
+
+val all : entry list
+
+val pp_model : Format.formatter -> model -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val print : Format.formatter -> unit

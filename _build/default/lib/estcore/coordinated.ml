@@ -1,0 +1,69 @@
+module P = Sampling.Outcome.Pps
+
+let of_seed ~taus ~u v =
+  P.of_seeds ~taus ~seeds:(Array.map (fun _ -> u) taus) v
+
+let draw rng ~taus v = of_seed ~taus ~u:(Numerics.Prng.float_open rng) v
+
+let expectation ~taus ~v g =
+  (* Breakpoints: every u where the outcome or an estimator decision can
+     flip — all ratios v_i/τ_j (inclusion thresholds i = j; bound-versus-
+     value crossings i ≠ j, e.g. max^(HT)'s determination condition) —
+     plus graded points near 0 for estimators with endpoint
+     singularities. *)
+  let breakpoints =
+    List.concat_map
+      (fun vi -> Array.to_list (Array.map (fun tau -> vi /. tau) taus))
+      (Array.to_list v)
+    @ List.init 12 (fun k -> 10. ** float_of_int (-(k + 1)))
+  in
+  Numerics.Integrate.gl_pieces ~breakpoints (fun u -> g (of_seed ~taus ~u v)) 0. 1.
+
+let moments ~taus ~v g =
+  let mean = expectation ~taus ~v g in
+  let second =
+    expectation ~taus ~v (fun o ->
+        let x = g o in
+        x *. x)
+  in
+  { Exact.mean; var = second -. (mean *. mean) }
+
+let max_ht (o : P.t) =
+  let r = P.r o in
+  let max_sampled = ref 0. in
+  let any = ref false in
+  let tau_max = ref 0. in
+  let u = if r > 0 then o.seeds.(0) else 0. in
+  for i = 0 to r - 1 do
+    tau_max := Float.max !tau_max o.taus.(i);
+    match o.values.(i) with
+    | Some v ->
+        any := true;
+        max_sampled := Float.max !max_sampled v
+    | None -> ()
+  done;
+  if !any && !max_sampled >= u *. !tau_max then
+    !max_sampled /. Float.min 1. (!max_sampled /. !tau_max)
+  else 0.
+
+let min_ht (o : P.t) =
+  if Array.for_all (fun x -> x <> None) o.values then begin
+    let v = Array.map (function Some x -> x | None -> assert false) o.values in
+    let p = ref 1. in
+    Array.iteri
+      (fun i vi -> p := Float.min !p (Float.min 1. (vi /. o.taus.(i))))
+      v;
+    Array.fold_left Float.min infinity v /. !p
+  end
+  else 0.
+
+let max_variance_equal_tau ~tau ~v =
+  let m = Array.fold_left Float.max 0. v in
+  if m <= 0. then 0.
+  else
+    let p = Float.min 1. (m /. tau) in
+    m *. m *. ((1. /. p) -. 1.)
+
+let sum_covariance ~p1 ~p2 ~v1 ~v2 ~shared =
+  if not shared then 0.
+  else ((Float.min p1 p2 /. (p1 *. p2)) -. 1.) *. v1 *. v2

@@ -1,0 +1,57 @@
+(** Estimators over {e coordinated} (shared-seed) weighted samples
+    (Section 7.2; the PRN method).
+
+    With coordination every instance uses the same seed [u(h)] for key
+    [h]: entry [i] of the data vector is sampled iff [v_i ≥ u·τ*_i]. The
+    joint outcome distribution is the diagonal of the seed square, which
+    changes what outcomes reveal: with equal thresholds, whenever {e any}
+    entry is sampled the maximum is known exactly, so quantile estimation
+    collapses to an all-or-nothing problem and the inverse-probability
+    estimator is optimal again. This module provides those estimators and
+    an exact 1-D moment engine (the seed is a single scalar, so exact
+    moments are one piecewise integral for any r) — used by the
+    coordination-ablation benchmark to quantify the paper's §7.2 claims:
+    coordination boosts multi-instance queries and hurts decomposable
+    ones.
+
+    Outcomes reuse {!Sampling.Outcome.Pps.t} with all seed components
+    equal. *)
+
+val of_seed : taus:float array -> u:float -> float array -> Sampling.Outcome.Pps.t
+(** The outcome of data [v] under shared seed [u]. *)
+
+val draw : Numerics.Prng.t -> taus:float array -> float array -> Sampling.Outcome.Pps.t
+
+val expectation :
+  taus:float array -> v:float array -> (Sampling.Outcome.Pps.t -> float) -> float
+(** Exact E[g(outcome) | v] — one piecewise Gauss–Legendre integral over
+    the shared seed (any r). *)
+
+val moments :
+  taus:float array -> v:float array -> (Sampling.Outcome.Pps.t -> float) -> Exact.moments
+
+val max_ht : Sampling.Outcome.Pps.t -> float
+(** Inverse-probability max estimator for coordinated PPS samples, any r
+    and any thresholds: the maximum is determined exactly when
+    [max_S v ≥ u·max_i τ*_i] (the shared seed makes larger values sampled
+    whenever smaller ones are), with probability
+    [min(1, max(v)/max_i τ*_i)]. With equal thresholds this is Pareto
+    optimal: outcomes outside the determining set are exactly the empty
+    ones, which are consistent with the zero vector. *)
+
+val min_ht : Sampling.Outcome.Pps.t -> float
+(** Inverse-probability min estimator: positive only when all entries are
+    sampled, which under a shared seed happens with probability
+    [min_i min(1, v_i/τ*_i)]. *)
+
+val max_variance_equal_tau : tau:float -> v:float array -> float
+(** Closed-form Var[{!max_ht}] when all thresholds equal [tau]:
+    [max² (1/min(1,max/τ) − 1)]. *)
+
+val sum_covariance :
+  p1:float -> p2:float -> v1:float -> v2:float -> shared:bool -> float
+(** Covariance of the two per-instance single-key HT estimates
+    [v_i/p_i·1(sampled_i)] under shared vs independent seeds:
+    [shared = true] gives [(min(p1,p2)/(p1·p2) − 1)·v1·v2 ≥ 0],
+    independent gives 0 — the reason coordination {e hurts} decomposable
+    (sum-over-instances) queries. *)

@@ -1,0 +1,383 @@
+type 'k problem = {
+  data : float array list;
+  f : float array -> float;
+  dist : float array -> (float * 'k) list;
+}
+
+type 'k estimator = ('k, float) Hashtbl.t
+
+let of_bindings bindings : 'k estimator =
+  let t = Hashtbl.create (List.length bindings) in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings;
+  t
+
+let lookup (t : 'k estimator) k = Hashtbl.find t k
+let bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+
+let min_estimate t =
+  Hashtbl.fold (fun _ v acc -> Float.min v acc) t infinity
+
+let positive_support dist = List.filter (fun (p, _) -> p > 0.) dist
+
+let solve_order ?(eps = 1e-9) problem =
+  let table : 'k estimator = Hashtbl.create 64 in
+  let result = ref (Ok ()) in
+  List.iter
+    (fun v ->
+      match !result with
+      | Error _ -> ()
+      | Ok () ->
+          let support = positive_support (problem.dist v) in
+          (* Contribution of already-assigned outcomes to E[est | v]. *)
+          let f0 = ref 0. in
+          let fresh = ref [] in
+          let p_fresh = ref 0. in
+          List.iter
+            (fun (p, k) ->
+              match Hashtbl.find_opt table k with
+              | Some est -> f0 := !f0 +. (p *. est)
+              | None ->
+                  fresh := k :: !fresh;
+                  p_fresh := !p_fresh +. p)
+            support;
+          let fv = problem.f v in
+          if !p_fresh <= eps then begin
+            if abs_float (fv -. !f0) > eps *. (1. +. abs_float fv) then
+              result :=
+                Error
+                  (Format.asprintf
+                     "no unbiased estimator: vector [%a] has no fresh \
+                      outcomes but E=%g ≠ f=%g"
+                     Fmt.(array ~sep:comma float)
+                     v !f0 fv)
+          end
+          else begin
+            let est = (fv -. !f0) /. !p_fresh in
+            List.iter (fun k -> Hashtbl.replace table k est) !fresh
+          end)
+    problem.data;
+  match !result with Ok () -> Ok table | Error e -> Error e
+
+let solve_partition ?(eps = 1e-9) ~batches ~f ~dist () =
+  let table : 'k estimator = Hashtbl.create 64 in
+  let later_batches =
+    ref (match batches with [] -> [] | _ :: tl -> tl @ [ [] ])
+  in
+  (* [later_batches] tracks the batches strictly after the current one;
+     rebuilt as we walk. *)
+  let result = ref (Ok ()) in
+  List.iteri
+    (fun bi batch ->
+      ignore bi;
+      match !result with
+      | Error _ -> ()
+      | Ok () ->
+          let laters = List.concat !later_batches in
+          (later_batches :=
+             match !later_batches with [] -> [] | _ :: tl -> tl);
+          (* Fresh outcomes consistent with the batch. *)
+          let fresh_tbl = Hashtbl.create 16 in
+          let fresh = ref [] in
+          List.iter
+            (fun v ->
+              List.iter
+                (fun (p, k) ->
+                  if p > 0. && (not (Hashtbl.mem table k)) && not (Hashtbl.mem fresh_tbl k)
+                  then begin
+                    Hashtbl.add fresh_tbl k ();
+                    fresh := k :: !fresh
+                  end)
+                (dist v))
+            batch;
+          let fresh = Array.of_list (List.rev !fresh) in
+          let n = Array.length fresh in
+          let index = Hashtbl.create 16 in
+          Array.iteri (fun i k -> Hashtbl.add index k i) fresh;
+          if n = 0 then begin
+            (* Nothing to assign; unbiasedness must already hold. *)
+            List.iter
+              (fun v ->
+                let e =
+                  List.fold_left
+                    (fun acc (p, k) ->
+                      match Hashtbl.find_opt table k with
+                      | Some est -> acc +. (p *. est)
+                      | None -> acc)
+                    0. (dist v)
+                in
+                let fv = f v in
+                if abs_float (e -. fv) > eps *. (1. +. abs_float fv) then
+                  result := Error "batch has no fresh outcomes but is biased")
+              batch
+          end
+          else begin
+            (* Row of coefficients over fresh outcomes and the assigned
+               contribution f0, for a data vector v. *)
+            let row_of v =
+              let coeffs = Array.make n 0. in
+              let f0 = ref 0. in
+              List.iter
+                (fun (p, k) ->
+                  if p > 0. then
+                    match Hashtbl.find_opt table k with
+                    | Some est -> f0 := !f0 +. (p *. est)
+                    | None -> (
+                        match Hashtbl.find_opt index k with
+                        | Some i -> coeffs.(i) <- coeffs.(i) +. p
+                        | None -> ()))
+                (dist v);
+              (coeffs, !f0)
+            in
+            let a_eq, b_eq =
+              batch
+              |> List.map (fun v ->
+                     let coeffs, f0 = row_of v in
+                     (coeffs, f v -. f0))
+              |> List.split
+            in
+            let a_ub, b_ub =
+              laters
+              |> List.filter_map (fun v' ->
+                     let coeffs, f0 = row_of v' in
+                     if Array.exists (fun c -> c > 0.) coeffs then
+                       Some (coeffs, f v' -. f0)
+                     else None)
+              |> List.split
+            in
+            (* Objective: Σ_{v∈batch} Var[est|v] — i.e. Σ_o w_o x_o² with
+               w_o = Σ_v Pr[o|v] (the unbiasedness constraints pin the
+               linear part). *)
+            let w = Array.make n 0. in
+            List.iter
+              (fun v ->
+                List.iter
+                  (fun (p, k) ->
+                    match Hashtbl.find_opt index k with
+                    | Some i -> w.(i) <- w.(i) +. p
+                    | None -> ())
+                  (dist v))
+              batch;
+            (* Outcomes reachable only from later vectors keep weight 0;
+               give them a tiny weight for strict convexity (their value
+               is then driven to 0 unless constrained). *)
+            let q = Array.map (fun wi -> 2. *. Float.max wi 1e-9) w in
+            match
+              Numerics.Qp.minimize ~eps ~q ~c:(Array.make n 0.)
+                ~a_ub:(Array.of_list a_ub) ~b_ub:(Array.of_list b_ub)
+                ~a_eq:(Array.of_list a_eq) ~b_eq:(Array.of_list b_eq) ()
+            with
+            | None -> result := Error "infeasible batch (no nonnegative unbiased extension)"
+            | Some { Numerics.Qp.x; _ } ->
+                Array.iteri (fun i k -> Hashtbl.replace table k x.(i)) fresh
+          end)
+    batches;
+  match !result with Ok () -> Ok table | Error e -> Error e
+
+let expectation problem est v =
+  List.fold_left
+    (fun acc (p, k) ->
+      if p > 0. then
+        match Hashtbl.find_opt est k with
+        | Some e -> acc +. (p *. e)
+        | None -> acc
+      else acc)
+    0. (problem.dist v)
+
+let variance problem est v =
+  let mean = expectation problem est v in
+  let second =
+    List.fold_left
+      (fun acc (p, k) ->
+        if p > 0. then
+          match Hashtbl.find_opt est k with
+          | Some e -> acc +. (p *. e *. e)
+          | None -> acc
+        else acc)
+      0. (problem.dist v)
+  in
+  second -. (mean *. mean)
+
+let is_monotone ?(eps = 1e-9) problem est =
+  (* Index the data vectors consistent with each reachable outcome. *)
+  let consistent : ('k, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun vi v ->
+      List.iter
+        (fun (p, k) ->
+          if p > 0. then
+            Hashtbl.replace consistent k
+              (vi :: Option.value ~default:[] (Hashtbl.find_opt consistent k)))
+        (problem.dist v))
+    problem.data;
+  let outcomes =
+    Hashtbl.fold (fun k vs acc -> (k, List.sort_uniq compare vs) :: acc) consistent []
+  in
+  let subset a b =
+    List.for_all (fun x -> List.mem x b) a
+  in
+  List.for_all
+    (fun (o, vs) ->
+      match Hashtbl.find_opt est o with
+      | None -> true
+      | Some e_o ->
+          List.for_all
+            (fun (o', vs') ->
+              if subset vs vs' then
+                match Hashtbl.find_opt est o' with
+                | Some e_o' -> e_o >= e_o' -. eps
+                | None -> true
+              else true)
+            outcomes)
+    outcomes
+
+let is_unbiased ?(eps = 1e-7) problem est =
+  List.for_all
+    (fun v ->
+      let fv = problem.f v in
+      abs_float (expectation problem est v -. fv) <= eps *. (1. +. abs_float fv))
+    problem.data
+
+module Problems = struct
+  let vectors_of_grid grid r =
+    let cells = Array.of_list grid in
+    let m = Array.length cells in
+    let total = int_of_float (float_of_int m ** float_of_int r) in
+    List.init total (fun idx ->
+        let v = Array.make r 0. in
+        let x = ref idx in
+        for i = 0 to r - 1 do
+          v.(i) <- cells.(!x mod m);
+          x := !x / m
+        done;
+        v)
+
+  let oblivious ~probs ~grid ~f =
+    let r = Array.length probs in
+    {
+      data = vectors_of_grid grid r;
+      f;
+      dist =
+        (fun v ->
+          Sampling.Outcome.Oblivious.enumerate ~probs v
+          |> List.map (fun (p, (o : Sampling.Outcome.Oblivious.t)) -> (p, o.values)));
+    }
+
+  let binary_domain r =
+    List.init (1 lsl r) (fun bits ->
+        Array.init r (fun i -> if bits land (1 lsl i) <> 0 then 1. else 0.))
+
+  let to_bits v = Array.map (fun x -> if x > 0.5 then 1 else 0) v
+
+  let binary_known_seeds ~probs ~f =
+    let r = Array.length probs in
+    {
+      data = binary_domain r;
+      f;
+      dist =
+        (fun v ->
+          Sampling.Outcome.Binary.enumerate ~probs (to_bits v)
+          |> List.map (fun (p, (o : Sampling.Outcome.Binary.t)) ->
+                 (p, (o.below, o.sampled))));
+    }
+
+  let binary_unknown_seeds ~probs ~f =
+    let r = Array.length probs in
+    {
+      data = binary_domain r;
+      f;
+      dist =
+        (fun v ->
+          (* Outcome = set of sampled entries; only entries with v_i = 1
+             can be sampled, each independently with probability p_i. *)
+          let bits = to_bits v in
+          let rec go i =
+            if i = r then [ (1., []) ]
+            else
+              let rest = go (i + 1) in
+              if bits.(i) = 1 then
+                List.concat_map
+                  (fun (p, mask) ->
+                    [ (p *. probs.(i), true :: mask); (p *. (1. -. probs.(i)), false :: mask) ])
+                  rest
+              else List.map (fun (p, mask) -> (p, false :: mask)) rest
+          in
+          go 0 |> List.map (fun (p, mask) -> (p, Array.of_list mask)));
+    }
+
+  let pps_discretized ~taus ~grid ~buckets ~f =
+    let r = Array.length taus in
+    if buckets <= 0 then invalid_arg "pps_discretized: buckets must be positive";
+    let centers =
+      Array.init buckets (fun j ->
+          (float_of_int j +. 0.5) /. float_of_int buckets)
+    in
+    let prob_each = 1. /. (float_of_int buckets ** float_of_int r) in
+    let rec bucket_vectors i =
+      if i = r then [ [] ]
+      else
+        let rest = bucket_vectors (i + 1) in
+        List.concat_map
+          (fun j -> List.map (fun tl -> j :: tl) rest)
+          (List.init buckets Fun.id)
+    in
+    let all_buckets = List.map Array.of_list (bucket_vectors 0) in
+    {
+      data = vectors_of_grid grid r;
+      f;
+      dist =
+        (fun v ->
+          List.map
+            (fun b ->
+              let observed =
+                Array.init r (fun i ->
+                    if v.(i) >= centers.(b.(i)) *. taus.(i) then Some v.(i)
+                    else None)
+              in
+              (prob_each, (observed, b)))
+            all_buckets);
+    }
+
+  let sort_data cmp problem = { problem with data = List.stable_sort cmp problem.data }
+
+  let order_difference_multiset a b =
+    let is_zero v = Array.for_all (fun x -> x = 0.) v in
+    match (is_zero a, is_zero b) with
+    | true, true -> 0
+    | true, false -> -1
+    | false, true -> 1
+    | false, false ->
+        let key v =
+          let m = Array.fold_left Float.max neg_infinity v in
+          List.sort compare (Array.to_list (Array.map (fun x -> m -. x) v))
+        in
+        compare (key a) (key b)
+
+  let count_below_max v =
+    let m = Array.fold_left Float.max neg_infinity v in
+    Array.fold_left (fun acc x -> if x < m then acc + 1 else acc) 0 v
+
+  let is_zero v = Array.for_all (fun x -> x = 0.) v
+
+  let order_l a b =
+    match (is_zero a, is_zero b) with
+    | true, true -> 0
+    | true, false -> -1
+    | false, true -> 1
+    | false, false -> compare (count_below_max a) (count_below_max b)
+
+  let count_positive v =
+    Array.fold_left (fun acc x -> if x > 0. then acc + 1 else acc) 0 v
+
+  let order_u a b = compare (count_positive a) (count_positive b)
+
+  let batches_by level data =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        let l = level v in
+        Hashtbl.replace tbl l (v :: (Option.value ~default:[] (Hashtbl.find_opt tbl l))))
+      data;
+    Hashtbl.fold (fun l vs acc -> (l, List.rev vs) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+end

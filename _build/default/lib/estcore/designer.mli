@@ -1,0 +1,139 @@
+(** The estimator designer: generic implementations of the paper's
+    Algorithm 1 (order-based estimator [f^(≺)], Section 3) and
+    Algorithm 2 (ordered-partition estimator [f^(U)]) over finite
+    problems.
+
+    A {e problem} is a finite data domain, a target function [f], and for
+    each data vector the (finite) distribution over outcome keys. The
+    designer machine-derives the optimal estimator table, which lets the
+    test suite check every closed form in the paper against an
+    independently derived table, and lets users derive estimators for
+    sampling schemes the paper does not tabulate.
+
+    Outcome keys ['k] must be plain structural values (arrays/tuples of
+    scalars): they are compared and hashed structurally. *)
+
+type 'k problem = {
+  data : float array list;
+      (** the data domain, in ≺ order for {!solve_order} *)
+  f : float array -> float;  (** the estimated function *)
+  dist : float array -> (float * 'k) list;
+      (** outcome distribution given the data vector; probabilities must
+          sum to 1 (zero-probability entries are allowed and ignored) *)
+}
+
+type 'k estimator
+(** A derived estimator: a finite map from outcome keys to estimate
+    values. *)
+
+val of_bindings : ('k * float) list -> 'k estimator
+(** Build an estimator table from explicit bindings — e.g. to evaluate a
+    witness produced by {!Existence.find} or a hand-written table with
+    {!expectation}/{!variance}/{!is_monotone}. *)
+
+val lookup : 'k estimator -> 'k -> float
+(** Estimate on an outcome key. Raises [Not_found] for a key that was
+    never reachable during derivation. *)
+
+val bindings : 'k estimator -> ('k * float) list
+val min_estimate : 'k estimator -> float
+
+val solve_order : ?eps:float -> 'k problem -> ('k estimator, string) result
+(** Algorithm 1: process data vectors in list order; on each vector set
+    the (single) estimate value on all still-unassigned outcomes in its
+    support so that the estimator is unbiased for it. Returns [Error]
+    when no unbiased estimator consistent with the order exists (the
+    "failure" branch of the algorithm). The result may assume negative
+    values — check {!min_estimate} (the paper's [f^(≺)] need not be
+    nonnegative; see [max^(U)]'s derivation). *)
+
+val solve_partition :
+  ?eps:float ->
+  batches:float array list list ->
+  f:(float array -> float) ->
+  dist:(float array -> (float * 'k) list) ->
+  unit ->
+  ('k estimator, string) result
+(** Algorithm 2: process the given ordered partition of the data domain;
+    for each batch, jointly set the estimates on the batch's unassigned
+    outcomes by minimizing the sum of the batch's conditional variances
+    (a diagonal QP) subject to unbiasedness for every vector of the
+    batch, nonnegativity-preservation (constraint 9) for every vector of
+    later batches, and nonnegativity of the estimates themselves. With a
+    symmetric batch this yields the symmetric locally-optimal estimator
+    (e.g. [max^(U)]); with singleton batches it reproduces the
+    nonnegativity-forced order-based estimator [f^(+≺)] (e.g.
+    [max^(Uas)] under the corresponding order). *)
+
+val expectation : 'k problem -> 'k estimator -> float array -> float
+(** E[estimator | data v]. *)
+
+val variance : 'k problem -> 'k estimator -> float array -> float
+
+val is_unbiased : ?eps:float -> 'k problem -> 'k estimator -> bool
+(** Does E[estimator|v] = f(v) hold on every vector of the domain? *)
+
+val is_monotone : ?eps:float -> 'k problem -> 'k estimator -> bool
+(** Lemma 3.2's monotonicity check, exact on finite problems: for every
+    pair of reachable outcomes with [V*(o) ⊆ V*(o')] (o is more
+    informative), the estimate on [o] must be at least the estimate on
+    [o']. Nonnegativity is implied when the empty-information outcome is
+    reachable. *)
+
+(** Ready-made finite problems for the paper's sampling schemes. *)
+module Problems : sig
+  val oblivious :
+    probs:float array ->
+    grid:float list ->
+    f:(float array -> float) ->
+    float option array problem
+  (** Weight-oblivious Poisson over the data domain [grid^r] (r = length
+      of [probs]). Outcome key: the vector of sampled values. Data is in
+      raw enumeration order — reorder with {!sort_data} before
+      {!solve_order}. *)
+
+  val binary_known_seeds :
+    probs:float array -> f:(float array -> float) -> (bool array * bool array) problem
+  (** Weighted sampling of binary data with known seeds (Section 5.1):
+      outcome key = (below, sampled) indicator pair. *)
+
+  val binary_unknown_seeds :
+    probs:float array -> f:(float array -> float) -> bool array problem
+  (** Weighted sampling of binary data, seeds {e not} available: outcome
+      key = the set of sampled entries only (Section 6's model). *)
+
+  val pps_discretized :
+    taus:float array ->
+    grid:float list ->
+    buckets:int ->
+    f:(float array -> float) ->
+    (float option array * int array) problem
+  (** Weighted PPS sampling with known seeds, seeds discretized into
+      [buckets] equal cells (bucket centers). Outcome key =
+      (observed values, bucket indices) — exactly what a known-seeds
+      estimator sees. The derived estimator solves the {e discretized}
+      problem exactly — a numerical companion to the continuous closed
+      forms of Section 5, useful for schemes with no derived closed
+      form. Data is in raw enumeration order. *)
+
+  val sort_data :
+    (float array -> float array -> int) -> 'k problem -> 'k problem
+  (** Stable-sort the data domain by the given ≺ comparator. *)
+
+  val order_difference_multiset : float array -> float array -> int
+  (** The Section 5.2 order: 0 first, then lexicographically by the
+      sorted multiset of differences [{max(v) − v_i}]. *)
+
+  val order_l : float array -> float array -> int
+  (** The [max^(L)] order: 0 first, then by the number of entries
+      strictly below the maximum. *)
+
+  val order_u : float array -> float array -> int
+  (** The [max^(U)] order: by the number of positive entries. *)
+
+  val batches_by :
+    (float array -> int) -> float array list -> float array list list
+  (** Group data vectors into batches by an integer level, ascending —
+      e.g. [batches_by (fun v -> count_positive v)] gives the U
+      partition. *)
+end

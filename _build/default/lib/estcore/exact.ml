@@ -1,0 +1,113 @@
+type moments = { mean : float; var : float }
+
+let of_weighted_values pairs =
+  let mean = List.fold_left (fun acc (p, x) -> acc +. (p *. x)) 0. pairs in
+  let second = List.fold_left (fun acc (p, x) -> acc +. (p *. x *. x)) 0. pairs in
+  { mean; var = second -. (mean *. mean) }
+
+let oblivious ~probs ~v est =
+  Sampling.Outcome.Oblivious.enumerate ~probs v
+  |> List.map (fun (p, o) -> (p, est o))
+  |> of_weighted_values
+
+let binary ~probs ~v est =
+  Sampling.Outcome.Binary.enumerate ~probs v
+  |> List.map (fun (p, o) -> (p, est o))
+  |> of_weighted_values
+
+let pps ?tol ~taus ~v est =
+  let mean = Sampling.Outcome.Pps.expectation ?tol ~taus ~v est in
+  let second =
+    Sampling.Outcome.Pps.expectation ?tol ~taus ~v (fun o ->
+        let x = est o in
+        x *. x)
+  in
+  { mean; var = second -. (mean *. mean) }
+
+let pps_r2_fast ~taus ~v est =
+  if Array.length v <> 2 then invalid_arg "Exact.pps_r2_fast: r = 2 only";
+  let p1 = Float.min 1. (v.(0) /. taus.(0)) in
+  let p2 = Float.min 1. (v.(1) /. taus.(1)) in
+  let outcome ~s1 ~s2 ~u1 ~u2 =
+    {
+      Sampling.Outcome.Pps.taus;
+      seeds = [| u1; u2 |];
+      values =
+        [|
+          (if s1 then Some v.(0) else None); (if s2 then Some v.(1) else None);
+        |];
+    }
+  in
+  let graded = List.init 12 (fun k -> 10. ** float_of_int (-(k + 1))) in
+  let breaks j = (v.(0) /. taus.(j)) :: (v.(1) /. taus.(j)) :: graded in
+  let mean = ref 0. and second = ref 0. in
+  let add p x =
+    mean := !mean +. (p *. x);
+    second := !second +. (p *. x *. x)
+  in
+  (* Both entries sampled: the estimate is seed-free; pick seeds below the
+     inclusion thresholds as representatives. *)
+  if p1 > 0. && p2 > 0. then
+    add (p1 *. p2) (est (outcome ~s1:true ~s2:true ~u1:(0.5 *. p1) ~u2:(0.5 *. p2)));
+  (* Entry 1 sampled, entry 2 not: integrate over u2 ∈ (p2, 1]. *)
+  if p1 > 0. && p2 < 1. then begin
+    let g u2 = est (outcome ~s1:true ~s2:false ~u1:(0.5 *. p1) ~u2) in
+    mean :=
+      !mean
+      +. (p1 *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 1) g p2 1.);
+    second :=
+      !second
+      +. p1
+         *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 1)
+              (fun u2 ->
+                let x = g u2 in
+                x *. x)
+              p2 1.
+  end;
+  if p2 > 0. && p1 < 1. then begin
+    let g u1 = est (outcome ~s1:false ~s2:true ~u1 ~u2:(0.5 *. p2)) in
+    mean :=
+      !mean
+      +. (p2 *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 0) g p1 1.);
+    second :=
+      !second
+      +. p2
+         *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 0)
+              (fun u1 ->
+                let x = g u1 in
+                x *. x)
+              p1 1.
+  end;
+  (* Neither sampled: a nonnegative estimator consistent with possibly
+     all-zero data must be 0 there (we evaluate once to be faithful). *)
+  if p1 < 1. && p2 < 1. then begin
+    let u1 = 0.5 *. (p1 +. 1.) and u2 = 0.5 *. (p2 +. 1.) in
+    let x = est (outcome ~s1:false ~s2:false ~u1 ~u2) in
+    if x <> 0. then begin
+      (* Fall back to full quadrature for estimators that are nonzero on
+         empty outcomes. *)
+      let m = Sampling.Outcome.Pps.expectation ~taus ~v est in
+      let s =
+        Sampling.Outcome.Pps.expectation ~taus ~v (fun o ->
+            let y = est o in
+            y *. y)
+      in
+      mean := m;
+      second := s
+    end
+  end;
+  { mean = !mean; var = !second -. (!mean *. !mean) }
+
+let monte_carlo ~rng ~n ~draw est =
+  let acc = Numerics.Stats.Acc.create () in
+  for _ = 1 to n do
+    Numerics.Stats.Acc.add acc (est (draw rng))
+  done;
+  { mean = Numerics.Stats.Acc.mean acc; var = Numerics.Stats.Acc.var acc }
+
+let dominates ~var_a ~var_b grid =
+  List.for_all
+    (fun v ->
+      let va = var_a v and vb = var_b v in
+      va <= vb +. (1e-9 *. (1. +. abs_float vb)))
+    grid

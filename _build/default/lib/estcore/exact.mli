@@ -1,0 +1,61 @@
+(** Exact moments of single-key estimators.
+
+    For weight-oblivious and binary-weighted sampling the outcome space
+    given the data is finite ([2^r] masks), so expectations and variances
+    are computed by full enumeration. For weighted PPS sampling they are
+    computed by piecewise adaptive quadrature over the seed hypercube
+    (r ≤ 2). These are the ground-truth oracles used by the test suite
+    and by the figure benchmarks (no Monte Carlo noise). *)
+
+type moments = { mean : float; var : float }
+
+val oblivious :
+  probs:float array ->
+  v:float array ->
+  (Sampling.Outcome.Oblivious.t -> float) ->
+  moments
+(** Exact E and Var of an estimator under weight-oblivious Poisson
+    sampling of data [v]. *)
+
+val binary :
+  probs:float array ->
+  v:int array ->
+  (Sampling.Outcome.Binary.t -> float) ->
+  moments
+(** Exact moments under binary weighted sampling with known seeds. *)
+
+val pps :
+  ?tol:float ->
+  taus:float array ->
+  v:float array ->
+  (Sampling.Outcome.Pps.t -> float) ->
+  moments
+(** Moments under weighted PPS with known seeds, by seed-space quadrature
+    (r ≤ 2). *)
+
+val pps_r2_fast :
+  taus:float array ->
+  v:float array ->
+  (Sampling.Outcome.Pps.t -> float) ->
+  moments
+(** Fast exact moments for r = 2 PPS estimators that depend on the seeds
+    only through the {e unsampled} entries (true of [max^(L)], [max^(HT)]
+    and [min^(HT)]). The seed square decomposes into four rectangles by
+    the inclusion indicators; on each the estimate is a function of at
+    most one seed, so the 2-D integral reduces to two 1-D piecewise
+    Gauss–Legendre integrals plus constants. Roughly 100× faster than
+    {!pps} — this is what makes the Figure 7 sweep (exact per-key
+    variance over tens of thousands of keys) practical. *)
+
+val monte_carlo :
+  rng:Numerics.Prng.t ->
+  n:int ->
+  draw:(Numerics.Prng.t -> 'o) ->
+  ('o -> float) ->
+  moments
+(** Monte-Carlo moments — used only as a consistency cross-check. *)
+
+val dominates :
+  var_a:(float array -> float) -> var_b:(float array -> float) -> float array list -> bool
+(** [dominates ~var_a ~var_b grid]: does estimator [a] have variance ≤ [b]
+    (within 1e-9 relative) on every data vector of [grid]? *)

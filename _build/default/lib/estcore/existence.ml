@@ -1,0 +1,69 @@
+let build_system (problem : 'k Designer.problem) =
+  (* Collect the union of outcome supports and index them. *)
+  let index : ('k, int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let keys = ref [] in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (p, k) ->
+          if p > 0. && not (Hashtbl.mem index k) then begin
+            Hashtbl.add index k !next;
+            keys := k :: !keys;
+            incr next
+          end)
+        (problem.Designer.dist v))
+    problem.Designer.data;
+  let n = !next in
+  let rows =
+    List.map
+      (fun v ->
+        let row = Array.make n 0. in
+        List.iter
+          (fun (p, k) ->
+            if p > 0. then begin
+              let i = Hashtbl.find index k in
+              row.(i) <- row.(i) +. p
+            end)
+          (problem.Designer.dist v);
+        (row, problem.Designer.f v))
+      problem.Designer.data
+  in
+  let a = Array.of_list (List.map fst rows) in
+  let b = Array.of_list (List.map snd rows) in
+  (a, b, Array.of_list (List.rev !keys))
+
+let exists problem =
+  let a, b, _ = build_system problem in
+  Numerics.Simplex.solve_eq_nonneg a b <> None
+
+let find problem =
+  let a, b, keys = build_system problem in
+  match Numerics.Simplex.solve_eq_nonneg a b with
+  | None -> None
+  | Some x -> Some (Array.to_list (Array.mapi (fun i k -> (k, x.(i))) keys))
+
+let or2 v = if v.(0) > 0.5 || v.(1) > 0.5 then 1. else 0.
+let xor2 v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0.
+
+let or_unknown_seeds ~p1 ~p2 =
+  exists (Designer.Problems.binary_unknown_seeds ~probs:[| p1; p2 |] ~f:or2)
+
+let or_known_seeds ~p1 ~p2 =
+  exists (Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2)
+
+let xor_unknown_seeds ~p1 ~p2 =
+  exists (Designer.Problems.binary_unknown_seeds ~probs:[| p1; p2 |] ~f:xor2)
+
+let xor_known_seeds ~p1 ~p2 =
+  exists (Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:xor2)
+
+let lth_unknown_seeds ~r ~l ~p =
+  if Array.length p <> r then invalid_arg "Existence.lth_unknown_seeds";
+  if l < 1 || l > r then invalid_arg "Existence.lth_unknown_seeds: l out of range";
+  let f v =
+    let s = Array.copy v in
+    Array.sort (fun a b -> compare b a) s;
+    s.(l - 1)
+  in
+  exists (Designer.Problems.binary_unknown_seeds ~probs:p ~f)

@@ -1,0 +1,41 @@
+(** Existence oracle for nonnegative unbiased estimators.
+
+    A nonnegative unbiased estimator for a finite problem exists iff the
+    linear system
+
+    {v ∀v:  Σ_o Pr(o|v)·x_o = f(v),   x ≥ 0 v}
+
+    is feasible. This module decides that by LP (two-phase simplex),
+    turning Section 6's impossibility proofs (Theorem 6.1: no nonnegative
+    unbiased estimator for ℓth, ℓ < r, OR, or XOR/RG^d over independent
+    weighted samples with {e unknown} seeds) into machine-checkable
+    certificates — and confirming that the same functions {e are}
+    estimable once seeds are known. *)
+
+val exists : 'k Designer.problem -> bool
+(** Is there a nonnegative unbiased (bounded, since the problem is
+    finite) estimator for the problem? *)
+
+val find : 'k Designer.problem -> ('k * float) list option
+(** A witness estimator table when one exists. *)
+
+val or_unknown_seeds : p1:float -> p2:float -> bool
+(** Existence for OR of two bits under weighted sampling with unknown
+    seeds. Theorem 6.1: [false] iff p₁ + p₂ < 1 (our oracle confirms
+    feasibility when p₁ + p₂ ≥ 1). *)
+
+val or_known_seeds : p1:float -> p2:float -> bool
+(** Always [true] (Section 5.1 constructs the estimators). *)
+
+val xor_unknown_seeds : p1:float -> p2:float -> bool
+(** Existence for XOR (= RG over bits): [false] for all p < 1 (Section 6). *)
+
+val xor_known_seeds : p1:float -> p2:float -> bool
+(** XOR becomes estimable once seeds are known (both values are revealed
+    with probability p₁p₂) — completing the Section 6 picture: [true]. *)
+
+val lth_unknown_seeds : r:int -> l:int -> p:float array -> bool
+(** Existence for the ℓ-th largest entry over r independently weighted-
+    sampled bits with uniform-per-entry probabilities [p] and unknown
+    seeds. Theorem 6.1: false for ℓ < r when [p.(0) + p.(1) < 1];
+    min (ℓ = r) is always estimable. *)

@@ -1,0 +1,293 @@
+module O = Sampling.Outcome.Oblivious
+
+type outcome = O.t
+
+let determining_vector_l (o : outcome) =
+  let vals = O.sampled_values o in
+  let m = List.fold_left Float.max 0. vals in
+  Array.map (function Some v -> v | None -> m) o.values
+
+let check_r2 (o : outcome) =
+  if O.r o <> 2 then invalid_arg "Max_oblivious: expected r = 2 outcome"
+
+(* Eq. (12): for determining vector with larger entry [hi] (sampled with
+   probability [phi]) and smaller entry [lo],
+     est = hi/(phi·q) − lo·(1−phi)/(phi·q),  q = p1 + p2 − p1·p2. *)
+let l_r2 (o : outcome) =
+  check_r2 o;
+  match (o.values.(0), o.values.(1)) with
+  | None, None -> 0.
+  | _ ->
+      let phi = determining_vector_l o in
+      let p1 = o.probs.(0) and p2 = o.probs.(1) in
+      let q = p1 +. p2 -. (p1 *. p2) in
+      if phi.(0) >= phi.(1) then
+        (phi.(0) /. (p1 *. q)) -. (phi.(1) *. (1. -. p1) /. (p1 *. q))
+      else (phi.(1) /. (p2 *. q)) -. (phi.(0) *. (1. -. p2) /. (p2 *. q))
+
+module Coeffs = struct
+  type t = { r : int; p : float; alpha : float array; prefix : float array }
+
+  let r t = t.r
+  let p t = t.p
+  let alpha t = t.alpha
+  let prefix_sums t = t.prefix
+
+  (* Theorem 4.2 / Algorithm 3 COEFF. Arrays are 1-indexed internally
+     (slot 0 unused) to mirror the paper. *)
+  let compute ~r ~p =
+    if r < 1 then invalid_arg "Coeffs.compute: r must be >= 1";
+    if p <= 0. || p > 1. then invalid_arg "Coeffs.compute: p must be in (0,1]";
+    let a = Array.make (r + 1) 0. in
+    let qp = 1. -. p in
+    let one_minus_q_pow n = 1. -. Numerics.Special.pow_int qp n in
+    a.(r) <- 1. /. one_minus_q_pow r;
+    for k = 0 to r - 2 do
+      let t = ref 0. in
+      for l = 1 to k do
+        t :=
+          !t
+          +. Numerics.Special.binomial k l
+             *. Numerics.Special.pow_int (qp /. p) l
+             *. (a.(r - k + l) -. (one_minus_q_pow (r - k - 1) *. a.(r - k + l - 1)))
+      done;
+      a.(r - k - 1) <- (a.(r - k) +. !t) /. one_minus_q_pow (r - k - 1)
+    done;
+    let alpha =
+      Array.init r (fun i -> if i = 0 then a.(1) else a.(i + 1) -. a.(i))
+    in
+    { r; p; alpha; prefix = Array.init r (fun i -> a.(i + 1)) }
+
+  let lemma42_holds t =
+    let ht_coeff = 1. /. Numerics.Special.pow_int t.p t.r in
+    t.alpha.(0) <= ht_coeff +. 1e-9
+    && Array.for_all (fun a -> a < 1e-12) (Array.sub t.alpha 1 (t.r - 1))
+end
+
+let l_uniform (c : Coeffs.t) (o : outcome) =
+  let r = O.r o in
+  if r <> Coeffs.r c then invalid_arg "Max_oblivious.l_uniform: r mismatch";
+  Array.iter
+    (fun p ->
+      if not (Numerics.Special.float_equal p (Coeffs.p c)) then
+        invalid_arg "Max_oblivious.l_uniform: non-uniform probabilities")
+    o.probs;
+  let z = O.sampled_values o in
+  if z = [] then 0.
+  else begin
+    (* Sorted determining vector: |S| sampled values in non-increasing
+       order in the last slots, the maximum replicated in front. *)
+    let z = List.sort (fun a b -> compare b a) z in
+    let s = List.length z in
+    let u = Array.make r (List.hd z) in
+    List.iteri (fun i v -> u.(i + r - s) <- v) z;
+    let alpha = Coeffs.alpha c in
+    let acc = ref 0. in
+    for i = 0 to r - 1 do
+      acc := !acc +. (alpha.(i) *. u.(i))
+    done;
+    !acc
+  end
+
+(* r = 3, arbitrary probabilities: Theorem 4.1's prefix sums instantiated
+   from eqs. (16) and (18). The estimate on an outcome is Σ α_i(q)·φ_{π_i}
+   with φ the determining vector sorted non-increasingly, π its sorting
+   permutation, and q = π(p). *)
+let l_r3 (o : outcome) =
+  if O.r o <> 3 then invalid_arg "Max_oblivious.l_r3: r = 3 only";
+  if O.sampled_values o = [] then 0.
+  else begin
+    let phi = determining_vector_l o in
+    let p = o.probs in
+    (* Sorting permutation of φ (stable: ties keep index order — the
+       estimate is invariant to the choice by Theorem 4.1's symmetry). *)
+    let idx = [| 0; 1; 2 |] in
+    Array.sort
+      (fun a b -> match compare phi.(b) phi.(a) with 0 -> compare a b | c -> c)
+      idx;
+    let q = Array.map (fun i -> p.(i)) idx in
+    let a3 =
+      1. /. (1. -. ((1. -. q.(0)) *. (1. -. q.(1)) *. (1. -. q.(2))))
+    in
+    let a2 = a3 /. (1. -. ((1. -. q.(0)) *. (1. -. q.(1)))) in
+    (* A₂ with the last two probabilities exchanged. *)
+    let a2' = a3 /. (1. -. ((1. -. q.(0)) *. (1. -. q.(2)))) in
+    let a1 = (a2 +. a2' -. a3) /. q.(0) in
+    let alpha = [| a1; a2 -. a1; a3 -. a2 |] in
+    let acc = ref 0. in
+    for i = 0 to 2 do
+      acc := !acc +. (alpha.(i) *. phi.(idx.(i)))
+    done;
+    !acc
+  end
+
+let l (o : outcome) =
+  if O.r o = 2 then l_r2 o
+  else if O.r o = 3 then l_r3 o
+  else begin
+    let p = o.probs.(0) in
+    Array.iter
+      (fun pi ->
+        if not (Numerics.Special.float_equal pi p) then
+          invalid_arg "Max_oblivious.l: r > 3 requires uniform probabilities")
+      o.probs;
+    l_uniform (Coeffs.compute ~r:(O.r o) ~p) o
+  end
+
+module General = struct
+  type t = {
+    probs : float array;
+    r : int;
+    (* Memoized prefix sums, keyed by the prefix as a bitmask of entry
+       indices. *)
+    table : (int, float) Hashtbl.t;
+  }
+
+  let r t = t.r
+
+  let bits_of_mask r mask = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init r Fun.id)
+
+  (* A for the prefix [mask]; solves equation (17) with memoization.
+     The prefix must be nonempty. *)
+  let rec a t mask =
+    match Hashtbl.find_opt t.table mask with
+    | Some v -> v
+    | None ->
+        let v = compute t mask in
+        Hashtbl.replace t.table mask v;
+        v
+
+  and compute t mask =
+    let full = (1 lsl t.r) - 1 in
+    if mask = full then begin
+      (* Eq. (16): A_r = 1/(1 − Π(1−p_i)). *)
+      let prod =
+        Array.fold_left (fun acc p -> acc *. (1. -. p)) 1. t.probs
+      in
+      1. /. (1. -. prod)
+    end
+    else begin
+      (* S = prefix entries; t0 = one entry of the complement; K = the
+         rest of the complement. Equation (17):
+           0 = Σ_{U ⊆ K} w_U · (A(S∪U∪{t0}) − (1 − q_S)·A(S∪U))
+         where U is the unsampled pattern of K,
+         w_U = Π_{i∈U}(1−p_i)·Π_{i∈K∖U} p_i, and
+         q_S = Π_{i∈S}(1−p_i). The U = ∅ term's A(S) is the unknown. *)
+      let s_bits = bits_of_mask t.r mask in
+      if s_bits = [] then invalid_arg "General: empty prefix";
+      let comp = bits_of_mask t.r (lnot mask land ((1 lsl t.r) - 1)) in
+      let t0, ks = (List.hd comp, List.tl comp) in
+      let q_s =
+        List.fold_left (fun acc i -> acc *. (1. -. t.probs.(i))) 1. s_bits
+      in
+      let one_minus_qs = 1. -. q_s in
+      let k = List.length ks in
+      let karr = Array.of_list ks in
+      let acc = ref 0. in
+      let w_empty = ref 1. in
+      Array.iter (fun i -> w_empty := !w_empty *. t.probs.(i)) karr;
+      for upat = 0 to (1 lsl k) - 1 do
+        (* U = entries of K flagged in upat (unsampled). *)
+        let w = ref 1. in
+        let u_mask = ref 0 in
+        for j = 0 to k - 1 do
+          if upat land (1 lsl j) <> 0 then begin
+            w := !w *. (1. -. t.probs.(karr.(j)));
+            u_mask := !u_mask lor (1 lsl karr.(j))
+          end
+          else w := !w *. t.probs.(karr.(j))
+        done;
+        let up = a t (mask lor !u_mask lor (1 lsl t0)) in
+        acc := !acc +. (!w *. up);
+        if upat <> 0 then begin
+          let down = a t (mask lor !u_mask) in
+          acc := !acc -. (!w *. one_minus_qs *. down)
+        end
+      done;
+      (* 0 = acc − w_∅·(1−q_S)·A(S)  ⇒  A(S) = acc/(w_∅(1−q_S)). *)
+      !acc /. (!w_empty *. one_minus_qs)
+    end
+
+  let create ~probs =
+    Array.iter
+      (fun p ->
+        if p <= 0. || p > 1. then
+          invalid_arg "General.create: probabilities must be in (0,1]")
+      probs;
+    let t = { probs; r = Array.length probs; table = Hashtbl.create 64 } in
+    (* Force the full table now so estimates are pure lookups. *)
+    for mask = 1 to (1 lsl t.r) - 1 do
+      ignore (a t mask)
+    done;
+    t
+
+  let prefix_sum t indices =
+    let mask =
+      List.fold_left
+        (fun acc i ->
+          if i < 0 || i >= t.r then invalid_arg "General.prefix_sum: index";
+          if acc land (1 lsl i) <> 0 then
+            invalid_arg "General.prefix_sum: duplicate index";
+          acc lor (1 lsl i))
+        0 indices
+    in
+    if mask = 0 then invalid_arg "General.prefix_sum: empty prefix";
+    a t mask
+
+  let estimate t (o : outcome) =
+    if O.r o <> t.r then invalid_arg "General.estimate: r mismatch";
+    Array.iteri
+      (fun i p ->
+        if not (Numerics.Special.float_equal p t.probs.(i)) then
+          invalid_arg "General.estimate: probability mismatch")
+      o.O.probs;
+    if O.sampled_values o = [] then 0.
+    else begin
+      let phi = determining_vector_l o in
+      let idx = Array.init t.r Fun.id in
+      Array.sort
+        (fun x y ->
+          match compare phi.(y) phi.(x) with 0 -> compare x y | c -> c)
+        idx;
+      let acc = ref 0. in
+      let mask = ref 0 in
+      let prev = ref 0. in
+      Array.iter
+        (fun i ->
+          mask := !mask lor (1 lsl i);
+          let ai = a t !mask in
+          acc := !acc +. ((ai -. !prev) *. phi.(i));
+          prev := ai)
+        idx;
+      !acc
+    end
+end
+
+let u_r2 (o : outcome) =
+  check_r2 o;
+  let p1 = o.probs.(0) and p2 = o.probs.(1) in
+  let c = 1. +. Float.max 0. (1. -. p1 -. p2) in
+  match (o.values.(0), o.values.(1)) with
+  | None, None -> 0.
+  | Some v1, None -> v1 /. (p1 *. c)
+  | None, Some v2 -> v2 /. (p2 *. c)
+  | Some v1, Some v2 ->
+      (Float.max v1 v2 -. (((v1 *. (1. -. p2)) +. (v2 *. (1. -. p1))) /. c))
+      /. (p1 *. p2)
+
+let u_asym_r2 (o : outcome) =
+  check_r2 o;
+  let p1 = o.probs.(0) and p2 = o.probs.(1) in
+  let d = Float.max (1. -. p1) p2 in
+  match (o.values.(0), o.values.(1)) with
+  | None, None -> 0.
+  | Some v1, None -> v1 /. p1
+  | None, Some v2 -> v2 /. d
+  | Some v1, Some v2 ->
+      (Float.max v1 v2 -. (p2 *. (1. -. p1) /. d *. v2) -. ((1. -. p2) *. v1))
+      /. (p1 *. p2)
+
+let var_of est ~probs ~v = (Exact.oblivious ~probs ~v est).Exact.var
+let var_l_r2 ~probs ~v = var_of l_r2 ~probs ~v
+let var_u_r2 ~probs ~v = var_of u_r2 ~probs ~v
+let var_ht_r2 ~probs ~v = var_of Ht.max_oblivious ~probs ~v

@@ -1,0 +1,122 @@
+(** Pareto-optimal estimators for [max(v)] under weight-oblivious Poisson
+    sampling (Section 4).
+
+    Two incomparable Pareto-optimal families:
+
+    - [max^(L)] (Section 4.1) prioritizes {e dense} data vectors (entries
+      close to each other): order-based with respect to the number of
+      entries strictly below the maximum. Monotone, nonnegative,
+      dominates [max^(HT)].
+    - [max^(U)] (Section 4.2) prioritizes {e sparse} vectors (few positive
+      entries): ordered-partition by the number of positive entries. The
+      symmetric variant [u_r2] and the asymmetric order-based variant
+      [u_asym_r2] are both Pareto optimal; [u_r2] balances variance across
+      symmetric vectors.
+
+    For [max^(L)] the module implements the general-[r] uniform-[p]
+    coefficient recursion of Theorem 4.2 (Algorithm 3, O(r²)) and the
+    closed form (12) for r = 2 with arbitrary (p₁, p₂). *)
+
+type outcome = Sampling.Outcome.Oblivious.t
+
+val determining_vector_l : outcome -> float array
+(** The ≺-minimal consistent vector φ(S) for the L order: sampled entries
+    keep their values; unsampled entries are set to the largest sampled
+    value (all zeros for the empty outcome). *)
+
+val l_r2 : outcome -> float
+(** [max^(L)] for r = 2, arbitrary (p₁, p₂) — eq. (12). *)
+
+(** Coefficients of the uniform-[p] estimator (Theorem 4.2). *)
+module Coeffs : sig
+  type t
+
+  val compute : r:int -> p:float -> t
+  (** O(r²) recursion (20) for the prefix sums A_i, then α_i = A_i −
+      A_{i−1}. Requires [r ≥ 1] and [p ∈ (0,1]]. *)
+
+  val r : t -> int
+  val p : t -> float
+  val alpha : t -> float array
+  (** α₁..α_r (index 0 = α₁). The estimate on an outcome with sorted
+      determining vector u is [Σ α_i u_i]. *)
+
+  val prefix_sums : t -> float array
+  (** A₁..A_r; A_h = Σ_{i≤h} α_i. *)
+
+  val lemma42_holds : t -> bool
+  (** Lemma 4.2 sufficient conditions for monotonicity, nonnegativity and
+      dominance over HT: α_i < 0 for i > 1 and α₁ ≤ 1/p^r. (The paper
+      verified them for r ≤ 4; our tests extend to r = 8.) *)
+end
+
+val l_uniform : Coeffs.t -> outcome -> float
+(** [max^(L)] for uniform p, any r (Algorithm 3's EST): 0 on the empty
+    outcome; otherwise apply the coefficients to the sorted determining
+    vector. The outcome's probabilities must all equal [Coeffs.p]. *)
+
+val l_r3 : outcome -> float
+(** [max^(L)] for r = 3 with {e arbitrary} (p₁, p₂, p₃) — the general
+    prefix-sum recursion of Theorem 4.1 instantiated at r = 3:
+
+    {v A₃(q) = 1/(1 − (1−q₁)(1−q₂)(1−q₃))        (eq. 16)
+       A₂(q) = A₃(q)/(1 − (1−q₁)(1−q₂))           (eq. 18)
+       A₁(q) = (A₂(q) + A₂(q₁,q₃,q₂) − A₃(q))/q₁  (eq. after 18) v}
+
+    where [q] is the probability vector permuted like the sorted
+    determining vector. The paper states the recursion but tabulates
+    coefficients only for uniform p; this instantiation is verified
+    unbiased by exhaustive enumeration and against both {!l_uniform} and
+    the Algorithm 1 engine in the tests. *)
+
+val l : outcome -> float
+(** Dispatch: r = 2 uses {!l_r2}, r = 3 uses {!l_r3}; r > 3 requires
+    uniform probabilities (raises [Invalid_argument] otherwise) and
+    computes coefficients on the fly — use {!l_uniform} with precomputed
+    {!Coeffs.t} in hot loops, or {!General} for arbitrary probabilities
+    at any r. *)
+
+(** The complete Theorem 4.1 estimator: [max^(L)] for {e any} r and
+    {e arbitrary} per-entry probabilities, by memoized solving of the
+    prefix-sum equation (17).
+
+    The prefix sums [A_{h,π(p)}] are symmetric in their first [h] and
+    last [r−h] probabilities (Theorem 4.1), so they are indexed by the
+    {e set} of entries forming the prefix; each value is determined by a
+    linear equation over larger prefixes, obtained by comparing data
+    vectors [z]/[z′] that differ in one coordinate (the paper's induction
+    step), with the sum running over sampled/unsampled patterns of the
+    strictly-smaller entries. Solving all [2^r] prefix sets costs
+    [O(3^r)] — exact, and instantaneous for the r ≤ 12 of practical
+    multi-instance queries. Specializes to (12), {!l_r3} and the
+    Theorem 4.2 uniform coefficients (verified in the tests). *)
+module General : sig
+  type t
+
+  val create : probs:float array -> t
+  (** Precompute the prefix-sum table for a probability vector
+      (all entries in (0,1]). *)
+
+  val r : t -> int
+
+  val prefix_sum : t -> int list -> float
+  (** [A] for the prefix formed by the given entry indices (duplicates
+      rejected); exposed for testing against the closed forms. *)
+
+  val estimate : t -> outcome -> float
+  (** The [max^(L)] estimate: coefficients from consecutive prefix sums
+      along the sorting permutation of the determining vector. *)
+end
+
+val u_r2 : outcome -> float
+(** Symmetric [max^(U)], r = 2 (Section 4.2 final table). *)
+
+val u_asym_r2 : outcome -> float
+(** Asymmetric order-based [max^(Uas)], r = 2 (vectors (v,0) processed
+    before (0,v)). *)
+
+val var_l_r2 : probs:float array -> v:float array -> float
+(** Exact variance of {!l_r2} on data [v] (by outcome enumeration). *)
+
+val var_u_r2 : probs:float array -> v:float array -> float
+val var_ht_r2 : probs:float array -> v:float array -> float

@@ -1,0 +1,71 @@
+module P = Sampling.Outcome.Pps
+
+type outcome = P.t
+
+let check_r2 (o : outcome) =
+  if P.r o <> 2 then invalid_arg "Max_pps: r = 2 only"
+
+let determining_vector (o : outcome) =
+  check_r2 o;
+  match (o.values.(0), o.values.(1)) with
+  | None, None -> [| 0.; 0. |]
+  | Some v1, Some v2 -> [| v1; v2 |]
+  | Some v1, None -> [| v1; Float.min (o.seeds.(1) *. o.taus.(1)) v1 |]
+  | None, Some v2 -> [| Float.min (o.seeds.(0) *. o.taus.(0)) v2; v2 |]
+
+(* Eq. (25): determining vector with two equal entries (v,v). [tau1] is
+   the threshold of the entry listed first in the derivation; the
+   expression is symmetric in the thresholds. *)
+let equal_values_estimate ~tau1 ~tau2 v =
+  if v <= 0. then 0.
+  else begin
+    let p1 = Float.min 1. (v /. tau1) in
+    let p2 = Float.min 1. (v /. tau2) in
+    v /. (p1 +. ((1. -. p1) *. p2))
+  end
+
+let estimate_det ~tau_hi ~tau_lo ~hi ~lo =
+  if lo > hi then invalid_arg "Max_pps.estimate_det: lo > hi";
+  if hi <= 0. then 0.
+  else if hi = lo then equal_values_estimate ~tau1:tau_hi ~tau2:tau_lo hi
+  else if lo >= tau_lo then
+    (* Case v1 ≥ v2 ≥ τ2: eq. (26). *)
+    lo +. ((hi -. lo) /. Float.min 1. (hi /. tau_hi))
+  else if hi >= tau_hi then
+    (* Case v1 ≥ τ1, v2 ≤ min(τ2, v1). *)
+    hi
+  else begin
+    let t1 = tau_hi and t2 = tau_lo in
+    let tt = t1 *. t2 in
+    let s = t1 +. t2 in
+    if hi <= t2 then
+      (* Case v2 ≤ v1 ≤ min(τ1,τ2): eq. (29). Requires lo > 0, which holds
+         for every achievable determining vector with hi > 0. *)
+      (tt /. (s -. hi))
+      +. (tt *. (t1 -. hi) /. (hi *. s)
+         *. log ((s -. lo) *. hi /. (lo *. (s -. hi))))
+      +. ((hi -. lo) *. tt *. (t1 -. hi) /. (hi *. (s -. lo) *. (s -. hi)))
+    else
+      (* Case v2 ≤ τ2 ≤ v1 ≤ τ1: eq. (30), with a correction. The paper's
+         printed evaluation of ∫_{v−τ2}^{∆} dx/((s−v+x)²(v−x)) has a typo
+         in the logarithm's argument: the correct antiderivative
+         s⁻²·ln(y/(s−y)) − 1/(s·y) evaluated from y₀ = τ1 to y₁ = s − lo
+         gives ln((s−lo)·τ2/(τ1·lo)), which satisfies the boundary
+         condition g(v−τ2) = τ1+τ2−τ1τ2/v (the printed form does not).
+         Unbiasedness of this corrected form is verified by seed-space
+         quadrature in the tests. *)
+      t1 +. t2 -. (tt /. hi)
+      +. (tt *. (t1 -. hi) /. (hi *. s)
+         *. log ((s -. lo) *. t2 /. (t1 *. lo)))
+      +. (t2 *. (t1 -. hi) *. (t2 -. lo) /. ((s -. lo) *. hi))
+  end
+
+let l (o : outcome) =
+  check_r2 o;
+  let phi = determining_vector o in
+  if phi.(0) >= phi.(1) then
+    estimate_det ~tau_hi:o.taus.(0) ~tau_lo:o.taus.(1) ~hi:phi.(0) ~lo:phi.(1)
+  else estimate_det ~tau_hi:o.taus.(1) ~tau_lo:o.taus.(0) ~hi:phi.(1) ~lo:phi.(0)
+
+let var_l ?tol ~taus ~v () = (Exact.pps ?tol ~taus ~v l).Exact.var
+let var_ht ~taus ~v = Ht.max_pps_variance ~taus ~v

@@ -1,0 +1,50 @@
+(** [max^(L)] under independent weighted PPS Poisson sampling with known
+    seeds, r = 2 (Section 5.2, Figure 3, Appendix A).
+
+    The outcome reveals the sampled values and, through the seeds, a
+    strict upper bound [u_i·τ*_i] on each unsampled value. The order-based
+    estimator with respect to the sorted multiset of differences
+    [max(v) − v_i] maps each outcome to its determining vector φ(S) (the
+    ≺-minimal consistent vector) and applies a closed-form estimate that
+    is piecewise algebraic with logarithmic terms (eqs. 25, 26, 29, 30).
+
+    [max^(L)] dominates [max^(HT)] ({!Ht.max_pps}) when the thresholds
+    are equal — the setting of the paper's claim. With strongly unequal
+    thresholds dominance can fail (e.g. τ = (1,3), v = (0, 0.9) gives
+    Var[L] ≈ 1.31·Var[HT]; verified by quadrature and Monte Carlo —
+    Pareto optimality is not contradicted). With
+    [τ*₁ = τ*₂ = τ*] and [ρ = max(v)/τ* < 1] the variance ratio
+    Var[HT]/Var[L] grows with min(v)/max(v) and reaches [≈ 2/ρ] near
+    equal values. Note an erratum: Section 5.2 claims the estimator is
+    two-valued on data [(ρτ*, 0)] (hence Var = (ρ−ρ²)τ*² and a ratio
+    floor of [(1+ρ)/ρ] at min = 0), but by the paper's own Figure 3 table
+    the estimate on a one-entry outcome varies with the revealed bound
+    [u·τ*] of the unsampled entry, so the variance at min = 0 is strictly
+    larger (verified here by exact quadrature and Monte Carlo); the
+    measured ratio floor at min = 0 is ≈ 1.92–2.0 across ρ. See
+    EXPERIMENTS.md. *)
+
+type outcome = Sampling.Outcome.Pps.t
+
+val determining_vector : outcome -> float array
+(** φ(S): 0 on the empty outcome; otherwise sampled entries keep their
+    values and unsampled entry [i] becomes [min(max sampled, u_i·τ*_i)]. *)
+
+val estimate_det : tau_hi:float -> tau_lo:float -> hi:float -> lo:float -> float
+(** The Figure 3 estimate as a function of the determining vector:
+    [hi ≥ lo] are the two entries, [tau_hi]/[tau_lo] their PPS
+    thresholds. Exposed for direct testing of each closed-form case. *)
+
+val l : outcome -> float
+(** The estimator: [estimate_det] applied to the determining vector. *)
+
+val equal_values_estimate : tau1:float -> tau2:float -> float -> float
+(** Eq. (25): the estimate for determining vectors (v,v); exposed for
+    tests. *)
+
+val var_l : ?tol:float -> taus:float array -> v:float array -> unit -> float
+(** Exact variance of {!l} on data [v] (seed-space quadrature). *)
+
+val var_ht : taus:float array -> v:float array -> float
+(** Closed-form variance of the HT baseline (same as
+    {!Ht.max_pps_variance}). *)

@@ -1,0 +1,50 @@
+module O = Sampling.Outcome.Oblivious
+
+type outcome = O.t
+
+let check_binary (o : outcome) =
+  Array.iter
+    (function
+      | Some v when v <> 0. && v <> 1. ->
+          invalid_arg "Or_oblivious: values must be 0/1"
+      | _ -> ())
+    o.values
+
+let ht (o : outcome) =
+  check_binary o;
+  Ht.max_oblivious o
+
+let l_r2 (o : outcome) =
+  check_binary o;
+  Max_oblivious.l_r2 o
+
+let u_r2 (o : outcome) =
+  check_binary o;
+  Max_oblivious.u_r2 o
+
+let l_uniform c (o : outcome) =
+  check_binary o;
+  Max_oblivious.l_uniform c o
+
+let l_general g (o : outcome) =
+  check_binary o;
+  Max_oblivious.General.estimate g o
+
+let var_ht ~probs =
+  let pall = Array.fold_left ( *. ) 1. probs in
+  (1. /. pall) -. 1.
+
+let var_l_11 ~p1 ~p2 =
+  let q = p1 +. p2 -. (p1 *. p2) in
+  (1. /. q) -. 1.
+
+let var_l_10 ~p1 ~p2 =
+  (Exact.oblivious ~probs:[| p1; p2 |] ~v:[| 1.; 0. |] l_r2).Exact.var
+
+let var_u_11 ~p1 ~p2 =
+  (Exact.oblivious ~probs:[| p1; p2 |] ~v:[| 1.; 1. |] u_r2).Exact.var
+
+let var_u_10 ~p1 ~p2 =
+  (Exact.oblivious ~probs:[| p1; p2 |] ~v:[| 1.; 0. |] u_r2).Exact.var
+
+let to_binary_outcome = Sampling.Outcome.Binary.to_oblivious

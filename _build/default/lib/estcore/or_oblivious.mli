@@ -1,0 +1,49 @@
+(** Estimators for Boolean [OR(v) = v₁ ∨ ... ∨ v_r] over weight-oblivious
+    Poisson samples (Section 4.3).
+
+    OR is max restricted to the domain {0,1}^r, and the max estimators
+    specialize to it while remaining Pareto optimal on the restricted
+    domain. [OR^(L)] has minimum variance on the all-ones vector ("no
+    change"); [OR^(U)] is the symmetric estimator with minimum variance on
+    the single-one vectors ("change"). Both dominate [OR^(HT)]:
+    asymptotically for p → 0 on two entries, Var[HT] ≈ 1/p² while
+    Var[L], Var[U] ≈ 1/(4p²) on (1,0) and ≈ 1/(2p) on (1,1). *)
+
+type outcome = Sampling.Outcome.Oblivious.t
+
+val ht : outcome -> float
+(** [OR^(HT)]: [1/Π p_i] when every entry is sampled and some sampled
+    value is 1; else 0. *)
+
+val l_r2 : outcome -> float
+(** [OR^(L)], r = 2, arbitrary (p₁,p₂) — specialization of max^(L). *)
+
+val u_r2 : outcome -> float
+(** [OR^(U)], r = 2, arbitrary (p₁,p₂). *)
+
+val l_uniform : Max_oblivious.Coeffs.t -> outcome -> float
+(** [OR^(L)] for any r with uniform p (binary values required). *)
+
+val l_general : Max_oblivious.General.t -> outcome -> float
+(** [OR^(L)] for any r with {e arbitrary} per-entry probabilities, via
+    the general Theorem 4.1 solver (binary values required). *)
+
+val var_ht : probs:float array -> float
+(** Eq. (23): variance of OR^(HT) on any data with OR(v) = 1. *)
+
+val var_l_11 : p1:float -> p2:float -> float
+(** Eq. (24): Var[OR^(L) | (1,1)] = 1/(p₁+p₂−p₁p₂) − 1. *)
+
+val var_l_10 : p1:float -> p2:float -> float
+(** Var[OR^(L) | (1,0)] (Section 4.3 display): the entry with value 1 is
+    entry 1. *)
+
+val var_u_11 : p1:float -> p2:float -> float
+(** Var[OR^(U) | (1,1)] (exact, via enumeration). *)
+
+val var_u_10 : p1:float -> p2:float -> float
+(** Var[OR^(U) | (1,0)]. *)
+
+val to_binary_outcome : Sampling.Outcome.Binary.t -> outcome
+(** View a binary weighted known-seeds outcome as the equivalent
+    weight-oblivious outcome (the 1-1 mapping of Section 5). *)

@@ -1,0 +1,26 @@
+module B = Sampling.Outcome.Binary
+
+type outcome = B.t
+
+let check_r2 (o : outcome) = if B.r o <> 2 then invalid_arg "Or_weighted: r = 2 only"
+
+(* All three estimators are the Section 4.3 estimators transported through
+   the outcome mapping of Section 5: apply the oblivious estimator to the
+   mapped outcome. The closed-form tables in Section 5.1 are what this
+   evaluates to; tests check the correspondence case by case. *)
+let ht (o : outcome) =
+  check_r2 o;
+  Or_oblivious.ht (B.to_oblivious o)
+
+let l (o : outcome) =
+  check_r2 o;
+  Or_oblivious.l_r2 (B.to_oblivious o)
+
+let u (o : outcome) =
+  check_r2 o;
+  Or_oblivious.u_r2 (B.to_oblivious o)
+
+let var_of est ~p1 ~p2 ~v = (Exact.binary ~probs:[| p1; p2 |] ~v est).Exact.var
+let var_l ~p1 ~p2 ~v = var_of l ~p1 ~p2 ~v
+let var_u ~p1 ~p2 ~v = var_of u ~p1 ~p2 ~v
+let var_ht ~p1 ~p2 ~v = var_of ht ~p1 ~p2 ~v

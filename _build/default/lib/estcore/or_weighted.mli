@@ -1,0 +1,36 @@
+(** Estimators for Boolean OR under {e weighted} Poisson sampling with
+    known seeds, r = 2 (Section 5.1).
+
+    With binary data, weighted sampling with known seeds is equivalent to
+    weight-oblivious sampling through a 1-1 outcome mapping: entry [i] is
+    "obliviously sampled" iff [u_i ≤ p_i]; its value is 1 if actually
+    sampled and 0 otherwise. The OR estimators transfer verbatim and keep
+    their variance (and optimality). Zero-valued entries never enter the
+    sample itself — knowledge of the seeds compensates.
+
+    These are the per-key estimators behind the distinct-count
+    application (Section 8.1). *)
+
+type outcome = Sampling.Outcome.Binary.t
+
+val ht : outcome -> float
+(** [OR^(HT)]: [1/(p₁p₂)] when [u_i ≤ p_i] for both entries and at least
+    one is sampled; else 0. *)
+
+val l : outcome -> float
+(** [OR^(L)] (Section 5.1 table):
+    - ∅: 0
+    - one entry sampled, other's seed above its p (value unknown), or both
+      sampled: [1/(p₁+p₂−p₁p₂)]
+    - entry i sampled, other's seed below p (other value known 0):
+      [1/(p_i(p₁+p₂−p₁p₂))]. *)
+
+val u : outcome -> float
+(** [OR^(U)] (Section 5.1 table), with [c = 1 + max(0, 1−p₁−p₂)]. *)
+
+val var_l : p1:float -> p2:float -> v:int array -> float
+(** Exact variance of {!l} on binary data [v] — equals the
+    weight-oblivious variance (Section 5.1). *)
+
+val var_u : p1:float -> p2:float -> v:int array -> float
+val var_ht : p1:float -> p2:float -> v:int array -> float

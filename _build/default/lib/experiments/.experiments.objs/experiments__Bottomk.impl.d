@@ -1,0 +1,1 @@
+lib/experiments/bottomk.ml: Aggregates Format Numerics Printf Sampling Workload

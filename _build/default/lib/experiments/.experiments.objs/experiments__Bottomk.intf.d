@@ -1,0 +1,1 @@
+lib/experiments/bottomk.mli: Format

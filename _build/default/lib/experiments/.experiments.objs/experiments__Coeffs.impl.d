@@ -1,0 +1,1 @@
+lib/experiments/coeffs.ml: Array Estcore Float Format List Numerics Printf String

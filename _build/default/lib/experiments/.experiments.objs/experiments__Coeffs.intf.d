@@ -1,0 +1,1 @@
+lib/experiments/coeffs.mli: Format

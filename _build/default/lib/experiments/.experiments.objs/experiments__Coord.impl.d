@@ -1,0 +1,1 @@
+lib/experiments/coord.ml: Aggregates Estcore Format List Sampling Workload

@@ -1,0 +1,1 @@
+lib/experiments/coord.mli: Format Workload

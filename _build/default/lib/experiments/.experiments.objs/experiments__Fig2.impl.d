@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Estcore Format List

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Estcore Float Format List Numerics Sampling

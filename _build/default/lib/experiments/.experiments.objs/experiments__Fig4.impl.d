@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Estcore Format List

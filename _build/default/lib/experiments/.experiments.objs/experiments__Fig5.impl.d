@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Aggregates Array Float Format List Sampling String

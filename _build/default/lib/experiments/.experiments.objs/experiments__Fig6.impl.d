@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Aggregates Array Format List

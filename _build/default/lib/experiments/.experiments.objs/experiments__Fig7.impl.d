@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Aggregates Float Format List Numerics Sampling Workload

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Fig1 Fig2 Fig4 Fig6 Fig7 Filename List Multiperiod Plot Printf Sys Workload

@@ -1,0 +1,1 @@
+lib/experiments/multiperiod.ml: Aggregates Array Estcore Format Fun Hashtbl List Numerics Option Sampling

@@ -1,0 +1,1 @@
+lib/experiments/quantiles.ml: Array Estcore Float Format List String

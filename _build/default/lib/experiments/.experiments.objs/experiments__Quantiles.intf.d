@@ -1,0 +1,1 @@
+lib/experiments/quantiles.mli: Format

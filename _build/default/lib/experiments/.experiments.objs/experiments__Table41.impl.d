@@ -1,0 +1,1 @@
+lib/experiments/table41.ml: Array Estcore Float Format List Numerics Sampling

@@ -1,0 +1,1 @@
+lib/experiments/table41.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/table42.ml: Array Estcore Float Format List Numerics Sampling

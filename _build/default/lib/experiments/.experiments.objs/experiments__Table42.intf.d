@@ -1,0 +1,1 @@
+lib/experiments/table42.mli: Format

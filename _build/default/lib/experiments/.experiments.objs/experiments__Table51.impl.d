@@ -1,0 +1,1 @@
+lib/experiments/table51.ml: Array Estcore Float Format List Numerics Sampling

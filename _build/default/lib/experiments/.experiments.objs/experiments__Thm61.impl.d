@@ -1,0 +1,1 @@
+lib/experiments/thm61.ml: Array Estcore Format List

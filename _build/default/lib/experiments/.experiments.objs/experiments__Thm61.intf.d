@@ -1,0 +1,1 @@
+lib/experiments/thm61.mli: Format

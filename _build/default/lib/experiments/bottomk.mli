@@ -1,0 +1,22 @@
+(** Experiment E16 (extension) — fixed-size (bottom-k / priority) samples
+    driving the Section 8 applications, via rank conditioning
+    (Section 7.1): the (k+1)-smallest rank acts as a per-instance
+    threshold and all the Poisson estimators apply unchanged. The paper
+    states "results are the same for priority sampling" under Figure 7;
+    this experiment substantiates that: bottom-k estimates are unbiased
+    (empirically, over many hash masters) with variance close to the
+    Poisson exact values at the same expected sample size. *)
+
+type row = {
+  label : string;
+  truth : float;
+  mean : float;  (** empirical mean over masters *)
+  rel_sd : float;  (** empirical sd / truth *)
+  predicted_rel_sd : float;  (** Poisson exact at the same sample size; nan when n/a *)
+}
+
+val distinct_bottom_k : ?n:int -> ?jaccard:float -> ?k:int -> ?masters:int -> unit -> row
+val maxdom_priority : ?k:int -> ?masters:int -> unit -> row * row
+(** [(L-estimator row, HT-estimator row)] on the small traffic replica. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,16 @@
+(** Experiment E13 — Theorem 4.2 / Lemma 4.2: the uniform-p coefficient
+    recursion for [max^(L)] at general r. Prints the coefficients,
+    verifies the r = 2, 3 parametric closed forms, checks unbiasedness by
+    exhaustive enumeration up to r = 6, and extends the paper's r ≤ 4
+    verification of the Lemma 4.2 conditions (α₁ ≤ p^{-r}, α_i < 0 for
+    i > 1, hence monotonicity / nonnegativity / dominance over HT) to
+    r ≤ 8 over a p grid. *)
+
+val lemma42_grid : ?rs:int list -> ?ps:float list -> unit -> (int * float * bool) list
+
+val closed_forms_match : p:float -> bool
+(** r = 2 and r = 3 parametric forms (Section 4.1) vs the recursion. *)
+
+val unbiased_up_to : ?rmax:int -> p:float -> unit -> bool
+
+val run : Format.formatter -> unit

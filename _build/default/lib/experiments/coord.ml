@@ -1,0 +1,124 @@
+module DC = Aggregates.Distinct
+
+type distinct_row = {
+  p : float;
+  var_coord : float;
+  var_l : float;
+  var_ht : float;
+}
+
+let distinct_series ?(jaccard = 0.5) ?(n = 10_000) ?(ps = [ 0.01; 0.02; 0.05; 0.1; 0.2 ]) () =
+  let a, b = Workload.Setpairs.pair ~n ~jaccard in
+  let d = float_of_int (Workload.Setpairs.union_size a b) in
+  let j = Sampling.Instance.jaccard a b in
+  List.map
+    (fun p ->
+      {
+        p;
+        var_coord = DC.var_coordinated ~d ~p;
+        var_l = DC.var_l ~d ~jaccard:j ~p1:p ~p2:p;
+        var_ht = DC.var_ht ~d ~p1:p ~p2:p;
+      })
+    ps
+
+type maxdom_row = {
+  percent : float;
+  nvar_coord : float;
+  nvar_l : float;
+  nvar_ht : float;
+}
+
+let small_traffic =
+  {
+    Workload.Traffic.default with
+    Workload.Traffic.n_shared = 2_200;
+    n_only = 2_700;
+    total_per_hour = 1.1e5;
+  }
+
+let maxdom_series ?(percents = [ 1.; 5.; 20. ]) ?(params = small_traffic) () =
+  let ((a, b) as pair) = Workload.Traffic.generate params in
+  ignore pair;
+  let instances = [ a; b ] in
+  let truth = Sampling.Instance.max_dominance instances in
+  List.map
+    (fun percent ->
+      let k inst =
+        percent /. 100. *. float_of_int (Sampling.Instance.cardinality inst)
+      in
+      let taus =
+        [|
+          Sampling.Poisson.tau_for_expected_size a (k a);
+          Sampling.Poisson.tau_for_expected_size b (k b);
+        |]
+      in
+      let vht, vl =
+        Aggregates.Dominance.exact_variances ~taus ~instances
+          ~select:(fun _ -> true)
+      in
+      let vc =
+        Aggregates.Dominance.exact_variance_coordinated ~taus ~instances
+          ~select:(fun _ -> true)
+      in
+      let t2 = truth *. truth in
+      {
+        percent;
+        nvar_coord = vc /. t2;
+        nvar_l = vl /. t2;
+        nvar_ht = vht /. t2;
+      })
+    percents
+
+let decomposable_penalty ~p ~v1 ~v2 =
+  let var i = Estcore.Ht.single_variance ~p ~value:i in
+  let cov = Estcore.Coordinated.sum_covariance ~p1:p ~p2:p ~v1 ~v2 ~shared:true in
+  let indep = var v1 +. var v2 in
+  (indep +. (2. *. cov)) /. indep
+
+let run ppf =
+  Format.fprintf ppf
+    "=== E15 (extension): coordination ablation — §7.2 quantified ===@.";
+  Format.fprintf ppf "@.Distinct count, n = 10k per set, J = 0.5 (exact Var):@.";
+  Format.fprintf ppf "%-8s %-14s %-14s %-14s %-18s@." "p" "coordinated"
+    "indep OR(L)" "indep OR(HT)" "coord/L advantage";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8.2f %-14.4e %-14.4e %-14.4e %-18.2f@." r.p
+        r.var_coord r.var_l r.var_ht
+        (r.var_l /. r.var_coord))
+    (distinct_series ());
+  Format.fprintf ppf "@.Max dominance on traffic (normalized exact Var):@.";
+  Format.fprintf ppf "%-10s %-14s %-14s %-14s@." "% sampled" "coordinated"
+    "indep max(L)" "indep max(HT)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10.1f %-14.4e %-14.4e %-14.4e@." r.percent
+        r.nvar_coord r.nvar_l r.nvar_ht)
+    (maxdom_series ());
+  Format.fprintf ppf
+    "@.Decomposable-query penalty Var_shared/Var_indep of v̂1+v̂2 per key:@.";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  p = %.2f: equal values %.3f, 4:1 values %.3f@." p
+        (decomposable_penalty ~p ~v1:1. ~v2:1.)
+        (decomposable_penalty ~p ~v1:4. ~v2:1.))
+    [ 0.05; 0.2; 0.5 ];
+  Format.fprintf ppf "@.Per-key-class picture (distinct count, exact):@.";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  p = %.2f: (1,0) keys — coord %.2f vs indep-L %.2f; (1,1) keys — \
+         coord %.2f vs indep-L %.2f@."
+        p
+        (DC.var_coordinated ~d:1. ~p)
+        (Estcore.Or_oblivious.var_l_10 ~p1:p ~p2:p)
+        (DC.var_coordinated ~d:1. ~p)
+        (Estcore.Or_oblivious.var_l_11 ~p1:p ~p2:p))
+    [ 0.05; 0.2 ];
+  Format.fprintf ppf
+    "(coordination boosts multi-instance queries — dramatically so on \
+     keys the instances disagree on, where independent samples cannot \
+     combine their partial information — while independent sampling \
+     retains a factor ≈ 2 on keys with identical values (two chances to \
+     sample) and is strictly better for decomposable queries: the §7.2 \
+     trade-off, quantified)@."

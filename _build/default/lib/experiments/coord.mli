@@ -1,0 +1,34 @@
+(** Experiment E15 (extension) — coordination ablation, quantifying the
+    Section 7.2 claims:
+
+    - multi-instance queries (distinct count, max dominance) get sharply
+      better with coordinated (shared-seed) samples than with independent
+      samples — even against the optimal independent L estimators;
+    - decomposable queries (sums over instances) get {e worse}, because
+      coordinated per-instance estimates are positively correlated. *)
+
+type distinct_row = {
+  p : float;
+  var_coord : float;
+  var_l : float;  (** independent samples, OR^(L) *)
+  var_ht : float;  (** independent samples, OR^(HT) *)
+}
+
+val distinct_series : ?jaccard:float -> ?n:int -> ?ps:float list -> unit -> distinct_row list
+(** Exact variances of the three distinct-count estimators on a set pair. *)
+
+type maxdom_row = {
+  percent : float;
+  nvar_coord : float;
+  nvar_l : float;
+  nvar_ht : float;
+}
+
+val maxdom_series :
+  ?percents:float list -> ?params:Workload.Traffic.params -> unit -> maxdom_row list
+
+val decomposable_penalty : p:float -> v1:float -> v2:float -> float
+(** Var[v̂₁+v̂₂ | shared seed] / Var[v̂₁+v̂₂ | independent] for one key —
+    always ≥ 1; equals [1 + 2·Cov/(Var₁+Var₂)]. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,66 @@
+module MO = Estcore.Max_oblivious
+
+type row = { ratio : float; l_over_ht : float; u_over_ht : float }
+
+let probs = [| 0.5; 0.5 |]
+
+let series ?(steps = 50) () =
+  List.init (steps + 1) (fun i ->
+      let ratio = float_of_int i /. float_of_int steps in
+      let v = [| 1.; ratio |] in
+      let vht = MO.var_ht_r2 ~probs ~v in
+      let vl = MO.var_l_r2 ~probs ~v in
+      let vu = MO.var_u_r2 ~probs ~v in
+      { ratio; l_over_ht = vl /. vht; u_over_ht = vu /. vht })
+
+let variance_closed_forms ~mx ~mn =
+  let var_ht = 3. *. mx *. mx in
+  let var_l =
+    ((11. /. 9.) *. mx *. mx) +. ((8. /. 9.) *. mn *. mn)
+    -. ((16. /. 9.) *. mx *. mn)
+  in
+  (* Erratum: the paper prints Var[U] = (3/4)max² + 2min² − 2max·min, but
+     evaluating its own outcome table (0 / 2v₁ / 2v₂ / 2max−2min at
+     probability 1/4 each) gives max² + 2min² − 2max·min; moreover no
+     nonnegative unbiased estimator can beat max² on (v,0) here, since the
+     outcomes ∅ and S={2} (value 0) are consistent with the zero vector
+     and must estimate 0. We use the table-consistent formula. *)
+  let var_u = (mx *. mx) +. (2. *. mn *. mn) -. (2. *. mx *. mn) in
+  (var_ht, var_l, var_u)
+
+let outcome mask v = Sampling.Outcome.Oblivious.of_mask ~probs v mask
+
+let run ppf =
+  Format.fprintf ppf "=== E1 / Figure 1: max over Poisson p1=p2=1/2 ===@.";
+  let v1 = 3. and v2 = 2. in
+  let v = [| v1; v2 |] in
+  Format.fprintf ppf "Outcome tables on data (v1,v2)=(%.0f,%.0f):@." v1 v2;
+  Format.fprintf ppf "%-14s %-12s %-12s %-12s@." "outcome" "max(HT)" "max(L)" "max(U)";
+  List.iter
+    (fun (label, mask) ->
+      let o = outcome mask v in
+      Format.fprintf ppf "%-14s %-12.4f %-12.4f %-12.4f@." label
+        (Estcore.Ht.max_oblivious o) (MO.l_r2 o) (MO.u_r2 o))
+    [
+      ("S = {}", [| false; false |]);
+      ("S = {1}", [| true; false |]);
+      ("S = {2}", [| false; true |]);
+      ("S = {1,2}", [| true; true |]);
+    ];
+  Format.fprintf ppf
+    "@.Variance (exact | closed form) on (max,min)=(%.0f,%.0f):@." v1 v2;
+  let cf_ht, cf_l, cf_u = variance_closed_forms ~mx:v1 ~mn:v2 in
+  Format.fprintf ppf "  HT: %.6f | %.6f@." (MO.var_ht_r2 ~probs ~v) cf_ht;
+  Format.fprintf ppf "  L : %.6f | %.6f@." (MO.var_l_r2 ~probs ~v) cf_l;
+  Format.fprintf ppf "  U : %.6f | %.6f@." (MO.var_u_r2 ~probs ~v) cf_u;
+  Format.fprintf ppf "@.%-10s %-14s %-14s@." "min/max" "var[L]/var[HT]" "var[U]/var[HT]";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10.2f %-14.6f %-14.6f@." r.ratio r.l_over_ht
+        r.u_over_ht)
+    (series ~steps:20 ());
+  Format.fprintf ppf
+    "(L/HT falls from 11/27≈0.407 at min/max=0 to 1/9≈0.111 at 1; U/HT = \
+     1/3 at both ends, crossing L midway — the paper's Var[U] display has \
+     a 3/4 coefficient inconsistent with its own outcome table, whose \
+     evaluation gives coefficient 1; see EXPERIMENTS.md)@."

@@ -1,0 +1,21 @@
+(** Experiment E1 — Figure 1: the three [max] estimators over
+    weight-oblivious Poisson samples with p₁ = p₂ = 1/2.
+
+    Reproduces (a) the 2×2 outcome tables for [max^(HT)], [max^(L)],
+    [max^(U)], (b) the closed-form variance expressions, and (c) the
+    plot of Var[L]/Var[HT] and Var[U]/Var[HT] against min/max. *)
+
+type row = { ratio : float; l_over_ht : float; u_over_ht : float }
+
+val series : ?steps:int -> unit -> row list
+(** The two curves of Figure 1, [ratio = min/max ∈ [0,1]]. *)
+
+val variance_closed_forms : mx:float -> mn:float -> float * float * float
+(** [(var_ht, var_l, var_u)]:
+    Var[HT] = 3·max², Var[L] = (11/9)max² + (8/9)min² − (16/9)max·min,
+    Var[U] = max² + 2min² − 2max·min. The Var[U] leading coefficient
+    corrects the paper's printed 3/4, which is inconsistent with its own
+    outcome table (see EXPERIMENTS.md, erratum list). *)
+
+val run : Format.formatter -> unit
+(** Print the outcome tables and both series. *)

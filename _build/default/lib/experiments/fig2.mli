@@ -1,0 +1,21 @@
+(** Experiment E4/E5 — Figure 2 and the Section 4.3 asymptotics: variance
+    of [OR^(HT)], [OR^(L)], [OR^(U)] on data (1,1) and (1,0) as a
+    function of p = p₁ = p₂, plus the p → 0 behaviour
+    (Var[HT] ≈ 1/p²; Var[L], Var[U] ≈ 1/(4p²) on "change" data and
+    ≈ 1/(2p) on "no change" data). *)
+
+type row = {
+  p : float;
+  ht : float;  (** Var[OR^(HT)] — same on (1,1) and (1,0) *)
+  l_11 : float;
+  l_10 : float;
+  u_11 : float;
+  u_10 : float;
+}
+
+val series : ?ps:float list -> unit -> row list
+
+val asymptotics : p:float -> (string * float) list
+(** Ratios of each variance to its predicted p → 0 form (→ 1). *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,13 @@
+(** Experiment E6 — Figure 3: the weighted known-seeds [max^(L)] for
+    r = 2. Prints the outcome → determining-vector mapping and each of
+    the four closed-form cases, and certifies unbiasedness of every case
+    by exact seed-space quadrature. *)
+
+val unbiased_on : taus:float array -> v:float array -> bool
+(** E[max^(L)] = max(v) to 1e-7 relative, by quadrature. *)
+
+val case_grid : unit -> (string * float array * float array) list
+(** Labelled (taus, v) pairs exercising every closed-form case of the
+    Figure 3 table, in both threshold orders. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,77 @@
+type row = { minmax : float; nvar_ht : float; nvar_l : float }
+
+let taus = [| 1.; 1. |]
+
+let panel ~rho ?(steps = 20) () =
+  List.init (steps + 1) (fun i ->
+      let minmax = float_of_int i /. float_of_int steps in
+      let v = [| rho; rho *. minmax |] in
+      let nvar_ht = Estcore.Ht.max_pps_variance ~taus ~v in
+      let nvar_l =
+        (Estcore.Exact.pps_r2_fast ~taus ~v Estcore.Max_pps.l).Estcore.Exact.var
+      in
+      { minmax; nvar_ht; nvar_l })
+
+(* The paper claims Var[HT]/Var[L] ≥ (1+ρ)/ρ everywhere, derived from a
+   two-valued idealization of the estimator at min = 0 that contradicts
+   the Figure 3 table (see EXPERIMENTS.md). What actually holds for the
+   Figure 3 estimator, and what we assert: the ratio is ≥ 1.9 everywhere,
+   increases with min/max, and meets/exceeds (1+ρ)/ρ at min = max. *)
+let ratio_bound_holds ~rho =
+  let rows = panel ~rho ~steps:20 () in
+  let ratios =
+    List.filter_map
+      (fun r -> if r.nvar_l > 1e-300 then Some (r.nvar_ht /. r.nvar_l) else None)
+      rows
+  in
+  let increasing =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a <= b +. 1e-6 && go rest
+      | _ -> true
+    in
+    go ratios
+  in
+  let floor_ok = List.for_all (fun x -> x >= 1.9) ratios in
+  let at_equal =
+    match List.rev ratios with
+    | last :: _ -> last >= ((1. +. rho) /. rho) -. 1e-6
+    | [] -> true
+  in
+  increasing && floor_ok && at_equal
+
+let run ppf =
+  Format.fprintf ppf
+    "=== E7 / Figure 4: PPS max^(L) vs max^(HT), τ1=τ2=τ* ===@.";
+  List.iter
+    (fun rho ->
+      Format.fprintf ppf "@.(%s) ρ = max/τ* = %.2f:@."
+        (if rho = 0.5 then "A" else "B")
+        rho;
+      Format.fprintf ppf "%-10s %-16s %-16s %-12s@." "min/max"
+        "var[HT]/τ*²" "var[L]/τ*²" "HT/L";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "%-10.2f %-16.8f %-16.8f %-12.3f@." r.minmax
+            r.nvar_ht r.nvar_l
+            (if r.nvar_l > 0. then r.nvar_ht /. r.nvar_l else nan))
+        (panel ~rho ~steps:10 ()))
+    [ 0.5; 0.01 ];
+  Format.fprintf ppf
+    "@.(C) ratio Var[HT]/Var[L] at the curve ends vs the paper's (1+ρ)/ρ:@.";
+  Format.fprintf ppf "%-10s %-14s %-16s %-14s %-8s@." "rho" "ratio(min=0)"
+    "ratio(min=max)" "(1+rho)/rho" "props";
+  List.iter
+    (fun rho ->
+      let rows = panel ~rho ~steps:1 () in
+      let r0 = List.hd rows and r1 = List.nth rows 1 in
+      Format.fprintf ppf "%-10.3f %-14.3f %-16.3f %-14.3f %-8b@." rho
+        (r0.nvar_ht /. r0.nvar_l)
+        (if r1.nvar_l > 0. then r1.nvar_ht /. r1.nvar_l else nan)
+        ((1. +. rho) /. rho)
+        (ratio_bound_holds ~rho))
+    [ 0.99; 0.5; 0.1; 0.01; 0.001 ];
+  Format.fprintf ppf
+    "(the paper's floor (1+ρ)/ρ at min=0 stems from an idealized \
+     two-valued estimate inconsistent with its own Figure 3 table; the \
+     measured floor at min=0 is ≈ 2 and the (1+ρ)/ρ level is reached as \
+     min/max → 1 — see EXPERIMENTS.md)@."

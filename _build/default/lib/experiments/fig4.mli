@@ -1,0 +1,22 @@
+(** Experiment E7 — Figure 4 (A)(B)(C): Var[max^(L)] vs Var[max^(HT)]
+    for two independent PPS samples with τ*₁ = τ*₂ = τ*.
+
+    (A)/(B): normalized variance Var/τ*² as a function of min/max for
+    ρ = max/τ* ∈ {0.5, 0.01}. (C): the ratio Var[HT]/Var[L] for a range
+    of ρ. The paper claims ratio ≥ (1+ρ)/ρ everywhere, but that rests on
+    a two-valued idealization of the estimator at min = 0 which its own
+    Figure 3 table contradicts (erratum; see EXPERIMENTS.md). The
+    properties that actually hold — asserted by {!ratio_bound_holds} —
+    are: ratio ≥ 1.9 everywhere, increasing in min/max, and
+    ≥ (1+ρ)/ρ at min = max. *)
+
+type row = { minmax : float; nvar_ht : float; nvar_l : float }
+
+val panel : rho:float -> ?steps:int -> unit -> row list
+(** Normalized-variance curves at a given ρ (τ* = 1). *)
+
+val ratio_bound_holds : rho:float -> bool
+(** Measured ratio properties: ≥ 1.9 everywhere, increasing in min/max,
+    and ≥ (1+ρ)/ρ at min = max. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,15 @@
+(** Experiment E8 — Figure 5: the paper's worked example. Reproduces the
+    data matrix and per-key aggregates (A), the shared-seed and
+    independent PPS rank tables (B), and the bottom-3 samples (C), using
+    the exact seed values printed in the paper. *)
+
+val aggregates_match : unit -> bool
+(** The (A) panel's example aggregate values (max-dominance over even keys
+    and instances {1,2} = 40; L1 distance over keys {1,2,3} of instances
+    {2,3} = 18; per-key max/min/RG rows). *)
+
+val independent_bottom3_match : unit -> bool
+(** The independent-seed bottom-3 samples must equal the paper's
+    (3,1,6 / 1,6,4 / 3,5,2). *)
+
+val run : Format.formatter -> unit

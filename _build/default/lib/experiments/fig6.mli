@@ -1,0 +1,19 @@
+(** Experiment E9 — Figure 6: required sample size for distinct-count
+    estimation. For instances of size n with Jaccard coefficient
+    J ∈ {0, 0.5, 0.9, 1} and a target coefficient of variation
+    cv ∈ {0.1, 0.02}, the expected per-instance sample size s = p·n
+    needed by the HT and L estimators, and the ratio s(L)/s(HT)
+    (≈ √(1−J)/2 in the small-p regime, approaching a constant number of
+    samples when p > (1−J)/(2J)). *)
+
+type row = {
+  n : float;
+  s_ht : float array;  (** per Jaccard value *)
+  s_l : float array;
+}
+
+val jaccards : float list
+
+val series : cv:float -> ?ns:float list -> unit -> row list
+
+val run : Format.formatter -> unit

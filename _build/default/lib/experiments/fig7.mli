@@ -1,0 +1,25 @@
+(** Experiment E10 — Figure 7: max-dominance estimation on the two-hour
+    IP-traffic workload (synthetic, calibrated to the paper's data-set
+    statistics; see {!Workload.Traffic}). Instances are sampled
+    independently (PPS Poisson, known seeds); the plot is the normalized
+    variance Var[Σ max^]/(Σ max)² of the HT and L estimators against the
+    percentage of keys sampled. The paper reports
+    Var[HT]/Var[L] between 2.45 and 2.7 on its data. *)
+
+type row = {
+  percent : float;  (** expected % of each hour's keys sampled *)
+  nvar_ht : float;
+  nvar_l : float;
+}
+
+val series : ?percents:float list -> ?params:Workload.Traffic.params -> unit -> row list
+(** Exact variances (per-key quadrature), not Monte Carlo. *)
+
+val empirical_check :
+  ?trials:int -> percent:float -> params:Workload.Traffic.params -> unit ->
+  float * float
+(** [(mean_rel_err_ht, mean_rel_err_l)] of actual sampled estimates over
+    [trials] independent seed choices — a sanity check that the exact
+    variances describe real runs. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,185 @@
+let small_traffic =
+  {
+    Workload.Traffic.default with
+    Workload.Traffic.n_shared = 2_200;
+    n_only = 2_700;
+    total_per_hour = 1.1e5;
+  }
+
+let fig1 () =
+  let rows = Fig1.series ~steps:40 () in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "Figure 1 — max estimators over Poisson samples (p = 1/2)";
+    x_label = "min / max";
+    y_label = "variance ratio vs HT";
+    series =
+      [
+        {
+          Plot.Chart.label = "Var[L]/Var[HT]";
+          points = List.map (fun r -> (r.Fig1.ratio, r.Fig1.l_over_ht)) rows;
+        };
+        {
+          Plot.Chart.label = "Var[U]/Var[HT]";
+          points = List.map (fun r -> (r.Fig1.ratio, r.Fig1.u_over_ht)) rows;
+        };
+      ];
+  }
+
+let fig2 () =
+  let rows = Fig2.series () in
+  let pick f = List.map (fun r -> (r.Fig2.p, f r)) rows in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "Figure 2 — Var of OR estimators vs p (p1 = p2 = p)";
+    x_label = "p";
+    y_label = "variance";
+    x_scale = Plot.Chart.Log;
+    y_scale = Plot.Chart.Log;
+    series =
+      [
+        { Plot.Chart.label = "HT (any data)"; points = pick (fun r -> r.Fig2.ht) };
+        { Plot.Chart.label = "L on (1,1)"; points = pick (fun r -> r.Fig2.l_11) };
+        { Plot.Chart.label = "L on (1,0)"; points = pick (fun r -> r.Fig2.l_10) };
+        { Plot.Chart.label = "U on (1,1)"; points = pick (fun r -> r.Fig2.u_11) };
+        { Plot.Chart.label = "U on (1,0)"; points = pick (fun r -> r.Fig2.u_10) };
+      ];
+  }
+
+let fig4_panel ~rho ~title =
+  let rows = Fig4.panel ~rho ~steps:20 () in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title;
+    x_label = "min / max";
+    y_label = "variance / tau*^2";
+    series =
+      [
+        {
+          Plot.Chart.label = "max(HT)";
+          points = List.map (fun r -> (r.Fig4.minmax, r.Fig4.nvar_ht)) rows;
+        };
+        {
+          Plot.Chart.label = "max(L)";
+          points = List.map (fun r -> (r.Fig4.minmax, r.Fig4.nvar_l)) rows;
+        };
+      ];
+  }
+
+let fig4c () =
+  let series =
+    List.map
+      (fun rho ->
+        let rows = Fig4.panel ~rho ~steps:20 () in
+        {
+          Plot.Chart.label = Printf.sprintf "rho = %g" rho;
+          points =
+            List.filter_map
+              (fun r ->
+                if r.Fig4.nvar_l > 0. then
+                  Some (r.Fig4.minmax, r.Fig4.nvar_ht /. r.Fig4.nvar_l)
+                else None)
+              rows;
+        })
+      [ 0.99; 0.5; 0.1; 0.01 ]
+  in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "Figure 4(C) — Var[HT]/Var[L] vs min/max";
+    x_label = "min / max";
+    y_label = "variance ratio";
+    y_scale = Plot.Chart.Log;
+    series;
+  }
+
+let fig6 () =
+  let rows = Fig6.series ~cv:0.1 () in
+  let series_at kind i j =
+    {
+      Plot.Chart.label = Printf.sprintf "%s J=%.1f" kind j;
+      points =
+        List.map
+          (fun r ->
+            ( r.Fig6.n,
+              (if kind = "HT" then r.Fig6.s_ht else r.Fig6.s_l).(i) ))
+          rows;
+    }
+  in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "Figure 6 — required sample size (cv = 0.1)";
+    x_label = "n (per-instance size)";
+    y_label = "expected sample size s";
+    x_scale = Plot.Chart.Log;
+    y_scale = Plot.Chart.Log;
+    series =
+      [
+        series_at "HT" 0 0.;
+        series_at "HT" 3 1.;
+        series_at "L" 0 0.;
+        series_at "L" 2 0.9;
+        series_at "L" 3 1.;
+      ];
+  }
+
+let fig7 ~params =
+  let rows =
+    Fig7.series ~percents:[ 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50. ] ~params ()
+  in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "Figure 7 — max dominance over two-hour traffic";
+    x_label = "% of keys sampled";
+    y_label = "Var / (sum max)^2";
+    x_scale = Plot.Chart.Log;
+    y_scale = Plot.Chart.Log;
+    series =
+      [
+        {
+          Plot.Chart.label = "max(HT)";
+          points = List.map (fun r -> (r.Fig7.percent, r.Fig7.nvar_ht)) rows;
+        };
+        {
+          Plot.Chart.label = "max(L)";
+          points = List.map (fun r -> (r.Fig7.percent, r.Fig7.nvar_l)) rows;
+        };
+      ];
+  }
+
+let e18 () =
+  let rows = Multiperiod.series ~n_keys:5_000 () in
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "E18 — multi-period distinct count: HT/L variance ratio";
+    x_label = "number of periods r";
+    y_label = "Var[HT] / Var[L]";
+    y_scale = Plot.Chart.Log;
+    series =
+      [
+        {
+          Plot.Chart.label = "advantage";
+          points =
+            List.map
+              (fun r -> (float_of_int r.Multiperiod.r, r.Multiperiod.advantage))
+              rows;
+        };
+      ];
+  }
+
+let write_all ?(fig7_params = small_traffic) ~dir () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let out name spec =
+    let path = Filename.concat dir name in
+    Plot.Chart.write ~path spec;
+    path
+  in
+  [
+    out "fig1.svg" (fig1 ());
+    out "fig2.svg" (fig2 ());
+    out "fig4a.svg" (fig4_panel ~rho:0.5 ~title:"Figure 4(A) — PPS max, rho = 0.5");
+    out "fig4b.svg" (fig4_panel ~rho:0.01 ~title:"Figure 4(B) — PPS max, rho = 0.01");
+    out "fig4c.svg" (fig4c ());
+    out "fig6.svg" (fig6 ());
+    out "fig7.svg" (fig7 ~params:fig7_params);
+    out "e18.svg" (e18 ());
+  ]

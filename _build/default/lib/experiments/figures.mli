@@ -1,0 +1,17 @@
+(** SVG renditions of the paper's plots, drawn from the regenerated
+    series (the same data the text harness prints — which doubles as the
+    table view for every figure).
+
+    [write_all ~dir] produces:
+    - [fig1.svg] — variance ratios vs min/max (Figure 1's plot)
+    - [fig2.svg] — OR estimator variances vs p, log-log (Figure 2)
+    - [fig4a.svg] / [fig4b.svg] — normalized PPS variances (Figure 4 A/B)
+    - [fig4c.svg] — Var[HT]/Var[L] vs min/max per ρ, log y (Figure 4 C)
+    - [fig6.svg] — required sample size vs n, log-log (Figure 6, cv=0.1)
+    - [fig7.svg] — normalized variance vs % sampled, log-log (Figure 7)
+    - [e18.svg] — the multi-period advantage curve (extension) *)
+
+val write_all : ?fig7_params:Workload.Traffic.params -> dir:string -> unit -> string list
+(** Returns the paths written. Creates [dir] if missing. [fig7_params]
+    defaults to a scaled-down traffic replica so the full set renders in
+    seconds; pass {!Workload.Traffic.default} for the full-size Figure 7. *)

@@ -1,0 +1,112 @@
+module DC = Aggregates.Distinct
+module B = Sampling.Outcome.Binary
+
+type row = {
+  r : int;
+  truth : float;
+  var_l : float;
+  var_ht : float;
+  advantage : float;
+}
+
+(* Membership matrix: keys × periods, deterministic. *)
+let memberships ~n_keys ~periods ~present_prob ~seed =
+  let rng = Numerics.Prng.create ~seed () in
+  Array.init n_keys (fun _ ->
+      Array.init periods (fun _ -> Numerics.Prng.float rng < present_prob))
+
+let pattern_counts members r =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      let pat = Array.to_list (Array.sub row 0 r) in
+      if List.exists Fun.id pat then
+        Hashtbl.replace tbl pat
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl pat)))
+    members;
+  tbl
+
+let exact_row ~p ~members r =
+  let probs = Array.make r p in
+  let g = Estcore.Max_oblivious.General.create ~probs in
+  let l_est o = Estcore.Max_oblivious.General.estimate g (B.to_oblivious o) in
+  let inv = 1. /. Array.fold_left ( *. ) 1. probs in
+  let ht_est (o : B.t) =
+    if
+      Array.for_all Fun.id o.B.below
+      && Array.exists Fun.id o.B.sampled
+    then inv
+    else 0.
+  in
+  let tbl = pattern_counts members r in
+  let truth = ref 0. and var_l = ref 0. and var_ht = ref 0. in
+  Hashtbl.iter
+    (fun pat count ->
+      let v = Array.of_list (List.map (fun b -> if b then 1 else 0) pat) in
+      let c = float_of_int count in
+      truth := !truth +. c;
+      var_l := !var_l +. (c *. (Estcore.Exact.binary ~probs ~v l_est).Estcore.Exact.var);
+      var_ht :=
+        !var_ht +. (c *. (Estcore.Exact.binary ~probs ~v ht_est).Estcore.Exact.var))
+    tbl;
+  { r; truth = !truth; var_l = !var_l; var_ht = !var_ht; advantage = !var_ht /. !var_l }
+
+let default_members ~n_keys ~present_prob =
+  memberships ~n_keys ~periods:6 ~present_prob ~seed:2718
+
+let series ?(p = 0.1) ?(n_keys = 20_000) ?(present_prob = 0.6) ?(rs = [ 2; 3; 4; 5 ]) () =
+  let members = default_members ~n_keys ~present_prob in
+  List.map (exact_row ~p ~members) rs
+
+let empirical_check ?(masters = 60) ~p ~r () =
+  let n_keys = 5_000 in
+  let members = default_members ~n_keys ~present_prob:0.6 in
+  let instances =
+    Array.init r (fun i ->
+        Sampling.Instance.of_keys
+          (List.filteri (fun _ _ -> true)
+             (List.concat
+                (List.init n_keys (fun h ->
+                     if members.(h).(i) then [ h + 1 ] else [])))))
+  in
+  let probs = Array.make r p in
+  let t = DC.Multi.create ~probs in
+  let row = exact_row ~p ~members r in
+  let acc = Numerics.Stats.Acc.create () in
+  for m = 1 to masters do
+    let seeds = Sampling.Seeds.create ~master:m Sampling.Seeds.Independent in
+    let samples =
+      Array.mapi
+        (fun i inst -> DC.sample_binary seeds ~p ~instance:i inst)
+        instances
+    in
+    Numerics.Stats.Acc.add acc
+      (abs_float
+         (DC.Multi.estimate t seeds ~samples ~select:(fun _ -> true)
+         -. row.truth)
+      /. row.truth)
+  done;
+  (Numerics.Stats.Acc.mean acc, sqrt row.var_l /. row.truth)
+
+let run ppf =
+  Format.fprintf ppf
+    "=== E18 (extension): distinct counts across r > 2 periods ===@.";
+  Format.fprintf ppf
+    "20k keys, each present in a period w.p. 0.6, sampling p = 0.1 per \
+     period (exact variances):@.";
+  Format.fprintf ppf "%-4s %-10s %-12s %-12s %-12s@." "r" "truth"
+    "Var[OR^(L)]" "Var[OR^(HT)]" "HT/L";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-4d %-10.0f %-12.4e %-12.4e %-12.1f@." row.r
+        row.truth row.var_l row.var_ht row.advantage)
+    (series ());
+  let err, pred = empirical_check ~p:0.1 ~r:3 () in
+  Format.fprintf ppf
+    "empirical sanity (r = 3, 5k keys, 60 runs): mean |rel.err| %.4f vs \
+     predicted rel.sd %.4f@."
+    err pred;
+  Format.fprintf ppf
+    "(HT's positive outcomes need all r seeds below threshold — its \
+     variance grows like p^{-r} — while OR^(L) extracts partial \
+     information from every period and degrades only polynomially)@."

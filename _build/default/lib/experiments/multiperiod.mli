@@ -1,0 +1,29 @@
+(** Experiment E18 (extension) — distinct counts across r > 2 periods.
+
+    Section 8.1 treats two instances; the general Theorem 4.1 solver
+    extends the optimal OR^(L) per-key estimator to any number of
+    independently sampled periods. This experiment measures, with exact
+    per-key-class variances (full enumeration of the [2^r] seed-class
+    outcomes per membership pattern), how the L-over-HT advantage grows
+    with the number of periods: HT needs all r seeds below threshold
+    (probability [Π p_i]), so its variance explodes exponentially in r,
+    while OR^(L) keeps extracting partial information. *)
+
+type row = {
+  r : int;
+  truth : float;
+  var_l : float;  (** exact *)
+  var_ht : float;  (** exact *)
+  advantage : float;  (** var_ht / var_l *)
+}
+
+val series : ?p:float -> ?n_keys:int -> ?present_prob:float -> ?rs:int list -> unit -> row list
+(** Periods drawn as independent Bernoulli(present_prob) memberships over
+    a key universe; exact variances summed over the realized membership
+    patterns. *)
+
+val empirical_check : ?masters:int -> p:float -> r:int -> unit -> float * float
+(** [(mean_rel_err, predicted_rel_sd)] of actual sampled L estimates on
+    the same workload — sanity that the exact numbers describe runs. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,113 @@
+module D = Estcore.Designer
+
+type comparison = {
+  label : string;
+  data : float array;
+  var_derived : float;
+  var_ht : float;
+}
+
+let count_below_max v =
+  let m = Array.fold_left Float.max neg_infinity v in
+  Array.fold_left (fun acc x -> if x < m then acc + 1 else acc) 0 v
+
+let derive ~p ~grid ~f ~ht =
+  let probs = Array.make 3 p in
+  let problem = D.Problems.oblivious ~probs ~grid ~f in
+  (* The greedy batch order can make the nonnegativity-constrained
+     extension infeasible even when an estimator exists; try dense-first,
+     then sparse-first, then a single global batch — the latter is the
+     min-total-variance QP, feasible whenever any nonnegative unbiased
+     estimator exists. *)
+  let count_positive v =
+    Array.fold_left (fun acc x -> if x > 0. then acc + 1 else acc) 0 v
+  in
+  let strategies =
+    [
+      D.Problems.batches_by
+        (fun v ->
+          if Array.for_all (fun x -> x = 0.) v then -1 else count_below_max v)
+        problem.D.data;
+      D.Problems.batches_by count_positive problem.D.data;
+      D.Problems.batches_by
+        (fun v -> if Array.for_all (fun x -> x = 0.) v then 0 else 1)
+        problem.D.data;
+    ]
+  in
+  let rec try_all errs = function
+    | [] -> Error (String.concat "; " (List.rev errs))
+    | batches :: rest -> (
+        match D.solve_partition ~batches ~f ~dist:problem.D.dist () with
+        | Error e -> try_all (e :: errs) rest
+        | Ok est -> Ok est)
+  in
+  match try_all [] strategies with
+  | Error e -> Error e
+  | Ok est ->
+      if not (D.is_unbiased problem est) then Error "derived table is biased"
+      else if
+        (* Nonnegative up to QP tolerance, relative to the table's scale
+           (estimates reach ~p⁻³). *)
+        let scale =
+          List.fold_left
+            (fun acc (_, x) -> Float.max acc (abs_float x))
+            1. (D.bindings est)
+        in
+        D.min_estimate est < -1e-9 *. scale *. 100.
+      then Error "derived table is negative"
+      else begin
+        let compare_on data =
+          {
+            label = "";
+            data;
+            var_derived = D.variance problem est data;
+            var_ht = (Estcore.Exact.oblivious ~probs ~v:data ht).Estcore.Exact.var;
+          }
+        in
+        Ok
+          (List.map compare_on
+             [
+               [| 2.; 1.; 0. |];
+               [| 2.; 2.; 2. |];
+               [| 2.; 2.; 0. |];
+               [| 1.; 1.; 0. |];
+               [| 2.; 0.; 0. |];
+             ])
+      end
+
+let median3 ?(p = 0.4) ?(grid = [ 0.; 1.; 2. ]) () =
+  derive ~p ~grid
+    ~f:(fun v ->
+      let s = Array.copy v in
+      Array.sort (fun a b -> compare b a) s;
+      s.(1))
+    ~ht:(Estcore.Ht.quantile_oblivious ~l:2)
+
+let range3 ?(p = 0.4) ?(grid = [ 0.; 1.; 2. ]) () =
+  derive ~p ~grid
+    ~f:(fun v ->
+      Array.fold_left Float.max 0. v -. Array.fold_left Float.min infinity v)
+    ~ht:Estcore.Ht.range_oblivious
+
+let pp_result ppf name = function
+  | Error e -> Format.fprintf ppf "%s: derivation failed: %s@." name e
+  | Ok rows ->
+      Format.fprintf ppf
+        "%s (derived by Algorithm 2, unbiased + nonnegative certified):@."
+        name;
+      Format.fprintf ppf "  %-14s %-14s %-14s %-10s@." "data" "Var[derived]"
+        "Var[HT]" "HT/derived";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  (%g,%g,%g)%6s %-14.4f %-14.4f %-10.2f@."
+            r.data.(0) r.data.(1) r.data.(2) "" r.var_derived r.var_ht
+            (if r.var_derived > 0. then r.var_ht /. r.var_derived else nan))
+        rows
+
+let run ppf =
+  Format.fprintf ppf
+    "=== E17 (extension): optimal middle-quantile and range estimators, \
+     r = 3 (the cases Section 4 flags as 'HT not optimal' without \
+     deriving alternatives) ===@.";
+  pp_result ppf "median of 3 (p = 0.4, grid {0,1,2})" (median3 ());
+  pp_result ppf "range at r = 3 (p = 0.4, grid {0,1,2})" (range3 ())

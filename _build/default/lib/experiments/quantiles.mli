@@ -1,0 +1,30 @@
+(** Experiment E17 (extension) — beyond the paper's tabulated cases.
+
+    Section 4 notes that the inverse-probability estimator is {e not}
+    optimal for middle quantiles (ℓth, 1 < ℓ < r) or for the range at
+    r > 2, but derives no alternative. The designer engine fills the gap:
+    it machine-derives order-based estimators for the median of three
+    and for RG at r = 3 over a value grid, verifies them, and quantifies
+    their variance advantage over the HT baseline. *)
+
+type comparison = {
+  label : string;
+  data : float array;
+  var_derived : float;
+  var_ht : float;
+}
+
+val median3 :
+  ?p:float -> ?grid:float list -> unit -> (comparison list, string) result
+(** Derive the ℓ = 2 (median) estimator for r = 3 uniform-p Poisson by
+    Algorithm 1 under the dense-first order and compare variances with
+    the HT quantile estimator on representative vectors. The derived
+    table is checked unbiased and nonnegative before comparison. *)
+
+val range3 :
+  ?p:float -> ?grid:float list -> unit -> (comparison list, string) result
+(** Same for RG = max − min at r = 3 (where HT stops being optimal). Uses
+    Algorithm 2 with dense-first batches, which keeps the nonnegativity
+    constraints explicit. *)
+
+val run : Format.formatter -> unit

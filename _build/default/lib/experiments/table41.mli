@@ -1,0 +1,13 @@
+(** Experiment E2 — the Section 4.1 outcome table for [max^(L)] with
+    general (p₁, p₂), r = 2, cross-checked against the estimator derived
+    from scratch by the generic Algorithm 1 engine on a value grid. *)
+
+val closed_form_table :
+  p1:float -> p2:float -> v1:float -> v2:float -> (string * float) list
+(** The four outcome rows of the paper's table. *)
+
+val engine_agrees : ?grid:float list -> p1:float -> p2:float -> unit -> bool
+(** Machine-derive [max^(L)] by Algorithm 1 (L order) on [grid²] and
+    compare every outcome estimate with the closed form. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,14 @@
+(** Experiment E3 — the Section 4.2 tables: the asymmetric [max^(Uas)]
+    and the symmetric [max^(U)], cross-checked against the generic
+    Algorithm 2 engine (singleton batches reproduce Uas; level batches
+    reproduce U). *)
+
+val engine_agrees_u : ?grid:float list -> p1:float -> p2:float -> unit -> bool
+(** Algorithm 2 with batches by number of positive entries must equal the
+    symmetric closed form [max^(U)] on every outcome. *)
+
+val engine_agrees_uas : ?grid:float list -> p1:float -> p2:float -> unit -> bool
+(** Algorithm 2 with singleton batches ordered "(v,0) before (0,v)" must
+    equal the asymmetric closed form [max^(Uas)]. *)
+
+val run : Format.formatter -> unit

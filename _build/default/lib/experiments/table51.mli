@@ -1,0 +1,13 @@
+(** Experiment E11 — the Section 5.1 tables: [OR^(L)] and [OR^(U)] under
+    weighted sampling with known seeds, r = 2. Checks every row of both
+    tables against the library (which implements them through the
+    Section 5 outcome mapping), and certifies unbiasedness on all four
+    binary data vectors by exhaustive enumeration. *)
+
+val tables_match : p1:float -> p2:float -> bool
+(** Every (outcome, seed-class) row of both printed tables equals the
+    library's value. *)
+
+val unbiased : p1:float -> p2:float -> bool
+
+val run : Format.formatter -> unit

@@ -1,0 +1,80 @@
+module E = Estcore.Existence
+
+type line = { label : string; feasible : bool; expected : bool }
+
+let certificates () =
+  [
+    {
+      label = "OR, unknown seeds, p=(0.3,0.3) [p1+p2<1]";
+      feasible = E.or_unknown_seeds ~p1:0.3 ~p2:0.3;
+      expected = false;
+    };
+    {
+      label = "OR, unknown seeds, p=(0.45,0.45)";
+      feasible = E.or_unknown_seeds ~p1:0.45 ~p2:0.45;
+      expected = false;
+    };
+    {
+      label = "OR, unknown seeds, p=(0.6,0.6) [p1+p2≥1]";
+      feasible = E.or_unknown_seeds ~p1:0.6 ~p2:0.6;
+      expected = true;
+    };
+    {
+      label = "OR, known seeds, p=(0.3,0.3)";
+      feasible = E.or_known_seeds ~p1:0.3 ~p2:0.3;
+      expected = true;
+    };
+    {
+      label = "OR, known seeds, p=(0.05,0.05)";
+      feasible = E.or_known_seeds ~p1:0.05 ~p2:0.05;
+      expected = true;
+    };
+    {
+      label = "XOR (RG), unknown seeds, p=(0.6,0.6)";
+      feasible = E.xor_unknown_seeds ~p1:0.6 ~p2:0.6;
+      expected = false;
+    };
+    {
+      label = "XOR (RG), unknown seeds, p=(0.95,0.95)";
+      feasible = E.xor_unknown_seeds ~p1:0.95 ~p2:0.95;
+      expected = false;
+    };
+    {
+      label = "XOR (RG), known seeds, p=(0.3,0.3)";
+      feasible = E.xor_known_seeds ~p1:0.3 ~p2:0.3;
+      expected = true;
+    };
+    {
+      label = "2nd of r=3, unknown seeds, p=0.3";
+      feasible = E.lth_unknown_seeds ~r:3 ~l:2 ~p:(Array.make 3 0.3);
+      expected = false;
+    };
+    {
+      label = "2nd of r=4, unknown seeds, p=0.4";
+      feasible = E.lth_unknown_seeds ~r:4 ~l:2 ~p:(Array.make 4 0.4);
+      expected = false;
+    };
+    {
+      label = "min (l=r), r=3, unknown seeds, p=0.3";
+      feasible = E.lth_unknown_seeds ~r:3 ~l:3 ~p:(Array.make 3 0.3);
+      expected = true;
+    };
+    {
+      label = "max (l=1), r=2, unknown seeds, p=0.25";
+      feasible = E.lth_unknown_seeds ~r:2 ~l:1 ~p:(Array.make 2 0.25);
+      expected = false;
+    };
+  ]
+
+let all_match () =
+  List.for_all (fun l -> l.feasible = l.expected) (certificates ())
+
+let run ppf =
+  Format.fprintf ppf
+    "=== E12 / Theorem 6.1: existence certificates (two-phase simplex) ===@.";
+  Format.fprintf ppf "%-46s %-10s %-10s@." "instance" "feasible" "expected";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%-46s %-10b %-10b@." l.label l.feasible l.expected)
+    (certificates ());
+  Format.fprintf ppf "all certificates match the theory: %b@." (all_match ())

@@ -1,0 +1,16 @@
+(** Experiment E12 — Theorem 6.1 and the Section 6 negative results as LP
+    certificates: with {e unknown} seeds there is no nonnegative unbiased
+    estimator for OR when p₁+p₂ < 1, for ℓth (ℓ < r), or for XOR (hence
+    RG^d) at any p < 1 — while with {e known} seeds all of these OR/ℓth
+    instances are feasible, and min (ℓ = r) is feasible even with unknown
+    seeds. *)
+
+type line = {
+  label : string;
+  feasible : bool;
+  expected : bool;
+}
+
+val certificates : unit -> line list
+val all_match : unit -> bool
+val run : Format.formatter -> unit

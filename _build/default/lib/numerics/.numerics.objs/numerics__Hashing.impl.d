@@ -1,0 +1,1 @@
+lib/numerics/hashing.ml: Char Int64 Prng String

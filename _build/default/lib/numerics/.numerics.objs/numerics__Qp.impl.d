@@ -1,0 +1,1 @@
+lib/numerics/qp.ml: Array Fun Hashtbl Linalg List Simplex

@@ -1,0 +1,103 @@
+let simpson_rule a b fa fm fb = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb)
+
+let rec adapt f a b fa fm fb whole tol depth =
+  let m = 0.5 *. (a +. b) in
+  let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+  let flm = f lm and frm = f rm in
+  let left = simpson_rule a m fa flm fm in
+  let right = simpson_rule m b fm frm fb in
+  let delta = left +. right -. whole in
+  if depth <= 0 || abs_float delta <= 15. *. tol then left +. right +. (delta /. 15.)
+  else
+    adapt f a m fa flm fm left (tol /. 2.) (depth - 1)
+    +. adapt f m b fm frm fb right (tol /. 2.) (depth - 1)
+
+let simpson ?(tol = 1e-11) ?(max_depth = 40) f a b =
+  if a = b then 0.
+  else begin
+    let fa = f a and fb = f b in
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    let whole = simpson_rule a b fa fm fb in
+    adapt f a b fa fm fb whole tol max_depth
+  end
+
+let simpson_pieces ?(tol = 1e-11) ~breakpoints f a b =
+  let pts =
+    breakpoints
+    |> List.filter (fun x -> x > a && x < b)
+    |> List.sort_uniq compare
+  in
+  let pts = (a :: pts) @ [ b ] in
+  let rec go acc = function
+    | x :: (y :: _ as rest) -> go (acc +. simpson ~tol f x y) rest
+    | _ -> acc
+  in
+  go 0. pts
+
+let trapezoid_grid ~n f a b =
+  if n <= 0 then invalid_arg "Integrate.trapezoid_grid";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (float_of_int i *. h))
+  done;
+  !acc *. h
+
+(* Gauss–Legendre nodes/weights on [-1,1] by Newton iteration on the
+   Legendre recurrence; memoized per order. *)
+let gl_table : (int, (float * float) array) Hashtbl.t = Hashtbl.create 8
+
+let gl_nodes n =
+  match Hashtbl.find_opt gl_table n with
+  | Some t -> t
+  | None ->
+      let t = Array.make n (0., 0.) in
+      let fn = float_of_int n in
+      for k = 1 to n do
+        let x = ref (cos (Float.pi *. (float_of_int k -. 0.25) /. (fn +. 0.5))) in
+        let p'n = ref 0. in
+        for _ = 1 to 100 do
+          (* Evaluate P_n and P'_n at !x via the three-term recurrence. *)
+          let p0 = ref 1. and p1 = ref !x in
+          for j = 2 to n do
+            let fj = float_of_int j in
+            let p2 = ((((2. *. fj) -. 1.) *. !x *. !p1) -. ((fj -. 1.) *. !p0)) /. fj in
+            p0 := !p1;
+            p1 := p2
+          done;
+          let deriv = fn *. ((!x *. !p1) -. !p0) /. ((!x *. !x) -. 1.) in
+          p'n := deriv;
+          x := !x -. (!p1 /. deriv)
+        done;
+        let w = 2. /. ((1. -. (!x *. !x)) *. !p'n *. !p'n) in
+        t.(k - 1) <- (!x, w)
+      done;
+      Hashtbl.add gl_table n t;
+      t
+
+let gauss_legendre ?(n = 32) f a b =
+  if a = b then 0.
+  else begin
+    let t = gl_nodes n in
+    let c = 0.5 *. (b -. a) and m = 0.5 *. (a +. b) in
+    let acc = ref 0. in
+    Array.iter (fun (x, w) -> acc := !acc +. (w *. f (m +. (c *. x)))) t;
+    !acc *. c
+  end
+
+let gl_pieces ?(n = 32) ~breakpoints f a b =
+  let pts =
+    breakpoints |> List.filter (fun x -> x > a && x < b) |> List.sort_uniq compare
+  in
+  let pts = (a :: pts) @ [ b ] in
+  let rec go acc = function
+    | x :: (y :: _ as rest) -> go (acc +. gauss_legendre ~n f x y) rest
+    | _ -> acc
+  in
+  go 0. pts
+
+let expectation_2d ?(tol = 1e-10) ~breaks_x ~breaks_y f =
+  simpson_pieces ~tol ~breakpoints:breaks_x
+    (fun x -> simpson_pieces ~tol ~breakpoints:breaks_y (fun y -> f x y) 0. 1.)
+    0. 1.

@@ -1,0 +1,48 @@
+(** One-dimensional numerical integration.
+
+    The weighted-sampling estimators of Section 5 are piecewise-smooth
+    functions of the seed vector; their expectations reduce to 1-D
+    integrals over seed intervals with known breakpoints. Adaptive
+    Simpson quadrature with user-supplied breakpoints computes these to
+    near machine precision. *)
+
+val simpson : ?tol:float -> ?max_depth:int -> (float -> float) -> float -> float -> float
+(** [simpson f a b] integrates [f] on [[a,b]] by adaptive Simpson's rule.
+    Default [tol = 1e-11] (absolute, scaled by interval), [max_depth = 40]. *)
+
+val simpson_pieces :
+  ?tol:float -> breakpoints:float list -> (float -> float) -> float -> float -> float
+(** [simpson_pieces ~breakpoints f a b] splits [[a,b]] at the given interior
+    breakpoints (those outside the interval are ignored) and integrates each
+    smooth piece separately. Use when [f] has kinks (e.g. [min]/[max] of the
+    integration variable against thresholds). *)
+
+val trapezoid_grid : n:int -> (float -> float) -> float -> float -> float
+(** Fixed [n]-panel trapezoid rule — a cheap cross-check for tests. *)
+
+val gauss_legendre : ?n:int -> (float -> float) -> float -> float -> float
+(** Fixed-order Gauss–Legendre quadrature with [n] nodes (default 32;
+    supported up to 64). Exact for polynomials of degree [2n-1]; near
+    machine precision for analytic integrands. Nodes are computed once
+    per order by Newton iteration on the Legendre polynomials and
+    memoized. Preferred over {!simpson} when the integrand is smooth on
+    the whole interval — it is deterministic and noise-free, so it can be
+    nested safely. *)
+
+val gl_pieces :
+  ?n:int -> breakpoints:float list -> (float -> float) -> float -> float -> float
+(** Gauss–Legendre applied piecewise between consecutive breakpoints
+    (interior ones only). The workhorse for seed-space expectations of
+    weighted-sampling estimators, whose integrands are piecewise
+    analytic with kinks at the sampling thresholds. *)
+
+val expectation_2d :
+  ?tol:float ->
+  breaks_x:float list ->
+  breaks_y:float list ->
+  (float -> float -> float) ->
+  float
+(** Integral of [f u1 u2] over the unit square, splitting each axis at the
+    given breakpoints; the inner integral is adaptive per outer sample.
+    Used to verify unbiasedness of two-instance weighted estimators by
+    direct integration over the seed square. *)

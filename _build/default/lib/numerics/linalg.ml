@@ -1,0 +1,143 @@
+type mat = float array array
+type vec = float array
+
+let make r c = Array.make_matrix r c 0.
+
+let identity n =
+  let m = make n n in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 1.
+  done;
+  m
+
+let copy_mat a = Array.map Array.copy a
+
+let dims a =
+  let r = Array.length a in
+  (r, if r = 0 then 0 else Array.length a.(0))
+
+let mat_vec a x =
+  Array.map
+    (fun row ->
+      let acc = ref 0. in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let vec_dot x y =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> acc := !acc +. (v *. y.(i))) x;
+  !acc
+
+let vec_sub x y = Array.mapi (fun i v -> v -. y.(i)) x
+let vec_add x y = Array.mapi (fun i v -> v +. y.(i)) x
+let vec_scale s x = Array.map (fun v -> s *. v) x
+let vec_norm_inf x = Array.fold_left (fun acc v -> max acc (abs_float v)) 0. x
+
+let transpose a =
+  let r, c = dims a in
+  let t = make c r in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      t.(j).(i) <- a.(i).(j)
+    done
+  done;
+  t
+
+let mat_mul a b =
+  let ra, ca = dims a in
+  let rb, cb = dims b in
+  if ca <> rb then invalid_arg "Linalg.mat_mul: dimension mismatch";
+  let m = make ra cb in
+  for i = 0 to ra - 1 do
+    for k = 0 to ca - 1 do
+      let aik = a.(i).(k) in
+      if aik <> 0. then
+        for j = 0 to cb - 1 do
+          m.(i).(j) <- m.(i).(j) +. (aik *. b.(k).(j))
+        done
+    done
+  done;
+  m
+
+let solve a0 b0 =
+  let a = copy_mat a0 in
+  let b = Array.copy b0 in
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    if Array.length a.(0) <> n || Array.length b <> n then
+      invalid_arg "Linalg.solve: non-square or mismatched";
+    for col = 0 to n - 1 do
+      (* partial pivot *)
+      let piv = ref col in
+      for r = col + 1 to n - 1 do
+        if abs_float a.(r).(col) > abs_float a.(!piv).(col) then piv := r
+      done;
+      if abs_float a.(!piv).(col) < 1e-13 then failwith "Linalg.solve: singular";
+      if !piv <> col then begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!piv);
+        a.(!piv) <- tmp;
+        let tb = b.(col) in
+        b.(col) <- b.(!piv);
+        b.(!piv) <- tb
+      end;
+      for r = col + 1 to n - 1 do
+        let factor = a.(r).(col) /. a.(col).(col) in
+        if factor <> 0. then begin
+          for j = col to n - 1 do
+            a.(r).(j) <- a.(r).(j) -. (factor *. a.(col).(j))
+          done;
+          b.(r) <- b.(r) -. (factor *. b.(col))
+        end
+      done
+    done;
+    let x = Array.make n 0. in
+    for i = n - 1 downto 0 do
+      let acc = ref b.(i) in
+      for j = i + 1 to n - 1 do
+        acc := !acc -. (a.(i).(j) *. x.(j))
+      done;
+      x.(i) <- !acc /. a.(i).(i)
+    done;
+    x
+  end
+
+let solve_lstsq a b =
+  let at = transpose a in
+  let ata = mat_mul at a in
+  let n = Array.length ata in
+  for i = 0 to n - 1 do
+    ata.(i).(i) <- ata.(i).(i) +. 1e-12
+  done;
+  let atb = mat_vec at b in
+  solve ata atb
+
+let rank_estimate ?(tol = 1e-10) a0 =
+  let a = copy_mat a0 in
+  let r, c = dims a in
+  let rank = ref 0 in
+  let row = ref 0 in
+  for col = 0 to c - 1 do
+    if !row < r then begin
+      let piv = ref !row in
+      for i = !row + 1 to r - 1 do
+        if abs_float a.(i).(col) > abs_float a.(!piv).(col) then piv := i
+      done;
+      if abs_float a.(!piv).(col) > tol then begin
+        let tmp = a.(!row) in
+        a.(!row) <- a.(!piv);
+        a.(!piv) <- tmp;
+        for i = !row + 1 to r - 1 do
+          let factor = a.(i).(col) /. a.(!row).(col) in
+          for j = col to c - 1 do
+            a.(i).(j) <- a.(i).(j) -. (factor *. a.(!row).(j))
+          done
+        done;
+        incr rank;
+        incr row
+      end
+    end
+  done;
+  !rank

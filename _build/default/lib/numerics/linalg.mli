@@ -1,0 +1,36 @@
+(** Small dense linear algebra: just enough for the estimator-derivation
+    engine (Algorithm 2's equality-constrained least squares steps) and
+    its tests. Matrices are [float array array], row major. *)
+
+type mat = float array array
+type vec = float array
+
+val make : int -> int -> mat
+(** Zero matrix with given rows × cols. *)
+
+val identity : int -> mat
+val copy_mat : mat -> mat
+val dims : mat -> int * int
+
+val mat_vec : mat -> vec -> vec
+val vec_dot : vec -> vec -> float
+val vec_sub : vec -> vec -> vec
+val vec_add : vec -> vec -> vec
+val vec_scale : float -> vec -> vec
+val vec_norm_inf : vec -> float
+
+val transpose : mat -> mat
+val mat_mul : mat -> mat -> mat
+
+val solve : mat -> vec -> vec
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. Raises [Failure] on (numerically) singular systems. [a] and
+    [b] are not modified. *)
+
+val solve_lstsq : mat -> vec -> vec
+(** Minimum-residual solution of a (possibly rectangular) system via the
+    normal equations with Tikhonov jitter [1e-12]; adequate for the tiny,
+    well-scaled systems produced by the designer engine. *)
+
+val rank_estimate : ?tol:float -> mat -> int
+(** Numerical rank via row echelon with partial pivoting. *)

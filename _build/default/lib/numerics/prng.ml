@@ -1,0 +1,118 @@
+module SplitMix64 = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let mix x =
+    let open Int64 in
+    let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+    let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+    logxor x (shift_right_logical x 31)
+
+  let next t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix t.state
+end
+
+module Xoshiro256 = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let create seed =
+    let sm = SplitMix64.create seed in
+    let s0 = SplitMix64.next sm in
+    let s1 = SplitMix64.next sm in
+    let s2 = SplitMix64.next sm in
+    let s3 = SplitMix64.next sm in
+    (* The all-zero state is the only invalid one; SplitMix64 outputs make it
+       astronomically unlikely, but guard anyway. *)
+    if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+      { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+    else { s0; s1; s2; s3 }
+
+  let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+  let rotl x k =
+    Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let next t =
+    let open Int64 in
+    let result = mul (rotl (mul t.s1 5L) 7) 9L in
+    let tt = shift_left t.s1 17 in
+    t.s2 <- logxor t.s2 t.s0;
+    t.s3 <- logxor t.s3 t.s1;
+    t.s1 <- logxor t.s1 t.s2;
+    t.s0 <- logxor t.s0 t.s3;
+    t.s2 <- logxor t.s2 tt;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let jump_table =
+    [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+  let jump t =
+    let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+    Array.iter
+      (fun jump ->
+        for b = 0 to 63 do
+          if Int64.logand jump (Int64.shift_left 1L b) <> 0L then begin
+            s0 := Int64.logxor !s0 t.s0;
+            s1 := Int64.logxor !s1 t.s1;
+            s2 := Int64.logxor !s2 t.s2;
+            s3 := Int64.logxor !s3 t.s3
+          end;
+          ignore (next t)
+        done)
+      jump_table;
+    t.s0 <- !s0;
+    t.s1 <- !s1;
+    t.s2 <- !s2;
+    t.s3 <- !s3
+end
+
+type t = Xoshiro256.t
+
+let create ?(seed = 0x5EED) () = Xoshiro256.create (Int64.of_int seed)
+let copy = Xoshiro256.copy
+
+let split t =
+  let u = Xoshiro256.copy t in
+  Xoshiro256.jump u;
+  u
+
+let bits64 = Xoshiro256.next
+
+(* 2^-53 *)
+let ulp53 = 1.110223024625156540e-16
+
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. ulp53
+
+let rec float_open t =
+  let x = float t in
+  if x > 0. then x else float_open t
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec go () =
+    let bits = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub bits v > Int64.sub (Int64.sub Int64.max_int n64) 1L then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let exponential t lambda = -.log (float_open t) /. lambda
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,85 @@
+(** Deterministic pseudo-random number generation.
+
+    Two generators are provided, both implemented from scratch:
+
+    - {!SplitMix64}: the SplitMix64 sequence (Steele, Lea & Flood 2014).
+      Stateless jumps, excellent for seeding and for hashing-style usage.
+    - {!Xoshiro256}: xoshiro256** (Blackman & Vigna 2018), the general
+      purpose generator used everywhere randomness is consumed.
+
+    All state is explicit; no global mutable state is hidden from the
+    caller, so every experiment in this repository is reproducible from a
+    single integer seed. *)
+
+(** SplitMix64: a fixed-increment counter passed through an avalanching
+    finalizer. Useful both as a small PRNG and as the seed expander for
+    {!Xoshiro256}. *)
+module SplitMix64 : sig
+  type t
+  (** Mutable generator state (a single 64-bit counter). *)
+
+  val create : int64 -> t
+  (** [create seed] initializes the state with [seed]. *)
+
+  val next : t -> int64
+  (** [next t] advances the state and returns the next 64-bit output. *)
+
+  val mix : int64 -> int64
+  (** [mix x] is the pure SplitMix64 finalizer applied to [x]: a bijective
+      avalanching function on 64 bits. Used by {!Hashing}. *)
+end
+
+(** xoshiro256**: 256 bits of state, period [2^256 - 1]. *)
+module Xoshiro256 : sig
+  type t
+
+  val create : int64 -> t
+  (** [create seed] expands [seed] into 256 bits of state via SplitMix64,
+      guaranteeing a non-zero state. *)
+
+  val copy : t -> t
+  (** [copy t] is an independent clone of the current state. *)
+
+  val next : t -> int64
+  (** Next raw 64-bit output. *)
+
+  val jump : t -> unit
+  (** [jump t] advances [t] by [2^128] steps; use to split one seed into
+      non-overlapping streams. *)
+end
+
+type t
+(** A random source: xoshiro256** state plus convenience samplers. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds a source from integer [seed] (default [0x5EED]). *)
+
+val copy : t -> t
+(** Independent clone. *)
+
+val split : t -> t
+(** [split t] returns a new source whose stream is independent of the
+    (future of the) original: the clone is jumped ahead by [2^128]. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val float : t -> float
+(** Uniform float in [[0,1)], using the top 53 bits. *)
+
+val float_open : t -> float
+(** Uniform float in the open interval [(0,1)]: never returns [0.], so it is
+    safe to take logarithms (used by EXP ranks). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n-1]]; [n] must be positive. Uses rejection
+    to avoid modulo bias. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] draws from Exp(lambda). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

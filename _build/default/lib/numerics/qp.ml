@@ -1,0 +1,148 @@
+type result = { x : float array; objective : float; iterations : int }
+
+let dot = Linalg.vec_dot
+
+let objective_value ~q ~c x =
+  let acc = ref 0. in
+  Array.iteri (fun i xi -> acc := !acc +. (0.5 *. q.(i) *. xi *. xi) -. (c.(i) *. xi)) x;
+  !acc
+
+(* Solve the KKT system for the equality-constrained subproblem
+     min ½ xᵀdiag(q)x − cᵀx   s.t.  rows·x = rhs
+   Returns (x, multipliers). *)
+let solve_kkt ~q ~c rows rhs =
+  let n = Array.length q in
+  let m = Array.length rows in
+  let dim = n + m in
+  let a = Linalg.make dim dim in
+  let b = Array.make dim 0. in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- q.(i);
+    b.(i) <- c.(i)
+  done;
+  Array.iteri
+    (fun k row ->
+      for j = 0 to n - 1 do
+        a.(n + k).(j) <- row.(j);
+        a.(j).(n + k) <- row.(j)
+      done;
+      (* Tiny dual regularization keeps the KKT system nonsingular when
+         active constraints are (numerically) redundant — duplicates then
+         share the multiplier instead of producing a singular solve. *)
+      a.(n + k).(n + k) <- -1e-10;
+      b.(n + k) <- rhs.(k))
+    rows;
+  let sol = try Linalg.solve a b with Failure _ -> Linalg.solve_lstsq a b in
+  (Array.sub sol 0 n, Array.sub sol n m)
+
+let minimize ?(eps = 1e-9) ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+  let n = Array.length q in
+  Array.iter (fun qi -> if qi <= 0. then invalid_arg "Qp.minimize: q must be > 0") q;
+  (* Append the implicit x >= 0 bounds as -x_i <= 0 rows. *)
+  let bound_row i =
+    let r = Array.make n 0. in
+    r.(i) <- -1.;
+    r
+  in
+  (* Deduplicate inequality rows (symmetric problems produce many exact
+     duplicates, which needlessly degrade the active-set iteration). *)
+  let seen = Hashtbl.create 16 in
+  let dedup_rows = ref [] and dedup_rhs = ref [] in
+  Array.iteri
+    (fun k row ->
+      let key = (Array.to_list row, b_ub.(k)) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        dedup_rows := row :: !dedup_rows;
+        dedup_rhs := b_ub.(k) :: !dedup_rhs
+      end)
+    a_ub;
+  let a_ub = Array.of_list (List.rev !dedup_rows) in
+  let b_ub = Array.of_list (List.rev !dedup_rhs) in
+  let ub_rows = Array.append a_ub (Array.init n bound_row) in
+  let ub_rhs = Array.append b_ub (Array.make n 0.) in
+  let m_ub = Array.length ub_rows in
+  (* Feasible start from phase-1 simplex (enforces x >= 0 natively). *)
+  match Simplex.maximize ~c:(Array.make n 0.) ~a_ub ~b_ub ~a_eq ~b_eq () with
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> None (* cannot happen: objective is constant *)
+  | Simplex.Optimal (_, x0) -> (
+      let x = ref x0 in
+      let active = Array.make m_ub false in
+      for k = 0 to m_ub - 1 do
+        if abs_float (dot ub_rows.(k) !x -. ub_rhs.(k)) <= eps then active.(k) <- true
+      done;
+      let iterations = ref 0 in
+      let max_iter = 200 + (20 * (n + m_ub)) in
+      let result = ref None in
+      while !result = None do
+        incr iterations;
+        if !iterations > max_iter then failwith "Qp.minimize: did not converge";
+        let active_idx =
+          List.filter (fun k -> active.(k)) (List.init m_ub Fun.id)
+        in
+        let rows =
+          Array.append a_eq (Array.of_list (List.map (fun k -> ub_rows.(k)) active_idx))
+        in
+        let rhs =
+          Array.append b_eq (Array.of_list (List.map (fun k -> ub_rhs.(k)) active_idx))
+        in
+        let xk, lambda = solve_kkt ~q ~c rows rhs in
+        (* Is the KKT point feasible for the inactive inequalities? *)
+        let violated = ref (-1) in
+        let step = ref 1. in
+        let d = Linalg.vec_sub xk !x in
+        if Linalg.vec_norm_inf d > eps then begin
+          for k = 0 to m_ub - 1 do
+            if not active.(k) then begin
+              let ad = dot ub_rows.(k) d in
+              if ad > eps then begin
+                let slack = ub_rhs.(k) -. dot ub_rows.(k) !x in
+                let alpha = slack /. ad in
+                if alpha < !step -. 1e-15 then begin
+                  step := max 0. alpha;
+                  violated := k
+                end
+              end
+            end
+          done
+        end;
+        if !violated >= 0 then begin
+          (* Blocked: advance to the blocking constraint and activate it. *)
+          x := Linalg.vec_add !x (Linalg.vec_scale !step d);
+          active.(!violated) <- true
+        end
+        else begin
+          x := xk;
+          (* Check multipliers of active inequality constraints. *)
+          let m_eq = Array.length a_eq in
+          let worst = ref (-1) in
+          let worst_val = ref (-.eps) in
+          List.iteri
+            (fun pos k ->
+              let l = lambda.(m_eq + pos) in
+              if l < !worst_val then begin
+                worst_val := l;
+                worst := k
+              end)
+            active_idx;
+          if !worst >= 0 then active.(!worst) <- false
+          else
+            result :=
+              Some { x = !x; objective = objective_value ~q ~c !x; iterations = !iterations }
+        end
+      done;
+      !result)
+
+let least_squares_targets ?eps ~weights ~targets ~a_ub ~b_ub ~a_eq ~b_eq () =
+  let q = Array.map (fun w -> 2. *. w) weights in
+  let c = Array.mapi (fun i w -> 2. *. w *. targets.(i)) weights in
+  match minimize ?eps ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq () with
+  | None -> None
+  | Some r ->
+      (* The QP objective is Σw(x−t)² − Σwt²; shift to report Σw(x−t)². *)
+      let const =
+        Array.fold_left ( +. ) 0.
+          (Array.mapi (fun i w -> w *. targets.(i) *. targets.(i)) weights)
+      in
+      Some { r with objective = r.objective +. const }

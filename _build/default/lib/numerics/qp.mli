@@ -1,0 +1,48 @@
+(** Small convex quadratic programming by the primal active-set method.
+
+    Solves
+
+    {v min ½ xᵀ diag(q) x − cᵀ x
+       s.t.  a_eq x = b_eq,  a_ub x ≤ b_ub,  x ≥ 0 v}
+
+    with [q > 0] componentwise (strictly convex separable objective).
+
+    This is exactly the shape of the local optimization in the paper's
+    Algorithm 2 (ordered-partition estimator f^(U)): minimize the sum of
+    conditional variances of the current batch — a diagonal weighted
+    least-squares in the estimate values — subject to unbiasedness
+    (equalities) and nonnegativity-preservation for later vectors
+    (inequalities). Problems have at most a few dozen variables. *)
+
+type result = {
+  x : float array;  (** optimal point *)
+  objective : float;  (** ½ xᵀQx − cᵀx at the optimum *)
+  iterations : int;
+}
+
+val minimize :
+  ?eps:float ->
+  q:float array ->
+  c:float array ->
+  a_ub:float array array ->
+  b_ub:float array ->
+  a_eq:float array array ->
+  b_eq:float array ->
+  unit ->
+  result option
+(** Returns [None] when the constraints are infeasible. Raises [Failure]
+    if the active-set loop fails to converge (ill-posed input). *)
+
+val least_squares_targets :
+  ?eps:float ->
+  weights:float array ->
+  targets:float array ->
+  a_ub:float array array ->
+  b_ub:float array ->
+  a_eq:float array array ->
+  b_eq:float array ->
+  unit ->
+  result option
+(** Convenience wrapper: minimize [Σ weights_i (x_i − targets_i)²] under the
+    same constraints — the variance-minimization form used by the designer
+    (weights are outcome probabilities, targets the function value). *)

@@ -1,0 +1,197 @@
+type status =
+  | Optimal of float * float array
+  | Infeasible
+  | Unbounded
+
+(* Internal tableau representation: [rows] is the constraint matrix in
+   equality form with RHS in the last column; [basis.(r)] is the index of
+   the basic variable of row [r]. The objective row [obj] holds reduced
+   costs (minimization convention) with the negated objective value in the
+   last slot. *)
+type tableau = {
+  mutable rows : float array array;
+  mutable basis : int array;
+  nv : int; (* columns excluding RHS *)
+}
+
+let pivot t obj r c =
+  let row = t.rows.(r) in
+  let p = row.(c) in
+  for j = 0 to t.nv do
+    row.(j) <- row.(j) /. p
+  done;
+  let eliminate target =
+    let f = target.(c) in
+    if f <> 0. then
+      for j = 0 to t.nv do
+        target.(j) <- target.(j) -. (f *. row.(j))
+      done
+  in
+  Array.iteri (fun i tr -> if i <> r then eliminate tr) t.rows;
+  eliminate obj;
+  t.basis.(r) <- c
+
+(* Bland's rule simplex on the current tableau; minimizes the objective
+   encoded in [obj]'s reduced costs. [allowed j] restricts entering
+   columns. Returns [`Optimal] or [`Unbounded]. *)
+let iterate ~eps t obj ~allowed =
+  let m = Array.length t.rows in
+  let rec loop guard =
+    if guard = 0 then failwith "Simplex.iterate: iteration limit";
+    (* Entering: smallest index with negative reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.nv - 1 do
+         if allowed j && obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let c = !entering in
+      (* Ratio test with Bland tie-breaking on basis index. *)
+      let best = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to m - 1 do
+        let a = t.rows.(r).(c) in
+        if a > eps then begin
+          let ratio = t.rows.(r).(t.nv) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (abs_float (ratio -. !best_ratio) <= eps
+               && (!best < 0 || t.basis.(r) < t.basis.(!best)))
+          then begin
+            best := r;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best < 0 then `Unbounded
+      else begin
+        pivot t obj !best c;
+        loop (guard - 1)
+      end
+    end
+  in
+  loop 200_000
+
+(* Build reduced-cost row for cost vector [costs] under the current basis. *)
+let objective_row t costs =
+  let obj = Array.make (t.nv + 1) 0. in
+  Array.blit costs 0 obj 0 (Array.length costs);
+  Array.iteri
+    (fun r row ->
+      let cb = costs.(t.basis.(r)) in
+      if cb <> 0. then
+        for j = 0 to t.nv do
+          obj.(j) <- obj.(j) -. (cb *. row.(j))
+        done)
+    t.rows;
+  obj
+
+let maximize ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+  let n = Array.length c in
+  let m_ub = Array.length a_ub and m_eq = Array.length a_eq in
+  let m = m_ub + m_eq in
+  (* Columns: n originals, m_ub slacks, m artificials. *)
+  let n_slack = m_ub in
+  let nv = n + n_slack + m in
+  let rows = Array.make_matrix m (nv + 1) 0. in
+  let basis = Array.make m 0 in
+  for i = 0 to m_ub - 1 do
+    let row = rows.(i) in
+    Array.iteri (fun j v -> row.(j) <- v) a_ub.(i);
+    row.(n + i) <- 1.;
+    row.(nv) <- b_ub.(i);
+    if row.(nv) < 0. then
+      for j = 0 to nv do
+        row.(j) <- -.row.(j)
+      done;
+    row.(n + n_slack + i) <- 1.;
+    basis.(i) <- n + n_slack + i
+  done;
+  for k = 0 to m_eq - 1 do
+    let i = m_ub + k in
+    let row = rows.(i) in
+    Array.iteri (fun j v -> row.(j) <- v) a_eq.(k);
+    row.(nv) <- b_eq.(k);
+    if row.(nv) < 0. then
+      for j = 0 to nv do
+        row.(j) <- -.row.(j)
+      done;
+    row.(n + n_slack + i) <- 1.;
+    basis.(i) <- n + n_slack + i
+  done;
+  let t = { rows; basis; nv } in
+  let is_artificial j = j >= n + n_slack in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase1_costs = Array.init nv (fun j -> if is_artificial j then 1. else 0.) in
+  let obj1 = objective_row t phase1_costs in
+  (match iterate ~eps t obj1 ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase 1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  let phase1_value = -.obj1.(t.nv) in
+  if phase1_value > 1e-7 then Infeasible
+  else begin
+    (* Drive remaining artificials out of the basis; drop redundant rows. *)
+    let keep = ref [] in
+    Array.iteri
+      (fun r _ ->
+        if is_artificial t.basis.(r) then begin
+          (* Try to pivot in any non-artificial column with nonzero coeff. *)
+          let found = ref false in
+          (try
+             for j = 0 to n + n_slack - 1 do
+               if abs_float t.rows.(r).(j) > 1e-8 then begin
+                 pivot t obj1 r j;
+                 found := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !found then keep := r :: !keep
+          (* else: redundant row, drop it *)
+        end
+        else keep := r :: !keep)
+      t.rows;
+    let keep = List.sort compare !keep in
+    let rows' = Array.of_list (List.map (fun r -> t.rows.(r)) keep) in
+    let basis' = Array.of_list (List.map (fun r -> t.basis.(r)) keep) in
+    t.rows <- rows';
+    t.basis <- basis';
+    (* Phase 2: minimize -c (i.e. maximize c), artificials forbidden. *)
+    let phase2_costs = Array.make t.nv 0. in
+    for j = 0 to n - 1 do
+      phase2_costs.(j) <- -.c.(j)
+    done;
+    let obj2 = objective_row t phase2_costs in
+    match iterate ~eps t obj2 ~allowed:(fun j -> not (is_artificial j)) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let x = Array.make n 0. in
+        Array.iteri
+          (fun r b -> if b < n then x.(b) <- t.rows.(r).(t.nv))
+          t.basis;
+        (* [obj2.(nv)] = -(phase-2 objective) = -(-c·x) = c·x. *)
+        Optimal (obj2.(t.nv), x)
+  end
+
+let feasible ?(eps = 1e-9) ~a_ub ~b_ub ~a_eq ~b_eq () =
+  let n =
+    if Array.length a_ub > 0 then Array.length a_ub.(0)
+    else if Array.length a_eq > 0 then Array.length a_eq.(0)
+    else 0
+  in
+  match maximize ~eps ~c:(Array.make n 0.) ~a_ub ~b_ub ~a_eq ~b_eq () with
+  | Optimal _ -> true
+  | Infeasible -> false
+  | Unbounded -> true
+
+let solve_eq_nonneg ?(eps = 1e-9) a b =
+  let n = if Array.length a > 0 then Array.length a.(0) else 0 in
+  match maximize ~eps ~c:(Array.make n 0.) ~a_ub:[||] ~b_ub:[||] ~a_eq:a ~b_eq:b () with
+  | Optimal (_, x) -> Some x
+  | Infeasible -> None
+  | Unbounded -> None

@@ -1,0 +1,45 @@
+(** Dense two-phase simplex for small linear programs.
+
+    Used as the {e existence oracle} for estimators: a nonnegative
+    unbiased estimator exists iff the linear system
+    [forall v, sum_S Pr(S|v) f(S) = f(v), f >= 0] is feasible
+    (Section 6's impossibility theorems become LP infeasibility
+    certificates). Problems have at most a few dozen variables, so a
+    straightforward dense tableau with Bland's anti-cycling rule is
+    plenty. *)
+
+type status =
+  | Optimal of float * float array  (** objective value, primal solution *)
+  | Infeasible
+  | Unbounded
+
+val maximize :
+  ?eps:float ->
+  c:float array ->
+  a_ub:float array array ->
+  b_ub:float array ->
+  a_eq:float array array ->
+  b_eq:float array ->
+  unit ->
+  status
+(** [maximize ~c ~a_ub ~b_ub ~a_eq ~b_eq ()] solves
+
+    {v max c·x  s.t.  a_ub x <= b_ub,  a_eq x = b_eq,  x >= 0 v}
+
+    by two-phase simplex with Bland's rule. [eps] (default [1e-9]) is the
+    feasibility/pivot tolerance. Right-hand sides may be negative (rows are
+    normalized internally). *)
+
+val feasible :
+  ?eps:float ->
+  a_ub:float array array ->
+  b_ub:float array ->
+  a_eq:float array array ->
+  b_eq:float array ->
+  unit ->
+  bool
+(** Pure feasibility check of the same constraint system (phase 1 only). *)
+
+val solve_eq_nonneg : ?eps:float -> float array array -> float array -> float array option
+(** [solve_eq_nonneg a b] returns some nonnegative solution of [a x = b],
+    or [None] when none exists. *)

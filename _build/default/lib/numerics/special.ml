@@ -1,0 +1,98 @@
+let log1p = Stdlib.log1p
+let expm1 = Stdlib.expm1
+
+let binomial n k =
+  if k < 0 || k > n || n < 0 then 0.
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1. in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    (* The product of integer ratios is exact when the result fits in 53
+       bits; round to the nearest integer to undo accumulated rounding. *)
+    Float.round !acc
+  end
+
+let binomial_int n k =
+  if n > 62 then invalid_arg "Special.binomial_int: n too large";
+  if k < 0 || k > n || n < 0 then 0 else int_of_float (binomial n k)
+
+let pow_int x n =
+  if n < 0 then invalid_arg "Special.pow_int: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (acc *. base) (base *. base) (n asr 1)
+    else go acc (base *. base) (n asr 1)
+  in
+  go 1. x n
+
+let log_binomial n k =
+  if k < 0 || k > n then neg_infinity
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 0. in
+    for i = 1 to k do
+      acc := !acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)
+    done;
+    !acc
+  end
+
+let falling x k =
+  let acc = ref 1. in
+  for i = 0 to k - 1 do
+    acc := !acc *. (x -. float_of_int i)
+  done;
+  !acc
+
+let harmonic n =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. float_of_int i)
+  done;
+  !acc
+
+let generalized_harmonic n s =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (float_of_int i ** -.s)
+  done;
+  !acc
+
+let solve_bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo in
+  if flo = 0. then lo
+  else begin
+    let fhi = f hi in
+    if fhi = 0. then hi
+    else begin
+    if flo *. fhi > 0. then
+      invalid_arg "Special.solve_bisect: no sign change on interval";
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while
+      !iter < max_iter
+      && !hi -. !lo > tol *. (1. +. abs_float !lo +. abs_float !hi)
+    do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+    end
+  end
+
+let float_equal ?(eps = 1e-9) a b =
+  if a = b then true
+  else
+    let scale = max 1. (max (abs_float a) (abs_float b)) in
+    abs_float (a -. b) <= eps *. scale

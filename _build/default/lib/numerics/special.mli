@@ -1,0 +1,41 @@
+(** Small special-function / combinatorics toolkit needed by the estimator
+    closed forms and their analysis. *)
+
+val log1p : float -> float
+(** [log (1 + x)] accurate for small [x]. *)
+
+val expm1 : float -> float
+(** [exp x - 1] accurate for small [x]. *)
+
+val binomial : int -> int -> float
+(** [binomial n k] = C(n,k) as a float; [0.] outside the triangle. Exact for
+    all values representable in 53 bits (ample: we use n ≤ 64). *)
+
+val binomial_int : int -> int -> int
+(** Exact integer C(n,k); raises [Invalid_argument] on overflow risk
+    (n > 62). *)
+
+val pow_int : float -> int -> float
+(** [pow_int x n] = x^n by binary exponentiation, [n ≥ 0]. *)
+
+val log_binomial : int -> int -> float
+(** log C(n,k) via lgamma-free summation (used for large-n tail bounds). *)
+
+val falling : float -> int -> float
+(** Falling factorial x(x-1)...(x-k+1). *)
+
+val harmonic : int -> float
+(** n-th harmonic number. *)
+
+val generalized_harmonic : int -> float -> float
+(** [generalized_harmonic n s] = sum_{i=1..n} i^{-s} (Zipf normalizer). *)
+
+val solve_bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [solve_bisect f lo hi] finds a root of [f] in [[lo,hi]] by bisection;
+    [f lo] and [f hi] must have opposite (or zero) signs. Default
+    [tol = 1e-12] on the interval width (relative to magnitude),
+    [max_iter = 200]. *)
+
+val float_equal : ?eps:float -> float -> float -> bool
+(** Approximate comparison: absolute for tiny magnitudes, relative
+    otherwise. Default [eps = 1e-9]. *)

@@ -1,0 +1,69 @@
+(** Streaming and batch statistics used throughout the test and benchmark
+    harnesses: Welford accumulators, (co)variance, confidence intervals,
+    coefficient of variation. *)
+
+(** Numerically stable single-pass mean/variance accumulator (Welford). *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of the observations ([nan] when empty). *)
+
+  val var : t -> float
+  (** Population variance (divide by [n]). *)
+
+  val var_sample : t -> float
+  (** Sample variance (divide by [n-1]); [nan] when [n < 2]. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+  (** Combine two accumulators (parallel Welford / Chan's formula). *)
+end
+
+(** Streaming covariance of paired observations. *)
+module Cov : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> float -> unit
+  val cov : t -> float
+  (** Population covariance. *)
+
+  val corr : t -> float
+  (** Pearson correlation ([nan] when degenerate). *)
+end
+
+val mean : float array -> float
+val variance : float array -> float
+(** Population variance of the array. *)
+
+val stddev : float array -> float
+
+val cv : mean:float -> var:float -> float
+(** Coefficient of variation: [sqrt var /. mean]. *)
+
+val normal_ci : level:float -> mean:float -> var:float -> n:int -> float * float
+(** Normal-approximation confidence interval for the mean of [n]
+    observations whose per-observation variance is [var]. [level] is e.g.
+    [0.95]. *)
+
+val z_of_level : float -> float
+(** Two-sided standard-normal quantile for confidence [level] (e.g.
+    [z_of_level 0.95 ≈ 1.96]); computed by bisection on {!erf}. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26 style rational approximation,
+    accurate to ~1.5e-7 — ample for CI construction). *)
+
+val quantile : float array -> float -> float
+(** [quantile a q] with [q ∈ [0,1]]: linear-interpolation quantile of a copy
+    of [a] (the input is not modified). *)
+
+val chi_square_uniform : counts:int array -> float
+(** Chi-square statistic of observed [counts] against the uniform
+    distribution over [Array.length counts] cells. *)

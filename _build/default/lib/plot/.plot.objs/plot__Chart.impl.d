@@ -1,0 +1,1 @@
+lib/plot/chart.ml: Array Buffer Float Fun List Printf String Svg

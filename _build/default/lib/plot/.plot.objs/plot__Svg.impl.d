@@ -1,0 +1,1 @@
+lib/plot/svg.ml: Buffer Float List Printf String

@@ -1,0 +1,323 @@
+type scale = Linear | Log
+type series = { label : string; points : (float * float) list }
+
+type spec = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_scale : scale;
+  y_scale : scale;
+  series : series list;
+  width : float;
+  height : float;
+}
+
+let default =
+  {
+    title = "";
+    x_label = "";
+    y_label = "";
+    x_scale = Linear;
+    y_scale = Linear;
+    series = [];
+    width = 720.;
+    height = 440.;
+  }
+
+(* Reference categorical palette, light mode, fixed slot order
+   (validated: worst adjacent CVD ΔE 24.2; sub-3:1 slots are relieved by
+   direct labels and the printed table view). *)
+let palette =
+  [|
+    "#2a78d6" (* blue *);
+    "#1baf7a" (* aqua *);
+    "#eda100" (* yellow *);
+    "#008300" (* green *);
+    "#4a3aa7" (* violet *);
+    "#e34948" (* red *);
+    "#e87ba4" (* magenta *);
+    "#eb6834" (* orange *);
+  |]
+
+let surface = "#fcfcfb"
+let grid_color = "#eceae6"
+let ink = "#0b0b0b"
+let ink_secondary = "#52514e"
+
+let ticks scale ~lo ~hi =
+  match scale with
+  | Linear ->
+      if hi <= lo then [ lo ]
+      else begin
+        let range = hi -. lo in
+        let raw = range /. 5. in
+        let mag = 10. ** floor (log10 raw) in
+        let step =
+          let m = raw /. mag in
+          if m <= 1. then mag
+          else if m <= 2. then 2. *. mag
+          else if m <= 5. then 5. *. mag
+          else 10. *. mag
+        in
+        let first = ceil (lo /. step) *. step in
+        let rec go acc t =
+          if t > hi +. (step /. 1e6) then List.rev acc
+          else go ((if abs_float t < step /. 1e6 then 0. else t) :: acc) (t +. step)
+        in
+        go [] first
+      end
+  | Log ->
+      if lo <= 0. || hi <= lo then [ Float.max lo 1e-300 ]
+      else begin
+        let d0 = int_of_float (floor (log10 lo +. 1e-12)) in
+        let d1 = int_of_float (ceil (log10 hi -. 1e-12)) in
+        let decades = List.init (d1 - d0 + 1) (fun i -> 10. ** float_of_int (d0 + i)) in
+        if List.length decades >= 3 then
+          List.filter (fun t -> t >= lo /. 1.001 && t <= hi *. 1.001) decades
+        else begin
+          (* Under three decades: add 2 and 5 mantissas. *)
+          List.concat_map
+            (fun d -> [ d; 2. *. d; 5. *. d ])
+            decades
+          |> List.filter (fun t -> t >= lo /. 1.001 && t <= hi *. 1.001)
+          |> List.sort_uniq compare
+        end
+      end
+
+let tick_label v =
+  if v = 0. then "0"
+  else begin
+    let a = abs_float v in
+    if a >= 1e5 || a < 1e-3 then begin
+      (* 1e+05 style, trimmed. *)
+      let s = Printf.sprintf "%.0e" v in
+      s
+    end
+    else if Float.is_integer v then begin
+      (* Thousands separators. *)
+      let s = Printf.sprintf "%.0f" (abs_float v) in
+      let n = String.length s in
+      let buf = Buffer.create (n + 4) in
+      if v < 0. then Buffer.add_char buf '-';
+      String.iteri
+        (fun i c ->
+          if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf c)
+        s;
+      Buffer.contents buf
+    end
+    else begin
+      let s = Printf.sprintf "%.4f" v in
+      (* Trim trailing zeros. *)
+      let rec trim i = if i > 0 && s.[i] = '0' then trim (i - 1) else i in
+      let last = trim (String.length s - 1) in
+      let last = if s.[last] = '.' then last - 1 else last in
+      String.sub s 0 (last + 1)
+    end
+  end
+
+type extent = { lo : float; hi : float }
+
+let extent_of scale values =
+  let values =
+    match scale with Log -> List.filter (fun v -> v > 0.) values | Linear -> values
+  in
+  match values with
+  | [] -> { lo = 0.; hi = 1. }
+  | v :: _ ->
+      let lo = List.fold_left Float.min v values in
+      let hi = List.fold_left Float.max v values in
+      if lo = hi then
+        match scale with
+        | Linear -> { lo = lo -. 1.; hi = hi +. 1. }
+        | Log -> { lo = lo /. 10.; hi = hi *. 10. }
+      else begin
+        match scale with
+        | Linear ->
+            (* Pad 5%; anchor to zero when close. *)
+            let pad = 0.05 *. (hi -. lo) in
+            let lo = if lo >= 0. && lo -. pad < 0. then 0. else lo -. pad in
+            { lo; hi = hi +. pad }
+        | Log -> { lo = lo /. 1.3; hi = hi *. 1.3 }
+      end
+
+let project scale ext ~a ~b v =
+  match scale with
+  | Linear -> a +. ((v -. ext.lo) /. (ext.hi -. ext.lo) *. (b -. a))
+  | Log ->
+      let l v = log10 v in
+      a +. ((l v -. l ext.lo) /. (l ext.hi -. l ext.lo) *. (b -. a))
+
+let render spec =
+  if List.length spec.series > Array.length palette then
+    invalid_arg "Chart.render: more series than categorical slots — fold or facet";
+  let margin_l = 72. and margin_r = 150. and margin_t = 48. and margin_b = 56. in
+  let x0 = margin_l and x1 = spec.width -. margin_r in
+  let y0 = spec.height -. margin_b and y1 = margin_t in
+  (* y0 is the bottom (baseline), y1 the top. *)
+  let clean s =
+    List.filter
+      (fun (x, y) ->
+        (spec.x_scale = Linear || x > 0.) && (spec.y_scale = Linear || y > 0.))
+      s.points
+  in
+  let all_points = List.concat_map clean spec.series in
+  let xext = extent_of spec.x_scale (List.map fst all_points) in
+  let yext = extent_of spec.y_scale (List.map snd all_points) in
+  let px v = project spec.x_scale xext ~a:x0 ~b:x1 v in
+  let py v = project spec.y_scale yext ~a:y0 ~b:y1 v in
+  let open Svg in
+  let background =
+    rect ~x:0. ~y:0. ~w:spec.width ~h:spec.height ~attrs:[ ("fill", surface) ] ()
+  in
+  let xticks = ticks spec.x_scale ~lo:xext.lo ~hi:xext.hi in
+  let yticks = ticks spec.y_scale ~lo:yext.lo ~hi:yext.hi in
+  let gridlines =
+    List.map
+      (fun t ->
+        line ~x1:x0 ~y1:(py t) ~x2:x1 ~y2:(py t)
+          ~attrs:[ ("stroke", grid_color); ("stroke-width", "1") ]
+          ())
+      yticks
+  in
+  let axes =
+    [
+      line ~x1:x0 ~y1:y0 ~x2:x1 ~y2:y0
+        ~attrs:[ ("stroke", ink_secondary); ("stroke-width", "1") ]
+        ();
+      line ~x1:x0 ~y1:y0 ~x2:x0 ~y2:y1
+        ~attrs:[ ("stroke", ink_secondary); ("stroke-width", "1") ]
+        ();
+    ]
+  in
+  let x_tick_marks =
+    List.concat_map
+      (fun t ->
+        [
+          line ~x1:(px t) ~y1:y0 ~x2:(px t) ~y2:(y0 +. 4.)
+            ~attrs:[ ("stroke", ink_secondary); ("stroke-width", "1") ]
+            ();
+          text ~x:(px t) ~y:(y0 +. 18.) ~anchor:"middle" ~size:11.
+            ~fill:ink_secondary (tick_label t);
+        ])
+      xticks
+  in
+  let y_tick_labels =
+    List.map
+      (fun t ->
+        text ~x:(x0 -. 8.) ~y:(py t +. 4.) ~anchor:"end" ~size:11.
+          ~fill:ink_secondary (tick_label t))
+      yticks
+  in
+  let series_marks =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           let pts = List.map (fun (x, y) -> (px x, py y)) (clean s) in
+           match pts with
+           | [] -> []
+           | _ ->
+               let color = palette.(i) in
+               let lineel =
+                 polyline ~points:pts
+                   ~attrs:
+                     [
+                       ("stroke", color);
+                       ("stroke-width", "2");
+                       ("stroke-linejoin", "round");
+                       ("stroke-linecap", "round");
+                     ]
+                   ()
+               in
+               let ex, ey = List.nth pts (List.length pts - 1) in
+               (* End marker: r = 4 (8px) with a 2px surface ring. *)
+               let marker =
+                 circle ~cx:ex ~cy:ey ~r:4.
+                   ~attrs:
+                     [
+                       ("fill", color); ("stroke", surface); ("stroke-width", "2");
+                     ]
+                   ()
+               in
+               [ lineel; marker ])
+         spec.series)
+  in
+  (* Direct end labels: sparing — drop (never stack) on collision; the
+     legend below carries identity regardless. *)
+  let end_labels =
+    let ends =
+      List.mapi
+        (fun i s ->
+          match List.rev (clean s) with
+          | [] -> None
+          | (x, y) :: _ -> Some (i, s.label, px x, py y))
+        spec.series
+      |> List.filter_map Fun.id
+      |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+    in
+    let rec keep prev = function
+      | [] -> []
+      | ((_, _, _, y) as e) :: rest ->
+          if abs_float (y -. prev) < 13. then keep prev rest
+          else e :: keep y rest
+    in
+    let kept = if List.length spec.series <= 4 then keep neg_infinity ends else [] in
+    List.map
+      (fun (_, label, x, y) ->
+        text ~x:(x +. 10.) ~y:(y +. 4.) ~size:11. ~fill:ink label)
+      kept
+  in
+  let legend =
+    if List.length spec.series < 2 then []
+    else begin
+      let lx = x1 +. 24. in
+      List.concat
+        (List.mapi
+           (fun i s ->
+             let ly = y1 +. 10. +. (float_of_int i *. 20.) in
+             [
+               line ~x1:lx ~y1:ly ~x2:(lx +. 18.) ~y2:ly
+                 ~attrs:
+                   [
+                     ("stroke", palette.(i));
+                     ("stroke-width", "2");
+                     ("stroke-linecap", "round");
+                   ]
+                 ();
+               text ~x:(lx +. 24.) ~y:(ly +. 4.) ~size:11. ~fill:ink s.label;
+             ])
+           spec.series)
+    end
+  in
+  let titles =
+    [
+      text ~x:margin_l ~y:26. ~size:14. ~weight:"600" ~fill:ink spec.title;
+      text
+        ~x:((x0 +. x1) /. 2.)
+        ~y:(spec.height -. 14.)
+        ~anchor:"middle" ~size:12. ~fill:ink_secondary spec.x_label;
+      el "text"
+        ~attrs:
+          [
+            ("x", "0");
+            ("y", "0");
+            ("transform",
+             Printf.sprintf "translate(16,%f) rotate(-90)" ((y0 +. y1) /. 2.));
+            ("text-anchor", "middle");
+            ("font-size", "12");
+            ("fill", ink_secondary);
+            ( "font-family",
+              "system-ui, -apple-system, 'Segoe UI', Roboto, 'Helvetica \
+               Neue', sans-serif" );
+          ]
+        [ text_node spec.y_label ];
+    ]
+  in
+  document ~width:spec.width ~height:spec.height
+    ((background :: gridlines) @ axes @ x_tick_marks @ y_tick_labels
+    @ series_marks @ end_labels @ legend @ titles)
+
+let write ~path spec =
+  let oc = open_out path in
+  output_string oc (render spec);
+  close_out oc

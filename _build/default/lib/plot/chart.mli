@@ -1,0 +1,51 @@
+(** Line-chart rendering to standalone SVG — used by the benchmark
+    harness to draw the paper's figures from the regenerated series.
+
+    Visual contract (deliberately fixed): a light chart surface; hairline
+    solid gridlines one step off the surface; 2px series lines with round
+    joins; ≥8px end markers carrying a 2px surface ring; a legend
+    whenever there are two or more series (never for one) plus sparing
+    direct end labels that are dropped rather than stacked when they
+    would collide; text in ink tokens, never in series colors; a single
+    y axis. Categorical colors come from a fixed, validated slot order
+    and are assigned by position, never cycled. The numeric series
+    behind every figure is also printed by the bench harness, which
+    serves as the accompanying table view. *)
+
+type scale = Linear | Log
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y); on a log axis, points with
+                                      a non-positive coordinate on that
+                                      axis are dropped *)
+}
+
+type spec = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_scale : scale;
+  y_scale : scale;
+  series : series list;  (** at most 8; colors by fixed slot order *)
+  width : float;
+  height : float;
+}
+
+val default : spec
+(** Empty 720×440 linear chart — override the fields you need. *)
+
+val palette : string array
+(** The categorical slots (validated, fixed order) — exposed for tests. *)
+
+val ticks : scale -> lo:float -> hi:float -> float list
+(** Tick positions: clean 1–2–5 steps on linear axes, decades on log
+    axes. Exposed for tests. *)
+
+val tick_label : float -> string
+(** Compact clean formatting (1,500 / 0.25 / 1e-05). *)
+
+val render : spec -> string
+(** The SVG document. *)
+
+val write : path:string -> spec -> unit

@@ -1,0 +1,109 @@
+type t =
+  | Text of string
+  | El of { name : string; attrs : (string * string) list; children : t list }
+
+let text_node s = Text s
+let el name ?(attrs = []) children = El { name; attrs; children }
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float x =
+  (* Compact coordinates: two decimals is sub-pixel at chart scale. *)
+  if Float.is_integer x && abs_float x < 1e7 then
+    Printf.sprintf "%d" (int_of_float x)
+  else Printf.sprintf "%.2f" x
+
+let f = fmt_float
+
+let line ~x1 ~y1 ~x2 ~y2 ?(attrs = []) () =
+  el "line"
+    ~attrs:
+      ([ ("x1", f x1); ("y1", f y1); ("x2", f x2); ("y2", f y2) ] @ attrs)
+    []
+
+let polyline ~points ?(attrs = []) () =
+  let pts =
+    String.concat " " (List.map (fun (x, y) -> f x ^ "," ^ f y) points)
+  in
+  el "polyline" ~attrs:(("points", pts) :: ("fill", "none") :: attrs) []
+
+let circle ~cx ~cy ~r ?(attrs = []) () =
+  el "circle" ~attrs:([ ("cx", f cx); ("cy", f cy); ("r", f r) ] @ attrs) []
+
+let rect ~x ~y ~w ~h ?(attrs = []) () =
+  el "rect"
+    ~attrs:([ ("x", f x); ("y", f y); ("width", f w); ("height", f h) ] @ attrs)
+    []
+
+let font_stack =
+  "system-ui, -apple-system, 'Segoe UI', Roboto, 'Helvetica Neue', sans-serif"
+
+let text ~x ~y ?(anchor = "start") ?(size = 12.) ?(fill = "#0b0b0b")
+    ?(weight = "normal") s =
+  el "text"
+    ~attrs:
+      [
+        ("x", f x);
+        ("y", f y);
+        ("text-anchor", anchor);
+        ("font-size", f size);
+        ("fill", fill);
+        ("font-weight", weight);
+        ("font-family", font_stack);
+      ]
+    [ text_node s ]
+
+let rec render buf = function
+  | Text s -> Buffer.add_string buf (escape s)
+  | El { name; attrs; children } ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (render buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+      end
+
+let document ~width ~height children =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  render buf
+    (el "svg"
+       ~attrs:
+         [
+           ("xmlns", "http://www.w3.org/2000/svg");
+           ("width", f width);
+           ("height", f height);
+           ("viewBox", Printf.sprintf "0 0 %s %s" (f width) (f height));
+         ]
+       children);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file ~path ~width ~height children =
+  let oc = open_out path in
+  output_string oc (document ~width ~height children);
+  close_out oc

@@ -1,0 +1,37 @@
+(** Minimal SVG document builder — the substrate for {!Chart}.
+
+    OCaml's plotting ecosystem is thin, so the figure renderer is built
+    from scratch: a tree of elements with escaped attributes and text,
+    serialized to standalone [.svg] files. Only what charts need is
+    provided. *)
+
+type t
+(** An SVG element (or text node). *)
+
+val text_node : string -> t
+(** Escaped character data. *)
+
+val el : string -> ?attrs:(string * string) list -> t list -> t
+(** [el name ~attrs children]. Attribute values are escaped. *)
+
+val line : x1:float -> y1:float -> x2:float -> y2:float -> ?attrs:(string * string) list -> unit -> t
+val polyline : points:(float * float) list -> ?attrs:(string * string) list -> unit -> t
+val circle : cx:float -> cy:float -> r:float -> ?attrs:(string * string) list -> unit -> t
+val rect : x:float -> y:float -> w:float -> h:float -> ?attrs:(string * string) list -> unit -> t
+
+val text :
+  x:float ->
+  y:float ->
+  ?anchor:string ->
+  ?size:float ->
+  ?fill:string ->
+  ?weight:string ->
+  string ->
+  t
+(** A text element in the chart's sans stack. [anchor] is
+    start/middle/end. *)
+
+val document : width:float -> height:float -> t list -> string
+(** Serialize a complete standalone SVG document. *)
+
+val to_file : path:string -> width:float -> height:float -> t list -> unit

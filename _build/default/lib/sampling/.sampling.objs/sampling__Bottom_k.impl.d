@@ -1,0 +1,1 @@
+lib/sampling/bottom_k.ml: Float Instance List Rank Seeds

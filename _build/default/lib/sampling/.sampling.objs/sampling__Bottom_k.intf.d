@@ -1,0 +1,1 @@
+lib/sampling/bottom_k.mli: Instance Rank Seeds

@@ -1,0 +1,1 @@
+lib/sampling/instance.ml: Array Float Int List Map

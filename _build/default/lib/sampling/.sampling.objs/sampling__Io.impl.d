@@ -1,0 +1,1 @@
+lib/sampling/io.ml: Buffer Instance List Poisson Printf String

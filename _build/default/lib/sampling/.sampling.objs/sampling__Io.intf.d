@@ -1,0 +1,1 @@
+lib/sampling/io.mli: Instance Poisson

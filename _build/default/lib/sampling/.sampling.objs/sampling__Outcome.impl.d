@@ -1,0 +1,1 @@
+lib/sampling/outcome.ml: Array Float Fun List Numerics

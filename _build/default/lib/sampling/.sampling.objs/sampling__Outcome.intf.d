@@ -1,0 +1,1 @@
+lib/sampling/outcome.mli: Numerics

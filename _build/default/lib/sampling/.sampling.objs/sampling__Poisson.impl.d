@@ -1,0 +1,1 @@
+lib/sampling/poisson.ml: Array Float Instance List Numerics Outcome Seeds

@@ -1,0 +1,1 @@
+lib/sampling/poisson.mli: Instance Outcome Seeds

@@ -1,0 +1,1 @@
+lib/sampling/rank.mli: Format

@@ -1,0 +1,1 @@
+lib/sampling/seeds.ml: Numerics Rank

@@ -1,0 +1,1 @@
+lib/sampling/summary.ml: Bottom_k List Numerics Poisson Rank Seeds Varopt

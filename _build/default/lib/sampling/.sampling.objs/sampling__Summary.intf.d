@@ -1,0 +1,1 @@
+lib/sampling/summary.mli: Instance Numerics Rank Seeds

@@ -1,0 +1,1 @@
+lib/sampling/varopt.ml: Array Float Instance List Numerics

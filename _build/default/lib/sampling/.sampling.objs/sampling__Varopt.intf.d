@@ -1,0 +1,1 @@
+lib/sampling/varopt.mli: Instance Numerics

@@ -1,0 +1,49 @@
+type entry = { key : int; value : float; rank : float }
+
+type t = {
+  instance_id : int;
+  k : int;
+  family : Rank.family;
+  entries : entry list;
+  threshold : float;
+}
+
+let sample seeds ~family ~instance ~k inst =
+  if k <= 0 then invalid_arg "Bottom_k.sample: k must be positive";
+  let ranked =
+    Instance.fold
+      (fun h v acc ->
+        { key = h; value = v; rank = Seeds.rank seeds family ~instance ~key:h ~w:v }
+        :: acc)
+      inst []
+  in
+  let sorted = List.sort (fun a b -> compare (a.rank, a.key) (b.rank, b.key)) ranked in
+  let rec take n = function
+    | [] -> ([], infinity)
+    | e :: rest ->
+        if n = 0 then ([], e.rank)
+        else
+          let kept, thr = take (n - 1) rest in
+          (e :: kept, thr)
+  in
+  let entries, threshold = take k sorted in
+  { instance_id = instance; k; family; entries; threshold }
+
+let keys t = List.map (fun e -> e.key) t.entries
+
+let rc_inclusion_prob t v = Rank.cdf t.family ~w:v t.threshold
+
+let rc_estimate t ~select =
+  List.fold_left
+    (fun acc e ->
+      if select e.key then acc +. (e.value /. rc_inclusion_prob t e.value) else acc)
+    0. t.entries
+
+let priority_estimate t ~select =
+  (match t.family with
+  | Rank.PPS -> ()
+  | Rank.EXP -> invalid_arg "Bottom_k.priority_estimate: PPS ranks only");
+  List.fold_left
+    (fun acc e ->
+      if select e.key then acc +. Float.max e.value (1. /. t.threshold) else acc)
+    0. t.entries

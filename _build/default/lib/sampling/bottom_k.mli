@@ -1,0 +1,40 @@
+(** Bottom-k (order) sampling (Section 7.1).
+
+    Each key gets rank [F_{v(h)}^{-1}(u(h))]; the sample keeps the [k]
+    smallest ranks. With PPS ranks this is {e priority sampling}
+    (Duffield–Lund–Thorup); with EXP ranks it is weighted sampling
+    without replacement.
+
+    Subset-sum estimation uses {e rank conditioning} (RC): the
+    (k+1)-smallest rank [τ] acts as a per-sample threshold, and each
+    sampled key is weighted by the inverse of its conditional inclusion
+    probability [F_{v(h)}(τ)]. *)
+
+type entry = { key : int; value : float; rank : float }
+
+type t = {
+  instance_id : int;
+  k : int;
+  family : Rank.family;
+  entries : entry list;  (** the [≤ k] smallest-ranked keys, by rank *)
+  threshold : float;  (** (k+1)-smallest rank; [infinity] if fewer keys *)
+}
+
+val sample : Seeds.t -> family:Rank.family -> instance:int -> k:int -> Instance.t -> t
+
+val keys : t -> int list
+(** Sampled keys in rank order. *)
+
+val rc_inclusion_prob : t -> float -> float
+(** [rc_inclusion_prob s v] = conditional inclusion probability
+    [F_v(threshold)] used by the RC estimator. *)
+
+val rc_estimate : t -> select:(int -> bool) -> float
+(** Rank-conditioning subset-sum estimate
+    [Σ_{sampled h ∈ select} v(h) / F_{v(h)}(τ)]. For PPS ranks this is the
+    priority-sampling estimator [Σ max(v(h), 1/τ)]. *)
+
+val priority_estimate : t -> select:(int -> bool) -> float
+(** Priority-sampling form [Σ max(v(h), 1/τ)] — defined for PPS ranks;
+    raises [Invalid_argument] for EXP ranks. Equal to {!rc_estimate} for
+    PPS ranks (used as a cross-check in tests). *)

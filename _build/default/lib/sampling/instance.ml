@@ -1,0 +1,58 @@
+module IMap = Map.Make (Int)
+
+type t = float IMap.t
+
+let empty = IMap.empty
+
+let of_assoc pairs =
+  List.fold_left
+    (fun m (k, v) ->
+      if v < 0. then invalid_arg "Instance.of_assoc: negative value";
+      if v = 0. then m
+      else
+        IMap.update k (function None -> Some v | Some v0 -> Some (v0 +. v)) m)
+    IMap.empty pairs
+
+let of_keys ks = of_assoc (List.map (fun k -> (k, 1.)) ks)
+let value t h = match IMap.find_opt h t with None -> 0. | Some v -> v
+let mem t h = IMap.mem h t
+let cardinality t = IMap.cardinal t
+let total t = IMap.fold (fun _ v acc -> acc +. v) t 0.
+let keys t = IMap.fold (fun k _ acc -> k :: acc) t [] |> List.rev
+let fold f t init = IMap.fold f t init
+let iter f t = IMap.iter f t
+
+let union_keys ts =
+  let set =
+    List.fold_left
+      (fun acc t -> IMap.fold (fun k _ s -> IMap.add k () s) t acc)
+      IMap.empty ts
+  in
+  IMap.fold (fun k () acc -> k :: acc) set [] |> List.rev
+
+let values_of_key ts h = Array.of_list (List.map (fun t -> value t h) ts)
+
+let max_dominance ts =
+  List.fold_left
+    (fun acc h ->
+      acc +. Array.fold_left Float.max 0. (values_of_key ts h))
+    0. (union_keys ts)
+
+let min_dominance ts =
+  List.fold_left
+    (fun acc h ->
+      acc +. Array.fold_left Float.min infinity (values_of_key ts h))
+    0. (union_keys ts)
+
+let l1_distance a b =
+  List.fold_left
+    (fun acc h -> acc +. abs_float (value a h -. value b h))
+    0.
+    (union_keys [ a; b ])
+
+let distinct_count ts = List.length (union_keys ts)
+
+let jaccard a b =
+  let u = union_keys [ a; b ] in
+  let inter = List.length (List.filter (fun h -> mem a h && mem b h) u) in
+  if u = [] then 1. else float_of_int inter /. float_of_int (List.length u)

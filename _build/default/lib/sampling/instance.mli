@@ -1,0 +1,56 @@
+(** A single data instance: an assignment of nonnegative values to integer
+    keys. Instances are the columns of the paper's instances × keys data
+    matrix; only positive values are stored explicitly (sparse
+    representation), matching the paper's observation that weighted
+    sampling need only touch keys with positive value. *)
+
+type t
+
+val empty : t
+val of_assoc : (int * float) list -> t
+(** Build from (key, value) pairs. Values must be [≥ 0]; zero values are
+    dropped; duplicate keys are summed. *)
+
+val of_keys : int list -> t
+(** Binary instance: a set of keys, each with value [1.]. *)
+
+val value : t -> int -> float
+(** [value t h] is the value of key [h] ([0.] when absent). *)
+
+val mem : t -> int -> bool
+(** Does [h] have positive value? *)
+
+val cardinality : t -> int
+(** Number of keys with positive value. *)
+
+val total : t -> float
+(** Sum of all values. *)
+
+val keys : t -> int list
+(** Keys with positive value, ascending. *)
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> float -> unit) -> t -> unit
+
+val union_keys : t list -> int list
+(** Ascending list of keys positive in at least one of the instances. *)
+
+val values_of_key : t list -> int -> float array
+(** [values_of_key instances h] is the data vector [v(h)] of key [h]
+    across the given instances. *)
+
+val max_dominance : t list -> float
+(** [Σ_h max_i v_i(h)] — exact max-dominance norm (ground truth). *)
+
+val min_dominance : t list -> float
+(** [Σ_h min_i v_i(h)] (minimum over instances including zeros for
+    absent keys). *)
+
+val l1_distance : t -> t -> float
+(** [Σ_h |v_1(h) − v_2(h)|]. *)
+
+val distinct_count : t list -> int
+(** Number of keys positive in at least one instance (size of union). *)
+
+val jaccard : t -> t -> float
+(** Jaccard coefficient of the supports: [|A∩B| / |A∪B|]. *)

@@ -1,0 +1,78 @@
+let instance_magic = "optsample-instance 1"
+let pps_magic = "optsample-pps 1"
+
+let lines_of_string s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let fail_line n msg = failwith (Printf.sprintf "line %d: %s" n msg)
+
+let parse_kv n line =
+  match String.split_on_char ' ' line with
+  | [ k; v ] -> (
+      match (int_of_string_opt k, float_of_string_opt v) with
+      | Some k, Some v -> (k, v)
+      | _ -> fail_line n "expected '<int-key> <hex-float>'")
+  | _ -> fail_line n "expected two fields"
+
+let instance_to_string inst =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf instance_magic;
+  Buffer.add_char buf '\n';
+  Instance.iter
+    (fun k v -> Buffer.add_string buf (Printf.sprintf "%d %h\n" k v))
+    inst;
+  Buffer.contents buf
+
+let instance_of_string s =
+  match lines_of_string s with
+  | [] -> failwith "empty input"
+  | (n, header) :: rest ->
+      if header <> instance_magic then fail_line n "not an optsample instance";
+      Instance.of_assoc (List.map (fun (n, l) -> parse_kv n l) rest)
+
+let pps_to_string (p : Poisson.pps) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %h\n" pps_magic p.Poisson.instance_id p.Poisson.tau);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%d %h\n" k v))
+    p.Poisson.entries;
+  Buffer.contents buf
+
+let pps_of_string s =
+  match lines_of_string s with
+  | [] -> failwith "empty input"
+  | (n, header) :: rest ->
+      let p =
+        match String.split_on_char ' ' header with
+        | [ a; b; id; tau ] when a ^ " " ^ b = pps_magic -> (
+            match (int_of_string_opt id, float_of_string_opt tau) with
+            | Some id, Some tau -> (id, tau)
+            | _ -> fail_line n "bad pps header fields")
+        | _ -> fail_line n "not an optsample pps sample"
+      in
+      let id, tau = p in
+      {
+        Poisson.instance_id = id;
+        tau;
+        entries = List.map (fun (n, l) -> parse_kv n l) rest;
+      }
+
+let write_string ~path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let read_string ~path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_instance ~path inst = write_string ~path (instance_to_string inst)
+let read_instance ~path = instance_of_string (read_string ~path)
+let write_pps ~path p = write_string ~path (pps_to_string p)
+let read_pps ~path = pps_of_string (read_string ~path)

@@ -1,0 +1,28 @@
+(** Plain-text persistence for instances and samples.
+
+    The paper's deployment story is that instances are summarized where
+    they are produced and the {e samples} are what gets stored or
+    transmitted; estimation happens later, elsewhere. This module gives
+    that story a concrete wire format: line-oriented, human-inspectable,
+    lossless for floats (hex float literals), with a tagged header so a
+    reader knows what it is loading.
+
+    Formats (one record per line, [#]-comments and blank lines ignored):
+
+    - instance: [optsample-instance 1] header, then [<key> <value-hex>]
+    - PPS sample: [optsample-pps 1 <instance-id> <tau-hex>] header, then
+      [<key> <value-hex>]
+
+    Values are written with [%h] and parsed back exactly. *)
+
+val write_instance : path:string -> Instance.t -> unit
+val read_instance : path:string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val write_pps : path:string -> Poisson.pps -> unit
+val read_pps : path:string -> Poisson.pps
+
+val instance_to_string : Instance.t -> string
+val instance_of_string : string -> Instance.t
+val pps_to_string : Poisson.pps -> string
+val pps_of_string : string -> Poisson.pps

@@ -1,0 +1,102 @@
+(** Single-key outcome models.
+
+    Estimators for a multi-instance function [f(v)] of the data vector
+    [v = (v_1, ..., v_r)] of one key see an {e outcome}: the sampled
+    entries with their values, plus — in the known-seeds models — the seed
+    vector. This module defines the three outcome models used in the
+    paper, with both random drawing and exact enumeration (for tests and
+    exact variance computation).
+
+    - {!Oblivious}: weight-oblivious Poisson (Section 4). Entry [i] is
+      sampled with probability [p_i] independently of its value.
+    - {!Pps}: weighted PPS Poisson with known seeds (Section 5.2). Entry
+      [i] is sampled iff [v_i ≥ u_i·τ*_i]; the estimator sees [u].
+    - {!Binary}: weighted sampling of binary data with known seeds
+      (Section 5.1). Entry [i] is sampled iff [v_i = 1 ∧ u_i ≤ p_i]; the
+      estimator sees [S] and the indicators [u_i ≤ p_i]. *)
+
+(** Weight-oblivious Poisson outcomes. *)
+module Oblivious : sig
+  type t = {
+    probs : float array;  (** per-entry inclusion probabilities *)
+    values : float option array;  (** [Some v_i] iff entry [i] sampled *)
+  }
+
+  val r : t -> int
+  val sampled : t -> int list
+  (** Indices of sampled entries, ascending. *)
+
+  val sampled_values : t -> float list
+
+  val draw : Numerics.Prng.t -> probs:float array -> float array -> t
+  (** Random outcome for data vector [v]. *)
+
+  val of_mask : probs:float array -> float array -> bool array -> t
+  (** Deterministic outcome from an inclusion mask. *)
+
+  val enumerate : probs:float array -> float array -> (float * t) list
+  (** All [2^r] outcomes for data [v], with their probabilities (they sum
+      to 1). Basis of exact expectation / variance computation. *)
+
+  val prob_of_mask : probs:float array -> bool array -> float
+  (** Probability of a given inclusion mask. *)
+end
+
+(** Weighted PPS Poisson with known seeds. *)
+module Pps : sig
+  type t = {
+    taus : float array;  (** PPS thresholds [τ*_i] *)
+    seeds : float array;  (** the seed vector [u], known to the estimator *)
+    values : float option array;  (** [Some v_i] iff sampled ([v_i ≥ u_i τ*_i]) *)
+  }
+
+  val r : t -> int
+  val sampled : t -> int list
+
+  val upper_bound : t -> int -> float
+  (** For an unsampled entry [i], the partial information revealed by the
+      seed: [v_i < u_i·τ*_i], i.e. [u_i·τ*_i] is a strict upper bound.
+      For a sampled entry, its exact value. *)
+
+  val inclusion_prob : taus:float array -> float array -> int -> float
+  (** [min (1, v_i / τ*_i)]. *)
+
+  val of_seeds : taus:float array -> seeds:float array -> float array -> t
+  (** Outcome determined by data [v] and seed vector [u]. *)
+
+  val draw : Numerics.Prng.t -> taus:float array -> float array -> t
+
+  val expectation :
+    ?tol:float -> taus:float array -> v:float array -> (t -> float) -> float
+  (** [expectation ~taus ~v g] = E[g(outcome) | data v], computed by exact
+      integration over the seed hypercube (r ≤ 2 uses piecewise adaptive
+      quadrature with breakpoints at the sampling thresholds; only r ≤ 2 is
+      supported — the paper's weighted derivations are for two instances). *)
+end
+
+(** Weighted sampling of binary data with known seeds. *)
+module Binary : sig
+  type t = {
+    probs : float array;  (** [p_i] = inclusion probability when [v_i = 1] *)
+    below : bool array;  (** [u_i ≤ p_i] — known to the estimator *)
+    sampled : bool array;  (** [v_i = 1 ∧ u_i ≤ p_i] *)
+  }
+
+  val r : t -> int
+
+  val known_value : t -> int -> int option
+  (** What the outcome reveals about [v_i]: [Some 1] if sampled, [Some 0]
+      if unsampled but [u_i ≤ p_i], [None] otherwise. *)
+
+  val draw : Numerics.Prng.t -> probs:float array -> int array -> t
+  val of_below : probs:float array -> below:bool array -> int array -> t
+
+  val enumerate : probs:float array -> int array -> (float * t) list
+  (** All outcomes (over the indicator vector [u ≤ p]) for binary data
+      [v], with probabilities summing to 1. *)
+
+  val to_oblivious : t -> Oblivious.t
+  (** The information-preserving 1-1 mapping of Section 5 onto
+      weight-oblivious outcomes: entry [i] is "obliviously sampled" iff
+      [u_i ≤ p_i], with value 1 if actually sampled and 0 if not. *)
+end

@@ -1,0 +1,83 @@
+type pps = { instance_id : int; tau : float; entries : (int * float) list }
+
+let pps_sample seeds ~instance ~tau inst =
+  if tau <= 0. then invalid_arg "Poisson.pps_sample: tau must be > 0";
+  let entries =
+    Instance.fold
+      (fun h v acc ->
+        let u = Seeds.seed seeds ~instance ~key:h in
+        if v >= u *. tau then (h, v) :: acc else acc)
+      inst []
+    |> List.rev
+  in
+  { instance_id = instance; tau; entries }
+
+let pps_expected_size ~tau inst =
+  Instance.fold (fun _ v acc -> acc +. Float.min 1. (v /. tau)) inst 0.
+
+let tau_for_expected_size inst k =
+  let n = float_of_int (Instance.cardinality inst) in
+  if k <= 0. || k > n then invalid_arg "Poisson.tau_for_expected_size: bad k";
+  if k = n then 0.
+  else begin
+    (* Expected size is decreasing in tau; bracket then bisect. *)
+    let f tau = pps_expected_size ~tau inst -. k in
+    let hi = ref 1. in
+    while f !hi > 0. do
+      hi := !hi *. 2.
+    done;
+    let lo = ref (!hi /. 2.) in
+    while f !lo < 0. && !lo > 1e-300 do
+      lo := !lo /. 2.
+    done;
+    Numerics.Special.solve_bisect f !lo !hi
+  end
+
+let pps_ht_estimate s ~select =
+  List.fold_left
+    (fun acc (h, v) ->
+      if select h then acc +. (v /. Float.min 1. (v /. s.tau)) else acc)
+    0. s.entries
+
+type oblivious = {
+  instance_id : int;
+  p : float;
+  domain_size : int;
+  entries : (int * float) list;
+}
+
+let oblivious_sample seeds ~instance ~p ~domain inst =
+  if p <= 0. || p > 1. then invalid_arg "Poisson.oblivious_sample: p out of (0,1]";
+  let entries =
+    List.filter_map
+      (fun h ->
+        let u = Seeds.seed seeds ~instance ~key:h in
+        if u < p then Some (h, Instance.value inst h) else None)
+      domain
+  in
+  { instance_id = instance; p; domain_size = List.length domain; entries }
+
+let oblivious_ht_estimate s ~select =
+  List.fold_left
+    (fun acc (h, v) -> if select h then acc +. (v /. s.p) else acc)
+    0. s.entries
+
+let key_outcome_pps seeds ~taus ~instances h =
+  let v =
+    Array.of_list (List.map (fun inst -> Instance.value inst h) instances)
+  in
+  let u =
+    Array.init (Array.length v) (fun i -> Seeds.seed seeds ~instance:i ~key:h)
+  in
+  Outcome.Pps.of_seeds ~taus ~seeds:u v
+
+let key_outcome_binary seeds ~probs ~instances h =
+  let v =
+    Array.of_list
+      (List.map (fun inst -> if Instance.value inst h > 0. then 1 else 0) instances)
+  in
+  let below =
+    Array.init (Array.length v) (fun i ->
+        Seeds.seed seeds ~instance:i ~key:h <= probs.(i))
+  in
+  Outcome.Binary.of_below ~probs ~below v

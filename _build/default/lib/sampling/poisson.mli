@@ -1,0 +1,57 @@
+(** Poisson sampling of a whole instance (Section 7.1).
+
+    Every key is included independently: weight-obliviously with a fixed
+    probability [p], or weighted (PPS) with probability
+    [min(1, v(h)/τ)]. Seeds come from a {!Seeds.t}, so samples are
+    reproducible and the "known seeds" estimators can recompute the seed
+    of any key — sampled or not. *)
+
+(** A weighted PPS Poisson sample of one instance. *)
+type pps = {
+  instance_id : int;
+  tau : float;  (** the PPS threshold [τ*] *)
+  entries : (int * float) list;  (** sampled (key, value), ascending keys *)
+}
+
+val pps_sample : Seeds.t -> instance:int -> tau:float -> Instance.t -> pps
+(** Include key [h] iff [v(h) ≥ u(h)·τ], i.e. with probability
+    [min(1, v(h)/τ)]. Only keys with positive value can be sampled. *)
+
+val pps_expected_size : tau:float -> Instance.t -> float
+(** Expected sample size [Σ_h min(1, v(h)/τ)]. *)
+
+val tau_for_expected_size : Instance.t -> float -> float
+(** [tau_for_expected_size inst k] finds [τ] with expected PPS sample size
+    [k] (by bisection). Requires [0 < k ≤ cardinality]. *)
+
+val pps_ht_estimate : pps -> select:(int -> bool) -> float
+(** Horvitz–Thompson subset-sum estimate over a single instance:
+    [Σ_{sampled h ∈ select} v(h) / min(1, v(h)/τ)]. *)
+
+(** A weight-oblivious Poisson sample over an explicit key domain. *)
+type oblivious = {
+  instance_id : int;
+  p : float;  (** uniform inclusion probability *)
+  domain_size : int;
+  entries : (int * float) list;  (** sampled (key, value) — zero values included *)
+}
+
+val oblivious_sample :
+  Seeds.t -> instance:int -> p:float -> domain:int list -> Instance.t -> oblivious
+(** Include each key of [domain] independently with probability [p],
+    regardless of its value (the value recorded may be 0). *)
+
+val oblivious_ht_estimate : oblivious -> select:(int -> bool) -> float
+(** HT subset-sum estimate [Σ_{sampled h ∈ select} v(h)/p]. *)
+
+val key_outcome_pps :
+  Seeds.t -> taus:float array -> instances:Instance.t list -> int -> Outcome.Pps.t
+(** The single-key outcome of key [h] across [instances] sampled
+    independently with PPS thresholds [taus] — the estimator-side view
+    reconstructed from the per-instance samples and seeds. *)
+
+val key_outcome_binary :
+  Seeds.t -> probs:float array -> instances:Instance.t list -> int -> Outcome.Binary.t
+(** Single-key outcome for binary data under weighted sampling with known
+    seeds: entry [i] sampled iff [v_i(h) = 1 ∧ u_i(h) ≤ p_i]. Values are
+    read from [instances] ([> 0] counts as 1). *)

@@ -1,0 +1,24 @@
+type family = PPS | EXP
+
+let pp_family ppf = function
+  | PPS -> Format.pp_print_string ppf "PPS"
+  | EXP -> Format.pp_print_string ppf "EXP"
+
+let rank family ~w ~u =
+  if w < 0. then invalid_arg "Rank.rank: negative value";
+  if u <= 0. || u >= 1. then invalid_arg "Rank.rank: seed must be in (0,1)";
+  if w = 0. then infinity
+  else
+    match family with
+    | PPS -> u /. w
+    | EXP -> -.Numerics.Special.log1p (-.u) /. w
+
+let cdf family ~w x =
+  if w <= 0. || x <= 0. then 0.
+  else
+    match family with
+    | PPS -> Float.min 1. (w *. x)
+    | EXP -> -.Numerics.Special.expm1 (-.w *. x)
+
+let inclusion_prob family ~w ~tau = cdf family ~w tau
+let min_rank_exp_total total x = cdf EXP ~w:total x

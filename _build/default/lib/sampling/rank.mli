@@ -1,0 +1,34 @@
+(** Random rank families for weighted sampling (Section 7.1).
+
+    A rank assignment maps each key to a random rank; bottom-k keeps the
+    [k] smallest ranks, Poisson keeps ranks below a threshold. The rank of
+    a key with value [w] is [F_w^{-1}(u)] for a uniform seed [u], where
+    [F_w] is the family CDF:
+
+    - {b PPS} ranks: [F_w(x) = min(1, w·x)], i.e. rank [u/w]. Poisson
+      sampling with threshold [tau] includes a key with probability
+      [min(1, w·tau)] — probability proportional to size; bottom-k with
+      PPS ranks is {e priority sampling}.
+    - {b EXP} ranks: [F_w(x) = 1 - exp(-w·x)], i.e. rank [-ln(1-u)/w].
+      Bottom-k with EXP ranks is weighted sampling without replacement. *)
+
+type family = PPS | EXP
+
+val pp_family : Format.formatter -> family -> unit
+
+val rank : family -> w:float -> u:float -> float
+(** [rank fam ~w ~u] is [F_w^{-1}(u)]; [infinity] when [w = 0]. Requires
+    [u ∈ (0,1)] and [w ≥ 0]. *)
+
+val cdf : family -> w:float -> float -> float
+(** [cdf fam ~w x] is [F_w(x)] = Pr(rank < x), the inclusion probability of
+    a key of value [w] under threshold [x]. *)
+
+val inclusion_prob : family -> w:float -> tau:float -> float
+(** Alias of {!cdf}: probability that a key with value [w] has rank below
+    [tau]. *)
+
+val min_rank_exp_total : float -> float -> float
+(** [min_rank_exp_total total x] = CDF of the minimum EXP rank over a key
+    set of total value [total]: [1 - exp (-total·x)]. (The defining
+    property of EXP ranks used by bottom-k analyses.) *)

@@ -1,0 +1,67 @@
+type scheme =
+  | Poisson_pps of { tau : float }
+  | Bottom_k of { k : int; family : Rank.family }
+  | Var_opt of { k : int }
+
+type payload =
+  | P of Poisson.pps
+  | B of Bottom_k.t
+  | V of Varopt.t
+
+type t = { scheme : scheme; payload : payload }
+
+let summarize ?rng seeds scheme ~instance inst =
+  let payload =
+    match scheme with
+    | Poisson_pps { tau } -> P (Poisson.pps_sample seeds ~instance ~tau inst)
+    | Bottom_k { k; family } -> B (Bottom_k.sample seeds ~family ~instance ~k inst)
+    | Var_opt { k } ->
+        let rng =
+          match rng with
+          | Some r -> r
+          | None ->
+              Numerics.Prng.create
+                ~seed:((Seeds.master seeds * 1_000_003) + instance)
+                ()
+        in
+        V (Varopt.of_instance ~k rng inst)
+  in
+  { scheme; payload }
+
+let scheme t = t.scheme
+
+let keys t =
+  match t.payload with
+  | P p -> List.map fst p.Poisson.entries
+  | B b -> List.sort compare (Bottom_k.keys b)
+  | V v -> List.sort compare (List.map fst (Varopt.entries v))
+
+let entries t =
+  match t.payload with
+  | P p -> p.Poisson.entries
+  | B b ->
+      List.sort compare
+        (List.map
+           (fun e -> (e.Bottom_k.key, e.Bottom_k.value))
+           b.Bottom_k.entries)
+  | V v -> List.sort compare (Varopt.entries v)
+
+let size t = List.length (keys t)
+let mem t h = List.mem h (keys t)
+
+let subset_sum t ~select =
+  match t.payload with
+  | P p -> Poisson.pps_ht_estimate p ~select
+  | B b -> Bottom_k.rc_estimate b ~select
+  | V v -> Varopt.estimate v ~select
+
+let threshold t =
+  match t.payload with
+  | P p -> Some p.Poisson.tau
+  | B b ->
+      (match b.Bottom_k.family with
+      | Rank.PPS ->
+          if b.Bottom_k.threshold = infinity then Some 1e-300
+          else Some (1. /. b.Bottom_k.threshold)
+      | Rank.EXP -> None)
+  | V _ -> None

@@ -1,0 +1,56 @@
+(** Unified single-instance summaries (Section 7.1's three schemes behind
+    one interface).
+
+    A summary is what a data owner would retain or transmit instead of
+    the full instance: a Poisson PPS sample, a bottom-k sample, or a
+    VarOpt reservoir. All three support unbiased subset-sum estimation;
+    the scheme changes the size/variance profile:
+
+    - {b Poisson}: independent inclusions, variable size, per-key
+      decoupling (transmit-as-you-go);
+    - {b Bottom-k} (priority): fixed size k, slightly higher variance via
+      rank conditioning;
+    - {b VarOpt}: fixed size k, variance-optimal subset sums, zero
+      variance on the full total (but hash-seed reproducibility is
+      unavailable: randomness is private, so no "known seeds" estimators
+      on top).
+
+    For multi-instance estimation, Poisson and bottom-k summaries expose
+    their threshold so the estimators of {!module:Estcore} can be applied
+    (see {!Aggregates.Sum_agg}); VarOpt is single-instance only, included
+    for completeness of the Section 7.1 inventory. *)
+
+type scheme =
+  | Poisson_pps of { tau : float }
+  | Bottom_k of { k : int; family : Rank.family }
+  | Var_opt of { k : int }
+
+type t
+
+val summarize :
+  ?rng:Numerics.Prng.t -> Seeds.t -> scheme -> instance:int -> Instance.t -> t
+(** Build a summary of one instance. [rng] is only used by [Var_opt]
+    (which needs private randomness); defaults to a generator seeded from
+    the [Seeds.t] master and the instance id. *)
+
+val scheme : t -> scheme
+val size : t -> int
+(** Number of retained keys. *)
+
+val keys : t -> int list
+(** Retained keys, ascending. *)
+
+val entries : t -> (int * float) list
+(** Retained (key, value) pairs, ascending keys. Poisson and bottom-k
+    summaries carry exact values; VarOpt carries adjusted weights. *)
+
+val mem : t -> int -> bool
+
+val subset_sum : t -> select:(int -> bool) -> float
+(** Unbiased estimate of [Σ_{h ∈ select} v(h)]: HT for Poisson, rank
+    conditioning for bottom-k, adjusted weights for VarOpt. *)
+
+val threshold : t -> float option
+(** The effective PPS threshold usable by multi-instance estimators:
+    [tau] for Poisson, [1/(k+1-smallest rank)] for bottom-k PPS ranks;
+    [None] for EXP-rank bottom-k and VarOpt. *)

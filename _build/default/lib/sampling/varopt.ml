@@ -1,0 +1,98 @@
+type item = { key : int; w : float }
+
+type t = {
+  cap : int;
+  mutable items : item array;  (* at most [cap] items *)
+  mutable n : int;
+  mutable tau : float;
+  mutable total : float;
+}
+
+let create ~k =
+  if k <= 0 then invalid_arg "Varopt.create: k must be positive";
+  { cap = k; items = Array.make k { key = 0; w = 0. }; n = 0; tau = 0.; total = 0. }
+
+let k t = t.cap
+let size t = t.n
+let threshold t = t.tau
+let total_weight t = t.total
+
+(* Effective (adjusted) weight of a stored item: max of its exact weight
+   and the current threshold. *)
+let eff t w = Float.max w t.tau
+
+(* Find tau' solving sum_i min(1, w_i/tau') = cap over the [cap+1]
+   candidate weights [ws] (any order). *)
+let solve_tau cap ws =
+  let s = Array.copy ws in
+  Array.sort compare s;
+  let m = Array.length s in
+  assert (m = cap + 1);
+  (* With the j smallest below tau: tau = (sum of j smallest)/(j-1). *)
+  let prefix = ref 0. in
+  let result = ref nan in
+  (try
+     for j = 1 to m do
+       prefix := !prefix +. s.(j - 1);
+       if j >= 2 then begin
+         let tau = !prefix /. float_of_int (j - 1) in
+         if s.(j - 1) <= tau +. 1e-12 && (j = m || tau <= s.(j) +. 1e-12) then begin
+           result := tau;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  if Float.is_nan !result then failwith "Varopt.solve_tau: no solution (bug)";
+  !result
+
+let add t rng ~key ~weight =
+  if weight <= 0. then invalid_arg "Varopt.add: weight must be positive";
+  t.total <- t.total +. weight;
+  if t.n < t.cap then begin
+    t.items.(t.n) <- { key; w = weight };
+    t.n <- t.n + 1
+  end
+  else begin
+    (* cap+1 candidates: stored items at their adjusted weights + newcomer. *)
+    let cand_w =
+      Array.init (t.cap + 1) (fun i ->
+          if i < t.cap then eff t t.items.(i).w else weight)
+    in
+    let tau' = solve_tau t.cap cand_w in
+    (* Drop candidate i with probability 1 - min(1, w_i/tau'); these sum
+       to exactly 1 over the cap+1 candidates. *)
+    let u = Numerics.Prng.float rng in
+    let drop = ref (t.cap) in
+    let acc = ref 0. in
+    (try
+       for i = 0 to t.cap do
+         acc := !acc +. (1. -. Float.min 1. (cand_w.(i) /. tau'));
+         if u < !acc then begin
+           drop := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* If rounding left u uncovered, drop the last candidate (newcomer). *)
+    if !drop < t.cap then t.items.(!drop) <- { key; w = weight };
+    t.tau <- tau'
+  end
+
+let entries t =
+  List.init t.n (fun i ->
+      let it = t.items.(i) in
+      (it.key, eff t it.w))
+
+let estimate t ~select =
+  let acc = ref 0. in
+  for i = 0 to t.n - 1 do
+    let it = t.items.(i) in
+    if select it.key then acc := !acc +. eff t it.w
+  done;
+  !acc
+
+let of_instance ~k rng inst =
+  let t = create ~k in
+  Instance.iter (fun key w -> add t rng ~key ~weight:w) inst;
+  t

@@ -1,0 +1,39 @@
+(** VAROPT_k stream sampling (Cohen–Duffield–Kaplan–Lund–Thorup 2009 /
+    Chao 1982), referenced as the third single-instance scheme in
+    Section 7.1.
+
+    Maintains a fixed-size-[k] sample with PPS (probability proportional
+    to size) inclusion probabilities, non-positive inclusion
+    covariances, and variance-optimal subset-sum estimates. Items kept in
+    the sample carry an {e adjusted weight}: their exact weight if it
+    exceeds the current threshold [τ], else [τ]; the sum of adjusted
+    weights is an unbiased estimate of any subset sum. *)
+
+type t
+
+val create : k:int -> t
+(** Empty reservoir of capacity [k]. *)
+
+val k : t -> int
+val size : t -> int
+
+val threshold : t -> float
+(** Current threshold [τ] (0 while fewer than [k] items seen). *)
+
+val total_weight : t -> float
+(** Exact running total of all weights fed in. *)
+
+val add : t -> Numerics.Prng.t -> key:int -> weight:float -> unit
+(** Feed one stream item. [weight > 0]. Keys need not be distinct, but
+    estimates are per-item; aggregate duplicates upstream if needed. *)
+
+val entries : t -> (int * float) list
+(** Current sample as (key, adjusted weight), unspecified order. The
+    adjusted weight of item [i] is [max(w_i, τ)]. *)
+
+val estimate : t -> select:(int -> bool) -> float
+(** Subset-sum estimate: sum of adjusted weights of sampled keys selected
+    by [select]. Unbiased for the true subset sum. *)
+
+val of_instance : k:int -> Numerics.Prng.t -> Instance.t -> t
+(** Stream all (key, value) pairs of an instance through a fresh sampler. *)

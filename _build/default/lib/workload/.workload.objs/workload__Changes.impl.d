@@ -1,0 +1,1 @@
+lib/workload/changes.ml: Array Float Fun List Numerics Sampling Zipf

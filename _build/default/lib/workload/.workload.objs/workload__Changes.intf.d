@@ -1,0 +1,1 @@
+lib/workload/changes.mli: Sampling

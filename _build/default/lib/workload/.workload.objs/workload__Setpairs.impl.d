@@ -1,0 +1,1 @@
+lib/workload/setpairs.ml: Float List Sampling

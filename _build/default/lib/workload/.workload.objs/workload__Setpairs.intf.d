@@ -1,0 +1,1 @@
+lib/workload/setpairs.mli: Sampling

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Format List Numerics Sampling Zipf

@@ -1,0 +1,56 @@
+module I = Sampling.Instance
+
+type params = {
+  n_keys : int;
+  r : int;
+  zipf_s : float;
+  total : float;
+  change_prob : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_keys = 1000;
+    r = 2;
+    zipf_s = 0.8;
+    total = 1e5;
+    change_prob = 0.1;
+    jitter = 0.25;
+    seed = 7;
+  }
+
+let generate p =
+  let rng = Numerics.Prng.create ~seed:p.seed () in
+  let base = Zipf.frequencies ~n:p.n_keys ~s:p.zipf_s ~total:p.total in
+  (* Shuffle so key id does not encode rank. *)
+  let order = Array.init p.n_keys Fun.id in
+  Numerics.Prng.shuffle rng order;
+  List.init p.r (fun _ ->
+      let entries = ref [] in
+      for k = 0 to p.n_keys - 1 do
+        if Numerics.Prng.float rng >= p.change_prob then begin
+          let b = base.(order.(k)) in
+          let v =
+            b *. (1. +. (p.jitter *. ((2. *. Numerics.Prng.float rng) -. 1.)))
+          in
+          entries := (k + 1, v) :: !entries
+        end
+      done;
+      I.of_assoc !entries)
+
+let similarity insts =
+  let keys = I.union_keys insts in
+  if keys = [] then 1.
+  else begin
+    let acc = ref 0. in
+    List.iter
+      (fun h ->
+        let v = I.values_of_key insts h in
+        let mx = Array.fold_left Float.max 0. v in
+        let mn = Array.fold_left Float.min infinity v in
+        if mx > 0. then acc := !acc +. (mn /. mx))
+      keys;
+    !acc /. float_of_int (List.length keys)
+  end

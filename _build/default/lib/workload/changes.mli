@@ -1,0 +1,25 @@
+(** Multi-instance numeric data with controlled cross-instance variation —
+    snapshots of a slowly changing assignment with occasional
+    appearance/disappearance events (the change/anomaly-detection setting
+    of the paper's introduction). *)
+
+type params = {
+  n_keys : int;
+  r : int;  (** number of instances *)
+  zipf_s : float;  (** skew of the base value profile *)
+  total : float;  (** approximate per-instance total value *)
+  change_prob : float;  (** probability a key is absent from an instance *)
+  jitter : float;  (** max relative per-instance deviation from the base *)
+  seed : int;
+}
+
+val default : params
+
+val generate : params -> Sampling.Instance.t list
+(** Each key gets a base value from a Zipf profile; in each instance it
+    is absent with probability [change_prob], otherwise worth
+    base·(1 ± jitter). *)
+
+val similarity : Sampling.Instance.t list -> float
+(** Mean over keys of min(v)/max(v) (0 when some instance misses the
+    key) — a crude similarity diagnostic used by examples. *)

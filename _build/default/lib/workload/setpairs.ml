@@ -1,0 +1,19 @@
+module I = Sampling.Instance
+
+let pair ~n ~jaccard =
+  if n <= 0 then invalid_arg "Setpairs.pair: n must be positive";
+  if jaccard < 0. || jaccard > 1. then invalid_arg "Setpairs.pair: jaccard in [0,1]";
+  (* |A| = |B| = n; |A∩B| = i; J = i/(2n−i)  ⇒  i = 2nJ/(1+J). *)
+  let i =
+    int_of_float (Float.round (2. *. float_of_int n *. jaccard /. (1. +. jaccard)))
+  in
+  let i = max 0 (min n i) in
+  (* Shared keys 1..i; A-only keys i+1..n; B-only keys n+1..2n−i. *)
+  let a = List.init n (fun k -> k + 1) in
+  let b =
+    List.init i (fun k -> k + 1) @ List.init (n - i) (fun k -> n + k + 1)
+  in
+  (I.of_keys a, I.of_keys b)
+
+let actual_jaccard = I.jaccard
+let union_size a b = List.length (I.union_keys [ a; b ])

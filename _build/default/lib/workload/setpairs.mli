@@ -1,0 +1,14 @@
+(** Binary instance pairs with controlled size and Jaccard coefficient —
+    the workload of the distinct-count experiments (Section 8.1 /
+    Figure 6). *)
+
+val pair :
+  n:int -> jaccard:float -> (Sampling.Instance.t * Sampling.Instance.t)
+(** Two sets of [n] keys each whose intersection/union ratio is as close
+    to [jaccard] as integer arithmetic allows: intersection size
+    [round (2nJ/(1+J))], keys numbered deterministically. *)
+
+val actual_jaccard : Sampling.Instance.t -> Sampling.Instance.t -> float
+(** Convenience re-export of {!Sampling.Instance.jaccard}. *)
+
+val union_size : Sampling.Instance.t -> Sampling.Instance.t -> int

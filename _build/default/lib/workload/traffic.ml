@@ -1,0 +1,75 @@
+module I = Sampling.Instance
+
+type params = {
+  n_shared : int;
+  n_only : int;
+  total_per_hour : float;
+  zipf_s : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_shared = 11_000;
+    n_only = 13_500;
+    total_per_hour = 5.5e5;
+    zipf_s = 0.6;
+    jitter = 0.35;
+    seed = 2011;
+  }
+
+let generate p =
+  let rng = Numerics.Prng.create ~seed:p.seed () in
+  let n_hour = p.n_shared + p.n_only in
+  (* Zipf profile over one hour's keys; shared keys take the head. *)
+  let profile =
+    Zipf.frequencies ~n:n_hour ~s:p.zipf_s ~total:p.total_per_hour
+  in
+  let jitter () = 1. +. (p.jitter *. ((2. *. Numerics.Prng.float rng) -. 1.)) in
+  (* Key numbering: shared = 1..n_shared; hour-1-only and hour-2-only
+     follow. *)
+  let hour only_base =
+    let shared =
+      List.init p.n_shared (fun i -> (i + 1, profile.(i) *. jitter ()))
+    in
+    let only =
+      List.init p.n_only (fun i ->
+          (only_base + i, profile.(p.n_shared + i) *. jitter ()))
+    in
+    shared @ only
+  in
+  let h1 = hour (p.n_shared + 1) in
+  let h2 = hour (p.n_shared + p.n_only + 1) in
+  (* Rescale each hour to the exact target volume. *)
+  let rescale entries =
+    let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. entries in
+    let c = p.total_per_hour /. total in
+    I.of_assoc (List.map (fun (k, v) -> (k, v *. c)) entries)
+  in
+  (rescale h1, rescale h2)
+
+type stats = {
+  keys_hour1 : int;
+  keys_hour2 : int;
+  keys_union : int;
+  flows_hour1 : float;
+  flows_hour2 : float;
+  sum_max : float;
+}
+
+let stats (a, b) =
+  {
+    keys_hour1 = I.cardinality a;
+    keys_hour2 = I.cardinality b;
+    keys_union = I.distinct_count [ a; b ];
+    flows_hour1 = I.total a;
+    flows_hour2 = I.total b;
+    sum_max = I.max_dominance [ a; b ];
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "keys/hour = %d / %d, union = %d, flows/hour = %.3e / %.3e, sum-max = %.3e"
+    s.keys_hour1 s.keys_hour2 s.keys_union s.flows_hour1 s.flows_hour2
+    s.sum_max

@@ -1,0 +1,44 @@
+(** Synthetic two-hour IP-traffic workload, calibrated to the statistics
+    the paper reports for its (proprietary) data set in Section 8.2:
+
+    - ≈ 2.45·10⁴ distinct destination IPs per hour,
+    - 3.8·10⁴ distinct destinations over both hours
+      (so ≈ 1.1·10⁴ persistent destinations),
+    - 5.5·10⁵ flows per hour,
+    - Σ_h max(v₁(h), v₂(h)) ≈ 7.47·10⁵.
+
+    Values are heavy-tailed (Zipf); persistent destinations carry the top
+    of the profile (they must hold ≈ 71% of each hour's volume for the
+    Σmax/volume ratio to match) with bounded multiplicative variation
+    between the hours; transient destinations are independent.
+    The estimators' behaviour depends on the data only through the
+    per-key value pairs and the sampling probabilities, so matching these
+    marginals reproduces the paper's variance-ratio regime. *)
+
+type params = {
+  n_shared : int;  (** destinations active in both hours *)
+  n_only : int;  (** destinations active in exactly one hour (each hour) *)
+  total_per_hour : float;  (** flows per hour *)
+  zipf_s : float;  (** value-profile skew *)
+  jitter : float;  (** max relative hour-to-hour change of shared keys *)
+  seed : int;
+}
+
+val default : params
+(** Calibrated to the Section 8.2 statistics:
+    [n_shared = 11_000], [n_only = 13_500], [total = 5.5e5],
+    [zipf_s = 0.6], [jitter = 0.35]. *)
+
+val generate : params -> Sampling.Instance.t * Sampling.Instance.t
+
+type stats = {
+  keys_hour1 : int;
+  keys_hour2 : int;
+  keys_union : int;
+  flows_hour1 : float;
+  flows_hour2 : float;
+  sum_max : float;
+}
+
+val stats : Sampling.Instance.t * Sampling.Instance.t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,36 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (float_of_int i ** -.s);
+    cdf.(i - 1) <- !acc
+  done;
+  let z = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. z
+  done;
+  { n; s; cdf }
+
+let pmf t i =
+  if i < 1 || i > t.n then 0.
+  else
+    let z = if i = 1 then t.cdf.(0) else t.cdf.(i - 1) -. t.cdf.(i - 2) in
+    z
+
+let draw t rng =
+  let u = Numerics.Prng.float rng in
+  (* Smallest index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let frequencies ~n ~s ~total =
+  let raw = Array.init n (fun i -> float_of_int (i + 1) ** -.s) in
+  let sum = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun x -> x *. total /. sum) raw

@@ -1,0 +1,19 @@
+(** Zipf / power-law value generation — the heavy-tailed shape of
+    per-destination flow counts and request frequencies that motivates
+    the paper's applications. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Distribution over ranks 1..n with P(rank = i) ∝ i^(-s). *)
+
+val pmf : t -> int -> float
+(** Probability of rank [i] (1-indexed). *)
+
+val draw : t -> Numerics.Prng.t -> int
+(** Sample a rank by inverted-CDF binary search. *)
+
+val frequencies : n:int -> s:float -> total:float -> float array
+(** Deterministic Zipf profile: [n] values with value of rank i
+    proportional to [i^(-s)], scaled so they sum to [total]. Index 0 is
+    rank 1 (the largest). *)

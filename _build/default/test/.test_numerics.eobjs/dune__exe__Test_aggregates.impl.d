@@ -1,0 +1,1 @@
+test/test_aggregates.ml: Aggregates Alcotest Array Estcore Experiments Filename Float Int List Numerics Printf Sampling Set Sys Workload

@@ -1,0 +1,1 @@
+test/test_designer.ml: Alcotest Array Designer Estcore Existence Experiments Float List Max_oblivious Numerics Or_oblivious Or_weighted Printf Sampling

@@ -1,0 +1,1 @@
+test/test_estcore.ml: Alcotest Array Coordinated Estcore Exact Experiments Float Fun Ht List Max_oblivious Max_pps Numerics Or_oblivious Or_weighted Printf QCheck QCheck_alcotest Sampling

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Estcore Experiments Format List Numerics Printf Workload

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun Gen Hashing Hashtbl Int64 Integrate Linalg List Numerics Prng QCheck QCheck_alcotest Qp Simplex Special Stats

@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Array Experiments Filename Float List Numerics Plot Str String Sys Workload

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Bottom_k Filename Float Format Gen Instance Io List Numerics Outcome Poisson Printf QCheck QCheck_alcotest Rank Sampling Seeds Summary Sys Varopt

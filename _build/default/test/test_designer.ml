@@ -1,0 +1,323 @@
+(* Tests for the generic estimator-derivation engine (Algorithms 1 and 2)
+   and the LP existence oracle (Theorem 6.1 certificates). *)
+
+open Estcore
+module D = Designer
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Special.float_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let vmax (v : float array) = Array.fold_left Float.max 0. v
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_derives_or_l () =
+  List.iter
+    (fun (p1, p2) ->
+      let probs = [| p1; p2 |] in
+      let problem =
+        D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+        |> D.Problems.sort_data D.Problems.order_l
+      in
+      match D.solve_order problem with
+      | Error e -> Alcotest.failf "unexpected failure: %s" e
+      | Ok est ->
+          Alcotest.(check bool) "unbiased" true (D.is_unbiased problem est);
+          Alcotest.(check bool) "nonnegative" true (D.min_estimate est >= -1e-9);
+          List.iter
+            (fun (k, derived) ->
+              let o = { Sampling.Outcome.Oblivious.probs; values = k } in
+              check_float ~eps:1e-7 "matches closed form" (Max_oblivious.l_r2 o)
+                derived)
+            (D.bindings est))
+    [ (0.5, 0.5); (0.3, 0.6); (0.2, 0.9) ]
+
+let test_order_derives_max_l_grid () =
+  (* Multi-valued grid, general (p1,p2): must agree with eq. (12). *)
+  let probs = [| 0.35; 0.65 |] in
+  let problem =
+    D.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2.; 5. ] ~f:vmax
+    |> D.Problems.sort_data D.Problems.order_l
+  in
+  match D.solve_order problem with
+  | Error e -> Alcotest.failf "failure: %s" e
+  | Ok est ->
+      Alcotest.(check bool) "unbiased" true (D.is_unbiased problem est);
+      List.iter
+        (fun (k, derived) ->
+          let o = { Sampling.Outcome.Oblivious.probs; values = k } in
+          check_float ~eps:1e-7 "eq (12)" (Max_oblivious.l_r2 o) derived)
+        (D.bindings est)
+
+let test_order_derives_max_l_r3_uniform () =
+  (* r = 3 uniform p on a binary grid: must agree with the Theorem 4.2
+     coefficients. *)
+  let p = 0.3 in
+  let probs = Array.make 3 p in
+  let c = Max_oblivious.Coeffs.compute ~r:3 ~p in
+  let problem =
+    D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+    |> D.Problems.sort_data D.Problems.order_l
+  in
+  match D.solve_order problem with
+  | Error e -> Alcotest.failf "failure: %s" e
+  | Ok est ->
+      Alcotest.(check bool) "unbiased" true (D.is_unbiased problem est);
+      List.iter
+        (fun (k, derived) ->
+          let o = { Sampling.Outcome.Oblivious.probs; values = k } in
+          check_float ~eps:1e-7 "Thm 4.2 agreement"
+            (Max_oblivious.l_uniform c o)
+            derived)
+        (D.bindings est)
+
+let test_order_weighted_binary_or () =
+  (* Algorithm 1 on the weighted known-seeds model reproduces OR^(L). *)
+  let p1 = 0.3 and p2 = 0.45 in
+  let or2 v = if vmax v > 0.5 then 1. else 0. in
+  let problem =
+    D.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2
+    |> D.Problems.sort_data D.Problems.order_l
+  in
+  match D.solve_order problem with
+  | Error e -> Alcotest.failf "failure: %s" e
+  | Ok est ->
+      Alcotest.(check bool) "unbiased" true (D.is_unbiased problem est);
+      List.iter
+        (fun ((below, sampled), derived) ->
+          (* Reconstruct the Binary outcome and compare with OR^(L). *)
+          let v = Array.map (fun s -> if s then 1 else 0) sampled in
+          let o =
+            Sampling.Outcome.Binary.of_below ~probs:[| p1; p2 |] ~below v
+          in
+          check_float ~eps:1e-7 "matches Or_weighted.l" (Or_weighted.l o)
+            derived)
+        (D.bindings est)
+
+let test_order_failure_xor_unknown_seeds () =
+  (* No unbiased nonnegative estimator exists for XOR with unknown seeds;
+     Algorithm 1 must either fail or produce a biased/negative table. *)
+  let xor v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0. in
+  let problem =
+    D.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor
+    |> D.Problems.sort_data D.Problems.order_u
+  in
+  match D.solve_order problem with
+  | Error _ -> ()
+  | Ok est ->
+      Alcotest.(check bool) "cannot be simultaneously unbiased and nonneg"
+        false
+        (D.is_unbiased problem est && D.min_estimate est >= -1e-9)
+
+let test_order_expectation_variance () =
+  let probs = [| 0.5; 0.5 |] in
+  let problem =
+    D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+    |> D.Problems.sort_data D.Problems.order_l
+  in
+  match D.solve_order problem with
+  | Error e -> Alcotest.failf "failure: %s" e
+  | Ok est ->
+      let v = [| 1.; 1. |] in
+      check_float "expectation" 1. (D.expectation problem est v);
+      check_float "variance = eq (24)"
+        (Or_oblivious.var_l_11 ~p1:0.5 ~p2:0.5)
+        (D.variance problem est v)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_derives_u () =
+  List.iter
+    (fun (p1, p2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "U engine (%.2f,%.2f)" p1 p2)
+        true
+        (Experiments.Table42.engine_agrees_u ~p1 ~p2 ()))
+    [ (0.5, 0.5); (0.3, 0.4); (0.2, 0.9) ]
+
+let test_partition_derives_uas () =
+  List.iter
+    (fun (p1, p2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Uas engine (%.2f,%.2f)" p1 p2)
+        true
+        (Experiments.Table42.engine_agrees_uas ~p1 ~p2 ()))
+    [ (0.5, 0.5); (0.3, 0.4); (0.2, 0.9) ]
+
+let test_partition_r3_or_u () =
+  (* New derivation the paper does not tabulate: symmetric U for OR over
+     r = 3 — check unbiasedness and nonnegativity of the derived table. *)
+  let probs = [| 0.25; 0.25; 0.25 |] in
+  let or3 v = if vmax v > 0.5 then 1. else 0. in
+  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:or3 in
+  let batches =
+    D.Problems.batches_by
+      (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+      problem.D.data
+  in
+  match D.solve_partition ~batches ~f:or3 ~dist:problem.D.dist () with
+  | Error e -> Alcotest.failf "failure: %s" e
+  | Ok est ->
+      Alcotest.(check bool) "unbiased" true (D.is_unbiased problem est);
+      Alcotest.(check bool) "nonnegative" true (D.min_estimate est >= -1e-7)
+
+let test_partition_symmetry () =
+  (* The level-batch estimator must be symmetric when p1 = p2. *)
+  let p = 0.35 in
+  let probs = [| p; p |] in
+  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2. ] ~f:vmax in
+  let batches =
+    D.Problems.batches_by
+      (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+      problem.D.data
+  in
+  match D.solve_partition ~batches ~f:vmax ~dist:problem.D.dist () with
+  | Error e -> Alcotest.failf "failure: %s" e
+  | Ok est ->
+      let est_of values = D.lookup est values in
+      check_float ~eps:1e-7 "swap symmetry {1}↔{2}"
+        (est_of [| Some 2.; None |])
+        (est_of [| None; Some 2. |]);
+      check_float ~eps:1e-7 "swap symmetry {1,2}"
+        (est_of [| Some 2.; Some 1. |])
+        (est_of [| Some 1.; Some 2. |])
+
+let test_partition_infeasible () =
+  (* XOR with unknown seeds: the partition engine must report failure. *)
+  let xor v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0. in
+  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor in
+  let batches =
+    D.Problems.batches_by
+      (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+      problem.D.data
+  in
+  match D.solve_partition ~batches ~f:xor ~dist:problem.D.dist () with
+  | Error _ -> ()
+  | Ok est ->
+      Alcotest.(check bool) "if it returns, it cannot be valid" false
+        (D.is_unbiased problem est && D.min_estimate est >= -1e-9)
+
+let test_order_discretized_pps_converges () =
+  (* Discretize the known-seeds weighted model (seed buckets) and let
+     Algorithm 1 derive an estimator over a value grid. The result is the
+     optimal order-based estimator of the *discrete* problem — not the
+     continuous Figure 3 estimator, whose determining vectors (v, u·τ)
+     fall off any fixed value grid — so we assert unbiasedness plus
+     magnitude agreement with the continuous closed form on fully-sampled
+     outcomes (the two optima price those outcomes within ~15% of each
+     other here). *)
+  let taus = [| 1.0; 1.3 |] in
+  let grid = [ 0.; 0.25; 0.5; 0.75 ] in
+  let m = 64 in
+  let vmax2 v = Float.max v.(0) v.(1) in
+  let problem =
+    D.Problems.pps_discretized ~taus ~grid ~buckets:m ~f:vmax2
+    |> D.Problems.sort_data D.Problems.order_difference_multiset
+  in
+  match D.solve_order problem with
+  | Error e -> Alcotest.failf "discretized derivation failed: %s" e
+  | Ok est ->
+      Alcotest.(check bool) "unbiased" true (D.is_unbiased problem est);
+      (* Fully-sampled outcomes: compare with the continuous closed form
+         (these estimates are seed-free, so discretization error comes
+         only through the recursion — expect ~1/m accuracy). *)
+      List.iter
+        (fun (v1, v2) ->
+          let o =
+            Sampling.Outcome.Pps.of_seeds ~taus ~seeds:[| 0.01; 0.01 |]
+              [| v1; v2 |]
+          in
+          let continuous = Estcore.Max_pps.l o in
+          let derived = D.lookup est ([| Some v1; Some v2 |], [| 0; 0 |]) in
+          if not (Numerics.Special.float_equal ~eps:0.15 continuous derived)
+          then
+            Alcotest.failf "(%.2f,%.2f): continuous %.4f vs derived %.4f" v1
+              v2 continuous derived)
+        [ (0.5, 0.25); (0.75, 0.5); (0.5, 0.5); (0.75, 0.25) ]
+
+(* ------------------------------------------------------------------ *)
+(* Existence oracle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_thm61_certificates () =
+  Alcotest.(check bool) "all certificates" true (Experiments.Thm61.all_match ())
+
+let test_or_threshold () =
+  (* The OR feasibility boundary is exactly p1 + p2 = 1. *)
+  Alcotest.(check bool) "0.49+0.49 infeasible" false
+    (Existence.or_unknown_seeds ~p1:0.49 ~p2:0.49);
+  Alcotest.(check bool) "0.51+0.51 feasible" true
+    (Existence.or_unknown_seeds ~p1:0.51 ~p2:0.51);
+  Alcotest.(check bool) "0.8+0.3 feasible" true
+    (Existence.or_unknown_seeds ~p1:0.8 ~p2:0.3)
+
+let test_find_witness_valid () =
+  (* A feasible witness must actually be unbiased on every data vector. *)
+  let or2 v = if vmax v > 0.5 then 1. else 0. in
+  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.7; 0.7 |] ~f:or2 in
+  match Existence.find problem with
+  | None -> Alcotest.fail "expected witness"
+  | Some table ->
+      List.iter
+        (fun v ->
+          let e =
+            List.fold_left
+              (fun acc (p, k) ->
+                match List.assoc_opt k table with
+                | Some x when p > 0. -> acc +. (p *. x)
+                | _ -> acc)
+              0. (problem.D.dist v)
+          in
+          check_float ~eps:1e-6 "witness unbiased" (or2 v) e;
+          List.iter (fun (_, x) -> Alcotest.(check bool) "nonneg" true (x >= -1e-9)) table)
+        problem.D.data
+
+let test_find_none_when_infeasible () =
+  let xor v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0. in
+  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.5; 0.5 |] ~f:xor in
+  Alcotest.(check bool) "no witness" true (Existence.find problem = None)
+
+let test_lth_boundary () =
+  (* For l < r, infeasible when the two smallest probabilities sum below 1;
+     feasible when every pair sums to at least 1. *)
+  Alcotest.(check bool) "l=1 r=2 p=0.7 feasible" true
+    (Existence.lth_unknown_seeds ~r:2 ~l:1 ~p:[| 0.7; 0.7 |]);
+  Alcotest.(check bool) "l=2 r=2 (min) always feasible" true
+    (Existence.lth_unknown_seeds ~r:2 ~l:2 ~p:[| 0.2; 0.2 |])
+
+let () =
+  Alcotest.run "designer"
+    [
+      ( "algorithm-1",
+        [
+          Alcotest.test_case "derives OR^(L)" `Quick test_order_derives_or_l;
+          Alcotest.test_case "derives max^(L) grid" `Quick test_order_derives_max_l_grid;
+          Alcotest.test_case "derives max^(L) r=3" `Quick test_order_derives_max_l_r3_uniform;
+          Alcotest.test_case "weighted binary OR" `Quick test_order_weighted_binary_or;
+          Alcotest.test_case "fails on XOR/unknown" `Quick test_order_failure_xor_unknown_seeds;
+          Alcotest.test_case "expectation/variance" `Quick test_order_expectation_variance;
+          Alcotest.test_case "discretized PPS → Figure 3" `Slow
+            test_order_discretized_pps_converges;
+        ] );
+      ( "algorithm-2",
+        [
+          Alcotest.test_case "derives max^(U)" `Quick test_partition_derives_u;
+          Alcotest.test_case "derives max^(Uas)" `Quick test_partition_derives_uas;
+          Alcotest.test_case "novel: OR^(U) r=3" `Quick test_partition_r3_or_u;
+          Alcotest.test_case "symmetry" `Quick test_partition_symmetry;
+          Alcotest.test_case "reports infeasible" `Quick test_partition_infeasible;
+        ] );
+      ( "existence",
+        [
+          Alcotest.test_case "Thm 6.1 certificates" `Quick test_thm61_certificates;
+          Alcotest.test_case "OR threshold p1+p2=1" `Quick test_or_threshold;
+          Alcotest.test_case "witness is valid" `Quick test_find_witness_valid;
+          Alcotest.test_case "no witness when infeasible" `Quick test_find_none_when_infeasible;
+          Alcotest.test_case "lth boundaries" `Quick test_lth_boundary;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* End-to-end checks of every paper experiment: the shape claims the
+   evaluation section makes must hold in our reproduction. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Special.float_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* E1 / Figure 1 *)
+
+let test_fig1_endpoints () =
+  let rows = Experiments.Fig1.series ~steps:10 () in
+  let first = List.hd rows in
+  let last = List.nth rows 10 in
+  check_float ~eps:1e-9 "L/HT at min=0" (11. /. 27.) first.Experiments.Fig1.l_over_ht;
+  check_float ~eps:1e-9 "U/HT at min=0" (1. /. 3.) first.Experiments.Fig1.u_over_ht;
+  check_float ~eps:1e-9 "L/HT at min=max" (1. /. 9.) last.Experiments.Fig1.l_over_ht;
+  check_float ~eps:1e-9 "U/HT at min=max" (1. /. 3.) last.Experiments.Fig1.u_over_ht
+
+let test_fig1_closed_forms () =
+  let probs = [| 0.5; 0.5 |] in
+  List.iter
+    (fun (mx, mn) ->
+      let v = [| mx; mn |] in
+      let cf_ht, cf_l, cf_u = Experiments.Fig1.variance_closed_forms ~mx ~mn in
+      check_float "HT" cf_ht (Estcore.Max_oblivious.var_ht_r2 ~probs ~v);
+      check_float "L" cf_l (Estcore.Max_oblivious.var_l_r2 ~probs ~v);
+      check_float "U" cf_u (Estcore.Max_oblivious.var_u_r2 ~probs ~v))
+    [ (1., 0.); (1., 0.5); (1., 1.); (7., 3.) ]
+
+let test_fig1_both_dominate () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ratios below 1" true
+        (r.Experiments.Fig1.l_over_ht < 1. && r.Experiments.Fig1.u_over_ht < 1.))
+    (Experiments.Fig1.series ~steps:20 ())
+
+(* E2 / E3 *)
+
+let test_table41_engine () =
+  Alcotest.(check bool) "engine agrees" true
+    (Experiments.Table41.engine_agrees ~p1:0.3 ~p2:0.6 ())
+
+let test_table42_engines () =
+  Alcotest.(check bool) "U" true (Experiments.Table42.engine_agrees_u ~p1:0.3 ~p2:0.4 ());
+  Alcotest.(check bool) "Uas" true
+    (Experiments.Table42.engine_agrees_uas ~p1:0.3 ~p2:0.4 ())
+
+(* E4/E5 / Figure 2 *)
+
+let test_fig2_ordering () =
+  (* For small p the L/U estimators sharply improve on HT; on (1,1) the
+     improvement is a square-root. *)
+  List.iter
+    (fun r ->
+      let open Experiments.Fig2 in
+      Alcotest.(check bool) "L(1,1) <= HT" true (r.l_11 <= r.ht +. 1e-9);
+      Alcotest.(check bool) "L(1,0) <= HT" true (r.l_10 <= r.ht +. 1e-9);
+      Alcotest.(check bool) "U(1,1) <= HT" true (r.u_11 <= r.ht +. 1e-9);
+      Alcotest.(check bool) "U(1,0) <= HT" true (r.u_10 <= r.ht +. 1e-9))
+    (Experiments.Fig2.series ())
+
+let test_fig2_asymptotics () =
+  List.iter
+    (fun (label, ratio) ->
+      Alcotest.(check bool) label true (abs_float (ratio -. 1.) < 0.01))
+    (Experiments.Fig2.asymptotics ~p:0.001)
+
+(* E6 / Figure 3 *)
+
+let test_fig3_all_cases_unbiased () =
+  List.iter
+    (fun (label, taus, v) ->
+      Alcotest.(check bool) label true (Experiments.Fig3.unbiased_on ~taus ~v))
+    (Experiments.Fig3.case_grid ())
+
+(* E7 / Figure 4 *)
+
+let test_fig4_bound () =
+  List.iter
+    (fun rho ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rho = %g" rho)
+        true
+        (Experiments.Fig4.ratio_bound_holds ~rho))
+    [ 0.99; 0.5; 0.1; 0.01 ]
+
+let test_fig4_ht_flat_l_decreasing () =
+  let rows = Experiments.Fig4.panel ~rho:0.5 ~steps:4 () in
+  let first = List.hd rows and last = List.nth rows 4 in
+  (* HT normalized variance is independent of min; L decreases to 0 at
+     min = max only when max >= tau; here it decreases strictly. *)
+  check_float ~eps:1e-9 "HT flat" first.Experiments.Fig4.nvar_ht
+    last.Experiments.Fig4.nvar_ht;
+  Alcotest.(check bool) "L decreasing" true
+    (last.Experiments.Fig4.nvar_l < first.Experiments.Fig4.nvar_l)
+
+(* E8 / Figure 5 *)
+
+let test_fig5 () =
+  Alcotest.(check bool) "aggregates" true (Experiments.Fig5.aggregates_match ());
+  Alcotest.(check bool) "bottom-3" true (Experiments.Fig5.independent_bottom3_match ())
+
+(* E9 / Figure 6 *)
+
+let test_fig6_ratio_asymptote () =
+  let rows = Experiments.Fig6.series ~cv:0.1 ~ns:[ 1e8 ] () in
+  let r = List.hd rows in
+  List.iteri
+    (fun i j ->
+      let expected = sqrt (1. -. j) /. 2. in
+      let got = r.Experiments.Fig6.s_l.(i) /. r.Experiments.Fig6.s_ht.(i) in
+      if j < 1. then
+        check_float ~eps:0.02 (Printf.sprintf "ratio at J=%.1f" j) expected got
+      else
+        Alcotest.(check bool) "J=1 ratio tiny" true (got < 0.01))
+    Experiments.Fig6.jaccards
+
+let test_fig6_j1_plateau () =
+  (* At J = 1, the L estimator needs O(1) samples: s stops growing. *)
+  let rows = Experiments.Fig6.series ~cv:0.1 ~ns:[ 1e6; 1e8; 1e10 ] () in
+  let s_at n =
+    let r = List.find (fun r -> r.Experiments.Fig6.n = n) rows in
+    r.Experiments.Fig6.s_l.(3)
+  in
+  check_float ~eps:0.01 "plateau 1e6 vs 1e10" (s_at 1e6) (s_at 1e10)
+
+let test_fig6_ht_sqrt_growth () =
+  (* s(HT) ≈ cv⁻¹·√n·(1+J)^-1/2·... — i.e. grows like √n: 100× n gives 10× s. *)
+  let rows = Experiments.Fig6.series ~cv:0.1 ~ns:[ 1e6; 1e8 ] () in
+  match rows with
+  | [ a; b ] ->
+      check_float ~eps:0.01 "sqrt growth" 10.
+        (b.Experiments.Fig6.s_ht.(0) /. a.Experiments.Fig6.s_ht.(0))
+  | _ -> Alcotest.fail "expected 2 rows"
+
+(* E10 / Figure 7 — scaled-down traffic to keep the test fast. *)
+
+let small_traffic =
+  {
+    Workload.Traffic.default with
+    Workload.Traffic.n_shared = 1100;
+    n_only = 1350;
+    total_per_hour = 5.5e4;
+  }
+
+let test_fig7_ratio_regime () =
+  let rows =
+    Experiments.Fig7.series ~percents:[ 1.; 5.; 20. ] ~params:small_traffic ()
+  in
+  List.iter
+    (fun r ->
+      let open Experiments.Fig7 in
+      Alcotest.(check bool)
+        (Printf.sprintf "ratio at %.0f%% in band" r.percent)
+        true
+        (r.nvar_l > 0. && r.nvar_ht /. r.nvar_l > 1.5 && r.nvar_ht /. r.nvar_l < 4.))
+    rows
+
+let test_fig7_variance_decreasing () =
+  let rows =
+    Experiments.Fig7.series ~percents:[ 1.; 5.; 20. ] ~params:small_traffic ()
+  in
+  let nv = List.map (fun r -> r.Experiments.Fig7.nvar_l) rows in
+  Alcotest.(check bool) "monotone decreasing in sampling rate" true
+    (List.sort (fun a b -> compare b a) nv = nv)
+
+let test_fig7_empirical_consistency () =
+  let eh, el = Experiments.Fig7.empirical_check ~trials:5 ~percent:10. ~params:small_traffic () in
+  Alcotest.(check bool) "relative errors are small and L <= HT-ish" true
+    (eh < 0.2 && el < 0.2)
+
+(* E11, E12, E13 *)
+
+let test_table51 () =
+  Alcotest.(check bool) "tables" true (Experiments.Table51.tables_match ~p1:0.3 ~p2:0.45);
+  Alcotest.(check bool) "unbiased" true (Experiments.Table51.unbiased ~p1:0.3 ~p2:0.45)
+
+let test_thm61 () = Alcotest.(check bool) "certificates" true (Experiments.Thm61.all_match ())
+
+let test_coeffs () =
+  Alcotest.(check bool) "closed forms" true (Experiments.Coeffs.closed_forms_match ~p:0.37);
+  Alcotest.(check bool) "unbiased to r=6" true (Experiments.Coeffs.unbiased_up_to ~p:0.3 ());
+  Alcotest.(check bool) "lemma 4.2 grid" true
+    (List.for_all (fun (_, _, ok) -> ok) (Experiments.Coeffs.lemma42_grid ()))
+
+(* Smoke: every experiment's run function executes without raising and
+   produces output (full fig7/coord use scaled workloads elsewhere; these
+   are Slow). *)
+let smoke name run =
+  Alcotest.test_case name `Slow (fun () ->
+      let b = Buffer.create 4096 in
+      let f = Format.formatter_of_buffer b in
+      run f;
+      Format.pp_print_flush f ();
+      Alcotest.(check bool) (name ^ " prints") true (Buffer.length b > 100))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "fig1",
+        [
+          Alcotest.test_case "endpoints" `Quick test_fig1_endpoints;
+          Alcotest.test_case "closed forms" `Quick test_fig1_closed_forms;
+          Alcotest.test_case "dominance" `Quick test_fig1_both_dominate;
+        ] );
+      ( "tables-4x",
+        [
+          Alcotest.test_case "table 4.1 engine" `Quick test_table41_engine;
+          Alcotest.test_case "table 4.2 engines" `Quick test_table42_engines;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "ordering" `Quick test_fig2_ordering;
+          Alcotest.test_case "asymptotics" `Quick test_fig2_asymptotics;
+        ] );
+      ("fig3", [ Alcotest.test_case "unbiased cases" `Quick test_fig3_all_cases_unbiased ]);
+      ( "fig4",
+        [
+          Alcotest.test_case "ratio bound" `Quick test_fig4_bound;
+          Alcotest.test_case "HT flat / L decreasing" `Quick test_fig4_ht_flat_l_decreasing;
+        ] );
+      ("fig5", [ Alcotest.test_case "worked example" `Quick test_fig5 ]);
+      ( "fig6",
+        [
+          Alcotest.test_case "ratio asymptote" `Quick test_fig6_ratio_asymptote;
+          Alcotest.test_case "J=1 plateau" `Quick test_fig6_j1_plateau;
+          Alcotest.test_case "HT sqrt growth" `Quick test_fig6_ht_sqrt_growth;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "ratio regime" `Slow test_fig7_ratio_regime;
+          Alcotest.test_case "variance decreasing" `Slow test_fig7_variance_decreasing;
+          Alcotest.test_case "empirical consistency" `Slow test_fig7_empirical_consistency;
+        ] );
+      ("table51", [ Alcotest.test_case "section 5.1" `Quick test_table51 ]);
+      ("thm61", [ Alcotest.test_case "certificates" `Quick test_thm61 ]);
+      ("coeffs", [ Alcotest.test_case "theorem 4.2" `Quick test_coeffs ]);
+      ( "smoke",
+        [
+          smoke "fig1" Experiments.Fig1.run;
+          smoke "table41" Experiments.Table41.run;
+          smoke "table42" Experiments.Table42.run;
+          smoke "fig2" Experiments.Fig2.run;
+          smoke "fig3" Experiments.Fig3.run;
+          smoke "fig5" Experiments.Fig5.run;
+          smoke "fig6" Experiments.Fig6.run;
+          smoke "table51" Experiments.Table51.run;
+          smoke "thm61" Experiments.Thm61.run;
+          smoke "coeffs" Experiments.Coeffs.run;
+          smoke "quantiles" Experiments.Quantiles.run;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Tests for the SVG figure substrate: scales, ticks, labels, document
+   structure, and the layout invariants that substitute for a visual
+   inspection pass in this headless environment (all mark coordinates
+   finite and inside the canvas, legend/label rules respected). *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Special.float_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Svg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_svg_escaping () =
+  let doc =
+    Plot.Svg.document ~width:10. ~height:10.
+      [ Plot.Svg.text ~x:1. ~y:1. "a < b & \"c\"" ]
+  in
+  Alcotest.(check bool) "escaped lt" true
+    (String.length doc > 0
+    && (try ignore (Str.search_forward (Str.regexp_string "a &lt; b &amp; &quot;c&quot;") doc 0); true
+        with Not_found -> false))
+
+let test_svg_structure () =
+  let doc =
+    Plot.Svg.document ~width:100. ~height:50.
+      [
+        Plot.Svg.rect ~x:0. ~y:0. ~w:100. ~h:50. ();
+        Plot.Svg.circle ~cx:5. ~cy:5. ~r:2. ();
+        Plot.Svg.polyline ~points:[ (0., 0.); (1., 1.) ] ();
+        Plot.Svg.line ~x1:0. ~y1:0. ~x2:9. ~y2:9. ();
+      ]
+  in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (try
+             ignore (Str.search_forward (Str.regexp_string needle) doc 0);
+             true
+           with Not_found -> false)
+      then Alcotest.failf "missing %s" needle)
+    [ "<svg"; "</svg>"; "<rect"; "<circle"; "<polyline"; "<line"; "viewBox=\"0 0 100 50\"" ]
+
+let test_svg_file_roundtrip () =
+  let path = Filename.temp_file "chart" ".svg" in
+  Plot.Svg.to_file ~path ~width:10. ~height:10. [ Plot.Svg.circle ~cx:1. ~cy:1. ~r:1. () ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "nonempty and xml" true
+    (len > 50 && String.sub s 0 5 = "<?xml")
+
+(* ------------------------------------------------------------------ *)
+(* Ticks and labels                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_ticks () =
+  let ts = Plot.Chart.ticks Plot.Chart.Linear ~lo:0. ~hi:1. in
+  Alcotest.(check bool) "within range" true
+    (List.for_all (fun t -> t >= -1e-9 && t <= 1. +. 1e-9) ts);
+  Alcotest.(check bool) "several" true (List.length ts >= 4);
+  (* Clean 1-2-5 steps: consecutive differences constant. *)
+  (match ts with
+  | a :: b :: c :: _ -> check_float ~eps:1e-9 "constant step" (b -. a) (c -. b)
+  | _ -> Alcotest.fail "too few ticks");
+  let ts2 = Plot.Chart.ticks Plot.Chart.Linear ~lo:0. ~hi:7342. in
+  Alcotest.(check bool) "clean numbers" true
+    (List.for_all (fun t -> Float.is_integer (t /. 100.)) ts2)
+
+let test_log_ticks () =
+  let ts = Plot.Chart.ticks Plot.Chart.Log ~lo:0.001 ~hi:100. in
+  Alcotest.(check bool) "decades only over many decades" true
+    (List.for_all
+       (fun t ->
+         let l = log10 t in
+         abs_float (l -. Float.round l) < 1e-9)
+       ts);
+  Alcotest.(check int) "five decades + endpoints" 6 (List.length ts);
+  (* Narrow log range gets 2/5 mantissas. *)
+  let ts2 = Plot.Chart.ticks Plot.Chart.Log ~lo:1. ~hi:9. in
+  Alcotest.(check bool) "includes 2 and 5" true
+    (List.mem 2. ts2 && List.mem 5. ts2)
+
+let test_tick_labels () =
+  Alcotest.(check string) "zero" "0" (Plot.Chart.tick_label 0.);
+  Alcotest.(check string) "thousands" "1,500" (Plot.Chart.tick_label 1500.);
+  Alcotest.(check string) "tens of thousands commas" "15,000"
+    (Plot.Chart.tick_label 15_000.);
+  Alcotest.(check string) "decimal trimmed" "0.25" (Plot.Chart.tick_label 0.25);
+  Alcotest.(check string) "negative" "-12" (Plot.Chart.tick_label (-12.));
+  Alcotest.(check bool) "scientific small" true
+    (String.contains (Plot.Chart.tick_label 1e-5) 'e');
+  Alcotest.(check bool) "scientific large" true
+    (String.contains (Plot.Chart.tick_label 1e7) 'e')
+
+let test_palette_fixed_order () =
+  Alcotest.(check int) "eight slots" 8 (Array.length Plot.Chart.palette);
+  Alcotest.(check string) "slot 1 blue" "#2a78d6" Plot.Chart.palette.(0);
+  Alcotest.(check string) "slot 2 aqua" "#1baf7a" Plot.Chart.palette.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Chart rendering invariants                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_spec =
+  {
+    Plot.Chart.default with
+    Plot.Chart.title = "test";
+    x_label = "x";
+    y_label = "y";
+    series =
+      [
+        { Plot.Chart.label = "one"; points = List.init 10 (fun i -> (float_of_int i, float_of_int (i * i))) };
+        { Plot.Chart.label = "two"; points = List.init 10 (fun i -> (float_of_int i, float_of_int (20 - i))) };
+      ];
+  }
+
+(* Pull every coordinate-bearing attribute out of the SVG text. *)
+let all_coords doc =
+  let re = Str.regexp "\\(x1\\|x2\\|y1\\|y2\\|cx\\|cy\\|x\\|y\\)=\"\\([-0-9.e+]+\\)\"" in
+  let rec go acc pos =
+    match Str.search_forward re doc pos with
+    | exception Not_found -> acc
+    | p -> go (float_of_string (Str.matched_group 2 doc) :: acc) (p + 1)
+  in
+  go [] 0
+
+let points_coords doc =
+  let re = Str.regexp "points=\"\\([^\"]*\\)\"" in
+  let rec go acc pos =
+    match Str.search_forward re doc pos with
+    | exception Not_found -> acc
+    | p ->
+        let pts = Str.matched_group 1 doc in
+        let nums =
+          String.split_on_char ' ' pts
+          |> List.concat_map (String.split_on_char ',')
+          |> List.filter (fun s -> s <> "")
+          |> List.map float_of_string
+        in
+        go (nums @ acc) (p + 1)
+  in
+  go [] 0
+
+let test_chart_coordinates_finite_and_bounded () =
+  let doc = Plot.Chart.render sample_spec in
+  let coords = all_coords doc @ points_coords doc in
+  Alcotest.(check bool) "has coordinates" true (List.length coords > 20);
+  List.iter
+    (fun c ->
+      if Float.is_nan c || Float.is_integer (c /. 0.) then
+        Alcotest.failf "non-finite coordinate %g" c;
+      (* within canvas with a small allowance for rotated labels *)
+      if c < -20. || c > 760. then Alcotest.failf "out of canvas: %g" c)
+    coords
+
+let test_chart_legend_rules () =
+  let doc2 = Plot.Chart.render sample_spec in
+  (* two series → both labels appear (legend), plus series colors *)
+  List.iter
+    (fun needle ->
+      if
+        not
+          (try
+             ignore (Str.search_forward (Str.regexp_string needle) doc2 0);
+             true
+           with Not_found -> false)
+      then Alcotest.failf "missing %s" needle)
+    [ "one"; "two"; "#2a78d6"; "#1baf7a" ];
+  (* one series → no second color, label appears at most as end label *)
+  let doc1 =
+    Plot.Chart.render
+      { sample_spec with Plot.Chart.series = [ List.hd sample_spec.Plot.Chart.series ] }
+  in
+  Alcotest.(check bool) "no slot-2 color for single series" true
+    (not
+       (try
+          ignore (Str.search_forward (Str.regexp_string "#1baf7a") doc1 0);
+          true
+        with Not_found -> false))
+
+let test_chart_log_drops_nonpositive () =
+  let spec =
+    {
+      sample_spec with
+      Plot.Chart.y_scale = Plot.Chart.Log;
+      series =
+        [
+          { Plot.Chart.label = "s"; points = [ (1., 0.); (2., 10.); (3., 100.) ] };
+        ];
+    }
+  in
+  let doc = Plot.Chart.render spec in
+  (* The polyline must contain exactly 2 points (the y = 0 one dropped). *)
+  let re = Str.regexp "polyline points=\"\\([^\"]*\\)\"" in
+  (match Str.search_forward re doc 0 with
+  | exception Not_found -> Alcotest.fail "no polyline"
+  | _ ->
+      let pts = Str.matched_group 1 doc in
+      Alcotest.(check int) "two points" 2
+        (List.length (String.split_on_char ' ' pts)))
+
+let test_chart_too_many_series () =
+  let series =
+    List.init 9 (fun i ->
+        { Plot.Chart.label = string_of_int i; points = [ (0., 0.); (1., 1.) ] })
+  in
+  Alcotest.check_raises "ninth series rejected"
+    (Invalid_argument
+       "Chart.render: more series than categorical slots — fold or facet")
+    (fun () -> ignore (Plot.Chart.render { sample_spec with Plot.Chart.series }))
+
+let test_figures_written () =
+  let dir = Filename.temp_file "plots" "" in
+  Sys.remove dir;
+  let paths =
+    Experiments.Figures.write_all
+      ~fig7_params:
+        {
+          Workload.Traffic.default with
+          Workload.Traffic.n_shared = 300;
+          n_only = 350;
+          total_per_hour = 2e4;
+        }
+      ~dir ()
+  in
+  Alcotest.(check int) "eight figures" 8 (List.length paths);
+  List.iter
+    (fun p ->
+      let ic = open_in p in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) (p ^ " nonempty svg") true
+        (len > 500 && String.sub s 0 5 = "<?xml");
+      (* balanced <svg> *)
+      Alcotest.(check bool) "closed" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "</svg>") s 0);
+           true
+         with Not_found -> false);
+      Sys.remove p)
+    paths;
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "plot"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "escaping" `Quick test_svg_escaping;
+          Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "file roundtrip" `Quick test_svg_file_roundtrip;
+        ] );
+      ( "scales",
+        [
+          Alcotest.test_case "linear ticks" `Quick test_linear_ticks;
+          Alcotest.test_case "log ticks" `Quick test_log_ticks;
+          Alcotest.test_case "tick labels" `Quick test_tick_labels;
+          Alcotest.test_case "palette order" `Quick test_palette_fixed_order;
+        ] );
+      ( "charts",
+        [
+          Alcotest.test_case "coordinates bounded" `Quick test_chart_coordinates_finite_and_bounded;
+          Alcotest.test_case "legend rules" `Quick test_chart_legend_rules;
+          Alcotest.test_case "log drops ≤ 0" `Quick test_chart_log_drops_nonpositive;
+          Alcotest.test_case "series cap" `Quick test_chart_too_many_series;
+          Alcotest.test_case "all figures render" `Slow test_figures_written;
+        ] );
+    ]

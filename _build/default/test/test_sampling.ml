@@ -1,0 +1,680 @@
+(* Unit and property tests for the sampling substrate. *)
+
+open Sampling
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Special.float_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let qtest ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ------------------------------------------------------------------ *)
+(* Rank                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rank_pps () =
+  check_float "pps rank" 0.25 (Rank.rank Rank.PPS ~w:2. ~u:0.5);
+  check_float "pps zero weight" infinity (Rank.rank Rank.PPS ~w:0. ~u:0.5)
+
+let test_rank_exp () =
+  check_float "exp rank" (-.log 0.5 /. 2.) (Rank.rank Rank.EXP ~w:2. ~u:0.5)
+
+let test_rank_invalid () =
+  Alcotest.check_raises "u = 0 rejected"
+    (Invalid_argument "Rank.rank: seed must be in (0,1)") (fun () ->
+      ignore (Rank.rank Rank.PPS ~w:1. ~u:0.))
+
+let test_cdf () =
+  check_float "pps cdf below" 0.6 (Rank.cdf Rank.PPS ~w:2. 0.3);
+  check_float "pps cdf capped" 1. (Rank.cdf Rank.PPS ~w:2. 0.7);
+  check_float "exp cdf" (1. -. exp (-0.6)) (Rank.cdf Rank.EXP ~w:2. 0.3);
+  check_float "zero weight" 0. (Rank.cdf Rank.PPS ~w:0. 0.5);
+  check_float "inclusion_prob alias" (Rank.cdf Rank.EXP ~w:3. 0.2)
+    (Rank.inclusion_prob Rank.EXP ~w:3. ~tau:0.2)
+
+let test_min_rank_exp () =
+  check_float "min-rank CDF" (1. -. exp (-1.)) (Rank.min_rank_exp_total 2. 0.5)
+
+let prop_cdf_rank_inverse =
+  qtest "F_w(rank(u)) = u for both families"
+    QCheck.(pair (float_bound_inclusive 1.) (float_bound_inclusive 10.))
+    (fun (u0, w0) ->
+      let u = 0.001 +. (0.998 *. u0) in
+      let w = 0.1 +. w0 in
+      List.for_all
+        (fun fam ->
+          Numerics.Special.float_equal ~eps:1e-9
+            (Rank.cdf fam ~w (Rank.rank fam ~w ~u))
+            u)
+        [ Rank.PPS; Rank.EXP ])
+
+(* ------------------------------------------------------------------ *)
+(* Seeds                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_seeds_shared () =
+  let s = Seeds.create ~master:7 Seeds.Shared in
+  check_float "same across instances"
+    (Seeds.seed s ~instance:0 ~key:42)
+    (Seeds.seed s ~instance:5 ~key:42)
+
+let test_seeds_independent () =
+  let s = Seeds.create ~master:7 Seeds.Independent in
+  Alcotest.(check bool) "instances differ" true
+    (Seeds.seed s ~instance:0 ~key:42 <> Seeds.seed s ~instance:1 ~key:42)
+
+let test_seeds_deterministic () =
+  let s = Seeds.create ~master:7 Seeds.Independent in
+  let s' = Seeds.create ~master:7 Seeds.Independent in
+  check_float "recomputable"
+    (Seeds.seed s ~instance:3 ~key:9)
+    (Seeds.seed s' ~instance:3 ~key:9)
+
+let test_seeds_master () =
+  let a = Seeds.create ~master:1 Seeds.Shared in
+  let b = Seeds.create ~master:2 Seeds.Shared in
+  Alcotest.(check bool) "masters differ" true
+    (Seeds.seed a ~instance:0 ~key:5 <> Seeds.seed b ~instance:0 ~key:5)
+
+let test_seeds_string () =
+  let s = Seeds.create ~master:7 Seeds.Shared in
+  let u = Seeds.seed_string s ~instance:0 ~key:"10.0.0.1" in
+  Alcotest.(check bool) "in (0,1)" true (u > 0. && u < 1.)
+
+let prop_consistent_ranks =
+  qtest "shared seeds give consistent ranks"
+    QCheck.(triple small_int (float_bound_inclusive 10.) (float_bound_inclusive 10.))
+    (fun (key, w1, w2) ->
+      let s = Seeds.create ~master:11 Seeds.Shared in
+      let w1 = 0.1 +. w1 and w2 = 0.1 +. w2 in
+      let r1 = Seeds.rank s Rank.PPS ~instance:0 ~key ~w:w1 in
+      let r2 = Seeds.rank s Rank.PPS ~instance:1 ~key ~w:w2 in
+      if w1 >= w2 then r1 <= r2 else r1 >= r2)
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_instance_build () =
+  let i = Instance.of_assoc [ (1, 2.); (2, 0.); (1, 3.); (5, 1.) ] in
+  check_float "dup summed" 5. (Instance.value i 1);
+  check_float "zero dropped" 0. (Instance.value i 2);
+  Alcotest.(check bool) "mem" false (Instance.mem i 2);
+  Alcotest.(check int) "cardinality" 2 (Instance.cardinality i);
+  check_float "total" 6. (Instance.total i);
+  Alcotest.(check (list int)) "keys" [ 1; 5 ] (Instance.keys i)
+
+let test_instance_negative () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Instance.of_assoc: negative value") (fun () ->
+      ignore (Instance.of_assoc [ (1, -2.) ]))
+
+let test_instance_of_keys () =
+  let i = Instance.of_keys [ 3; 1; 4 ] in
+  check_float "binary" 1. (Instance.value i 3);
+  Alcotest.(check int) "card" 3 (Instance.cardinality i)
+
+let test_union_and_vectors () =
+  let a = Instance.of_assoc [ (1, 2.); (2, 3.) ] in
+  let b = Instance.of_assoc [ (2, 1.); (4, 5.) ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 4 ] (Instance.union_keys [ a; b ]);
+  Alcotest.(check (array (float 1e-9))) "v(2)" [| 3.; 1. |]
+    (Instance.values_of_key [ a; b ] 2)
+
+let test_norms () =
+  let a = Instance.of_assoc [ (1, 2.); (2, 3.) ] in
+  let b = Instance.of_assoc [ (2, 1.); (4, 5.) ] in
+  check_float "max dominance" (2. +. 3. +. 5.) (Instance.max_dominance [ a; b ]);
+  check_float "min dominance" 1. (Instance.min_dominance [ a; b ]);
+  check_float "l1" (2. +. 2. +. 5.) (Instance.l1_distance a b);
+  Alcotest.(check int) "distinct" 3 (Instance.distinct_count [ a; b ]);
+  check_float "jaccard" (1. /. 3.) (Instance.jaccard a b)
+
+let test_jaccard_empty () =
+  check_float "empty sets" 1. (Instance.jaccard Instance.empty Instance.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_oblivious_enumerate () =
+  let probs = [| 0.3; 0.7; 0.5 |] in
+  let outs = Outcome.Oblivious.enumerate ~probs [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "2^3 outcomes" 8 (List.length outs);
+  check_float "probs sum to 1" 1.
+    (List.fold_left (fun acc (p, _) -> acc +. p) 0. outs)
+
+let test_oblivious_mask () =
+  let probs = [| 0.3; 0.7 |] in
+  let o = Outcome.Oblivious.of_mask ~probs [| 5.; 6. |] [| true; false |] in
+  Alcotest.(check (list int)) "sampled" [ 0 ] (Outcome.Oblivious.sampled o);
+  Alcotest.(check (list (float 0.))) "values" [ 5. ]
+    (Outcome.Oblivious.sampled_values o);
+  check_float "mask prob" (0.3 *. 0.3)
+    (Outcome.Oblivious.prob_of_mask ~probs:[| 0.3; 0.7 |] [| true; false |])
+
+let test_oblivious_draw_stats () =
+  let rng = Numerics.Prng.create ~seed:21 () in
+  let probs = [| 0.3; 0.7 |] in
+  let n = 50_000 in
+  let count = [| 0; 0 |] in
+  for _ = 1 to n do
+    let o = Outcome.Oblivious.draw rng ~probs [| 1.; 1. |] in
+    List.iter (fun i -> count.(i) <- count.(i) + 1) (Outcome.Oblivious.sampled o)
+  done;
+  check_float ~eps:0.02 "p1 frequency" 0.3 (float_of_int count.(0) /. float_of_int n);
+  check_float ~eps:0.02 "p2 frequency" 0.7 (float_of_int count.(1) /. float_of_int n)
+
+let test_pps_of_seeds () =
+  let taus = [| 1.; 2. |] in
+  let o = Outcome.Pps.of_seeds ~taus ~seeds:[| 0.4; 0.4 |] [| 0.5; 0.5 |] in
+  (* Entry 0: 0.5 >= 0.4·1 → sampled; entry 1: 0.5 < 0.4·2 → not. *)
+  Alcotest.(check (list int)) "sampled" [ 0 ] (Outcome.Pps.sampled o);
+  check_float "upper bound of unsampled" 0.8 (Outcome.Pps.upper_bound o 1);
+  check_float "value of sampled" 0.5 (Outcome.Pps.upper_bound o 0);
+  check_float "inclusion prob" 0.25
+    (Outcome.Pps.inclusion_prob ~taus [| 0.5; 0.5 |] 1)
+
+let test_pps_boundary () =
+  let o = Outcome.Pps.of_seeds ~taus:[| 1. |] ~seeds:[| 0.5 |] [| 0.5 |] in
+  Alcotest.(check (list int)) "v = u·tau is sampled" [ 0 ] (Outcome.Pps.sampled o)
+
+let test_pps_expectation_constant () =
+  check_float "E[const]" 7.
+    (Outcome.Pps.expectation ~taus:[| 1.; 1.3 |] ~v:[| 0.4; 0.9 |] (fun _ -> 7.))
+
+let test_pps_expectation_indicator () =
+  let taus = [| 1.; 1.3 |] in
+  let v = [| 0.4; 0.9 |] in
+  let e =
+    Outcome.Pps.expectation ~taus ~v (fun o ->
+        if List.mem 0 (Outcome.Pps.sampled o) then 1. else 0.)
+  in
+  check_float ~eps:1e-9 "Pr[0 sampled] = v1/tau1" 0.4 e;
+  let e2 =
+    Outcome.Pps.expectation ~taus ~v (fun o ->
+        if Outcome.Pps.sampled o = [ 0; 1 ] then 1. else 0.)
+  in
+  check_float ~eps:1e-9 "Pr[both]" (0.4 *. (0.9 /. 1.3)) e2
+
+let test_binary_outcomes () =
+  let probs = [| 0.3; 0.6 |] in
+  let o = Outcome.Binary.of_below ~probs ~below:[| true; true |] [| 1; 0 |] in
+  Alcotest.(check bool) "sampled 0" true o.Outcome.Binary.sampled.(0);
+  Alcotest.(check bool) "not sampled 1" false o.Outcome.Binary.sampled.(1);
+  Alcotest.(check (option int)) "knows v0 = 1" (Some 1) (Outcome.Binary.known_value o 0);
+  Alcotest.(check (option int)) "knows v1 = 0" (Some 0) (Outcome.Binary.known_value o 1);
+  let o2 = Outcome.Binary.of_below ~probs ~below:[| false; true |] [| 1; 1 |] in
+  Alcotest.(check (option int)) "unknown" None (Outcome.Binary.known_value o2 0)
+
+let test_binary_enumerate () =
+  let outs = Outcome.Binary.enumerate ~probs:[| 0.3; 0.6 |] [| 1; 0 |] in
+  Alcotest.(check int) "4 outcomes" 4 (List.length outs);
+  check_float "sum 1" 1. (List.fold_left (fun a (p, _) -> a +. p) 0. outs)
+
+let test_binary_rejects_nonbinary () =
+  Alcotest.check_raises "values must be 0/1"
+    (Invalid_argument "Binary: data must be 0/1") (fun () ->
+      ignore
+        (Outcome.Binary.of_below ~probs:[| 0.5 |] ~below:[| true |] [| 2 |]))
+
+let test_binary_to_oblivious () =
+  let probs = [| 0.3; 0.6 |] in
+  let o = Outcome.Binary.of_below ~probs ~below:[| true; false |] [| 1; 1 |] in
+  let m = Outcome.Binary.to_oblivious o in
+  Alcotest.(check (list (float 0.))) "mapped values" [ 1. ]
+    (Outcome.Oblivious.sampled_values m);
+  let o2 = Outcome.Binary.of_below ~probs ~below:[| true; true |] [| 1; 0 |] in
+  let m2 = Outcome.Binary.to_oblivious o2 in
+  Alcotest.(check (list int)) "zero revealed as oblivious sample" [ 0; 1 ]
+    (Outcome.Oblivious.sampled m2)
+
+(* ------------------------------------------------------------------ *)
+(* Poisson                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_instance =
+  Instance.of_assoc (List.init 100 (fun i -> (i + 1, float_of_int (1 + (i mod 10)))))
+
+let test_pps_sample_rule () =
+  let seeds = Seeds.create ~master:3 Seeds.Independent in
+  let tau = 20. in
+  let s = Poisson.pps_sample seeds ~instance:0 ~tau small_instance in
+  (* Verify every key against the rule v >= u·tau. *)
+  Instance.iter
+    (fun h v ->
+      let u = Seeds.seed seeds ~instance:0 ~key:h in
+      let inside = List.mem_assoc h s.Poisson.entries in
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d" h)
+        (v >= u *. tau) inside)
+    small_instance
+
+let test_pps_expected_size () =
+  check_float "closed form"
+    (Instance.fold (fun _ v a -> a +. Float.min 1. (v /. 20.)) small_instance 0.)
+    (Poisson.pps_expected_size ~tau:20. small_instance)
+
+let test_tau_for_expected_size () =
+  let k = 13. in
+  let tau = Poisson.tau_for_expected_size small_instance k in
+  check_float ~eps:1e-6 "inverse" k (Poisson.pps_expected_size ~tau small_instance)
+
+let test_pps_ht_unbiased () =
+  let total = Instance.total small_instance in
+  let acc = Numerics.Stats.Acc.create () in
+  for m = 1 to 400 do
+    let seeds = Seeds.create ~master:m Seeds.Independent in
+    let s = Poisson.pps_sample seeds ~instance:0 ~tau:30. small_instance in
+    Numerics.Stats.Acc.add acc (Poisson.pps_ht_estimate s ~select:(fun _ -> true))
+  done;
+  let mean = Numerics.Stats.Acc.mean acc in
+  let sd = sqrt (Numerics.Stats.Acc.var acc /. 400.) in
+  if abs_float (mean -. total) > 5. *. sd +. 1e-9 then
+    Alcotest.failf "HT biased: mean %g vs %g (sd %g)" mean total sd
+
+let test_oblivious_sample () =
+  let seeds = Seeds.create ~master:3 Seeds.Independent in
+  let domain = List.init 200 (fun i -> i + 1) in
+  let s = Poisson.oblivious_sample seeds ~instance:0 ~p:0.4 ~domain small_instance in
+  Alcotest.(check int) "domain size" 200 s.Poisson.domain_size;
+  (* Inclusion decided by seed < p, value irrelevant (keys 101.. have 0). *)
+  List.iter
+    (fun h ->
+      let u = Seeds.seed seeds ~instance:0 ~key:h in
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d" h)
+        (u < 0.4)
+        (List.mem_assoc h s.Poisson.entries))
+    domain
+
+let test_oblivious_ht () =
+  let seeds = Seeds.create ~master:3 Seeds.Independent in
+  let domain = List.init 100 (fun i -> i + 1) in
+  let acc = Numerics.Stats.Acc.create () in
+  for m = 1 to 400 do
+    let seeds = Seeds.create ~master:m (Seeds.mode seeds) in
+    let s = Poisson.oblivious_sample seeds ~instance:0 ~p:0.3 ~domain small_instance in
+    Numerics.Stats.Acc.add acc
+      (Poisson.oblivious_ht_estimate s ~select:(fun _ -> true))
+  done;
+  let total = Instance.total small_instance in
+  let mean = Numerics.Stats.Acc.mean acc in
+  let sd = sqrt (Numerics.Stats.Acc.var acc /. 400.) in
+  if abs_float (mean -. total) > 5. *. sd then
+    Alcotest.failf "oblivious HT biased: %g vs %g" mean total
+
+let test_key_outcome_pps () =
+  let seeds = Seeds.create ~master:3 Seeds.Independent in
+  let a = Instance.of_assoc [ (1, 0.8); (2, 0.1) ] in
+  let b = Instance.of_assoc [ (1, 0.2); (3, 0.9) ] in
+  let taus = [| 1.; 1. |] in
+  let o = Poisson.key_outcome_pps seeds ~taus ~instances:[ a; b ] 1 in
+  Alcotest.(check int) "r = 2" 2 (Outcome.Pps.r o);
+  (* Values must match the instance data where sampled. *)
+  List.iter
+    (fun i ->
+      match o.Outcome.Pps.values.(i) with
+      | Some v -> check_float "sampled value" (Instance.value (if i = 0 then a else b) 1) v
+      | None -> ())
+    [ 0; 1 ]
+
+let test_key_outcome_binary () =
+  let seeds = Seeds.create ~master:3 Seeds.Independent in
+  let a = Instance.of_keys [ 1; 2 ] in
+  let b = Instance.of_keys [ 2 ] in
+  let o = Poisson.key_outcome_binary seeds ~probs:[| 0.9; 0.9 |] ~instances:[ a; b ] 2 in
+  Alcotest.(check int) "r" 2 (Outcome.Binary.r o);
+  let o1 = Poisson.key_outcome_binary seeds ~probs:[| 0.9; 0.9 |] ~instances:[ a; b ] 1 in
+  Alcotest.(check bool) "key 1 absent from b never sampled there" false
+    o1.Outcome.Binary.sampled.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Bottom-k                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bottomk_size_and_threshold () =
+  let seeds = Seeds.create ~master:5 Seeds.Independent in
+  let s = Bottom_k.sample seeds ~family:Rank.PPS ~instance:0 ~k:10 small_instance in
+  Alcotest.(check int) "k entries" 10 (List.length s.Bottom_k.entries);
+  (* Threshold is strictly above every sampled rank. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "rank below threshold" true
+        (e.Bottom_k.rank <= s.Bottom_k.threshold))
+    s.Bottom_k.entries;
+  (* Sample of everything: threshold infinite. *)
+  let s2 = Bottom_k.sample seeds ~family:Rank.PPS ~instance:0 ~k:1000 small_instance in
+  Alcotest.(check int) "all keys" 100 (List.length s2.Bottom_k.entries);
+  Alcotest.(check bool) "threshold inf" true (s2.Bottom_k.threshold = infinity)
+
+let test_bottomk_rank_order () =
+  let seeds = Seeds.create ~master:5 Seeds.Independent in
+  let s = Bottom_k.sample seeds ~family:Rank.EXP ~instance:0 ~k:10 small_instance in
+  let ranks = List.map (fun e -> e.Bottom_k.rank) s.Bottom_k.entries in
+  Alcotest.(check bool) "sorted" true (List.sort compare ranks = ranks)
+
+let test_priority_equals_rc () =
+  let seeds = Seeds.create ~master:5 Seeds.Independent in
+  let s = Bottom_k.sample seeds ~family:Rank.PPS ~instance:0 ~k:20 small_instance in
+  check_float ~eps:1e-9 "priority = RC for PPS ranks"
+    (Bottom_k.rc_estimate s ~select:(fun _ -> true))
+    (Bottom_k.priority_estimate s ~select:(fun _ -> true))
+
+let test_priority_exp_rejected () =
+  let seeds = Seeds.create ~master:5 Seeds.Independent in
+  let s = Bottom_k.sample seeds ~family:Rank.EXP ~instance:0 ~k:5 small_instance in
+  Alcotest.check_raises "EXP rejected"
+    (Invalid_argument "Bottom_k.priority_estimate: PPS ranks only") (fun () ->
+      ignore (Bottom_k.priority_estimate s ~select:(fun _ -> true)))
+
+let test_bottomk_rc_unbiased () =
+  let total = Instance.total small_instance in
+  List.iter
+    (fun family ->
+      let acc = Numerics.Stats.Acc.create () in
+      for m = 1 to 500 do
+        let seeds = Seeds.create ~master:m Seeds.Independent in
+        let s = Bottom_k.sample seeds ~family ~instance:0 ~k:20 small_instance in
+        Numerics.Stats.Acc.add acc (Bottom_k.rc_estimate s ~select:(fun _ -> true))
+      done;
+      let mean = Numerics.Stats.Acc.mean acc in
+      let sd = sqrt (Numerics.Stats.Acc.var acc /. 500.) in
+      if abs_float (mean -. total) > 5. *. sd then
+        Alcotest.failf "RC biased (%s): %g vs %g"
+          (Format.asprintf "%a" Rank.pp_family family)
+          mean total)
+    [ Rank.PPS; Rank.EXP ]
+
+(* ------------------------------------------------------------------ *)
+(* VarOpt                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_varopt_invariants () =
+  let rng = Numerics.Prng.create ~seed:31 () in
+  let t = Varopt.of_instance ~k:16 rng small_instance in
+  Alcotest.(check int) "size = k" 16 (Varopt.size t);
+  check_float "total tracked" (Instance.total small_instance) (Varopt.total_weight t);
+  (* The full-population estimate is exact (variance-optimal ⇒ zero
+     variance on the total). *)
+  check_float ~eps:1e-6 "sum of adjusted weights = total"
+    (Instance.total small_instance)
+    (Varopt.estimate t ~select:(fun _ -> true));
+  (* Adjusted weights are at least the threshold or the exact weight. *)
+  List.iter
+    (fun (h, w) ->
+      let orig = Instance.value small_instance h in
+      check_float "adjusted = max(w, tau)" (Float.max orig (Varopt.threshold t)) w)
+    (Varopt.entries t)
+
+let test_varopt_under_capacity () =
+  let rng = Numerics.Prng.create ~seed:31 () in
+  let t = Varopt.create ~k:10 in
+  Varopt.add t rng ~key:1 ~weight:5.;
+  Varopt.add t rng ~key:2 ~weight:3.;
+  Alcotest.(check int) "size" 2 (Varopt.size t);
+  check_float "threshold 0" 0. (Varopt.threshold t);
+  check_float "exact estimate" 8. (Varopt.estimate t ~select:(fun _ -> true))
+
+let test_varopt_subset_unbiased () =
+  let select h = h mod 3 = 0 in
+  let truth =
+    Instance.fold (fun h v a -> if select h then a +. v else a) small_instance 0.
+  in
+  let acc = Numerics.Stats.Acc.create () in
+  for m = 1 to 600 do
+    let rng = Numerics.Prng.create ~seed:m () in
+    let t = Varopt.of_instance ~k:16 rng small_instance in
+    Numerics.Stats.Acc.add acc (Varopt.estimate t ~select)
+  done;
+  let mean = Numerics.Stats.Acc.mean acc in
+  let sd = sqrt (Numerics.Stats.Acc.var acc /. 600.) in
+  if abs_float (mean -. truth) > 5. *. sd then
+    Alcotest.failf "varopt subset biased: %g vs %g (sd %g)" mean truth sd
+
+let test_varopt_rejects_bad_weight () =
+  let rng = Numerics.Prng.create () in
+  let t = Varopt.create ~k:2 in
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Varopt.add: weight must be positive") (fun () ->
+      Varopt.add t rng ~key:1 ~weight:0.)
+
+let prop_varopt_total_preserved =
+  qtest ~count:50 "varopt estimate of the whole population is exact"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Numerics.Prng.create ~seed () in
+      let n = 20 + Numerics.Prng.int rng 50 in
+      let inst =
+        Instance.of_assoc
+          (List.init n (fun i -> (i + 1, 0.5 +. (10. *. Numerics.Prng.float rng))))
+      in
+      let t = Varopt.of_instance ~k:8 rng inst in
+      Numerics.Special.float_equal ~eps:1e-6 (Instance.total inst)
+        (Varopt.estimate t ~select:(fun _ -> true)))
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_schemes () =
+  let seeds = Seeds.create ~master:8 Seeds.Independent in
+  List.iter
+    (fun scheme ->
+      let s = Summary.summarize seeds scheme ~instance:0 small_instance in
+      Alcotest.(check bool) "scheme preserved" true (Summary.scheme s = scheme);
+      Alcotest.(check bool) "nonempty" true (Summary.size s > 0);
+      let ks = Summary.keys s in
+      Alcotest.(check bool) "sorted" true (List.sort compare ks = ks);
+      List.iter
+        (fun h -> Alcotest.(check bool) "mem" true (Summary.mem s h))
+        ks)
+    [
+      Summary.Poisson_pps { tau = 30. };
+      Summary.Bottom_k { k = 15; family = Rank.PPS };
+      Summary.Bottom_k { k = 15; family = Rank.EXP };
+      Summary.Var_opt { k = 15 };
+    ]
+
+let test_summary_fixed_size () =
+  let seeds = Seeds.create ~master:8 Seeds.Independent in
+  List.iter
+    (fun scheme ->
+      let s = Summary.summarize seeds scheme ~instance:0 small_instance in
+      Alcotest.(check int) "size = k" 15 (Summary.size s))
+    [ Summary.Bottom_k { k = 15; family = Rank.PPS }; Summary.Var_opt { k = 15 } ]
+
+let test_summary_unbiased () =
+  let total = Instance.total small_instance in
+  List.iter
+    (fun scheme ->
+      let acc = Numerics.Stats.Acc.create () in
+      for m = 1 to 400 do
+        let seeds = Seeds.create ~master:m Seeds.Independent in
+        let s = Summary.summarize seeds scheme ~instance:0 small_instance in
+        Numerics.Stats.Acc.add acc (Summary.subset_sum s ~select:(fun _ -> true))
+      done;
+      let mean = Numerics.Stats.Acc.mean acc in
+      let sd = sqrt (Numerics.Stats.Acc.var acc /. 400.) in
+      if abs_float (mean -. total) > (5. *. sd) +. 1e-9 then
+        Alcotest.failf "summary subset-sum biased: %g vs %g" mean total)
+    [
+      Summary.Poisson_pps { tau = 30. };
+      Summary.Bottom_k { k = 20; family = Rank.PPS };
+      Summary.Bottom_k { k = 20; family = Rank.EXP };
+      Summary.Var_opt { k = 20 };
+    ]
+
+let test_summary_thresholds () =
+  let seeds = Seeds.create ~master:8 Seeds.Independent in
+  let p = Summary.summarize seeds (Summary.Poisson_pps { tau = 30. }) ~instance:0 small_instance in
+  Alcotest.(check (option (float 1e-12))) "poisson tau" (Some 30.) (Summary.threshold p);
+  let bk = Summary.summarize seeds (Summary.Bottom_k { k = 10; family = Rank.PPS }) ~instance:0 small_instance in
+  (match Summary.threshold bk with
+  | Some tau -> Alcotest.(check bool) "positive" true (tau > 0.)
+  | None -> Alcotest.fail "expected a threshold");
+  let bke = Summary.summarize seeds (Summary.Bottom_k { k = 10; family = Rank.EXP }) ~instance:0 small_instance in
+  Alcotest.(check bool) "exp ranks expose none" true (Summary.threshold bke = None);
+  let vo = Summary.summarize seeds (Summary.Var_opt { k = 10 }) ~instance:0 small_instance in
+  Alcotest.(check bool) "varopt exposes none" true (Summary.threshold vo = None)
+
+(* ------------------------------------------------------------------ *)
+(* Io                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_instance_roundtrip () =
+  let inst = Instance.of_assoc [ (1, 0.1); (7, 3.25); (42, 1e-9); (5, 123456.789) ] in
+  let s = Io.instance_to_string inst in
+  let back = Io.instance_of_string s in
+  Alcotest.(check (list int)) "keys" (Instance.keys inst) (Instance.keys back);
+  List.iter
+    (fun k -> check_float ~eps:0. "lossless value" (Instance.value inst k) (Instance.value back k))
+    (Instance.keys inst)
+
+let test_io_pps_roundtrip () =
+  let p = { Poisson.instance_id = 3; tau = 0.7321; entries = [ (1, 2.5); (9, 0.125) ] } in
+  let back = Io.pps_of_string (Io.pps_to_string p) in
+  Alcotest.(check int) "id" p.Poisson.instance_id back.Poisson.instance_id;
+  check_float ~eps:0. "tau" p.Poisson.tau back.Poisson.tau;
+  Alcotest.(check int) "entries" 2 (List.length back.Poisson.entries);
+  check_float ~eps:0. "entry" 0.125 (List.assoc 9 back.Poisson.entries)
+
+let test_io_files () =
+  let path = Filename.temp_file "inst" ".txt" in
+  let inst = Instance.of_assoc [ (1, 2.); (2, 3.) ] in
+  Io.write_instance ~path inst;
+  let back = Io.read_instance ~path in
+  Sys.remove path;
+  check_float "value" 3. (Instance.value back 2)
+
+let test_io_comments_and_blanks () =
+  let s = "# a comment
+optsample-instance 1
+
+1 0x1p+1
+# mid comment
+2 0x1.8p+1
+" in
+  let i = Io.instance_of_string s in
+  check_float "parses around comments" 2. (Instance.value i 1);
+  check_float "second" 3. (Instance.value i 2)
+
+let test_io_errors () =
+  Alcotest.(check bool) "wrong magic" true
+    (try ignore (Io.instance_of_string "nonsense 9
+1 2"); false
+     with Failure _ -> true);
+  Alcotest.(check bool) "bad entry" true
+    (try ignore (Io.instance_of_string "optsample-instance 1
+oops"); false
+     with Failure _ -> true);
+  Alcotest.(check bool) "empty" true
+    (try ignore (Io.pps_of_string ""); false with Failure _ -> true)
+
+let test_io_sample_estimate_after_reload () =
+  (* The deployment story: sample at the source, persist, estimate later. *)
+  let seeds = Seeds.create ~master:12 Seeds.Independent in
+  let sample = Poisson.pps_sample seeds ~instance:0 ~tau:30. small_instance in
+  let reloaded = Io.pps_of_string (Io.pps_to_string sample) in
+  check_float ~eps:0. "same estimate"
+    (Poisson.pps_ht_estimate sample ~select:(fun _ -> true))
+    (Poisson.pps_ht_estimate reloaded ~select:(fun _ -> true))
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "rank",
+        [
+          Alcotest.test_case "pps" `Quick test_rank_pps;
+          Alcotest.test_case "exp" `Quick test_rank_exp;
+          Alcotest.test_case "invalid seed" `Quick test_rank_invalid;
+          Alcotest.test_case "cdf" `Quick test_cdf;
+          Alcotest.test_case "min-rank exp" `Quick test_min_rank_exp;
+          prop_cdf_rank_inverse;
+        ] );
+      ( "seeds",
+        [
+          Alcotest.test_case "shared" `Quick test_seeds_shared;
+          Alcotest.test_case "independent" `Quick test_seeds_independent;
+          Alcotest.test_case "deterministic" `Quick test_seeds_deterministic;
+          Alcotest.test_case "master" `Quick test_seeds_master;
+          Alcotest.test_case "string keys" `Quick test_seeds_string;
+          prop_consistent_ranks;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "build" `Quick test_instance_build;
+          Alcotest.test_case "negative" `Quick test_instance_negative;
+          Alcotest.test_case "of_keys" `Quick test_instance_of_keys;
+          Alcotest.test_case "union/vectors" `Quick test_union_and_vectors;
+          Alcotest.test_case "norms" `Quick test_norms;
+          Alcotest.test_case "jaccard empty" `Quick test_jaccard_empty;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "oblivious enumerate" `Quick test_oblivious_enumerate;
+          Alcotest.test_case "oblivious mask" `Quick test_oblivious_mask;
+          Alcotest.test_case "oblivious draw stats" `Quick test_oblivious_draw_stats;
+          Alcotest.test_case "pps of_seeds" `Quick test_pps_of_seeds;
+          Alcotest.test_case "pps boundary" `Quick test_pps_boundary;
+          Alcotest.test_case "pps E[const]" `Quick test_pps_expectation_constant;
+          Alcotest.test_case "pps E[indicator]" `Quick test_pps_expectation_indicator;
+          Alcotest.test_case "binary outcomes" `Quick test_binary_outcomes;
+          Alcotest.test_case "binary enumerate" `Quick test_binary_enumerate;
+          Alcotest.test_case "binary domain check" `Quick test_binary_rejects_nonbinary;
+          Alcotest.test_case "binary→oblivious map" `Quick test_binary_to_oblivious;
+        ] );
+      ( "poisson",
+        [
+          Alcotest.test_case "pps rule" `Quick test_pps_sample_rule;
+          Alcotest.test_case "expected size" `Quick test_pps_expected_size;
+          Alcotest.test_case "tau inverse" `Quick test_tau_for_expected_size;
+          Alcotest.test_case "pps HT unbiased" `Slow test_pps_ht_unbiased;
+          Alcotest.test_case "oblivious rule" `Quick test_oblivious_sample;
+          Alcotest.test_case "oblivious HT unbiased" `Slow test_oblivious_ht;
+          Alcotest.test_case "key outcome pps" `Quick test_key_outcome_pps;
+          Alcotest.test_case "key outcome binary" `Quick test_key_outcome_binary;
+        ] );
+      ( "bottom-k",
+        [
+          Alcotest.test_case "size/threshold" `Quick test_bottomk_size_and_threshold;
+          Alcotest.test_case "rank order" `Quick test_bottomk_rank_order;
+          Alcotest.test_case "priority = RC" `Quick test_priority_equals_rc;
+          Alcotest.test_case "EXP priority rejected" `Quick test_priority_exp_rejected;
+          Alcotest.test_case "RC unbiased" `Slow test_bottomk_rc_unbiased;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "schemes" `Quick test_summary_schemes;
+          Alcotest.test_case "fixed size" `Quick test_summary_fixed_size;
+          Alcotest.test_case "unbiased" `Slow test_summary_unbiased;
+          Alcotest.test_case "thresholds" `Quick test_summary_thresholds;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "instance roundtrip" `Quick test_io_instance_roundtrip;
+          Alcotest.test_case "pps roundtrip" `Quick test_io_pps_roundtrip;
+          Alcotest.test_case "file io" `Quick test_io_files;
+          Alcotest.test_case "comments/blanks" `Quick test_io_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "estimate after reload" `Quick test_io_sample_estimate_after_reload;
+          (qtest ~count:100 "instance roundtrip (random)"
+             QCheck.(list_of_size Gen.(0 -- 40) (pair small_nat (float_bound_inclusive 100.)))
+             (fun pairs ->
+               let inst = Instance.of_assoc (List.map (fun (k, v) -> (k, abs_float v)) pairs) in
+               let back = Io.instance_of_string (Io.instance_to_string inst) in
+               Instance.keys inst = Instance.keys back
+               && List.for_all
+                    (fun k -> Instance.value inst k = Instance.value back k)
+                    (Instance.keys inst)));
+        ] );
+      ( "varopt",
+        [
+          Alcotest.test_case "invariants" `Quick test_varopt_invariants;
+          Alcotest.test_case "under capacity" `Quick test_varopt_under_capacity;
+          Alcotest.test_case "subset unbiased" `Slow test_varopt_subset_unbiased;
+          Alcotest.test_case "weight guard" `Quick test_varopt_rejects_bad_weight;
+          prop_varopt_total_preserved;
+        ] );
+    ]

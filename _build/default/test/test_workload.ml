@@ -1,0 +1,156 @@
+(* Tests for the workload generators. *)
+
+module I = Sampling.Instance
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Special.float_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_pmf () =
+  let z = Workload.Zipf.create ~n:100 ~s:1.1 in
+  let total = ref 0. in
+  for i = 1 to 100 do
+    let p = Workload.Zipf.pmf z i in
+    Alcotest.(check bool) "positive" true (p > 0.);
+    total := !total +. p
+  done;
+  check_float ~eps:1e-9 "pmf sums to 1" 1. !total;
+  check_float "out of range" 0. (Workload.Zipf.pmf z 101);
+  Alcotest.(check bool) "decreasing" true
+    (Workload.Zipf.pmf z 1 > Workload.Zipf.pmf z 2)
+
+let test_zipf_draw () =
+  let z = Workload.Zipf.create ~n:50 ~s:1. in
+  let rng = Numerics.Prng.create ~seed:3 () in
+  let counts = Array.make 50 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Workload.Zipf.draw z rng in
+    Alcotest.(check bool) "in range" true (i >= 1 && i <= 50);
+    counts.(i - 1) <- counts.(i - 1) + 1
+  done;
+  (* Empirical frequency of rank 1 close to pmf. *)
+  check_float ~eps:0.01 "rank-1 frequency"
+    (Workload.Zipf.pmf z 1)
+    (float_of_int counts.(0) /. float_of_int n)
+
+let test_zipf_frequencies () =
+  let f = Workload.Zipf.frequencies ~n:10 ~s:0.8 ~total:100. in
+  check_float ~eps:1e-9 "sums to total" 100. (Array.fold_left ( +. ) 0. f);
+  Alcotest.(check bool) "monotone" true (f.(0) > f.(9))
+
+(* ------------------------------------------------------------------ *)
+(* Setpairs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_setpairs_sizes () =
+  List.iter
+    (fun j ->
+      let a, b = Workload.Setpairs.pair ~n:1000 ~jaccard:j in
+      Alcotest.(check int) "size A" 1000 (I.cardinality a);
+      Alcotest.(check int) "size B" 1000 (I.cardinality b);
+      check_float ~eps:0.01 "achieved jaccard" j
+        (Workload.Setpairs.actual_jaccard a b))
+    [ 0.; 0.25; 0.5; 0.9; 1. ]
+
+let test_setpairs_union () =
+  let a, b = Workload.Setpairs.pair ~n:100 ~jaccard:0.5 in
+  (* J = 0.5 with n = 100: intersection ≈ 67, union ≈ 133. *)
+  Alcotest.(check bool) "union size" true
+    (abs (Workload.Setpairs.union_size a b - 133) <= 1)
+
+let test_setpairs_guards () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Setpairs.pair: n must be positive")
+    (fun () -> ignore (Workload.Setpairs.pair ~n:0 ~jaccard:0.5));
+  Alcotest.check_raises "J > 1" (Invalid_argument "Setpairs.pair: jaccard in [0,1]")
+    (fun () -> ignore (Workload.Setpairs.pair ~n:5 ~jaccard:1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_traffic_calibration () =
+  let s = Workload.Traffic.stats (Workload.Traffic.generate Workload.Traffic.default) in
+  Alcotest.(check int) "keys hour 1" 24_500 s.Workload.Traffic.keys_hour1;
+  Alcotest.(check int) "keys hour 2" 24_500 s.Workload.Traffic.keys_hour2;
+  Alcotest.(check int) "union" 38_000 s.Workload.Traffic.keys_union;
+  check_float ~eps:1e-6 "flows hour 1" 5.5e5 s.Workload.Traffic.flows_hour1;
+  check_float ~eps:1e-6 "flows hour 2" 5.5e5 s.Workload.Traffic.flows_hour2;
+  (* Paper's sum-max: 7.47e5; ours must land within 2%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sum-max %.3e near 7.47e5" s.Workload.Traffic.sum_max)
+    true
+    (abs_float (s.Workload.Traffic.sum_max -. 7.47e5) /. 7.47e5 < 0.02)
+
+let test_traffic_deterministic () =
+  let s1 = Workload.Traffic.stats (Workload.Traffic.generate Workload.Traffic.default) in
+  let s2 = Workload.Traffic.stats (Workload.Traffic.generate Workload.Traffic.default) in
+  check_float "reproducible" s1.Workload.Traffic.sum_max s2.Workload.Traffic.sum_max
+
+let test_traffic_custom_params () =
+  let p = { Workload.Traffic.default with n_shared = 100; n_only = 50; seed = 1 } in
+  let s = Workload.Traffic.stats (Workload.Traffic.generate p) in
+  Alcotest.(check int) "keys/hour" 150 s.Workload.Traffic.keys_hour1;
+  Alcotest.(check int) "union" 200 s.Workload.Traffic.keys_union
+
+(* ------------------------------------------------------------------ *)
+(* Changes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_changes_shape () =
+  let p = { Workload.Changes.default with n_keys = 500; r = 3 } in
+  let insts = Workload.Changes.generate p in
+  Alcotest.(check int) "r instances" 3 (List.length insts);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "roughly (1-change_prob) keys present" true
+        (let c = I.cardinality i in
+         c > 400 && c <= 500))
+    insts
+
+let test_changes_no_change () =
+  let p = { Workload.Changes.default with n_keys = 200; change_prob = 0.; jitter = 0. } in
+  match Workload.Changes.generate p with
+  | [ a; b ] ->
+      Alcotest.(check int) "all keys" 200 (I.cardinality a);
+      check_float "identical instances" 0. (I.l1_distance a b);
+      check_float "similarity 1" 1. (Workload.Changes.similarity [ a; b ])
+  | _ -> Alcotest.fail "expected 2 instances"
+
+let test_changes_similarity_bounds () =
+  let insts = Workload.Changes.generate Workload.Changes.default in
+  let s = Workload.Changes.similarity insts in
+  Alcotest.(check bool) "in [0,1]" true (s >= 0. && s <= 1.)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf" `Quick test_zipf_pmf;
+          Alcotest.test_case "draw" `Quick test_zipf_draw;
+          Alcotest.test_case "frequencies" `Quick test_zipf_frequencies;
+        ] );
+      ( "setpairs",
+        [
+          Alcotest.test_case "sizes and jaccard" `Quick test_setpairs_sizes;
+          Alcotest.test_case "union size" `Quick test_setpairs_union;
+          Alcotest.test_case "guards" `Quick test_setpairs_guards;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "section 8.2 calibration" `Quick test_traffic_calibration;
+          Alcotest.test_case "deterministic" `Quick test_traffic_deterministic;
+          Alcotest.test_case "custom params" `Quick test_traffic_custom_params;
+        ] );
+      ( "changes",
+        [
+          Alcotest.test_case "shape" `Quick test_changes_shape;
+          Alcotest.test_case "no-change degenerate" `Quick test_changes_no_change;
+          Alcotest.test_case "similarity bounds" `Quick test_changes_similarity_bounds;
+        ] );
+    ]

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Compare current kernel performance against the committed baseline.
+#
+#   bench/compare.sh [BASELINE] [-- extra args for bench/main.exe]
+#
+# Runs `bench/main.exe perf --json <tmp>` and prints, per kernel and per
+# Bechamel micro-benchmark, the percentage change versus BASELINE
+# (default: BENCH_kernels.json at the repo root). Positive % = slower
+# than the baseline, negative % = faster. Exits 0 always — this is a
+# report, not a gate; pipe it into your own threshold check if needed.
+#
+# The JSON is written one object per line precisely so this script can
+# stay dependency-free (awk only).
+
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+baseline="${1:-$root/BENCH_kernels.json}"
+if [ "$#" -gt 0 ]; then shift; fi
+if [ "${1:-}" = "--" ]; then shift; fi
+
+if [ ! -f "$baseline" ]; then
+  echo "compare.sh: baseline $baseline not found" >&2
+  echo "  generate one with: dune exec bench/main.exe -- perf --json BENCH_kernels.json" >&2
+  exit 1
+fi
+
+current=$(mktemp /tmp/bench_kernels.XXXXXX.json)
+trap 'rm -f "$current"' EXIT INT TERM
+
+( cd "$root" && dune exec bench/main.exe -- perf --json "$current" "$@" >/dev/null )
+
+# extract_field FILE KEY -> lines "name<TAB>value"
+extract() {
+  awk -v key="$2" '
+    /"name":/ && $0 ~ ("\"" key "\":") {
+      name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      val = $0; sub(".*\"" key "\": ", "", val); sub(/[,}].*/, "", val)
+      printf "%s\t%s\n", name, val
+    }' "$1"
+}
+
+report() { # label baseline_file current_file key
+  printf '%s\n' "== $1 (vs $(basename "$2")) =="
+  extract "$2" "$4" | while IFS="$(printf '\t')" read -r name base; do
+    cur=$(extract "$3" "$4" | awk -F '\t' -v n="$name" '$1 == n { print $2 }')
+    if [ -z "$cur" ]; then
+      printf '  %-44s %s\n' "$name" "missing in current run"
+    else
+      awk -v n="$name" -v b="$base" -v c="$cur" 'BEGIN {
+        pct = (c - b) / b * 100.0
+        tag = pct > 5 ? "REGRESSION" : (pct < -5 ? "speedup" : "ok")
+        printf "  %-44s %12.3f -> %12.3f  %+7.1f%%  %s\n", n, b, c, pct, tag
+      }'
+    fi
+  done
+}
+
+report "kernels: sequential wall clock (s)" "$baseline" "$current" "sequential_s"
+report "kernels: parallel wall clock (s)" "$baseline" "$current" "parallel_s"
+report "micro-benchmarks (ns/run)" "$baseline" "$current" "ns_per_run"
+
+echo
+echo "baseline: $baseline"
+echo "refresh it with: dune exec bench/main.exe -- perf --json BENCH_kernels.json"

@@ -1,10 +1,19 @@
 (* Benchmark / reproduction harness.
 
-   With no arguments: run every experiment (one per table/figure of the
-   paper's evaluation) and a quick Bechamel performance section (E14).
-   With arguments: run only the named experiments, e.g.
+   With no experiment names: run every experiment (one per table/figure
+   of the paper's evaluation) and a quick Bechamel performance section
+   (E14). With names: run only those, e.g.
 
-     dune exec bench/main.exe -- fig1 fig7 perf *)
+     dune exec bench/main.exe -- fig1 fig7 perf
+
+   Options:
+     -j N | --jobs N   parallelism (default: OPTSAMPLE_JOBS env var, else
+                       Domain.recommended_domain_count). Runs of several
+                       experiments fan out across domains, each printing
+                       into its own buffer, joined in CLI order.
+     --json PATH       with perf: also write the kernel timings (Bechamel
+                       OLS estimates + sequential-vs-parallel wall clock)
+                       as JSON to PATH — the tracked perf baseline. *)
 
 let experiments : (string * string * (Format.formatter -> unit)) list =
   [
@@ -93,27 +102,144 @@ let bechamel_tests () =
              ignore (Estcore.Designer.solve_order problem)));
     ]
 
-let run_perf ppf =
+let bechamel_rows () =
   let open Bechamel in
-  Format.fprintf ppf "=== E14: kernel micro-benchmarks (Bechamel) ===@.";
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (bechamel_tests ()) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name result acc ->
-        match Analyze.OLS.estimates result with
-        | Some (est :: _) -> (name, est) :: acc
-        | _ -> (name, nan) :: acc)
-      results []
-    |> List.sort compare
+  Hashtbl.fold
+    (fun name result acc ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> (name, est) :: acc
+      | _ -> (name, nan) :: acc)
+    results []
+  |> List.sort compare
+
+(* --- sequential-vs-parallel wall-clock kernels (the perf baseline) --- *)
+
+type kernel_timing = {
+  k_name : string;
+  k_work : int; (* trials / grid points *)
+  k_seq : float; (* seconds *)
+  k_par : float; (* seconds *)
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mc_trials = 1_000_000
+let sweep_steps = 2_000
+
+let kernel_timings pool =
+  let probs8 = Array.make 8 0.2 in
+  let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
+  let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r:8 ~p:0.2 in
+  let est = Estcore.Max_oblivious.l_uniform coeffs8 in
+  let draw rng = Sampling.Outcome.Oblivious.draw rng ~probs:probs8 v8 in
+  let rng = Numerics.Prng.create ~seed:17 () in
+  let mc_seq, t_mc_seq =
+    wall (fun () ->
+        Estcore.Exact.monte_carlo ~master:99 ~rng ~n:mc_trials ~draw est)
   in
+  let mc_par, t_mc_par =
+    wall (fun () ->
+        Estcore.Exact.monte_carlo ~pool ~master:99 ~rng ~n:mc_trials ~draw est)
+  in
+  assert (mc_seq = mc_par);
+  (* same substreams, same merge order: identical moments *)
+  let sweep_seq, t_sweep_seq =
+    wall (fun () -> Experiments.Fig4.panel ~rho:0.5 ~steps:sweep_steps ())
+  in
+  let sweep_par, t_sweep_par =
+    wall (fun () -> Experiments.Fig4.panel ~pool ~rho:0.5 ~steps:sweep_steps ())
+  in
+  assert (sweep_seq = sweep_par);
+  [
+    {
+      k_name = "monte_carlo max^(L) r=8";
+      k_work = mc_trials;
+      k_seq = t_mc_seq;
+      k_par = t_mc_par;
+    };
+    {
+      k_name = "fig4 variance sweep (pps_r2_fast)";
+      k_work = sweep_steps + 1;
+      k_seq = t_sweep_seq;
+      k_par = t_sweep_par;
+    };
+  ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One object per line so bench/compare.sh can diff baselines with awk. *)
+let write_json ~path ~jobs ~rows ~kernels =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "\"schema\": \"optsample-bench/1\",\n";
+  add (Printf.sprintf "\"jobs\": %d,\n" jobs);
+  add "\"bechamel_ns_per_run\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      add
+        (Printf.sprintf "{\"name\": \"%s\", \"ns_per_run\": %.3f}%s\n"
+           (json_escape name) est
+           (if i = n - 1 then "" else ",")))
+    rows;
+  add "],\n";
+  add "\"kernels\": [\n";
+  let n = List.length kernels in
+  List.iteri
+    (fun i k ->
+      add
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"work\": %d, \"sequential_s\": %.6f, \
+            \"parallel_s\": %.6f, \"speedup\": %.3f}%s\n"
+           (json_escape k.k_name) k.k_work k.k_seq k.k_par
+           (k.k_seq /. k.k_par)
+           (if i = n - 1 then "" else ",")))
+    kernels;
+  add "]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let run_perf ?json ~pool ppf =
+  Format.fprintf ppf "=== E14: kernel micro-benchmarks (Bechamel) ===@.";
+  let rows = bechamel_rows () in
   List.iter
     (fun (name, est) -> Format.fprintf ppf "  %-48s %14.1f ns/run@." name est)
-    rows
+    rows;
+  let jobs = Numerics.Pool.size pool in
+  Format.fprintf ppf "=== sequential vs parallel kernels (%d jobs) ===@." jobs;
+  let kernels = kernel_timings pool in
+  List.iter
+    (fun k ->
+      Format.fprintf ppf "  %-36s work %8d  seq %8.3fs  par %8.3fs  x%.2f@."
+        k.k_name k.k_work k.k_seq k.k_par (k.k_seq /. k.k_par))
+    kernels;
+  match json with
+  | None -> ()
+  | Some path ->
+      write_json ~path ~jobs ~rows ~kernels;
+      Format.fprintf ppf "perf baseline written to %s@." path
 
 (* --- self-contained HTML report: all experiment outputs + figures --- *)
 
@@ -129,11 +255,26 @@ let html_escape s =
     s;
   Buffer.contents buf
 
-let run_report ppf =
+(* Run one experiment into its own buffer (pool tasks each own one). *)
+let capture run =
+  let b = Buffer.create 4096 in
+  let f = Format.formatter_of_buffer b in
+  run f;
+  Format.pp_print_flush f ();
+  Buffer.contents b
+
+let run_report ~pool ppf =
   let dir = "report" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Figures first (inlined below). *)
-  let figure_paths = Experiments.Figures.write_all ~dir:(Filename.concat dir "figures") () in
+  let figure_paths =
+    Experiments.Figures.write_all ~pool ~dir:(Filename.concat dir "figures") ()
+  in
+  let outputs =
+    Numerics.Pool.parallel_list_map pool
+      (fun (name, doc, run) -> (name, doc, capture run))
+      experiments
+  in
   let buf = Buffer.create 65536 in
   let add = Buffer.add_string buf in
   add
@@ -162,16 +303,12 @@ let run_report ppf =
     experiments;
   add "<a href=\"#figures\">figures</a></nav>\n";
   List.iter
-    (fun (name, doc, run) ->
+    (fun (name, doc, out) ->
       add (Printf.sprintf "<h2 id=\"%s\">%s — %s</h2>\n" name name (html_escape doc));
-      let b = Buffer.create 4096 in
-      let f = Format.formatter_of_buffer b in
-      run f;
-      Format.pp_print_flush f ();
       add "<pre>";
-      add (html_escape (Buffer.contents b));
+      add (html_escape out);
       add "</pre>\n")
-    experiments;
+    outputs;
   add "<h2 id=\"figures\">Figures (SVG)</h2>\n";
   List.iter
     (fun path ->
@@ -196,30 +333,104 @@ let run_report ppf =
   close_out oc;
   Format.fprintf ppf "report written to %s@." out
 
+(* --- argument parsing (plain argv; cmdliner is the bin/ front end) --- *)
+
+type options = { jobs : int; json : string option; names : string list }
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [-j N|--jobs N] [--json PATH] [EXPERIMENT...]";
+  prerr_endline
+    ("experiments: "
+    ^ String.concat " " (List.map (fun (n, _, _) -> n) experiments)
+    ^ " perf plots report")
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> acc
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j > 0 -> go { acc with jobs = j } rest
+        | _ ->
+            prerr_endline "main.exe: -j expects a positive integer";
+            usage ();
+            exit 1)
+    | [ ("-j" | "--jobs") ] | [ "--json" ] ->
+        prerr_endline "main.exe: missing option value";
+        usage ();
+        exit 1
+    | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | name :: rest -> go { acc with names = acc.names @ [ name ] } rest
+  in
+  go { jobs = Numerics.Pool.default_jobs (); json = None; names = [] } argv
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
   let ppf = Format.std_formatter in
   let names =
-    match args with
+    match opts.names with
     | [] -> List.map (fun (n, _, _) -> n) experiments @ [ "perf"; "plots" ]
-    | _ -> args
+    | names -> names
   in
-  List.iter
-    (fun name ->
-      if name = "report" then run_report ppf
-      else if name = "plots" then begin
-        let paths = Experiments.Figures.write_all ~dir:"plots" () in
+  (* Reject typos up front — a bad name must fail the run (exit 1). *)
+  let unknown =
+    List.filter
+      (fun n ->
+        not
+          (n = "perf" || n = "plots" || n = "report"
+          || List.exists (fun (e, _, _) -> e = n) experiments))
+      names
+  in
+  if unknown <> [] then begin
+    List.iter
+      (fun n ->
+        Printf.eprintf "unknown experiment %S; available: %s perf plots report\n"
+          n
+          (String.concat " " (List.map (fun (e, _, _) -> e) experiments)))
+      unknown;
+    exit 1
+  end;
+  let pool = Numerics.Pool.create ~domains:opts.jobs () in
+  (* Maximal runs of plain experiments fan out across the pool, each
+     rendering into its own buffer; buffers print in CLI order. The
+     specials (perf / plots / report) run in the main domain. *)
+  let flush_batch batch =
+    match List.rev batch with
+    | [] -> ()
+    | batch ->
+        let runs =
+          List.map
+            (fun n ->
+              let _, _, run =
+                List.find (fun (e, _, _) -> e = n) experiments
+              in
+              run)
+            batch
+        in
+        let outputs = Numerics.Pool.parallel_list_map pool capture runs in
+        List.iter
+          (fun out ->
+            Format.fprintf ppf "%s" out;
+            Format.fprintf ppf "@.")
+          outputs
+  in
+  let rec go batch = function
+    | [] -> flush_batch batch
+    | "report" :: rest ->
+        flush_batch batch;
+        run_report ~pool ppf;
+        go [] rest
+    | "plots" :: rest ->
+        flush_batch batch;
+        let paths = Experiments.Figures.write_all ~pool ~dir:"plots" () in
         Format.fprintf ppf "=== figures written ===@.";
-        List.iter (fun p -> Format.fprintf ppf "  %s@." p) paths
-      end
-      else if name = "perf" then run_perf ppf
-      else
-        match List.find_opt (fun (n, _, _) -> n = name) experiments with
-        | Some (_, _, run) ->
-            run ppf;
-            Format.fprintf ppf "@."
-        | None ->
-            Format.fprintf ppf "unknown experiment %S; available: %s perf@."
-              name
-              (String.concat " " (List.map (fun (n, _, _) -> n) experiments)))
-    names
+        List.iter (fun p -> Format.fprintf ppf "  %s@." p) paths;
+        go [] rest
+    | "perf" :: rest ->
+        flush_batch batch;
+        run_perf ?json:opts.json ~pool ppf;
+        go [] rest
+    | name :: rest -> go (name :: batch) rest
+  in
+  go [] names;
+  Numerics.Pool.shutdown pool

@@ -11,6 +11,22 @@ open Cmdliner
 
 let ppf = Format.std_formatter
 
+(* Shared -j/--jobs option: 0 = auto (OPTSAMPLE_JOBS env var, else
+   Domain.recommended_domain_count). The pool only affects wall-clock
+   time; every result is identical to a sequential run. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of domains for parallel sections (default: the \
+           $(b,OPTSAMPLE_JOBS) environment variable, else the recommended \
+           domain count). Results are independent of N.")
+
+let pool_of_jobs jobs =
+  if jobs > 0 then Numerics.Pool.create ~domains:jobs ()
+  else Numerics.Pool.create ()
+
 (* ---------- repro ---------- *)
 
 let experiments =
@@ -41,20 +57,33 @@ let repro_cmd =
           ~doc:"Experiments to run (default: all). One of fig1 table41 \
                 table42 fig2 fig3 fig4 fig5 fig6 fig7 table51 thm61 coeffs.")
   in
-  let run names =
+  let run names jobs =
     let todo = if names = [] then List.map fst experiments else names in
-    List.iter
-      (fun n ->
-        match List.assoc_opt n experiments with
-        | Some f ->
-            f ppf;
-            Format.fprintf ppf "@."
-        | None -> Format.fprintf ppf "unknown experiment %S@." n)
-      todo
+    match List.filter (fun n -> not (List.mem_assoc n experiments)) todo with
+    | _ :: _ as unknown ->
+        List.iter
+          (fun n -> Format.eprintf "unknown experiment %S@." n)
+          unknown;
+        exit 1
+    | [] ->
+        let pool = pool_of_jobs jobs in
+        let outputs =
+          Numerics.Pool.parallel_list_map pool
+            (fun n ->
+              let f = List.assoc n experiments in
+              let b = Buffer.create 4096 in
+              let bf = Format.formatter_of_buffer b in
+              f bf;
+              Format.pp_print_flush bf ();
+              Buffer.contents b)
+            todo
+        in
+        List.iter (fun out -> Format.fprintf ppf "%s@." out) outputs;
+        Numerics.Pool.shutdown pool
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ names)
+    Term.(const run $ names $ jobs_arg)
 
 (* ---------- distinct ---------- *)
 
@@ -248,18 +277,20 @@ let plots_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-size Figure 7 workload.")
   in
-  let run dir full =
+  let run dir full jobs =
+    let pool = pool_of_jobs jobs in
     let paths =
       if full then
-        Experiments.Figures.write_all ~fig7_params:Workload.Traffic.default
-          ~dir ()
-      else Experiments.Figures.write_all ~dir ()
+        Experiments.Figures.write_all ~pool
+          ~fig7_params:Workload.Traffic.default ~dir ()
+      else Experiments.Figures.write_all ~pool ~dir ()
     in
-    List.iter (fun p -> Format.fprintf ppf "%s@." p) paths
+    List.iter (fun p -> Format.fprintf ppf "%s@." p) paths;
+    Numerics.Pool.shutdown pool
   in
   Cmd.v
     (Cmd.info "plots" ~doc:"Render the paper's figures to SVG files")
-    Term.(const run $ dir $ full)
+    Term.(const run $ dir $ full $ jobs_arg)
 
 (* ---------- sample / estimate: the persisted-sample pipeline ---------- *)
 

@@ -98,16 +98,54 @@ let pps_r2_fast ~taus ~v est =
   end;
   { mean = !mean; var = !second -. (!mean *. !mean) }
 
-let monte_carlo ~rng ~n ~draw est =
-  let acc = Numerics.Stats.Acc.create () in
-  for _ = 1 to n do
-    Numerics.Stats.Acc.add acc (est (draw rng))
-  done;
-  { mean = Numerics.Stats.Acc.mean acc; var = Numerics.Stats.Acc.var acc }
+let default_shards = 64
 
-let dominates ~var_a ~var_b grid =
-  List.for_all
-    (fun v ->
-      let va = var_a v and vb = var_b v in
-      va <= vb +. (1e-9 *. (1. +. abs_float vb)))
-    grid
+let monte_carlo ?pool ?master ?shards ~rng ~n ~draw est =
+  match (pool, master) with
+  | None, None ->
+      let acc = Numerics.Stats.Acc.create () in
+      for _ = 1 to n do
+        Numerics.Stats.Acc.add acc (est (draw rng))
+      done;
+      { mean = Numerics.Stats.Acc.mean acc; var = Numerics.Stats.Acc.var acc }
+  | _ ->
+      (* Sharded substream mode. The trial-to-shard assignment depends
+         only on (n, shards) and each shard's stream only on (master,
+         shard index), so the merged moments are identical whether the
+         shards run sequentially here or across any pool. *)
+      let master = Option.value master ~default:0x5EED in
+      let shards =
+        match shards with
+        | Some s -> Stdlib.max 1 (Stdlib.min s n)
+        | None -> Stdlib.max 1 (Stdlib.min default_shards n)
+      in
+      let per = n / shards and rem = n mod shards in
+      let run_shard rng s =
+        let trials = per + if s < rem then 1 else 0 in
+        let acc = Numerics.Stats.Acc.create () in
+        for _ = 1 to trials do
+          Numerics.Stats.Acc.add acc (est (draw rng))
+        done;
+        acc
+      in
+      let accs =
+        match pool with
+        | Some p -> Numerics.Pool.map_streams p ~master ~n:shards run_shard
+        | None ->
+            Array.init shards (fun s ->
+                run_shard (Numerics.Prng.substream ~master s) s)
+      in
+      let acc =
+        Array.fold_left Numerics.Stats.Acc.merge (Numerics.Stats.Acc.create ())
+          accs
+      in
+      { mean = Numerics.Stats.Acc.mean acc; var = Numerics.Stats.Acc.var acc }
+
+let dominates ?pool ~var_a ~var_b grid =
+  let point v =
+    let va = var_a v and vb = var_b v in
+    va <= vb +. (1e-9 *. (1. +. abs_float vb))
+  in
+  match pool with
+  | None -> List.for_all point grid
+  | Some p -> List.for_all Fun.id (Numerics.Pool.parallel_list_map p point grid)

@@ -48,14 +48,28 @@ val pps_r2_fast :
     variance over tens of thousands of keys) practical. *)
 
 val monte_carlo :
+  ?pool:Numerics.Pool.t ->
+  ?master:int ->
+  ?shards:int ->
   rng:Numerics.Prng.t ->
   n:int ->
   draw:(Numerics.Prng.t -> 'o) ->
   ('o -> float) ->
   moments
-(** Monte-Carlo moments — used only as a consistency cross-check. *)
+(** Monte-Carlo moments — used as a consistency cross-check and as the
+    benchmark kernel.
+
+    With neither [?pool] nor [?master]: the legacy sequential path, [n]
+    draws from [rng]. Otherwise the {e sharded substream} path: trials
+    are split over [?shards] (default 64, clamped to [n]) shards, shard
+    [s] drawing from [Prng.substream ~master s] ([master] defaults to
+    [0x5EED]; [rng] is unused) into its own accumulator; shard
+    accumulators are merged left-to-right with {!Numerics.Stats.Acc.merge}.
+    The result depends only on [(master, n, shards)] — a pool (any size)
+    only changes wall-clock time, never the moments. *)
 
 val dominates :
+  ?pool:Numerics.Pool.t ->
   var_a:(float array -> float) -> var_b:(float array -> float) -> float array list -> bool
 (** [dominates ~var_a ~var_b grid]: does estimator [a] have variance ≤ [b]
     (within 1e-9 relative) on every data vector of [grid]? *)

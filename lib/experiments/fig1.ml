@@ -4,14 +4,18 @@ type row = { ratio : float; l_over_ht : float; u_over_ht : float }
 
 let probs = [| 0.5; 0.5 |]
 
-let series ?(steps = 50) () =
-  List.init (steps + 1) (fun i ->
-      let ratio = float_of_int i /. float_of_int steps in
-      let v = [| 1.; ratio |] in
-      let vht = MO.var_ht_r2 ~probs ~v in
-      let vl = MO.var_l_r2 ~probs ~v in
-      let vu = MO.var_u_r2 ~probs ~v in
-      { ratio; l_over_ht = vl /. vht; u_over_ht = vu /. vht })
+let series ?pool ?(steps = 50) () =
+  let point i =
+    let ratio = float_of_int i /. float_of_int steps in
+    let v = [| 1.; ratio |] in
+    let vht = MO.var_ht_r2 ~probs ~v in
+    let vl = MO.var_l_r2 ~probs ~v in
+    let vu = MO.var_u_r2 ~probs ~v in
+    { ratio; l_over_ht = vl /. vht; u_over_ht = vu /. vht }
+  in
+  match pool with
+  | None -> List.init (steps + 1) point
+  | Some p -> Array.to_list (Numerics.Pool.parallel_init p ~n:(steps + 1) point)
 
 let variance_closed_forms ~mx ~mn =
   let var_ht = 3. *. mx *. mx in

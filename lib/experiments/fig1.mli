@@ -7,8 +7,10 @@
 
 type row = { ratio : float; l_over_ht : float; u_over_ht : float }
 
-val series : ?steps:int -> unit -> row list
-(** The two curves of Figure 1, [ratio = min/max ∈ [0,1]]. *)
+val series : ?pool:Numerics.Pool.t -> ?steps:int -> unit -> row list
+(** The two curves of Figure 1, [ratio = min/max ∈ [0,1]]. Grid points
+    are independent; with [?pool] they are computed across domains
+    (identical rows either way). *)
 
 val variance_closed_forms : mx:float -> mn:float -> float * float * float
 (** [(var_ht, var_l, var_u)]:

@@ -14,18 +14,20 @@ let default_ps =
   @ [ 0.01; 0.02; 0.03; 0.04 ]
   |> List.sort_uniq compare
 
-let series ?(ps = default_ps) () =
-  List.map
-    (fun p ->
-      {
-        p;
-        ht = OO.var_ht ~probs:[| p; p |];
-        l_11 = OO.var_l_11 ~p1:p ~p2:p;
-        l_10 = OO.var_l_10 ~p1:p ~p2:p;
-        u_11 = OO.var_u_11 ~p1:p ~p2:p;
-        u_10 = OO.var_u_10 ~p1:p ~p2:p;
-      })
-    ps
+let series ?pool ?(ps = default_ps) () =
+  let point p =
+    {
+      p;
+      ht = OO.var_ht ~probs:[| p; p |];
+      l_11 = OO.var_l_11 ~p1:p ~p2:p;
+      l_10 = OO.var_l_10 ~p1:p ~p2:p;
+      u_11 = OO.var_u_11 ~p1:p ~p2:p;
+      u_10 = OO.var_u_10 ~p1:p ~p2:p;
+    }
+  in
+  match pool with
+  | None -> List.map point ps
+  | Some pl -> Numerics.Pool.parallel_list_map pl point ps
 
 let asymptotics ~p =
   let r = List.hd (series ~ps:[ p ] ()) in

@@ -13,7 +13,9 @@ type row = {
   u_10 : float;
 }
 
-val series : ?ps:float list -> unit -> row list
+val series : ?pool:Numerics.Pool.t -> ?ps:float list -> unit -> row list
+(** Rows are independent per [p]; [?pool] computes them across domains
+    (identical rows either way). *)
 
 val asymptotics : p:float -> (string * float) list
 (** Ratios of each variance to its predicted p → 0 form (→ 1). *)

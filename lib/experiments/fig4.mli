@@ -12,10 +12,12 @@
 
 type row = { minmax : float; nvar_ht : float; nvar_l : float }
 
-val panel : rho:float -> ?steps:int -> unit -> row list
-(** Normalized-variance curves at a given ρ (τ* = 1). *)
+val panel : ?pool:Numerics.Pool.t -> rho:float -> ?steps:int -> unit -> row list
+(** Normalized-variance curves at a given ρ (τ* = 1). Grid points are
+    independent; [?pool] computes them across domains (identical rows
+    either way). *)
 
-val ratio_bound_holds : rho:float -> bool
+val ratio_bound_holds : ?pool:Numerics.Pool.t -> rho:float -> unit -> bool
 (** Measured ratio properties: ≥ 1.9 everywhere, increasing in min/max,
     and ≥ (1+ρ)/ρ at min = max. *)
 

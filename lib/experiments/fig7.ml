@@ -12,45 +12,58 @@ let taus_for pair percent =
     Sampling.Poisson.tau_for_expected_size b (k b);
   |]
 
-let series ?(percents = default_percents) ?(params = Workload.Traffic.default) () =
+let series ?pool ?(percents = default_percents) ?(params = Workload.Traffic.default) () =
   let ((a, b) as pair) = Workload.Traffic.generate params in
   let instances = [ a; b ] in
   let truth = Sampling.Instance.max_dominance instances in
-  List.map
-    (fun percent ->
-      if percent >= 100. then { percent; nvar_ht = 0.; nvar_l = 0. }
-      else begin
-        let taus = taus_for pair percent in
-        let vht, vl =
-          Aggregates.Dominance.exact_variances ~taus ~instances
-            ~select:(fun _ -> true)
-        in
-        {
-          percent;
-          nvar_ht = vht /. (truth *. truth);
-          nvar_l = vl /. (truth *. truth);
-        }
-      end)
-    percents
+  let point percent =
+    if percent >= 100. then { percent; nvar_ht = 0.; nvar_l = 0. }
+    else begin
+      let taus = taus_for pair percent in
+      let vht, vl =
+        Aggregates.Dominance.exact_variances ~taus ~instances
+          ~select:(fun _ -> true)
+      in
+      {
+        percent;
+        nvar_ht = vht /. (truth *. truth);
+        nvar_l = vl /. (truth *. truth);
+      }
+    end
+  in
+  match pool with
+  | None -> List.map point percents
+  | Some p -> Numerics.Pool.parallel_list_map p point percents
 
-let empirical_check ?(trials = 30) ~percent ~params () =
+let empirical_check ?pool ?(trials = 30) ~percent ~params () =
   let ((a, b) as pair) = Workload.Traffic.generate params in
   let instances = [ a; b ] in
   let truth = Sampling.Instance.max_dominance instances in
   let taus = taus_for pair percent in
-  let err_ht = Numerics.Stats.Acc.create () in
-  let err_l = Numerics.Stats.Acc.create () in
-  for t = 1 to trials do
+  (* Trial t is fully determined by its own master seed, so trials can
+     run on any domain; the accumulators are filled in trial order either
+     way. *)
+  let trial t =
     let seeds = Sampling.Seeds.create ~master:(1000 + t) Sampling.Seeds.Independent in
     let samples = Aggregates.Sum_agg.sample_pps seeds ~taus instances in
     let sel _ = true in
-    Numerics.Stats.Acc.add err_ht
-      (abs_float (Aggregates.Dominance.max_dominance_ht samples ~select:sel -. truth)
-      /. truth);
-    Numerics.Stats.Acc.add err_l
-      (abs_float (Aggregates.Dominance.max_dominance_l samples ~select:sel -. truth)
-      /. truth)
-  done;
+    ( abs_float (Aggregates.Dominance.max_dominance_ht samples ~select:sel -. truth)
+      /. truth,
+      abs_float (Aggregates.Dominance.max_dominance_l samples ~select:sel -. truth)
+      /. truth )
+  in
+  let errs =
+    match pool with
+    | None -> Array.init trials (fun i -> trial (i + 1))
+    | Some p -> Numerics.Pool.parallel_init p ~n:trials (fun i -> trial (i + 1))
+  in
+  let err_ht = Numerics.Stats.Acc.create () in
+  let err_l = Numerics.Stats.Acc.create () in
+  Array.iter
+    (fun (eh, el) ->
+      Numerics.Stats.Acc.add err_ht eh;
+      Numerics.Stats.Acc.add err_l el)
+    errs;
   (Numerics.Stats.Acc.mean err_ht, Numerics.Stats.Acc.mean err_l)
 
 let run ppf =

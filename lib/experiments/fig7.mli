@@ -12,10 +12,15 @@ type row = {
   nvar_l : float;
 }
 
-val series : ?percents:float list -> ?params:Workload.Traffic.params -> unit -> row list
-(** Exact variances (per-key quadrature), not Monte Carlo. *)
+val series :
+  ?pool:Numerics.Pool.t ->
+  ?percents:float list -> ?params:Workload.Traffic.params -> unit -> row list
+(** Exact variances (per-key quadrature), not Monte Carlo. Each sampling
+    percentage is an independent sweep over the key universe; [?pool]
+    spreads them across domains (identical rows either way). *)
 
 val empirical_check :
+  ?pool:Numerics.Pool.t ->
   ?trials:int -> percent:float -> params:Workload.Traffic.params -> unit ->
   float * float
 (** [(mean_rel_err_ht, mean_rel_err_l)] of actual sampled estimates over

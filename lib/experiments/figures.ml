@@ -166,20 +166,35 @@ let e18 () =
       ];
   }
 
-let write_all ?(fig7_params = small_traffic) ~dir () =
+let write_all ?pool ?(fig7_params = small_traffic) ~dir () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let out name spec =
-    let path = Filename.concat dir name in
-    Plot.Chart.write ~path spec;
-    path
+  let jobs =
+    [
+      ("fig1.svg", fun () -> fig1 ());
+      ("fig2.svg", fun () -> fig2 ());
+      ( "fig4a.svg",
+        fun () -> fig4_panel ~rho:0.5 ~title:"Figure 4(A) — PPS max, rho = 0.5" );
+      ( "fig4b.svg",
+        fun () -> fig4_panel ~rho:0.01 ~title:"Figure 4(B) — PPS max, rho = 0.01" );
+      ("fig4c.svg", fun () -> fig4c ());
+      ("fig6.svg", fun () -> fig6 ());
+      ("fig7.svg", fun () -> fig7 ~params:fig7_params);
+      ("e18.svg", fun () -> e18 ());
+    ]
   in
-  [
-    out "fig1.svg" (fig1 ());
-    out "fig2.svg" (fig2 ());
-    out "fig4a.svg" (fig4_panel ~rho:0.5 ~title:"Figure 4(A) — PPS max, rho = 0.5");
-    out "fig4b.svg" (fig4_panel ~rho:0.01 ~title:"Figure 4(B) — PPS max, rho = 0.01");
-    out "fig4c.svg" (fig4c ());
-    out "fig6.svg" (fig6 ());
-    out "fig7.svg" (fig7 ~params:fig7_params);
-    out "e18.svg" (e18 ());
-  ]
+  (* Each figure regenerates its series and renders into its own string;
+     files are then written in order by the caller's domain. *)
+  let render (name, mk) = (name, Plot.Chart.render (mk ())) in
+  let rendered =
+    match pool with
+    | None -> List.map render jobs
+    | Some p -> Numerics.Pool.parallel_list_map p render jobs
+  in
+  List.map
+    (fun (name, svg) ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc svg;
+      close_out oc;
+      path)
+    rendered

@@ -11,7 +11,12 @@
     - [fig7.svg] — normalized variance vs % sampled, log-log (Figure 7)
     - [e18.svg] — the multi-period advantage curve (extension) *)
 
-val write_all : ?fig7_params:Workload.Traffic.params -> dir:string -> unit -> string list
+val write_all :
+  ?pool:Numerics.Pool.t ->
+  ?fig7_params:Workload.Traffic.params -> dir:string -> unit -> string list
 (** Returns the paths written. Creates [dir] if missing. [fig7_params]
     defaults to a scaled-down traffic replica so the full set renders in
-    seconds; pass {!Workload.Traffic.default} for the full-size Figure 7. *)
+    seconds; pass {!Workload.Traffic.default} for the full-size Figure 7.
+    With [?pool], each figure's series is regenerated and rendered on its
+    own domain (into its own buffer); files are then written in the fixed
+    order above, so output is byte-identical to the sequential path. *)

@@ -45,10 +45,14 @@ let trapezoid_grid ~n f a b =
   !acc *. h
 
 (* Gauss–Legendre nodes/weights on [-1,1] by Newton iteration on the
-   Legendre recurrence; memoized per order. *)
+   Legendre recurrence; memoized per order. The memo table is shared by
+   every domain running quadrature, so accesses are serialized — node
+   computation is rare (once per order) and lookups are cheap. *)
 let gl_table : (int, (float * float) array) Hashtbl.t = Hashtbl.create 8
+let gl_mutex = Mutex.create ()
 
 let gl_nodes n =
+  Mutex.protect gl_mutex @@ fun () ->
   match Hashtbl.find_opt gl_table n with
   | Some t -> t
   | None ->

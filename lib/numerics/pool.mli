@@ -1,0 +1,73 @@
+(** Work distribution across OCaml 5 domains.
+
+    A lazily-started pool of worker domains with a shared task queue,
+    built on stdlib [Domain]/[Mutex]/[Condition] only. All combinators
+    guarantee {e scheduling-independent results}:
+
+    - {!parallel_map} / {!parallel_init} compute independent elements, so
+      the output array is identical to the sequential one by construction;
+    - {!parallel_for_reduce} evaluates bodies in parallel but combines the
+      per-index results {e left-to-right in index order}, so float
+      reductions are bit-identical to the sequential fold;
+    - {!map_streams} hands task [i] a PRNG substream derived only from
+      [(master, i)] (see {!Prng.substream}), so parallel Monte Carlo gives
+      the same draws whatever the pool size or scheduling.
+
+    Waiting callers participate in draining the queue, so combinators may
+    be invoked from inside pool tasks (nested parallelism) without
+    deadlock. A pool of size [<= 1] runs everything inline in the calling
+    domain and never spawns. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Parallelism used when [create] is given no [~domains]: the
+    [OPTSAMPLE_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] prepares a pool of [domains] workers (default
+    {!default_jobs}). No domain is spawned until the first parallel call.
+    Results never depend on [domains] — only wall-clock time does. *)
+
+val size : t -> int
+(** Worker count the pool was created with (≥ 1). *)
+
+val shutdown : t -> unit
+(** Stop and join all workers. Idempotent; the pool runs subsequent
+    calls inline (as if [size = 1]). Called automatically [at_exit] for
+    the {!default} pool. *)
+
+val default : unit -> t
+(** A process-wide shared pool of {!default_jobs} workers, created on
+    first use and shut down [at_exit]. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Like [Array.map], elements computed across the pool. Order is
+    preserved. Any task exception is re-raised in the caller (after all
+    tasks of the call have settled). *)
+
+val parallel_list_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map], via {!parallel_map}. *)
+
+val parallel_init : t -> n:int -> (int -> 'a) -> 'a array
+(** Like [Array.init], elements computed across the pool. *)
+
+val parallel_for_reduce :
+  t ->
+  n:int ->
+  body:(int -> 'a) ->
+  init:'acc ->
+  combine:('acc -> 'a -> 'acc) ->
+  'acc
+(** [parallel_for_reduce t ~n ~body ~init ~combine] evaluates
+    [body 0 .. body (n-1)] in parallel (chunked) and then folds [combine]
+    over the results sequentially, left to right — bit-identical to
+    [for i = 0 to n-1 do acc := combine !acc (body i) done]. *)
+
+val map_streams :
+  t -> master:int -> n:int -> (Prng.t -> int -> 'a) -> 'a array
+(** [map_streams t ~master ~n f] runs [f rng_i i] for [i = 0 .. n-1]
+    where [rng_i = Prng.substream ~master i]. Each task owns its stream
+    exclusively; the result array is independent of pool size and
+    scheduling. *)

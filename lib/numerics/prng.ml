@@ -81,6 +81,19 @@ let split t =
   Xoshiro256.jump u;
   u
 
+(* A distinct gamma (odd, high-entropy) keeps the substream index walk
+   independent of SplitMix64's own counter walk. *)
+let substream_gamma = 0xD1B54A32D192ED03L
+
+let substream ~master i =
+  if i < 0 then invalid_arg "Prng.substream: negative index";
+  let seed64 =
+    SplitMix64.mix
+      (Int64.add (Int64.of_int master)
+         (Int64.mul substream_gamma (Int64.of_int (i + 1))))
+  in
+  Xoshiro256.create seed64
+
 let bits64 = Xoshiro256.next
 
 (* 2^-53 *)

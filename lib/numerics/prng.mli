@@ -61,6 +61,14 @@ val split : t -> t
 (** [split t] returns a new source whose stream is independent of the
     (future of the) original: the clone is jumped ahead by [2^128]. *)
 
+val substream : master:int -> int -> t
+(** [substream ~master i] is the [i]-th substream of master seed
+    [master]: a fresh source seeded from [SplitMix64.mix] of the point
+    [master + (i+1)·γ] on an independent-gamma SplitMix64 walk. The
+    stream depends only on [(master, i)] — never on which domain or in
+    what order it is consumed — which is what keeps parallel Monte Carlo
+    reproducible under any scheduling. [i] must be non-negative. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

@@ -1016,6 +1016,50 @@ let test_exact_dominates () =
   Alcotest.(check bool) "strict" false
     (Exact.dominates ~var_a:(fun _ -> 2.) ~var_b:(fun _ -> 1.) [ [| 0. |] ])
 
+(* The sharded Monte-Carlo path must give bit-identical moments whether
+   the shards run sequentially or on a pool of any size: substream s is
+   a function of (master, s) only, and shard accumulators merge in shard
+   order. *)
+let test_monte_carlo_pool_deterministic () =
+  let probs = [| 0.5; 0.5 |] in
+  let v = [| 3.; 2. |] in
+  let rng = Numerics.Prng.create ~seed:77 () in
+  let mc ?pool () =
+    Exact.monte_carlo ?pool ~master:31 ~rng ~n:50_000
+      ~draw:(fun rng -> OO.draw rng ~probs v)
+      Max_oblivious.l_r2
+  in
+  let seq = mc () in
+  let exact = Exact.oblivious ~probs ~v Max_oblivious.l_r2 in
+  check_float ~eps:0.05 "sharded MC is still consistent" exact.Exact.mean
+    seq.Exact.mean;
+  List.iter
+    (fun domains ->
+      let pool = Numerics.Pool.create ~domains () in
+      let par = Fun.protect
+          ~finally:(fun () -> Numerics.Pool.shutdown pool)
+          (fun () -> mc ~pool ())
+      in
+      if par.Exact.mean <> seq.Exact.mean || par.Exact.var <> seq.Exact.var
+      then
+        Alcotest.failf
+          "pool size %d: (%.17g, %.17g) <> sequential (%.17g, %.17g)" domains
+          par.Exact.mean par.Exact.var seq.Exact.mean seq.Exact.var)
+    [ 1; 2; 4 ]
+
+let test_exact_dominates_pool () =
+  let grid = List.init 25 (fun i -> [| float_of_int i /. 24.; 0.3 |]) in
+  let var_a v = v.(0) *. v.(0) and var_b v = (v.(0) *. v.(0)) +. 0.1 in
+  let pool = Numerics.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Numerics.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "pooled = sequential" true
+        (Exact.dominates ~pool ~var_a ~var_b grid
+        = Exact.dominates ~var_a ~var_b grid);
+      Alcotest.(check bool) "pooled strict" false
+        (Exact.dominates ~pool ~var_a:var_b ~var_b:var_a grid))
+
 let () =
   Alcotest.run "estcore"
     [
@@ -1164,6 +1208,10 @@ let () =
         [
           Alcotest.test_case "constant estimator" `Quick test_exact_constant;
           Alcotest.test_case "monte carlo agrees" `Slow test_exact_monte_carlo_agrees;
+          Alcotest.test_case "monte carlo pool-deterministic" `Quick
+            test_monte_carlo_pool_deterministic;
+          Alcotest.test_case "dominates with pool" `Quick
+            test_exact_dominates_pool;
           Alcotest.test_case "dominates" `Quick test_exact_dominates;
         ] );
     ]

@@ -81,7 +81,7 @@ let test_fig4_bound () =
       Alcotest.(check bool)
         (Printf.sprintf "rho = %g" rho)
         true
-        (Experiments.Fig4.ratio_bound_holds ~rho))
+        (Experiments.Fig4.ratio_bound_holds ~rho ()))
     [ 0.99; 0.5; 0.1; 0.01 ]
 
 let test_fig4_ht_flat_l_decreasing () =

@@ -649,6 +649,144 @@ let prop_qp_respects_constraints =
           Special.float_equal ~eps:1e-6 (Array.fold_left ( +. ) 0. x) b_eq.(0)
           && Array.for_all (fun v -> v >= -1e-7) x)
 
+(* ------------------------------------------------------------------ *)
+(* Acc.merge (parallel Welford)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rel_close ?(tol = 1e-9) a b =
+  (Float.is_nan a && Float.is_nan b)
+  || abs_float (a -. b) <= tol *. (1. +. Float.max (abs_float a) (abs_float b))
+
+let prop_acc_merge_of_splits =
+  qtest ~count:500 "Acc.merge of splits = sequential accumulator"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 60) (float_range (-1000.) 1000.))
+        (list_of_size Gen.(0 -- 60) (float_range (-1000.) 1000.)))
+    (fun (xs, ys) ->
+      let seq = Stats.Acc.create () in
+      List.iter (Stats.Acc.add seq) (xs @ ys);
+      let a = Stats.Acc.create () and b = Stats.Acc.create () in
+      List.iter (Stats.Acc.add a) xs;
+      List.iter (Stats.Acc.add b) ys;
+      let m = Stats.Acc.merge a b in
+      Stats.Acc.count m = Stats.Acc.count seq
+      && rel_close (Stats.Acc.mean m) (Stats.Acc.mean seq)
+      && rel_close (Stats.Acc.var m) (Stats.Acc.var seq)
+      && (xs = [] && ys = []
+         || Stats.Acc.min m = Stats.Acc.min seq
+            && Stats.Acc.max m = Stats.Acc.max seq))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool domains f =
+  let p = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let pool_sizes = [ 1; 2; 4 ]
+
+let test_pool_parallel_map () =
+  let input = Array.init 137 (fun i -> i) in
+  let f i = float_of_int (i * i) +. 0.5 in
+  let expected = Array.map f input in
+  List.iter
+    (fun d ->
+      with_pool d (fun p ->
+          Alcotest.(check (array (float 0.)))
+            (Printf.sprintf "map, %d domains" d)
+            expected
+            (Pool.parallel_map p f input)))
+    pool_sizes
+
+let test_pool_for_reduce_bit_identical () =
+  (* Values chosen so float addition is order sensitive; the pool must
+     reduce left-to-right regardless of its size. *)
+  let n = 1000 in
+  let body i = 1. /. float_of_int (i + 1) in
+  let seq = ref 0. in
+  for i = 0 to n - 1 do
+    seq := !seq +. body i
+  done;
+  List.iter
+    (fun d ->
+      with_pool d (fun p ->
+          let s =
+            Pool.parallel_for_reduce p ~n ~body ~init:0. ~combine:( +. )
+          in
+          if s <> !seq then
+            Alcotest.failf "%d domains: %.17g <> %.17g" d s !seq))
+    pool_sizes
+
+let test_pool_map_streams_deterministic () =
+  let draw rng _i =
+    let acc = ref 0. in
+    for _ = 1 to 100 do
+      acc := !acc +. Prng.float rng
+    done;
+    !acc
+  in
+  let reference =
+    Array.init 17 (fun i -> draw (Prng.substream ~master:42 i) i)
+  in
+  List.iter
+    (fun d ->
+      with_pool d (fun p ->
+          let got = Pool.map_streams p ~master:42 ~n:17 draw in
+          if got <> reference then
+            Alcotest.failf "map_streams differs with %d domains" d))
+    pool_sizes
+
+let test_pool_nested () =
+  with_pool 3 (fun p ->
+      let outer =
+        Pool.parallel_init p ~n:4 (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.parallel_init p ~n:5 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int))
+        "nested totals"
+        (Array.init 4 (fun i -> (50 * i) + 10))
+        outer)
+
+exception Boom
+
+let test_pool_exception () =
+  with_pool 2 (fun p ->
+      match
+        Pool.parallel_init p ~n:8 (fun i -> if i = 5 then raise Boom else i)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom -> ();
+      (* the pool stays usable after a failed run *)
+      Alcotest.(check (array int))
+        "pool survives" (Array.init 6 Fun.id)
+        (Pool.parallel_init p ~n:6 Fun.id))
+
+let test_pool_shutdown_inline () =
+  let p = Pool.create ~domains:4 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.(check (array int))
+    "inline after shutdown" (Array.init 9 Fun.id)
+    (Pool.parallel_init p ~n:9 Fun.id)
+
+let test_prng_substream_independent_of_order () =
+  let a = Prng.substream ~master:7 3 in
+  (* consuming other substreams first must not affect substream 3 *)
+  ignore (Prng.bits64 (Prng.substream ~master:7 0));
+  ignore (Prng.bits64 (Prng.substream ~master:7 1));
+  let b = Prng.substream ~master:7 3 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same substream" (Prng.bits64 a) (Prng.bits64 b)
+  done;
+  Alcotest.(check bool)
+    "distinct substreams differ" true
+    (Prng.bits64 (Prng.substream ~master:7 4)
+    <> Prng.bits64 (Prng.substream ~master:7 5))
+
 let () =
   Alcotest.run "numerics"
     [
@@ -686,6 +824,7 @@ let () =
           Alcotest.test_case "acc basic" `Quick test_acc_basic;
           Alcotest.test_case "acc empty" `Quick test_acc_empty;
           Alcotest.test_case "acc merge" `Quick test_acc_merge;
+          prop_acc_merge_of_splits;
           Alcotest.test_case "correlation" `Quick test_cov_correlation;
           Alcotest.test_case "covariance value" `Quick test_cov_value;
           Alcotest.test_case "batch stats" `Quick test_batch_stats;
@@ -696,6 +835,22 @@ let () =
           Alcotest.test_case "chi square" `Quick test_chi_square;
           prop_acc_var_nonneg;
           prop_quantile_bounds;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_map = Array.map" `Quick
+            test_pool_parallel_map;
+          Alcotest.test_case "for_reduce bit-identical" `Quick
+            test_pool_for_reduce_bit_identical;
+          Alcotest.test_case "map_streams scheduling-free" `Quick
+            test_pool_map_streams_deterministic;
+          Alcotest.test_case "nested parallelism" `Quick test_pool_nested;
+          Alcotest.test_case "task exception propagates" `Quick
+            test_pool_exception;
+          Alcotest.test_case "shutdown runs inline" `Quick
+            test_pool_shutdown_inline;
+          Alcotest.test_case "substream order-independent" `Quick
+            test_prng_substream_independent_of_order;
         ] );
       ( "special",
         [

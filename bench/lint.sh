@@ -1,0 +1,36 @@
+#!/bin/sh
+# Robustness lint: the hardened numeric/estimation layers must not grow
+# new escape hatches. Fails when a bare `failwith "..."` (string-literal
+# argument — a diagnostic with no dimensions/values interpolated) or any
+# `assert false` appears under lib/numerics or lib/estcore. Messages
+# built with Printf.sprintf are fine: they carry the offending input.
+#
+# Run from the repository root (dune runs it via the runtest alias):
+#   sh bench/lint.sh [root]
+set -u
+
+root=${1:-.}
+status=0
+
+scan() {
+    pattern=$1
+    label=$2
+    hits=$(grep -rn "$pattern" \
+        "$root/lib/numerics" "$root/lib/estcore" \
+        --include='*.ml' 2>/dev/null)
+    if [ -n "$hits" ]; then
+        echo "lint: $label is banned under lib/numerics and lib/estcore:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+}
+
+# `failwith "..."` with a literal string: no interpolated diagnostics.
+scan 'failwith[[:space:]]*"' 'bare failwith with a string literal'
+# `assert false`: an unreachable claim that turns into a blank exception.
+scan 'assert[[:space:]][[:space:]]*false' 'assert false'
+
+if [ "$status" -eq 0 ]; then
+    echo "lint: lib/numerics and lib/estcore are clean"
+fi
+exit "$status"

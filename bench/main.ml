@@ -335,11 +335,16 @@ let run_report ~pool ppf =
 
 (* --- argument parsing (plain argv; cmdliner is the bin/ front end) --- *)
 
-type options = { jobs : int; json : string option; names : string list }
+type options = {
+  jobs : int;
+  json : string option;
+  strict : bool;
+  names : string list;
+}
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N|--jobs N] [--json PATH] [EXPERIMENT...]";
+    "usage: main.exe [-j N|--jobs N] [--json PATH] [--strict] [EXPERIMENT...]";
   prerr_endline
     ("experiments: "
     ^ String.concat " " (List.map (fun (n, _, _) -> n) experiments)
@@ -360,9 +365,17 @@ let parse_args argv =
         usage ();
         exit 1
     | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | "--strict" :: rest -> go { acc with strict = true } rest
     | name :: rest -> go { acc with names = acc.names @ [ name ] } rest
   in
-  go { jobs = Numerics.Pool.default_jobs (); json = None; names = [] } argv
+  go
+    {
+      jobs = Numerics.Pool.default_jobs ();
+      json = None;
+      strict = false;
+      names = [];
+    }
+    argv
 
 let () =
   let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
@@ -390,6 +403,12 @@ let () =
       unknown;
     exit 1
   end;
+  (* --strict turns solver degradations into a structured abort (exit 2);
+     the default recovers them and prints an audit on stderr (stdout stays
+     byte-identical for the determinism checks). *)
+  Numerics.Robust.set_mode
+    (if opts.strict then Numerics.Robust.Strict else Numerics.Robust.Graceful);
+  Numerics.Robust.reset_degradations ();
   let pool = Numerics.Pool.create ~domains:opts.jobs () in
   (* Maximal runs of plain experiments fan out across the pool, each
      rendering into its own buffer; buffers print in CLI order. The
@@ -432,5 +451,18 @@ let () =
         go [] rest
     | name :: rest -> go (name :: batch) rest
   in
-  go [] names;
-  Numerics.Pool.shutdown pool
+  (match go [] names with
+  | () -> ()
+  | exception Numerics.Robust.Solver_error f ->
+      Format.eprintf "solver error: %a@." Numerics.Robust.pp f;
+      Numerics.Pool.shutdown pool;
+      exit 2);
+  Numerics.Pool.shutdown pool;
+  let ds = Numerics.Robust.degradations () in
+  if ds <> [] then begin
+    Format.eprintf "note: %d solver degradation(s) recovered:@."
+      (List.length ds);
+    List.iter
+      (fun d -> Format.eprintf "  %a@." Numerics.Robust.pp_degradation d)
+      ds
+  end

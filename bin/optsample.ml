@@ -27,6 +27,37 @@ let pool_of_jobs jobs =
   if jobs > 0 then Numerics.Pool.create ~domains:jobs ()
   else Numerics.Pool.create ()
 
+(* Shared --strict flag: degradations (solver fallbacks, jittered
+   retries) abort with a structured diagnostic instead of being recovered
+   and logged. *)
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Treat any solver degradation (fallback chain, jittered retry) \
+           as an error: the first one aborts with its structured \
+           diagnostic and exit code 2, instead of being recovered and \
+           reported on stderr.")
+
+let with_strict strict body =
+  Numerics.Robust.set_mode
+    (if strict then Numerics.Robust.Strict else Numerics.Robust.Graceful);
+  Numerics.Robust.reset_degradations ();
+  match body () with
+  | () ->
+      let ds = Numerics.Robust.degradations () in
+      if ds <> [] then begin
+        Format.eprintf "note: %d solver degradation(s) recovered:@."
+          (List.length ds);
+        List.iter
+          (fun d -> Format.eprintf "  %a@." Numerics.Robust.pp_degradation d)
+          ds
+      end
+  | exception Numerics.Robust.Solver_error f ->
+      Format.eprintf "solver error: %a@." Numerics.Robust.pp f;
+      exit 2
+
 (* ---------- repro ---------- *)
 
 let experiments =
@@ -57,7 +88,7 @@ let repro_cmd =
           ~doc:"Experiments to run (default: all). One of fig1 table41 \
                 table42 fig2 fig3 fig4 fig5 fig6 fig7 table51 thm61 coeffs.")
   in
-  let run names jobs =
+  let run names jobs strict =
     let todo = if names = [] then List.map fst experiments else names in
     match List.filter (fun n -> not (List.mem_assoc n experiments)) todo with
     | _ :: _ as unknown ->
@@ -66,6 +97,7 @@ let repro_cmd =
           unknown;
         exit 1
     | [] ->
+        with_strict strict @@ fun () ->
         let pool = pool_of_jobs jobs in
         let outputs =
           Numerics.Pool.parallel_list_map pool
@@ -83,7 +115,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ names $ jobs_arg)
+    Term.(const run $ names $ jobs_arg $ strict_arg)
 
 (* ---------- distinct ---------- *)
 
@@ -141,7 +173,8 @@ let maxdom_cmd =
       & info [ "full" ] ~doc:"Use the full-size Section 8.2 workload.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed.") in
-  let run percent full seed =
+  let run percent full seed strict =
+    with_strict strict @@ fun () ->
     let params =
       if full then Workload.Traffic.default
       else
@@ -184,7 +217,7 @@ let maxdom_cmd =
   in
   Cmd.v
     (Cmd.info "maxdom" ~doc:"Max dominance over two-hour traffic")
-    Term.(const run $ percent $ full $ seed)
+    Term.(const run $ percent $ full $ seed $ strict_arg)
 
 (* ---------- derive ---------- *)
 
@@ -213,7 +246,8 @@ let derive_cmd =
           ~doc:"dense = order-based L (Algorithm 1); sparse = partition U \
                 (Algorithm 2).")
   in
-  let run fn probs grid order =
+  let run fn probs grid order strict =
+    with_strict strict @@ fun () ->
     let probs = Array.of_list probs in
     let f =
       match fn with
@@ -226,19 +260,23 @@ let derive_cmd =
     let result =
       match order with
       | `L ->
-          D.solve_order (D.Problems.sort_data D.Problems.order_l problem)
-      | `U ->
+          Result.map
+            (fun est -> (est, None))
+            (D.solve_order (D.Problems.sort_data D.Problems.order_l problem))
+      | `U -> (
           let batches =
             D.Problems.batches_by
               (fun v ->
                 Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
               problem.D.data
           in
-          D.solve_partition ~batches ~f ~dist:problem.D.dist ()
+          match D.solve_partition_robust ~batches ~f ~dist:problem.D.dist () with
+          | Error fl -> Error (Numerics.Robust.to_string fl)
+          | Ok { D.estimator; provenance } -> Ok (estimator, Some provenance))
     in
     match result with
     | Error e -> Format.fprintf ppf "no estimator: %s@." e
-    | Ok est ->
+    | Ok (est, provenance) ->
         Format.fprintf ppf
           "derived estimator (unbiased: %b, min estimate: %.4f):@."
           (D.is_unbiased problem est)
@@ -253,12 +291,22 @@ let derive_cmd =
                          | None -> "·" | Some x -> Printf.sprintf "%g" x)
                        k)))
               v)
-          (List.sort compare (D.bindings est))
+          (List.sort compare (D.bindings est));
+        Option.iter
+          (fun (p : D.provenance) ->
+            Format.fprintf ppf
+              "provenance: %d batch(es), %d by clean QP, %d degraded@."
+              p.D.batches p.D.qp_clean
+              (List.length p.D.degraded);
+            List.iter
+              (fun b -> Format.fprintf ppf "  %a@." D.pp_batch_outcome b)
+              p.D.degraded)
+          provenance
   in
   Cmd.v
     (Cmd.info "derive"
        ~doc:"Machine-derive an optimal estimator (Algorithms 1/2)")
-    Term.(const run $ fn $ probs $ grid $ order)
+    Term.(const run $ fn $ probs $ grid $ order $ strict_arg)
 
 (* ---------- catalog ---------- *)
 
@@ -277,7 +325,8 @@ let plots_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-size Figure 7 workload.")
   in
-  let run dir full jobs =
+  let run dir full jobs strict =
+    with_strict strict @@ fun () ->
     let pool = pool_of_jobs jobs in
     let paths =
       if full then
@@ -290,7 +339,7 @@ let plots_cmd =
   in
   Cmd.v
     (Cmd.info "plots" ~doc:"Render the paper's figures to SVG files")
-    Term.(const run $ dir $ full $ jobs_arg)
+    Term.(const run $ dir $ full $ jobs_arg $ strict_arg)
 
 (* ---------- sample / estimate: the persisted-sample pipeline ---------- *)
 
@@ -320,7 +369,14 @@ let sample_cmd =
   let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed (must be shared with `estimate`).") in
   let instance = Arg.(value & opt int 0 & info [ "instance" ] ~doc:"Instance id (position in the later estimate).") in
   let run input out k master instance =
-    let inst = Sampling.Io.read_instance ~path:input in
+    let inst =
+      match Sampling.Io.read_instance_opt ~path:input with
+      | Ok i -> i
+      | Error e ->
+          Format.eprintf "cannot read instance %s: %a@." input
+            Sampling.Io.pp_parse_error e;
+          exit 1
+    in
     let tau = Sampling.Poisson.tau_for_expected_size inst k in
     let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
     let s = Sampling.Poisson.pps_sample seeds ~instance ~tau inst in
@@ -340,9 +396,18 @@ let estimate_cmd =
   let s1 = Arg.(required & opt (some file) None & info [ "s1" ] ~doc:"Sample of instance 0.") in
   let s2 = Arg.(required & opt (some file) None & info [ "s2" ] ~doc:"Sample of instance 1.") in
   let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed used when sampling.") in
-  let run s1 s2 master =
-    let a = Sampling.Io.read_pps ~path:s1 in
-    let b = Sampling.Io.read_pps ~path:s2 in
+  let run s1 s2 master strict =
+    with_strict strict @@ fun () ->
+    let read path =
+      match Sampling.Io.read_pps_opt ~path with
+      | Ok s -> s
+      | Error e ->
+          Format.eprintf "cannot read sample %s: %a@." path
+            Sampling.Io.pp_parse_error e;
+          exit 1
+    in
+    let a = read s1 in
+    let b = read s2 in
     let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
     let samples =
       {
@@ -362,7 +427,7 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate multi-instance aggregates from two persisted samples")
-    Term.(const run $ s1 $ s2 $ master)
+    Term.(const run $ s1 $ s2 $ master $ strict_arg)
 
 (* ---------- exists ---------- *)
 

@@ -17,7 +17,7 @@ let expectation ~taus ~v g =
       (Array.to_list v)
     @ List.init 12 (fun k -> 10. ** float_of_int (-(k + 1)))
   in
-  Numerics.Integrate.gl_pieces ~breakpoints (fun u -> g (of_seed ~taus ~u v)) 0. 1.
+  Numerics.Integrate.robust_pieces ~breakpoints (fun u -> g (of_seed ~taus ~u v)) 0. 1.
 
 let moments ~taus ~v g =
   let mean = expectation ~taus ~v g in
@@ -48,7 +48,17 @@ let max_ht (o : P.t) =
 
 let min_ht (o : P.t) =
   if Array.for_all (fun x -> x <> None) o.values then begin
-    let v = Array.map (function Some x -> x | None -> assert false) o.values in
+    let v =
+      Array.mapi
+        (fun i -> function
+          | Some x -> x
+          | None ->
+              failwith
+                (Printf.sprintf
+                   "Coordinated.min_ht: unsampled slot %d after an all-sampled check"
+                   i))
+        o.values
+    in
     let p = ref 1. in
     Array.iteri
       (fun i vi -> p := Float.min !p (Float.min 1. (vi /. o.taus.(i))))

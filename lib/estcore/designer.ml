@@ -58,6 +58,103 @@ let solve_order ?(eps = 1e-9) problem =
     problem.data;
   match !result with Ok () -> Ok table | Error e -> Error e
 
+(* Fresh (not yet assigned, reachable with positive probability) outcomes
+   of a batch, in first-encounter order. *)
+let fresh_outcomes ~table ~dist batch =
+  let fresh_tbl = Hashtbl.create 16 in
+  let fresh = ref [] in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (p, k) ->
+          if p > 0. && (not (Hashtbl.mem table k)) && not (Hashtbl.mem fresh_tbl k)
+          then begin
+            Hashtbl.add fresh_tbl k ();
+            fresh := k :: !fresh
+          end)
+        (dist v))
+    batch;
+  Array.of_list (List.rev !fresh)
+
+(* The batch's QP data: unbiasedness equalities over the batch,
+   nonnegativity-preservation inequalities over later vectors, and the
+   diagonal variance objective. *)
+let batch_system ~table ~f ~dist ~batch ~laters ~fresh =
+  let n = Array.length fresh in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i k -> Hashtbl.add index k i) fresh;
+  (* Row of coefficients over fresh outcomes and the assigned
+     contribution f0, for a data vector v. *)
+  let row_of v =
+    let coeffs = Array.make n 0. in
+    let f0 = ref 0. in
+    List.iter
+      (fun (p, k) ->
+        if p > 0. then
+          match Hashtbl.find_opt table k with
+          | Some est -> f0 := !f0 +. (p *. est)
+          | None -> (
+              match Hashtbl.find_opt index k with
+              | Some i -> coeffs.(i) <- coeffs.(i) +. p
+              | None -> ()))
+      (dist v);
+    (coeffs, !f0)
+  in
+  let a_eq, b_eq =
+    batch
+    |> List.map (fun v ->
+           let coeffs, f0 = row_of v in
+           (coeffs, f v -. f0))
+    |> List.split
+  in
+  let a_ub, b_ub =
+    laters
+    |> List.filter_map (fun v' ->
+           let coeffs, f0 = row_of v' in
+           if Array.exists (fun c -> c > 0.) coeffs then
+             Some (coeffs, f v' -. f0)
+           else None)
+    |> List.split
+  in
+  (* Objective: Σ_{v∈batch} Var[est|v] — i.e. Σ_o w_o x_o² with
+     w_o = Σ_v Pr[o|v] (the unbiasedness constraints pin the
+     linear part). *)
+  let w = Array.make n 0. in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (p, k) ->
+          match Hashtbl.find_opt index k with
+          | Some i -> w.(i) <- w.(i) +. p
+          | None -> ())
+        (dist v))
+    batch;
+  (* Outcomes reachable only from later vectors keep weight 0; give them
+     a tiny weight for strict convexity (their value is then driven to 0
+     unless constrained). *)
+  let q = Array.map (fun wi -> 2. *. Float.max wi 1e-9) w in
+  ( q,
+    Array.of_list a_ub,
+    Array.of_list b_ub,
+    Array.of_list a_eq,
+    Array.of_list b_eq )
+
+(* Unbiasedness check for a batch with no fresh outcomes. *)
+let check_settled_batch ~eps ~table ~f ~dist batch =
+  List.for_all
+    (fun v ->
+      let e =
+        List.fold_left
+          (fun acc (p, k) ->
+            match Hashtbl.find_opt table k with
+            | Some est -> acc +. (p *. est)
+            | None -> acc)
+          0. (dist v)
+      in
+      let fv = f v in
+      abs_float (e -. fv) <= eps *. (1. +. abs_float fv))
+    batch
+
 let solve_partition ?(eps = 1e-9) ~batches ~f ~dist () =
   let table : 'k estimator = Hashtbl.create 64 in
   let later_batches =
@@ -66,112 +163,218 @@ let solve_partition ?(eps = 1e-9) ~batches ~f ~dist () =
   (* [later_batches] tracks the batches strictly after the current one;
      rebuilt as we walk. *)
   let result = ref (Ok ()) in
-  List.iteri
-    (fun bi batch ->
-      ignore bi;
+  List.iter
+    (fun batch ->
       match !result with
       | Error _ -> ()
       | Ok () ->
           let laters = List.concat !later_batches in
           (later_batches :=
              match !later_batches with [] -> [] | _ :: tl -> tl);
-          (* Fresh outcomes consistent with the batch. *)
-          let fresh_tbl = Hashtbl.create 16 in
-          let fresh = ref [] in
-          List.iter
-            (fun v ->
-              List.iter
-                (fun (p, k) ->
-                  if p > 0. && (not (Hashtbl.mem table k)) && not (Hashtbl.mem fresh_tbl k)
-                  then begin
-                    Hashtbl.add fresh_tbl k ();
-                    fresh := k :: !fresh
-                  end)
-                (dist v))
-            batch;
-          let fresh = Array.of_list (List.rev !fresh) in
-          let n = Array.length fresh in
-          let index = Hashtbl.create 16 in
-          Array.iteri (fun i k -> Hashtbl.add index k i) fresh;
-          if n = 0 then begin
-            (* Nothing to assign; unbiasedness must already hold. *)
-            List.iter
-              (fun v ->
-                let e =
-                  List.fold_left
-                    (fun acc (p, k) ->
-                      match Hashtbl.find_opt table k with
-                      | Some est -> acc +. (p *. est)
-                      | None -> acc)
-                    0. (dist v)
-                in
-                let fv = f v in
-                if abs_float (e -. fv) > eps *. (1. +. abs_float fv) then
-                  result := Error "batch has no fresh outcomes but is biased")
-              batch
+          let fresh = fresh_outcomes ~table ~dist batch in
+          if Array.length fresh = 0 then begin
+            if not (check_settled_batch ~eps ~table ~f ~dist batch) then
+              result := Error "batch has no fresh outcomes but is biased"
           end
           else begin
-            (* Row of coefficients over fresh outcomes and the assigned
-               contribution f0, for a data vector v. *)
-            let row_of v =
-              let coeffs = Array.make n 0. in
-              let f0 = ref 0. in
-              List.iter
-                (fun (p, k) ->
-                  if p > 0. then
-                    match Hashtbl.find_opt table k with
-                    | Some est -> f0 := !f0 +. (p *. est)
-                    | None -> (
-                        match Hashtbl.find_opt index k with
-                        | Some i -> coeffs.(i) <- coeffs.(i) +. p
-                        | None -> ()))
-                (dist v);
-              (coeffs, !f0)
+            let q, a_ub, b_ub, a_eq, b_eq =
+              batch_system ~table ~f ~dist ~batch ~laters ~fresh
             in
-            let a_eq, b_eq =
-              batch
-              |> List.map (fun v ->
-                     let coeffs, f0 = row_of v in
-                     (coeffs, f v -. f0))
-              |> List.split
-            in
-            let a_ub, b_ub =
-              laters
-              |> List.filter_map (fun v' ->
-                     let coeffs, f0 = row_of v' in
-                     if Array.exists (fun c -> c > 0.) coeffs then
-                       Some (coeffs, f v' -. f0)
-                     else None)
-              |> List.split
-            in
-            (* Objective: Σ_{v∈batch} Var[est|v] — i.e. Σ_o w_o x_o² with
-               w_o = Σ_v Pr[o|v] (the unbiasedness constraints pin the
-               linear part). *)
-            let w = Array.make n 0. in
-            List.iter
-              (fun v ->
-                List.iter
-                  (fun (p, k) ->
-                    match Hashtbl.find_opt index k with
-                    | Some i -> w.(i) <- w.(i) +. p
-                    | None -> ())
-                  (dist v))
-              batch;
-            (* Outcomes reachable only from later vectors keep weight 0;
-               give them a tiny weight for strict convexity (their value
-               is then driven to 0 unless constrained). *)
-            let q = Array.map (fun wi -> 2. *. Float.max wi 1e-9) w in
             match
-              Numerics.Qp.minimize ~eps ~q ~c:(Array.make n 0.)
-                ~a_ub:(Array.of_list a_ub) ~b_ub:(Array.of_list b_ub)
-                ~a_eq:(Array.of_list a_eq) ~b_eq:(Array.of_list b_eq) ()
+              Numerics.Qp.minimize_r ~eps ~attempts:0
+                ~q ~c:(Array.make (Array.length fresh) 0.)
+                ~a_ub ~b_ub ~a_eq ~b_eq ()
             with
-            | None -> result := Error "infeasible batch (no nonnegative unbiased extension)"
-            | Some { Numerics.Qp.x; _ } ->
+            | Error { Numerics.Robust.reason = Numerics.Robust.Infeasible; _ } ->
+                result := Error "infeasible batch (no nonnegative unbiased extension)"
+            | Error fl -> result := Error (Numerics.Robust.to_string fl)
+            | Ok { Numerics.Qp.x; _ } ->
                 Array.iteri (fun i k -> Hashtbl.replace table k x.(i)) fresh
           end)
     batches;
   match !result with Ok () -> Ok table | Error e -> Error e
+
+type batch_outcome = {
+  batch : int;
+  rung : string;
+  retries : int;
+  cause : Numerics.Robust.failure option;
+}
+
+type provenance = {
+  batches : int;
+  qp_clean : int;
+  degraded : batch_outcome list;
+}
+
+type 'k derived = { estimator : 'k estimator; provenance : provenance }
+
+let pp_batch_outcome fmt { batch; rung; retries; cause } =
+  Format.fprintf fmt "batch %d: %s (retries=%d)%a" batch rung retries
+    (fun fmt -> function
+      | None -> ()
+      | Some fl -> Format.fprintf fmt " after %a" Numerics.Robust.pp fl)
+    cause
+
+(* Final ladder rung: Algorithm-1-style per-vector assignment restricted
+   to this batch's fresh outcomes, clamped nonnegative. Trades exact
+   unbiasedness (and optimality) for a finite, nonnegative table so a
+   sweep can always finish; the degradation is recorded by the caller. *)
+let ht_share_assign ~eps ~table ~f ~dist ~batch ~fresh =
+  let assigned = Hashtbl.create 16 in
+  let get k =
+    match Hashtbl.find_opt table k with
+    | Some _ as r -> r
+    | None -> Hashtbl.find_opt assigned k
+  in
+  let failed = ref None in
+  List.iter
+    (fun v ->
+      if !failed = None then begin
+        let support = positive_support (dist v) in
+        let f0 = ref 0. in
+        let p_fresh = ref 0. in
+        let fresh_ks = ref [] in
+        List.iter
+          (fun (p, k) ->
+            match get k with
+            | Some est -> f0 := !f0 +. (p *. est)
+            | None ->
+                fresh_ks := k :: !fresh_ks;
+                p_fresh := !p_fresh +. p)
+          support;
+        if !p_fresh > eps then begin
+          let est = Float.max 0. ((f v -. !f0) /. !p_fresh) in
+          if not (Float.is_finite est) then
+            failed :=
+              Some
+                (Numerics.Robust.fail Numerics.Robust.Designer
+                   (Numerics.Robust.Non_finite "ht-share estimate"))
+          else List.iter (fun k -> Hashtbl.replace assigned k est) !fresh_ks
+        end
+      end)
+    batch;
+  match !failed with
+  | Some fl -> Error fl
+  | None ->
+      (* Outcomes reachable only from later vectors default to 0. *)
+      Array.iter
+        (fun k ->
+          match get k with
+          | Some _ -> ()
+          | None -> Hashtbl.replace assigned k 0.)
+        fresh;
+      Ok assigned
+
+let solve_partition_robust ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2)
+    ~batches ~f ~dist () =
+  let table : 'k estimator = Hashtbl.create 64 in
+  let qp_clean = ref 0 in
+  let degraded = ref [] in
+  let later_batches =
+    ref (match batches with [] -> [] | _ :: tl -> tl @ [ [] ])
+  in
+  let failure = ref None in
+  let commit fresh x = Array.iteri (fun i k -> Hashtbl.replace table k x.(i)) fresh in
+  (try
+     List.iteri
+       (fun bi batch ->
+         match !failure with
+         | Some _ -> ()
+         | None ->
+             let laters = List.concat !later_batches in
+             (later_batches :=
+                match !later_batches with [] -> [] | _ :: tl -> tl);
+             let fresh = fresh_outcomes ~table ~dist batch in
+             if Array.length fresh = 0 then begin
+               if not (check_settled_batch ~eps ~table ~f ~dist batch) then
+                 failure :=
+                   Some
+                     (Numerics.Robust.fail Numerics.Robust.Designer
+                        (Numerics.Robust.Invalid_input
+                           (Printf.sprintf
+                              "batch %d has no fresh outcomes but is biased" bi)))
+             end
+             else begin
+               let q, a_ub, b_ub, a_eq, b_eq =
+                 batch_system ~table ~f ~dist ~batch ~laters ~fresh
+               in
+               let c = Array.make (Array.length fresh) 0. in
+               match
+                 Numerics.Qp.minimize_r ~eps ~seed:(seed + bi) ~attempts ~q ~c
+                   ~a_ub ~b_ub ~a_eq ~b_eq ()
+               with
+               | Ok { Numerics.Qp.x; retries; _ } ->
+                   commit fresh x;
+                   if retries = 0 then incr qp_clean
+                   else
+                     degraded :=
+                       { batch = bi; rung = "qp"; retries; cause = None }
+                       :: !degraded
+               | Error qp_failure -> (
+                   (* Rung 2: any feasible nonnegative point of the same
+                      constraint system (LP, zero objective) — unbiased,
+                      just not variance-optimal. *)
+                   Numerics.Robust.note_degradation ~site:"designer.batch"
+                     ~fallback:"lp-feasible" qp_failure;
+                   let lp =
+                     match
+                       (* Fallback rung: the LP itself must run clean. *)
+                       Numerics.Faultify.suppress (fun () ->
+                           Numerics.Simplex.maximize_r ~c ~a_ub ~b_ub ~a_eq
+                             ~b_eq ())
+                     with
+                     | Ok (Numerics.Simplex.Optimal (_, x))
+                       when Result.is_ok
+                              (Numerics.Robust.check_vec
+                                 Numerics.Robust.Designer ~what:"lp point" x) ->
+                         Some x
+                     | _ -> None
+                   in
+                   match lp with
+                   | Some x ->
+                       commit fresh x;
+                       degraded :=
+                         {
+                           batch = bi;
+                           rung = "lp-feasible";
+                           retries = attempts;
+                           cause = Some qp_failure;
+                         }
+                         :: !degraded
+                   | None -> (
+                       (* Rung 3: HT-share assignment; always finite and
+                          nonnegative, possibly biased. *)
+                       Numerics.Robust.note_degradation ~site:"designer.batch"
+                         ~fallback:"ht-share" qp_failure;
+                       match ht_share_assign ~eps ~table ~f ~dist ~batch ~fresh with
+                       | Ok assigned ->
+                           Hashtbl.iter (Hashtbl.replace table) assigned;
+                           degraded :=
+                             {
+                               batch = bi;
+                               rung = "ht-share";
+                               retries = attempts;
+                               cause = Some qp_failure;
+                             }
+                             :: !degraded
+                       | Error fl -> failure := Some fl))
+             end)
+       batches
+   with Numerics.Robust.Solver_error fl -> failure := Some fl);
+  match !failure with
+  | Some fl -> Error fl
+  | None ->
+      Ok
+        {
+          estimator = table;
+          provenance =
+            {
+              batches = List.length batches;
+              qp_clean = !qp_clean;
+              degraded = List.rev !degraded;
+            };
+        }
 
 let expectation problem est v =
   List.fold_left

@@ -65,6 +65,52 @@ val solve_partition :
     nonnegativity-forced order-based estimator [f^(+≺)] (e.g.
     [max^(Uas)] under the corresponding order). *)
 
+(** {1 Hardened derivation}
+
+    {!solve_partition} aborts a sweep on the first degenerate batch.
+    {!solve_partition_robust} instead walks a fallback ladder per batch —
+    QP with deterministic jittered retries, then any LP-feasible
+    (unbiased but suboptimal) point, then a clamped HT-share assignment
+    (finite and nonnegative, possibly biased) — and records what
+    degraded, so callers can finish the sweep and report provenance. *)
+
+type batch_outcome = {
+  batch : int;  (** 0-based batch index *)
+  rung : string;  (** which ladder rung answered: ["qp"], ["lp-feasible"], ["ht-share"] *)
+  retries : int;  (** jittered QP restarts consumed *)
+  cause : Numerics.Robust.failure option;
+      (** the QP failure that forced a lower rung ([None] for ["qp"]) *)
+}
+
+type provenance = {
+  batches : int;  (** total batches walked *)
+  qp_clean : int;  (** batches answered by the QP on the first attempt *)
+  degraded : batch_outcome list;  (** everything that did not, in order *)
+}
+
+type 'k derived = { estimator : 'k estimator; provenance : provenance }
+
+val pp_batch_outcome : Format.formatter -> batch_outcome -> unit
+
+val solve_partition_robust :
+  ?eps:float ->
+  ?seed:int ->
+  ?attempts:int ->
+  batches:float array list list ->
+  f:(float array -> float) ->
+  dist:(float array -> (float * 'k) list) ->
+  unit ->
+  ('k derived, Numerics.Robust.failure) result
+(** Hardened {!solve_partition}. Per batch: the active-set QP (with up to
+    [attempts] seeded jittered restarts, seed [seed + batch index]); on
+    failure an LP-feasible point of the same constraint system; on
+    failure a clamped HT-share assignment. Each fallback is recorded in
+    the returned {!provenance} and via {!Numerics.Robust.note_degradation}
+    (site ["designer.batch"]) — so in [Strict] mode the first degradation
+    surfaces as [Error] instead. [Error] is reserved for genuinely
+    unrecoverable batches (e.g. biased with no fresh outcomes, or a
+    non-finite target function). *)
+
 val expectation : 'k problem -> 'k estimator -> float array -> float
 (** E[estimator | data v]. *)
 

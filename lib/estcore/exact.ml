@@ -54,11 +54,11 @@ let pps_r2_fast ~taus ~v est =
     let g u2 = est (outcome ~s1:true ~s2:false ~u1:(0.5 *. p1) ~u2) in
     mean :=
       !mean
-      +. (p1 *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 1) g p2 1.);
+      +. (p1 *. Numerics.Integrate.robust_pieces ~breakpoints:(breaks 1) g p2 1.);
     second :=
       !second
       +. p1
-         *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 1)
+         *. Numerics.Integrate.robust_pieces ~breakpoints:(breaks 1)
               (fun u2 ->
                 let x = g u2 in
                 x *. x)
@@ -68,11 +68,11 @@ let pps_r2_fast ~taus ~v est =
     let g u1 = est (outcome ~s1:false ~s2:true ~u1 ~u2:(0.5 *. p2)) in
     mean :=
       !mean
-      +. (p2 *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 0) g p1 1.);
+      +. (p2 *. Numerics.Integrate.robust_pieces ~breakpoints:(breaks 0) g p1 1.);
     second :=
       !second
       +. p2
-         *. Numerics.Integrate.gl_pieces ~breakpoints:(breaks 0)
+         *. Numerics.Integrate.robust_pieces ~breakpoints:(breaks 0)
               (fun u1 ->
                 let x = g u1 in
                 x *. x)

@@ -6,9 +6,17 @@ let single_variance ~p ~value = value *. value *. ((1. /. p) -. 1.)
 
 let all_sampled values = Array.for_all (fun x -> x <> None) values
 
+(* Only called after an [all_sampled] check; a [None] here means the
+   outcome record itself is inconsistent. *)
+let sampled_value_exn i = function
+  | Some x -> x
+  | None ->
+      failwith
+        (Printf.sprintf "Ht: unsampled slot %d after an all-sampled check" i)
+
 let multi_oblivious ~f (o : O.t) =
   if all_sampled o.values then begin
-    let v = Array.map (function Some x -> x | None -> assert false) o.values in
+    let v = Array.mapi sampled_value_exn o.values in
     let pall = Array.fold_left ( *. ) 1. o.probs in
     f v /. pall
   end
@@ -63,7 +71,7 @@ let max_pps_variance ~taus ~v =
 
 let min_pps (o : P.t) =
   if Array.for_all (fun x -> x <> None) o.values then begin
-    let v = Array.map (function Some x -> x | None -> assert false) o.values in
+    let v = Array.mapi sampled_value_exn o.values in
     let p = ref 1. in
     Array.iteri (fun i vi -> p := !p *. Float.min 1. (vi /. o.taus.(i))) v;
     vmin v /. !p

@@ -1,0 +1,97 @@
+type kind = Nan | Non_convergence | Infeasible
+
+type state = {
+  seed : int;
+  rate : float;
+  kinds : kind list;
+  counters : (string, int) Hashtbl.t;  (* per-site fire count *)
+  mutable injected : int;
+}
+
+(* One process-wide armed state behind a mutex: the harness must behave
+   identically whether solver calls run in the main domain or a pool.
+   [enabled] duplicates "armed?" as an atomic so the disarmed fast path —
+   every production solver call — costs one atomic read, no lock. *)
+let mutex = Mutex.create ()
+let enabled = Atomic.make false
+let state : state option ref = ref None
+let last_injected = ref 0
+
+let arm ?(rate = 0.5) ?(kinds = [ Nan; Non_convergence; Infeasible ]) ~seed () =
+  if rate < 0. || rate > 1. then invalid_arg "Faultify.arm: rate in [0,1]";
+  if kinds = [] then invalid_arg "Faultify.arm: empty kind list";
+  Mutex.protect mutex (fun () ->
+      last_injected := 0;
+      state := Some { seed; rate; kinds; counters = Hashtbl.create 16; injected = 0 };
+      Atomic.set enabled true)
+
+let disarm () =
+  Mutex.protect mutex (fun () ->
+      Atomic.set enabled false;
+      (match !state with Some s -> last_injected := s.injected | None -> ());
+      state := None)
+
+let armed () = Atomic.get enabled
+
+(* Fallback rungs must never be re-injected: a retry or a lower ladder
+   rung that calls back into another wrapped solver (e.g. the QP's
+   phase-1 simplex) runs with injection suppressed. Process-wide depth
+   counter — suppression from any domain covers the whole recovery. *)
+let suppress_depth = ref 0
+
+let suppressed () = Mutex.protect mutex (fun () -> !suppress_depth > 0)
+
+let suppress f =
+  Mutex.protect mutex (fun () -> incr suppress_depth);
+  Fun.protect
+    ~finally:(fun () -> Mutex.protect mutex (fun () -> decr suppress_depth))
+    f
+
+let injection_count () =
+  Mutex.protect mutex (fun () ->
+      match !state with Some s -> s.injected | None -> !last_injected)
+
+(* Deterministic 64-bit draw from (seed, site, counter): fold the site
+   name and counter into a SplitMix64 avalanche chain. *)
+let draw ~seed ~site ~counter =
+  let h = ref (Prng.SplitMix64.mix (Int64.of_int seed)) in
+  String.iter
+    (fun c ->
+      h := Prng.SplitMix64.mix (Int64.add !h (Int64.of_int (Char.code c))))
+    site;
+  Prng.SplitMix64.mix (Int64.add !h (Int64.of_int counter))
+
+let uniform_of_bits bits =
+  Int64.to_float (Int64.shift_right_logical bits 11) *. 0x1p-53
+
+let fire ~site ~kinds:site_kinds =
+  if not (Atomic.get enabled) then None
+  else
+    Mutex.protect mutex (fun () ->
+      match !state with
+      | None -> None
+      | Some _ when !suppress_depth > 0 -> None
+      | Some s ->
+          let counter =
+            Option.value ~default:0 (Hashtbl.find_opt s.counters site)
+          in
+          Hashtbl.replace s.counters site (counter + 1);
+          let eligible =
+            List.filter (fun k -> List.mem k site_kinds) s.kinds
+          in
+          if eligible = [] then None
+          else begin
+            let bits = draw ~seed:s.seed ~site ~counter in
+            if uniform_of_bits bits >= s.rate then None
+            else begin
+              s.injected <- s.injected + 1;
+              (* Pick the kind from independent bits of the same draw. *)
+              let idx =
+                Int64.to_int
+                  (Int64.rem
+                     (Int64.shift_right_logical (Prng.SplitMix64.mix bits) 3)
+                     (Int64.of_int (List.length eligible)))
+              in
+              Some (List.nth eligible idx)
+            end
+          end)

@@ -1,0 +1,56 @@
+(** Deterministic fault injection for the wrapped solver call sites.
+
+    The robustness layer's guarantee — every solver failure is either
+    recovered by a fallback or reported with full diagnostics, never an
+    uncaught exception or a NaN estimate — is only worth anything if it
+    is exercised. This module lets the test suite {e force} the three
+    failure classes (NaN results, non-convergence, infeasibility) into
+    the structured solver entry points ({!Qp.minimize_r},
+    {!Simplex.maximize_r}, {!Integrate.robust_pieces},
+    {!Special.solve_bisect_r}) deterministically: whether a given call
+    fires depends only on the armed seed, the site name, and how many
+    times that site has fired before — never on wall clock, scheduling,
+    or domain layout.
+
+    Disarmed (the default, and always in production), the per-site check
+    is a single mutex-protected boolean read; no behavior changes.
+
+    Fallback rungs do not consult this module: an injected fault tests
+    that the {e primary} path's failure is caught and recovered, so the
+    recovery path itself must stay clean. *)
+
+type kind =
+  | Nan  (** corrupt the raw result to NaN (the finite guards must catch it) *)
+  | Non_convergence  (** report an exhausted iteration budget *)
+  | Infeasible  (** report an infeasible constraint system *)
+
+val arm : ?rate:float -> ?kinds:kind list -> seed:int -> unit -> unit
+(** Start injecting: each {!fire} draws deterministically from
+    [SplitMix64.mix (seed, site, per-site counter)] and injects with
+    probability [rate] (default [0.5]), cycling through [kinds]
+    (default: all three). Resets all per-site counters. *)
+
+val disarm : unit -> unit
+(** Stop injecting (and leave the counters; {!injection_count} survives
+    so a test can assert that faults actually fired). *)
+
+val armed : unit -> bool
+
+val suppress : (unit -> 'a) -> 'a
+(** Run the callback with injection suppressed (process-wide, nestable).
+    Used by fallback rungs that re-enter another wrapped solver — a
+    jittered QP retry re-runs the phase-1 simplex, the designer's
+    LP-feasibility rung calls {!Simplex.maximize_r} — so an injected
+    primary failure is always recovered by a {e clean} fallback, per the
+    module contract. Suppressed calls do not advance per-site counters. *)
+
+val suppressed : unit -> bool
+
+val injection_count : unit -> int
+(** Total faults injected since the last {!arm}. *)
+
+val fire : site:string -> kinds:kind list -> kind option
+(** Called by a wrapped solver entry: [Some k] when a fault of kind [k]
+    (drawn from the intersection of the armed kinds and [kinds] — the
+    kinds meaningful at this site) must be injected now, [None]
+    otherwise (including whenever disarmed). *)

@@ -101,6 +101,161 @@ let gl_pieces ?(n = 32) ~breakpoints f a b =
   in
   go 0. pts
 
+exception Non_finite_at of float
+
+let simpson_r ?(tol = 1e-11) ?(max_depth = 40) f a b =
+  let s = Robust.Quadrature in
+  if a = b then
+    Error
+      (Robust.fail s
+         (Robust.Invalid_input
+            (Printf.sprintf "zero-width interval [%g, %g]" a b)))
+  else if not (Robust.is_finite a && Robust.is_finite b) then
+    Error
+      (Robust.fail s
+         (Robust.Non_finite (Printf.sprintf "endpoint [%g, %g]" a b)))
+  else begin
+    let leaves = ref 0 in
+    let unresolved = ref 0. in
+    let eval x =
+      let y = f x in
+      if Robust.is_finite y then y else raise (Non_finite_at x)
+    in
+    (* Same adaptive recursion as {!simpson}, but leaves that exhaust the
+       depth budget accumulate their unresolved error estimate |δ/15|
+       instead of being silently accepted. *)
+    let rec go a b fa fm fb whole tol depth =
+      let m = 0.5 *. (a +. b) in
+      let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+      let flm = eval lm and frm = eval rm in
+      let left = simpson_rule a m fa flm fm in
+      let right = simpson_rule m b fm frm fb in
+      let delta = left +. right -. whole in
+      if abs_float delta <= 15. *. tol then begin
+        incr leaves;
+        left +. right +. (delta /. 15.)
+      end
+      else if depth <= 0 then begin
+        incr leaves;
+        unresolved := !unresolved +. abs_float (delta /. 15.);
+        left +. right +. (delta /. 15.)
+      end
+      else
+        go a m fa flm fm left (tol /. 2.) (depth - 1)
+        +. go m b fm frm fb right (tol /. 2.) (depth - 1)
+    in
+    match
+      let fa = eval a and fb = eval b in
+      let m = 0.5 *. (a +. b) in
+      let fm = eval m in
+      let whole = simpson_rule a b fa fm fb in
+      go a b fa fm fb whole tol max_depth
+    with
+    | exception Non_finite_at x ->
+        Error
+          (Robust.fail ~iterations:!leaves s
+             (Robust.Non_finite (Printf.sprintf "integrand at x=%g" x)))
+    | v ->
+        if not (Robust.is_finite v) then
+          Error (Robust.fail ~iterations:!leaves s (Robust.Non_finite "integral value"))
+        else if !unresolved > tol *. (1. +. abs_float v) then
+          Error
+            (Robust.fail ~iterations:!leaves ~residual:!unresolved s
+               Robust.Non_convergence)
+        else Ok v
+  end
+
+(* Poison exactly one evaluation of [f]. Used by the fault-injection
+   harness: the NaN travels through the real quadrature path and is
+   caught by the same finite guards a genuine NaN would hit. *)
+let poison_first f =
+  let first = ref true in
+  fun x ->
+    if !first then begin
+      first := false;
+      nan
+    end
+    else f x
+
+(* Last ladder rung: fixed-order Gauss–Legendre at two orders; accept the
+   higher-order value only when they agree. Never consults Faultify. *)
+let gl_cross_check ?(breakpoints = []) ~rel_tol f a b =
+  let hi = gl_pieces ~n:64 ~breakpoints f a b in
+  let lo = gl_pieces ~n:48 ~breakpoints f a b in
+  let s = Robust.Quadrature in
+  if not (Robust.is_finite hi && Robust.is_finite lo) then
+    Error (Robust.fail s (Robust.Non_finite "gauss-legendre fallback value"))
+  else begin
+    let resid = abs_float (hi -. lo) in
+    if resid <= rel_tol *. (1. +. abs_float hi) then Ok hi
+    else Error (Robust.fail ~residual:resid s Robust.Non_convergence)
+  end
+
+let robust ?(tol = 1e-11) f a b =
+  let site = "integrate.simpson" in
+  let primary =
+    match
+      Faultify.fire ~site ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]
+    with
+    | None -> simpson_r ~tol f a b
+    | Some Faultify.Nan -> simpson_r ~tol (poison_first f) a b
+    | Some (Faultify.Non_convergence | Faultify.Infeasible) ->
+        Error (Robust.fail Robust.Quadrature Robust.Non_convergence)
+  in
+  match primary with
+  | Ok v -> Ok v
+  | Error ({ Robust.reason = Robust.Invalid_input _; _ } as fl) ->
+      (* A zero-width/invalid interval is equally invalid for the
+         fallback; report it rather than masking it with a 0. *)
+      Error fl
+  | Error cause ->
+      Robust.note_degradation ~site ~fallback:"gauss-legendre-cross-check" cause;
+      gl_cross_check ~rel_tol:1e-6 f a b
+
+let robust_pieces ?(tol = 1e-11) ~breakpoints f a b =
+  let site = "integrate.gl_pieces" in
+  let primary =
+    match
+      Faultify.fire ~site ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]
+    with
+    | None ->
+        (* Clean path: bit-identical to the historical gl_pieces ~n:32. *)
+        let v = gl_pieces ~n:32 ~breakpoints f a b in
+        if Robust.is_finite v then Ok v
+        else
+          Error
+            (Robust.fail Robust.Quadrature
+               (Robust.Non_finite "gauss-legendre (n=32) value"))
+    | Some Faultify.Nan ->
+        let v = gl_pieces ~n:32 ~breakpoints (poison_first f) a b in
+        if Robust.is_finite v then Ok v
+        else
+          Error
+            (Robust.fail Robust.Quadrature
+               (Robust.Non_finite "integrand (injected)"))
+    | Some (Faultify.Non_convergence | Faultify.Infeasible) ->
+        Error (Robust.fail Robust.Quadrature Robust.Non_convergence)
+  in
+  match primary with
+  | Ok v -> v
+  | Error cause -> (
+      (* Cheap rung first: two fixed GL orders on the same pieces
+         (~3.5× the clean cost). Adaptive Simpson is the last resort —
+         reliable but orders of magnitude more evaluations at this
+         tolerance. *)
+      Robust.note_degradation ~site ~fallback:"gauss-legendre-cross-check" cause;
+      match gl_cross_check ~breakpoints ~rel_tol:1e-6 f a b with
+      | Ok v -> v
+      | Error cause2 ->
+          Robust.note_degradation ~site ~fallback:"adaptive-simpson" cause2;
+          let v = simpson_pieces ~tol ~breakpoints f a b in
+          if Robust.is_finite v then v
+          else
+            raise
+              (Robust.Solver_error
+                 (Robust.fail Robust.Quadrature
+                    (Robust.Non_finite "adaptive-simpson fallback value"))))
+
 let expectation_2d ?(tol = 1e-10) ~breaks_x ~breaks_y f =
   simpson_pieces ~tol ~breakpoints:breaks_x
     (fun x -> simpson_pieces ~tol ~breakpoints:breaks_y (fun y -> f x y) 0. 1.)

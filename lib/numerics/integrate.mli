@@ -36,6 +36,42 @@ val gl_pieces :
     weighted-sampling estimators, whose integrands are piecewise
     analytic with kinks at the sampling thresholds. *)
 
+val simpson_r :
+  ?tol:float ->
+  ?max_depth:int ->
+  (float -> float) ->
+  float ->
+  float ->
+  (float, Robust.failure) result
+(** Structured-result variant of {!simpson}. Zero-width intervals are
+    [Invalid_input]; a non-finite endpoint or integrand value is
+    [Non_finite] (with the offending abscissa); leaves that exhaust the
+    recursion-depth budget accumulate their unresolved error estimate and
+    yield [Non_convergence] (residual = that total, iterations = number of
+    leaf intervals) when it exceeds [tol·(1+|result|)]. *)
+
+val robust :
+  ?tol:float -> (float -> float) -> float -> float -> (float, Robust.failure) result
+(** Fallback-chain quadrature: adaptive Simpson ({!simpson_r}) first;
+    on failure, fixed-order Gauss–Legendre at two orders (64 and 48),
+    accepted only when they agree to [1e-6] relative — the residual
+    cross-check. Each fallback is recorded via
+    {!Robust.note_degradation}. This is a {!Faultify} injection site
+    (["integrate.simpson"]). *)
+
+val robust_pieces :
+  ?tol:float -> breakpoints:float list -> (float -> float) -> float -> float -> float
+(** Drop-in replacement for {!gl_pieces}[ ~n:32] on the estimation hot
+    paths, hardened with a degradation ladder: (1) Gauss–Legendre n=32 —
+    bit-identical to the historical clean path; (2) on a non-finite
+    value, the cheap Gauss–Legendre 64-vs-48 cross-check; (3) adaptive
+    Simpson ({!simpson_pieces}) as the last resort. Rungs 2–3 are recorded via
+    {!Robust.note_degradation} (so [Strict] mode turns them into
+    {!Robust.Solver_error}); exhausting the whole ladder raises
+    {!Robust.Solver_error}. This is a {!Faultify} injection site
+    (["integrate.gl_pieces"]); the final rung never consults the
+    injection harness. *)
+
 val expectation_2d :
   ?tol:float ->
   breaks_x:float list ->

@@ -60,21 +60,28 @@ let mat_mul a b =
   done;
   m
 
-let solve a0 b0 =
+exception Singular of int * float
+(* column, best pivot magnitude — caught below to build the message *)
+
+let solve_raw a0 b0 =
   let a = copy_mat a0 in
   let b = Array.copy b0 in
   let n = Array.length a in
   if n = 0 then [||]
   else begin
     if Array.length a.(0) <> n || Array.length b <> n then
-      invalid_arg "Linalg.solve: non-square or mismatched";
+      invalid_arg
+        (Printf.sprintf
+           "Linalg.solve: non-square or mismatched (a is %d×%d, b has %d)" n
+           (Array.length a.(0)) (Array.length b));
     for col = 0 to n - 1 do
       (* partial pivot *)
       let piv = ref col in
       for r = col + 1 to n - 1 do
         if abs_float a.(r).(col) > abs_float a.(!piv).(col) then piv := r
       done;
-      if abs_float a.(!piv).(col) < 1e-13 then failwith "Linalg.solve: singular";
+      if abs_float a.(!piv).(col) < 1e-13 then
+        raise (Singular (col, abs_float a.(!piv).(col)));
       if !piv <> col then begin
         let tmp = a.(col) in
         a.(col) <- a.(!piv);
@@ -103,6 +110,30 @@ let solve a0 b0 =
     done;
     x
   end
+
+let solve a b =
+  try solve_raw a b
+  with Singular (col, piv) ->
+    failwith
+      (Printf.sprintf
+         "Linalg.solve: singular %d×%d system (best pivot %g in column %d)"
+         (Array.length a) (Array.length a) piv col)
+
+let solve_r a b =
+  match Robust.check_mat Robust.Linear_solve ~what:"a" a with
+  | Error f -> Error f
+  | Ok () -> (
+      match Robust.check_vec Robust.Linear_solve ~what:"b" b with
+      | Error f -> Error f
+      | Ok () -> (
+          try Ok (solve_raw a b) with
+          | Singular (col, piv) ->
+              Error
+                (Robust.fail ~iterations:col ~residual:piv Robust.Linear_solve
+                   Robust.Singular)
+          | Invalid_argument msg ->
+              Error
+                (Robust.fail Robust.Linear_solve (Robust.Invalid_input msg))))
 
 let solve_lstsq a b =
   let at = transpose a in

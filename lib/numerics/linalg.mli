@@ -24,8 +24,15 @@ val mat_mul : mat -> mat -> mat
 
 val solve : mat -> vec -> vec
 (** [solve a b] solves [a x = b] by Gaussian elimination with partial
-    pivoting. Raises [Failure] on (numerically) singular systems. [a] and
+    pivoting. Raises [Failure] on (numerically) singular systems, with
+    the system dimension and the offending pivot in the message. [a] and
     [b] are not modified. *)
+
+val solve_r : mat -> vec -> (vec, Robust.failure) result
+(** Structured-result variant of {!solve}: non-finite entries and
+    singular systems are reported as a {!Robust.failure}
+    ([Non_finite] / [Singular], residual = best pivot magnitude) instead
+    of an exception. Dimension mismatches become [Invalid_input]. *)
 
 val solve_lstsq : mat -> vec -> vec
 (** Minimum-residual solution of a (possibly rectangular) system via the

@@ -168,8 +168,14 @@ let parallel_init t ~n body =
       |> Array.of_list
     in
     run_all t tasks;
-    Array.map
-      (function Some v -> v | None -> assert false (* every slot filled *))
+    Array.mapi
+      (fun i -> function
+        | Some v -> v
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Pool.parallel_init: slot %d of %d left unfilled (worker died?)"
+                 i n))
       res
   end
 

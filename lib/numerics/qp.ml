@@ -1,4 +1,9 @@
-type result = { x : float array; objective : float; iterations : int }
+type result = {
+  x : float array;
+  objective : float;
+  iterations : int;
+  retries : int;
+}
 
 let dot = Linalg.vec_dot
 
@@ -32,12 +37,124 @@ let solve_kkt ~q ~c rows rhs =
       a.(n + k).(n + k) <- -1e-10;
       b.(n + k) <- rhs.(k))
     rows;
-  let sol = try Linalg.solve a b with Failure _ -> Linalg.solve_lstsq a b in
-  (Array.sub sol 0 n, Array.sub sol n m)
+  match Linalg.solve_r a b with
+  | Ok sol -> Ok (Array.sub sol 0 n, Array.sub sol n m)
+  | Error _ -> (
+      (* Rank-deficient active set: fall back to the least-squares KKT
+         point; if even that degenerates, report the singularity. *)
+      match
+        try Ok (Linalg.solve_lstsq a b) with Failure _ | Invalid_argument _ ->
+          Error
+            (Robust.fail ~iterations:dim Robust.Qp_active_set Robust.Singular)
+      with
+      | Error f -> Error f
+      | Ok sol -> (
+          match
+            Robust.check_vec Robust.Qp_active_set ~what:"kkt solution" sol
+          with
+          | Error f -> Error f
+          | Ok () -> Ok (Array.sub sol 0 n, Array.sub sol n m)))
 
-let minimize ?(eps = 1e-9) ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+(* Primal active-set iteration from a feasible start. Returns the
+   optimum or a structured failure; never raises. *)
+let active_set ~eps ~q ~c ~ub_rows ~ub_rhs ~a_eq ~b_eq x0 =
+  let m_ub = Array.length ub_rows in
+  let x = ref x0 in
+  let active = Array.make m_ub false in
+  for k = 0 to m_ub - 1 do
+    if abs_float (dot ub_rows.(k) !x -. ub_rhs.(k)) <= eps then active.(k) <- true
+  done;
   let n = Array.length q in
-  Array.iter (fun qi -> if qi <= 0. then invalid_arg "Qp.minimize: q must be > 0") q;
+  let iterations = ref 0 in
+  let max_iter = 200 + (20 * (n + m_ub)) in
+  let result = ref None in
+  (try
+     while !result = None do
+       incr iterations;
+       if !iterations > max_iter then begin
+         result :=
+           Some
+             (Error
+                (Robust.fail ~iterations:(!iterations - 1)
+                   ~residual:(Linalg.vec_norm_inf !x) Robust.Qp_active_set
+                   Robust.Non_convergence));
+         raise Exit
+       end;
+       let active_idx =
+         List.filter (fun k -> active.(k)) (List.init m_ub Fun.id)
+       in
+       let rows =
+         Array.append a_eq (Array.of_list (List.map (fun k -> ub_rows.(k)) active_idx))
+       in
+       let rhs =
+         Array.append b_eq (Array.of_list (List.map (fun k -> ub_rhs.(k)) active_idx))
+       in
+       match solve_kkt ~q ~c rows rhs with
+       | Error f ->
+           result := Some (Error { f with Robust.iterations = !iterations });
+           raise Exit
+       | Ok (xk, lambda) ->
+           (* Is the KKT point feasible for the inactive inequalities? *)
+           let violated = ref (-1) in
+           let step = ref 1. in
+           let d = Linalg.vec_sub xk !x in
+           if Linalg.vec_norm_inf d > eps then begin
+             for k = 0 to m_ub - 1 do
+               if not active.(k) then begin
+                 let ad = dot ub_rows.(k) d in
+                 if ad > eps then begin
+                   let slack = ub_rhs.(k) -. dot ub_rows.(k) !x in
+                   let alpha = slack /. ad in
+                   if alpha < !step -. 1e-15 then begin
+                     step := max 0. alpha;
+                     violated := k
+                   end
+                 end
+               end
+             done
+           end;
+           if !violated >= 0 then begin
+             (* Blocked: advance to the blocking constraint and activate it. *)
+             x := Linalg.vec_add !x (Linalg.vec_scale !step d);
+             active.(!violated) <- true
+           end
+           else begin
+             x := xk;
+             (* Check multipliers of active inequality constraints. *)
+             let m_eq = Array.length a_eq in
+             let worst = ref (-1) in
+             let worst_val = ref (-.eps) in
+             List.iteri
+               (fun pos k ->
+                 let l = lambda.(m_eq + pos) in
+                 if l < !worst_val then begin
+                   worst_val := l;
+                   worst := k
+                 end)
+               active_idx;
+             if !worst >= 0 then active.(!worst) <- false
+             else
+               result :=
+                 Some
+                   (Ok
+                      {
+                        x = !x;
+                        objective = objective_value ~q ~c !x;
+                        iterations = !iterations;
+                        retries = 0;
+                      })
+           end
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None ->
+      Error (Robust.fail ~iterations:!iterations Robust.Qp_active_set Robust.Non_convergence)
+
+(* One full solve attempt: dedup + bounds + phase-1 feasible start +
+   active-set iteration. *)
+let minimize_core ~eps ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq =
+  let n = Array.length q in
   (* Append the implicit x >= 0 bounds as -x_i <= 0 rows. *)
   let bound_row i =
     let r = Array.make n 0. in
@@ -61,78 +178,117 @@ let minimize ?(eps = 1e-9) ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
   let b_ub = Array.of_list (List.rev !dedup_rhs) in
   let ub_rows = Array.append a_ub (Array.init n bound_row) in
   let ub_rhs = Array.append b_ub (Array.make n 0.) in
-  let m_ub = Array.length ub_rows in
   (* Feasible start from phase-1 simplex (enforces x >= 0 natively). *)
-  match Simplex.maximize ~c:(Array.make n 0.) ~a_ub ~b_ub ~a_eq ~b_eq () with
-  | Simplex.Infeasible -> None
-  | Simplex.Unbounded -> None (* cannot happen: objective is constant *)
-  | Simplex.Optimal (_, x0) -> (
-      let x = ref x0 in
-      let active = Array.make m_ub false in
-      for k = 0 to m_ub - 1 do
-        if abs_float (dot ub_rows.(k) !x -. ub_rhs.(k)) <= eps then active.(k) <- true
-      done;
-      let iterations = ref 0 in
-      let max_iter = 200 + (20 * (n + m_ub)) in
-      let result = ref None in
-      while !result = None do
-        incr iterations;
-        if !iterations > max_iter then failwith "Qp.minimize: did not converge";
-        let active_idx =
-          List.filter (fun k -> active.(k)) (List.init m_ub Fun.id)
-        in
-        let rows =
-          Array.append a_eq (Array.of_list (List.map (fun k -> ub_rows.(k)) active_idx))
-        in
-        let rhs =
-          Array.append b_eq (Array.of_list (List.map (fun k -> ub_rhs.(k)) active_idx))
-        in
-        let xk, lambda = solve_kkt ~q ~c rows rhs in
-        (* Is the KKT point feasible for the inactive inequalities? *)
-        let violated = ref (-1) in
-        let step = ref 1. in
-        let d = Linalg.vec_sub xk !x in
-        if Linalg.vec_norm_inf d > eps then begin
-          for k = 0 to m_ub - 1 do
-            if not active.(k) then begin
-              let ad = dot ub_rows.(k) d in
-              if ad > eps then begin
-                let slack = ub_rhs.(k) -. dot ub_rows.(k) !x in
-                let alpha = slack /. ad in
-                if alpha < !step -. 1e-15 then begin
-                  step := max 0. alpha;
-                  violated := k
-                end
-              end
+  match Simplex.maximize_r ~eps:1e-9 ~c:(Array.make n 0.) ~a_ub ~b_ub ~a_eq ~b_eq () with
+  | Error f -> Error f
+  | Ok Simplex.Infeasible ->
+      Error (Robust.fail Robust.Qp_active_set Robust.Infeasible)
+  | Ok Simplex.Unbounded ->
+      (* cannot happen: the phase-1 objective is constant *)
+      Error
+        (Robust.fail Robust.Qp_active_set
+           (Robust.Invalid_input "constant-objective LP reported unbounded"))
+  | Ok (Simplex.Optimal (_, x0)) ->
+      active_set ~eps ~q ~c ~ub_rows ~ub_rhs ~a_eq ~b_eq x0
+
+let validate_inputs ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq =
+  let ( let* ) = Result.bind in
+  let s = Robust.Qp_active_set in
+  let bad_q = ref (-1) in
+  Array.iteri (fun i qi -> if !bad_q < 0 && not (qi > 0.) then bad_q := i) q;
+  let* () =
+    if !bad_q >= 0 then
+      Error
+        (Robust.fail s
+           (Robust.Invalid_input
+              (Printf.sprintf "q[%d] = %g must be > 0" !bad_q q.(!bad_q))))
+    else Ok ()
+  in
+  let* () = Result.map ignore (Robust.check_vec s ~what:"c" c) in
+  let* () = Robust.check_mat s ~what:"a_ub" a_ub in
+  let* () = Result.map ignore (Robust.check_vec s ~what:"b_ub" b_ub) in
+  let* () = Robust.check_mat s ~what:"a_eq" a_eq in
+  Result.map ignore (Robust.check_vec s ~what:"b_eq" b_eq)
+
+let retryable (f : Robust.failure) =
+  match f.Robust.reason with
+  | Robust.Non_convergence | Robust.Singular | Robust.Non_finite _
+  | Robust.Injected _ ->
+      true
+  | Robust.Infeasible | Robust.Invalid_input _ -> false
+
+let minimize_r ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2) ~q ~c ~a_ub
+    ~b_ub ~a_eq ~b_eq () =
+  match validate_inputs ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq with
+  | Error f -> Error f
+  | Ok () -> (
+      let budget = 200 + (20 * (Array.length q + Array.length a_ub)) in
+      let first =
+        match
+          Faultify.fire ~site:"qp.active_set"
+            ~kinds:[ Faultify.Nan; Faultify.Non_convergence; Faultify.Infeasible ]
+        with
+        | Some Faultify.Nan -> (
+            (* Corrupt a copy of the (already validated) cost vector and
+               re-run the guard: the injected NaN must surface as a
+               structured failure, exactly as a runtime NaN would. *)
+            match
+              Robust.check_vec Robust.Qp_active_set ~what:"c (injected)"
+                [| nan |]
+            with
+            | Error f -> Error f
+            | Ok () ->
+                Error
+                  (Robust.fail Robust.Qp_active_set
+                     (Robust.Injected "qp.active_set")))
+        | Some Faultify.Non_convergence ->
+            Error
+              (Robust.fail ~iterations:budget Robust.Qp_active_set
+                 Robust.Non_convergence)
+        | Some Faultify.Infeasible ->
+            Error (Robust.fail Robust.Qp_active_set Robust.Infeasible)
+        | None -> minimize_core ~eps ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq
+      in
+      match first with
+      | Ok r -> Ok r
+      | Error f when not (retryable f) -> Error f
+      | Error f ->
+          (* Deterministic jittered restarts: perturb the diagonal by a
+             growing relative jitter drawn from a seeded substream, which
+             breaks the exact ties/degeneracies behind most active-set
+             stalls without moving the optimum materially. *)
+          let rec retry k last =
+            if k > attempts then Error last
+            else begin
+              Robust.note_degradation ~site:"qp.minimize"
+                ~fallback:(Printf.sprintf "jittered-retry-%d" k)
+                last;
+              let rng = Prng.substream ~master:seed k in
+              let jitter = 1e-9 *. (100. ** float_of_int (k - 1)) in
+              let q' =
+                Array.map
+                  (fun qi -> qi *. (1. +. (jitter *. (0.5 +. Prng.float rng))))
+                  q
+              in
+              match
+                (* The retry is a fallback rung: its phase-1 simplex must
+                   not be re-injected. *)
+                Faultify.suppress (fun () ->
+                    minimize_core ~eps ~q:q' ~c ~a_ub ~b_ub ~a_eq ~b_eq)
+              with
+              | Ok r -> Ok { r with retries = k }
+              | Error f' when not (retryable f') -> Error f'
+              | Error f' -> retry (k + 1) f'
             end
-          done
-        end;
-        if !violated >= 0 then begin
-          (* Blocked: advance to the blocking constraint and activate it. *)
-          x := Linalg.vec_add !x (Linalg.vec_scale !step d);
-          active.(!violated) <- true
-        end
-        else begin
-          x := xk;
-          (* Check multipliers of active inequality constraints. *)
-          let m_eq = Array.length a_eq in
-          let worst = ref (-1) in
-          let worst_val = ref (-.eps) in
-          List.iteri
-            (fun pos k ->
-              let l = lambda.(m_eq + pos) in
-              if l < !worst_val then begin
-                worst_val := l;
-                worst := k
-              end)
-            active_idx;
-          if !worst >= 0 then active.(!worst) <- false
-          else
-            result :=
-              Some { x = !x; objective = objective_value ~q ~c !x; iterations = !iterations }
-        end
-      done;
-      !result)
+          in
+          retry 1 f)
+
+let minimize ?(eps = 1e-9) ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+  Array.iter (fun qi -> if qi <= 0. then invalid_arg "Qp.minimize: q must be > 0") q;
+  match minimize_r ~eps ~attempts:0 ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq () with
+  | Ok r -> Some r
+  | Error { Robust.reason = Robust.Infeasible; _ } -> None
+  | Error f -> failwith (Printf.sprintf "Qp.minimize: %s" (Robust.to_string f))
 
 let least_squares_targets ?eps ~weights ~targets ~a_ub ~b_ub ~a_eq ~b_eq () =
   let q = Array.map (fun w -> 2. *. w) weights in

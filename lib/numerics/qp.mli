@@ -18,6 +18,7 @@ type result = {
   x : float array;  (** optimal point *)
   objective : float;  (** ½ xᵀQx − cᵀx at the optimum *)
   iterations : int;
+  retries : int;  (** jittered restarts consumed before success (0 usually) *)
 }
 
 val minimize :
@@ -30,8 +31,40 @@ val minimize :
   b_eq:float array ->
   unit ->
   result option
-(** Returns [None] when the constraints are infeasible. Raises [Failure]
-    if the active-set loop fails to converge (ill-posed input). *)
+(** Returns [None] when the constraints are infeasible. Raises
+    [Invalid_argument] when some [q_i <= 0] and [Failure] (with the
+    structured diagnostic rendered into the message) if the active-set
+    loop fails to converge — prefer {!minimize_r} where that must not
+    escape. *)
+
+val minimize_r :
+  ?eps:float ->
+  ?seed:int ->
+  ?attempts:int ->
+  q:float array ->
+  c:float array ->
+  a_ub:float array array ->
+  b_ub:float array ->
+  a_eq:float array array ->
+  b_eq:float array ->
+  unit ->
+  (result, Robust.failure) Stdlib.result
+(** Structured-result variant of {!minimize}. Infeasible constraint
+    systems, exhausted iteration budgets, singular KKT systems, and
+    non-finite inputs all come back as [Error] with a precise
+    {!Robust.failure} — this function never raises (except via
+    {!Robust.note_degradation} in [Strict] mode).
+
+    Retryable failures (non-convergence, singularity, NaN contamination —
+    {e not} infeasibility or bad input) trigger up to [attempts]
+    (default 2) deterministic jittered restarts: the diagonal [q] is
+    perturbed by a growing relative jitter drawn from
+    [Prng.substream ~master:seed] (default seed [0x7A57]), which breaks
+    the exact ties behind most active-set stalls. Each restart is
+    recorded via {!Robust.note_degradation} (site ["qp.minimize"]); the
+    number actually consumed is reported in [retries].
+
+    This is a {!Faultify} injection site (["qp.active_set"]). *)
 
 val least_squares_targets :
   ?eps:float ->

@@ -1,0 +1,127 @@
+type solver =
+  | Qp_active_set
+  | Simplex_lp
+  | Linear_solve
+  | Quadrature
+  | Root_find
+  | Designer
+  | Other of string
+
+type reason =
+  | Non_finite of string
+  | Non_convergence
+  | Infeasible
+  | Singular
+  | Invalid_input of string
+  | Injected of string
+
+type failure = {
+  solver : solver;
+  reason : reason;
+  iterations : int;
+  residual : float;
+}
+
+let fail ?(iterations = 0) ?(residual = nan) solver reason =
+  { solver; reason; iterations; residual }
+
+let solver_name = function
+  | Qp_active_set -> "qp-active-set"
+  | Simplex_lp -> "simplex-lp"
+  | Linear_solve -> "linear-solve"
+  | Quadrature -> "quadrature"
+  | Root_find -> "root-find"
+  | Designer -> "designer"
+  | Other s -> s
+
+let reason_label = function
+  | Non_finite what -> Printf.sprintf "non-finite value in %s" what
+  | Non_convergence -> "iteration budget exhausted"
+  | Infeasible -> "infeasible constraint system"
+  | Singular -> "singular linear system"
+  | Invalid_input what -> Printf.sprintf "invalid input: %s" what
+  | Injected site -> Printf.sprintf "injected fault at %s" site
+
+let to_string f =
+  Printf.sprintf "%s: %s (iterations=%d, residual=%g)" (solver_name f.solver)
+    (reason_label f.reason) f.iterations f.residual
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+exception Solver_error of failure
+
+let () =
+  Printexc.register_printer (function
+    | Solver_error f -> Some (Printf.sprintf "Robust.Solver_error (%s)" (to_string f))
+    | _ -> None)
+
+(* ---------- finite-float guards ---------- *)
+
+let is_finite x = Float.is_finite x
+
+let check_finite solver ~what x =
+  if is_finite x then Ok x
+  else Error (fail solver (Non_finite (Printf.sprintf "%s (= %h)" what x)))
+
+let check_vec solver ~what v =
+  let bad = ref (-1) in
+  Array.iteri (fun i x -> if !bad < 0 && not (is_finite x) then bad := i) v;
+  if !bad < 0 then Ok ()
+  else
+    Error
+      (fail solver
+         (Non_finite (Printf.sprintf "%s[%d] (= %h)" what !bad v.(!bad))))
+
+let check_mat solver ~what m =
+  let err = ref None in
+  Array.iteri
+    (fun i row ->
+      if !err = None then
+        Array.iteri
+          (fun j x ->
+            if !err = None && not (is_finite x) then
+              err :=
+                Some
+                  (fail solver
+                     (Non_finite
+                        (Printf.sprintf "%s[%d][%d] (= %h)" what i j x))))
+          row)
+    m;
+  match !err with None -> Ok () | Some f -> Error f
+
+(* ---------- degradation policy and audit log ---------- *)
+
+type mode = Graceful | Strict
+
+type degradation = { site : string; fallback : string; cause : failure }
+
+(* The mode and log are process-wide: degradation is a property of the
+   run, not of one solver instance, and sweeps may degrade from several
+   pool domains at once. *)
+let state_mutex = Mutex.create ()
+let current_mode = ref Graceful
+let log : degradation list ref = ref []
+
+let set_mode m = Mutex.protect state_mutex (fun () -> current_mode := m)
+let mode () = Mutex.protect state_mutex (fun () -> !current_mode)
+
+let note_degradation ~site ~fallback cause =
+  let strict =
+    Mutex.protect state_mutex (fun () ->
+        if !current_mode = Graceful then
+          log := { site; fallback; cause } :: !log;
+        !current_mode = Strict)
+  in
+  if strict then raise (Solver_error cause)
+
+let degradations () =
+  Mutex.protect state_mutex (fun () -> List.rev !log)
+
+let degradation_count () =
+  Mutex.protect state_mutex (fun () -> List.length !log)
+
+let reset_degradations () = Mutex.protect state_mutex (fun () -> log := [])
+
+let pp_degradation ppf d =
+  Format.fprintf ppf "%s: recovered via %s after %s" d.site d.fallback
+    (to_string d.cause)

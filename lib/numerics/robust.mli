@@ -1,0 +1,101 @@
+(** Structured solver diagnostics and graceful-degradation bookkeeping.
+
+    Every numeric routine the estimation pipeline chains together — the
+    active-set QP, the two-phase simplex, quadrature, root finding — can
+    fail on degenerate input (rank-deficient constraints, non-convergent
+    active sets, NaNs from extreme workloads). This module gives those
+    failures one structured shape, [failure], carried in
+    [('a, failure) result] by the [_r] variants of each solver, so a
+    caller can decide to retry, fall back down a degradation ladder
+    (QP → LP feasibility → Horvitz–Thompson), or abort with a precise
+    diagnostic instead of a bare [Failure _].
+
+    The module also owns the process-wide degradation policy: in
+    [Graceful] mode (the default) fallbacks silently recover and are
+    recorded in an auditable log; in [Strict] mode (the CLIs' [--strict])
+    the first degradation raises {!Solver_error} with the original
+    structured failure. *)
+
+(** Which piece of numeric machinery reported the failure. *)
+type solver =
+  | Qp_active_set  (** {!Qp.minimize_r} (Algorithm 2's local step) *)
+  | Simplex_lp  (** {!Simplex.maximize_r} (feasibility / existence LP) *)
+  | Linear_solve  (** {!Linalg.solve_r} (dense Gaussian elimination) *)
+  | Quadrature  (** {!Integrate.simpson_r} / {!Integrate.robust_pieces} *)
+  | Root_find  (** {!Special.solve_bisect_r} *)
+  | Designer  (** {!Estcore.Designer} batch derivation *)
+  | Other of string
+
+(** Why it failed. *)
+type reason =
+  | Non_finite of string
+      (** a NaN/infinity appeared; the payload says where (e.g.
+          ["objective"], ["b_eq[3]"], ["integrand at x=0.5"]) *)
+  | Non_convergence  (** the iteration / recursion-depth budget ran out *)
+  | Infeasible  (** the constraint system admits no solution *)
+  | Singular  (** a linear system was (numerically) rank-deficient *)
+  | Invalid_input of string  (** a precondition on the input failed *)
+  | Injected of string  (** a {!Faultify} fault (payload = fault site) *)
+
+type failure = {
+  solver : solver;
+  reason : reason;
+  iterations : int;  (** iterations spent before giving up (0 if n/a) *)
+  residual : float;  (** best residual / error estimate reached (nan if n/a) *)
+}
+
+val fail : ?iterations:int -> ?residual:float -> solver -> reason -> failure
+(** Build a failure record; [iterations] defaults to 0, [residual] to nan. *)
+
+val solver_name : solver -> string
+val reason_label : reason -> string
+
+val pp : Format.formatter -> failure -> unit
+
+val to_string : failure -> string
+(** ["<solver>: <reason> (iterations=…, residual=…)"] — the canonical
+    rendering used by the compatibility wrappers that still raise. *)
+
+exception Solver_error of failure
+(** Raised by {!note_degradation} in [Strict] mode, and by the [_exn]
+    convenience wrappers when a whole fallback ladder is exhausted. The
+    CLIs catch it at top level and turn it into a clean nonzero exit. *)
+
+(** {1 Finite-float guards} *)
+
+val is_finite : float -> bool
+
+val check_finite : solver -> what:string -> float -> (float, failure) result
+(** [Ok x] when [x] is finite, else [Error] with [Non_finite what]. *)
+
+val check_vec : solver -> what:string -> float array -> (unit, failure) result
+(** First non-finite entry (if any) is reported as [Non_finite "what[i]"]. *)
+
+val check_mat :
+  solver -> what:string -> float array array -> (unit, failure) result
+
+(** {1 Degradation policy and audit log} *)
+
+type mode = Graceful | Strict
+
+val set_mode : mode -> unit
+val mode : unit -> mode
+
+type degradation = {
+  site : string;  (** which wrapped call degraded (e.g. ["qp.minimize"]) *)
+  fallback : string;  (** which ladder rung answered (e.g. ["lp-feasible"]) *)
+  cause : failure;  (** the structured failure that forced the fallback *)
+}
+
+val note_degradation : site:string -> fallback:string -> failure -> unit
+(** Record that [site] recovered via [fallback] after [cause]. In
+    [Strict] mode raises {!Solver_error} with the cause instead — the
+    run is expected to stop. Thread-safe (sweeps degrade under a pool). *)
+
+val degradations : unit -> degradation list
+(** The audit log, oldest first. *)
+
+val degradation_count : unit -> int
+val reset_degradations : unit -> unit
+
+val pp_degradation : Format.formatter -> degradation -> unit

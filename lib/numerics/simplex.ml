@@ -31,13 +31,17 @@ let pivot t obj r c =
   eliminate obj;
   t.basis.(r) <- c
 
+let iteration_budget = 200_000
+
 (* Bland's rule simplex on the current tableau; minimizes the objective
    encoded in [obj]'s reduced costs. [allowed j] restricts entering
-   columns. Returns [`Optimal] or [`Unbounded]. *)
+   columns. Returns [`Optimal], [`Unbounded], or [`Limit] when the
+   iteration budget runs out. *)
 let iterate ~eps t obj ~allowed =
   let m = Array.length t.rows in
   let rec loop guard =
-    if guard = 0 then failwith "Simplex.iterate: iteration limit";
+    if guard = 0 then `Limit
+    else
     (* Entering: smallest index with negative reduced cost. *)
     let entering = ref (-1) in
     (try
@@ -75,7 +79,7 @@ let iterate ~eps t obj ~allowed =
       end
     end
   in
-  loop 200_000
+  loop iteration_budget
 
 (* Build reduced-cost row for cost vector [costs] under the current basis. *)
 let objective_row t costs =
@@ -91,7 +95,10 @@ let objective_row t costs =
     t.rows;
   obj
 
-let maximize ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+(* Two-phase simplex with structured outcomes: [Infeasible]/[Unbounded]
+   remain legitimate answers; only budget exhaustion (or a broken
+   internal invariant) is a [Robust.failure]. *)
+let maximize_result ~eps ~c ~a_ub ~b_ub ~a_eq ~b_eq =
   let n = Array.length c in
   let m_ub = Array.length a_ub and m_eq = Array.length a_eq in
   let m = m_ub + m_eq in
@@ -129,11 +136,23 @@ let maximize ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
   (* Phase 1: minimize the sum of artificials. *)
   let phase1_costs = Array.init nv (fun j -> if is_artificial j then 1. else 0.) in
   let obj1 = objective_row t phase1_costs in
-  (match iterate ~eps t obj1 ~allowed:(fun _ -> true) with
-  | `Unbounded -> assert false (* phase 1 objective is bounded below by 0 *)
-  | `Optimal -> ());
+  match iterate ~eps t obj1 ~allowed:(fun _ -> true) with
+  | `Limit ->
+      Error
+        (Robust.fail ~iterations:iteration_budget
+           ~residual:(-.obj1.(t.nv)) Robust.Simplex_lp Robust.Non_convergence)
+  | `Unbounded ->
+      (* The phase-1 objective is bounded below by 0; reaching this means
+         the tableau itself is corrupt (e.g. non-finite input slipped by). *)
+      Error
+        (Robust.fail Robust.Simplex_lp
+           (Robust.Invalid_input
+              (Printf.sprintf
+                 "phase 1 reported unbounded on a %d-row, %d-column tableau"
+                 m nv)))
+  | `Optimal ->
   let phase1_value = -.obj1.(t.nv) in
-  if phase1_value > 1e-7 then Infeasible
+  if phase1_value > 1e-7 then Ok Infeasible
   else begin
     (* Drive remaining artificials out of the basis; drop redundant rows. *)
     let keep = ref [] in
@@ -168,15 +187,54 @@ let maximize ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
     done;
     let obj2 = objective_row t phase2_costs in
     match iterate ~eps t obj2 ~allowed:(fun j -> not (is_artificial j)) with
-    | `Unbounded -> Unbounded
+    | `Limit ->
+        Error
+          (Robust.fail ~iterations:iteration_budget Robust.Simplex_lp
+             Robust.Non_convergence)
+    | `Unbounded -> Ok Unbounded
     | `Optimal ->
         let x = Array.make n 0. in
         Array.iteri
           (fun r b -> if b < n then x.(b) <- t.rows.(r).(t.nv))
           t.basis;
         (* [obj2.(nv)] = -(phase-2 objective) = -(-c·x) = c·x. *)
-        Optimal (obj2.(t.nv), x)
+        Ok (Optimal (obj2.(t.nv), x))
   end
+
+let validate_inputs ~c ~a_ub ~b_ub ~a_eq ~b_eq =
+  let ( let* ) = Result.bind in
+  let s = Robust.Simplex_lp in
+  let* () = Result.map ignore (Robust.check_vec s ~what:"c" c) in
+  let* () = Robust.check_mat s ~what:"a_ub" a_ub in
+  let* () = Result.map ignore (Robust.check_vec s ~what:"b_ub" b_ub) in
+  let* () = Robust.check_mat s ~what:"a_eq" a_eq in
+  Result.map ignore (Robust.check_vec s ~what:"b_eq" b_eq)
+
+let maximize_r ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+  match
+    Faultify.fire ~site:"simplex.two_phase"
+      ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]
+  with
+  | Some (Faultify.Non_convergence | Faultify.Infeasible) ->
+      Error
+        (Robust.fail ~iterations:iteration_budget Robust.Simplex_lp
+           Robust.Non_convergence)
+  | (None | Some Faultify.Nan) as inj -> (
+      (* An injected NaN corrupts (a copy of) the cost vector; the finite
+         guards below must turn it into a structured failure. *)
+      let c =
+        match inj with
+        | Some Faultify.Nan -> Array.make (Stdlib.max 1 (Array.length c)) nan
+        | _ -> c
+      in
+      match validate_inputs ~c ~a_ub ~b_ub ~a_eq ~b_eq with
+      | Error f -> Error f
+      | Ok () -> maximize_result ~eps ~c ~a_ub ~b_ub ~a_eq ~b_eq)
+
+let maximize ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+  match maximize_result ~eps ~c ~a_ub ~b_ub ~a_eq ~b_eq with
+  | Ok status -> status
+  | Error f -> failwith (Printf.sprintf "Simplex.maximize: %s" (Robust.to_string f))
 
 let feasible ?(eps = 1e-9) ~a_ub ~b_ub ~a_eq ~b_eq () =
   let n =

@@ -28,7 +28,23 @@ val maximize :
 
     by two-phase simplex with Bland's rule. [eps] (default [1e-9]) is the
     feasibility/pivot tolerance. Right-hand sides may be negative (rows are
-    normalized internally). *)
+    normalized internally). Raises [Failure] (with the structured
+    diagnostic rendered into the message) if an iteration budget is
+    exhausted — prefer {!maximize_r} where that must not escape. *)
+
+val maximize_r :
+  ?eps:float ->
+  c:float array ->
+  a_ub:float array array ->
+  b_ub:float array ->
+  a_eq:float array array ->
+  b_eq:float array ->
+  unit ->
+  (status, Robust.failure) result
+(** Structured-result variant of {!maximize}: [Infeasible]/[Unbounded]
+    remain legitimate [Ok] answers, while non-finite inputs and exhausted
+    iteration budgets become a {!Robust.failure} instead of an exception.
+    This is a {!Faultify} injection site (["simplex.two_phase"]). *)
 
 val feasible :
   ?eps:float ->

@@ -91,6 +91,62 @@ let solve_bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
     end
   end
 
+let solve_bisect_r ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let s = Robust.Root_find in
+  match
+    Faultify.fire ~site:"special.bisect"
+      ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]
+  with
+  | Some (Faultify.Non_convergence | Faultify.Infeasible) ->
+      Error
+        (Robust.fail ~iterations:max_iter
+           ~residual:(abs_float (hi -. lo))
+           s Robust.Non_convergence)
+  | (None | Some Faultify.Nan) as inj -> (
+      (* An injected NaN corrupts the function values; the finite guards
+         below must turn it into a structured failure. *)
+      let f = match inj with Some Faultify.Nan -> fun _ -> nan | _ -> f in
+      let ( let* ) = Result.bind in
+      let* lo = Robust.check_finite s ~what:"lo endpoint" lo in
+      let* hi = Robust.check_finite s ~what:"hi endpoint" hi in
+      let* flo =
+        Robust.check_finite s ~what:(Printf.sprintf "f at lo=%g" lo) (f lo)
+      in
+      if flo = 0. then Ok lo
+      else
+        let* fhi =
+          Robust.check_finite s ~what:(Printf.sprintf "f at hi=%g" hi) (f hi)
+        in
+        if fhi = 0. then Ok hi
+        else if flo *. fhi > 0. then
+          Error
+            (Robust.fail s
+               (Robust.Invalid_input
+                  (Printf.sprintf "no sign change: f(%g)=%g, f(%g)=%g" lo flo
+                     hi fhi)))
+        else begin
+          let rec go lo hi flo iter =
+            if hi -. lo <= tol *. (1. +. abs_float lo +. abs_float hi) then
+              Ok (0.5 *. (lo +. hi))
+            else if iter >= max_iter then
+              Error
+                (Robust.fail ~iterations:iter ~residual:(hi -. lo) s
+                   Robust.Non_convergence)
+            else begin
+              let mid = 0.5 *. (lo +. hi) in
+              let fmid = f mid in
+              if not (Robust.is_finite fmid) then
+                Error
+                  (Robust.fail ~iterations:iter s
+                     (Robust.Non_finite (Printf.sprintf "f at x=%g" mid)))
+              else if fmid = 0. then Ok mid
+              else if flo *. fmid < 0. then go lo mid flo (iter + 1)
+              else go mid hi fmid (iter + 1)
+            end
+          in
+          go lo hi flo 0
+        end)
+
 let float_equal ?(eps = 1e-9) a b =
   if a = b then true
   else

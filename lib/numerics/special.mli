@@ -36,6 +36,20 @@ val solve_bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> f
     [tol = 1e-12] on the interval width (relative to magnitude),
     [max_iter = 200]. *)
 
+val solve_bisect_r :
+  ?tol:float ->
+  ?max_iter:int ->
+  (float -> float) ->
+  float ->
+  float ->
+  (float, Robust.failure) result
+(** Structured-result variant of {!solve_bisect}: non-finite endpoints or
+    function values are [Non_finite] (with the offending abscissa), a
+    same-sign bracket is [Invalid_input] (with both endpoint values), and
+    an exhausted iteration budget is [Non_convergence] (residual = the
+    remaining bracket width). Never raises. This is a {!Faultify}
+    injection site (["special.bisect"]). *)
+
 val float_equal : ?eps:float -> float -> float -> bool
 (** Approximate comparison: absolute for tiny magnitudes, relative
     otherwise. Default [eps = 1e-9]. *)

@@ -1,20 +1,48 @@
 let instance_magic = "optsample-instance 1"
 let pps_magic = "optsample-pps 1"
 
+type parse_error = { line : int; message : string }
+
+let parse_error_to_string { line; message } =
+  if line = 0 then message else Printf.sprintf "line %d: %s" line message
+
+let pp_parse_error fmt e = Format.pp_print_string fmt (parse_error_to_string e)
+
+let err line message = Error { line; message }
+
 let lines_of_string s =
   String.split_on_char '\n' s
   |> List.mapi (fun i l -> (i + 1, String.trim l))
   |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
 
-let fail_line n msg = failwith (Printf.sprintf "line %d: %s" n msg)
-
-let parse_kv n line =
+let parse_kv_r n line =
   match String.split_on_char ' ' line with
   | [ k; v ] -> (
       match (int_of_string_opt k, float_of_string_opt v) with
-      | Some k, Some v -> (k, v)
-      | _ -> fail_line n "expected '<int-key> <hex-float>'")
-  | _ -> fail_line n "expected two fields"
+      | Some k, Some v -> Ok (k, v)
+      | Some _, None ->
+          err n (Printf.sprintf "bad value %S (expected a hex float)" v)
+      | None, _ -> err n (Printf.sprintf "bad key %S (expected an integer)" k))
+  | _ -> err n "expected two fields '<int-key> <hex-float>'"
+
+(* Parse all entry lines, rejecting duplicate keys: on the wire a repeated
+   key is a corrupted or mis-concatenated file, not a legitimate record. *)
+let parse_entries rest =
+  let seen = Hashtbl.create 16 in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (n, l) :: rest -> (
+        match parse_kv_r n l with
+        | Error e -> Error e
+        | Ok (k, v) -> (
+            match Hashtbl.find_opt seen k with
+            | Some first ->
+                err n (Printf.sprintf "duplicate key %d (first seen on line %d)" k first)
+            | None ->
+                Hashtbl.add seen k n;
+                go ((k, v) :: acc) rest))
+  in
+  go [] rest
 
 let instance_to_string inst =
   let buf = Buffer.create 1024 in
@@ -25,12 +53,25 @@ let instance_to_string inst =
     inst;
   Buffer.contents buf
 
-let instance_of_string s =
+let instance_of_string_r s =
   match lines_of_string s with
-  | [] -> failwith "empty input"
-  | (n, header) :: rest ->
-      if header <> instance_magic then fail_line n "not an optsample instance";
-      Instance.of_assoc (List.map (fun (n, l) -> parse_kv n l) rest)
+  | [] -> err 0 "empty input"
+  | (n, header) :: rest -> (
+      if header <> instance_magic then
+        err n
+          (Printf.sprintf "not an optsample instance (header %S, expected %S)"
+             header instance_magic)
+      else
+        match parse_entries rest with
+        | Error e -> Error e
+        | Ok kvs -> (
+            try Ok (Instance.of_assoc kvs)
+            with Invalid_argument m | Failure m -> err 0 m))
+
+let instance_of_string s =
+  match instance_of_string_r s with
+  | Ok inst -> inst
+  | Error e -> failwith (parse_error_to_string e)
 
 let pps_to_string (p : Poisson.pps) =
   let buf = Buffer.create 1024 in
@@ -41,24 +82,39 @@ let pps_to_string (p : Poisson.pps) =
     p.Poisson.entries;
   Buffer.contents buf
 
-let pps_of_string s =
+let pps_of_string_r s =
   match lines_of_string s with
-  | [] -> failwith "empty input"
-  | (n, header) :: rest ->
-      let p =
+  | [] -> err 0 "empty input"
+  | (n, header) :: rest -> (
+      let parsed_header =
         match String.split_on_char ' ' header with
         | [ a; b; id; tau ] when a ^ " " ^ b = pps_magic -> (
             match (int_of_string_opt id, float_of_string_opt tau) with
-            | Some id, Some tau -> (id, tau)
-            | _ -> fail_line n "bad pps header fields")
-        | _ -> fail_line n "not an optsample pps sample"
+            | Some id, Some tau -> Ok (id, tau)
+            | None, _ ->
+                err n (Printf.sprintf "bad pps instance id %S (expected an integer)" id)
+            | _, None ->
+                err n (Printf.sprintf "bad pps tau %S (expected a hex float)" tau))
+        | (a :: b :: _ as fields) when a ^ " " ^ b = pps_magic ->
+            err n
+              (Printf.sprintf
+                 "truncated pps header: %d field(s), expected 4 ('%s <id> <tau-hex>')"
+                 (List.length fields) pps_magic)
+        | _ ->
+            err n
+              (Printf.sprintf "not an optsample pps sample (header %S)" header)
       in
-      let id, tau = p in
-      {
-        Poisson.instance_id = id;
-        tau;
-        entries = List.map (fun (n, l) -> parse_kv n l) rest;
-      }
+      match parsed_header with
+      | Error e -> Error e
+      | Ok (id, tau) -> (
+          match parse_entries rest with
+          | Error e -> Error e
+          | Ok entries -> Ok { Poisson.instance_id = id; tau; entries }))
+
+let pps_of_string s =
+  match pps_of_string_r s with
+  | Ok p -> p
+  | Error e -> failwith (parse_error_to_string e)
 
 let write_string ~path s =
   let oc = open_out path in
@@ -76,3 +132,13 @@ let write_instance ~path inst = write_string ~path (instance_to_string inst)
 let read_instance ~path = instance_of_string (read_string ~path)
 let write_pps ~path p = write_string ~path (pps_to_string p)
 let read_pps ~path = pps_of_string (read_string ~path)
+
+let read_file_r ~path =
+  match read_string ~path with
+  | s -> Ok s
+  | exception Sys_error m -> err 0 m
+
+let read_instance_opt ~path =
+  Result.bind (read_file_r ~path) instance_of_string_r
+
+let read_pps_opt ~path = Result.bind (read_file_r ~path) pps_of_string_r

@@ -15,14 +15,35 @@
 
     Values are written with [%h] and parsed back exactly. *)
 
+type parse_error = { line : int; message : string }
+(** A malformed-input diagnostic; [line] is 1-based, or [0] when the
+    error is not tied to a specific line (empty input, I/O error,
+    semantic rejection of the parsed record). *)
+
+val parse_error_to_string : parse_error -> string
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
 val write_instance : path:string -> Instance.t -> unit
 val read_instance : path:string -> Instance.t
 (** Raises [Failure] with a line-numbered message on malformed input. *)
 
+val read_instance_opt : path:string -> (Instance.t, parse_error) result
+(** Non-raising variant of {!read_instance}: file-system errors and
+    malformed input (bad header, bad key/value syntax, duplicate keys,
+    negative values) come back as [Error]. *)
+
 val write_pps : path:string -> Poisson.pps -> unit
 val read_pps : path:string -> Poisson.pps
+val read_pps_opt : path:string -> (Poisson.pps, parse_error) result
 
 val instance_to_string : Instance.t -> string
 val instance_of_string : string -> Instance.t
+
+val instance_of_string_r : string -> (Instance.t, parse_error) result
+(** Result-returning parser behind {!instance_of_string} /
+    {!read_instance_opt}. Rejects duplicate keys (a repeated key on the
+    wire is a corrupted or mis-concatenated file). *)
+
 val pps_to_string : Poisson.pps -> string
 val pps_of_string : string -> Poisson.pps
+val pps_of_string_r : string -> (Poisson.pps, parse_error) result

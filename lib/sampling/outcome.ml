@@ -89,13 +89,13 @@ module Pps = struct
     in
     match Array.length v with
     | 1 ->
-        Numerics.Integrate.gl_pieces ~breakpoints:(breaks 0)
+        Numerics.Integrate.robust_pieces ~breakpoints:(breaks 0)
           (fun u1 -> g (of_seeds ~taus ~seeds:[| u1 |] v))
           0. 1.
     | 2 ->
-        Numerics.Integrate.gl_pieces ~breakpoints:(breaks 0)
+        Numerics.Integrate.robust_pieces ~breakpoints:(breaks 0)
           (fun u1 ->
-            Numerics.Integrate.gl_pieces ~breakpoints:(breaks 1)
+            Numerics.Integrate.robust_pieces ~breakpoints:(breaks 1)
               (fun u2 -> g (of_seeds ~taus ~seeds:[| u1; u2 |] v))
               0. 1.)
           0. 1.

@@ -43,7 +43,11 @@ let solve_tau cap ws =
        end
      done
    with Exit -> ());
-  if Float.is_nan !result then failwith "Varopt.solve_tau: no solution (bug)";
+  if Float.is_nan !result then
+    failwith
+      (Printf.sprintf
+         "Varopt.solve_tau: no threshold solves sum min(1, w/tau) = %d over %d weights in [%g, %g]"
+         cap m s.(0) s.(m - 1));
   !result
 
 let add t rng ~key ~weight =

@@ -356,8 +356,19 @@ let test_solve_3x3 () =
   Array.iteri (fun i v -> check_float ~eps:1e-9 "residual" b.(i) v) back
 
 let test_solve_singular () =
-  Alcotest.check_raises "singular" (Failure "Linalg.solve: singular") (fun () ->
-      ignore (Linalg.solve [| [| 1.; 2. |]; [| 2.; 4. |] |] [| 1.; 2. |]))
+  (match Linalg.solve [| [| 1.; 2. |]; [| 2.; 4. |] |] [| 1.; 2. |] with
+  | _ -> Alcotest.fail "expected Failure on a singular system"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        "message names the singularity" true
+        (String.length msg > 0
+        && String.sub msg 0 21 = "Linalg.solve: singula"));
+  match Linalg.solve_r [| [| 1.; 2. |]; [| 2.; 4. |] |] [| 1.; 2. |] with
+  | Ok _ -> Alcotest.fail "expected Error Singular"
+  | Error f ->
+      Alcotest.(check bool)
+        "structured Singular" true
+        (f.Robust.reason = Robust.Singular)
 
 let test_mat_ops () =
   let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
@@ -787,6 +798,108 @@ let test_prng_substream_independent_of_order () =
     (Prng.bits64 (Prng.substream ~master:7 4)
     <> Prng.bits64 (Prng.substream ~master:7 5))
 
+(* ------------------------------------------------------------------ *)
+(* Degenerate solver inputs: structured failures, never exceptions     *)
+(* ------------------------------------------------------------------ *)
+
+let reason_of = function
+  | Ok _ -> Alcotest.fail "expected a structured failure"
+  | Error f -> f.Robust.reason
+
+let test_qp_r_infeasible () =
+  (* x ≥ 0 vs x = −2: the phase-1 LP must report Infeasible. *)
+  match
+    Qp.minimize_r ~q:[| 2. |] ~c:[| 0. |] ~a_ub:[||] ~b_ub:[||]
+      ~a_eq:[| [| 1. |] |] ~b_eq:[| -2. |] ()
+  with
+  | Error { Robust.reason = Robust.Infeasible; solver = Robust.Qp_active_set; _ }
+    ->
+      ()
+  | Error f -> Alcotest.failf "wrong failure: %s" (Robust.to_string f)
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_qp_r_contradictory_eq () =
+  (* Rank-deficient *and* inconsistent: x = 1 and x = 2. *)
+  match
+    Qp.minimize_r ~q:[| 2. |] ~c:[| 0. |] ~a_ub:[||] ~b_ub:[||]
+      ~a_eq:[| [| 1. |]; [| 1. |] |]
+      ~b_eq:[| 1.; 2. |] ()
+  with
+  | Error { Robust.reason = Robust.Infeasible; _ } -> ()
+  | Error f -> Alcotest.failf "wrong failure: %s" (Robust.to_string f)
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_qp_r_redundant_eq_ok () =
+  (* Rank-deficient but consistent duplicate rows must still solve. *)
+  match
+    Qp.minimize_r ~q:[| 2.; 2. |] ~c:[| 0.; 0. |] ~a_ub:[||] ~b_ub:[||]
+      ~a_eq:[| [| 1.; 1. |]; [| 1.; 1. |] |]
+      ~b_eq:[| 1.; 1. |] ()
+  with
+  | Ok r -> check_float "split evenly" 0.5 r.Qp.x.(0)
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Robust.to_string f)
+
+let test_qp_r_invalid_inputs () =
+  (match
+     reason_of
+       (Qp.minimize_r ~q:[| 0. |] ~c:[| 0. |] ~a_ub:[||] ~b_ub:[||] ~a_eq:[||]
+          ~b_eq:[||] ())
+   with
+  | Robust.Invalid_input _ -> ()
+  | r -> Alcotest.failf "q = 0: wrong reason %s" (Robust.reason_label r));
+  (match
+     reason_of
+       (Qp.minimize_r ~q:[| 2. |] ~c:[| nan |] ~a_ub:[||] ~b_ub:[||] ~a_eq:[||]
+          ~b_eq:[||] ())
+   with
+  | Robust.Non_finite _ -> ()
+  | r -> Alcotest.failf "nan c: wrong reason %s" (Robust.reason_label r));
+  match
+    reason_of
+      (Qp.minimize_r ~q:[| 2. |] ~c:[| 0. |] ~a_ub:[| [| infinity |] |]
+         ~b_ub:[| 1. |] ~a_eq:[||] ~b_eq:[||] ())
+  with
+  | Robust.Non_finite _ -> ()
+  | r -> Alcotest.failf "inf a_ub: wrong reason %s" (Robust.reason_label r)
+
+let test_simplex_r_invalid_inputs () =
+  match
+    reason_of
+      (Simplex.maximize_r ~c:[| nan |] ~a_ub:[| [| 1. |] |] ~b_ub:[| 1. |]
+         ~a_eq:[||] ~b_eq:[||] ())
+  with
+  | Robust.Non_finite _ -> ()
+  | r -> Alcotest.failf "nan c: wrong reason %s" (Robust.reason_label r)
+
+let test_simpson_r_zero_width () =
+  match reason_of (Integrate.simpson_r (fun x -> x) 1. 1.) with
+  | Robust.Invalid_input _ -> ()
+  | r -> Alcotest.failf "wrong reason %s" (Robust.reason_label r)
+
+let test_simpson_r_non_finite () =
+  (match reason_of (Integrate.simpson_r (fun _ -> nan) 0. 1.) with
+  | Robust.Non_finite _ -> ()
+  | r -> Alcotest.failf "nan integrand: wrong reason %s" (Robust.reason_label r));
+  match reason_of (Integrate.simpson_r (fun x -> x) 0. infinity) with
+  | Robust.Non_finite _ -> ()
+  | r -> Alcotest.failf "inf endpoint: wrong reason %s" (Robust.reason_label r)
+
+let test_simpson_r_smooth_ok () =
+  match Integrate.simpson_r sin 0. Float.pi with
+  | Ok v -> check_float ~eps:1e-9 "∫ sin over [0,π]" 2. v
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Robust.to_string f)
+
+let test_bisect_r_degenerate () =
+  (match reason_of (Special.solve_bisect_r (fun x -> (x *. x) +. 1.) 0. 1.) with
+  | Robust.Invalid_input _ -> ()
+  | r -> Alcotest.failf "no sign change: wrong reason %s" (Robust.reason_label r));
+  (match reason_of (Special.solve_bisect_r (fun _ -> nan) 0. 1.) with
+  | Robust.Non_finite _ -> ()
+  | r -> Alcotest.failf "nan f: wrong reason %s" (Robust.reason_label r));
+  match Special.solve_bisect_r (fun x -> (x *. x) -. 2.) 0. 2. with
+  | Ok root -> check_float ~eps:1e-10 "sqrt 2" (sqrt 2.) root
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Robust.to_string f)
+
 let () =
   Alcotest.run "numerics"
     [
@@ -907,5 +1020,24 @@ let () =
           Alcotest.test_case "duplicate rows (regression)" `Quick test_qp_duplicate_constraints;
           Alcotest.test_case "redundant equality" `Quick test_qp_redundant_equalities;
           prop_qp_respects_constraints;
+        ] );
+      ( "degenerate inputs",
+        [
+          Alcotest.test_case "qp_r infeasible" `Quick test_qp_r_infeasible;
+          Alcotest.test_case "qp_r contradictory eq" `Quick
+            test_qp_r_contradictory_eq;
+          Alcotest.test_case "qp_r redundant eq ok" `Quick
+            test_qp_r_redundant_eq_ok;
+          Alcotest.test_case "qp_r invalid inputs" `Quick
+            test_qp_r_invalid_inputs;
+          Alcotest.test_case "simplex_r invalid inputs" `Quick
+            test_simplex_r_invalid_inputs;
+          Alcotest.test_case "simpson_r zero width" `Quick
+            test_simpson_r_zero_width;
+          Alcotest.test_case "simpson_r non-finite" `Quick
+            test_simpson_r_non_finite;
+          Alcotest.test_case "simpson_r smooth" `Quick test_simpson_r_smooth_ok;
+          Alcotest.test_case "bisect_r degenerate" `Quick
+            test_bisect_r_degenerate;
         ] );
     ]

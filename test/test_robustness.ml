@@ -1,0 +1,336 @@
+(* The deterministic fault-injection harness and the degradation ladders
+   it exercises: every injected failure must be either recovered (with an
+   audit trail) or reported as a structured failure — never an uncaught
+   exception, never a NaN or negative estimate. *)
+
+open Numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Run [body] with faults armed and the degradation log clean, restoring
+   Graceful mode and disarming whatever happens. *)
+let with_faults ?rate ?kinds ~seed body =
+  Robust.reset_degradations ();
+  Faultify.arm ?rate ?kinds ~seed ();
+  Fun.protect
+    ~finally:(fun () ->
+      Faultify.disarm ();
+      Robust.set_mode Robust.Graceful;
+      Robust.reset_degradations ())
+    body
+
+(* ---------- the harness itself ---------- *)
+
+let fire_trace n =
+  List.init n (fun _ ->
+      ( Faultify.fire ~site:"qp.active_set"
+          ~kinds:[ Faultify.Nan; Faultify.Non_convergence; Faultify.Infeasible ],
+        Faultify.fire ~site:"integrate.gl_pieces"
+          ~kinds:[ Faultify.Nan; Faultify.Non_convergence ] ))
+
+let test_deterministic () =
+  let a = with_faults ~seed:42 (fun () -> fire_trace 200) in
+  let b = with_faults ~seed:42 (fun () -> fire_trace 200) in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  let c = with_faults ~seed:43 (fun () -> fire_trace 200) in
+  Alcotest.(check bool) "different seed, different trace" true (a <> c);
+  let fired =
+    List.exists (fun (x, y) -> x <> None || y <> None) a
+  in
+  Alcotest.(check bool) "rate 0.5 fires within 200 draws" true fired
+
+let test_rate_bounds () =
+  let none =
+    with_faults ~rate:0.0 ~seed:1 (fun () -> fire_trace 100)
+  in
+  Alcotest.(check bool) "rate 0 never fires" true
+    (List.for_all (fun (x, y) -> x = None && y = None) none);
+  let all = with_faults ~rate:1.0 ~seed:1 (fun () -> fire_trace 100) in
+  Alcotest.(check bool) "rate 1 always fires" true
+    (List.for_all (fun (x, y) -> x <> None && y <> None) all)
+
+let test_disarmed_is_free () =
+  Faultify.disarm ();
+  Alcotest.(check bool) "disarmed" false (Faultify.armed ());
+  Alcotest.(check (option reject)) "no fire when disarmed" None
+    (Faultify.fire ~site:"qp.active_set" ~kinds:[ Faultify.Nan ])
+
+let test_kind_filter () =
+  with_faults ~rate:1.0 ~kinds:[ Faultify.Infeasible ] ~seed:9 (fun () ->
+      (* The site only accepts Nan/Non_convergence: nothing eligible. *)
+      Alcotest.(check (option reject)) "no eligible kind" None
+        (Faultify.fire ~site:"integrate.gl_pieces"
+           ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]);
+      match
+        Faultify.fire ~site:"qp.active_set"
+          ~kinds:[ Faultify.Nan; Faultify.Non_convergence; Faultify.Infeasible ]
+      with
+      | Some Faultify.Infeasible -> ()
+      | _ -> Alcotest.fail "expected an Infeasible injection")
+
+(* ---------- per-solver recovery ---------- *)
+
+(* A feasible little QP: min x² + y²  s.t.  x + y = 1, x,y >= 0. *)
+let qp_r ?attempts () =
+  Qp.minimize_r ?attempts ~q:[| 2.; 2. |] ~c:[| 0.; 0. |] ~a_ub:[||]
+    ~b_ub:[||]
+    ~a_eq:[| [| 1.; 1. |] |]
+    ~b_eq:[| 1. |] ()
+
+let test_qp_injected_recovers () =
+  (* Nan / Non_convergence injections are retryable: the jittered retry
+     runs clean (injection fires once per call) and must succeed. *)
+  with_faults ~rate:1.0
+    ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]
+    ~seed:5
+    (fun () ->
+      match qp_r () with
+      | Error f -> Alcotest.failf "not recovered: %s" (Robust.to_string f)
+      | Ok r ->
+          Alcotest.(check bool) "used a retry" true (r.Qp.retries > 0);
+          check_float "x" 0.5 r.Qp.x.(0);
+          check_float "y" 0.5 r.Qp.x.(1));
+  Alcotest.(check bool) "injections counted" true (Faultify.injection_count () > 0)
+
+let test_qp_injected_infeasible_is_structured () =
+  with_faults ~rate:1.0 ~kinds:[ Faultify.Infeasible ] ~seed:5 (fun () ->
+      match qp_r () with
+      | Error { Robust.reason = Robust.Infeasible; _ } -> ()
+      | Error f -> Alcotest.failf "wrong failure: %s" (Robust.to_string f)
+      | Ok _ -> Alcotest.fail "expected Error Infeasible")
+
+let test_simplex_injected_is_structured () =
+  with_faults ~rate:1.0 ~seed:5 (fun () ->
+      match
+        Simplex.maximize_r ~c:[| 1. |] ~a_ub:[| [| 1. |] |] ~b_ub:[| 2. |]
+          ~a_eq:[||] ~b_eq:[||] ()
+      with
+      | Error { Robust.solver = Robust.Simplex_lp; _ } -> ()
+      | Error f -> Alcotest.failf "wrong solver: %s" (Robust.to_string f)
+      | Ok _ -> Alcotest.fail "expected a structured failure")
+
+let test_quadrature_injected_recovers () =
+  let f x = (x *. x) +. sin x in
+  let clean = Integrate.robust_pieces ~breakpoints:[ 0.5 ] f 0. 1. in
+  with_faults ~rate:1.0 ~seed:11 (fun () ->
+      let v = Integrate.robust_pieces ~breakpoints:[ 0.5 ] f 0. 1. in
+      Alcotest.(check (float 1e-8)) "fallback agrees with clean path" clean v;
+      Alcotest.(check bool) "degradation recorded" true
+        (Robust.degradation_count () > 0));
+  (* Clean path is bit-identical to the historical gl_pieces ~n:32. *)
+  Alcotest.(check bool) "clean path bit-identical" true
+    (Integrate.robust_pieces ~breakpoints:[ 0.5 ] f 0. 1.
+    = Integrate.gl_pieces ~n:32 ~breakpoints:[ 0.5 ] f 0. 1.)
+
+let test_robust_integral_injected () =
+  let f x = exp (-.x) in
+  let exact = 1. -. exp (-1.) in
+  with_faults ~rate:1.0 ~seed:13 (fun () ->
+      match Integrate.robust f 0. 1. with
+      | Ok v -> Alcotest.(check (float 1e-8)) "recovered integral" exact v
+      | Error f -> Alcotest.failf "not recovered: %s" (Robust.to_string f))
+
+let test_bisect_injected_is_structured () =
+  with_faults ~rate:1.0 ~seed:17 (fun () ->
+      match Special.solve_bisect_r (fun x -> x -. 0.25) 0. 1. with
+      | Error { Robust.solver = Robust.Root_find; _ } -> ()
+      | Error f -> Alcotest.failf "wrong solver: %s" (Robust.to_string f)
+      | Ok _ -> Alcotest.fail "expected a structured failure")
+
+(* ---------- designer ladder ---------- *)
+
+let or_problem () =
+  let f v = if Array.exists (fun x -> x > 0.5) v then 1. else 0. in
+  let problem =
+    Estcore.Designer.Problems.oblivious ~probs:[| 0.4; 0.6 |] ~grid:[ 0.; 1. ]
+      ~f
+  in
+  let batches =
+    Estcore.Designer.Problems.batches_by
+      (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+      problem.Estcore.Designer.data
+  in
+  (problem, batches, f)
+
+let test_designer_degrades_gracefully () =
+  let problem, batches, f = or_problem () in
+  with_faults ~rate:1.0 ~seed:23 (fun () ->
+      match
+        Estcore.Designer.solve_partition_robust ~batches ~f
+          ~dist:problem.Estcore.Designer.dist ()
+      with
+      | Error fl -> Alcotest.failf "sweep aborted: %s" (Robust.to_string fl)
+      | Ok { Estcore.Designer.estimator; provenance } ->
+          Alcotest.(check bool) "every injected batch has provenance" true
+            (provenance.Estcore.Designer.degraded <> []);
+          Alcotest.(check bool) "provenance covers all batches" true
+            (provenance.Estcore.Designer.qp_clean
+             + List.length provenance.Estcore.Designer.degraded
+            >= provenance.Estcore.Designer.batches);
+          List.iter
+            (fun (_, v) ->
+              Alcotest.(check bool) "finite estimate" true (Float.is_finite v);
+              Alcotest.(check bool) "nonnegative estimate" true (v >= -1e-9))
+            (Estcore.Designer.bindings estimator);
+          Alcotest.(check bool) "injections actually fired" true
+            (Faultify.injection_count () > 0))
+
+let test_designer_clean_matches_plain () =
+  (* Without injection, the robust solver must agree with solve_partition
+     exactly (same QP, no fallback taken). *)
+  let problem, batches, f = or_problem () in
+  let plain =
+    match
+      Estcore.Designer.solve_partition ~batches ~f
+        ~dist:problem.Estcore.Designer.dist ()
+    with
+    | Ok est -> Estcore.Designer.bindings est
+    | Error e -> Alcotest.failf "plain solver failed: %s" e
+  in
+  match
+    Estcore.Designer.solve_partition_robust ~batches ~f
+      ~dist:problem.Estcore.Designer.dist ()
+  with
+  | Error fl -> Alcotest.failf "robust solver failed: %s" (Robust.to_string fl)
+  | Ok { Estcore.Designer.estimator; provenance } ->
+      Alcotest.(check bool) "no degradations on clean input" true
+        (provenance.Estcore.Designer.degraded = []);
+      List.iter
+        (fun (k, v) ->
+          let v' = List.assoc k plain in
+          check_float "same estimate" v' v)
+        (Estcore.Designer.bindings estimator)
+
+let test_strict_mode_errors () =
+  let problem, batches, f = or_problem () in
+  with_faults ~rate:1.0 ~seed:23 (fun () ->
+      Robust.set_mode Robust.Strict;
+      (match
+         Estcore.Designer.solve_partition_robust ~batches ~f
+           ~dist:problem.Estcore.Designer.dist ()
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "strict mode must surface the degradation");
+      (* The strict failure must be a clean [Error], not a logged
+         recovery. *)
+      Alcotest.(check int) "no silent log entries in strict mode" 0
+        (Robust.degradation_count ()))
+
+let test_strict_quadrature_raises () =
+  with_faults ~rate:1.0 ~seed:29 (fun () ->
+      Robust.set_mode Robust.Strict;
+      match Integrate.robust_pieces ~breakpoints:[] (fun x -> x) 0. 1. with
+      | _ -> Alcotest.fail "expected Solver_error in strict mode"
+      | exception Robust.Solver_error _ -> ())
+
+(* ---------- end-to-end sweeps under injection ---------- *)
+
+let finite x = Float.is_finite x
+
+let small_traffic =
+  {
+    Workload.Traffic.default with
+    Workload.Traffic.n_shared = 60;
+    n_only = 40;
+    total_per_hour = 3_000.;
+  }
+
+let test_sweeps_complete_under_injection () =
+  with_faults ~rate:0.3 ~seed:31 (fun () ->
+      let rows1 = Experiments.Fig1.series ~steps:6 () in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "fig1 finite" true
+            (finite r.Experiments.Fig1.l_over_ht
+            && finite r.Experiments.Fig1.u_over_ht))
+        rows1;
+      let rows2 = Experiments.Fig2.series ~ps:[ 0.2; 0.5 ] () in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "fig2 finite and nonnegative" true
+            (finite r.Experiments.Fig2.ht
+            && finite r.Experiments.Fig2.l_11
+            && finite r.Experiments.Fig2.u_10
+            && r.Experiments.Fig2.ht >= 0.))
+        rows2;
+      let rows4 = Experiments.Fig4.panel ~rho:0.5 ~steps:6 () in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "fig4 finite and nonnegative" true
+            (finite r.Experiments.Fig4.nvar_ht
+            && finite r.Experiments.Fig4.nvar_l
+            && r.Experiments.Fig4.nvar_ht >= -1e-9
+            && r.Experiments.Fig4.nvar_l >= -1e-9))
+        rows4;
+      let rows7 =
+        Experiments.Fig7.series ~percents:[ 5. ] ~params:small_traffic ()
+      in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "fig7 finite and nonnegative" true
+            (finite r.Experiments.Fig7.nvar_ht
+            && finite r.Experiments.Fig7.nvar_l
+            && r.Experiments.Fig7.nvar_ht >= 0.
+            && r.Experiments.Fig7.nvar_l >= 0.))
+        rows7;
+      Alcotest.(check bool) "faults actually fired during the sweeps" true
+        (Faultify.injection_count () > 0))
+
+let test_sweep_rows_match_clean () =
+  (* Graceful degradation must not change the numbers materially: the
+     fallback rungs hit the same integrals to >= 1e-6 accuracy. *)
+  let clean = Experiments.Fig4.panel ~rho:0.5 ~steps:4 () in
+  let injected =
+    with_faults ~rate:0.3 ~seed:37 (fun () ->
+        Experiments.Fig4.panel ~rho:0.5 ~steps:4 ())
+  in
+  List.iter2
+    (fun (a : Experiments.Fig4.row) (b : Experiments.Fig4.row) ->
+      Alcotest.(check (float 1e-5)) "nvar_ht agrees" a.nvar_ht b.nvar_ht;
+      Alcotest.(check (float 1e-5)) "nvar_l agrees" a.nvar_l b.nvar_l)
+    clean injected
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "faultify",
+        [
+          Alcotest.test_case "deterministic traces" `Quick test_deterministic;
+          Alcotest.test_case "rate bounds" `Quick test_rate_bounds;
+          Alcotest.test_case "disarmed is free" `Quick test_disarmed_is_free;
+          Alcotest.test_case "kind filter" `Quick test_kind_filter;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "qp recovers via jittered retry" `Quick
+            test_qp_injected_recovers;
+          Alcotest.test_case "qp injected infeasible is structured" `Quick
+            test_qp_injected_infeasible_is_structured;
+          Alcotest.test_case "simplex injected is structured" `Quick
+            test_simplex_injected_is_structured;
+          Alcotest.test_case "quadrature ladder recovers" `Quick
+            test_quadrature_injected_recovers;
+          Alcotest.test_case "robust integral recovers" `Quick
+            test_robust_integral_injected;
+          Alcotest.test_case "bisect injected is structured" `Quick
+            test_bisect_injected_is_structured;
+        ] );
+      ( "designer",
+        [
+          Alcotest.test_case "degrades gracefully with provenance" `Quick
+            test_designer_degrades_gracefully;
+          Alcotest.test_case "clean path matches plain solver" `Quick
+            test_designer_clean_matches_plain;
+          Alcotest.test_case "strict mode surfaces errors" `Quick
+            test_strict_mode_errors;
+          Alcotest.test_case "strict quadrature raises Solver_error" `Quick
+            test_strict_quadrature_raises;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "fig1/2/4/7 complete under injection" `Slow
+            test_sweeps_complete_under_injection;
+          Alcotest.test_case "injected rows match clean rows" `Slow
+            test_sweep_rows_match_clean;
+        ] );
+    ]

@@ -572,6 +572,64 @@ oops"); false
   Alcotest.(check bool) "empty" true
     (try ignore (Io.pps_of_string ""); false with Failure _ -> true)
 
+let test_io_result_roundtrip () =
+  let inst = Instance.of_assoc [ (1, 0.1); (7, 3.25); (42, 1e-9) ] in
+  (match Io.instance_of_string_r (Io.instance_to_string inst) with
+  | Error e -> Alcotest.failf "instance: %s" (Io.parse_error_to_string e)
+  | Ok back ->
+      Alcotest.(check (list int)) "keys" (Instance.keys inst) (Instance.keys back));
+  let p = { Poisson.instance_id = 3; tau = 0.7321; entries = [ (1, 2.5); (9, 0.125) ] } in
+  match Io.pps_of_string_r (Io.pps_to_string p) with
+  | Error e -> Alcotest.failf "pps: %s" (Io.parse_error_to_string e)
+  | Ok back ->
+      Alcotest.(check int) "id" 3 back.Poisson.instance_id;
+      check_float ~eps:0. "tau" p.Poisson.tau back.Poisson.tau
+
+let fail_line what expected = function
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+  | Error { Io.line; message } ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s reports its line (%s)" what message)
+        expected line
+
+let test_io_malformed_structured () =
+  (* Truncated pps header: tau missing. *)
+  fail_line "truncated header" 1 (Io.pps_of_string_r "optsample-pps 1 5\n1 0x1p+0");
+  (* Wrong magic is a line-1 diagnosis too. *)
+  fail_line "wrong magic" 1 (Io.instance_of_string_r "nonsense 9\n1 0x1p+0");
+  (* A value that is not a float literal, on its actual line. *)
+  fail_line "bad hex float" 3
+    (Io.instance_of_string_r "optsample-instance 1\n1 0x1p+0\n2 0xzz");
+  (* Non-numeric key. *)
+  fail_line "bad key" 2 (Io.instance_of_string_r "optsample-instance 1\nkey 0x1p+0");
+  (* Duplicate key: the diagnostic names the repeated line and the
+     message references where it was first seen. *)
+  (match
+     Io.instance_of_string_r "optsample-instance 1\n1 0x1p+0\n2 0x1p+1\n1 0x1p+2"
+   with
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+  | Error { Io.line; message } ->
+      Alcotest.(check int) "duplicate reported on its line" 4 line;
+      Alcotest.(check bool)
+        (Printf.sprintf "message mentions first sighting (%s)" message)
+        true
+        (String.length message > 0
+        && String.index_opt message '2' <> None));
+  (* Empty input. *)
+  fail_line "empty pps" 0 (Io.pps_of_string_r "");
+  (* Bad tau in the pps header. *)
+  fail_line "bad tau" 1 (Io.pps_of_string_r "optsample-pps 1 5 oops\n1 0x1p+0")
+
+let test_io_read_opt_missing_file () =
+  match Io.read_instance_opt ~path:"/nonexistent/optsample-test-io" with
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+  | Error { Io.line; message } ->
+      Alcotest.(check int) "not line-specific" 0 line;
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions the path (%s)" message)
+        true
+        (String.length message > 0)
+
 let test_io_sample_estimate_after_reload () =
   (* The deployment story: sample at the source, persist, estimate later. *)
   let seeds = Seeds.create ~master:12 Seeds.Independent in
@@ -658,6 +716,10 @@ let () =
           Alcotest.test_case "file io" `Quick test_io_files;
           Alcotest.test_case "comments/blanks" `Quick test_io_comments_and_blanks;
           Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "result roundtrip" `Quick test_io_result_roundtrip;
+          Alcotest.test_case "malformed input (structured)" `Quick
+            test_io_malformed_structured;
+          Alcotest.test_case "missing file" `Quick test_io_read_opt_missing_file;
           Alcotest.test_case "estimate after reload" `Quick test_io_sample_estimate_after_reload;
           (qtest ~count:100 "instance roundtrip (random)"
              QCheck.(list_of_size Gen.(0 -- 40) (pair small_nat (float_bound_inclusive 100.)))

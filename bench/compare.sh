@@ -1,23 +1,52 @@
 #!/bin/sh
-# Compare current kernel performance against the committed baseline.
+# Performance regression gate: compare kernel timings against a baseline.
 #
-#   bench/compare.sh [BASELINE] [-- extra args for bench/main.exe]
+#   bench/compare.sh [options] [BASELINE] [-- extra args for bench/main.exe]
 #
-# Runs `bench/main.exe perf --json <tmp>` and prints, per kernel and per
-# Bechamel micro-benchmark, the percentage change versus BASELINE
-# (default: BENCH_kernels.json at the repo root). Positive % = slower
-# than the baseline, negative % = faster. Exits 0 always — this is a
-# report, not a gate; pipe it into your own threshold check if needed.
+# Options:
+#   --baseline FILE        baseline JSON (default: BENCH_kernels.json at
+#                          the repo root; the positional form still works)
+#   --current FILE         gate FILE instead of running bench/main.exe.
+#                          Required when invoked from `dune runtest` — the
+#                          gate must not recursively invoke dune.
+#   --tolerance PCT        allowed ns/run slowdown per micro-benchmark
+#                          before it counts as a regression (default 25)
+#   --min-speedup-frac F   a parallel kernel fails when its current
+#                          speedup drops below F x its baseline speedup
+#                          (default 0.75)
+#   --parse-only           only validate that the baseline (and --current,
+#                          if given) parse and carry the expected entries
 #
-# The JSON is written one object per line precisely so this script can
-# stay dependency-free (awk only).
+# Exit status: 0 = gate passed, 1 = regression / missing entry / parse
+# failure, 2 = usage error. The JSON is one object per line precisely so
+# this script stays dependency-free (awk only).
 
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-baseline="${1:-$root/BENCH_kernels.json}"
-if [ "$#" -gt 0 ]; then shift; fi
-if [ "${1:-}" = "--" ]; then shift; fi
+baseline=""
+current=""
+tolerance=25
+min_speedup_frac=0.75
+parse_only=0
+
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --baseline) baseline="${2:?--baseline needs a file}"; shift 2 ;;
+    --current) current="${2:?--current needs a file}"; shift 2 ;;
+    --tolerance) tolerance="${2:?--tolerance needs a number}"; shift 2 ;;
+    --min-speedup-frac) min_speedup_frac="${2:?--min-speedup-frac needs a number}"; shift 2 ;;
+    --parse-only) parse_only=1; shift ;;
+    --) shift; break ;;
+    -*) echo "compare.sh: unknown option $1" >&2; exit 2 ;;
+    *)
+      if [ -n "$baseline" ]; then
+        echo "compare.sh: unexpected argument $1" >&2; exit 2
+      fi
+      baseline="$1"; shift ;;
+  esac
+done
+[ -n "$baseline" ] || baseline="$root/BENCH_kernels.json"
 
 if [ ! -f "$baseline" ]; then
   echo "compare.sh: baseline $baseline not found" >&2
@@ -25,12 +54,7 @@ if [ ! -f "$baseline" ]; then
   exit 1
 fi
 
-current=$(mktemp /tmp/bench_kernels.XXXXXX.json)
-trap 'rm -f "$current"' EXIT INT TERM
-
-( cd "$root" && dune exec bench/main.exe -- perf --json "$current" "$@" >/dev/null )
-
-# extract_field FILE KEY -> lines "name<TAB>value"
+# extract FILE KEY -> lines "name<TAB>value" (one JSON object per line)
 extract() {
   awk -v key="$2" '
     /"name":/ && $0 ~ ("\"" key "\":") {
@@ -40,26 +64,96 @@ extract() {
     }' "$1"
 }
 
-report() { # label baseline_file current_file key
-  printf '%s\n' "== $1 (vs $(basename "$2")) =="
-  extract "$2" "$4" | while IFS="$(printf '\t')" read -r name base; do
-    cur=$(extract "$3" "$4" | awk -F '\t' -v n="$name" '$1 == n { print $2 }')
-    if [ -z "$cur" ]; then
-      printf '  %-44s %s\n' "$name" "missing in current run"
-    else
-      awk -v n="$name" -v b="$base" -v c="$cur" 'BEGIN {
-        pct = (c - b) / b * 100.0
-        tag = pct > 5 ? "REGRESSION" : (pct < -5 ? "speedup" : "ok")
-        printf "  %-44s %12.3f -> %12.3f  %+7.1f%%  %s\n", n, b, c, pct, tag
-      }'
-    fi
-  done
+# validate FILE: schema marker + at least one micro-benchmark and kernel
+validate() {
+  ok=1
+  grep -q '"schema": "optsample-bench/1"' "$1" || {
+    echo "FAIL  $1: missing/unknown schema marker" ; ok=0 ; }
+  [ -n "$(extract "$1" ns_per_run)" ] || {
+    echo "FAIL  $1: no bechamel_ns_per_run entries" ; ok=0 ; }
+  [ -n "$(extract "$1" speedup)" ] || {
+    echo "FAIL  $1: no kernel speedup entries" ; ok=0 ; }
+  [ "$ok" = 1 ]
 }
 
-report "kernels: sequential wall clock (s)" "$baseline" "$current" "sequential_s"
-report "kernels: parallel wall clock (s)" "$baseline" "$current" "parallel_s"
-report "micro-benchmarks (ns/run)" "$baseline" "$current" "ns_per_run"
+if [ "$parse_only" = 1 ]; then
+  status=0
+  validate "$baseline" || status=1
+  if [ -n "$current" ]; then validate "$current" || status=1; fi
+  [ "$status" = 0 ] && echo "parse OK"
+  exit "$status"
+fi
+
+fail=$(mktemp /tmp/bench_gate.XXXXXX)
+current_is_tmp=""
+trap 'rm -f "$fail" ${current_is_tmp:+"$current"}' EXIT INT TERM
+
+if [ -z "$current" ]; then
+  current=$(mktemp /tmp/bench_kernels.XXXXXX.json)
+  current_is_tmp=1
+  ( cd "$root" && dune exec bench/main.exe -- perf --json "$current" "$@" >/dev/null )
+fi
+
+validate "$baseline" || exit 1
+validate "$current" || exit 1
+
+# --- gate 1: micro-benchmark ns/run within tolerance ------------------
+echo "== micro-benchmarks (ns/run), tolerance +${tolerance}% =="
+extract "$baseline" ns_per_run | while IFS="$(printf '\t')" read -r name base; do
+  cur=$(extract "$current" ns_per_run | awk -F '\t' -v n="$name" '$1 == n { print $2 }')
+  if [ -z "$cur" ]; then
+    printf '  %-48s MISSING in current run\n' "$name"
+    echo "missing ns_per_run: $name" >>"$fail"
+  else
+    awk -v n="$name" -v b="$base" -v c="$cur" -v tol="$tolerance" \
+      -v fail="$fail" 'BEGIN {
+      pct = (c - b) / b * 100.0
+      bad = (c > b * (1 + tol / 100.0))
+      tag = bad ? "REGRESSION" : (pct < -5 ? "speedup" : "ok")
+      printf "  %-48s %14.1f -> %14.1f  %+7.1f%%  %s\n", n, b, c, pct, tag
+      if (bad) print "ns_per_run regression: " n >>fail
+    }'
+  fi
+done
+
+# --- gate 2: parallel kernels keep their speedup ----------------------
+echo "== parallel kernels, speedup floor ${min_speedup_frac} x baseline =="
+extract "$baseline" speedup | while IFS="$(printf '\t')" read -r name base; do
+  cur=$(extract "$current" speedup | awk -F '\t' -v n="$name" '$1 == n { print $2 }')
+  if [ -z "$cur" ]; then
+    printf '  %-48s MISSING in current run\n' "$name"
+    echo "missing kernel: $name" >>"$fail"
+  else
+    awk -v n="$name" -v b="$base" -v c="$cur" -v frac="$min_speedup_frac" \
+      -v fail="$fail" 'BEGIN {
+      floor = frac * b
+      bad = (c < floor)
+      printf "  %-48s x%.3f -> x%.3f  (floor x%.3f)  %s\n", n, b, c, floor, \
+        bad ? "BELOW FLOOR" : "ok"
+      if (bad) print "speedup below floor: " n >>fail
+    }'
+  fi
+done
+
+# --- report-only: wall clocks (noisy; informational) ------------------
+echo "== kernels: wall clock (s), informational =="
+for key in sequential_s parallel_s; do
+  extract "$baseline" "$key" | while IFS="$(printf '\t')" read -r name base; do
+    cur=$(extract "$current" "$key" | awk -F '\t' -v n="$name" '$1 == n { print $2 }')
+    [ -n "$cur" ] || continue
+    awk -v n="$name ($key)" -v b="$base" -v c="$cur" 'BEGIN {
+      printf "  %-48s %10.3f -> %10.3f  %+7.1f%%\n", n, b, c, (c - b) / b * 100.0
+    }'
+  done
+done
 
 echo
-echo "baseline: $baseline"
-echo "refresh it with: dune exec bench/main.exe -- perf --json BENCH_kernels.json"
+if [ -s "$fail" ]; then
+  echo "GATE FAILED:"
+  sed 's/^/  /' "$fail"
+  echo "baseline: $baseline"
+  echo "refresh it (after an intended perf change) with:"
+  echo "  dune exec bench/main.exe -- perf --json BENCH_kernels.json"
+  exit 1
+fi
+echo "GATE PASSED (baseline: $baseline)"

@@ -37,6 +37,11 @@ let experiments : (string * string * (Format.formatter -> unit)) list =
 
 (* --- E14: Bechamel micro-benchmarks of the library kernels --- *)
 
+(* Caller-owned derivation cache for the designer kernel (monomorphic in
+   the oblivious outcome-key type). *)
+let designer_cache : float option array Estcore.Designer.cache =
+  Estcore.Designer.cache ~name:"bench.designer" ()
+
 let bechamel_tests () =
   let open Bechamel in
   let rng = Numerics.Prng.create ~seed:17 () in
@@ -100,11 +105,26 @@ let bechamel_tests () =
                     Estcore.Designer.Problems.order_l
              in
              ignore (Estcore.Designer.solve_order problem)));
+      (* Cached variant: pays fingerprinting, skips the elimination sweep.
+         On this toy problem the two are comparable; on sweep-sized
+         problems the sweep dominates and the cache wins. *)
+      Test.make ~name:"designer: derive OR^(L) r=2 (cached)"
+        (Staged.stage (fun () ->
+             let problem =
+               Estcore.Designer.Problems.oblivious ~probs:[| 0.3; 0.6 |]
+                 ~grid:[ 0.; 1. ]
+                 ~f:(fun v -> Float.max v.(0) v.(1))
+               |> Estcore.Designer.Problems.sort_data
+                    Estcore.Designer.Problems.order_l
+             in
+             ignore
+               (Estcore.Designer.solve_order_cached ~cache:designer_cache
+                  problem)));
     ]
 
-let bechamel_rows () =
+let bechamel_rows ?(limit = 500) ?(quota = 0.25) () =
   let open Bechamel in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (bechamel_tests ()) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -116,7 +136,7 @@ let bechamel_rows () =
       | Some (est :: _) -> (name, est) :: acc
       | _ -> (name, nan) :: acc)
     results []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- sequential-vs-parallel wall-clock kernels (the perf baseline) --- *)
 
@@ -132,29 +152,39 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let mc_trials = 1_000_000
-let sweep_steps = 2_000
+let default_mc_trials = 1_000_000
+let default_sweep_steps = 2_000
 
-let kernel_timings pool =
+let kernel_timings ~mc_trials ~sweep_steps pool =
   let probs8 = Array.make 8 0.2 in
   let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
   let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r:8 ~p:0.2 in
   let est = Estcore.Max_oblivious.l_uniform coeffs8 in
   let draw rng = Sampling.Outcome.Oblivious.draw rng ~probs:probs8 v8 in
   let rng = Numerics.Prng.create ~seed:17 () in
+  (* Both sequential runs are timed before the first parallel call: pool
+     domains spawn lazily, and once they exist every minor GC pays a
+     multi-domain stop-the-world sync that would pollute a sequential
+     measurement. Every timed run also starts from cold derivation
+     caches — otherwise the parallel run would inherit the sequential
+     run's cache and report a speedup that is really cache reuse. *)
+  Numerics.Memo.clear_all ();
   let mc_seq, t_mc_seq =
     wall (fun () ->
         Estcore.Exact.monte_carlo ~master:99 ~rng ~n:mc_trials ~draw est)
   in
+  Numerics.Memo.clear_all ();
+  let sweep_seq, t_sweep_seq =
+    wall (fun () -> Experiments.Fig4.panel ~rho:0.5 ~steps:sweep_steps ())
+  in
+  Numerics.Memo.clear_all ();
   let mc_par, t_mc_par =
     wall (fun () ->
         Estcore.Exact.monte_carlo ~pool ~master:99 ~rng ~n:mc_trials ~draw est)
   in
   assert (mc_seq = mc_par);
   (* same substreams, same merge order: identical moments *)
-  let sweep_seq, t_sweep_seq =
-    wall (fun () -> Experiments.Fig4.panel ~rho:0.5 ~steps:sweep_steps ())
-  in
+  Numerics.Memo.clear_all ();
   let sweep_par, t_sweep_par =
     wall (fun () -> Experiments.Fig4.panel ~pool ~rho:0.5 ~steps:sweep_steps ())
   in
@@ -188,7 +218,7 @@ let json_escape s =
   Buffer.contents buf
 
 (* One object per line so bench/compare.sh can diff baselines with awk. *)
-let write_json ~path ~jobs ~rows ~kernels =
+let write_json ~path ~jobs ~rows ~kernels ~caches =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -216,29 +246,59 @@ let write_json ~path ~jobs ~rows ~kernels =
            (k.k_seq /. k.k_par)
            (if i = n - 1 then "" else ",")))
     kernels;
+  add "],\n";
+  add "\"caches\": [\n";
+  let n = List.length caches in
+  List.iteri
+    (fun i (name, s) ->
+      add
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"hits\": %d, \"misses\": %d, \"evictions\": \
+            %d, \"entries\": %d, \"capacity\": %d, \"bytes_estimate\": %d}%s\n"
+           (json_escape name) s.Numerics.Memo.hits s.Numerics.Memo.misses
+           s.Numerics.Memo.evictions s.Numerics.Memo.entries
+           s.Numerics.Memo.capacity s.Numerics.Memo.bytes_estimate
+           (if i = n - 1 then "" else ",")))
+    caches;
   add "]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc
 
-let run_perf ?json ~pool ppf =
+let run_perf ?json ?(check = false) ~pool ppf =
   Format.fprintf ppf "=== E14: kernel micro-benchmarks (Bechamel) ===@.";
-  let rows = bechamel_rows () in
+  let rows =
+    if check then bechamel_rows ~limit:50 ~quota:0.02 () else bechamel_rows ()
+  in
   List.iter
     (fun (name, est) -> Format.fprintf ppf "  %-48s %14.1f ns/run@." name est)
     rows;
   let jobs = Numerics.Pool.size pool in
   Format.fprintf ppf "=== sequential vs parallel kernels (%d jobs) ===@." jobs;
-  let kernels = kernel_timings pool in
+  let mc_trials = if check then 20_000 else default_mc_trials in
+  let sweep_steps = if check then 100 else default_sweep_steps in
+  let kernels = kernel_timings ~mc_trials ~sweep_steps pool in
   List.iter
     (fun k ->
       Format.fprintf ppf "  %-36s work %8d  seq %8.3fs  par %8.3fs  x%.2f@."
         k.k_name k.k_work k.k_seq k.k_par (k.k_seq /. k.k_par))
     kernels;
+  (* Snapshot after the last timed run: hit/miss history is cumulative
+     across the whole perf section (clears reset entries, not counters). *)
+  let caches = Numerics.Memo.all_stats () in
+  Format.fprintf ppf "=== derivation caches ===@.";
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf
+        "  %-24s hits %8d  misses %6d  evict %5d  resident %4d/%-4d %8d B@."
+        name s.Numerics.Memo.hits s.Numerics.Memo.misses
+        s.Numerics.Memo.evictions s.Numerics.Memo.entries
+        s.Numerics.Memo.capacity s.Numerics.Memo.bytes_estimate)
+    caches;
   match json with
   | None -> ()
   | Some path ->
-      write_json ~path ~jobs ~rows ~kernels;
+      write_json ~path ~jobs ~rows ~kernels ~caches;
       Format.fprintf ppf "perf baseline written to %s@." path
 
 (* --- self-contained HTML report: all experiment outputs + figures --- *)
@@ -339,12 +399,16 @@ type options = {
   jobs : int;
   json : string option;
   strict : bool;
+  check : bool;
   names : string list;
 }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N|--jobs N] [--json PATH] [--strict] [EXPERIMENT...]";
+    "usage: main.exe [-j N|--jobs N] [--json PATH] [--strict] [--check] \
+     [EXPERIMENT...]";
+  prerr_endline
+    "  --check   quick-mode perf (tiny quotas/workloads) for smoke tests";
   prerr_endline
     ("experiments: "
     ^ String.concat " " (List.map (fun (n, _, _) -> n) experiments)
@@ -366,6 +430,7 @@ let parse_args argv =
         exit 1
     | "--json" :: path :: rest -> go { acc with json = Some path } rest
     | "--strict" :: rest -> go { acc with strict = true } rest
+    | "--check" :: rest -> go { acc with check = true } rest
     | name :: rest -> go { acc with names = acc.names @ [ name ] } rest
   in
   go
@@ -373,6 +438,7 @@ let parse_args argv =
       jobs = Numerics.Pool.default_jobs ();
       json = None;
       strict = false;
+      check = false;
       names = [];
     }
     argv
@@ -447,7 +513,7 @@ let () =
         go [] rest
     | "perf" :: rest ->
         flush_batch batch;
-        run_perf ?json:opts.json ~pool ppf;
+        run_perf ?json:opts.json ~check:opts.check ~pool ppf;
         go [] rest
     | name :: rest -> go (name :: batch) rest
   in

@@ -77,7 +77,8 @@ module Figure5 = struct
   let bottom3 ~ranks ~instance =
     ranks
     |> List.map (fun (h, rs) -> (rs.(instance), h))
-    |> List.sort compare
+    |> List.sort (fun ((r1 : float), k1) (r2, k2) ->
+           match Float.compare r1 r2 with 0 -> Int.compare k1 k2 | c -> c)
     |> List.filteri (fun i _ -> i < 3)
     |> List.map snd
 end

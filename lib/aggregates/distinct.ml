@@ -35,7 +35,8 @@ let sample_binary_bottom_k seeds ~k ~instance inst =
     Sampling.Instance.fold
       (fun h _ acc -> (Sampling.Seeds.seed seeds ~instance ~key:h, h) :: acc)
       inst []
-    |> List.sort compare
+    |> List.sort (fun ((u1 : float), k1) (u2, k2) ->
+           match Float.compare u1 u2 with 0 -> Int.compare k1 k2 | c -> c)
   in
   let rec take n = function
     | [] -> ([], 1.)
@@ -46,7 +47,7 @@ let sample_binary_bottom_k seeds ~k ~instance inst =
           (h :: kept, p)
   in
   let keys, p = take k seeded in
-  (List.sort compare keys, p)
+  (List.sort Int.compare keys, p)
 
 let ht_estimate c ~p1 ~p2 =
   float_of_int (c.f11 + c.f10 + c.f01) /. (p1 *. p2)

@@ -24,7 +24,8 @@ let exact_variances ~taus ~instances ~select =
   in
   let var_l =
     Sum_agg.exact_variance ~taus ~instances ~select ~moments:(fun ~taus ~v ->
-        Estcore.Exact.pps_r2_fast ~taus ~v Estcore.Max_pps.l)
+        Estcore.Exact.pps_r2_fast ~cache_key:"max_pps.l" ~taus ~v
+          Estcore.Max_pps.l)
   in
   (var_ht, var_l)
 

@@ -36,7 +36,11 @@ let sample_priority seeds ~k instances =
           P.instance_id = i;
           tau;
           entries =
-            List.sort compare
+            List.sort
+              (fun (k1, (v1 : float)) (k2, v2) ->
+                match Int.compare k1 k2 with
+                | 0 -> Float.compare v1 v2
+                | c -> c)
               (List.map
                  (fun e -> (e.Sampling.Bottom_k.key, e.Sampling.Bottom_k.value))
                  bk.Sampling.Bottom_k.entries);

@@ -31,14 +31,15 @@ let delta problem ~v ~eps =
 let refutes_existence problem =
   (* Candidate gaps: differences between attained f values. *)
   let fvals =
-    List.sort_uniq compare (List.map problem.Designer.f problem.Designer.data)
+    List.sort_uniq Float.compare
+      (List.map problem.Designer.f problem.Designer.data)
   in
   let gaps =
     List.concat_map
       (fun a ->
         List.filter_map (fun b -> if b < a then Some (a -. b) else None) fvals)
       fvals
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
   in
   List.exists
     (fun v ->

@@ -376,6 +376,34 @@ let solve_partition_robust ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2)
             };
         }
 
+(* Canonical problem fingerprint: MD5 over the data domain, the target
+   values, and each vector's outcome distribution (probability + a
+   structural hash of the outcome key). Two problems with the same
+   fingerprint derive the same estimator table, so the fingerprint is a
+   sound memo key for the solvers below. *)
+let fingerprint problem =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun v ->
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%h," x)) v;
+      Buffer.add_string buf (Printf.sprintf "=%h;" (problem.f v));
+      List.iter
+        (fun (p, k) ->
+          Buffer.add_string buf (Printf.sprintf "%h:%d," p (Hashtbl.hash k)))
+        (problem.dist v);
+      Buffer.add_char buf '\n')
+    problem.data;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type 'k cache = (string, ('k estimator, string) result) Numerics.Memo.t
+
+let cache ?(capacity = 64) ~name () : 'k cache =
+  Numerics.Memo.create ~capacity ~name ~hash:Hashtbl.hash ~equal:String.equal ()
+
+let solve_order_cached ?(eps = 1e-9) ~cache:(c : 'k cache) problem =
+  let key = Printf.sprintf "order:%h:%s" eps (fingerprint problem) in
+  Numerics.Memo.find_or_add c key (fun () -> solve_order ~eps problem)
+
 let expectation problem est v =
   List.fold_left
     (fun acc (p, k) ->
@@ -413,7 +441,9 @@ let is_monotone ?(eps = 1e-9) problem est =
         (problem.dist v))
     problem.data;
   let outcomes =
-    Hashtbl.fold (fun k vs acc -> (k, List.sort_uniq compare vs) :: acc) consistent []
+    Hashtbl.fold
+      (fun k vs acc -> (k, List.sort_uniq Int.compare vs) :: acc)
+      consistent []
   in
   let subset a b =
     List.for_all (fun x -> List.mem x b) a
@@ -551,7 +581,7 @@ module Problems = struct
     | false, false ->
         let key v =
           let m = Array.fold_left Float.max neg_infinity v in
-          List.sort compare (Array.to_list (Array.map (fun x -> m -. x) v))
+          List.sort Float.compare (Array.to_list (Array.map (fun x -> m -. x) v))
         in
         compare (key a) (key b)
 
@@ -566,12 +596,12 @@ module Problems = struct
     | true, true -> 0
     | true, false -> -1
     | false, true -> 1
-    | false, false -> compare (count_below_max a) (count_below_max b)
+    | false, false -> Int.compare (count_below_max a) (count_below_max b)
 
   let count_positive v =
     Array.fold_left (fun acc x -> if x > 0. then acc + 1 else acc) 0 v
 
-  let order_u a b = compare (count_positive a) (count_positive b)
+  let order_u a b = Int.compare (count_positive a) (count_positive b)
 
   let batches_by level data =
     let tbl = Hashtbl.create 8 in
@@ -581,6 +611,6 @@ module Problems = struct
         Hashtbl.replace tbl l (v :: (Option.value ~default:[] (Hashtbl.find_opt tbl l))))
       data;
     Hashtbl.fold (fun l vs acc -> (l, List.rev vs) :: acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     |> List.map snd
 end

@@ -111,6 +111,32 @@ val solve_partition_robust :
     unrecoverable batches (e.g. biased with no fresh outcomes, or a
     non-finite target function). *)
 
+(** {1 Derivation caching}
+
+    Deriving a table costs a QP/elimination sweep over the whole data
+    domain; estimator sweeps (dominance grids, repeated panels) re-derive
+    identical tables. {!fingerprint} canonicalizes a problem into a memo
+    key, and {!solve_order_cached} memoizes Algorithm 1 under it. The
+    cache is monomorphic in the outcome key type, so the {e caller} owns
+    it (one per key type, typically a top-level value). *)
+
+val fingerprint : 'k problem -> string
+(** Canonical digest of a problem: MD5 over the data domain, its target
+    values, and every vector's outcome distribution (probability plus a
+    structural hash of the outcome key). Problems with equal
+    fingerprints derive equal tables. *)
+
+type 'k cache
+(** A bounded {!Numerics.Memo} of derived tables, keyed by fingerprint. *)
+
+val cache : ?capacity:int -> name:string -> unit -> 'k cache
+(** Fresh cache registered under [name] (default capacity 64). *)
+
+val solve_order_cached :
+  ?eps:float -> cache:'k cache -> 'k problem -> ('k estimator, string) result
+(** {!solve_order} memoized on [(eps, fingerprint problem)]. The returned
+    table is shared — treat it as read-only. *)
+
 val expectation : 'k problem -> 'k estimator -> float array -> float
 (** E[estimator | data v]. *)
 

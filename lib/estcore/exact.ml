@@ -24,7 +24,7 @@ let pps ?tol ~taus ~v est =
   in
   { mean; var = second -. (mean *. mean) }
 
-let pps_r2_fast ~taus ~v est =
+let pps_r2_fast_uncached ~taus ~v est =
   if Array.length v <> 2 then invalid_arg "Exact.pps_r2_fast: r = 2 only";
   let p1 = Float.min 1. (v.(0) /. taus.(0)) in
   let p2 = Float.min 1. (v.(1) /. taus.(1)) in
@@ -97,6 +97,27 @@ let pps_r2_fast ~taus ~v est =
     end
   end;
   { mean = !mean; var = !second -. (!mean *. !mean) }
+
+(* Per-key moment integrals keyed by (estimator id, taus, v). Sweeps
+   (fig4/fig7 panels, dominance grids, table 4.1) revisit the same data
+   points across panels and subset selections; each entry is two floats,
+   so the capacity can be generous. *)
+let pps_r2_cache : (string * float array * float array, moments) Numerics.Memo.t
+    =
+  Numerics.Memo.create ~capacity:8192 ~name:"exact.pps_r2" ~hash:Hashtbl.hash
+    ~equal:(fun (ka, ta, va) (kb, tb, vb) ->
+      let arr_eq a b =
+        Array.length a = Array.length b && Array.for_all2 Float.equal a b
+      in
+      String.equal ka kb && arr_eq ta tb && arr_eq va vb)
+    ()
+
+let pps_r2_fast ?cache_key ~taus ~v est =
+  match cache_key with
+  | None -> pps_r2_fast_uncached ~taus ~v est
+  | Some id ->
+      Numerics.Memo.find_or_add pps_r2_cache (id, Array.copy taus, Array.copy v)
+        (fun () -> pps_r2_fast_uncached ~taus ~v est)
 
 let default_shards = 64
 

@@ -34,6 +34,7 @@ val pps :
     (r ≤ 2). *)
 
 val pps_r2_fast :
+  ?cache_key:string ->
   taus:float array ->
   v:float array ->
   (Sampling.Outcome.Pps.t -> float) ->
@@ -45,7 +46,14 @@ val pps_r2_fast :
     most one seed, so the 2-D integral reduces to two 1-D piecewise
     Gauss–Legendre integrals plus constants. Roughly 100× faster than
     {!pps} — this is what makes the Figure 7 sweep (exact per-key
-    variance over tens of thousands of keys) practical. *)
+    variance over tens of thousands of keys) practical.
+
+    [?cache_key] additionally memoizes the result on
+    [(cache_key, taus, v)] in the shared ["exact.pps_r2"] cache, so
+    sweeps that revisit data points (dominance grids, repeated panels)
+    integrate each point once. The key must uniquely identify [est]
+    (e.g. ["max_pps.l"]) — the closure itself cannot be hashed; a
+    colliding key returns the other estimator's moments. *)
 
 val monte_carlo :
   ?pool:Numerics.Pool.t ->

@@ -63,7 +63,7 @@ let lth_unknown_seeds ~r ~l ~p =
   if l < 1 || l > r then invalid_arg "Existence.lth_unknown_seeds: l out of range";
   let f v =
     let s = Array.copy v in
-    Array.sort (fun a b -> compare b a) s;
+    Array.sort (fun a b -> Float.compare b a) s;
     s.(l - 1)
   in
   exists (Designer.Problems.binary_unknown_seeds ~probs:p ~f)

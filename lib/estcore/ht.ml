@@ -37,7 +37,7 @@ let quantile_oblivious ~l o =
   multi_oblivious
     ~f:(fun v ->
       let s = Array.copy v in
-      Array.sort (fun a b -> compare b a) s;
+      Array.sort (fun a b -> Float.compare b a) s;
       if l < 1 || l > Array.length s then invalid_arg "Ht.quantile_oblivious";
       s.(l - 1))
     o

@@ -35,7 +35,7 @@ module Coeffs = struct
 
   (* Theorem 4.2 / Algorithm 3 COEFF. Arrays are 1-indexed internally
      (slot 0 unused) to mirror the paper. *)
-  let compute ~r ~p =
+  let derive ~r ~p =
     if r < 1 then invalid_arg "Coeffs.compute: r must be >= 1";
     if p <= 0. || p > 1. then invalid_arg "Coeffs.compute: p must be in (0,1]";
     let a = Array.make (r + 1) 0. in
@@ -58,6 +58,18 @@ module Coeffs = struct
     in
     { r; p; alpha; prefix = Array.init r (fun i -> a.(i + 1)) }
 
+  (* (r, p) → coefficient table, shared across sweeps and domains. *)
+  let cache : (int * float, t) Numerics.Memo.t =
+    Numerics.Memo.create ~capacity:64 ~name:"max_oblivious.coeffs"
+      ~hash:Hashtbl.hash
+      ~equal:(fun (r1, p1) (r2, p2) -> r1 = r2 && Float.equal p1 p2)
+      ()
+
+  let compute ~r ~p =
+    if r < 1 then invalid_arg "Coeffs.compute: r must be >= 1";
+    if p <= 0. || p > 1. then invalid_arg "Coeffs.compute: p must be in (0,1]";
+    Numerics.Memo.find_or_add cache (r, p) (fun () -> derive ~r ~p)
+
   let lemma42_holds t =
     let ht_coeff = 1. /. Numerics.Special.pow_int t.p t.r in
     t.alpha.(0) <= ht_coeff +. 1e-9
@@ -77,7 +89,7 @@ let l_uniform (c : Coeffs.t) (o : outcome) =
   else begin
     (* Sorted determining vector: |S| sampled values in non-increasing
        order in the last slots, the maximum replicated in front. *)
-    let z = List.sort (fun a b -> compare b a) z in
+    let z = List.sort (fun a b -> Float.compare b a) z in
     let s = List.length z in
     let u = Array.make r (List.hd z) in
     List.iteri (fun i v -> u.(i + r - s) <- v) z;
@@ -103,7 +115,8 @@ let l_r3 (o : outcome) =
        estimate is invariant to the choice by Theorem 4.1's symmetry). *)
     let idx = [| 0; 1; 2 |] in
     Array.sort
-      (fun a b -> match compare phi.(b) phi.(a) with 0 -> compare a b | c -> c)
+      (fun a b ->
+        match Float.compare phi.(b) phi.(a) with 0 -> Int.compare a b | c -> c)
       idx;
     let q = Array.map (fun i -> p.(i)) idx in
     let a3 =
@@ -208,13 +221,26 @@ module General = struct
       !acc /. (!w_empty *. one_minus_qs)
     end
 
+  (* probs → fully-forced prefix-sum table. Entries are 2^r floats, so
+     the capacity stays small; the table is read-only after [create],
+     which makes sharing across domains safe. *)
+  let cache : (float array, t) Numerics.Memo.t =
+    Numerics.Memo.create ~capacity:32 ~name:"max_oblivious.general"
+      ~hash:Hashtbl.hash
+      ~equal:(fun a b ->
+        Array.length a = Array.length b && Array.for_all2 Float.equal a b)
+      ()
+
   let create ~probs =
     Array.iter
       (fun p ->
         if p <= 0. || p > 1. then
           invalid_arg "General.create: probabilities must be in (0,1]")
       probs;
-    let t = { probs; r = Array.length probs; table = Hashtbl.create 64 } in
+    Numerics.Memo.find_or_add cache (Array.copy probs) @@ fun () ->
+    let t =
+      { probs = Array.copy probs; r = Array.length probs; table = Hashtbl.create 64 }
+    in
     (* Force the full table now so estimates are pure lookups. *)
     for mask = 1 to (1 lsl t.r) - 1 do
       ignore (a t mask)
@@ -247,7 +273,7 @@ module General = struct
       let idx = Array.init t.r Fun.id in
       Array.sort
         (fun x y ->
-          match compare phi.(y) phi.(x) with 0 -> compare x y | c -> c)
+          match Float.compare phi.(y) phi.(x) with 0 -> Int.compare x y | c -> c)
         idx;
       let acc = ref 0. in
       let mask = ref 0 in

@@ -33,7 +33,9 @@ module Coeffs : sig
 
   val compute : r:int -> p:float -> t
   (** O(r²) recursion (20) for the prefix sums A_i, then α_i = A_i −
-      A_{i−1}. Requires [r ≥ 1] and [p ∈ (0,1]]. *)
+      A_{i−1}. Requires [r ≥ 1] and [p ∈ (0,1]]. Memoized on [(r, p)]
+      (cache ["max_oblivious.coeffs"]): repeated calls return one shared
+      table — treat {!alpha}/{!prefix_sums} as read-only. *)
 
   val r : t -> int
   val p : t -> float
@@ -95,7 +97,10 @@ module General : sig
 
   val create : probs:float array -> t
   (** Precompute the prefix-sum table for a probability vector
-      (all entries in (0,1]). *)
+      (all entries in (0,1]). Memoized on the probability vector (cache
+      ["max_oblivious.general"]): sweeps that re-derive the same table
+      (Thm 4.1 grids, multi-period distinct counts) get a shared,
+      read-only instance back. *)
 
   val r : t -> int
 

@@ -12,7 +12,7 @@ type row = {
 let default_ps =
   List.init 19 (fun i -> 0.05 *. float_of_int (i + 1))
   @ [ 0.01; 0.02; 0.03; 0.04 ]
-  |> List.sort_uniq compare
+  |> List.sort_uniq Float.compare
 
 let series ?pool ?(ps = default_ps) () =
   let point p =

@@ -2,19 +2,24 @@ type row = { minmax : float; nvar_ht : float; nvar_l : float }
 
 let taus = [| 1.; 1. |]
 
-let panel ?pool ~rho ?(steps = 20) () =
+(* A sweep point is a pair of ~10µs integrals: well below the pool's
+   per-task overhead, so points are fused into grains of [grain]. *)
+let panel ?pool ?(grain = 64) ~rho ?(steps = 20) () =
   let point i =
     let minmax = float_of_int i /. float_of_int steps in
     let v = [| rho; rho *. minmax |] in
     let nvar_ht = Estcore.Ht.max_pps_variance ~taus ~v in
     let nvar_l =
-      (Estcore.Exact.pps_r2_fast ~taus ~v Estcore.Max_pps.l).Estcore.Exact.var
+      (Estcore.Exact.pps_r2_fast ~cache_key:"max_pps.l" ~taus ~v
+         Estcore.Max_pps.l)
+        .Estcore.Exact.var
     in
     { minmax; nvar_ht; nvar_l }
   in
   match pool with
   | None -> List.init (steps + 1) point
-  | Some p -> Array.to_list (Numerics.Pool.parallel_init p ~n:(steps + 1) point)
+  | Some p ->
+      Array.to_list (Numerics.Pool.parallel_init ~grain p ~n:(steps + 1) point)
 
 (* The paper claims Var[HT]/Var[L] ≥ (1+ρ)/ρ everywhere, derived from a
    two-valued idealization of the estimator at min = 0 that contradicts

@@ -12,10 +12,18 @@
 
 type row = { minmax : float; nvar_ht : float; nvar_l : float }
 
-val panel : ?pool:Numerics.Pool.t -> rho:float -> ?steps:int -> unit -> row list
+val panel :
+  ?pool:Numerics.Pool.t ->
+  ?grain:int ->
+  rho:float ->
+  ?steps:int ->
+  unit ->
+  row list
 (** Normalized-variance curves at a given ρ (τ* = 1). Grid points are
-    independent; [?pool] computes them across domains (identical rows
-    either way). *)
+    independent; [?pool] computes them across domains, fused into chunks
+    of at least [?grain] (default 64) points so per-task overhead
+    amortizes (identical rows either way). Per-point moments go through
+    the ["exact.pps_r2"] derivation cache. *)
 
 val ratio_bound_holds : ?pool:Numerics.Pool.t -> rho:float -> unit -> bool
 (** Measured ratio properties: ≥ 1.9 everywhere, increasing in min/max,

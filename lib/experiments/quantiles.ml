@@ -79,7 +79,7 @@ let median3 ?(p = 0.4) ?(grid = [ 0.; 1.; 2. ]) () =
   derive ~p ~grid
     ~f:(fun v ->
       let s = Array.copy v in
-      Array.sort (fun a b -> compare b a) s;
+      Array.sort (fun a b -> Float.compare b a) s;
       s.(1))
     ~ht:(Estcore.Ht.quantile_oblivious ~l:2)
 

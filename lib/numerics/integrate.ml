@@ -26,7 +26,7 @@ let simpson_pieces ?(tol = 1e-11) ~breakpoints f a b =
   let pts =
     breakpoints
     |> List.filter (fun x -> x > a && x < b)
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
   in
   let pts = (a :: pts) @ [ b ] in
   let rec go acc = function
@@ -92,7 +92,9 @@ let gauss_legendre ?(n = 32) f a b =
 
 let gl_pieces ?(n = 32) ~breakpoints f a b =
   let pts =
-    breakpoints |> List.filter (fun x -> x > a && x < b) |> List.sort_uniq compare
+    breakpoints
+    |> List.filter (fun x -> x > a && x < b)
+    |> List.sort_uniq Float.compare
   in
   let pts = (a :: pts) @ [ b ] in
   let rec go acc = function

@@ -1,0 +1,191 @@
+(* Bounded, mutex-protected derivation cache with CLOCK (second-chance)
+   eviction.
+
+   Values are expected to be deterministic functions of their key, so a
+   lost race between two domains (both miss, both compute) is benign:
+   the first insert wins and both callers observe equal values. The
+   compute function runs OUTSIDE the lock so a slow derivation on one
+   domain never blocks lookups on another. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  bytes_estimate : int;
+}
+
+type ('k, 'v) entry = {
+  key : 'k;
+  value : 'v;
+  khash : int;
+  words : int;
+  mutable referenced : bool; (* CLOCK reference bit, set on hit *)
+}
+
+type ('k, 'v) t = {
+  name : string;
+  capacity : int;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mutex : Mutex.t;
+  (* user-hash -> entries whose key has that hash *)
+  buckets : (int, ('k, 'v) entry list) Hashtbl.t;
+  slots : ('k, 'v) entry option array; (* CLOCK ring, length [capacity] *)
+  mutable hand : int;
+  mutable count : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable bytes : int;
+}
+
+(* Registry of every live cache so the bench harness can snapshot and
+   reset cache effectiveness without threading handles everywhere. *)
+let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let stats_locked t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = t.count;
+    capacity = t.capacity;
+    bytes_estimate = t.bytes;
+  }
+
+let stats t = Mutex.protect t.mutex (fun () -> stats_locked t)
+
+let remove_from_bucket t e =
+  match Hashtbl.find_opt t.buckets e.khash with
+  | None -> ()
+  | Some es -> (
+      match List.filter (fun e' -> e' != e) es with
+      | [] -> Hashtbl.remove t.buckets e.khash
+      | es' -> Hashtbl.replace t.buckets e.khash es')
+
+let clear t =
+  Mutex.protect t.mutex @@ fun () ->
+  Hashtbl.reset t.buckets;
+  Array.fill t.slots 0 t.capacity None;
+  t.hand <- 0;
+  t.count <- 0;
+  t.bytes <- 0
+
+let create ?(capacity = 256) ~name ~hash ~equal () =
+  if capacity <= 0 then invalid_arg "Memo.create: capacity must be positive";
+  let t =
+    {
+      name;
+      capacity;
+      hash;
+      equal;
+      mutex = Mutex.create ();
+      buckets = Hashtbl.create 64;
+      slots = Array.make capacity None;
+      hand = 0;
+      count = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      bytes = 0;
+    }
+  in
+  Mutex.protect registry_mutex (fun () ->
+      registry := (name, (fun () -> stats t), (fun () -> clear t)) :: !registry);
+  t
+
+let name t = t.name
+
+let find_locked t khash k =
+  match Hashtbl.find_opt t.buckets khash with
+  | None -> None
+  | Some es -> List.find_opt (fun e -> t.equal e.key k) es
+
+(* Second chance: advance the hand, clearing reference bits, until a slot
+   with a clear bit turns up. Terminates within two revolutions. *)
+let evict_one_locked t =
+  let rec go () =
+    match t.slots.(t.hand) with
+    | None ->
+        (* free slot: use it directly *)
+        let slot = t.hand in
+        t.hand <- (t.hand + 1) mod t.capacity;
+        slot
+    | Some e when e.referenced ->
+        e.referenced <- false;
+        t.hand <- (t.hand + 1) mod t.capacity;
+        go ()
+    | Some e ->
+        remove_from_bucket t e;
+        t.slots.(t.hand) <- None;
+        t.count <- t.count - 1;
+        t.bytes <- t.bytes - (e.words * (Sys.word_size / 8));
+        t.evictions <- t.evictions + 1;
+        let slot = t.hand in
+        t.hand <- (t.hand + 1) mod t.capacity;
+        slot
+  in
+  go ()
+
+let insert_locked t khash k v =
+  let slot = evict_one_locked t in
+  let words = Obj.reachable_words (Obj.repr v) in
+  let e = { key = k; value = v; khash; words; referenced = false } in
+  t.slots.(slot) <- Some e;
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + (words * (Sys.word_size / 8));
+  Hashtbl.replace t.buckets khash
+    (e :: Option.value ~default:[] (Hashtbl.find_opt t.buckets khash))
+
+let find_or_add t k compute =
+  let khash = t.hash k in
+  Mutex.lock t.mutex;
+  match find_locked t khash k with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.referenced <- true;
+      Mutex.unlock t.mutex;
+      e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.mutex;
+      let v = compute () in
+      Mutex.lock t.mutex;
+      let v =
+        (* Another domain may have inserted while we computed; keep the
+           first copy so every caller shares one table. *)
+        match find_locked t khash k with
+        | Some e -> e.value
+        | None ->
+            insert_locked t khash k v;
+            v
+      in
+      Mutex.unlock t.mutex;
+      v
+
+let find_opt t k =
+  let khash = t.hash k in
+  Mutex.protect t.mutex @@ fun () ->
+  match find_locked t khash k with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.referenced <- true;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let all_stats () =
+  Mutex.protect registry_mutex (fun () ->
+      List.rev_map (fun (name, st, _) -> (name, st ())) !registry)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let clear_all () =
+  let clears =
+    Mutex.protect registry_mutex (fun () ->
+        List.map (fun (_, _, clear) -> clear) !registry)
+  in
+  List.iter (fun clear -> clear ()) clears

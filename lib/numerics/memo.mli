@@ -1,0 +1,68 @@
+(** Bounded, thread-safe derivation caches.
+
+    A {!t} memoizes an expensive pure derivation (an estimator table, a
+    coefficient vector, a per-key moment integral) under a caller-chosen
+    hash/equality. Capacity is bounded; on overflow the CLOCK
+    (second-chance) policy evicts an entry that has not been hit since
+    the hand last passed it — an O(1) amortized LRU approximation.
+
+    Safe to share across OCaml 5 domains: all bookkeeping runs under a
+    private mutex, while the compute function itself runs {e outside}
+    the lock, so a slow derivation never serializes unrelated lookups.
+    Two domains missing the same key concurrently may both compute; the
+    first insert wins and both observe it. This is benign precisely
+    because cached values must be deterministic functions of the key —
+    do not cache anything RNG- or environment-dependent, and do not
+    mutate a returned value (it is shared with every later caller).
+
+    Every cache self-registers under its [name] so {!all_stats} /
+    {!clear_all} can snapshot or reset the whole process — the bench
+    harness uses this to report cache effectiveness alongside wall
+    clock, and to clear derivation state between timed runs. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;  (** lookups answered from the cache *)
+  misses : int;  (** lookups that had to compute *)
+  evictions : int;  (** entries dropped by the CLOCK policy *)
+  entries : int;  (** entries currently resident *)
+  capacity : int;  (** bound on [entries] *)
+  bytes_estimate : int;
+      (** heap footprint of resident values ([Obj.reachable_words] at
+          insertion time, in bytes) *)
+}
+
+val create :
+  ?capacity:int ->
+  name:string ->
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+(** [create ~name ~hash ~equal ()] makes an empty cache holding at most
+    [capacity] (default 256) entries and registers it under [name].
+    [hash] must be consistent with [equal]. *)
+
+val name : ('k, 'v) t -> string
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k compute] returns the cached value for [k], calling
+    [compute ()] (outside the lock) and inserting on a miss. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without computing; counts as a hit or miss. *)
+
+val stats : ('k, 'v) t -> stats
+(** Cumulative counters since creation ({!clear} resets entries and
+    bytes, not the hit/miss/eviction history). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all resident entries (not counted as evictions). *)
+
+val all_stats : unit -> (string * stats) list
+(** Stats of every cache created so far, sorted by name. *)
+
+val clear_all : unit -> unit
+(** {!clear} every registered cache — e.g. between timed benchmark runs
+    so each run derives from a cold cache. *)

@@ -144,23 +144,31 @@ let default () =
       at_exit (fun () -> shutdown p);
       p
 
-(* Contiguous chunks, at most 4 per worker so stragglers even out while
-   per-task overhead stays negligible. Chunk layout depends on (n,
-   requested) only — not on scheduling. *)
-let chunk_ranges t n =
+(* Contiguous chunks: at most 4 per worker so stragglers even out while
+   per-task overhead stays negligible, and — when the caller knows its
+   bodies are tiny — at least [grain] indices per chunk so enqueue/wakeup
+   cost amortizes over a grain of real work. Chunk layout depends on
+   (n, requested, grain) only — not on scheduling. *)
+let chunk_ranges t ?grain n =
   let nchunks = Stdlib.min n (4 * t.requested) in
+  let nchunks =
+    match grain with
+    | None -> nchunks
+    | Some g when g <= 0 -> invalid_arg "Pool: grain must be positive"
+    | Some g -> Stdlib.max 1 (Stdlib.min nchunks (n / g))
+  in
   List.init nchunks (fun c ->
       let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
       (lo, hi))
 
-let parallel_init t ~n body =
+let parallel_init ?grain t ~n body =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
   if n = 0 then [||]
   else if t.requested <= 1 then Array.init n body
   else begin
     let res = Array.make n None in
     let tasks =
-      chunk_ranges t n
+      chunk_ranges t ?grain n
       |> List.map (fun (lo, hi) () ->
              for i = lo to hi - 1 do
                res.(i) <- Some (body i)
@@ -179,15 +187,15 @@ let parallel_init t ~n body =
       res
   end
 
-let parallel_map t f arr =
-  parallel_init t ~n:(Array.length arr) (fun i -> f arr.(i))
+let parallel_map ?grain t f arr =
+  parallel_init ?grain t ~n:(Array.length arr) (fun i -> f arr.(i))
 
-let parallel_list_map t f l =
-  Array.to_list (parallel_map t f (Array.of_list l))
+let parallel_list_map ?grain t f l =
+  Array.to_list (parallel_map ?grain t f (Array.of_list l))
 
-let parallel_for_reduce t ~n ~body ~init ~combine =
-  let vals = parallel_init t ~n body in
+let parallel_for_reduce ?grain t ~n ~body ~init ~combine =
+  let vals = parallel_init ?grain t ~n body in
   Array.fold_left combine init vals
 
-let map_streams t ~master ~n f =
-  parallel_init t ~n (fun i -> f (Prng.substream ~master i) i)
+let map_streams ?grain t ~master ~n f =
+  parallel_init ?grain t ~n (fun i -> f (Prng.substream ~master i) i)

@@ -42,18 +42,31 @@ val default : unit -> t
 (** A process-wide shared pool of {!default_jobs} workers, created on
     first use and shut down [at_exit]. *)
 
-val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {2 Granularity}
+
+    Every combinator splits its index range into contiguous chunks whose
+    layout depends only on [(n, size, grain)] — never on scheduling — so
+    results stay bit-identical whatever runs where. The default cost
+    model makes at most 4 chunks per worker (large enough grains for the
+    typical multi-microsecond body, small enough that stragglers even
+    out). When bodies are {e tiny} (sub-microsecond sweep points), pass
+    [?grain] — a lower bound on indices per chunk — so per-task
+    enqueue/wakeup overhead amortizes over a grain of real work:
+    [nchunks = max 1 (min (4 * size) (n / grain))]. *)
+
+val parallel_map : ?grain:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Like [Array.map], elements computed across the pool. Order is
     preserved. Any task exception is re-raised in the caller (after all
     tasks of the call have settled). *)
 
-val parallel_list_map : t -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_list_map : ?grain:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like [List.map], via {!parallel_map}. *)
 
-val parallel_init : t -> n:int -> (int -> 'a) -> 'a array
+val parallel_init : ?grain:int -> t -> n:int -> (int -> 'a) -> 'a array
 (** Like [Array.init], elements computed across the pool. *)
 
 val parallel_for_reduce :
+  ?grain:int ->
   t ->
   n:int ->
   body:(int -> 'a) ->
@@ -66,7 +79,7 @@ val parallel_for_reduce :
     [for i = 0 to n-1 do acc := combine !acc (body i) done]. *)
 
 val map_streams :
-  t -> master:int -> n:int -> (Prng.t -> int -> 'a) -> 'a array
+  ?grain:int -> t -> master:int -> n:int -> (Prng.t -> int -> 'a) -> 'a array
 (** [map_streams t ~master ~n f] runs [f rng_i i] for [i = 0 .. n-1]
     where [rng_i = Prng.substream ~master i]. Each task owns its stream
     exclusively; the result array is independent of pool size and

@@ -175,7 +175,7 @@ let maximize_result ~eps ~c ~a_ub ~b_ub ~a_eq ~b_eq =
         end
         else keep := r :: !keep)
       t.rows;
-    let keep = List.sort compare !keep in
+    let keep = List.sort Int.compare !keep in
     let rows' = Array.of_list (List.map (fun r -> t.rows.(r)) keep) in
     let basis' = Array.of_list (List.map (fun r -> t.basis.(r)) keep) in
     t.rows <- rows';

@@ -123,7 +123,7 @@ let quantile a q =
   if Array.length a = 0 then invalid_arg "Stats.quantile: empty";
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of range";
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   let n = Array.length b in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in

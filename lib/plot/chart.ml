@@ -80,7 +80,7 @@ let ticks scale ~lo ~hi =
             (fun d -> [ d; 2. *. d; 5. *. d ])
             decades
           |> List.filter (fun t -> t >= lo /. 1.001 && t <= hi *. 1.001)
-          |> List.sort_uniq compare
+          |> List.sort_uniq Float.compare
         end
       end
 
@@ -253,7 +253,7 @@ let render spec =
           | (x, y) :: _ -> Some (i, s.label, px x, py y))
         spec.series
       |> List.filter_map Fun.id
-      |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+      |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b)
     in
     let rec keep prev = function
       | [] -> []

@@ -17,7 +17,14 @@ let sample seeds ~family ~instance ~k inst =
         :: acc)
       inst []
   in
-  let sorted = List.sort (fun a b -> compare (a.rank, a.key) (b.rank, b.key)) ranked in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Float.compare a.rank b.rank with
+        | 0 -> Int.compare a.key b.key
+        | c -> c)
+      ranked
+  in
   let rec take n = function
     | [] -> ([], infinity)
     | e :: rest ->

@@ -30,21 +30,24 @@ let summarize ?rng seeds scheme ~instance inst =
 
 let scheme t = t.scheme
 
+let entry_compare (k1, (v1 : float)) (k2, v2) =
+  match Int.compare k1 k2 with 0 -> Float.compare v1 v2 | c -> c
+
 let keys t =
   match t.payload with
   | P p -> List.map fst p.Poisson.entries
-  | B b -> List.sort compare (Bottom_k.keys b)
-  | V v -> List.sort compare (List.map fst (Varopt.entries v))
+  | B b -> List.sort Int.compare (Bottom_k.keys b)
+  | V v -> List.sort Int.compare (List.map fst (Varopt.entries v))
 
 let entries t =
   match t.payload with
   | P p -> p.Poisson.entries
   | B b ->
-      List.sort compare
+      List.sort entry_compare
         (List.map
            (fun e -> (e.Bottom_k.key, e.Bottom_k.value))
            b.Bottom_k.entries)
-  | V v -> List.sort compare (Varopt.entries v)
+  | V v -> List.sort entry_compare (Varopt.entries v)
 
 let size t = List.length (keys t)
 let mem t h = List.mem h (keys t)

@@ -1,33 +1,113 @@
-type item = { key : int; w : float }
+(* VAROPT_k with the classic two-structure scheme (Cohen–Duffield–
+   Kaplan–Lund–Thorup 2009): a min-heap of "large" items whose exact
+   weight exceeds the threshold τ, plus a flat buffer of "τ-items" whose
+   adjusted weight is exactly τ (their exact weights are dead — only the
+   key matters). A full insertion solves
+
+     Σ_i min(1, w_i/τ') = k   over the k+1 candidates
+
+   by pooling the τ-items (each contributes τ) with the newcomer and
+   popping heap minima while they fall below the candidate threshold
+   τ' = W_B / (|B| − 1); each item is popped at most once over its
+   lifetime, so inserts cost O(log k) amortized — versus the reference
+   implementation's per-insert sort (O(k log k), kept below as the
+   testing oracle). The drop draw walks the below-threshold set only:
+   τ-items share one drop probability 1 − τ/τ', so that block is an O(1)
+   inverse-CDF jump. *)
 
 type t = {
   cap : int;
-  mutable items : item array;  (* at most [cap] items *)
-  mutable n : int;
   mutable tau : float;
   mutable total : float;
+  (* Large items: min-heap on weight, every weight > tau. *)
+  heap_keys : int array; (* length cap + 1 *)
+  heap_ws : float array;
+  mutable heap_n : int;
+  (* τ-items: adjusted weight = tau each; exact weights forgotten. *)
+  small_keys : int array; (* length cap + 1 *)
+  mutable small_n : int;
+  (* Scratch for heap items popped below τ' during one insertion. *)
+  ext_keys : int array; (* length cap + 1 *)
+  ext_ws : float array;
 }
 
 let create ~k =
   if k <= 0 then invalid_arg "Varopt.create: k must be positive";
-  { cap = k; items = Array.make k { key = 0; w = 0. }; n = 0; tau = 0.; total = 0. }
+  {
+    cap = k;
+    tau = 0.;
+    total = 0.;
+    heap_keys = Array.make (k + 1) 0;
+    heap_ws = Array.make (k + 1) 0.;
+    heap_n = 0;
+    small_keys = Array.make (k + 1) 0;
+    small_n = 0;
+    ext_keys = Array.make (k + 1) 0;
+    ext_ws = Array.make (k + 1) 0.;
+  }
 
 let k t = t.cap
-let size t = t.n
+let size t = t.heap_n + t.small_n
 let threshold t = t.tau
 let total_weight t = t.total
 
-(* Effective (adjusted) weight of a stored item: max of its exact weight
-   and the current threshold. *)
-let eff t w = Float.max w t.tau
+(* --- min-heap on heap_ws --- *)
+
+let heap_swap t i j =
+  let wk = t.heap_ws.(i) and kk = t.heap_keys.(i) in
+  t.heap_ws.(i) <- t.heap_ws.(j);
+  t.heap_keys.(i) <- t.heap_keys.(j);
+  t.heap_ws.(j) <- wk;
+  t.heap_keys.(j) <- kk
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.heap_ws.(i) < t.heap_ws.(parent) then begin
+      heap_swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < t.heap_n && t.heap_ws.(l) < t.heap_ws.(i) then l else i in
+  let m = if r < t.heap_n && t.heap_ws.(r) < t.heap_ws.(m) then r else m in
+  if m <> i then begin
+    heap_swap t i m;
+    sift_down t m
+  end
+
+let heap_push t key w =
+  t.heap_keys.(t.heap_n) <- key;
+  t.heap_ws.(t.heap_n) <- w;
+  t.heap_n <- t.heap_n + 1;
+  sift_up t (t.heap_n - 1)
+
+let heap_pop_min t =
+  let key = t.heap_keys.(0) and w = t.heap_ws.(0) in
+  t.heap_n <- t.heap_n - 1;
+  if t.heap_n > 0 then begin
+    t.heap_keys.(0) <- t.heap_keys.(t.heap_n);
+    t.heap_ws.(0) <- t.heap_ws.(t.heap_n);
+    sift_down t 0
+  end;
+  (key, w)
+
+(* --- reference threshold solve, kept as the testing oracle --- *)
 
 (* Find tau' solving sum_i min(1, w_i/tau') = cap over the [cap+1]
-   candidate weights [ws] (any order). *)
+   candidate weights [ws] (any order). O(k log k); the fast path below
+   solves the same equation incrementally — property tests hold the two
+   together. *)
 let solve_tau cap ws =
   let s = Array.copy ws in
-  Array.sort compare s;
+  Array.sort Float.compare s;
   let m = Array.length s in
-  assert (m = cap + 1);
+  if m <> cap + 1 then
+    invalid_arg
+      (Printf.sprintf "Varopt.solve_tau: expected %d candidates, got %d"
+         (cap + 1) m);
   (* With the j smallest below tau: tau = (sum of j smallest)/(j-1). *)
   let prefix = ref 0. in
   let result = ref nan in
@@ -50,49 +130,108 @@ let solve_tau cap ws =
          cap m s.(0) s.(m - 1));
   !result
 
+(* --- the O(log k) insertion --- *)
+
 let add t rng ~key ~weight =
   if weight <= 0. then invalid_arg "Varopt.add: weight must be positive";
   t.total <- t.total +. weight;
-  if t.n < t.cap then begin
-    t.items.(t.n) <- { key; w = weight };
-    t.n <- t.n + 1
-  end
+  if size t < t.cap then
+    (* Growing phase: τ = 0, so every item is "large". *)
+    heap_push t key weight
   else begin
-    (* cap+1 candidates: stored items at their adjusted weights + newcomer. *)
-    let cand_w =
-      Array.init (t.cap + 1) (fun i ->
-          if i < t.cap then eff t t.items.(i).w else weight)
-    in
-    let tau' = solve_tau t.cap cand_w in
-    (* Drop candidate i with probability 1 - min(1, w_i/tau'); these sum
-       to exactly 1 over the cap+1 candidates. *)
+    (* Build the below-threshold candidate set B incrementally. The
+       τ-items are in B from the start (weight τ each); the newcomer
+       joins B or the heap by weight; heap minima migrate into the
+       scratch extras while they fall below τ' = W_B/(|B|−1). *)
+    let nb = ref t.small_n in
+    let wb = ref (float_of_int t.small_n *. t.tau) in
+    let new_small = weight <= t.tau in
+    if new_small then begin
+      incr nb;
+      wb := !wb +. weight
+    end
+    else heap_push t key weight;
+    let ext_n = ref 0 in
+    let continue = ref true in
+    while !continue && t.heap_n > 0 do
+      (* Pop while |B| < 2 (τ' still unbounded) or heap-min ≤ τ'. *)
+      if !nb < 2 || t.heap_ws.(0) *. float_of_int (!nb - 1) <= !wb then begin
+        let k', w' = heap_pop_min t in
+        t.ext_keys.(!ext_n) <- k';
+        t.ext_ws.(!ext_n) <- w';
+        incr ext_n;
+        incr nb;
+        wb := !wb +. w'
+      end
+      else continue := false
+    done;
+    let tau' = !wb /. float_of_int (!nb - 1) in
+    (* Drop one candidate of B with probability 1 − w/τ' (these sum to
+       exactly 1). Order: τ-items (one shared drop probability — an O(1)
+       block jump), then popped extras in pop order, then the newcomer
+       last; rounding leftovers drop the last candidate, mirroring the
+       reference implementation's newcomer fallback. *)
     let u = Numerics.Prng.float rng in
-    let drop = ref (t.cap) in
-    let acc = ref 0. in
-    (try
-       for i = 0 to t.cap do
-         acc := !acc +. (1. -. Float.min 1. (cand_w.(i) /. tau'));
-         if u < !acc then begin
-           drop := i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    (* If rounding left u uncovered, drop the last candidate (newcomer). *)
-    if !drop < t.cap then t.items.(!drop) <- { key; w = weight };
+    let d_small = 1. -. (t.tau /. tau') in
+    let small_block = float_of_int t.small_n *. d_small in
+    (* Which candidate of B gets dropped: a pre-existing τ-item (index
+       into small_keys), a popped extra (index into ext), or the small
+       newcomer (ext index ext_n). Rounding leftovers drop the last
+       candidate, mirroring the reference's newcomer fallback. *)
+    let drop_ext = ref (-1) in
+    if t.small_n > 0 && d_small > 0. && u < small_block then begin
+      (* Drop τ-item ⌊u/d⌋ (one shared probability per τ-item). *)
+      let i = Stdlib.min (int_of_float (u /. d_small)) (t.small_n - 1) in
+      t.small_keys.(i) <- t.small_keys.(t.small_n - 1);
+      t.small_n <- t.small_n - 1
+    end
+    else if !ext_n = 0 && not new_small then
+      (* All drop mass sits on the τ-items, but rounding pushed u past
+         the block: drop the last τ-item. *)
+      t.small_n <- t.small_n - 1
+    else begin
+      let u = ref (u -. small_block) in
+      drop_ext := !ext_n - if new_small then 0 else 1;
+      (try
+         for i = 0 to !ext_n - 1 do
+           let p = 1. -. (t.ext_ws.(i) /. tau') in
+           if !u < p then begin
+             drop_ext := i;
+             raise Exit
+           end
+           else u := !u -. p
+         done
+       with Exit -> ())
+    end;
+    (* Surviving extras and (if small and surviving) the newcomer become
+       τ-items; ext index ext_n stands for the newcomer. *)
+    for i = 0 to !ext_n - 1 do
+      if i <> !drop_ext then begin
+        t.small_keys.(t.small_n) <- t.ext_keys.(i);
+        t.small_n <- t.small_n + 1
+      end
+    done;
+    if new_small && !drop_ext <> !ext_n then begin
+      t.small_keys.(t.small_n) <- key;
+      t.small_n <- t.small_n + 1
+    end;
     t.tau <- tau'
   end
 
 let entries t =
-  List.init t.n (fun i ->
-      let it = t.items.(i) in
-      (it.key, eff t it.w))
+  let heap =
+    List.init t.heap_n (fun i -> (t.heap_keys.(i), t.heap_ws.(i)))
+  in
+  let small = List.init t.small_n (fun i -> (t.small_keys.(i), t.tau)) in
+  heap @ small
 
 let estimate t ~select =
   let acc = ref 0. in
-  for i = 0 to t.n - 1 do
-    let it = t.items.(i) in
-    if select it.key then acc := !acc +. eff t it.w
+  for i = 0 to t.heap_n - 1 do
+    if select t.heap_keys.(i) then acc := !acc +. t.heap_ws.(i)
+  done;
+  for i = 0 to t.small_n - 1 do
+    if select t.small_keys.(i) then acc := !acc +. t.tau
   done;
   !acc
 
@@ -100,3 +239,83 @@ let of_instance ~k rng inst =
   let t = create ~k in
   Instance.iter (fun key w -> add t rng ~key ~weight:w) inst;
   t
+
+(* --- the seed implementation, kept verbatim as a testing oracle --- *)
+
+module Reference = struct
+  type item = { key : int; w : float }
+
+  type t = {
+    cap : int;
+    mutable items : item array; (* at most [cap] items *)
+    mutable n : int;
+    mutable tau : float;
+    mutable total : float;
+  }
+
+  let create ~k =
+    if k <= 0 then invalid_arg "Varopt.Reference.create: k must be positive";
+    { cap = k; items = Array.make k { key = 0; w = 0. }; n = 0; tau = 0.; total = 0. }
+
+  let size t = t.n
+  let threshold t = t.tau
+  let total_weight t = t.total
+
+  (* Effective (adjusted) weight of a stored item: max of its exact
+     weight and the current threshold. *)
+  let eff t w = Float.max w t.tau
+
+  let add t rng ~key ~weight =
+    if weight <= 0. then
+      invalid_arg "Varopt.Reference.add: weight must be positive";
+    t.total <- t.total +. weight;
+    if t.n < t.cap then begin
+      t.items.(t.n) <- { key; w = weight };
+      t.n <- t.n + 1
+    end
+    else begin
+      (* cap+1 candidates: stored items at their adjusted weights +
+         newcomer. *)
+      let cand_w =
+        Array.init (t.cap + 1) (fun i ->
+            if i < t.cap then eff t t.items.(i).w else weight)
+      in
+      let tau' = solve_tau t.cap cand_w in
+      (* Drop candidate i with probability 1 - min(1, w_i/tau'); these
+         sum to exactly 1 over the cap+1 candidates. *)
+      let u = Numerics.Prng.float rng in
+      let drop = ref t.cap in
+      let acc = ref 0. in
+      (try
+         for i = 0 to t.cap do
+           acc := !acc +. (1. -. Float.min 1. (cand_w.(i) /. tau'));
+           if u < !acc then begin
+             drop := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* If rounding left u uncovered, drop the last candidate
+         (newcomer). *)
+      if !drop < t.cap then t.items.(!drop) <- { key; w = weight };
+      t.tau <- tau'
+    end
+
+  let entries t =
+    List.init t.n (fun i ->
+        let it = t.items.(i) in
+        (it.key, eff t it.w))
+
+  let estimate t ~select =
+    let acc = ref 0. in
+    for i = 0 to t.n - 1 do
+      let it = t.items.(i) in
+      if select it.key then acc := !acc +. eff t it.w
+    done;
+    !acc
+
+  let of_instance ~k rng inst =
+    let t = create ~k in
+    Instance.iter (fun key w -> add t rng ~key ~weight:w) inst;
+    t
+end

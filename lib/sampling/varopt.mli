@@ -7,7 +7,13 @@
     covariances, and variance-optimal subset-sum estimates. Items kept in
     the sample carry an {e adjusted weight}: their exact weight if it
     exceeds the current threshold [τ], else [τ]; the sum of adjusted
-    weights is an unbiased estimate of any subset sum. *)
+    weights is an unbiased estimate of any subset sum (and exactly
+    {!total_weight} for the full population).
+
+    Implementation: the classic two-structure scheme — a min-heap of
+    items above [τ] plus a flat buffer of [τ]-items — giving
+    O(log k) amortized inserts. {!solve_tau} and {!Reference} expose the
+    per-insert-sort seed implementation as a testing oracle. *)
 
 type t
 
@@ -37,3 +43,29 @@ val estimate : t -> select:(int -> bool) -> float
 
 val of_instance : k:int -> Numerics.Prng.t -> Instance.t -> t
 (** Stream all (key, value) pairs of an instance through a fresh sampler. *)
+
+(** {1 Reference oracle} *)
+
+val solve_tau : int -> float array -> float
+(** [solve_tau k ws] solves [Σ min(1, w/τ') = k] over the [k+1]
+    candidate weights [ws] by sorting — the O(k log k) reference the
+    fast insertion path is property-tested against. Raises
+    [Invalid_argument] unless [Array.length ws = k + 1]. *)
+
+(** The seed implementation (per-insert candidate sort via
+    {!solve_tau}). Same sampling distribution as the fast structure —
+    property tests compare per-key inclusion frequencies — but {e not}
+    draw-for-draw identical: the two walk their drop candidates in
+    different orders. *)
+module Reference : sig
+  type t
+
+  val create : k:int -> t
+  val size : t -> int
+  val threshold : t -> float
+  val total_weight : t -> float
+  val add : t -> Numerics.Prng.t -> key:int -> weight:float -> unit
+  val entries : t -> (int * float) list
+  val estimate : t -> select:(int -> bool) -> float
+  val of_instance : k:int -> Numerics.Prng.t -> Instance.t -> t
+end

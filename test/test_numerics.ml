@@ -784,6 +784,96 @@ let test_pool_shutdown_inline () =
     "inline after shutdown" (Array.init 9 Fun.id)
     (Pool.parallel_init p ~n:9 Fun.id)
 
+(* ------------------------------------------------------------------ *)
+(* Memo + chunk granularity                                            *)
+(* ------------------------------------------------------------------ *)
+
+let int_memo ~capacity name =
+  Memo.create ~capacity ~name ~hash:Hashtbl.hash ~equal:Int.equal ()
+
+let test_memo_hit_miss () =
+  let m = int_memo ~capacity:4 "test.hit_miss" in
+  let computed = ref 0 in
+  let f k =
+    Memo.find_or_add m k (fun () ->
+        incr computed;
+        k * k)
+  in
+  Alcotest.(check int) "first" 9 (f 3);
+  Alcotest.(check int) "second" 9 (f 3);
+  Alcotest.(check int) "computed once" 1 !computed;
+  let s = Memo.stats m in
+  Alcotest.(check int) "hits" 1 s.Memo.hits;
+  Alcotest.(check int) "misses" 1 s.Memo.misses;
+  Alcotest.(check int) "entries" 1 s.Memo.entries;
+  Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (Memo.stats m).Memo.entries;
+  Alcotest.(check int) "recompute after clear" 9 (f 3);
+  Alcotest.(check int) "computed again" 2 !computed
+
+let test_memo_bounded_second_chance () =
+  let m = int_memo ~capacity:4 "test.clock" in
+  let f k = Memo.find_or_add m k (fun () -> k * 10) in
+  List.iter (fun k -> ignore (f k)) [ 1; 2; 3; 4 ];
+  (* Touch 1: its reference bit grants a second chance at the hand. *)
+  ignore (f 1);
+  ignore (f 5);
+  let s = Memo.stats m in
+  Alcotest.(check int) "entries stay bounded" 4 s.Memo.entries;
+  Alcotest.(check int) "one eviction" 1 s.Memo.evictions;
+  Alcotest.(check (option int)) "recently-hit key survives" (Some 10)
+    (Memo.find_opt m 1);
+  Alcotest.(check (option int)) "cold key evicted" None (Memo.find_opt m 2);
+  Alcotest.(check (option int)) "newcomer resident" (Some 50)
+    (Memo.find_opt m 5)
+
+let test_memo_cross_domain () =
+  let m = int_memo ~capacity:64 "test.cross_domain" in
+  with_pool 4 (fun p ->
+      let out =
+        Pool.parallel_init p ~n:200 (fun i ->
+            Memo.find_or_add m (i mod 10) (fun () -> (i mod 10) * 7))
+      in
+      Array.iteri
+        (fun i v -> Alcotest.(check int) "shared value" (i mod 10 * 7) v)
+        out);
+  let s = Memo.stats m in
+  Alcotest.(check int) "entries = distinct keys" 10 s.Memo.entries;
+  Alcotest.(check int) "every lookup accounted" 200 (s.Memo.hits + s.Memo.misses);
+  (* Lost compute races are benign but each key misses at least once. *)
+  Alcotest.(check bool) "misses cover the key set" true (s.Memo.misses >= 10)
+
+let test_pool_grain_bit_identical () =
+  let n = 512 in
+  let input = Array.init n (fun i -> 1. /. float_of_int (i + 1)) in
+  let f x = (x *. 3.7) +. sqrt x in
+  let expected = Array.map f input in
+  let seq_sum = Array.fold_left (fun a x -> a +. f x) 0. input in
+  List.iter
+    (fun d ->
+      with_pool d (fun p ->
+          List.iter
+            (fun g ->
+              Alcotest.(check (array (float 0.)))
+                (Printf.sprintf "map, %d domains, grain %d" d g)
+                expected
+                (Pool.parallel_map ~grain:g p f input);
+              let s =
+                Pool.parallel_for_reduce ~grain:g p ~n
+                  ~body:(fun i -> f input.(i))
+                  ~init:0. ~combine:( +. )
+              in
+              if s <> seq_sum then
+                Alcotest.failf "reduce differs: %d domains, grain %d" d g)
+            [ 1; 3; 64; n; 100_000 ]))
+    pool_sizes
+
+let test_pool_grain_invalid () =
+  with_pool 2 (fun p ->
+      Alcotest.check_raises "grain 0"
+        (Invalid_argument "Pool: grain must be positive") (fun () ->
+          ignore (Pool.parallel_map ~grain:0 p Fun.id [| 1 |])))
+
 let test_prng_substream_independent_of_order () =
   let a = Prng.substream ~master:7 3 in
   (* consuming other substreams first must not affect substream 3 *)
@@ -964,6 +1054,18 @@ let () =
             test_pool_shutdown_inline;
           Alcotest.test_case "substream order-independent" `Quick
             test_prng_substream_independent_of_order;
+          Alcotest.test_case "grain keeps results bit-identical" `Quick
+            test_pool_grain_bit_identical;
+          Alcotest.test_case "grain must be positive" `Quick
+            test_pool_grain_invalid;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_memo_hit_miss;
+          Alcotest.test_case "bounded CLOCK eviction" `Quick
+            test_memo_bounded_second_chance;
+          Alcotest.test_case "cross-domain sharing" `Quick
+            test_memo_cross_domain;
         ] );
       ( "special",
         [

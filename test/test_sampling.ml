@@ -454,6 +454,94 @@ let prop_varopt_total_preserved =
       Numerics.Special.float_equal ~eps:1e-6 (Instance.total inst)
         (Varopt.estimate t ~select:(fun _ -> true)))
 
+(* The fast two-structure insertion must land on exactly the threshold
+   the O(k log k) sort-based oracle computes: before each full-capacity
+   add, the k+1 candidates are the current adjusted weights plus the
+   newcomer, and the post-add τ solves Σ min(1, w/τ) = k over them. *)
+let test_varopt_tau_matches_oracle () =
+  let k = 8 in
+  List.iter
+    (fun seed ->
+      let rng = Numerics.Prng.create ~seed () in
+      let wrng = Numerics.Prng.create ~seed:(seed + 1000) () in
+      let t = Varopt.create ~k in
+      for key = 1 to 120 do
+        let weight = 0.25 +. (10. *. Numerics.Prng.float wrng) in
+        if Varopt.size t = k then begin
+          let cands =
+            Array.of_list (weight :: List.map snd (Varopt.entries t))
+          in
+          let expect = Varopt.solve_tau k cands in
+          Varopt.add t rng ~key ~weight;
+          check_float ~eps:1e-9 "tau = solve_tau oracle" expect
+            (Varopt.threshold t)
+        end
+        else Varopt.add t rng ~key ~weight
+      done)
+    [ 1; 2; 3 ]
+
+let test_varopt_total_across_k () =
+  let n = 150 in
+  let inst =
+    Instance.of_assoc
+      (List.init n (fun i -> (i + 1, 0.1 +. float_of_int ((i * 7) mod 23))))
+  in
+  List.iter
+    (fun k ->
+      let rng = Numerics.Prng.create ~seed:(100 + k) () in
+      let t = Varopt.of_instance ~k rng inst in
+      Alcotest.(check int)
+        (Printf.sprintf "size, k=%d" k)
+        (Stdlib.min k n) (Varopt.size t);
+      check_float ~eps:1e-6
+        (Printf.sprintf "estimate = total, k=%d" k)
+        (Instance.total inst)
+        (Varopt.estimate t ~select:(fun _ -> true));
+      let tau = Varopt.threshold t in
+      List.iter
+        (fun (_, w) ->
+          if w < tau -. 1e-9 then
+            Alcotest.failf "k=%d: adjusted weight %g below tau %g" k w tau)
+        (Varopt.entries t))
+    [ 1; 2; 3; 5; 8; 16; 64; 127; 200 ]
+
+(* Distributional agreement with the seed implementation: the two walk
+   their drop candidates differently, so they are not draw-for-draw
+   equal, but per-key inclusion probabilities must match. Compare
+   frequencies over many independent streams with a two-sample normal
+   bound (4.5σ per key; seeds fixed, so the outcome is deterministic). *)
+let test_varopt_matches_reference_frequencies () =
+  let n_keys = 40 in
+  let inst =
+    Instance.of_assoc
+      (List.init n_keys (fun i ->
+           (i + 1, 0.5 +. (float_of_int ((i * 13) mod 19) /. 3.))))
+  in
+  let k = 8 in
+  let streams = 10_000 in
+  let fast = Array.make (n_keys + 1) 0 in
+  let refc = Array.make (n_keys + 1) 0 in
+  for s = 1 to streams do
+    let rng = Numerics.Prng.create ~seed:s () in
+    let t = Varopt.of_instance ~k rng inst in
+    List.iter (fun (h, _) -> fast.(h) <- fast.(h) + 1) (Varopt.entries t);
+    let rng = Numerics.Prng.create ~seed:(s + 777_777) () in
+    let r = Varopt.Reference.of_instance ~k rng inst in
+    List.iter
+      (fun (h, _) -> refc.(h) <- refc.(h) + 1)
+      (Varopt.Reference.entries r)
+  done;
+  let nf = float_of_int streams in
+  for h = 1 to n_keys do
+    let pf = float_of_int fast.(h) /. nf in
+    let pr = float_of_int refc.(h) /. nf in
+    let p = (pf +. pr) /. 2. in
+    let sd = sqrt (Float.max 1e-9 (p *. (1. -. p) *. 2. /. nf)) in
+    if abs_float (pf -. pr) > 4.5 *. sd then
+      Alcotest.failf "key %d inclusion: fast %.4f vs reference %.4f (sd %.5f)"
+        h pf pr sd
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Summary                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -737,6 +825,12 @@ let () =
           Alcotest.test_case "under capacity" `Quick test_varopt_under_capacity;
           Alcotest.test_case "subset unbiased" `Slow test_varopt_subset_unbiased;
           Alcotest.test_case "weight guard" `Quick test_varopt_rejects_bad_weight;
+          Alcotest.test_case "tau matches sort oracle" `Quick
+            test_varopt_tau_matches_oracle;
+          Alcotest.test_case "total preserved across k" `Quick
+            test_varopt_total_across_k;
+          Alcotest.test_case "inclusion frequencies match reference" `Slow
+            test_varopt_matches_reference_frequencies;
           prop_varopt_total_preserved;
         ] );
     ]

@@ -64,7 +64,9 @@ extract() {
     }' "$1"
 }
 
-# validate FILE: schema marker + at least one micro-benchmark and kernel
+# validate FILE: schema marker + at least one micro-benchmark and kernel,
+# plus the disabled-overhead observability pair (the gate's proof that
+# instrumentation stays one branch when off).
 validate() {
   ok=1
   grep -q '"schema": "optsample-bench/1"' "$1" || {
@@ -73,6 +75,8 @@ validate() {
     echo "FAIL  $1: no bechamel_ns_per_run entries" ; ok=0 ; }
   [ -n "$(extract "$1" speedup)" ] || {
     echo "FAIL  $1: no kernel speedup entries" ; ok=0 ; }
+  grep -q '"name": "kernels/obs disabled' "$1" || {
+    echo "FAIL  $1: no obs disabled-overhead kernel pair" ; ok=0 ; }
   [ "$ok" = 1 ]
 }
 

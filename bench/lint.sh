@@ -30,7 +30,20 @@ scan 'failwith[[:space:]]*"' 'bare failwith with a string literal'
 # `assert false`: an unreachable claim that turns into a blank exception.
 scan 'assert[[:space:]][[:space:]]*false' 'assert false'
 
+# Timing discipline: all of lib/ must read the clock through Obs
+# (monotonic, trace-aware). Direct wall-clock or CPU-clock reads bypass
+# the spans and drift when the system clock steps. (Obs itself wraps the
+# monotonic-clock stub, so lib/numerics/obs.ml is the one exemption.)
+timing_hits=$(grep -rnE 'Unix\.gettimeofday|Unix\.time[[:space:]]*\(|Sys\.time[[:space:]]*\(' \
+    "$root/lib" --include='*.ml' 2>/dev/null \
+    | grep -v 'lib/numerics/obs\.ml')
+if [ -n "$timing_hits" ]; then
+    echo "lint: direct clock reads are banned under lib/ — time through Numerics.Obs:" >&2
+    echo "$timing_hits" >&2
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-    echo "lint: lib/numerics and lib/estcore are clean"
+    echo "lint: lib/numerics, lib/estcore and lib/ timing are clean"
 fi
 exit "$status"

@@ -42,6 +42,17 @@ let experiments : (string * string * (Format.formatter -> unit)) list =
 let designer_cache : float option array Estcore.Designer.cache =
   Estcore.Designer.cache ~name:"bench.designer" ()
 
+(* Fixed small workload for the disabled-overhead pair: big enough that
+   OLS resolves it, small enough that a single extra branch would show. *)
+let obs_data = Array.init 64 (fun i -> 1. +. float_of_int i)
+
+let obs_kernel () =
+  let acc = ref 0. in
+  for i = 0 to Array.length obs_data - 1 do
+    acc := !acc +. (obs_data.(i) *. obs_data.(i))
+  done;
+  !acc
+
 let bechamel_tests () =
   let open Bechamel in
   let rng = Numerics.Prng.create ~seed:17 () in
@@ -120,6 +131,16 @@ let bechamel_tests () =
              ignore
                (Estcore.Designer.solve_order_cached ~cache:designer_cache
                   problem)));
+      (* Disabled-overhead pair: the same tiny kernel bare and under a
+         disabled span + counter. The perf gate compares the two, pinning
+         the off-mode instrumentation cost to one atomic load + branch. *)
+      Test.make ~name:"obs disabled: raw kernel (reference)"
+        (Staged.stage (fun () -> ignore (Sys.opaque_identity (obs_kernel ()))));
+      Test.make ~name:"obs disabled: kernel under span+counter"
+        (Staged.stage (fun () ->
+             Numerics.Obs.count "bench.obs";
+             ignore
+               (Sys.opaque_identity (Numerics.Obs.span "bench.obs" obs_kernel))));
     ]
 
 let bechamel_rows ?(limit = 500) ?(quota = 0.25) () =
@@ -148,9 +169,9 @@ type kernel_timing = {
 }
 
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Numerics.Obs.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Int64.to_float (Int64.sub (Numerics.Obs.now_ns ()) t0) /. 1e9)
 
 let default_mc_trials = 1_000_000
 let default_sweep_steps = 2_000
@@ -217,8 +238,32 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Small instrumented replay of the real pipeline (a variance-sweep slice
+   plus a robust designer derivation), run AFTER the timed sections with
+   the level temporarily raised to Metrics. Its counter/histogram/cache
+   snapshot becomes the "metrics" object of the perf JSON, without the
+   timed runs ever paying for instrumentation they didn't ask for. *)
+let metrics_sample () =
+  let prev = Numerics.Obs.level () in
+  if prev = Numerics.Obs.Off then
+    Numerics.Obs.set_level Numerics.Obs.Metrics;
+  ignore (Experiments.Fig4.panel ~rho:0.5 ~steps:20 ());
+  let module D = Estcore.Designer in
+  let f v = Float.max v.(0) v.(1) in
+  let problem = D.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ] ~f in
+  let batches =
+    D.Problems.batches_by
+      (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+      problem.D.data
+  in
+  ignore (D.solve_partition_robust ~batches ~f ~dist:problem.D.dist ());
+  let buf = Buffer.create 4096 in
+  Numerics.Obs.metrics_json buf;
+  Numerics.Obs.set_level prev;
+  Buffer.contents buf
+
 (* One object per line so bench/compare.sh can diff baselines with awk. *)
-let write_json ~path ~jobs ~rows ~kernels ~caches =
+let write_json ~path ~jobs ~rows ~kernels ~caches ~metrics =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -247,6 +292,9 @@ let write_json ~path ~jobs ~rows ~kernels ~caches =
            (if i = n - 1 then "" else ",")))
     kernels;
   add "],\n";
+  add "\"metrics\": ";
+  add metrics;
+  add ",\n";
   add "\"caches\": [\n";
   let n = List.length caches in
   List.iteri
@@ -277,16 +325,17 @@ let run_perf ?json ?(check = false) ~pool ppf =
   Format.fprintf ppf "=== sequential vs parallel kernels (%d jobs) ===@." jobs;
   let mc_trials = if check then 20_000 else default_mc_trials in
   let sweep_steps = if check then 100 else default_sweep_steps in
+  (* Snapshot BEFORE the wall-clock kernels: those purge every cache
+     (entries and counters) between runs, so this is the last moment the
+     Bechamel section's hit/miss history is still visible. *)
+  let caches = Numerics.Memo.all_stats () in
   let kernels = kernel_timings ~mc_trials ~sweep_steps pool in
   List.iter
     (fun k ->
       Format.fprintf ppf "  %-36s work %8d  seq %8.3fs  par %8.3fs  x%.2f@."
         k.k_name k.k_work k.k_seq k.k_par (k.k_seq /. k.k_par))
     kernels;
-  (* Snapshot after the last timed run: hit/miss history is cumulative
-     across the whole perf section (clears reset entries, not counters). *)
-  let caches = Numerics.Memo.all_stats () in
-  Format.fprintf ppf "=== derivation caches ===@.";
+  Format.fprintf ppf "=== derivation caches (micro-benchmark section) ===@.";
   List.iter
     (fun (name, s) ->
       Format.fprintf ppf
@@ -298,7 +347,7 @@ let run_perf ?json ?(check = false) ~pool ppf =
   match json with
   | None -> ()
   | Some path ->
-      write_json ~path ~jobs ~rows ~kernels ~caches;
+      write_json ~path ~jobs ~rows ~kernels ~caches ~metrics:(metrics_sample ());
       Format.fprintf ppf "perf baseline written to %s@." path
 
 (* --- self-contained HTML report: all experiment outputs + figures --- *)
@@ -400,15 +449,21 @@ type options = {
   json : string option;
   strict : bool;
   check : bool;
+  trace : string option;
+  metrics : bool;
   names : string list;
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [-j N|--jobs N] [--json PATH] [--strict] [--check] \
-     [EXPERIMENT...]";
+     [--trace FILE] [--metrics] [EXPERIMENT...]";
   prerr_endline
     "  --check   quick-mode perf (tiny quotas/workloads) for smoke tests";
+  prerr_endline
+    "  --trace FILE  record spans; write Chrome trace_event JSON to FILE";
+  prerr_endline
+    "  --metrics     print counters/histograms/caches to stderr at exit";
   prerr_endline
     ("experiments: "
     ^ String.concat " " (List.map (fun (n, _, _) -> n) experiments)
@@ -424,11 +479,13 @@ let parse_args argv =
             prerr_endline "main.exe: -j expects a positive integer";
             usage ();
             exit 1)
-    | [ ("-j" | "--jobs") ] | [ "--json" ] ->
+    | [ ("-j" | "--jobs") ] | [ "--json" ] | [ "--trace" ] ->
         prerr_endline "main.exe: missing option value";
         usage ();
         exit 1
     | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | "--trace" :: path :: rest -> go { acc with trace = Some path } rest
+    | "--metrics" :: rest -> go { acc with metrics = true } rest
     | "--strict" :: rest -> go { acc with strict = true } rest
     | "--check" :: rest -> go { acc with check = true } rest
     | name :: rest -> go { acc with names = acc.names @ [ name ] } rest
@@ -439,6 +496,8 @@ let parse_args argv =
       json = None;
       strict = false;
       check = false;
+      trace = None;
+      metrics = false;
       names = [];
     }
     argv
@@ -475,6 +534,10 @@ let () =
   Numerics.Robust.set_mode
     (if opts.strict then Numerics.Robust.Strict else Numerics.Robust.Graceful);
   Numerics.Robust.reset_degradations ();
+  (match (opts.trace, opts.metrics) with
+  | Some _, _ -> Numerics.Obs.set_level Numerics.Obs.Trace
+  | None, true -> Numerics.Obs.set_level Numerics.Obs.Metrics
+  | None, false -> ());
   let pool = Numerics.Pool.create ~domains:opts.jobs () in
   (* Maximal runs of plain experiments fan out across the pool, each
      rendering into its own buffer; buffers print in CLI order. The
@@ -524,6 +587,13 @@ let () =
       Numerics.Pool.shutdown pool;
       exit 2);
   Numerics.Pool.shutdown pool;
+  (match opts.trace with
+  | Some path ->
+      Numerics.Obs.write_chrome_trace ~path;
+      Format.eprintf "trace written to %s@." path
+  | None -> ());
+  if opts.metrics || opts.trace <> None then
+    Format.eprintf "%a@." Numerics.Obs.pp_metrics ();
   let ds = Numerics.Robust.degradations () in
   if ds <> [] then begin
     Format.eprintf "note: %d solver degradation(s) recovered:@."

@@ -40,6 +40,42 @@ let strict_arg =
            diagnostic and exit code 2, instead of being recovered and \
            reported on stderr.")
 
+(* Shared observability options: --trace FILE turns full tracing on and
+   writes a Chrome trace_event JSON at exit; --metrics prints the
+   counter/histogram/cache dump to stderr. Both default to off, leaving
+   the instrumentation at its single-branch disabled cost. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans for the whole run and write a Chrome trace_event \
+           JSON document to $(docv) (open in chrome://tracing or \
+           Perfetto). Implies $(b,--metrics)-level counters.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect counters and latency histograms during the run and \
+           print them to stderr at exit.")
+
+let with_obs ~trace ~metrics body =
+  (match (trace, metrics) with
+  | Some _, _ -> Numerics.Obs.set_level Numerics.Obs.Trace
+  | None, true -> Numerics.Obs.set_level Numerics.Obs.Metrics
+  | None, false -> ());
+  body ();
+  (match trace with
+  | Some path ->
+      Numerics.Obs.write_chrome_trace ~path;
+      Format.eprintf "trace written to %s@." path
+  | None -> ());
+  if metrics || trace <> None then
+    Format.eprintf "%a@." Numerics.Obs.pp_metrics ()
+
 let with_strict strict body =
   Numerics.Robust.set_mode
     (if strict then Numerics.Robust.Strict else Numerics.Robust.Graceful);
@@ -88,7 +124,7 @@ let repro_cmd =
           ~doc:"Experiments to run (default: all). One of fig1 table41 \
                 table42 fig2 fig3 fig4 fig5 fig6 fig7 table51 thm61 coeffs.")
   in
-  let run names jobs strict =
+  let run names jobs strict trace metrics =
     let todo = if names = [] then List.map fst experiments else names in
     match List.filter (fun n -> not (List.mem_assoc n experiments)) todo with
     | _ :: _ as unknown ->
@@ -97,12 +133,14 @@ let repro_cmd =
           unknown;
         exit 1
     | [] ->
+        with_obs ~trace ~metrics @@ fun () ->
         with_strict strict @@ fun () ->
         let pool = pool_of_jobs jobs in
         let outputs =
           Numerics.Pool.parallel_list_map pool
             (fun n ->
               let f = List.assoc n experiments in
+              Numerics.Obs.span ~cat:"experiment" ("repro." ^ n) @@ fun () ->
               let b = Buffer.create 4096 in
               let bf = Format.formatter_of_buffer b in
               f bf;
@@ -115,7 +153,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ names $ jobs_arg $ strict_arg)
+    Term.(const run $ names $ jobs_arg $ strict_arg $ trace_arg $ metrics_arg)
 
 (* ---------- distinct ---------- *)
 
@@ -173,7 +211,8 @@ let maxdom_cmd =
       & info [ "full" ] ~doc:"Use the full-size Section 8.2 workload.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed.") in
-  let run percent full seed strict =
+  let run percent full seed strict trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     with_strict strict @@ fun () ->
     let params =
       if full then Workload.Traffic.default
@@ -217,7 +256,8 @@ let maxdom_cmd =
   in
   Cmd.v
     (Cmd.info "maxdom" ~doc:"Max dominance over two-hour traffic")
-    Term.(const run $ percent $ full $ seed $ strict_arg)
+    Term.(const run $ percent $ full $ seed $ strict_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---------- derive ---------- *)
 
@@ -246,7 +286,8 @@ let derive_cmd =
           ~doc:"dense = order-based L (Algorithm 1); sparse = partition U \
                 (Algorithm 2).")
   in
-  let run fn probs grid order strict =
+  let run fn probs grid order strict trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     with_strict strict @@ fun () ->
     let probs = Array.of_list probs in
     let f =
@@ -306,7 +347,8 @@ let derive_cmd =
   Cmd.v
     (Cmd.info "derive"
        ~doc:"Machine-derive an optimal estimator (Algorithms 1/2)")
-    Term.(const run $ fn $ probs $ grid $ order $ strict_arg)
+    Term.(const run $ fn $ probs $ grid $ order $ strict_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---------- catalog ---------- *)
 
@@ -325,7 +367,8 @@ let plots_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-size Figure 7 workload.")
   in
-  let run dir full jobs strict =
+  let run dir full jobs strict trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     with_strict strict @@ fun () ->
     let pool = pool_of_jobs jobs in
     let paths =
@@ -339,7 +382,8 @@ let plots_cmd =
   in
   Cmd.v
     (Cmd.info "plots" ~doc:"Render the paper's figures to SVG files")
-    Term.(const run $ dir $ full $ jobs_arg $ strict_arg)
+    Term.(const run $ dir $ full $ jobs_arg $ strict_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---------- sample / estimate: the persisted-sample pipeline ---------- *)
 
@@ -377,6 +421,12 @@ let sample_cmd =
             Sampling.Io.pp_parse_error e;
           exit 1
     in
+    if k <= 0. then begin
+      Format.eprintf "expected sample size k = %g must be positive@." k;
+      exit 1
+    end;
+    (* k beyond the instance size means "keep everything": tau = 0. *)
+    let k = Float.min k (float_of_int (Sampling.Instance.cardinality inst)) in
     let tau = Sampling.Poisson.tau_for_expected_size inst k in
     let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
     let s = Sampling.Poisson.pps_sample seeds ~instance ~tau inst in
@@ -396,7 +446,8 @@ let estimate_cmd =
   let s1 = Arg.(required & opt (some file) None & info [ "s1" ] ~doc:"Sample of instance 0.") in
   let s2 = Arg.(required & opt (some file) None & info [ "s2" ] ~doc:"Sample of instance 1.") in
   let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed used when sampling.") in
-  let run s1 s2 master strict =
+  let run s1 s2 master strict trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     with_strict strict @@ fun () ->
     let read path =
       match Sampling.Io.read_pps_opt ~path with
@@ -427,7 +478,7 @@ let estimate_cmd =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate multi-instance aggregates from two persisted samples")
-    Term.(const run $ s1 $ s2 $ master $ strict_arg)
+    Term.(const run $ s1 $ s2 $ master $ strict_arg $ trace_arg $ metrics_arg)
 
 (* ---------- exists ---------- *)
 

@@ -268,6 +268,7 @@ let ht_share_assign ~eps ~table ~f ~dist ~batch ~fresh =
 
 let solve_partition_robust ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2)
     ~batches ~f ~dist () =
+  Numerics.Obs.span ~cat:"designer" "designer.solve_partition" @@ fun () ->
   let table : 'k estimator = Hashtbl.create 64 in
   let qp_clean = ref 0 in
   let degraded = ref [] in
@@ -276,12 +277,39 @@ let solve_partition_robust ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2)
   in
   let failure = ref None in
   let commit fresh x = Array.iteri (fun i k -> Hashtbl.replace table k x.(i)) fresh in
+  (* One span per batch, tagged with the provenance rung it settled on
+     ("qp-clean", "qp", "lp-feasible", "ht-share" or "failed"), so a
+     trace shows at a glance which batches degraded and what they cost. *)
+  let record_batch bi t0 =
+    if Numerics.Obs.enabled () then begin
+      let dur = Int64.sub (Numerics.Obs.now_ns ()) t0 in
+      let rung =
+        match !failure with
+        | Some _ -> "failed"
+        | None -> (
+            match !degraded with
+            | { batch = b; rung = r; _ } :: _ when b = bi -> r
+            | _ -> "qp-clean")
+      in
+      Numerics.Obs.count ("designer.batch." ^ rung);
+      (* record_span feeds the histogram itself; observe only when no
+         span will be retained, so each batch lands exactly once. *)
+      if Numerics.Obs.tracing () then
+        Numerics.Obs.record_span ~cat:"designer"
+          ~args:[ ("batch", string_of_int bi); ("rung", rung) ]
+          ~name:"designer.batch" ~start_ns:t0 ~dur_ns:dur ()
+      else Numerics.Obs.observe_ns "designer.batch" dur
+    end
+  in
   (try
      List.iteri
        (fun bi batch ->
          match !failure with
          | Some _ -> ()
          | None ->
+             let t0 =
+               if Numerics.Obs.enabled () then Numerics.Obs.now_ns () else 0L
+             in
              let laters = List.concat !later_batches in
              (later_batches :=
                 match !later_batches with [] -> [] | _ :: tl -> tl);
@@ -359,7 +387,8 @@ let solve_partition_robust ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2)
                              }
                              :: !degraded
                        | Error fl -> failure := Some fl))
-             end)
+             end;
+             record_batch bi t0)
        batches
    with Numerics.Robust.Solver_error fl -> failure := Some fl);
   match !failure with

@@ -105,7 +105,16 @@ let gl_pieces ?(n = 32) ~breakpoints f a b =
 
 exception Non_finite_at of float
 
+let counted name r =
+  (match r with
+  | Ok _ -> Obs.count (name ^ ".ok")
+  | Error _ -> Obs.count (name ^ ".fail"));
+  r
+
 let simpson_r ?(tol = 1e-11) ?(max_depth = 40) f a b =
+  Obs.span ~cat:"solver" "integrate.simpson" @@ fun () ->
+  counted "integrate.simpson"
+  @@
   let s = Robust.Quadrature in
   if a = b then
     Error
@@ -194,6 +203,9 @@ let gl_cross_check ?(breakpoints = []) ~rel_tol f a b =
   end
 
 let robust ?(tol = 1e-11) f a b =
+  Obs.span ~cat:"solver" "integrate.robust" @@ fun () ->
+  counted "integrate.robust"
+  @@
   let site = "integrate.simpson" in
   let primary =
     match
@@ -215,6 +227,7 @@ let robust ?(tol = 1e-11) f a b =
       gl_cross_check ~rel_tol:1e-6 f a b
 
 let robust_pieces ?(tol = 1e-11) ~breakpoints f a b =
+  Obs.span ~cat:"solver" "integrate.gl_pieces" @@ fun () ->
   let site = "integrate.gl_pieces" in
   let primary =
     match
@@ -239,7 +252,9 @@ let robust_pieces ?(tol = 1e-11) ~breakpoints f a b =
         Error (Robust.fail Robust.Quadrature Robust.Non_convergence)
   in
   match primary with
-  | Ok v -> v
+  | Ok v ->
+      Obs.count "integrate.gl_pieces.ok";
+      v
   | Error cause -> (
       (* Cheap rung first: two fixed GL orders on the same pieces
          (~3.5× the clean cost). Adaptive Simpson is the last resort —

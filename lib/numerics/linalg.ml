@@ -119,7 +119,16 @@ let solve a b =
          "Linalg.solve: singular %d×%d system (best pivot %g in column %d)"
          (Array.length a) (Array.length a) piv col)
 
+let counted name r =
+  (match r with
+  | Ok _ -> Obs.count (name ^ ".ok")
+  | Error _ -> Obs.count (name ^ ".fail"));
+  r
+
 let solve_r a b =
+  Obs.span ~cat:"solver" "linalg.solve" @@ fun () ->
+  counted "linalg.solve"
+  @@
   match Robust.check_mat Robust.Linear_solve ~what:"a" a with
   | Error f -> Error f
   | Ok () -> (
@@ -136,6 +145,7 @@ let solve_r a b =
                 (Robust.fail Robust.Linear_solve (Robust.Invalid_input msg))))
 
 let solve_lstsq a b =
+  Obs.span ~cat:"solver" "linalg.lstsq" @@ fun () ->
   let at = transpose a in
   let ata = mat_mul at a in
   let n = Array.length ata in

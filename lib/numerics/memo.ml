@@ -43,7 +43,14 @@ type ('k, 'v) t = {
 
 (* Registry of every live cache so the bench harness can snapshot and
    reset cache effectiveness without threading handles everywhere. *)
-let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
+type registered = {
+  r_name : string;
+  r_stats : unit -> stats;
+  r_purge : unit -> unit;
+  r_validate : unit -> (unit, string) result;
+}
+
+let registry : registered list ref = ref []
 let registry_mutex = Mutex.create ()
 
 let stats_locked t =
@@ -66,13 +73,63 @@ let remove_from_bucket t e =
       | [] -> Hashtbl.remove t.buckets e.khash
       | es' -> Hashtbl.replace t.buckets e.khash es')
 
-let clear t =
-  Mutex.protect t.mutex @@ fun () ->
+let clear_locked t =
   Hashtbl.reset t.buckets;
   Array.fill t.slots 0 t.capacity None;
   t.hand <- 0;
   t.count <- 0;
   t.bytes <- 0
+
+let clear t = Mutex.protect t.mutex (fun () -> clear_locked t)
+
+(* One critical section for both the entry drop and the counter reset:
+   a concurrent [stats] can observe either the before- or the
+   after-state, never a cleared table with stale hit/miss/eviction
+   history (which is what used to make per-run deltas in the bench
+   cache report go negative). *)
+let purge t =
+  Mutex.protect t.mutex @@ fun () ->
+  clear_locked t;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+(* Cross-check the derived bookkeeping (count / bytes / buckets) against
+   the slots array, which is the ground truth. Any drift here means an
+   insert/evict path updated one side and not the other. *)
+let validate t =
+  Mutex.protect t.mutex @@ fun () ->
+  let count = ref 0 and words = ref 0 and orphans = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some e ->
+          incr count;
+          words := !words + e.words;
+          (match Hashtbl.find_opt t.buckets e.khash with
+          | Some es when List.memq e es -> ()
+          | _ -> incr orphans))
+    t.slots;
+  let bucketed = Hashtbl.fold (fun _ es acc -> acc + List.length es) t.buckets 0 in
+  let bytes = !words * (Sys.word_size / 8) in
+  if !orphans > 0 then
+    Error
+      (Printf.sprintf "Memo %s: %d slot entries missing from buckets" t.name
+         !orphans)
+  else if !count <> t.count then
+    Error
+      (Printf.sprintf "Memo %s: count %d but %d resident entries" t.name
+         t.count !count)
+  else if bucketed <> t.count then
+    Error
+      (Printf.sprintf "Memo %s: %d bucketed entries but count %d" t.name
+         bucketed t.count)
+  else if bytes <> t.bytes then
+    Error
+      (Printf.sprintf
+         "Memo %s: bytes_estimate %d but resident entries account for %d"
+         t.name t.bytes bytes)
+  else Ok ()
 
 let create ?(capacity = 256) ~name ~hash ~equal () =
   if capacity <= 0 then invalid_arg "Memo.create: capacity must be positive";
@@ -94,7 +151,14 @@ let create ?(capacity = 256) ~name ~hash ~equal () =
     }
   in
   Mutex.protect registry_mutex (fun () ->
-      registry := (name, (fun () -> stats t), (fun () -> clear t)) :: !registry);
+      registry :=
+        {
+          r_name = name;
+          r_stats = (fun () -> stats t);
+          r_purge = (fun () -> purge t);
+          r_validate = (fun () -> validate t);
+        }
+        :: !registry);
   t
 
 let name t = t.name
@@ -178,14 +242,19 @@ let find_opt t k =
       t.misses <- t.misses + 1;
       None
 
+let registered () = Mutex.protect registry_mutex (fun () -> !registry)
+
 let all_stats () =
-  Mutex.protect registry_mutex (fun () ->
-      List.rev_map (fun (name, st, _) -> (name, st ())) !registry)
+  registered ()
+  |> List.rev_map (fun r -> (r.r_name, r.r_stats ()))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let clear_all () =
-  let clears =
-    Mutex.protect registry_mutex (fun () ->
-        List.map (fun (_, _, clear) -> clear) !registry)
-  in
-  List.iter (fun clear -> clear ()) clears
+(* Purge, not just clear: resetting entries while keeping cumulative
+   hit/miss history would let a later snapshot pair old counters with an
+   empty table, so per-run deltas in the bench report could go negative. *)
+let clear_all () = List.iter (fun r -> r.r_purge ()) (registered ())
+
+let validate_all () =
+  registered ()
+  |> List.rev_map (fun r -> (r.r_name, r.r_validate ()))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

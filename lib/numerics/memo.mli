@@ -58,11 +58,30 @@ val stats : ('k, 'v) t -> stats
     bytes, not the hit/miss/eviction history). *)
 
 val clear : ('k, 'v) t -> unit
-(** Drop all resident entries (not counted as evictions). *)
+(** Drop all resident entries (not counted as evictions). Counters keep
+    their cumulative history; use {!purge} for a full reset. *)
+
+val purge : ('k, 'v) t -> unit
+(** Drop all resident entries {e and} zero the hit/miss/eviction
+    counters, in one critical section — a concurrent {!stats} sees
+    either the old state or the fully-reset one, never an empty table
+    with stale history. *)
+
+val validate : ('k, 'v) t -> (unit, string) result
+(** Audit the cache's internal bookkeeping: every slot entry must be
+    reachable from its bucket, [entries] must equal the resident count
+    on both the slot and bucket side, and [bytes_estimate] must equal
+    the sum of the sizes recorded at insertion (so eviction subtracted
+    exactly what insertion added). [Error msg] describes the first
+    drift found. *)
 
 val all_stats : unit -> (string * stats) list
 (** Stats of every cache created so far, sorted by name. *)
 
 val clear_all : unit -> unit
-(** {!clear} every registered cache — e.g. between timed benchmark runs
-    so each run derives from a cold cache. *)
+(** {!purge} every registered cache — e.g. between timed benchmark runs
+    so each run derives from a cold cache and reports counters for that
+    run only. *)
+
+val validate_all : unit -> (string * (unit, string) result) list
+(** {!validate} every registered cache, sorted by name. *)

@@ -1,0 +1,386 @@
+(* Tracing + metrics registry.
+
+   Disabled-mode discipline: every public recording entry point must
+   reduce to [Atomic.get lv = 0] plus a branch — no allocation, no
+   clock read, no lock. The perf gate keeps a kernel pair honest about
+   this (bench "obs:" entries).
+
+   Enabled mode writes into per-domain shards. A shard is owned by the
+   domain that created it; its mutex serializes the owner's writes
+   against merge reads from other domains. The registry (list of all
+   shards) has its own mutex and only grows. *)
+
+type level = Off | Metrics | Trace
+
+(* 0 = Off, 1 = Metrics, 2 = Trace — kept as an int so the disabled
+   check is one atomic load and one integer compare. *)
+let lv = Atomic.make 0
+
+let set_level l =
+  Atomic.set lv (match l with Off -> 0 | Metrics -> 1 | Trace -> 2)
+
+let level () =
+  match Atomic.get lv with 0 -> Off | 1 -> Metrics | _ -> Trace
+
+let enabled () = Atomic.get lv > 0
+let tracing () = Atomic.get lv >= 2
+let now_ns () = Monotonic_clock.now ()
+
+(* Trace epoch: timestamp zero of the exported trace. Armed lazily by
+   the first event recorded after a reset/start so ts values stay small
+   and positive. *)
+let epoch = Atomic.make 0L
+
+let epoch_ns () =
+  let e = Atomic.get epoch in
+  if e <> 0L then e
+  else begin
+    let now = now_ns () in
+    (* A lost race keeps the earlier epoch; both candidates are "about
+       now", and ts subtraction only needs a consistent zero. *)
+    ignore (Atomic.compare_and_set epoch 0L now);
+    Atomic.get epoch
+  end
+
+let hist_buckets = 40 (* 2^40 ns ≈ 18 min: ample for any span here *)
+
+type hist = { h_count : int; h_sum_ns : float; h_buckets : int array }
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_args : (string * string) list;
+  ev_ts_ns : int64;
+  ev_dur_ns : int64;
+  ev_tid : int;
+}
+
+type hist_mut = {
+  mutable m_count : int;
+  mutable m_sum_ns : float;
+  m_buckets : int array;
+}
+
+type shard = {
+  tid : int;
+  lock : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist_mut) Hashtbl.t;
+  mutable events : event list;
+}
+
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          tid = (Domain.self () :> int);
+          lock = Mutex.create ();
+          counters = Hashtbl.create 32;
+          hists = Hashtbl.create 32;
+          events = [];
+        }
+      in
+      Mutex.protect registry_mutex (fun () -> registry := s :: !registry);
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let bucket_of_ns ns =
+  (* Index of the highest set bit, clamped: durations in [2^i, 2^{i+1})
+     land in bucket i, and anything longer than 2^(buckets-1) ns piles
+     into the last bucket. *)
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let n = Int64.to_int ns in
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  Stdlib.min (go 0 n) (hist_buckets - 1)
+
+let count ?(by = 1) name =
+  if Atomic.get lv = 0 then ()
+  else begin
+    let s = my_shard () in
+    Mutex.protect s.lock (fun () ->
+        match Hashtbl.find_opt s.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add s.counters name (ref by))
+  end
+
+let observe_shard s name dur_ns =
+  Mutex.protect s.lock (fun () ->
+      let h =
+        match Hashtbl.find_opt s.hists name with
+        | Some h -> h
+        | None ->
+            let h =
+              { m_count = 0; m_sum_ns = 0.; m_buckets = Array.make hist_buckets 0 }
+            in
+            Hashtbl.add s.hists name h;
+            h
+      in
+      h.m_count <- h.m_count + 1;
+      h.m_sum_ns <- h.m_sum_ns +. Int64.to_float dur_ns;
+      let b = bucket_of_ns dur_ns in
+      h.m_buckets.(b) <- h.m_buckets.(b) + 1)
+
+let observe_ns name dur_ns =
+  if Atomic.get lv = 0 then () else observe_shard (my_shard ()) name dur_ns
+
+let push_event s ev = Mutex.protect s.lock (fun () -> s.events <- ev :: s.events)
+
+let record_span ?(cat = "") ?(args = []) ~name ~start_ns ~dur_ns () =
+  if Atomic.get lv = 0 then ()
+  else begin
+    let s = my_shard () in
+    observe_shard s name dur_ns;
+    if Atomic.get lv >= 2 then
+      push_event s
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_args = args;
+          ev_ts_ns = Int64.sub start_ns (epoch_ns ());
+          ev_dur_ns = dur_ns;
+          ev_tid = s.tid;
+        }
+  end
+
+let span ?(cat = "") name f =
+  if Atomic.get lv = 0 then f ()
+  else begin
+    let t0 = now_ns () in
+    let finish () =
+      let dur = Int64.sub (now_ns ()) t0 in
+      record_span ~cat ~name ~start_ns:t0 ~dur_ns:dur ()
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* ---------- merged reads ---------- *)
+
+let shards_snapshot () = Mutex.protect registry_mutex (fun () -> !registry)
+
+let counters () =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.iter
+            (fun name r ->
+              match Hashtbl.find_opt acc name with
+              | Some t -> t := !t + !r
+              | None -> Hashtbl.add acc name (ref !r))
+            s.counters))
+    (shards_snapshot ());
+  Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms () =
+  let acc : (string, hist_mut) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.iter
+            (fun name h ->
+              let t =
+                match Hashtbl.find_opt acc name with
+                | Some t -> t
+                | None ->
+                    let t =
+                      {
+                        m_count = 0;
+                        m_sum_ns = 0.;
+                        m_buckets = Array.make hist_buckets 0;
+                      }
+                    in
+                    Hashtbl.add acc name t;
+                    t
+              in
+              t.m_count <- t.m_count + h.m_count;
+              t.m_sum_ns <- t.m_sum_ns +. h.m_sum_ns;
+              Array.iteri
+                (fun i c -> t.m_buckets.(i) <- t.m_buckets.(i) + c)
+                h.m_buckets)
+            s.hists))
+    (shards_snapshot ());
+  Hashtbl.fold
+    (fun name h l ->
+      ( name,
+        {
+          h_count = h.m_count;
+          h_sum_ns = h.m_sum_ns;
+          h_buckets = Array.copy h.m_buckets;
+        } )
+      :: l)
+    acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hist_quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let q = Stdlib.max 0. (Stdlib.min 1. q) in
+    let target = q *. float_of_int h.h_count in
+    let seen = ref 0 in
+    let result = ref 0. in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if float_of_int !seen >= target && c > 0 then begin
+             (* upper edge of bucket i is 2^(i+1) ns *)
+             result := Float.pow 2. (float_of_int (i + 1));
+             raise Exit
+           end)
+         h.h_buckets
+     with Exit -> ());
+    !result
+  end
+
+let events () =
+  List.concat_map
+    (fun s -> Mutex.protect s.lock (fun () -> s.events))
+    (shards_snapshot ())
+  |> List.sort (fun a b -> Int64.compare a.ev_ts_ns b.ev_ts_ns)
+
+let reset () =
+  List.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.reset s.counters;
+          Hashtbl.reset s.hists;
+          s.events <- []))
+    (shards_snapshot ());
+  Atomic.set epoch 0L
+
+(* ---------- sinks ---------- *)
+
+let pp_metrics ppf () =
+  Format.fprintf ppf "=== metrics: counters ===@.";
+  let cs = counters () in
+  if cs = [] then Format.fprintf ppf "  (none)@.";
+  List.iter (fun (n, v) -> Format.fprintf ppf "  %-40s %12d@." n v) cs;
+  Format.fprintf ppf "=== metrics: latency histograms ===@.";
+  let hs = histograms () in
+  if hs = [] then Format.fprintf ppf "  (none)@.";
+  List.iter
+    (fun (n, h) ->
+      Format.fprintf ppf
+        "  %-40s n %8d  total %10.3f ms  p50 %10.0f ns  p99 %10.0f ns@." n
+        h.h_count (h.h_sum_ns /. 1e6) (hist_quantile h 0.5)
+        (hist_quantile h 0.99))
+    hs;
+  Format.fprintf ppf "=== metrics: derivation caches ===@.";
+  let caches = Memo.all_stats () in
+  if caches = [] then Format.fprintf ppf "  (none)@.";
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf
+        "  %-24s hits %8d  misses %6d  evict %5d  resident %4d/%-4d %8d B@."
+        name s.Memo.hits s.Memo.misses s.Memo.evictions s.Memo.entries
+        s.Memo.capacity s.Memo.bytes_estimate)
+    caches
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One object per line, like the bench JSON, so awk tooling keeps
+   working. *)
+let metrics_json buf =
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "\"counters\": [\n";
+  let cs = counters () in
+  let n = List.length cs in
+  List.iteri
+    (fun i (name, v) ->
+      add
+        (Printf.sprintf "{\"name\": \"%s\", \"value\": %d}%s\n"
+           (json_escape name) v
+           (if i = n - 1 then "" else ",")))
+    cs;
+  add "],\n";
+  add "\"histograms\": [\n";
+  let hs = histograms () in
+  let n = List.length hs in
+  List.iteri
+    (fun i (name, h) ->
+      add
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"count\": %d, \"sum_ns\": %.0f, \"p50_ns\": \
+            %.0f, \"p99_ns\": %.0f}%s\n"
+           (json_escape name) h.h_count h.h_sum_ns (hist_quantile h 0.5)
+           (hist_quantile h 0.99)
+           (if i = n - 1 then "" else ",")))
+    hs;
+  add "],\n";
+  add "\"caches\": [\n";
+  let caches = Memo.all_stats () in
+  let n = List.length caches in
+  List.iteri
+    (fun i (name, s) ->
+      add
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"hits\": %d, \"misses\": %d, \"evictions\": \
+            %d, \"entries\": %d, \"capacity\": %d, \"bytes_estimate\": %d}%s\n"
+           (json_escape name) s.Memo.hits s.Memo.misses s.Memo.evictions
+           s.Memo.entries s.Memo.capacity s.Memo.bytes_estimate
+           (if i = n - 1 then "" else ",")))
+    caches;
+  add "]\n}"
+
+let chrome_trace buf =
+  let add = Buffer.add_string buf in
+  add "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  let evs = events () in
+  let n = List.length evs in
+  List.iteri
+    (fun i ev ->
+      let args =
+        match ev.ev_args with
+        | [] -> ""
+        | args ->
+            Printf.sprintf ", \"args\": {%s}"
+              (String.concat ", "
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf "\"%s\": \"%s\"" (json_escape k)
+                        (json_escape v))
+                    args))
+      in
+      add
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \
+            \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f%s}%s\n"
+           (json_escape ev.ev_name)
+           (json_escape (if ev.ev_cat = "" then "span" else ev.ev_cat))
+           ev.ev_tid
+           (Int64.to_float ev.ev_ts_ns /. 1e3)
+           (Int64.to_float ev.ev_dur_ns /. 1e3)
+           args
+           (if i = n - 1 then "" else ",")))
+    evs;
+  add "]}\n"
+
+let write_chrome_trace ~path =
+  let buf = Buffer.create 65536 in
+  chrome_trace buf;
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc

@@ -1,0 +1,140 @@
+(** Low-overhead tracing and metrics for the whole pipeline.
+
+    [Obs] is the process-wide observability registry: monotonic-clock
+    spans with parent/child nesting (nesting is the dynamic extent of
+    {!span} calls), named counters, and log-scale latency histograms.
+    Solver entry points, the designer, the sampling insert paths, and
+    {!Pool} chunk execution all report here, so a run can show {e which}
+    derivation rung or fallback produced each estimate and what it cost.
+
+    {2 Cost model}
+
+    The subsystem has three levels. At [Off] (the default) every
+    instrumentation point is a single load of one atomic int plus a
+    branch — no allocation, no clock read, no lock. At [Metrics],
+    counters and histograms are recorded into {e per-domain shards}
+    (one mutex-protected shard per domain, merged on read — mirroring
+    the [Stats.Acc] shard-merge of the Monte-Carlo kernels), but no
+    span records are retained. At [Trace], completed spans are
+    additionally retained and can be exported as Chrome [trace_event]
+    JSON (loadable in [chrome://tracing] or Perfetto).
+
+    Shards self-register on first use by a domain; reads
+    ({!counters}, {!histograms}, {!events}) merge all shards under the
+    registry mutex. Counter totals are deterministic: each domain
+    mutates only its own shard, and pool joins give the
+    happens-before edge that makes the final merged read exact.
+
+    All timing under [lib/] must go through {!now_ns} / {!span} — the
+    lint ([bench/lint.sh]) forbids direct [Unix.gettimeofday] /
+    [Sys.time] calls there. *)
+
+type level = Off | Metrics | Trace
+
+val set_level : level -> unit
+(** Set the global instrumentation level. Turning tracing on fixes the
+    trace epoch (timestamp zero) at the first transition to [Trace]. *)
+
+val level : unit -> level
+
+val enabled : unit -> bool
+(** [level () <> Off] — one atomic load. *)
+
+val tracing : unit -> bool
+(** [level () = Trace] — one atomic load. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. The only sanctioned time source under
+    [lib/]; wraps the bechamel monotonic-clock stub
+    ([CLOCK_MONOTONIC]). *)
+
+(** {2 Recording} *)
+
+val count : ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter of this domain's shard.
+    A no-op single branch when disabled. *)
+
+val observe_ns : string -> int64 -> unit
+(** Record one duration into the named log-scale histogram (power-of-two
+    nanosecond buckets). A no-op single branch when disabled. *)
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span ~cat name f] times [f ()] with the monotonic clock, feeds the
+    duration into the histogram named [name], and — at [Trace] level —
+    retains a completed-span event. Nesting is the call nesting: spans
+    opened inside [f] are children of this one (rendered as stacked
+    slices on the same track by Chrome tracing). The duration is
+    recorded even when [f] raises. When disabled, [span name f] is
+    exactly [f ()] after one branch. *)
+
+val record_span :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  name:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  unit ->
+  unit
+(** Lower-level span record for call sites whose label or [args] (e.g. a
+    provenance tag) are only known after the timed region finished. Also
+    feeds the histogram named [name]. No-op when disabled. *)
+
+(** {2 Reading} *)
+
+val hist_buckets : int
+(** Number of histogram buckets (bucket [i] counts durations in
+    [[2{^i}, 2{^i+1}) ns]; the last bucket absorbs the tail). *)
+
+type hist = {
+  h_count : int;  (** observations *)
+  h_sum_ns : float;  (** total duration *)
+  h_buckets : int array;  (** length {!hist_buckets}; log2-ns scale *)
+}
+
+val counters : unit -> (string * int) list
+(** All counters, shards merged, sorted by name. *)
+
+val histograms : unit -> (string * hist) list
+(** All histograms, shards merged (bucket-wise sums), sorted by name. *)
+
+val hist_quantile : hist -> float -> float
+(** [hist_quantile h q] with [q ∈ [0,1]]: approximate quantile in
+    nanoseconds (upper edge of the bucket holding the [q]-th
+    observation; [0.] when empty). *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_args : (string * string) list;
+  ev_ts_ns : int64;  (** start, relative to the trace epoch *)
+  ev_dur_ns : int64;
+  ev_tid : int;  (** recording domain id *)
+}
+
+val events : unit -> event list
+(** All retained span events, shards merged, sorted by start time.
+    Empty unless the level was [Trace] while the spans ran. *)
+
+val reset : unit -> unit
+(** Clear every shard (counters, histograms, retained events) and
+    re-arm the trace epoch. Call only when no instrumented work is in
+    flight. *)
+
+(** {2 Sinks} *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Human-readable dump: counters, histogram summaries (count, total,
+    p50/p99), and the {!Memo} cache gauges (hits/misses/evictions per
+    registered derivation cache). *)
+
+val metrics_json : Buffer.t -> unit
+(** Append a JSON object [{"counters": [...], "histograms": [...],
+    "caches": [...]}] — one object per line, matching the bench JSON
+    house style so [bench/compare.sh] can keep using awk. *)
+
+val chrome_trace : Buffer.t -> unit
+(** Append the full Chrome [trace_event] JSON document (complete "X"
+    events, microsecond timestamps, one track per domain). *)
+
+val write_chrome_trace : path:string -> unit
+(** {!chrome_trace} to a file. *)

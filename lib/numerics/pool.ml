@@ -148,18 +148,55 @@ let default () =
    per-task overhead stays negligible, and — when the caller knows its
    bodies are tiny — at least [grain] indices per chunk so enqueue/wakeup
    cost amortizes over a grain of real work. Chunk layout depends on
-   (n, requested, grain) only — not on scheduling. *)
-let chunk_ranges t ?grain n =
-  let nchunks = Stdlib.min n (4 * t.requested) in
-  let nchunks =
-    match grain with
-    | None -> nchunks
-    | Some g when g <= 0 -> invalid_arg "Pool: grain must be positive"
-    | Some g -> Stdlib.max 1 (Stdlib.min nchunks (n / g))
+   (n, requested, grain) only — not on scheduling.
+
+   Boundary triples (n = 0, n < domains, grain > n) are the historical
+   trap: the grain clamp [max 1 ...] used to manufacture one empty
+   (0, 0) chunk for n = 0, so every layout is checked against the
+   partition invariant before use. *)
+let check_partition ~n ranges =
+  let rec go prev = function
+    | [] ->
+        if prev <> n then
+          failwith
+            (Printf.sprintf
+               "Pool: chunk layout stops at %d, expected to cover [0, %d)"
+               prev n)
+    | (lo, hi) :: rest ->
+        if lo <> prev then
+          failwith
+            (Printf.sprintf
+               "Pool: chunk [%d, %d) does not start at previous end %d" lo hi
+               prev)
+        else if hi <= lo then
+          failwith (Printf.sprintf "Pool: empty chunk [%d, %d)" lo hi)
+        else go hi rest
   in
-  List.init nchunks (fun c ->
-      let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
-      (lo, hi))
+  go 0 ranges;
+  ranges
+
+let chunk_ranges t ?grain n =
+  if n < 0 then invalid_arg "Pool: negative length";
+  (match grain with
+  | Some g when g <= 0 -> invalid_arg "Pool: grain must be positive"
+  | _ -> ());
+  if n = 0 then []
+  else begin
+    let nchunks = Stdlib.min n (4 * t.requested) in
+    let nchunks =
+      match grain with
+      | None -> nchunks
+      | Some g -> Stdlib.max 1 (Stdlib.min nchunks (n / g))
+    in
+    (* 1 <= nchunks <= n here, so every floor-partition chunk is
+       nonempty and the union is exactly [0, n). *)
+    check_partition ~n
+      (List.init nchunks (fun c ->
+           let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+           (lo, hi)))
+  end
+
+let chunks ?grain t n = chunk_ranges t ?grain n
 
 let parallel_init ?grain t ~n body =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
@@ -167,13 +204,40 @@ let parallel_init ?grain t ~n body =
   else if t.requested <= 1 then Array.init n body
   else begin
     let res = Array.make n None in
+    let run_chunk (lo, hi) () =
+      (* Per-chunk task timing feeds the "pool.chunk" histogram (and, when
+         tracing, one span per chunk) so skewed chunk layouts show up in
+         the trace rather than only as mysterious wall-clock. Off-mode
+         cost is the single branch inside {!Obs.enabled}. *)
+      if not (Obs.enabled ()) then
+        for i = lo to hi - 1 do
+          res.(i) <- Some (body i)
+        done
+      else begin
+        let start = Obs.now_ns () in
+        let fin () =
+          let dur = Int64.sub (Obs.now_ns ()) start in
+          (* record_span feeds the histogram itself — observe only when
+             no span is retained, so each chunk lands exactly once. *)
+          if Obs.tracing () then
+            Obs.record_span ~cat:"pool"
+              ~args:
+                [ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+              ~name:"pool.chunk" ~start_ns:start ~dur_ns:dur ()
+          else Obs.observe_ns "pool.chunk" dur
+        in
+        (try
+           for i = lo to hi - 1 do
+             res.(i) <- Some (body i)
+           done
+         with e ->
+           fin ();
+           raise e);
+        fin ()
+      end
+    in
     let tasks =
-      chunk_ranges t ?grain n
-      |> List.map (fun (lo, hi) () ->
-             for i = lo to hi - 1 do
-               res.(i) <- Some (body i)
-             done)
-      |> Array.of_list
+      chunk_ranges t ?grain n |> List.map run_chunk |> Array.of_list
     in
     run_all t tasks;
     Array.mapi

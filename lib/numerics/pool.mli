@@ -54,6 +54,14 @@ val default : unit -> t
     enqueue/wakeup overhead amortizes over a grain of real work:
     [nchunks = max 1 (min (4 * size) (n / grain))]. *)
 
+val chunks : ?grain:int -> t -> int -> (int * int) list
+(** [chunks ?grain t n] is the exact [(lo, hi)] half-open chunk layout
+    the combinators use for an index range of length [n]. Guaranteed to
+    partition [[0, n)] exactly once with no empty chunk ([[]] when
+    [n = 0]) — including the boundary triples [n = 0], [n < size t] and
+    [grain > n]. Raises [Invalid_argument] on [n < 0] or a non-positive
+    [grain]. Exposed so granularity decisions are testable. *)
+
 val parallel_map : ?grain:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Like [Array.map], elements computed across the pool. Order is
     preserved. Any task exception is re-raised in the caller (after all

@@ -217,8 +217,19 @@ let retryable (f : Robust.failure) =
       true
   | Robust.Infeasible | Robust.Invalid_input _ -> false
 
+(* Tag the result with an outcome counter under the span's name, so the
+   metrics dump pairs "how long" with "how often it worked". *)
+let counted name r =
+  (match r with
+  | Ok _ -> Obs.count (name ^ ".ok")
+  | Error _ -> Obs.count (name ^ ".fail"));
+  r
+
 let minimize_r ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2) ~q ~c ~a_ub
     ~b_ub ~a_eq ~b_eq () =
+  Obs.span ~cat:"solver" "qp.minimize" @@ fun () ->
+  counted "qp.minimize"
+  @@
   match validate_inputs ~q ~c ~a_ub ~b_ub ~a_eq ~b_eq with
   | Error f -> Error f
   | Ok () -> (

@@ -106,6 +106,10 @@ let set_mode m = Mutex.protect state_mutex (fun () -> current_mode := m)
 let mode () = Mutex.protect state_mutex (fun () -> !current_mode)
 
 let note_degradation ~site ~fallback cause =
+  (* Every fallback rung taken anywhere in the process shows up as a
+     named counter, so the metrics dump answers "which rung fired, how
+     often" without grepping the degradation log. *)
+  Obs.count (Printf.sprintf "fallback/%s/%s" site fallback);
   let strict =
     Mutex.protect state_mutex (fun () ->
         if !current_mode = Graceful then

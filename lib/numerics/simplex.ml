@@ -210,7 +210,16 @@ let validate_inputs ~c ~a_ub ~b_ub ~a_eq ~b_eq =
   let* () = Robust.check_mat s ~what:"a_eq" a_eq in
   Result.map ignore (Robust.check_vec s ~what:"b_eq" b_eq)
 
+let counted name r =
+  (match r with
+  | Ok _ -> Obs.count (name ^ ".ok")
+  | Error _ -> Obs.count (name ^ ".fail"));
+  r
+
 let maximize_r ?(eps = 1e-9) ~c ~a_ub ~b_ub ~a_eq ~b_eq () =
+  Obs.span ~cat:"solver" "simplex.maximize" @@ fun () ->
+  counted "simplex.maximize"
+  @@
   match
     Faultify.fire ~site:"simplex.two_phase"
       ~kinds:[ Faultify.Nan; Faultify.Non_convergence ]

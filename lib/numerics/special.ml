@@ -92,6 +92,13 @@ let solve_bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
   end
 
 let solve_bisect_r ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  Obs.span ~cat:"solver" "special.bisect" @@ fun () ->
+  (fun r ->
+    (match r with
+    | Ok _ -> Obs.count "special.bisect.ok"
+    | Error _ -> Obs.count "special.bisect.fail");
+    r)
+  @@
   let s = Robust.Root_find in
   match
     Faultify.fire ~site:"special.bisect"

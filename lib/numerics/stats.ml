@@ -18,10 +18,22 @@ module Acc = struct
     if x > t.mx then t.mx <- x
 
   let count t = t.n
-  let mean t = if t.n = 0 then nan else t.mean
-  let var t = if t.n = 0 then nan else t.m2 /. float_of_int t.n
-  let var_sample t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+
+  (* Degenerate accumulators (n = 0, and n = 1 for the sample variance)
+     return 0 rather than NaN: an empty shard merged in from a pool run
+     or a single-trial sweep cell must not poison downstream ratios,
+     stderr bars, or JSON dumps with NaN. The convention is the empty
+     sum / "no observed spread", and it is what the merged result of
+     [merge empty empty] reports too. *)
+  let mean t = if t.n = 0 then 0. else t.mean
+  let var t = if t.n = 0 then 0. else t.m2 /. float_of_int t.n
+  let var_sample t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (var t)
+
+  let stderr t =
+    if t.n < 2 then 0.
+    else sqrt (var_sample t /. float_of_int t.n)
+
   let min t = t.mn
   let max t = t.mx
 
@@ -115,6 +127,7 @@ let z_of_level level =
   0.5 *. (!lo +. !hi)
 
 let normal_ci ~level ~mean ~var ~n =
+  if n <= 0 then invalid_arg "Stats.normal_ci: n must be positive";
   let z = z_of_level level in
   let half = z *. sqrt (var /. float_of_int n) in
   (mean -. half, mean +. half)

@@ -9,20 +9,37 @@ module Acc : sig
   val create : unit -> t
   val add : t -> float -> unit
   val count : t -> int
+
   val mean : t -> float
-  (** Mean of the observations ([nan] when empty). *)
+  (** Mean of the observations. Degenerate accumulators are NaN-free by
+      convention: the empty mean is [0.] (the empty sum), so a shard
+      that received no trials — e.g. a {!Pool} shard when [n < shards]
+      — cannot poison a merged result or a downstream ratio. *)
 
   val var : t -> float
-  (** Population variance (divide by [n]). *)
+  (** Population variance (divide by [n]); [0.] when empty. *)
 
   val var_sample : t -> float
-  (** Sample variance (divide by [n-1]); [nan] when [n < 2]. *)
+  (** Sample variance (divide by [n-1]); [0.] when [n < 2] (no observed
+      spread), never NaN. *)
 
   val stddev : t -> float
+  (** [sqrt (var t)]; [0.] when empty. *)
+
+  val stderr : t -> float
+  (** Standard error of the mean, [sqrt (var_sample t /. n)]; [0.] when
+      [n < 2]. *)
+
   val min : t -> float
+  (** Smallest observation; [infinity] when empty. *)
+
   val max : t -> float
+  (** Largest observation; [neg_infinity] when empty. *)
+
   val merge : t -> t -> t
-  (** Combine two accumulators (parallel Welford / Chan's formula). *)
+  (** Combine two accumulators (parallel Welford / Chan's formula).
+      Merging an empty accumulator on either side is the identity on
+      the other — empty pool shards are safe to fold in. *)
 end
 
 (** Streaming covariance of paired observations. *)
@@ -50,7 +67,8 @@ val cv : mean:float -> var:float -> float
 val normal_ci : level:float -> mean:float -> var:float -> n:int -> float * float
 (** Normal-approximation confidence interval for the mean of [n]
     observations whose per-observation variance is [var]. [level] is e.g.
-    [0.95]. *)
+    [0.95]. Raises [Invalid_argument] when [n <= 0] rather than
+    dividing by zero. *)
 
 val z_of_level : float -> float
 (** Two-sided standard-normal quantile for confidence [level] (e.g.

@@ -10,6 +10,10 @@ type t = {
 
 let sample seeds ~family ~instance ~k inst =
   if k <= 0 then invalid_arg "Bottom_k.sample: k must be positive";
+  (* Counters only — one per draw plus the item volume ranked, no spans
+     on the sampling path. *)
+  Numerics.Obs.count "bottom_k.sample";
+  Numerics.Obs.count ~by:(Instance.cardinality inst) "bottom_k.ranked";
   let ranked =
     Instance.fold
       (fun h v acc ->

@@ -10,16 +10,35 @@ let pp_parse_error fmt e = Format.pp_print_string fmt (parse_error_to_string e)
 
 let err line message = Error { line; message }
 
+(* Line numbering happens BEFORE comment/blank filtering so diagnostics
+   match what an editor shows. CRLF files are accepted: the carriage
+   return is stripped explicitly (it arrives glued to the last field
+   after splitting on '\n'), and a final line without a trailing newline
+   still gets its own number. *)
+let strip_cr l =
+  let n = String.length l in
+  if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+
 let lines_of_string s =
   String.split_on_char '\n' s
-  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.mapi (fun i l -> (i + 1, String.trim (strip_cr l)))
   |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
 
+(* Weights must be finite and non-negative right here, with the line
+   number in hand: [Instance.of_assoc] rejects negatives too, but from
+   there the error surfaces as "line 0", and NaN used to slip through
+   entirely ([v < 0.] is false for NaN) and poison every estimate
+   downstream. *)
 let parse_kv_r n line =
   match String.split_on_char ' ' line with
   | [ k; v ] -> (
       match (int_of_string_opt k, float_of_string_opt v) with
-      | Some k, Some v -> Ok (k, v)
+      | Some k, Some v ->
+          if not (Float.is_finite v) then
+            err n (Printf.sprintf "value %g is not a finite weight" v)
+          else if v < 0. then
+            err n (Printf.sprintf "negative weight %g (weights must be >= 0)" v)
+          else Ok (k, v)
       | Some _, None ->
           err n (Printf.sprintf "bad value %S (expected a hex float)" v)
       | None, _ -> err n (Printf.sprintf "bad key %S (expected an integer)" k))
@@ -90,6 +109,10 @@ let pps_of_string_r s =
         match String.split_on_char ' ' header with
         | [ a; b; id; tau ] when a ^ " " ^ b = pps_magic -> (
             match (int_of_string_opt id, float_of_string_opt tau) with
+            | Some _, Some tau when not (Float.is_finite tau) || tau <= 0. ->
+                err n
+                  (Printf.sprintf "bad pps tau %g (must be finite and positive)"
+                     tau)
             | Some id, Some tau -> Ok (id, tau)
             | None, _ ->
                 err n (Printf.sprintf "bad pps instance id %S (expected an integer)" id)

@@ -17,8 +17,24 @@ let pps_expected_size ~tau inst =
 
 let tau_for_expected_size inst k =
   let n = float_of_int (Instance.cardinality inst) in
-  if k <= 0. || k > n then invalid_arg "Poisson.tau_for_expected_size: bad k";
-  if k = n then 0.
+  if k <= 0. || k > n then
+    invalid_arg
+      (Printf.sprintf
+         "Poisson.tau_for_expected_size: k = %g not in (0, %g] (instance has \
+          %g keys)"
+         k n n);
+  if k = n then begin
+    (* Keep every key: any tau ≤ the minimum weight gives p_h = 1 for
+       all h. tau = 0 would be rejected by {!pps_sample}. *)
+    let vmin = Instance.fold (fun _ v m -> Float.min v m) inst infinity in
+    if vmin > 0. then vmin
+    else
+      invalid_arg
+        (Printf.sprintf
+           "Poisson.tau_for_expected_size: k = n = %g unattainable (a \
+            zero-weight key can never be sampled)"
+           n)
+  end
   else begin
     (* Expected size is decreasing in tau; bracket then bisect. *)
     let f tau = pps_expected_size ~tau inst -. k in

@@ -134,11 +134,15 @@ let solve_tau cap ws =
 
 let add t rng ~key ~weight =
   if weight <= 0. then invalid_arg "Varopt.add: weight must be positive";
+  (* Counters only on the insert path — never a span: at stream rates a
+     per-insert event allocation would dominate the O(log k) work. *)
+  Numerics.Obs.count "varopt.add";
   t.total <- t.total +. weight;
   if size t < t.cap then
     (* Growing phase: τ = 0, so every item is "large". *)
     heap_push t key weight
   else begin
+    Numerics.Obs.count "varopt.add.threshold";
     (* Build the below-threshold candidate set B incrementally. The
        τ-items are in B from the start (weight τ each); the newcomer
        joins B or the heap by weight; heap minima migrate into the

@@ -627,10 +627,13 @@ let test_summary_empty_instance () =
 let test_tau_for_expected_size_guards () =
   let inst = I.of_assoc [ (1, 2.); (2, 3.) ] in
   Alcotest.check_raises "k too large"
-    (Invalid_argument "Poisson.tau_for_expected_size: bad k") (fun () ->
+    (Invalid_argument
+       "Poisson.tau_for_expected_size: k = 3 not in (0, 2] (instance has 2 \
+        keys)") (fun () ->
       ignore (Sampling.Poisson.tau_for_expected_size inst 3.));
-  (* k = cardinality → tau = 0 (everything sampled). *)
-  check_float "k = n" 0. (Sampling.Poisson.tau_for_expected_size inst 2.)
+  (* k = cardinality → a positive tau with every p_h = 1 (tau = 0 would
+     be rejected by pps_sample). *)
+  check_float "k = n" 2. (Sampling.Poisson.tau_for_expected_size inst 2.)
 
 let () =
   Alcotest.run "extensions"

@@ -182,9 +182,44 @@ let test_acc_basic () =
   check_float "min" 1. (Stats.Acc.min a);
   check_float "max" 4. (Stats.Acc.max a)
 
+(* Degenerate accumulators (n = 0, n = 1) must be NaN-free: an empty
+   pool shard or single-trial cell used to report NaN mean/variance and
+   poison any downstream merge or ratio. *)
 let test_acc_empty () =
   let a = Stats.Acc.create () in
-  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stats.Acc.mean a))
+  check_float "empty mean" 0. (Stats.Acc.mean a);
+  check_float "empty var" 0. (Stats.Acc.var a);
+  check_float "empty var_sample" 0. (Stats.Acc.var_sample a);
+  check_float "empty stddev" 0. (Stats.Acc.stddev a);
+  check_float "empty stderr" 0. (Stats.Acc.stderr a);
+  Alcotest.(check bool) "empty min" true (Stats.Acc.min a = infinity);
+  Alcotest.(check bool) "empty max" true (Stats.Acc.max a = neg_infinity)
+
+let test_acc_single () =
+  let a = Stats.Acc.create () in
+  Stats.Acc.add a 7.5;
+  check_float "single mean" 7.5 (Stats.Acc.mean a);
+  check_float "single var" 0. (Stats.Acc.var a);
+  check_float "single var_sample" 0. (Stats.Acc.var_sample a);
+  check_float "single stderr" 0. (Stats.Acc.stderr a)
+
+let test_acc_merge_empty () =
+  let a = Stats.Acc.create () and e = Stats.Acc.create () in
+  List.iter (Stats.Acc.add a) [ 2.; 4.; 6. ];
+  List.iter
+    (fun m ->
+      check_float "mean preserved" (Stats.Acc.mean a) (Stats.Acc.mean m);
+      check_float "var preserved" (Stats.Acc.var a) (Stats.Acc.var m);
+      Alcotest.(check int) "count preserved" 3 (Stats.Acc.count m))
+    [ Stats.Acc.merge a e; Stats.Acc.merge e a ];
+  let ee = Stats.Acc.merge e (Stats.Acc.create ()) in
+  check_float "empty+empty mean" 0. (Stats.Acc.mean ee);
+  check_float "empty+empty var" 0. (Stats.Acc.var ee)
+
+let test_normal_ci_guard () =
+  Alcotest.check_raises "n = 0 raises"
+    (Invalid_argument "Stats.normal_ci: n must be positive") (fun () ->
+      ignore (Stats.normal_ci ~level:0.95 ~mean:0. ~var:1. ~n:0))
 
 let test_acc_merge () =
   let a = Stats.Acc.create () and b = Stats.Acc.create () in
@@ -843,6 +878,49 @@ let test_memo_cross_domain () =
   (* Lost compute races are benign but each key misses at least once. *)
   Alcotest.(check bool) "misses cover the key set" true (s.Memo.misses >= 10)
 
+(* clear_all is the "fresh process" reset used between benchmark phases:
+   it must drop entries AND zero the stats counters atomically. The old
+   clear_all dropped entries only, so hit/miss history leaked across
+   phases. *)
+let test_memo_purge_resets_stats () =
+  let m = int_memo ~capacity:4 "test.purge" in
+  let f k = Memo.find_or_add m k (fun () -> k * 2) in
+  List.iter (fun k -> ignore (f k)) [ 1; 2; 3; 4; 5; 1; 2 ];
+  let s = Memo.stats m in
+  Alcotest.(check bool) "misses accrued" true (s.Memo.misses >= 5);
+  Alcotest.(check bool) "evictions accrued" true (s.Memo.evictions >= 1);
+  Memo.clear_all ();
+  let s = Memo.stats m in
+  Alcotest.(check int) "entries zero" 0 s.Memo.entries;
+  Alcotest.(check int) "hits zero" 0 s.Memo.hits;
+  Alcotest.(check int) "misses zero" 0 s.Memo.misses;
+  Alcotest.(check int) "evictions zero" 0 s.Memo.evictions;
+  Alcotest.(check int) "bytes zero" 0 s.Memo.bytes_estimate;
+  (* The cache stays usable and accounting restarts from zero. *)
+  Alcotest.(check int) "recompute" 6 (f 3);
+  Alcotest.(check int) "one miss after purge" 1 (Memo.stats m).Memo.misses
+
+let test_memo_validate () =
+  let m = int_memo ~capacity:8 "test.validate" in
+  let f k = Memo.find_or_add m k (fun () -> k * 3) in
+  let check_ok ctx =
+    match Memo.validate m with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%s: bookkeeping drift: %s" ctx msg
+  in
+  check_ok "empty";
+  List.iter (fun k -> ignore (f k)) [ 1; 2; 3; 4 ];
+  check_ok "after inserts";
+  (* Push past capacity so CLOCK evictions exercise the byte accounting. *)
+  List.iter (fun k -> ignore (f k)) [ 5; 6; 7; 8; 9; 10; 11; 12; 13 ];
+  Alcotest.(check bool)
+    "evictions happened" true ((Memo.stats m).Memo.evictions > 0);
+  check_ok "after evictions";
+  Memo.purge m;
+  check_ok "after purge";
+  ignore (f 42);
+  check_ok "after reuse"
+
 let test_pool_grain_bit_identical () =
   let n = 512 in
   let input = Array.init n (fun i -> 1. /. float_of_int (i + 1)) in
@@ -873,6 +951,58 @@ let test_pool_grain_invalid () =
       Alcotest.check_raises "grain 0"
         (Invalid_argument "Pool: grain must be positive") (fun () ->
           ignore (Pool.parallel_map ~grain:0 p Fun.id [| 1 |])))
+
+(* Every chunk layout must partition [0, n) exactly: contiguous, nonempty
+   chunks covering the range once. The boundary cases (n = 0, n smaller
+   than the domain count, grain larger than n) used to be able to emit
+   empty or out-of-range chunks. *)
+let check_chunk_partition ~ctx ~n ranges =
+  let rec go prev = function
+    | [] ->
+        Alcotest.(check int) (ctx ^ ": chunks end at n") n prev
+    | (lo, hi) :: rest ->
+        Alcotest.(check int) (ctx ^ ": contiguous") prev lo;
+        if hi <= lo then
+          Alcotest.failf "%s: empty chunk [%d, %d)" ctx lo hi;
+        go hi rest
+  in
+  go 0 ranges
+
+let test_pool_chunks_boundaries () =
+  with_pool 4 (fun p ->
+      (* n = 0: no work, no chunks — with or without an explicit grain. *)
+      Alcotest.(check (list (pair int int))) "n=0" [] (Pool.chunks p 0);
+      Alcotest.(check (list (pair int int)))
+        "n=0, grain" [] (Pool.chunks ~grain:16 p 0);
+      (* n = 1 and n < domains: every element lands in exactly one chunk. *)
+      check_chunk_partition ~ctx:"n=1" ~n:1 (Pool.chunks p 1);
+      check_chunk_partition ~ctx:"n<domains" ~n:3 (Pool.chunks p 3);
+      (* grain > n collapses to a single chunk covering [0, n). *)
+      Alcotest.(check (list (pair int int)))
+        "grain>n" [ (0, 5) ] (Pool.chunks ~grain:100 p 5);
+      (* grain = n is also a single chunk. *)
+      Alcotest.(check (list (pair int int)))
+        "grain=n" [ (0, 7) ] (Pool.chunks ~grain:7 p 7);
+      (* General layouts keep the partition invariant. *)
+      List.iter
+        (fun (n, grain) ->
+          let ranges =
+            match grain with
+            | None -> Pool.chunks p n
+            | Some g -> Pool.chunks ~grain:g p n
+          in
+          check_chunk_partition
+            ~ctx:(Printf.sprintf "n=%d grain=%s" n
+                    (match grain with None -> "-" | Some g -> string_of_int g))
+            ~n ranges)
+        [ (1, None); (4, None); (5, Some 2); (17, Some 3); (64, Some 64);
+          (65, Some 64); (1000, None); (1000, Some 1) ];
+      (* Invalid inputs are rejected up front, not mangled into chunks. *)
+      Alcotest.check_raises "n < 0" (Invalid_argument "Pool: negative length")
+        (fun () -> ignore (Pool.chunks p (-1)));
+      Alcotest.check_raises "grain 0"
+        (Invalid_argument "Pool: grain must be positive") (fun () ->
+          ignore (Pool.chunks ~grain:0 p 8)))
 
 let test_prng_substream_independent_of_order () =
   let a = Prng.substream ~master:7 3 in
@@ -1026,7 +1156,11 @@ let () =
         [
           Alcotest.test_case "acc basic" `Quick test_acc_basic;
           Alcotest.test_case "acc empty" `Quick test_acc_empty;
+          Alcotest.test_case "acc single" `Quick test_acc_single;
           Alcotest.test_case "acc merge" `Quick test_acc_merge;
+          Alcotest.test_case "acc merge empty shard" `Quick
+            test_acc_merge_empty;
+          Alcotest.test_case "normal_ci n=0 guard" `Quick test_normal_ci_guard;
           prop_acc_merge_of_splits;
           Alcotest.test_case "correlation" `Quick test_cov_correlation;
           Alcotest.test_case "covariance value" `Quick test_cov_value;
@@ -1058,6 +1192,8 @@ let () =
             test_pool_grain_bit_identical;
           Alcotest.test_case "grain must be positive" `Quick
             test_pool_grain_invalid;
+          Alcotest.test_case "chunk layout boundaries" `Quick
+            test_pool_chunks_boundaries;
         ] );
       ( "memo",
         [
@@ -1066,6 +1202,9 @@ let () =
             test_memo_bounded_second_chance;
           Alcotest.test_case "cross-domain sharing" `Quick
             test_memo_cross_domain;
+          Alcotest.test_case "clear_all purges stats" `Quick
+            test_memo_purge_resets_stats;
+          Alcotest.test_case "byte/bucket audit" `Quick test_memo_validate;
         ] );
       ( "special",
         [

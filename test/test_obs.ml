@@ -1,0 +1,255 @@
+(* Observability layer: span nesting, cross-domain counter determinism,
+   disabled-mode overhead, and the Chrome trace sink.
+
+   Obs is process-wide state; every test runs under [with_level], which
+   resets the registry, raises the level for its body, and restores
+   [Off] + a clean registry afterwards so suites stay independent. *)
+
+open Numerics
+
+let with_level lvl f =
+  Obs.reset ();
+  Obs.set_level lvl;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Off;
+      Obs.reset ())
+    f
+
+let with_pool domains f =
+  let p = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* --- span nesting under nested Pool.map ---------------------------- *)
+
+let test_span_nesting () =
+  with_level Obs.Trace (fun () ->
+      with_pool 2 (fun p ->
+          let out =
+            Obs.span ~cat:"test" "outer" (fun () ->
+                Pool.parallel_map p
+                  (fun x ->
+                    Obs.span ~cat:"test" "inner" (fun () ->
+                        Pool.parallel_map p (fun y -> y * 2) [| x; x + 1 |]))
+                  [| 1; 2; 3 |])
+          in
+          Alcotest.(check int) "work happened" 3 (Array.length out));
+      let events = Obs.events () in
+      let named n = List.filter (fun e -> e.Obs.ev_name = n) events in
+      let outer =
+        match named "outer" with
+        | [ e ] -> e
+        | es -> Alcotest.failf "expected 1 outer span, got %d" (List.length es)
+      in
+      let inners = named "inner" in
+      Alcotest.(check int) "one inner span per element" 3 (List.length inners);
+      (* Nesting is dynamic extent: every inner span's interval lies
+         inside the outer span's interval. *)
+      let inside parent child =
+        child.Obs.ev_ts_ns >= parent.Obs.ev_ts_ns
+        && Int64.add child.Obs.ev_ts_ns child.Obs.ev_dur_ns
+           <= Int64.add parent.Obs.ev_ts_ns parent.Obs.ev_dur_ns
+      in
+      List.iter
+        (fun i ->
+          if not (inside outer i) then
+            Alcotest.failf "inner span [%Ld,+%Ld] escapes outer [%Ld,+%Ld]"
+              i.Obs.ev_ts_ns i.Obs.ev_dur_ns outer.Obs.ev_ts_ns
+              outer.Obs.ev_dur_ns)
+        inners;
+      (* Pool chunk spans were retained too (parallel_map ran). *)
+      Alcotest.(check bool)
+        "pool.chunk spans present" true
+        (named "pool.chunk" <> []))
+
+(* --- counter merge determinism across domains ---------------------- *)
+
+let test_counter_merge_deterministic () =
+  let total_of_run () =
+    with_level Obs.Metrics (fun () ->
+        with_pool 4 (fun p ->
+            ignore
+              (Pool.parallel_init p ~n:1000 (fun i ->
+                   Obs.count "test.tick";
+                   Obs.count ~by:2 "test.pair";
+                   i)));
+        (List.assoc "test.tick" (Obs.counters ()),
+         List.assoc "test.pair" (Obs.counters ())))
+  in
+  (* Shards are per-domain and merged on read; the pool join gives the
+     happens-before edge, so totals are exact — not approximately right
+     under contention, but equal on every run. *)
+  for run = 1 to 3 do
+    let ticks, pairs = total_of_run () in
+    Alcotest.(check int) (Printf.sprintf "run %d: ticks" run) 1000 ticks;
+    Alcotest.(check int) (Printf.sprintf "run %d: pairs" run) 2000 pairs
+  done
+
+let test_histogram_merge () =
+  with_level Obs.Metrics (fun () ->
+      with_pool 4 (fun p ->
+          ignore
+            (Pool.parallel_init p ~n:64 (fun i ->
+                 Obs.observe_ns "test.lat" (Int64.of_int ((i + 1) * 100));
+                 i)));
+      match List.assoc_opt "test.lat" (Obs.histograms ()) with
+      | None -> Alcotest.fail "histogram missing"
+      | Some h ->
+          Alcotest.(check int) "count" 64 h.Obs.h_count;
+          (* sum of (i+1)*100 for i in 0..63 = 100 * 64*65/2 *)
+          Alcotest.(check (float 0.)) "sum" 208_000. h.Obs.h_sum_ns;
+          Alcotest.(check int)
+            "buckets account for every observation" 64
+            (Array.fold_left ( + ) 0 h.Obs.h_buckets);
+          Alcotest.(check bool)
+            "p99 ≥ p50" true
+            (Obs.hist_quantile h 0.99 >= Obs.hist_quantile h 0.5))
+
+(* --- disabled mode: one branch, no allocation ---------------------- *)
+
+let test_disabled_no_alloc () =
+  Obs.reset ();
+  Obs.set_level Obs.Off;
+  let body () = () in
+  (* Warm up so any one-time setup is done before measuring. *)
+  Obs.count "test.off";
+  Obs.span "test.off" body;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.count "test.off";
+    Obs.count ~by:3 "test.off";
+    Obs.observe_ns "test.off" 5L;
+    Obs.span "test.off" body
+  done;
+  let w1 = Gc.minor_words () in
+  (* The two Gc.minor_words floats are themselves boxed; anything beyond
+     that small constant means the disabled path allocates per call. *)
+  let delta = w1 -. w0 in
+  if delta > 64. then
+    Alcotest.failf "disabled instrumentation allocated %.0f words" delta;
+  (* And nothing was recorded. *)
+  Alcotest.(check (list (pair string int))) "no counters" [] (Obs.counters ())
+
+(* --- Chrome trace golden test -------------------------------------- *)
+
+(* A derivation under Trace must leave solver and designer spans with
+   the documented names, and the rendered document must be loadable
+   Chrome trace JSON. *)
+let expected_span_names =
+  [ "qp.minimize"; "designer.solve_partition"; "designer.batch" ]
+
+let test_chrome_trace_golden () =
+  with_level Obs.Trace (fun () ->
+      let module D = Estcore.Designer in
+      let f v = Float.max v.(0) v.(1) in
+      let problem =
+        D.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ] ~f
+      in
+      let batches =
+        D.Problems.batches_by
+          (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
+          problem.D.data
+      in
+      (match D.solve_partition_robust ~batches ~f ~dist:problem.D.dist () with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "derivation failed: %s" (Robust.to_string e));
+      let names =
+        List.sort_uniq compare
+          (List.map (fun e -> e.Obs.ev_name) (Obs.events ()))
+      in
+      List.iter
+        (fun n ->
+          if not (List.mem n names) then
+            Alcotest.failf "expected span %S in trace (got: %s)" n
+              (String.concat ", " names))
+        expected_span_names;
+      let buf = Buffer.create 4096 in
+      Obs.chrome_trace buf;
+      let doc = Buffer.contents buf in
+      (* Structural checks: the trace_event envelope, complete events,
+         and every expected span name serialized. *)
+      let contains sub =
+        let n = String.length doc and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub doc i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        "traceEvents envelope" true
+        (contains "\"traceEvents\"");
+      Alcotest.(check bool) "complete events" true (contains "\"ph\": \"X\"");
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "span %S serialized" n)
+            true
+            (contains (Printf.sprintf "\"name\": %S" n)))
+        expected_span_names;
+      (* Balanced braces/brackets outside strings: a cheap well-formedness
+         proxy that catches truncated or mis-nested output. *)
+      let depth = ref 0 and square = ref 0 and in_str = ref false in
+      String.iteri
+        (fun i c ->
+          if !in_str then (
+            if c = '"' && (i = 0 || doc.[i - 1] <> '\\') then in_str := false)
+          else
+            match c with
+            | '"' -> in_str := true
+            | '{' -> incr depth
+            | '}' -> decr depth
+            | '[' -> incr square
+            | ']' -> decr square
+            | _ -> ())
+        doc;
+      Alcotest.(check int) "braces balanced" 0 !depth;
+      Alcotest.(check int) "brackets balanced" 0 !square;
+      Alcotest.(check bool) "not in string at EOF" false !in_str)
+
+(* --- metrics JSON sink --------------------------------------------- *)
+
+let test_metrics_json_shape () =
+  with_level Obs.Metrics (fun () ->
+      Obs.count "test.shape";
+      Obs.observe_ns "test.shape" 123L;
+      let buf = Buffer.create 256 in
+      Obs.metrics_json buf;
+      let doc = Buffer.contents buf in
+      let contains sub =
+        let n = String.length doc and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub doc i m = sub || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun key ->
+          Alcotest.(check bool)
+            (Printf.sprintf "has %s" key)
+            true
+            (contains (Printf.sprintf "\"%s\":" key)))
+        [ "counters"; "histograms"; "caches" ];
+      Alcotest.(check bool)
+        "counter serialized" true
+        (contains "\"name\": \"test.shape\""))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting under nested Pool.map" `Quick
+            test_span_nesting;
+          Alcotest.test_case "chrome trace golden" `Quick
+            test_chrome_trace_golden;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter merge deterministic" `Quick
+            test_counter_merge_deterministic;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "metrics json shape" `Quick
+            test_metrics_json_shape;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "disabled mode does not allocate" `Quick
+            test_disabled_no_alloc;
+        ] );
+    ]

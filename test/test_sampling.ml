@@ -256,6 +256,20 @@ let test_pps_expected_size () =
     (Instance.fold (fun _ v a -> a +. Float.min 1. (v /. 20.)) small_instance 0.)
     (Poisson.pps_expected_size ~tau:20. small_instance)
 
+let test_tau_for_expected_size_full () =
+  (* k = n means "keep everything". The old code returned tau = 0, which
+     pps_sample then rejected — the CLI default (k larger than a small
+     instance, clamped to n) crashed. *)
+  let inst = Instance.of_assoc [ (1, 2.); (2, 3.); (3, 0.5) ] in
+  let tau = Poisson.tau_for_expected_size inst 3. in
+  Alcotest.(check bool) "tau positive" true (tau > 0.);
+  check_float ~eps:1e-9 "expected size n" 3.
+    (Poisson.pps_expected_size ~tau inst);
+  let seeds = Seeds.create ~master:42 Seeds.Independent in
+  let s = Poisson.pps_sample seeds ~instance:0 ~tau inst in
+  Alcotest.(check int) "every key sampled" 3
+    (List.length s.Poisson.entries)
+
 let test_tau_for_expected_size () =
   let k = 13. in
   let tau = Poisson.tau_for_expected_size small_instance k in
@@ -708,6 +722,56 @@ let test_io_malformed_structured () =
   (* Bad tau in the pps header. *)
   fail_line "bad tau" 1 (Io.pps_of_string_r "optsample-pps 1 5 oops\n1 0x1p+0")
 
+let test_io_crlf_and_final_line () =
+  (* CRLF files (Windows editors, git autocrlf) must parse with the same
+     values as their LF twins. The '\r' used to be glued to the last
+     field and break float parsing on every line. *)
+  let crlf = "optsample-instance 1\r\n1 0x1p+1\r\n2 0x1.8p+1\r\n" in
+  (match Io.instance_of_string_r crlf with
+  | Error e -> Alcotest.failf "CRLF rejected: %s" (Io.parse_error_to_string e)
+  | Ok i ->
+      check_float ~eps:0. "CRLF value 1" 2. (Instance.value i 1);
+      check_float ~eps:0. "CRLF value 2" 3. (Instance.value i 2));
+  (* A final line without a trailing newline still parses and still
+     carries its own line number in diagnostics. *)
+  (match Io.instance_of_string_r "optsample-instance 1\n1 0x1p+1\n2 0x1.8p+1" with
+  | Error e ->
+      Alcotest.failf "missing trailing newline rejected: %s"
+        (Io.parse_error_to_string e)
+  | Ok i -> check_float ~eps:0. "last line sans newline" 3. (Instance.value i 2));
+  fail_line "CRLF error keeps its line" 3
+    (Io.instance_of_string_r "optsample-instance 1\r\n1 0x1p+1\r\n2 0xzz\r\n");
+  fail_line "unterminated error line" 3
+    (Io.instance_of_string_r "optsample-instance 1\n1 0x1p+1\n2 0xzz")
+
+let test_io_weight_guards () =
+  (* Negative weights used to surface from Instance.of_assoc as a
+     "line 0" failure; now the parser rejects them on their own line. *)
+  fail_line "negative weight" 3
+    (Io.instance_of_string_r "optsample-instance 1\n1 0x1p+0\n2 -0x1p+0");
+  (* NaN passed the old [v < 0.] check and poisoned downstream sums. *)
+  fail_line "nan weight" 2
+    (Io.instance_of_string_r "optsample-instance 1\n1 nan");
+  fail_line "infinite weight" 2
+    (Io.instance_of_string_r "optsample-instance 1\n1 infinity");
+  (* Zero is a legitimate weight (an item that cannot be sampled). *)
+  match Io.instance_of_string_r "optsample-instance 1\n1 0x0p+0\n2 0x1p+0" with
+  | Error e -> Alcotest.failf "zero weight rejected: %s" (Io.parse_error_to_string e)
+  | Ok i -> check_float ~eps:0. "zero weight kept" 0. (Instance.value i 1)
+
+let test_io_pps_tau_guards () =
+  (* tau is a sampling threshold: non-positive or non-finite values make
+     every inclusion probability meaningless. *)
+  fail_line "nan tau" 1 (Io.pps_of_string_r "optsample-pps 1 5 nan\n1 0x1p+0");
+  fail_line "zero tau" 1 (Io.pps_of_string_r "optsample-pps 1 5 0x0p+0\n1 0x1p+0");
+  fail_line "negative tau" 1
+    (Io.pps_of_string_r "optsample-pps 1 5 -0x1p+0\n1 0x1p+0");
+  fail_line "infinite tau" 1
+    (Io.pps_of_string_r "optsample-pps 1 5 infinity\n1 0x1p+0");
+  match Io.pps_of_string_r "optsample-pps 1 5 0x1p-1\r\n1 0x1p+0\r" with
+  | Error e -> Alcotest.failf "CRLF pps rejected: %s" (Io.parse_error_to_string e)
+  | Ok p -> check_float ~eps:0. "CRLF pps tau" 0.5 p.Poisson.tau
+
 let test_io_read_opt_missing_file () =
   match Io.read_instance_opt ~path:"/nonexistent/optsample-test-io" with
   | Ok _ -> Alcotest.fail "expected an error for a missing file"
@@ -776,6 +840,8 @@ let () =
           Alcotest.test_case "pps rule" `Quick test_pps_sample_rule;
           Alcotest.test_case "expected size" `Quick test_pps_expected_size;
           Alcotest.test_case "tau inverse" `Quick test_tau_for_expected_size;
+          Alcotest.test_case "tau for k = n" `Quick
+            test_tau_for_expected_size_full;
           Alcotest.test_case "pps HT unbiased" `Slow test_pps_ht_unbiased;
           Alcotest.test_case "oblivious rule" `Quick test_oblivious_sample;
           Alcotest.test_case "oblivious HT unbiased" `Slow test_oblivious_ht;
@@ -807,6 +873,10 @@ let () =
           Alcotest.test_case "result roundtrip" `Quick test_io_result_roundtrip;
           Alcotest.test_case "malformed input (structured)" `Quick
             test_io_malformed_structured;
+          Alcotest.test_case "CRLF and final line" `Quick
+            test_io_crlf_and_final_line;
+          Alcotest.test_case "weight guards" `Quick test_io_weight_guards;
+          Alcotest.test_case "pps tau guards" `Quick test_io_pps_tau_guards;
           Alcotest.test_case "missing file" `Quick test_io_read_opt_missing_file;
           Alcotest.test_case "estimate after reload" `Quick test_io_sample_estimate_after_reload;
           (qtest ~count:100 "instance roundtrip (random)"

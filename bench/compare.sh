@@ -77,6 +77,8 @@ validate() {
     echo "FAIL  $1: no kernel speedup entries" ; ok=0 ; }
   grep -q '"name": "kernels/obs disabled' "$1" || {
     echo "FAIL  $1: no obs disabled-overhead kernel pair" ; ok=0 ; }
+  grep -q '"name": "server.ingest+query' "$1" || {
+    echo "FAIL  $1: no server.ingest+query kernel pair" ; ok=0 ; }
   [ "$ok" = 1 ]
 }
 

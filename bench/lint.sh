@@ -43,7 +43,26 @@ if [ -n "$timing_hits" ]; then
     status=1
 fi
 
+# Serving discipline: the shard-owned code paths (the store's apply loop
+# and the query engine) must stay free of blocking syscalls — a stalled
+# shard task would stall every flush behind it. Line I/O belongs to
+# Protocol.Conn (the session loop) and file reads to Snapshot only; and
+# nothing under lib/server may ever sleep.
+sleep_hits=$(grep -rn 'Unix\.sleep' "$root/lib/server" --include='*.ml' 2>/dev/null)
+if [ -n "$sleep_hits" ]; then
+    echo "lint: Unix.sleep is banned under lib/server:" >&2
+    echo "$sleep_hits" >&2
+    status=1
+fi
+block_hits=$(grep -nE 'Unix\.read|Unix\.recv|input_line|really_input' \
+    "$root/lib/server/store.ml" "$root/lib/server/engine.ml" 2>/dev/null)
+if [ -n "$block_hits" ]; then
+    echo "lint: blocking reads are banned in shard-owned server code (store/engine):" >&2
+    echo "$block_hits" >&2
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-    echo "lint: lib/numerics, lib/estcore and lib/ timing are clean"
+    echo "lint: lib/numerics, lib/estcore, lib/server and lib/ timing are clean"
 fi
 exit "$status"

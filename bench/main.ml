@@ -175,8 +175,77 @@ let wall f =
 
 let default_mc_trials = 1_000_000
 let default_sweep_steps = 2_000
+let default_server_copies = 4
 
-let kernel_timings ~mc_trials ~sweep_steps pool =
+let default_server_traffic = Workload.Traffic.default
+
+let check_server_traffic =
+  { Workload.Traffic.default with n_shared = 1_500; n_only = 500 }
+
+(* The serving path: replay a two-hour traffic workload into [copies]
+   instance pairs and answer the four query kinds on each. Sequential =
+   one shard (the flush is a single pool task); parallel = one shard per
+   pool domain. Both runs ingest the identical record sequence and must
+   produce bit-identical answers — the store's determinism claim, checked
+   here on every bench run. *)
+let server_kernel ~copies ~traffic pool =
+  let hour_records h =
+    let s = Workload.Traffic.Stream.create ~hour:h traffic in
+    Array.init (Workload.Traffic.Stream.length s) (fun _ ->
+        Workload.Traffic.Stream.next s)
+  in
+  let recs1 = hour_records 1 and recs2 = hour_records 2 in
+  let get = function Ok v -> v | Error m -> invalid_arg m in
+  let run shards =
+    let st =
+      Server.Store.create ~pool
+        { Server.Store.default_config with shards; master = 7 }
+    in
+    let name side c = Printf.sprintf "%s%d" side c in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun side ->
+            ignore
+              (get
+                 (Server.Store.create_instance st ~name:(name side c) ~tau:400.
+                    ~k:128 ~p:0.1 ())))
+          [ "a"; "b" ])
+      (List.init copies Fun.id);
+    let ingest side recs =
+      Array.iter
+        (fun (key, weight) ->
+          for c = 0 to copies - 1 do
+            get (Server.Store.ingest st ~name:(name side c) ~key ~weight)
+          done)
+        recs
+    in
+    ingest "a" recs1;
+    ingest "b" recs2;
+    let e = Server.Engine.create st in
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun kind -> get (Server.Engine.query e kind [ name "a" c; name "b" c ]))
+          [
+            Server.Protocol.Max; Server.Protocol.Or; Server.Protocol.Distinct;
+            Server.Protocol.Dominance;
+          ])
+      (List.init copies Fun.id)
+  in
+  Numerics.Memo.clear_all ();
+  let srv_seq, t_srv_seq = wall (fun () -> run 1) in
+  Numerics.Memo.clear_all ();
+  let srv_par, t_srv_par = wall (fun () -> run (Numerics.Pool.size pool)) in
+  assert (srv_seq = srv_par);
+  {
+    k_name = "server.ingest+query (sharded flush)";
+    k_work = copies * (Array.length recs1 + Array.length recs2);
+    k_seq = t_srv_seq;
+    k_par = t_srv_par;
+  }
+
+let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
   let probs8 = Array.make 8 0.2 in
   let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
   let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r:8 ~p:0.2 in
@@ -210,6 +279,10 @@ let kernel_timings ~mc_trials ~sweep_steps pool =
     wall (fun () -> Experiments.Fig4.panel ~pool ~rho:0.5 ~steps:sweep_steps ())
   in
   assert (sweep_seq = sweep_par);
+  (* The server kernel runs last: both of its variants touch the pool
+     (flush is a pool task even at one shard), so by now the domains
+     exist either way and seq vs par stays internally fair. *)
+  let server = server_kernel ~copies:server_copies ~traffic:server_traffic pool in
   [
     {
       k_name = "monte_carlo max^(L) r=8";
@@ -223,6 +296,7 @@ let kernel_timings ~mc_trials ~sweep_steps pool =
       k_seq = t_sweep_seq;
       k_par = t_sweep_par;
     };
+    server;
   ]
 
 let json_escape s =
@@ -325,11 +399,17 @@ let run_perf ?json ?(check = false) ~pool ppf =
   Format.fprintf ppf "=== sequential vs parallel kernels (%d jobs) ===@." jobs;
   let mc_trials = if check then 20_000 else default_mc_trials in
   let sweep_steps = if check then 100 else default_sweep_steps in
+  let server_copies = if check then 2 else default_server_copies in
+  let server_traffic =
+    if check then check_server_traffic else default_server_traffic
+  in
   (* Snapshot BEFORE the wall-clock kernels: those purge every cache
      (entries and counters) between runs, so this is the last moment the
      Bechamel section's hit/miss history is still visible. *)
   let caches = Numerics.Memo.all_stats () in
-  let kernels = kernel_timings ~mc_trials ~sweep_steps pool in
+  let kernels =
+    kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool
+  in
   List.iter
     (fun k ->
       Format.fprintf ppf "  %-36s work %8d  seq %8.3fs  par %8.3fs  x%.2f@."

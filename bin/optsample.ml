@@ -480,6 +480,214 @@ let estimate_cmd =
        ~doc:"Estimate multi-instance aggregates from two persisted samples")
     Term.(const run $ s1 $ s2 $ master $ strict_arg $ trace_arg $ metrics_arg)
 
+let outcome_cmd =
+  let s1 = Arg.(required & opt (some file) None & info [ "s1" ] ~doc:"Sample of the first instance.") in
+  let s2 = Arg.(required & opt (some file) None & info [ "s2" ] ~doc:"Sample of the second instance.") in
+  let key = Arg.(required & opt (some int) None & info [ "key" ] ~doc:"Key to reconstruct the outcome of.") in
+  let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed used when sampling.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc:"Persist the outcome to this file.") in
+  let run s1 s2 key master out =
+    let read path =
+      match Sampling.Io.read_pps_opt ~path with
+      | Ok s -> s
+      | Error e ->
+          Format.eprintf "cannot read sample %s: %a@." path
+            Sampling.Io.pp_parse_error e;
+          exit 1
+    in
+    let a = read s1 in
+    let b = read s2 in
+    let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
+    let samples =
+      {
+        Aggregates.Sum_agg.seeds;
+        taus = [| a.Sampling.Poisson.tau; b.Sampling.Poisson.tau |];
+        samples = [| a; b |];
+      }
+    in
+    let o = Aggregates.Sum_agg.key_outcome samples key in
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Some v ->
+            Format.fprintf ppf
+              "instance %d: sampled, v = %g (tau = %g, seed = %g)@." i v
+              o.Sampling.Outcome.Pps.taus.(i) o.Sampling.Outcome.Pps.seeds.(i)
+        | None ->
+            Format.fprintf ppf
+              "instance %d: not sampled, v < %g (tau = %g, seed = %g)@." i
+              (Sampling.Outcome.Pps.upper_bound o i)
+              o.Sampling.Outcome.Pps.taus.(i) o.Sampling.Outcome.Pps.seeds.(i))
+      o.Sampling.Outcome.Pps.values;
+    Format.fprintf ppf "max^(L)  = %.6e@." (Estcore.Max_pps.l o);
+    Format.fprintf ppf "max^(HT) = %.6e@." (Estcore.Ht.max_pps o);
+    match out with
+    | Some path ->
+        Sampling.Io.write_outcome ~path o;
+        Format.fprintf ppf "outcome written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "outcome"
+       ~doc:
+         "Reconstruct (and optionally persist) a single key's outcome from \
+          two persisted samples")
+    Term.(const run $ s1 $ s2 $ key $ master $ out)
+
+(* ---------- serve / client: the streaming summary service ---------- *)
+
+let port_arg =
+  Arg.(value & opt int 7411 & info [ "port" ] ~doc:"TCP port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind/connect address.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (overrides $(b,--host)/$(b,--port)).")
+
+let serve_cmd =
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Store shard (mailbox) count; 0 = the $(b,-j) pool size. \
+             Summaries and answers never depend on it.")
+  in
+  let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed.") in
+  let shared =
+    Arg.(
+      value & flag
+      & info [ "shared-seeds" ]
+          ~doc:"Coordinated sampling: all instances share one seed per key.")
+  in
+  let tau = Arg.(value & opt float 100. & info [ "tau" ] ~doc:"Default PPS threshold.") in
+  let k = Arg.(value & opt int 64 & info [ "k" ] ~doc:"Default bottom-k / VarOpt size.") in
+  let p = Arg.(value & opt float 0.05 & info [ "p" ] ~doc:"Default binary sampling probability.") in
+  let flush_every =
+    Arg.(value & opt int 8192 & info [ "flush-every" ] ~doc:"Auto-flush threshold (pending records).")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Warm start: load this snapshot if it exists (write one back \
+             with the SNAPSHOT request).")
+  in
+  let run host port socket shards master shared tau k p flush_every snapshot
+      jobs strict trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    with_strict strict @@ fun () ->
+    let pool = pool_of_jobs jobs in
+    let shards = if shards > 0 then shards else Numerics.Pool.size pool in
+    let cfg =
+      {
+        Server.Store.shards;
+        master;
+        mode =
+          (if shared then Sampling.Seeds.Shared else Sampling.Seeds.Independent);
+        default_tau = tau;
+        default_k = k;
+        default_p = p;
+        flush_every;
+      }
+    in
+    let store =
+      match snapshot with
+      | Some path when Sys.file_exists path -> (
+          match Server.Snapshot.load ~pool ~shards path with
+          | Ok st ->
+              Format.fprintf ppf "warm start: %d instance(s) from %s@."
+                (List.length (Server.Store.instances st))
+                path;
+              st
+          | Error e ->
+              Format.eprintf "cannot load snapshot %s: %a@." path
+                Sampling.Io.pp_parse_error e;
+              exit 1)
+      | _ -> Server.Store.create ~pool cfg
+    in
+    let engine = Server.Engine.create store in
+    let sock =
+      match socket with
+      | Some path ->
+          Format.fprintf ppf "listening on %s (%d shard(s))@." path shards;
+          Server.Daemon.listen_unix ~path
+      | None ->
+          let sock, bound = Server.Daemon.listen_tcp ~host ~port () in
+          Format.fprintf ppf "listening on %s:%d (%d shard(s))@." host bound
+            shards;
+          sock
+    in
+    Server.Daemon.serve engine sock;
+    Format.fprintf ppf "shutdown@.";
+    Numerics.Pool.shutdown pool
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the streaming summary daemon (line protocol, v1)")
+    Term.(
+      const run $ host_arg $ port_arg $ socket_arg $ shards $ master $ shared
+      $ tau $ k $ p $ flush_every $ snapshot $ jobs_arg $ strict_arg
+      $ trace_arg $ metrics_arg)
+
+let client_cmd =
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Requests to send (quote each one, e.g. 'QUERY max a b'). With \
+             none, requests are read from stdin, one per line.")
+  in
+  let run host port socket requests =
+    let conn =
+      match socket with
+      | Some path -> Server.Client.connect_unix ~path
+      | None -> Server.Client.connect_tcp ~host ~port ()
+    in
+    match conn with
+    | Error m ->
+        Format.eprintf "cannot connect: %s@." m;
+        exit 1
+    | Ok c ->
+        let send line =
+          match Server.Client.request c line with
+          | Ok response ->
+              Format.fprintf ppf "%s@." response;
+              Server.Protocol.json_ok response
+          | Error m ->
+              Format.eprintf "connection error: %s@." m;
+              exit 1
+        in
+        let ok =
+          if requests <> [] then
+            List.fold_left (fun acc r -> send r && acc) true requests
+          else begin
+            let acc = ref true in
+            (try
+               while true do
+                 let line = input_line stdin in
+                 if String.trim line <> "" then acc := send line && !acc
+               done
+             with End_of_file -> ());
+            !acc
+          end
+        in
+        Server.Client.close c;
+        if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running optsample daemon and print responses")
+    Term.(const run $ host_arg $ port_arg $ socket_arg $ requests)
+
 (* ---------- exists ---------- *)
 
 let exists_cmd =
@@ -528,5 +736,6 @@ let () =
        (Cmd.group info
           [
             repro_cmd; distinct_cmd; maxdom_cmd; derive_cmd; exists_cmd;
-            gen_cmd; sample_cmd; estimate_cmd; plots_cmd; catalog_cmd;
+            gen_cmd; sample_cmd; estimate_cmd; outcome_cmd; serve_cmd;
+            client_cmd; plots_cmd; catalog_cmd;
           ]))

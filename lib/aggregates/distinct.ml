@@ -2,15 +2,16 @@ type classes = { f1q : int; fq1 : int; f11 : int; f10 : int; f01 : int }
 
 module ISet = Set.Make (Int)
 
-let classify seeds ~p1 ~p2 ~s1 ~s2 ~select =
+let classify ?(ids = (0, 1)) seeds ~p1 ~p2 ~s1 ~s2 ~select =
+  let id1, id2 = ids in
   let set1 = ISet.of_list s1 and set2 = ISet.of_list s2 in
   let acc = ref { f1q = 0; fq1 = 0; f11 = 0; f10 = 0; f01 = 0 } in
   ISet.iter
     (fun h ->
       if select h then begin
         let in1 = ISet.mem h set1 and in2 = ISet.mem h set2 in
-        let u1 = Sampling.Seeds.seed seeds ~instance:0 ~key:h in
-        let u2 = Sampling.Seeds.seed seeds ~instance:1 ~key:h in
+        let u1 = Sampling.Seeds.seed seeds ~instance:id1 ~key:h in
+        let u2 = Sampling.Seeds.seed seeds ~instance:id2 ~key:h in
         let c = !acc in
         acc :=
           (if in1 && in2 then { c with f11 = c.f11 + 1 }
@@ -101,12 +102,13 @@ module Multi = struct
   (* Per-key outcome through the Section 5 mapping: entry i is
      "obliviously sampled" iff u_i ≤ p_i, with value 1 when the key is in
      sample i and 0 otherwise. *)
-  let key_outcome t seeds ~sets h =
+  let key_outcome t seeds ~ids ~sets h =
     let r = Array.length t.probs in
     let values =
       Array.init r (fun i ->
           if ISet.mem h sets.(i) then Some 1.
-          else if Sampling.Seeds.seed seeds ~instance:i ~key:h <= t.probs.(i)
+          else if
+            Sampling.Seeds.seed seeds ~instance:ids.(i) ~key:h <= t.probs.(i)
           then Some 0.
           else None)
     in
@@ -117,16 +119,21 @@ module Multi = struct
       (fun acc s -> ISet.union acc (ISet.of_list s))
       ISet.empty samples
 
-  let estimate t seeds ~samples ~select =
+  let estimate ?ids t seeds ~samples ~select =
     if Array.length samples <> Array.length t.probs then
       invalid_arg "Distinct.Multi.estimate: arity mismatch";
+    let ids =
+      match ids with
+      | Some ids -> ids
+      | None -> Array.init (Array.length t.probs) Fun.id
+    in
     let sets = Array.map ISet.of_list samples in
     ISet.fold
       (fun h acc ->
         if select h then
           acc
           +. Estcore.Max_oblivious.General.estimate t.general
-               (key_outcome t seeds ~sets h)
+               (key_outcome t seeds ~ids ~sets h)
         else acc)
       (union_of samples) 0.
 
@@ -154,8 +161,11 @@ module Multi = struct
            *. (Estcore.Exact.binary ~probs:t.probs ~v est).Estcore.Exact.var))
       tbl 0.
 
-  let ht_estimate ~probs seeds ~samples ~select =
+  let ht_estimate ?ids ~probs seeds ~samples ~select =
     let r = Array.length probs in
+    let ids =
+      match ids with Some ids -> ids | None -> Array.init r Fun.id
+    in
     let inv = 1. /. Array.fold_left ( *. ) 1. probs in
     let union = union_of samples in
     ISet.fold
@@ -163,7 +173,8 @@ module Multi = struct
         if
           select h
           && List.init r (fun i ->
-                 Sampling.Seeds.seed seeds ~instance:i ~key:h <= probs.(i))
+                 Sampling.Seeds.seed seeds ~instance:ids.(i) ~key:h
+                 <= probs.(i))
              |> List.for_all Fun.id
         then acc +. inv
         else acc)

@@ -18,6 +18,7 @@
 type classes = { f1q : int; fq1 : int; f11 : int; f10 : int; f01 : int }
 
 val classify :
+  ?ids:int * int ->
   Sampling.Seeds.t ->
   p1:float ->
   p2:float ->
@@ -26,7 +27,10 @@ val classify :
   select:(int -> bool) ->
   classes
 (** Categorize the sampled keys (S₁, S₂ as key lists) that pass
-    [select]. *)
+    [select]. [ids] (default [(0, 1)]) are the instance ids the two
+    samples were drawn under — seeds are recomputed at those ids, so
+    samples of instances other than 0 and 1 (e.g. live server instances)
+    classify correctly under [Independent] seeds. *)
 
 val sample_binary :
   Sampling.Seeds.t ->
@@ -93,6 +97,7 @@ module Multi : sig
   val create : probs:float array -> t
 
   val estimate :
+    ?ids:int array ->
     t ->
     Sampling.Seeds.t ->
     samples:int list array ->
@@ -101,9 +106,12 @@ module Multi : sig
   (** [estimate t seeds ~samples ~select]: unbiased estimate of the
       number of distinct selected keys across the r instances, from their
       r independent weighted samples (key lists) and the recomputable
-      seeds. Keys sampled nowhere contribute 0 (as they must). *)
+      seeds. Keys sampled nowhere contribute 0 (as they must). [ids]
+      (default [[|0; …; r−1|]]) are the instance ids the samples were
+      drawn under. *)
 
   val ht_estimate :
+    ?ids:int array ->
     probs:float array ->
     Sampling.Seeds.t ->
     samples:int list array ->

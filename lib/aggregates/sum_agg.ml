@@ -78,7 +78,13 @@ let key_outcome t h =
     Array.init r (fun i -> List.assoc_opt h t.samples.(i).P.entries)
   in
   let seeds =
-    Array.init r (fun i -> Sampling.Seeds.seed t.seeds ~instance:i ~key:h)
+    (* Recompute each seed at the sample's *recorded* instance id, not its
+       array position: a caller may assemble samples of instances 3 and 7,
+       and under Independent seeds position-based recomputation would pair
+       the sampled values with the wrong seeds. *)
+    Array.init r (fun i ->
+        Sampling.Seeds.seed t.seeds ~instance:t.samples.(i).P.instance_id
+          ~key:h)
   in
   { O.taus = t.taus; seeds; values }
 

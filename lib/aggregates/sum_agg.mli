@@ -39,7 +39,9 @@ val of_summaries :
 
 val key_outcome : pps_samples -> int -> Sampling.Outcome.Pps.t
 (** Estimator-side reconstruction of the single-key outcome of [h]:
-    sampled values read from the samples, seeds recomputed. *)
+    sampled values read from the samples, seeds recomputed at each
+    sample's recorded [instance_id] (so samples of arbitrary instances —
+    not just 0..r−1 — pair with the right seeds). *)
 
 val sampled_keys : pps_samples -> int list
 (** Union of sampled keys, ascending. *)

@@ -139,6 +139,106 @@ let pps_of_string s =
   | Ok p -> p
   | Error e -> failwith (parse_error_to_string e)
 
+let outcome_magic = "optsample-outcome 1"
+
+(* One entry per line: threshold, seed, and the sampled value or '-' for
+   an unsampled entry. The outcome is the paper's estimator-side object —
+   persisting it decouples where samples are taken from where per-key
+   estimates are computed. *)
+let outcome_to_string (o : Outcome.Pps.t) =
+  let r = Array.length o.Outcome.Pps.taus in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" outcome_magic r);
+  for i = 0 to r - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%h %h " o.Outcome.Pps.taus.(i) o.Outcome.Pps.seeds.(i));
+    (match o.Outcome.Pps.values.(i) with
+    | Some v -> Buffer.add_string buf (Printf.sprintf "%h" v)
+    | None -> Buffer.add_char buf '-');
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let parse_outcome_entry n line =
+  match String.split_on_char ' ' line with
+  | [ tau; seed; value ] -> (
+      match (float_of_string_opt tau, float_of_string_opt seed) with
+      | Some tau, Some seed ->
+          if not (Float.is_finite tau) || tau <= 0. then
+            err n (Printf.sprintf "tau %g must be finite and > 0" tau)
+          else if not (seed > 0. && seed < 1.) then
+            err n (Printf.sprintf "seed %g out of (0,1)" seed)
+          else if value = "-" then Ok (tau, seed, None)
+          else (
+            match float_of_string_opt value with
+            | Some v when Float.is_finite v && v >= 0. ->
+                if v < seed *. tau then
+                  err n
+                    (Printf.sprintf
+                       "value %g inconsistent with seed: sampled entries \
+                        satisfy v >= u*tau = %g" v (seed *. tau))
+                else Ok (tau, seed, Some v)
+            | Some v ->
+                err n
+                  (Printf.sprintf "value %g must be finite and >= 0" v)
+            | None ->
+                err n
+                  (Printf.sprintf "bad value %S (expected a hex float or '-')"
+                     value))
+      | None, _ -> err n (Printf.sprintf "bad tau %S (expected a hex float)" tau)
+      | _, None ->
+          err n (Printf.sprintf "bad seed %S (expected a hex float)" seed))
+  | _ -> err n "expected three fields '<tau-hex> <seed-hex> <value-hex|->'"
+
+let outcome_of_string_r s =
+  match lines_of_string s with
+  | [] -> err 0 "empty input"
+  | (n, header) :: rest -> (
+      let parsed_header =
+        match String.split_on_char ' ' header with
+        | [ a; b; r ] when a ^ " " ^ b = outcome_magic -> (
+            match int_of_string_opt r with
+            | Some r when r >= 1 -> Ok r
+            | Some r -> err n (Printf.sprintf "bad arity %d (must be >= 1)" r)
+            | None ->
+                err n (Printf.sprintf "bad arity %S (expected an integer)" r))
+        | a :: b :: _ when a ^ " " ^ b = outcome_magic ->
+            err n
+              (Printf.sprintf
+                 "truncated outcome header (expected '%s <r>')" outcome_magic)
+        | _ ->
+            err n
+              (Printf.sprintf "not an optsample outcome (header %S)" header)
+      in
+      match parsed_header with
+      | Error e -> Error e
+      | Ok r ->
+          if List.length rest <> r then
+            err 0
+              (Printf.sprintf "expected %d entry line(s), found %d" r
+                 (List.length rest))
+          else
+            let rec go acc = function
+              | [] ->
+                  let entries = Array.of_list (List.rev acc) in
+                  Ok
+                    {
+                      Outcome.Pps.taus = Array.map (fun (t, _, _) -> t) entries;
+                      seeds = Array.map (fun (_, u, _) -> u) entries;
+                      values = Array.map (fun (_, _, v) -> v) entries;
+                    }
+              | (n, l) :: rest -> (
+                  match parse_outcome_entry n l with
+                  | Error e -> Error e
+                  | Ok entry -> go (entry :: acc) rest)
+            in
+            go [] rest)
+
+let outcome_of_string s =
+  match outcome_of_string_r s with
+  | Ok o -> o
+  | Error e -> failwith (parse_error_to_string e)
+
 let write_string ~path s =
   let oc = open_out path in
   output_string oc s;
@@ -165,3 +265,9 @@ let read_instance_opt ~path =
   Result.bind (read_file_r ~path) instance_of_string_r
 
 let read_pps_opt ~path = Result.bind (read_file_r ~path) pps_of_string_r
+
+let write_outcome ~path o = write_string ~path (outcome_to_string o)
+let read_outcome ~path = outcome_of_string (read_string ~path)
+
+let read_outcome_opt ~path =
+  Result.bind (read_file_r ~path) outcome_of_string_r

@@ -12,6 +12,9 @@
     - instance: [optsample-instance 1] header, then [<key> <value-hex>]
     - PPS sample: [optsample-pps 1 <instance-id> <tau-hex>] header, then
       [<key> <value-hex>]
+    - single-key outcome: [optsample-outcome 1 <r>] header, then [r]
+      lines [<tau-hex> <seed-hex> <value-hex|->] (['-'] = entry not
+      sampled)
 
     Values are written with [%h] and parsed back exactly. *)
 
@@ -47,3 +50,26 @@ val instance_of_string_r : string -> (Instance.t, parse_error) result
 val pps_to_string : Poisson.pps -> string
 val pps_of_string : string -> Poisson.pps
 val pps_of_string_r : string -> (Poisson.pps, parse_error) result
+
+(** {2 Single-key outcomes}
+
+    A persisted {!Outcome.Pps.t} is the estimator-side view of one key
+    across [r] independently PPS-sampled instances — thresholds, seeds,
+    and the sampled values. Persisting outcomes decouples where samples
+    are taken from where per-key estimates run (the paper's deployment
+    story taken one level further down). *)
+
+val write_outcome : path:string -> Outcome.Pps.t -> unit
+val read_outcome : path:string -> Outcome.Pps.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val read_outcome_opt : path:string -> (Outcome.Pps.t, parse_error) result
+
+val outcome_to_string : Outcome.Pps.t -> string
+val outcome_of_string : string -> Outcome.Pps.t
+
+val outcome_of_string_r : string -> (Outcome.Pps.t, parse_error) result
+(** Strict: rejects non-positive or non-finite thresholds, seeds outside
+    [(0,1)], negative or non-finite values, arity mismatches, and sampled
+    values inconsistent with their seed (a sampled entry must satisfy
+    [v ≥ u·τ*] — anything else is a corrupted file). *)

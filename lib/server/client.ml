@@ -1,0 +1,41 @@
+type t = { conn : Protocol.Conn.t }
+
+let handshake conn =
+  match Protocol.Conn.input_line_opt conn with
+  | None -> Error "connection closed before greeting"
+  | Some greeting ->
+      if not (Protocol.json_ok greeting) then
+        Error (Printf.sprintf "bad greeting %S" greeting)
+      else (
+        match Protocol.json_field "protocol" greeting with
+        | Some v when v = string_of_int Protocol.version -> Ok { conn }
+        | Some v ->
+            Error
+              (Printf.sprintf "server speaks protocol %s, this client %d" v
+                 Protocol.version)
+        | None -> Error (Printf.sprintf "greeting has no protocol field: %S" greeting))
+
+let connect sockaddr =
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> handshake (Protocol.Conn.of_fd fd)
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+
+let connect_tcp ?(host = "127.0.0.1") ~port () =
+  connect (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+
+let connect_unix ~path = connect (Unix.ADDR_UNIX path)
+
+let request t line =
+  match
+    Protocol.Conn.output_line t.conn line;
+    Protocol.Conn.input_line_opt t.conn
+  with
+  | Some response -> Ok response
+  | None -> Error "connection closed"
+  | exception Sys_error m -> Error m
+
+let close t = Protocol.Conn.close t.conn

@@ -1,0 +1,19 @@
+(** Line-protocol client for the daemon (tests, the [optsample client]
+    subcommand, and the replay bench).
+
+    [connect_*] checks the server greeting — wrong protocol version or a
+    non-greeting first line is an [Error], per the versioning contract in
+    {!Protocol}. *)
+
+type t
+
+val connect_tcp : ?host:string -> port:int -> unit -> (t, string) result
+val connect_unix : path:string -> (t, string) result
+
+val request : t -> string -> (string, string) result
+(** Send one request line, read the one-line JSON response. [Error] on a
+    closed connection. The response is returned verbatim — inspect it
+    with {!Protocol.json_field} / {!Protocol.json_float_field} /
+    {!Protocol.json_ok}. *)
+
+val close : t -> unit

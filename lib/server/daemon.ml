@@ -1,0 +1,75 @@
+let listen_tcp ?(host = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 16;
+  let bound =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (sock, bound)
+
+let listen_unix ~path =
+  (if Sys.file_exists path then
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  sock
+
+(* One session: greeting, then request/response lines until EOF, QUIT or
+   SHUTDOWN. Engine exceptions (strict-mode solver errors, invalid
+   arguments) answer as error objects — a bad query must not take the
+   daemon down. *)
+let session engine conn =
+  Protocol.Conn.output_line conn Protocol.greeting;
+  let rec loop () =
+    match Protocol.Conn.input_line_opt conn with
+    | None -> `Closed
+    | Some line ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then loop ()
+        else begin
+          let response, action =
+            try Engine.handle_line engine line with
+            | Numerics.Robust.Solver_error f ->
+                ( Protocol.error ("strict: " ^ Numerics.Robust.to_string f),
+                  Engine.Continue )
+            | Invalid_argument m | Failure m ->
+                (Protocol.error m, Engine.Continue)
+          in
+          Protocol.Conn.output_line conn response;
+          match action with
+          | Engine.Continue -> loop ()
+          | Engine.Close -> `Closed
+          | Engine.Stop -> `Stop
+        end
+  in
+  let outcome = try loop () with Sys_error _ | End_of_file -> `Closed in
+  Protocol.Conn.close conn;
+  outcome
+
+let serve engine sock =
+  let rec accept_loop () =
+    match Unix.accept sock with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | fd, _ -> (
+        Numerics.Obs.count "server.accept";
+        let outcome =
+          Numerics.Obs.span ~cat:"server" "server.session" @@ fun () ->
+          session engine (Protocol.Conn.of_fd fd)
+        in
+        match outcome with `Closed -> accept_loop () | `Stop -> ())
+  in
+  accept_loop ();
+  try Unix.close sock with Unix.Unix_error _ -> ()
+
+type t = { d_port : int; dom : unit Domain.t }
+
+let start engine =
+  let sock, port = listen_tcp ~port:0 () in
+  { d_port = port; dom = Domain.spawn (fun () -> serve engine sock) }
+
+let port t = t.d_port
+let join t = Domain.join t.dom

@@ -1,0 +1,39 @@
+(** The serving loop: a minimal TCP / Unix-socket daemon over
+    {!Protocol} + {!Engine}, stdlib [Unix] only.
+
+    Sessions are handled {e sequentially} — one connection at a time —
+    which matches the store's single-producer ingest contract (the
+    parallelism lives below, in the sharded flush, not in the accept
+    loop). A malformed request or a session-level exception answers with
+    an error object and keeps the daemon alive; only [SHUTDOWN] (or
+    closing the listening socket) stops the loop. *)
+
+val listen_tcp : ?host:string -> port:int -> unit -> Unix.file_descr * int
+(** Bind + listen on [host:port] (default host ["127.0.0.1"]); returns
+    the listening socket and the bound port — pass [port:0] to let the
+    kernel pick one (the in-process test harness does). *)
+
+val listen_unix : path:string -> Unix.file_descr
+(** Bind + listen on a Unix-domain socket path (unlinked first if a
+    stale socket file is in the way). *)
+
+val serve : Engine.t -> Unix.file_descr -> unit
+(** Run the accept loop on the calling domain until a session issues
+    [SHUTDOWN]. Closes the listening socket before returning.
+    Instrumented with [server.accept] / [server.session] counters and a
+    [server.session] span per connection. *)
+
+(** {2 In-process daemon (tests, bench)} *)
+
+type t
+(** A daemon running on its own domain. *)
+
+val start : Engine.t -> t
+(** Bind [127.0.0.1:0], then run {!serve} on a fresh domain. The engine
+    (and its store) must not be touched directly by other domains while
+    the daemon runs — talk to it through a {!Client}. *)
+
+val port : t -> int
+
+val join : t -> unit
+(** Wait for the daemon domain to finish (send [SHUTDOWN] first). *)

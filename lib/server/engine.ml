@@ -1,0 +1,281 @@
+module P = Protocol
+module Designer = Estcore.Designer
+module Distinct = Aggregates.Distinct
+
+type t = { t_store : Store.t }
+
+let create s = { t_store = s }
+let store t = t.t_store
+
+type action = Continue | Close | Stop
+
+(* Derived OR^(L) tables, memoized under the problem fingerprint. The
+   cache is monomorphic in the outcome key, so the engine owns one for
+   the binary-known-seeds key type. *)
+let or_cache : (bool array * bool array) Designer.cache =
+  Designer.cache ~name:"server.or" ()
+
+let or2 v = if v.(0) > 0.5 || v.(1) > 0.5 then 1. else 0.
+
+let or_problem ~p1 ~p2 =
+  Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2
+  |> Designer.Problems.sort_data Designer.Problems.order_l
+
+module ISet = Set.Make (Int)
+
+(* Sum of per-key table lookups over the union of the two samples; the
+   outcome key of key h is its (below, sampled) indicator pair, with
+   seeds recomputed at the instances' recorded ids. *)
+let eval_or_table table seeds ~ids:(id1, id2) ~p1 ~p2 ~s1 ~s2 =
+  let set1 = ISet.of_list s1 and set2 = ISet.of_list s2 in
+  ISet.fold
+    (fun h acc ->
+      let u1 = Sampling.Seeds.seed seeds ~instance:id1 ~key:h in
+      let u2 = Sampling.Seeds.seed seeds ~instance:id2 ~key:h in
+      let key =
+        ([| u1 <= p1; u2 <= p2 |], [| ISet.mem h set1; ISet.mem h set2 |])
+      in
+      acc +. Designer.lookup table key)
+    (ISet.union set1 set2)
+    0.
+
+let select_all _ = true
+
+let pps_samples_of st insts =
+  {
+    Aggregates.Sum_agg.seeds = Store.seeds st;
+    taus =
+      Array.of_list
+        (List.map (fun i -> (Store.instance_config i).Store.tau) insts);
+    samples = Array.of_list (List.map Store.pps_sample insts);
+  }
+
+let names_field insts =
+  "[" ^ String.concat "," (List.map (fun i -> P.jstr (Store.name i)) insts) ^ "]"
+
+let run_max st insts =
+  let ps = pps_samples_of st insts in
+  let r = List.length insts in
+  let ht =
+    Aggregates.Sum_agg.estimate ps ~est:Estcore.Ht.max_pps ~select:select_all
+  in
+  if r = 2 then
+    let l =
+      Aggregates.Sum_agg.estimate ps ~est:Estcore.Max_pps.l ~select:select_all
+    in
+    [ ("estimate", P.jfloat l); ("estimator", P.jstr "max-l");
+      ("ht", P.jfloat ht) ]
+  else
+    [ ("estimate", P.jfloat ht); ("estimator", P.jstr "max-ht");
+      ("ht", P.jfloat ht) ]
+
+let run_or st insts =
+  let seeds = Store.seeds st in
+  let probs =
+    Array.of_list (List.map (fun i -> (Store.instance_config i).Store.p) insts)
+  in
+  let ids = Array.of_list (List.map Store.id insts) in
+  let samples = Array.of_list (List.map Store.binary_sample insts) in
+  match insts with
+  | [ _; _ ] ->
+      let p1 = probs.(0) and p2 = probs.(1) in
+      let s1 = samples.(0) and s2 = samples.(1) in
+      let classes =
+        Distinct.classify ~ids:(ids.(0), ids.(1)) seeds ~p1 ~p2 ~s1 ~s2
+          ~select:select_all
+      in
+      let closed = Distinct.l_estimate classes ~p1 ~p2 in
+      let ht = Distinct.ht_estimate classes ~p1 ~p2 in
+      let estimate, provenance =
+        (* Degradation ladder: machine-derived table first, closed form
+           when Algorithm 1 fails on this probability pair. *)
+        match Designer.solve_order_cached ~cache:or_cache (or_problem ~p1 ~p2) with
+        | Ok table ->
+            ( eval_or_table table seeds ~ids:(ids.(0), ids.(1)) ~p1 ~p2 ~s1 ~s2,
+              "designer" )
+        | Error cause ->
+            Numerics.Robust.note_degradation ~site:"server.query.or"
+              ~fallback:"closed-form"
+              (Numerics.Robust.fail Numerics.Robust.Designer
+                 (Numerics.Robust.Invalid_input cause));
+            (closed, "closed-form")
+      in
+      [ ("estimate", P.jfloat estimate); ("estimator", P.jstr "or-l");
+        ("provenance", P.jstr provenance); ("closed_form", P.jfloat closed);
+        ("ht", P.jfloat ht) ]
+  | _ ->
+      let m = Distinct.Multi.create ~probs in
+      let l = Distinct.Multi.estimate ~ids m seeds ~samples ~select:select_all in
+      let ht =
+        Distinct.Multi.ht_estimate ~ids ~probs seeds ~samples ~select:select_all
+      in
+      [ ("estimate", P.jfloat l); ("estimator", P.jstr "or-multi-l");
+        ("provenance", P.jstr "general-solver"); ("ht", P.jfloat ht) ]
+
+let run_distinct st insts =
+  let seeds = Store.seeds st in
+  let probs =
+    Array.of_list (List.map (fun i -> (Store.instance_config i).Store.p) insts)
+  in
+  let ids = Array.of_list (List.map Store.id insts) in
+  let samples = Array.of_list (List.map Store.binary_sample insts) in
+  match insts with
+  | [ _; _ ] ->
+      let p1 = probs.(0) and p2 = probs.(1) in
+      let classes =
+        Distinct.classify ~ids:(ids.(0), ids.(1)) seeds ~p1 ~p2
+          ~s1:samples.(0) ~s2:samples.(1) ~select:select_all
+      in
+      [ ("estimate", P.jfloat (Distinct.l_estimate classes ~p1 ~p2));
+        ("estimator", P.jstr "distinct-l");
+        ("u", P.jfloat (Distinct.u_estimate classes ~p1 ~p2));
+        ("ht", P.jfloat (Distinct.ht_estimate classes ~p1 ~p2));
+        ("f1q", P.jint classes.Distinct.f1q);
+        ("fq1", P.jint classes.Distinct.fq1);
+        ("f11", P.jint classes.Distinct.f11);
+        ("f10", P.jint classes.Distinct.f10);
+        ("f01", P.jint classes.Distinct.f01) ]
+  | _ ->
+      let m = Distinct.Multi.create ~probs in
+      let l = Distinct.Multi.estimate ~ids m seeds ~samples ~select:select_all in
+      let ht =
+        Distinct.Multi.ht_estimate ~ids ~probs seeds ~samples ~select:select_all
+      in
+      [ ("estimate", P.jfloat l); ("estimator", P.jstr "distinct-multi-l");
+        ("ht", P.jfloat ht) ]
+
+let run_dominance st insts =
+  let ps = pps_samples_of st insts in
+  let r = List.length insts in
+  let max_ht = Aggregates.Dominance.max_dominance_ht ps ~select:select_all in
+  let min_ht = Aggregates.Dominance.min_dominance_ht ps ~select:select_all in
+  let fields =
+    [ ("max_ht", P.jfloat max_ht); ("min_ht", P.jfloat min_ht) ]
+  in
+  if r = 2 then
+    let l = Aggregates.Dominance.max_dominance_l ps ~select:select_all in
+    (("estimate", P.jfloat l) :: ("estimator", P.jstr "maxdom-l") :: fields)
+  else
+    (("estimate", P.jfloat max_ht) :: ("estimator", P.jstr "maxdom-ht")
+    :: fields)
+
+let query t kind names =
+  let st = t.t_store in
+  let resolve name =
+    match Store.find st name with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "unknown instance %S" name)
+  in
+  let rec resolve_all = function
+    | [] -> Ok []
+    | n :: rest ->
+        Result.bind (resolve n) (fun i ->
+            Result.map (fun is -> i :: is) (resolve_all rest))
+  in
+  match resolve_all names with
+  | Error _ as e -> e
+  | Ok insts ->
+      let kind_name = P.query_kind_name kind in
+      Numerics.Obs.span ~cat:"server" ("server.query/" ^ kind_name)
+      @@ fun () ->
+      Store.flush st;
+      let before = Numerics.Robust.degradation_count () in
+      let fields =
+        match kind with
+        | P.Max -> run_max st insts
+        | P.Or -> run_or st insts
+        | P.Distinct -> run_distinct st insts
+        | P.Dominance -> run_dominance st insts
+      in
+      let degraded = Numerics.Robust.degradation_count () - before in
+      Ok
+        (P.ok_fields
+           (("kind", P.jstr kind_name)
+           :: ("instances", names_field insts)
+           :: ("r", P.jint (List.length insts))
+           :: fields
+           @ [ ("degradations", P.jint degraded) ]))
+
+let instance_stats inst =
+  let cfg = Store.instance_config inst in
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> P.jstr k ^ ":" ^ v)
+         [ ("name", P.jstr (Store.name inst)); ("id", P.jint (Store.id inst));
+           ("records", P.jint (Store.records inst));
+           ("volume", P.jfloat (Store.volume inst));
+           ("cardinality", P.jint (Store.cardinality inst));
+           ("tau", P.jfloat cfg.Store.tau); ("k", P.jint cfg.Store.k);
+           ("p", P.jfloat cfg.Store.p);
+           ( "pps_size",
+             P.jint (List.length (Store.pps_sample inst).Sampling.Poisson.entries)
+           );
+           ( "bk_size",
+             P.jint
+               (List.length (Store.bottom_k inst).Sampling.Bottom_k.entries) );
+           ("binary_size", P.jint (List.length (Store.binary_sample inst)));
+           ("varopt_size", P.jint (List.length (Store.varopt_entries inst))) ])
+  ^ "}"
+
+let shard_stats_json st =
+  let items =
+    List.map
+      (fun (s : Store.shard_stats) ->
+        Printf.sprintf "{\"shard\":%d,\"queue_depth\":%d,\"applied\":%d}"
+          s.Store.shard s.Store.queue_depth s.Store.applied)
+      (Store.shard_stats st)
+  in
+  "[" ^ String.concat "," items ^ "]"
+
+let run_stats st =
+  Store.flush st;
+  let insts = Store.instances st in
+  P.ok_fields
+    [ ("instances",
+       "[" ^ String.concat "," (List.map instance_stats insts) ^ "]");
+      ("shards", shard_stats_json st);
+      ("pending", P.jint (Store.pending st));
+      ("degradations", P.jint (Numerics.Robust.degradation_count ())) ]
+
+let handle_request t req =
+  let st = t.t_store in
+  match req with
+  | P.Hello _ -> (P.ok_fields [ ("protocol", P.jint P.version) ], Continue)
+  | P.Create { name; tau; k; p } -> (
+      match Store.create_instance st ~name ?tau ?k ?p () with
+      | Ok inst ->
+          let cfg = Store.instance_config inst in
+          ( P.ok_fields
+              [ ("name", P.jstr name); ("id", P.jint (Store.id inst));
+                ("tau", P.jfloat cfg.Store.tau); ("k", P.jint cfg.Store.k);
+                ("p", P.jfloat cfg.Store.p) ],
+            Continue )
+      | Error m -> (P.error m, Continue))
+  | P.Ingest { name; key; weight } -> (
+      match Store.ingest st ~name ~key ~weight with
+      | Ok () -> (P.ok_fields [], Continue)
+      | Error m -> (P.error m, Continue))
+  | P.Query { kind; names } -> (
+      match query t kind names with
+      | Ok response -> (response, Continue)
+      | Error m -> (P.error m, Continue))
+  | P.Snapshot path -> (
+      Store.flush st;
+      match Snapshot.write st ~path with
+      | Ok n ->
+          ( P.ok_fields [ ("path", P.jstr path); ("instances", P.jint n) ],
+            Continue )
+      | Error m -> (P.error m, Continue))
+  | P.Stats -> (run_stats st, Continue)
+  | P.Flush ->
+      Store.flush st;
+      (P.ok_fields [ ("pending", P.jint (Store.pending st)) ], Continue)
+  | P.Quit -> (P.ok_fields [ ("bye", P.jstr "quit") ], Close)
+  | P.Shutdown -> (P.ok_fields [ ("bye", P.jstr "shutdown") ], Stop)
+
+let handle_line t line =
+  match P.parse line with
+  | Ok req -> handle_request t req
+  | Error e ->
+      (P.error (Sampling.Io.parse_error_to_string e), Continue)

@@ -1,0 +1,48 @@
+(** Query execution over live {!Store} summaries.
+
+    The engine turns parsed {!Protocol.request}s into one-line JSON
+    responses. Every query flushes the store first (so answers reflect
+    all ingested records), then routes to the estimation pipeline:
+
+    - [max] — the sum aggregate of max over the instances' live PPS
+      samples: per-key [max^(L)] ({!Estcore.Max_pps.l}) for r = 2 (the
+      paper's closed form), the [max^(HT)] baseline for any r. Both are
+      reported; [estimate] carries the preferred one.
+    - [or] — binary OR / distinct count over the live binary support
+      samples. The per-key table is machine-derived by Algorithm 1 on
+      {!Estcore.Designer.Problems.binary_known_seeds} (memoized in a
+      designer cache under the problem fingerprint); when derivation
+      fails the engine degrades to the closed-form [OR^(L)]
+      ({!Aggregates.Distinct.l_estimate}) and says so in the
+      [provenance] field — the {!Numerics.Robust} ladder pattern.
+      r > 2 routes to {!Aggregates.Distinct.Multi} (Theorem 4.1 solver).
+    - [distinct] — the L / U / HT distinct-count estimates with the
+      five outcome-class counts (Section 8.1).
+    - [dominance] — max-dominance ([max^(L)] for r = 2, HT for any r)
+      and min-dominance (HT) over the live PPS samples (Section 8.2).
+
+    Responses carry a [degradations] field — the number of
+    {!Numerics.Robust} fallbacks consumed while answering — so clients
+    see degraded answers without scraping logs. Each query runs under an
+    {!Numerics.Obs} span named [server.query/<kind>]. *)
+
+type t
+
+val create : Store.t -> t
+val store : t -> Store.t
+
+type action = Continue | Close | Stop
+
+val handle_request : t -> Protocol.request -> string * action
+(** Execute one request; returns the one-line JSON response and what the
+    session should do next ([Close] after QUIT, [Stop] after SHUTDOWN). *)
+
+val handle_line : t -> string -> string * action
+(** {!Protocol.parse} + {!handle_request}; malformed requests produce an
+    error response and [Continue]. *)
+
+val query :
+  t -> Protocol.query_kind -> string list -> (string, string) result
+(** The query path alone (flush + estimate + response assembly), exposed
+    so tests and the bench can compare server answers against the batch
+    pipeline without a transport. *)

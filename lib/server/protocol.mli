@@ -1,0 +1,111 @@
+(** The optsample-serve wire protocol, version 1.
+
+    Newline-delimited: every request is one text line, every response one
+    JSON object on one line. On connect the server sends a greeting
+    object [{"ok":true,"server":"optsample-serve","protocol":1}]; the
+    client must check the [protocol] field before issuing requests.
+
+    Requests (tokens separated by single spaces; [#]-comments and blank
+    lines are ignored by the session loop):
+
+    - [HELLO <version>] — optional version assertion; the server rejects
+      a version it does not speak.
+    - [CREATE <name> [tau=<float>] [k=<int>] [p=<float>]] — register an
+      instance (id = creation order). Missing parameters take the store
+      defaults.
+    - [INGEST <name> <key> <weight>] — feed one record. Weights must be
+      finite and positive (they accumulate per key, like repeated flows
+      of one destination).
+    - [QUERY max|or|distinct|dominance <name> <name> [...]] — estimate a
+      multi-instance aggregate from the live summaries.
+    - [SNAPSHOT <path>] — persist the full store.
+    - [STATS] — per-instance and per-shard counters.
+    - [FLUSH] — drain all shard mailboxes now.
+    - [QUIT] — end the session (connection closes).
+    - [SHUTDOWN] — end the session and stop the accept loop.
+
+    Parsers are strict in the {!Sampling.Io} style: any malformed token
+    yields a structured {!parse_error} carrying the offending input, and
+    the session answers with an error object instead of dying. *)
+
+type query_kind = Max | Or | Distinct | Dominance
+
+type request =
+  | Hello of int
+  | Create of {
+      name : string;
+      tau : float option;
+      k : int option;
+      p : float option;
+    }
+  | Ingest of { name : string; key : int; weight : float }
+  | Query of { kind : query_kind; names : string list }
+  | Snapshot of string
+  | Stats
+  | Flush
+  | Quit
+  | Shutdown
+
+val version : int
+(** Protocol version spoken by this build (1). *)
+
+val query_kind_name : query_kind -> string
+
+val valid_name : string -> bool
+(** Instance names are [[A-Za-z0-9_.-]+] — no escaping on the wire. *)
+
+val parse : string -> (request, Sampling.Io.parse_error) result
+(** Parse one request line. The [line] field of an error is 0 (sessions
+    number their own requests). *)
+
+(** {2 Response assembly}
+
+    One JSON object per line, assembled field by field — same house
+    style as the bench JSON, so responses stay awk/grep-friendly. *)
+
+val greeting : string
+val ok_fields : (string * string) list -> string
+(** [ok_fields fields] is [{"ok":true,<fields>}]; field values must
+    already be valid JSON fragments (use {!jstr}/{!jfloat}/{!jint}). *)
+
+val error : string -> string
+(** [{"ok":false,"error":<msg>}]. *)
+
+val jstr : string -> string
+(** JSON string literal with escaping. *)
+
+val jfloat : float -> string
+(** Lossless float literal: decimal shortest round-trip via ["%.17g"]
+    (JSON has no hex floats), with NaN/infinity mapped to strings. *)
+
+val jint : int -> string
+
+(** {2 Response inspection (client side)} *)
+
+val json_field : string -> string -> string option
+(** [json_field key line] extracts the raw value of a top-level
+    ["key": value] pair from a one-line JSON object (sufficient for the
+    flat objects this protocol emits — values never contain braces). *)
+
+val json_float_field : string -> string -> float option
+val json_ok : string -> bool
+
+(** {2 Line-oriented connection I/O}
+
+    The only sanctioned blocking reads in [lib/server] — the lint bans
+    [Unix.read]/[input_line] everywhere else under this library, which
+    keeps shard-owned code paths (store, engine, snapshot) free of
+    syscalls. *)
+
+module Conn : sig
+  type t
+
+  val of_fd : Unix.file_descr -> t
+  val input_line_opt : t -> string option
+  (** Next line ([None] at EOF). Strips a trailing CR. *)
+
+  val output_line : t -> string -> unit
+  (** Write the line plus ['\n'] and flush. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,199 @@
+let magic = "optsample-snapshot 1"
+
+type parse_error = Sampling.Io.parse_error = { line : int; message : string }
+
+let err line message = Error { line; message }
+
+let mode_name = function
+  | Sampling.Seeds.Shared -> "shared"
+  | Sampling.Seeds.Independent -> "independent"
+
+let mode_of_name = function
+  | "shared" -> Some Sampling.Seeds.Shared
+  | "independent" -> Some Sampling.Seeds.Independent
+  | _ -> None
+
+let to_string st =
+  Store.flush st;
+  let cfg = Store.config st in
+  let insts = Store.instances st in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %s %h %d %h %d %d\n" magic cfg.Store.master
+       (mode_name cfg.Store.mode) cfg.Store.default_tau cfg.Store.default_k
+       cfg.Store.default_p cfg.Store.flush_every (List.length insts));
+  List.iter
+    (fun inst ->
+      let icfg = Store.instance_config inst in
+      Buffer.add_string buf
+        (Printf.sprintf "instance %s %d %h %d %h\n" (Store.name inst)
+           (Store.id inst) icfg.Store.tau icfg.Store.k icfg.Store.p);
+      Sampling.Instance.iter
+        (fun k v -> Buffer.add_string buf (Printf.sprintf "%d %h\n" k v))
+        (Store.to_instance inst);
+      Buffer.add_string buf "end\n")
+    insts;
+  Buffer.contents buf
+
+(* Same line discipline as Sampling.Io: number lines before filtering
+   comments/blanks, accept CRLF. *)
+let strip_cr l =
+  let n = String.length l in
+  if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+
+let lines_of_string s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim (strip_cr l)))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let ( let* ) = Result.bind
+
+let parse_int n what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> err n (Printf.sprintf "bad %s %S (expected an integer)" what s)
+
+let parse_pos_float n what s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v && v > 0. -> Ok v
+  | Some v -> err n (Printf.sprintf "%s %g must be finite and > 0" what v)
+  | None -> err n (Printf.sprintf "bad %s %S (expected a hex float)" what s)
+
+let parse_header n header =
+  match String.split_on_char ' ' header with
+  | a :: b :: rest when a ^ " " ^ b = magic -> (
+      match rest with
+      | [ master; mode; tau; k; p; flush_every; count ] -> (
+          let* master = parse_int n "master seed" master in
+          match mode_of_name mode with
+          | None ->
+              err n
+                (Printf.sprintf
+                   "bad seed mode %S (expected shared or independent)" mode)
+          | Some mode ->
+              let* default_tau = parse_pos_float n "default tau" tau in
+              let* default_k = parse_int n "default k" k in
+              let* default_p = parse_pos_float n "default p" p in
+              let* flush_every = parse_int n "flush_every" flush_every in
+              let* count = parse_int n "instance count" count in
+              if count < 0 then
+                err n (Printf.sprintf "negative instance count %d" count)
+              else
+                Ok (master, mode, default_tau, default_k, default_p,
+                    flush_every, count))
+      | fields ->
+          err n
+            (Printf.sprintf
+               "truncated snapshot header: %d field(s) after %S, expected 7"
+               (List.length fields) magic))
+  | _ ->
+      err n
+        (Printf.sprintf "not an optsample snapshot (header %S, expected %S …)"
+           header magic)
+
+let parse_instance_header n line =
+  match String.split_on_char ' ' line with
+  | [ "instance"; name; id; tau; k; p ] ->
+      let* id = parse_int n "instance id" id in
+      let* tau = parse_pos_float n "tau" tau in
+      let* k = parse_int n "k" k in
+      let* p = parse_pos_float n "p" p in
+      if k <= 0 then err n (Printf.sprintf "k %d must be > 0" k)
+      else if p > 1. then err n (Printf.sprintf "p %g out of (0,1]" p)
+      else Ok (name, id, tau, k, p)
+  | _ ->
+      err n
+        (Printf.sprintf
+           "expected 'instance <name> <id> <tau> <k> <p>', got %S" line)
+
+let of_string_r ?pool ?shards s =
+  match lines_of_string s with
+  | [] -> err 0 "empty input"
+  | (n, header) :: rest ->
+      let* master, mode, default_tau, default_k, default_p, flush_every, count
+          =
+        parse_header n header
+      in
+      let cfg =
+        {
+          Store.shards =
+            Option.value shards ~default:Store.default_config.Store.shards;
+          master;
+          mode;
+          default_tau;
+          default_k;
+          default_p;
+          flush_every;
+        }
+      in
+      let st = Store.create ?pool cfg in
+      (* One instance section at a time: header, entries, 'end'. *)
+      let rec instances seen lines =
+        if seen = count then
+          match lines with
+          | [] ->
+              Store.flush st;
+              Ok st
+          | (n, l) :: _ ->
+              err n (Printf.sprintf "trailing garbage after %d instance(s): %S"
+                       count l)
+        else
+          match lines with
+          | [] ->
+              err 0
+                (Printf.sprintf "truncated snapshot: %d of %d instance(s)"
+                   seen count)
+          | (n, l) :: lines -> (
+              let* name, id, tau, k, p = parse_instance_header n l in
+              if id <> seen then
+                err n
+                  (Printf.sprintf
+                     "instance id %d out of order (expected %d)" id seen)
+              else
+                match Store.create_instance st ~name ~tau ~k ~p () with
+                | Error m -> err n m
+                | Ok _ -> entries name (Hashtbl.create 64) lines)
+      and entries name seen lines =
+        match lines with
+        | [] -> err 0 (Printf.sprintf "missing 'end' for instance %S" name)
+        | (_, "end") :: lines ->
+            instances (Store.id (Option.get (Store.find st name)) + 1) lines
+        | (n, l) :: lines -> (
+            match String.split_on_char ' ' l with
+            | [ k; v ] -> (
+                let* key = parse_int n "key" k in
+                let* weight = parse_pos_float n "weight" v in
+                match Hashtbl.find_opt seen key with
+                | Some first ->
+                    err n
+                      (Printf.sprintf
+                         "duplicate key %d (first seen on line %d)" key first)
+                | None -> (
+                    Hashtbl.add seen key n;
+                    match Store.ingest st ~name ~key ~weight with
+                    | Ok () -> entries name seen lines
+                    | Error m -> err n m))
+            | _ -> err n "expected two fields '<int-key> <hex-float>' or 'end'")
+      in
+      instances 0 rest
+
+let write st ~path =
+  let s = to_string st in
+  match
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  with
+  | () -> Ok (List.length (Store.instances st))
+  | exception Sys_error m -> Error m
+
+let load ?pool ?shards path =
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | s -> of_string_r ?pool ?shards s
+  | exception Sys_error m -> err 0 m

@@ -1,0 +1,54 @@
+(** Full-store persistence, so a daemon restart starts warm.
+
+    Format (line-oriented, [#]-comments and blank lines ignored, floats
+    as lossless hex literals — the {!Sampling.Io} house style):
+
+    {v
+    optsample-snapshot 1 <master> <mode> <tau-hex> <k> <p-hex> <flush_every> <n>
+    instance <name> <id> <tau-hex> <k> <p-hex>
+    <key> <weight-hex>        (accumulated weight, ascending keys)
+    ...
+    end
+    ...                       (n instance sections, in id order)
+    v}
+
+    Loading recreates the store (instances in id order, so ids — and
+    therefore seed derivations — are preserved) and {e replays} each
+    key's accumulated weight as one record. PPS, bottom-k and binary
+    summaries depend only on the accumulated weights and the recorded
+    seeds, so after the replay they are bit-identical to the summaries at
+    snapshot time — re-queries answer identically. The VarOpt reservoir
+    is rebuilt by the same replay (its stream randomness is consumed
+    per-record, so it is a fresh draw over the aggregated stream, not the
+    original reservoir); the per-instance [records] counter likewise
+    restarts at the key count.
+
+    The shard count is {e not} part of the snapshot: summaries never
+    depend on it, so the loader picks its own (default
+    {!Store.default_config}[.shards], override with [?shards]). *)
+
+val magic : string
+(** ["optsample-snapshot 1"]. *)
+
+val to_string : Store.t -> string
+(** Serialize (flushes the store first). *)
+
+val of_string_r :
+  ?pool:Numerics.Pool.t ->
+  ?shards:int ->
+  string ->
+  (Store.t, Sampling.Io.parse_error) result
+(** Parse and replay. Strict: bad headers, malformed entries, duplicate
+    keys, non-positive weights, out-of-order instance ids and trailing
+    garbage are all structured errors. *)
+
+val write : Store.t -> path:string -> (int, string) result
+(** Write to a file; returns the number of instances persisted. File
+    system errors come back as [Error]. *)
+
+val load :
+  ?pool:Numerics.Pool.t ->
+  ?shards:int ->
+  string ->
+  (Store.t, Sampling.Io.parse_error) result
+(** [load path]: {!of_string_r} on the file's contents. *)

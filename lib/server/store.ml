@@ -1,0 +1,288 @@
+module Seeds = Sampling.Seeds
+
+type config = {
+  shards : int;
+  master : int;
+  mode : Seeds.mode;
+  default_tau : float;
+  default_k : int;
+  default_p : float;
+  flush_every : int;
+}
+
+let default_config =
+  {
+    shards = 1;
+    master = 42;
+    mode = Seeds.Independent;
+    default_tau = 100.;
+    default_k = 64;
+    default_p = 0.05;
+    flush_every = 8192;
+  }
+
+type instance_config = { tau : float; k : int; p : float }
+
+(* Bottom-k working set: the k+1 smallest current (rank, key) pairs,
+   ordered like Bottom_k.sample sorts (rank, then key). *)
+module Rank_order = struct
+  type t = float * int
+
+  let compare (r1, k1) (r2, k2) =
+    match Float.compare r1 r2 with 0 -> Int.compare k1 k2 | c -> c
+end
+
+module RankSet = Set.Make (Rank_order)
+
+type instance = {
+  id : int;
+  i_name : string;
+  icfg : instance_config;
+  weights : (int, float) Hashtbl.t;
+  mutable i_records : int;
+  mutable i_volume : float;
+  pps_tbl : (int, float) Hashtbl.t;
+  binary_tbl : (int, unit) Hashtbl.t;
+  mutable bk_set : RankSet.t;
+  bk_rank : (int, float) Hashtbl.t;  (* key -> rank, for keys in bk_set *)
+  vo : Sampling.Varopt.t;
+  vo_rng : Numerics.Prng.t;
+}
+
+type record = { r_inst : instance; r_key : int; r_weight : float }
+
+type shard = {
+  mailbox : record list Atomic.t;  (* newest first; reversed on drain *)
+  depth : int Atomic.t;
+  mutable applied : int;  (* mutated only by the draining task *)
+}
+
+type t = {
+  cfg : config;
+  t_seeds : Seeds.t;
+  t_pool : Numerics.Pool.t Lazy.t;
+  t_shards : shard array;
+  by_name : (string, instance) Hashtbl.t;
+  mutable rev_instances : instance list;
+  mutable n_instances : int;
+  mutable pending_since_flush : int;  (* producer-side; see ingest *)
+}
+
+let create ?pool cfg =
+  if cfg.shards < 1 then
+    invalid_arg (Printf.sprintf "Store.create: shards = %d must be >= 1" cfg.shards);
+  let t_pool =
+    match pool with
+    | Some p -> Lazy.from_val p
+    | None -> lazy (Numerics.Pool.create ~domains:cfg.shards ())
+  in
+  {
+    cfg;
+    t_seeds = Seeds.create ~master:cfg.master cfg.mode;
+    t_pool;
+    t_shards =
+      Array.init cfg.shards (fun _ ->
+          { mailbox = Atomic.make []; depth = Atomic.make 0; applied = 0 });
+    by_name = Hashtbl.create 16;
+    rev_instances = [];
+    n_instances = 0;
+    pending_since_flush = 0;
+  }
+
+let config t = t.cfg
+let seeds t = t.t_seeds
+let pool t = Lazy.force t.t_pool
+
+let create_instance t ~name ?tau ?k ?p () =
+  if not (Protocol.valid_name name) then
+    Error (Printf.sprintf "invalid instance name %S" name)
+  else if Hashtbl.mem t.by_name name then
+    Error (Printf.sprintf "instance %S already exists" name)
+  else begin
+    let icfg =
+      {
+        tau = Option.value tau ~default:t.cfg.default_tau;
+        k = Option.value k ~default:t.cfg.default_k;
+        p = Option.value p ~default:t.cfg.default_p;
+      }
+    in
+    let id = t.n_instances in
+    let inst =
+      {
+        id;
+        i_name = name;
+        icfg;
+        weights = Hashtbl.create 1024;
+        i_records = 0;
+        i_volume = 0.;
+        pps_tbl = Hashtbl.create 256;
+        binary_tbl = Hashtbl.create 256;
+        bk_set = RankSet.empty;
+        bk_rank = Hashtbl.create 256;
+        vo = Sampling.Varopt.create ~k:icfg.k;
+        (* Private VarOpt randomness, reproducible from (master, id). *)
+        vo_rng = Numerics.Prng.substream ~master:t.cfg.master id;
+      }
+    in
+    Hashtbl.add t.by_name name inst;
+    t.rev_instances <- inst :: t.rev_instances;
+    t.n_instances <- id + 1;
+    Ok inst
+  end
+
+let find t name = Hashtbl.find_opt t.by_name name
+let instances t = List.rev t.rev_instances
+
+(* --- record application (runs on the owning shard's drain task) --- *)
+
+(* Maintain the k+1 smallest (rank, key): ranks are monotone decreasing
+   in the accumulated weight, so the running (k+1)-max never grows and a
+   key evicted (or rejected) with no further records is correctly out —
+   there are already k+1 keys whose pairs are smaller and only shrink. *)
+let bk_update seeds inst key v =
+  let rank =
+    Seeds.rank seeds Sampling.Rank.PPS ~instance:inst.id ~key ~w:v
+  in
+  let cap = inst.icfg.k + 1 in
+  match Hashtbl.find_opt inst.bk_rank key with
+  | Some old_rank ->
+      inst.bk_set <- RankSet.add (rank, key) (RankSet.remove (old_rank, key) inst.bk_set);
+      Hashtbl.replace inst.bk_rank key rank
+  | None ->
+      if RankSet.cardinal inst.bk_set < cap then begin
+        inst.bk_set <- RankSet.add (rank, key) inst.bk_set;
+        Hashtbl.replace inst.bk_rank key rank
+      end
+      else
+        let ((_, max_key) as max_elt) = RankSet.max_elt inst.bk_set in
+        if Rank_order.compare (rank, key) max_elt < 0 then begin
+          inst.bk_set <- RankSet.add (rank, key) (RankSet.remove max_elt inst.bk_set);
+          Hashtbl.remove inst.bk_rank max_key;
+          Hashtbl.replace inst.bk_rank key rank
+        end
+
+let apply seeds inst key w =
+  inst.i_records <- inst.i_records + 1;
+  inst.i_volume <- inst.i_volume +. w;
+  let v0 =
+    match Hashtbl.find_opt inst.weights key with Some v -> v | None -> 0.
+  in
+  let v = v0 +. w in
+  Hashtbl.replace inst.weights key v;
+  let u = Seeds.seed seeds ~instance:inst.id ~key in
+  (* Same inclusion predicate as Poisson.pps_sample; monotone in v, so
+     once in, a key only has its recorded value refreshed. *)
+  if v >= u *. inst.icfg.tau then Hashtbl.replace inst.pps_tbl key v;
+  (* Binary support sample: decided once, on the key's first record. *)
+  if v0 = 0. && u <= inst.icfg.p then Hashtbl.replace inst.binary_tbl key ();
+  bk_update seeds inst key v;
+  Sampling.Varopt.add inst.vo inst.vo_rng ~key ~weight:w
+
+(* --- sharded ingest --- *)
+
+let shard_of t inst = t.t_shards.(inst.id mod t.cfg.shards)
+
+let push shard r =
+  let rec go () =
+    let old = Atomic.get shard.mailbox in
+    if not (Atomic.compare_and_set shard.mailbox old (r :: old)) then go ()
+  in
+  go ();
+  Atomic.incr shard.depth
+
+let drain t shard =
+  match Atomic.exchange shard.mailbox [] with
+  | [] -> ()
+  | backlog ->
+      let batch = List.rev backlog in
+      let n = List.length batch in
+      ignore (Atomic.fetch_and_add shard.depth (-n));
+      List.iter (fun r -> apply t.t_seeds r.r_inst r.r_key r.r_weight) batch;
+      shard.applied <- shard.applied + n;
+      Numerics.Obs.count ~by:n "server.shard.applied"
+
+let flush t =
+  t.pending_since_flush <- 0;
+  Numerics.Obs.span ~cat:"server" "server.flush" @@ fun () ->
+  ignore
+    (Numerics.Pool.parallel_map ~grain:1 (pool t) (drain t) t.t_shards)
+
+let ingest t ~name ~key ~weight =
+  if not (Float.is_finite weight) || weight <= 0. then
+    Error (Printf.sprintf "weight %g must be finite and > 0" weight)
+  else
+    match Hashtbl.find_opt t.by_name name with
+    | None -> Error (Printf.sprintf "unknown instance %S" name)
+    | Some inst ->
+        Numerics.Obs.count "server.ingest";
+        push (shard_of t inst) { r_inst = inst; r_key = key; r_weight = weight };
+        t.pending_since_flush <- t.pending_since_flush + 1;
+        if t.pending_since_flush >= t.cfg.flush_every then flush t;
+        Ok ()
+
+let pending t =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.depth) 0 t.t_shards
+
+(* --- reads --- *)
+
+let id inst = inst.id
+let name inst = inst.i_name
+let instance_config inst = inst.icfg
+let records inst = inst.i_records
+let volume inst = inst.i_volume
+let cardinality inst = Hashtbl.length inst.weights
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2)
+
+let to_instance inst = Sampling.Instance.of_assoc (sorted_entries inst.weights)
+
+let pps_sample inst =
+  {
+    Sampling.Poisson.instance_id = inst.id;
+    tau = inst.icfg.tau;
+    entries = sorted_entries inst.pps_tbl;
+  }
+
+let bottom_k inst =
+  let k = inst.icfg.k in
+  let all = RankSet.elements inst.bk_set in
+  let rec take n = function
+    | [] -> ([], infinity)
+    | (rank, key) :: rest ->
+        if n = 0 then ([], rank)
+        else
+          let kept, thr = take (n - 1) rest in
+          ( {
+              Sampling.Bottom_k.key;
+              value = Hashtbl.find inst.weights key;
+              rank;
+            }
+            :: kept,
+            thr )
+  in
+  let entries, threshold = take k all in
+  {
+    Sampling.Bottom_k.instance_id = inst.id;
+    k;
+    family = Sampling.Rank.PPS;
+    entries;
+    threshold;
+  }
+
+let binary_sample inst =
+  Hashtbl.fold (fun k () acc -> k :: acc) inst.binary_tbl []
+  |> List.sort Int.compare
+
+let varopt_entries inst = Sampling.Varopt.entries inst.vo
+let varopt_threshold inst = Sampling.Varopt.threshold inst.vo
+
+type shard_stats = { shard : int; queue_depth : int; applied : int }
+
+let shard_stats t =
+  Array.to_list
+    (Array.mapi
+       (fun i s ->
+         { shard = i; queue_depth = Atomic.get s.depth; applied = s.applied })
+       t.t_shards)

@@ -1,0 +1,138 @@
+(** Sharded in-memory registry of named instances with live coordinated
+    summaries.
+
+    Each registered instance owns three incrementally-maintained
+    summaries of its accumulated [(key, weight)] stream — exactly the
+    Section 7.1 inventory, kept {e live} instead of rebuilt per batch:
+
+    - a {b PPS Poisson} sample under a fixed threshold [tau]: key [h]
+      enters the sample the moment its accumulated weight crosses
+      [u(h)·tau] and never leaves (weights only grow), so the resident
+      sample always equals {!Sampling.Poisson.pps_sample} of the
+      accumulated instance, bit for bit;
+    - a {b bottom-k} (priority) sample: the [k+1] smallest current
+      [(rank, key)] pairs are maintained under updates. Ranks are
+      monotone decreasing in the accumulated weight, so the running
+      [(k+1)]-max never grows and eviction is exact — the final structure
+      equals {!Sampling.Bottom_k.sample} of the accumulated instance;
+    - a {b VarOpt} reservoir fed record-by-record (private randomness
+      from a per-instance substream of the master seed);
+
+    plus a binary support sample ([u(h) ≤ p]) for the distinct-count
+    estimators, and the full per-key weight accumulator (needed anyway:
+    weighted ranks are functions of the {e accumulated} weight).
+
+    Seeds are recorded {!Sampling.Seeds} seeds — shared or independent
+    mode — so estimator-side seed recomputation works unchanged and
+    summaries are reproducible from [(master, instance id)].
+
+    {2 Sharding}
+
+    Instances are assigned round-robin to [shards] mailboxes. The ingest
+    hot path only pushes onto the owning shard's lock-free mailbox (one
+    CAS, no syscall, no lock); {!flush} drains all mailboxes across the
+    {!Numerics.Pool}, one task per shard, each applying its backlog in
+    arrival order. Per-instance application order therefore equals
+    stream order whatever the shard or domain count — summaries are
+    {e bit-identical} across [shards ∈ {1, 2, 4, …}] (tested). Reads
+    ({!pps_sample} etc.) are only meaningful after a {!flush}; the
+    {!Engine} flushes before every query. *)
+
+type config = {
+  shards : int;  (** mailbox count (≥ 1); summaries never depend on it *)
+  master : int;  (** master hash seed for {!Sampling.Seeds} *)
+  mode : Sampling.Seeds.mode;
+  default_tau : float;  (** PPS threshold for instances created without one *)
+  default_k : int;  (** bottom-k / VarOpt size default *)
+  default_p : float;  (** binary-sample probability default *)
+  flush_every : int;  (** auto-flush when this many records are pending *)
+}
+
+val default_config : config
+(** [shards = 1], [master = 42], [Independent], [tau = 100.], [k = 64],
+    [p = 0.05], [flush_every = 8192]. *)
+
+type instance_config = { tau : float; k : int; p : float }
+
+type instance
+type t
+
+val create : ?pool:Numerics.Pool.t -> config -> t
+(** Fresh empty store. [pool] defaults to a lazily-created pool of
+    [config.shards] domains. *)
+
+val config : t -> config
+val seeds : t -> Sampling.Seeds.t
+val pool : t -> Numerics.Pool.t
+
+val create_instance :
+  t ->
+  name:string ->
+  ?tau:float ->
+  ?k:int ->
+  ?p:float ->
+  unit ->
+  (instance, string) result
+(** Register a named instance (id = creation order, which is also the
+    instance id used for seed derivation). [Error] when the name is
+    taken. *)
+
+val find : t -> string -> instance option
+val instances : t -> instance list
+(** All instances in creation (= id) order. *)
+
+val ingest : t -> name:string -> key:int -> weight:float -> (unit, string) result
+(** Push one record onto the owning shard's mailbox. Lock-free; the
+    record is applied at the next {!flush} (or automatically once
+    [flush_every] records are pending). [weight] must be finite and
+    positive. Single-producer: call from one session thread at a time. *)
+
+val flush : t -> unit
+(** Drain every shard mailbox across the pool and apply all pending
+    records, in per-shard arrival order. Idempotent when nothing is
+    pending. *)
+
+val pending : t -> int
+(** Records pushed but not yet applied (sum of mailbox depths). *)
+
+(** {2 Reading an instance (flush first)} *)
+
+val id : instance -> int
+val name : instance -> string
+val instance_config : instance -> instance_config
+val records : instance -> int
+(** Records applied so far. *)
+
+val volume : instance -> float
+(** Sum of all applied weights. *)
+
+val cardinality : instance -> int
+(** Distinct keys with positive accumulated weight. *)
+
+val to_instance : instance -> Sampling.Instance.t
+(** Materialize the accumulated weights (snapshot / test use; O(keys)). *)
+
+val pps_sample : instance -> Sampling.Poisson.pps
+(** The live PPS sample — equal to [Sampling.Poisson.pps_sample seeds
+    ~instance:(id inst) ~tau] of the accumulated instance. *)
+
+val bottom_k : instance -> Sampling.Bottom_k.t
+(** The live bottom-k (PPS-rank) sample — equal to
+    [Sampling.Bottom_k.sample] of the accumulated instance. *)
+
+val binary_sample : instance -> int list
+(** Support keys with [u(h) ≤ p], ascending — equal to
+    [Aggregates.Distinct.sample_binary] of the accumulated instance. *)
+
+val varopt_entries : instance -> (int * float) list
+val varopt_threshold : instance -> float
+
+(** {2 Shard introspection (STATS)} *)
+
+type shard_stats = {
+  shard : int;
+  queue_depth : int;  (** records currently waiting in the mailbox *)
+  applied : int;  (** records applied by this shard so far *)
+}
+
+val shard_stats : t -> shard_stats list

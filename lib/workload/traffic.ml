@@ -49,6 +49,77 @@ let generate p =
   in
   (rescale h1, rescale h2)
 
+module Stream = struct
+  type t = {
+    params : params;
+    hour : int;
+    profile : float array;
+    scale : float;
+    rng : Numerics.Prng.t;
+    mutable index : int;
+  }
+
+  let n_records p = p.n_shared + p.n_only
+
+  let key_of p ~hour i =
+    if i < p.n_shared then i + 1
+    else
+      let only_base =
+        if hour = 1 then p.n_shared + 1 else p.n_shared + p.n_only + 1
+      in
+      only_base + (i - p.n_shared)
+
+  let jitter p rng = 1. +. (p.jitter *. ((2. *. Numerics.Prng.float rng) -. 1.))
+
+  (* Two passes over the same substream: the first sums the raw jittered
+     profile to find the exact-volume rescale factor, the second (a fresh
+     substream — identical draws) is what [next] consumes. Nothing is
+     materialized beyond the O(n) profile array that any generator
+     needs. *)
+  let create ?(hour = 1) p =
+    if hour <> 1 && hour <> 2 then
+      invalid_arg (Printf.sprintf "Traffic.Stream.create: hour %d" hour);
+    let n = n_records p in
+    let profile = Zipf.frequencies ~n ~s:p.zipf_s ~total:p.total_per_hour in
+    let pass = Numerics.Prng.substream ~master:p.seed hour in
+    let raw_total = ref 0. in
+    for i = 0 to n - 1 do
+      raw_total := !raw_total +. (profile.(i) *. jitter p pass)
+    done;
+    {
+      params = p;
+      hour;
+      profile;
+      scale = p.total_per_hour /. !raw_total;
+      rng = Numerics.Prng.substream ~master:p.seed hour;
+      index = 0;
+    }
+
+  let length t = n_records t.params
+  let remaining t = length t - t.index
+  let has_next t = t.index < length t
+
+  let next t =
+    if not (has_next t) then failwith "Traffic.Stream.next: exhausted";
+    let i = t.index in
+    t.index <- i + 1;
+    ( key_of t.params ~hour:t.hour i,
+      t.profile.(i) *. jitter t.params t.rng *. t.scale )
+
+  let fold f init t =
+    let acc = ref init in
+    while has_next t do
+      let key, weight = next t in
+      acc := f !acc ~key ~weight
+    done;
+    !acc
+
+  let to_instance t =
+    I.of_assoc
+      (List.rev
+         (fold (fun acc ~key ~weight -> (key, weight) :: acc) [] t))
+end
+
 type stats = {
   keys_hour1 : int;
   keys_hour2 : int;

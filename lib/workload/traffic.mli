@@ -31,6 +31,39 @@ val default : params
 
 val generate : params -> Sampling.Instance.t * Sampling.Instance.t
 
+(** Pull-based record generator: the same workload shape as {!generate},
+    one [(key, weight)] record at a time, so a serving benchmark can
+    replay an hour into a live store without materializing instances.
+
+    Each hour is an independent deterministic substream of the workload
+    seed ([Prng.substream ~master:seed hour]) — streams are reproducible
+    and hours keep the {!generate} structure (shared keys take the
+    profile head, per-hour volume rescaled to exactly
+    [total_per_hour]) — but the jitter realization is {e not}
+    draw-for-draw identical to {!generate}'s (which interleaves both
+    hours on one PRNG stream). Calibration statistics hold for both. *)
+module Stream : sig
+  type t
+
+  val create : ?hour:int -> params -> t
+  (** [hour] is 1 (default) or 2. O(n) setup (profile + rescale pass),
+      O(1) per record after. *)
+
+  val next : t -> int * float
+  (** The next [(key, weight)] record; raises [Failure] when exhausted
+      — check {!has_next}. Every key appears in exactly one record. *)
+
+  val has_next : t -> bool
+  val remaining : t -> int
+  val length : t -> int
+
+  val fold : ('a -> key:int -> weight:float -> 'a) -> 'a -> t -> 'a
+  (** Consume the rest of the stream. *)
+
+  val to_instance : t -> Sampling.Instance.t
+  (** Materialize the rest (tests; defeats the point otherwise). *)
+end
+
 type stats = {
   keys_hour1 : int;
   keys_hour2 : int;

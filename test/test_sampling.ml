@@ -782,6 +782,70 @@ let test_io_read_opt_missing_file () =
         true
         (String.length message > 0)
 
+let test_io_outcome_roundtrip () =
+  (* Outcome persistence is lossless: thresholds, seeds, sampled values
+     and the sampled/unsampled distinction all survive. *)
+  let o =
+    {
+      Outcome.Pps.taus = [| 30.; 45. |];
+      seeds = [| 0.125; 0.7321 |];
+      values = [| Some 12.5; None |];
+    }
+  in
+  (match Io.outcome_of_string_r (Io.outcome_to_string o) with
+  | Error e -> Alcotest.failf "outcome: %s" (Io.parse_error_to_string e)
+  | Ok back ->
+      Alcotest.(check int) "arity" 2 (Array.length back.Outcome.Pps.taus);
+      Array.iteri
+        (fun i t -> check_float ~eps:0. "tau" t back.Outcome.Pps.taus.(i))
+        o.Outcome.Pps.taus;
+      Array.iteri
+        (fun i u -> check_float ~eps:0. "seed" u back.Outcome.Pps.seeds.(i))
+        o.Outcome.Pps.seeds;
+      Alcotest.(check bool) "values" true
+        (back.Outcome.Pps.values = o.Outcome.Pps.values));
+  (* File round trip. *)
+  let path = Filename.temp_file "outcome" ".txt" in
+  Io.write_outcome ~path o;
+  let back = Io.read_outcome ~path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true
+    (back.Outcome.Pps.values = o.Outcome.Pps.values)
+
+let test_io_outcome_estimate_after_reload () =
+  (* The per-key estimators see exactly the persisted outcome. *)
+  let seeds = Seeds.create ~master:7 Seeds.Independent in
+  let o =
+    Sampling.Outcome.Pps.of_seeds ~taus:[| 30.; 45. |]
+      ~seeds:
+        [|
+          Seeds.seed seeds ~instance:0 ~key:3; Seeds.seed seeds ~instance:1 ~key:3;
+        |]
+      [| 20.; 1.5 |]
+  in
+  let back = Io.outcome_of_string (Io.outcome_to_string o) in
+  check_float ~eps:0. "same HT estimate" (Estcore.Ht.max_pps o)
+    (Estcore.Ht.max_pps back);
+  check_float ~eps:0. "same L estimate" (Estcore.Max_pps.l o)
+    (Estcore.Max_pps.l back)
+
+let test_io_outcome_guards () =
+  let header = "optsample-outcome 1 2\n" in
+  fail_line "wrong magic" 1 (Io.outcome_of_string_r "nonsense 1 2\n0x1p+0 0x1p-1 -");
+  fail_line "bad arity" 1 (Io.outcome_of_string_r "optsample-outcome 1 zero\n");
+  (* Arity mismatch is structural, not line-specific. *)
+  fail_line "missing entries" 0 (Io.outcome_of_string_r (header ^ "0x1p+0 0x1p-1 -"));
+  fail_line "seed out of range" 2
+    (Io.outcome_of_string_r (header ^ "0x1p+0 0x1p+1 -\n0x1p+0 0x1p-1 -"));
+  fail_line "bad tau" 3
+    (Io.outcome_of_string_r (header ^ "0x1p+0 0x1p-1 -\n-0x1p+0 0x1p-1 -"));
+  fail_line "negative value" 2
+    (Io.outcome_of_string_r (header ^ "0x1p+0 0x1p-1 -0x1p+0\n0x1p+0 0x1p-1 -"));
+  (* A sampled value below u·tau contradicts the sampling predicate. *)
+  fail_line "inconsistent sampled value" 2
+    (Io.outcome_of_string_r
+       (header ^ "0x1p+4 0x1p-1 0x1p+0\n0x1p+0 0x1p-1 -"))
+
 let test_io_sample_estimate_after_reload () =
   (* The deployment story: sample at the source, persist, estimate later. *)
   let seeds = Seeds.create ~master:12 Seeds.Independent in
@@ -879,6 +943,10 @@ let () =
           Alcotest.test_case "pps tau guards" `Quick test_io_pps_tau_guards;
           Alcotest.test_case "missing file" `Quick test_io_read_opt_missing_file;
           Alcotest.test_case "estimate after reload" `Quick test_io_sample_estimate_after_reload;
+          Alcotest.test_case "outcome roundtrip" `Quick test_io_outcome_roundtrip;
+          Alcotest.test_case "outcome estimate after reload" `Quick
+            test_io_outcome_estimate_after_reload;
+          Alcotest.test_case "outcome guards" `Quick test_io_outcome_guards;
           (qtest ~count:100 "instance roundtrip (random)"
              QCheck.(list_of_size Gen.(0 -- 40) (pair small_nat (float_bound_inclusive 100.)))
              (fun pairs ->

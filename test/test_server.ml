@@ -1,0 +1,612 @@
+(* Tests for the streaming summary service: protocol parsing, the
+   sharded store (incremental summaries vs. the batch samplers,
+   determinism across shard counts), snapshots, the query engine, and an
+   end-to-end daemon session over TCP. *)
+
+module I = Sampling.Instance
+module P = Server.Protocol
+module Store = Server.Store
+module Engine = Server.Engine
+module Snapshot = Server.Snapshot
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Numerics.Special.float_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_request msg line expected =
+  match P.parse line with
+  | Ok req ->
+      Alcotest.(check bool) msg true (req = expected)
+  | Error e -> Alcotest.failf "%s: parse error: %s" msg e.Sampling.Io.message
+
+let check_rejected msg line =
+  match P.parse line with
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" msg
+  | Error e ->
+      Alcotest.(check bool)
+        (msg ^ " carries a message")
+        true
+        (String.length e.Sampling.Io.message > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  check_request "hello" "HELLO 1" (P.Hello 1);
+  check_request "create bare" "CREATE h1"
+    (P.Create { name = "h1"; tau = None; k = None; p = None });
+  check_request "create params" "CREATE h.2-x tau=50.5 k=16 p=0.25"
+    (P.Create { name = "h.2-x"; tau = Some 50.5; k = Some 16; p = Some 0.25 });
+  check_request "ingest" "INGEST h1 17 3.5"
+    (P.Ingest { name = "h1"; key = 17; weight = 3.5 });
+  check_request "query max" "QUERY max h1 h2"
+    (P.Query { kind = P.Max; names = [ "h1"; "h2" ] });
+  check_request "query or" "QUERY or a b c"
+    (P.Query { kind = P.Or; names = [ "a"; "b"; "c" ] });
+  check_request "query distinct" "QUERY distinct h1 h2"
+    (P.Query { kind = P.Distinct; names = [ "h1"; "h2" ] });
+  check_request "query dominance" "QUERY dominance h1 h2"
+    (P.Query { kind = P.Dominance; names = [ "h1"; "h2" ] });
+  check_request "snapshot" "SNAPSHOT /tmp/s.snap" (P.Snapshot "/tmp/s.snap");
+  check_request "stats" "STATS" P.Stats;
+  check_request "flush" "FLUSH" P.Flush;
+  check_request "quit" "QUIT" P.Quit;
+  check_request "shutdown" "SHUTDOWN" P.Shutdown
+
+let test_protocol_parse_errors () =
+  check_rejected "empty" "";
+  check_rejected "unknown verb" "BOGUS 1";
+  check_rejected "hello wrong version" "HELLO 2";
+  check_rejected "hello non-int" "HELLO one";
+  check_rejected "create bad name" "CREATE bad name";
+  check_rejected "create bad param" "CREATE h1 q=3";
+  check_rejected "create tau nonpositive" "CREATE h1 tau=0";
+  check_rejected "create p out of range" "CREATE h1 p=1.5";
+  check_rejected "ingest missing weight" "INGEST h1 17";
+  check_rejected "ingest nonpositive weight" "INGEST h1 17 0";
+  check_rejected "ingest non-finite weight" "INGEST h1 17 inf";
+  check_rejected "ingest bad key" "INGEST h1 x 1.0";
+  check_rejected "query unknown kind" "QUERY median h1 h2";
+  check_rejected "query one name" "QUERY max h1";
+  check_rejected "snapshot no path" "SNAPSHOT";
+  check_rejected "stats trailing" "STATS now"
+
+let test_protocol_json () =
+  let line =
+    P.ok_fields
+      [ ("name", P.jstr "h \"1\""); ("estimate", P.jfloat 0.1);
+        ("n", P.jint 42) ]
+  in
+  Alcotest.(check bool) "ok" true (P.json_ok line);
+  Alcotest.(check (option string)) "int field" (Some "42")
+    (P.json_field "n" line);
+  (match P.json_float_field "estimate" line with
+  | Some v -> check_float ~eps:0. "float survives %.17g" 0.1 v
+  | None -> Alcotest.fail "estimate field missing");
+  Alcotest.(check (option string)) "escaped string decodes" (Some "h \"1\"")
+    (P.json_field "name" line);
+  let err = P.error "bad \"input\"" in
+  Alcotest.(check bool) "error not ok" false (P.json_ok err);
+  Alcotest.(check bool) "greeting ok" true (P.json_ok P.greeting);
+  Alcotest.(check (option string)) "greeting protocol"
+    (Some (string_of_int P.version))
+    (P.json_field "protocol" P.greeting);
+  Alcotest.(check bool) "valid name" true (P.valid_name "a.B-2_c");
+  Alcotest.(check bool) "invalid name" false (P.valid_name "a b")
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cfg_one =
+  { Store.default_config with master = 99; flush_every = 1024 }
+
+let ingest_exn st ~name ~key ~weight =
+  match Store.ingest st ~name ~key ~weight with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "ingest: %s" m
+
+let create_exn st ~name ?tau ?k ?p () =
+  match Store.create_instance st ~name ?tau ?k ?p () with
+  | Ok i -> i
+  | Error m -> Alcotest.failf "create_instance: %s" m
+
+(* A deterministic stream with heavy key repetition, so the incremental
+   summaries face in-place weight growth (the interesting case). *)
+let feed_random st ~names ~records ~keys ~seed =
+  let rng = Numerics.Prng.create ~seed () in
+  let pick n = int_of_float (Numerics.Prng.float rng *. float_of_int n) in
+  for _ = 1 to records do
+    let name = List.nth names (pick (List.length names)) in
+    let key = 1 + pick keys in
+    let weight = 0.1 +. (Numerics.Prng.float rng *. 20.) in
+    ingest_exn st ~name ~key ~weight
+  done
+
+let test_store_incremental_matches_batch () =
+  let st = Store.create cfg_one in
+  let inst = create_exn st ~name:"h1" ~tau:40. ~k:32 ~p:0.3 () in
+  feed_random st ~names:[ "h1" ] ~records:4000 ~keys:500 ~seed:5;
+  Store.flush st;
+  Alcotest.(check int) "all records applied" 4000 (Store.records inst);
+  Alcotest.(check int) "nothing pending" 0 (Store.pending st);
+  let acc = Store.to_instance inst in
+  let seeds = Store.seeds st in
+  Alcotest.(check bool) "pps equals batch sampler" true
+    (Store.pps_sample inst
+    = Sampling.Poisson.pps_sample seeds ~instance:0 ~tau:40. acc);
+  Alcotest.(check bool) "bottom-k equals batch sampler" true
+    (Store.bottom_k inst
+    = Sampling.Bottom_k.sample seeds ~family:Sampling.Rank.PPS ~instance:0
+        ~k:32 acc);
+  Alcotest.(check bool) "binary equals batch sampler" true
+    (Store.binary_sample inst
+    = Aggregates.Distinct.sample_binary seeds ~p:0.3 ~instance:0 acc);
+  check_float "volume" (I.total acc) (Store.volume inst);
+  Alcotest.(check int) "cardinality" (I.cardinality acc)
+    (Store.cardinality inst)
+
+let test_store_ingest_guards () =
+  let st = Store.create cfg_one in
+  ignore (create_exn st ~name:"h1" ());
+  Alcotest.(check bool) "unknown instance" true
+    (Result.is_error (Store.ingest st ~name:"nope" ~key:1 ~weight:1.));
+  Alcotest.(check bool) "nonpositive weight" true
+    (Result.is_error (Store.ingest st ~name:"h1" ~key:1 ~weight:0.));
+  Alcotest.(check bool) "non-finite weight" true
+    (Result.is_error (Store.ingest st ~name:"h1" ~key:1 ~weight:nan));
+  Alcotest.(check bool) "duplicate name" true
+    (Result.is_error
+       (Result.map (fun _ -> ()) (Store.create_instance st ~name:"h1" ())))
+
+let test_store_auto_flush () =
+  let st = Store.create { cfg_one with flush_every = 64 } in
+  ignore (create_exn st ~name:"h1" ());
+  for k = 1 to 64 do
+    ingest_exn st ~name:"h1" ~key:k ~weight:1.
+  done;
+  (* The 64th push crossed [flush_every]: everything was applied. *)
+  Alcotest.(check int) "auto-flushed" 0 (Store.pending st)
+
+(* The coordinated-summary determinism claim: summaries and answers are
+   bit-identical whatever the shard / domain count. *)
+let summaries_of st =
+  Store.flush st;
+  List.map
+    (fun i ->
+      ( Store.name i, Store.records i, Store.volume i,
+        Store.pps_sample i, Store.bottom_k i, Store.binary_sample i,
+        Store.varopt_entries i, Store.varopt_threshold i ))
+    (Store.instances st)
+
+(* What a snapshot replay preserves bit-for-bit: the query-facing
+   summaries. VarOpt is rebuilt (fresh stream draw), [records] restarts
+   at the key count, and [volume] is re-summed in key order (last-ulp
+   FP difference) — all documented in {!Snapshot}. *)
+let preserved_summaries_of st =
+  Store.flush st;
+  List.map
+    (fun i ->
+      ( Store.name i, Store.id i, Store.instance_config i,
+        Store.cardinality i, Store.pps_sample i, Store.bottom_k i,
+        Store.binary_sample i ))
+    (Store.instances st)
+
+let answers_of st =
+  let e = Engine.create st in
+  List.map
+    (fun (kind, names) ->
+      match Engine.query e kind names with
+      | Ok s -> s
+      | Error m -> Alcotest.failf "query: %s" m)
+    [ (P.Max, [ "a"; "b" ]); (P.Or, [ "a"; "b" ]);
+      (P.Distinct, [ "a"; "b" ]); (P.Dominance, [ "a"; "b" ]);
+      (P.Distinct, [ "a"; "b"; "c" ]) ]
+
+let test_store_shard_determinism () =
+  let build shards =
+    let pool = Numerics.Pool.create ~domains:shards () in
+    let st =
+      Store.create ~pool
+        { Store.default_config with shards; master = 7; flush_every = 257 }
+    in
+    List.iter
+      (fun name -> ignore (create_exn st ~name ~tau:30. ~k:24 ~p:0.4 ()))
+      [ "a"; "b"; "c" ];
+    feed_random st ~names:[ "a"; "b"; "c" ] ~records:6000 ~keys:300 ~seed:17;
+    (st, pool)
+  in
+  let st1, p1 = build 1 in
+  let reference_summaries = summaries_of st1 in
+  let reference_answers = answers_of st1 in
+  List.iter
+    (fun shards ->
+      let st, p = build shards in
+      Alcotest.(check bool)
+        (Printf.sprintf "summaries identical at %d shards" shards)
+        true
+        (summaries_of st = reference_summaries);
+      Alcotest.(check (list string))
+        (Printf.sprintf "answers identical at %d shards" shards)
+        reference_answers (answers_of st);
+      Numerics.Pool.shutdown p)
+    [ 2; 4 ];
+  Numerics.Pool.shutdown p1
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let populated_store () =
+  let st = Store.create cfg_one in
+  ignore (create_exn st ~name:"h1" ~tau:40. ~k:16 ~p:0.3 ());
+  ignore (create_exn st ~name:"h2" ~tau:60. ~k:16 ~p:0.2 ());
+  feed_random st ~names:[ "h1"; "h2" ] ~records:2000 ~keys:250 ~seed:23;
+  Store.flush st;
+  st
+
+let of_string_exn s =
+  match Snapshot.of_string_r s with
+  | Ok st -> st
+  | Error e ->
+      Alcotest.failf "snapshot parse: line %d: %s" e.Sampling.Io.line
+        e.Sampling.Io.message
+
+let test_snapshot_roundtrip () =
+  let st = populated_store () in
+  let s = Snapshot.to_string st in
+  let st2 = of_string_exn s in
+  Alcotest.(check string) "byte-identical round trip" s
+    (Snapshot.to_string st2);
+  Alcotest.(check bool) "query summaries identical after reload" true
+    (preserved_summaries_of st = preserved_summaries_of st2)
+
+let test_snapshot_requery_identical () =
+  let st = populated_store () in
+  let e = Engine.create st in
+  let st2 = of_string_exn (Snapshot.to_string st) in
+  let e2 = Engine.create st2 in
+  List.iter
+    (fun (kind, names) ->
+      match (Engine.query e kind names, Engine.query e2 kind names) with
+      | Ok a, Ok b ->
+          Alcotest.(check string)
+            (P.query_kind_name kind ^ " identical after reload")
+            a b
+      | _ -> Alcotest.fail "query failed")
+    [ (P.Max, [ "h1"; "h2" ]); (P.Or, [ "h1"; "h2" ]);
+      (P.Distinct, [ "h1"; "h2" ]); (P.Dominance, [ "h1"; "h2" ]) ]
+
+let test_snapshot_guards () =
+  let st = populated_store () in
+  let s = Snapshot.to_string st in
+  let lines = String.split_on_char '\n' s in
+  let fail_parse msg s =
+    match Snapshot.of_string_r s with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" msg
+    | Error e ->
+        Alcotest.(check bool) (msg ^ " carries a message") true
+          (String.length e.Sampling.Io.message > 0)
+  in
+  fail_parse "bad magic" ("bogus 1\n" ^ String.concat "\n" (List.tl lines));
+  fail_parse "trailing garbage" (s ^ "junk\n");
+  (* Drop the final [end] marker: truncated input. *)
+  let no_end =
+    let rec drop_last_end acc = function
+      | [] -> List.rev acc
+      | [ "end"; "" ] -> List.rev acc @ [ "" ]
+      | x :: rest -> drop_last_end (x :: acc) rest
+    in
+    String.concat "\n" (drop_last_end [] lines)
+  in
+  fail_parse "truncated" no_end;
+  (* Duplicate the first entry line of the first instance section. *)
+  let dup =
+    let rec dup_first_entry seen_instance = function
+      | [] -> []
+      | x :: rest ->
+          if seen_instance && String.length x > 0 && x.[0] <> '#'
+             && not (String.length x >= 3 && String.sub x 0 3 = "end")
+          then x :: x :: rest
+          else
+            x
+            :: dup_first_entry
+                 (seen_instance
+                 || String.length x >= 9 && String.sub x 0 9 = "instance ")
+                 rest
+    in
+    String.concat "\n" (dup_first_entry false lines)
+  in
+  fail_parse "duplicate key" dup
+
+let test_snapshot_file_io () =
+  let st = populated_store () in
+  let path = Filename.temp_file "store" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Snapshot.write st ~path with
+      | Ok n -> Alcotest.(check int) "instances written" 2 n
+      | Error m -> Alcotest.failf "write: %s" m);
+      match Snapshot.load path with
+      | Ok st2 ->
+          Alcotest.(check bool)
+            "query summaries identical after file reload" true
+            (preserved_summaries_of st = preserved_summaries_of st2)
+      | Error e -> Alcotest.failf "load: %s" e.Sampling.Io.message)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_session_verbs () =
+  let e = Engine.create (Store.create cfg_one) in
+  let resp, act = Engine.handle_line e "CREATE h1 tau=50 k=8 p=0.5" in
+  Alcotest.(check bool) "create ok" true (P.json_ok resp);
+  Alcotest.(check bool) "create continues" true (act = Engine.Continue);
+  let resp, _ = Engine.handle_line e "CREATE h1" in
+  Alcotest.(check bool) "duplicate create rejected" false (P.json_ok resp);
+  let resp, _ = Engine.handle_line e "INGEST h1 3 2.5" in
+  Alcotest.(check bool) "ingest ok" true (P.json_ok resp);
+  let resp, _ = Engine.handle_line e "FLUSH" in
+  Alcotest.(check bool) "flush ok" true (P.json_ok resp);
+  Alcotest.(check (option string)) "flush reports empty mailboxes"
+    (Some "0")
+    (P.json_field "pending" resp);
+  let resp, _ = Engine.handle_line e "STATS" in
+  Alcotest.(check bool) "stats ok" true (P.json_ok resp);
+  let resp, _ = Engine.handle_line e "QUERY max h1 nope" in
+  Alcotest.(check bool) "unknown instance rejected" false (P.json_ok resp);
+  let resp, _ = Engine.handle_line e "NONSENSE" in
+  Alcotest.(check bool) "malformed line answered" false (P.json_ok resp);
+  let _, act = Engine.handle_line e "QUIT" in
+  Alcotest.(check bool) "quit closes" true (act = Engine.Close);
+  let _, act = Engine.handle_line e "SHUTDOWN" in
+  Alcotest.(check bool) "shutdown stops" true (act = Engine.Stop);
+  let resp, act = Engine.handle_line e "HELLO 1" in
+  Alcotest.(check bool) "hello ok" true (P.json_ok resp);
+  Alcotest.(check bool) "hello continues" true (act = Engine.Continue)
+
+let float_field_exn msg field line =
+  match P.json_float_field field line with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: field %s missing in %s" msg field line
+
+(* The machine-derived OR table under order^(L) must reproduce the
+   closed-form OR^(L) estimate (that is what order_l encodes). *)
+let test_engine_or_designer_matches_closed_form () =
+  let st = populated_store () in
+  let e = Engine.create st in
+  match Engine.query e P.Or [ "h1"; "h2" ] with
+  | Error m -> Alcotest.failf "or query: %s" m
+  | Ok resp ->
+      Alcotest.(check (option string)) "designer provenance"
+        (Some "designer")
+        (P.json_field "provenance" resp);
+      let est = float_field_exn "or" "estimate" resp in
+      let closed = float_field_exn "or" "closed_form" resp in
+      check_float "table equals closed form" closed est;
+      Alcotest.(check (option string)) "no degradations" (Some "0")
+        (P.json_field "degradations" resp)
+
+(* Regression: [Sum_agg.key_outcome] must recompute seeds at the
+   samples' recorded instance ids, not their array positions — live
+   server instances are not numbered 0..r-1. *)
+let test_sum_agg_recorded_ids () =
+  let seeds = Sampling.Seeds.create ~master:31 Sampling.Seeds.Independent in
+  let a = I.of_assoc [ (1, 50.); (2, 3.); (5, 20.) ] in
+  let b = I.of_assoc [ (1, 8.); (3, 45.); (5, 12.) ] in
+  let tau = 25. in
+  let ps =
+    {
+      Aggregates.Sum_agg.seeds;
+      taus = [| tau; tau |];
+      samples =
+        [|
+          Sampling.Poisson.pps_sample seeds ~instance:3 ~tau a;
+          Sampling.Poisson.pps_sample seeds ~instance:7 ~tau b;
+        |];
+    }
+  in
+  List.iter
+    (fun h ->
+      let o = Aggregates.Sum_agg.key_outcome ps h in
+      check_float ~eps:0. "seed recomputed at id 3"
+        (Sampling.Seeds.seed seeds ~instance:3 ~key:h)
+        o.Sampling.Outcome.Pps.seeds.(0);
+      check_float ~eps:0. "seed recomputed at id 7"
+        (Sampling.Seeds.seed seeds ~instance:7 ~key:h)
+        o.Sampling.Outcome.Pps.seeds.(1))
+    (I.union_keys [ a; b ])
+
+(* ------------------------------------------------------------------ *)
+(* End to end: daemon + client over TCP                                *)
+(* ------------------------------------------------------------------ *)
+
+let request_exn c line =
+  match Server.Client.request c line with
+  | Ok resp -> resp
+  | Error m -> Alcotest.failf "request %S: %s" line m
+
+let ok_exn c line =
+  let resp = request_exn c line in
+  if not (P.json_ok resp) then
+    Alcotest.failf "request %S answered %s" line resp;
+  resp
+
+let e2e_params =
+  { Workload.Traffic.default with n_shared = 4000; n_only = 2000; seed = 71 }
+
+let e2e_master = 4242
+let e2e_tau = 500.
+let e2e_p = 0.2
+
+(* Batch reference answers: materialize the same two hours, sample them
+   with the same recorded seeds, and run the offline pipeline. *)
+let batch_reference () =
+  let a =
+    Workload.Traffic.Stream.to_instance
+      (Workload.Traffic.Stream.create ~hour:1 e2e_params)
+  in
+  let b =
+    Workload.Traffic.Stream.to_instance
+      (Workload.Traffic.Stream.create ~hour:2 e2e_params)
+  in
+  let seeds =
+    Sampling.Seeds.create ~master:e2e_master Sampling.Seeds.Independent
+  in
+  let ps =
+    {
+      Aggregates.Sum_agg.seeds;
+      taus = [| e2e_tau; e2e_tau |];
+      samples =
+        [|
+          Sampling.Poisson.pps_sample seeds ~instance:0 ~tau:e2e_tau a;
+          Sampling.Poisson.pps_sample seeds ~instance:1 ~tau:e2e_tau b;
+        |];
+    }
+  in
+  let select = fun (_ : int) -> true in
+  let max_l =
+    Aggregates.Sum_agg.estimate ps ~est:Estcore.Max_pps.l ~select
+  in
+  let s1 = Aggregates.Distinct.sample_binary seeds ~p:e2e_p ~instance:0 a in
+  let s2 = Aggregates.Distinct.sample_binary seeds ~p:e2e_p ~instance:1 b in
+  let classes =
+    Aggregates.Distinct.classify seeds ~p1:e2e_p ~p2:e2e_p ~s1 ~s2 ~select
+  in
+  let distinct_l =
+    Aggregates.Distinct.l_estimate classes ~p1:e2e_p ~p2:e2e_p
+  in
+  (max_l, distinct_l)
+
+let test_e2e_daemon () =
+  let st =
+    Store.create
+      { Store.default_config with master = e2e_master; flush_every = 4096 }
+  in
+  let daemon = Server.Daemon.start (Engine.create st) in
+  let connect () =
+    match Server.Client.connect_tcp ~port:(Server.Daemon.port daemon) () with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "connect: %s" m
+  in
+  let c = connect () in
+  ignore (ok_exn c "HELLO 1");
+  let create_line name =
+    Printf.sprintf "CREATE %s tau=%g k=256 p=%g" name e2e_tau e2e_p
+  in
+  ignore (ok_exn c (create_line "h1"));
+  ignore (ok_exn c (create_line "h2"));
+  (* A malformed line and a bad ingest answer with errors and leave the
+     session usable. *)
+  Alcotest.(check bool) "malformed line answered" false
+    (P.json_ok (request_exn c "NONSENSE"));
+  Alcotest.(check bool) "bad weight rejected" false
+    (P.json_ok (request_exn c "INGEST h1 1 -3"));
+  (* Replay both hours — 12,000 records across the two instances. *)
+  let ingest name stream =
+    Workload.Traffic.Stream.fold
+      (fun n ~key ~weight ->
+        ignore (ok_exn c (Printf.sprintf "INGEST %s %d %.17g" name key weight));
+        n + 1)
+      0 stream
+  in
+  let n1 = ingest "h1" (Workload.Traffic.Stream.create ~hour:1 e2e_params) in
+  let n2 = ingest "h2" (Workload.Traffic.Stream.create ~hour:2 e2e_params) in
+  Alcotest.(check bool) "at least 10k records" true (n1 + n2 >= 10_000);
+  let q_max = ok_exn c "QUERY max h1 h2" in
+  let q_or = ok_exn c "QUERY or h1 h2" in
+  let q_distinct = ok_exn c "QUERY distinct h1 h2" in
+  let max_l, distinct_l = batch_reference () in
+  check_float "server max equals batch pipeline" max_l
+    (float_field_exn "max" "estimate" q_max);
+  check_float "server or equals batch pipeline" distinct_l
+    (float_field_exn "or" "estimate" q_or);
+  check_float "server distinct equals batch pipeline" distinct_l
+    (float_field_exn "distinct" "estimate" q_distinct);
+  let stats = ok_exn c "STATS" in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec find i =
+      i + n <= h && (String.sub hay i n = needle || find (i + 1))
+    in
+    find 0
+  in
+  Alcotest.(check bool) "stats mentions both instances" true
+    (contains "\"h1\"" stats && contains "\"h2\"" stats);
+  (* Snapshot, stop the daemon, reload warm, and re-query: answers must
+     be identical. *)
+  let path = Filename.temp_file "daemon" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      ignore (ok_exn c ("SNAPSHOT " ^ path));
+      ignore (ok_exn c "SHUTDOWN");
+      Server.Client.close c;
+      Server.Daemon.join daemon;
+      let st2 =
+        match Snapshot.load path with
+        | Ok st2 -> st2
+        | Error e -> Alcotest.failf "reload: %s" e.Sampling.Io.message
+      in
+      let daemon2 = Server.Daemon.start (Engine.create st2) in
+      let c2 =
+        match
+          Server.Client.connect_tcp ~port:(Server.Daemon.port daemon2) ()
+        with
+        | Ok c2 -> c2
+        | Error m -> Alcotest.failf "reconnect: %s" m
+      in
+      List.iter
+        (fun (q, before) ->
+          Alcotest.(check string)
+            (q ^ " identical after warm restart")
+            before (ok_exn c2 q))
+        [ ("QUERY max h1 h2", q_max); ("QUERY or h1 h2", q_or);
+          ("QUERY distinct h1 h2", q_distinct) ];
+      ignore (ok_exn c2 "SHUTDOWN");
+      Server.Client.close c2;
+      Server.Daemon.join daemon2)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
+          Alcotest.test_case "json assembly and inspection" `Quick
+            test_protocol_json;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "incremental summaries equal batch samplers"
+            `Quick test_store_incremental_matches_batch;
+          Alcotest.test_case "ingest guards" `Quick test_store_ingest_guards;
+          Alcotest.test_case "auto flush" `Quick test_store_auto_flush;
+          Alcotest.test_case "bit-identical across 1/2/4 shards" `Slow
+            test_store_shard_determinism;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "byte round trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "re-query identical" `Quick
+            test_snapshot_requery_identical;
+          Alcotest.test_case "strict parser guards" `Quick
+            test_snapshot_guards;
+          Alcotest.test_case "file write and load" `Quick
+            test_snapshot_file_io;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "session verbs" `Quick test_engine_session_verbs;
+          Alcotest.test_case "or table equals closed form" `Quick
+            test_engine_or_designer_matches_closed_form;
+          Alcotest.test_case "sum_agg recomputes seeds at recorded ids"
+            `Quick test_sum_agg_recorded_ids;
+        ] );
+      ( "e2e",
+        [ Alcotest.test_case "daemon over tcp" `Slow test_e2e_daemon ] );
+    ]

@@ -97,6 +97,47 @@ let test_traffic_custom_params () =
   Alcotest.(check int) "keys/hour" 150 s.Workload.Traffic.keys_hour1;
   Alcotest.(check int) "union" 200 s.Workload.Traffic.keys_union
 
+let test_traffic_stream_calibration () =
+  let p = Workload.Traffic.default in
+  let h1 = Workload.Traffic.Stream.create ~hour:1 p in
+  let h2 = Workload.Traffic.Stream.create ~hour:2 p in
+  Alcotest.(check int) "length" 24_500 (Workload.Traffic.Stream.length h1);
+  let a = Workload.Traffic.Stream.to_instance h1 in
+  let b = Workload.Traffic.Stream.to_instance h2 in
+  let s = Workload.Traffic.stats (a, b) in
+  Alcotest.(check int) "keys hour 1" 24_500 s.Workload.Traffic.keys_hour1;
+  Alcotest.(check int) "keys hour 2" 24_500 s.Workload.Traffic.keys_hour2;
+  Alcotest.(check int) "union" 38_000 s.Workload.Traffic.keys_union;
+  check_float ~eps:1e-6 "flows hour 1" 5.5e5 s.Workload.Traffic.flows_hour1;
+  check_float ~eps:1e-6 "flows hour 2" 5.5e5 s.Workload.Traffic.flows_hour2
+
+let test_traffic_stream_pull () =
+  let p = { Workload.Traffic.default with n_shared = 40; n_only = 10 } in
+  let t = Workload.Traffic.Stream.create p in
+  Alcotest.(check int) "remaining" 50 (Workload.Traffic.Stream.remaining t);
+  Alcotest.(check bool) "has next" true (Workload.Traffic.Stream.has_next t);
+  let k1, w1 = Workload.Traffic.Stream.next t in
+  Alcotest.(check int) "first key is shared rank 1" 1 k1;
+  Alcotest.(check bool) "positive weight" true (w1 > 0.);
+  Alcotest.(check int) "remaining after pull" 49
+    (Workload.Traffic.Stream.remaining t);
+  (* Drain; the pulled records match a fresh identical stream. *)
+  let rest = Workload.Traffic.Stream.to_instance t in
+  Alcotest.(check int) "rest cardinality" 49 (I.cardinality rest);
+  let t' = Workload.Traffic.Stream.create p in
+  let k1', w1' = Workload.Traffic.Stream.next t' in
+  Alcotest.(check int) "deterministic key" k1 k1';
+  check_float ~eps:0. "deterministic weight" w1 w1';
+  Alcotest.(check bool) "exhausted" false (Workload.Traffic.Stream.has_next t);
+  Alcotest.check_raises "next past end"
+    (Failure "Traffic.Stream.next: exhausted") (fun () ->
+      ignore (Workload.Traffic.Stream.next t))
+
+let test_traffic_stream_guards () =
+  Alcotest.check_raises "hour out of range"
+    (Invalid_argument "Traffic.Stream.create: hour 3") (fun () ->
+      ignore (Workload.Traffic.Stream.create ~hour:3 Workload.Traffic.default))
+
 (* ------------------------------------------------------------------ *)
 (* Changes                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -146,6 +187,11 @@ let () =
           Alcotest.test_case "section 8.2 calibration" `Quick test_traffic_calibration;
           Alcotest.test_case "deterministic" `Quick test_traffic_deterministic;
           Alcotest.test_case "custom params" `Quick test_traffic_custom_params;
+          Alcotest.test_case "stream calibration" `Quick
+            test_traffic_stream_calibration;
+          Alcotest.test_case "stream pull semantics" `Quick
+            test_traffic_stream_pull;
+          Alcotest.test_case "stream guards" `Quick test_traffic_stream_guards;
         ] );
       ( "changes",
         [

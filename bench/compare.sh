@@ -66,11 +66,16 @@ extract() {
 
 # validate FILE: schema marker + at least one micro-benchmark and kernel,
 # plus the disabled-overhead observability pair (the gate's proof that
-# instrumentation stays one branch when off).
+# instrumentation stays one branch when off), the flat-evaluator pairs,
+# the cached-designer pair, the estimates-throughput kernel, and the
+# recording host's core count (which decides whether the speedup gate
+# is enforceable at all).
 validate() {
   ok=1
   grep -q '"schema": "optsample-bench/1"' "$1" || {
     echo "FAIL  $1: missing/unknown schema marker" ; ok=0 ; }
+  grep -q '"host_cores":' "$1" || {
+    echo "FAIL  $1: no host_cores field" ; ok=0 ; }
   [ -n "$(extract "$1" ns_per_run)" ] || {
     echo "FAIL  $1: no bechamel_ns_per_run entries" ; ok=0 ; }
   [ -n "$(extract "$1" speedup)" ] || {
@@ -79,6 +84,12 @@ validate() {
     echo "FAIL  $1: no obs disabled-overhead kernel pair" ; ok=0 ; }
   grep -q '"name": "server.ingest+query' "$1" || {
     echo "FAIL  $1: no server.ingest+query kernel pair" ; ok=0 ; }
+  grep -q '(flat)' "$1" || {
+    echo "FAIL  $1: no flat-evaluator micro-benchmarks" ; ok=0 ; }
+  grep -q 'derive OR^(L) r=2 (cached)' "$1" || {
+    echo "FAIL  $1: no cached designer micro-benchmark" ; ok=0 ; }
+  grep -q '"name": "per-key estimates max' "$1" || {
+    echo "FAIL  $1: no estimates-throughput kernel" ; ok=0 ; }
   [ "$ok" = 1 ]
 }
 
@@ -140,6 +151,85 @@ extract "$baseline" speedup | while IFS="$(printf '\t')" read -r name base; do
     }'
   fi
 done
+
+# --- gate 3: hot-path conditions --------------------------------------
+# (a) the cached designer kernel must beat the uncached one in the
+#     CURRENT run — a cache whose lookup costs more than recomputation
+#     is a bug, not a tuning knob;
+# (b) at least one flat per-entry evaluator must be >= 5x faster than
+#     its reference evaluator in the BASELINE (the allocation-free
+#     rewrite has to actually pay for itself);
+# (c) the monte-carlo and estimates-throughput kernels must show
+#     parallel speedup > 1 — enforced only when the recording host has
+#     more than one core: a pool of N domains on a single core cannot
+#     beat its own sequential run, and pretending otherwise would train
+#     everyone to ignore a red gate. The skip is loud, not silent.
+echo "== hot-path gate =="
+
+getns() { # FILE NAME -> ns/run, empty when absent
+  extract "$1" ns_per_run | awk -F '\t' -v n="$2" '$1 == n { print $2 }'
+}
+
+cached=$(getns "$current" "kernels/designer: derive OR^(L) r=2 (cached)")
+uncached=$(getns "$current" "kernels/designer: derive OR^(L) r=2")
+if [ -n "$cached" ] && [ -n "$uncached" ]; then
+  awk -v c="$cached" -v u="$uncached" -v fail="$fail" 'BEGIN {
+    bad = (c >= u)
+    printf "  %-48s %14.1f vs %10.1f ns  %s\n", \
+      "designer cached vs uncached", c, u, \
+      bad ? "CACHE SLOWER THAN RECOMPUTE" : "ok"
+    if (bad) print "cached designer kernel not cheaper than uncached" >>fail
+  }'
+else
+  echo "  designer cached/uncached pair MISSING in current run"
+  echo "missing designer cached/uncached pair" >>"$fail"
+fi
+
+flat_ok=""
+check_flat() { # REF_NAME FLAT_NAME
+  ref=$(getns "$baseline" "$1")
+  flat=$(getns "$current" "$2")
+  if [ -z "$ref" ] || [ -z "$flat" ]; then
+    printf '  %-48s MISSING ref or flat entry\n' "$2"
+    return 0
+  fi
+  awk -v n="$2" -v r="$ref" -v f="$flat" 'BEGIN {
+    printf "  %-48s ref %10.1f -> flat %8.1f ns  x%.1f\n", n, r, f, r / f
+  }'
+  if awk -v r="$ref" -v f="$flat" 'BEGIN { exit !(f * 5 <= r) }'; then
+    flat_ok=1
+  fi
+}
+check_flat "kernels/max^(L) uniform estimate r=8" \
+           "kernels/max^(L) uniform estimate r=8 (flat)"
+check_flat "kernels/max^(L) PPS estimate (Fig 3)" \
+           "kernels/max^(L) PPS estimate (flat)"
+check_flat "kernels/OR^(L) r=2 per-key (reference)" \
+           "kernels/OR^(L) r=2 per-key (flat table)"
+if [ -z "$flat_ok" ]; then
+  echo "no flat evaluator reached 5x over its baseline reference" >>"$fail"
+fi
+
+host_cores=$(sed -n 's/.*"host_cores": *\([0-9][0-9]*\).*/\1/p' "$current" | head -n 1)
+if [ "${host_cores:-1}" -gt 1 ]; then
+  for k in "monte_carlo max^(L) r=8" "per-key estimates max^(L) r=8 (flat)"; do
+    sp=$(extract "$current" speedup | awk -F '\t' -v n="$k" '$1 == n { print $2 }')
+    if [ -z "$sp" ]; then
+      printf '  %-48s MISSING speedup entry\n' "$k"
+      echo "missing speedup entry: $k" >>"$fail"
+    else
+      awk -v n="$k" -v s="$sp" -v fail="$fail" 'BEGIN {
+        bad = (s <= 1.0)
+        printf "  %-48s parallel speedup x%.3f  %s\n", n, s, \
+          bad ? "NO PARALLEL WIN" : "ok"
+        if (bad) print "parallel speedup <= 1: " n >>fail
+      }'
+    fi
+  done
+else
+  echo "  SKIPPED: parallel-speedup>1 gate (host_cores=${host_cores:-?};"
+  echo "           single-core host cannot show a parallel win)"
+fi
 
 # --- report-only: wall clocks (noisy; informational) ------------------
 echo "== kernels: wall clock (s), informational =="

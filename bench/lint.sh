@@ -62,6 +62,35 @@ if [ -n "$block_hits" ]; then
     status=1
 fi
 
+# Hot-path discipline: the per-key evaluator modules must stay off the
+# polymorphic runtime. `Stdlib.compare`/bare `compare` walks tags and
+# boxes floats; `Hashtbl.hash` hashes structure (and is why derivation
+# fingerprints used to cost more than derivations). Cache keys there use
+# bit-pattern hashes and monomorphic Float/Int comparisons instead.
+hot_files=""
+for m in max_oblivious max_pps ht or_oblivious or_weighted evalbuf; do
+    for ext in ml mli; do
+        f="$root/lib/estcore/$m.$ext"
+        [ -f "$f" ] && hot_files="$hot_files $f"
+    done
+done
+poly_hits=$(grep -nE 'Stdlib\.compare|Hashtbl\.hash|Stdlib\.hash|[^._[:alnum:]]compare[[:space:]]+[^( ]' \
+    $hot_files 2>/dev/null)
+if [ -n "$poly_hits" ]; then
+    echo "lint: polymorphic compare/hash is banned in the hot-path estcore modules:" >&2
+    echo "$poly_hits" >&2
+    status=1
+fi
+# List-returning evaluators allocate per call; the flat modules must
+# expose only scalar reads and *_into stores.
+list_hits=$(grep -nE 'val[[:space:]]+[a-z_]*(_into|cell|code)[^:]*:.*list' \
+    $hot_files 2>/dev/null)
+if [ -n "$list_hits" ]; then
+    echo "lint: list-returning evaluators are banned in the hot-path estcore modules:" >&2
+    echo "$list_hits" >&2
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "lint: lib/numerics, lib/estcore, lib/server and lib/ timing are clean"
 fi

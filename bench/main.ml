@@ -53,6 +53,8 @@ let obs_kernel () =
   done;
   !acc
 
+module EB = Estcore.Evalbuf
+
 let bechamel_tests () =
   let open Bechamel in
   let rng = Numerics.Prng.create ~seed:17 () in
@@ -63,6 +65,39 @@ let bechamel_tests () =
   let taus = [| 1.0; 1.3 |] in
   let pps_outcome =
     Sampling.Outcome.Pps.of_seeds ~taus ~seeds:[| 0.3; 0.3 |] [| 0.6; 0.25 |]
+  in
+  (* Preloaded scratch for the flat pairs: the staged closures measure
+     exactly one per-key evaluation, zero allocation. *)
+  let buf8 = EB.create ~r_max:8 in
+  EB.load_oblivious buf8 outcome8;
+  let bufp = EB.create ~r_max:2 in
+  EB.load_pps bufp pps_outcome;
+  let or_table = Estcore.Or_oblivious.Table.create ~p1:0.3 ~p2:0.6 in
+  let or_outcome : Sampling.Outcome.Oblivious.t =
+    { probs = [| 0.3; 0.6 |]; values = [| Some 1.; None |] }
+  in
+  let or_code =
+    Estcore.Or_oblivious.Table.(code state_one state_unsampled)
+  in
+  (* Memo fast-path workload: a prepopulated entry so every staged call
+     is a hit — the cost a cheap fingerprint must stay under. *)
+  let memo_bench : (string, float) Numerics.Memo.t =
+    Numerics.Memo.create ~capacity:8 ~name:"bench.memo" ~hash:String.hash
+      ~equal:String.equal ()
+  in
+  ignore (Numerics.Memo.find_or_add memo_bench "hit" (fun () -> 1.));
+  let fmax2 v = Float.max v.(0) v.(1) in
+  let keyed_problem =
+    Estcore.Designer.Problems.oblivious ~fname:"max2" ~probs:[| 0.3; 0.6 |]
+      ~grid:[ 0.; 1. ] ~f:fmax2 ()
+    |> Estcore.Designer.Problems.sort_data ~tag:"order-l"
+         Estcore.Designer.Problems.order_l
+  in
+  let structural_problem =
+    Estcore.Designer.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ]
+      ~f:fmax2 ()
+    |> Estcore.Designer.Problems.sort_data
+         Estcore.Designer.Problems.order_l
   in
   let inst =
     Sampling.Instance.of_assoc
@@ -77,8 +112,30 @@ let bechamel_tests () =
       Test.make ~name:"max^(L) uniform estimate r=8"
         (Staged.stage (fun () ->
              ignore (Estcore.Max_oblivious.l_uniform coeffs8 outcome8)));
+      Test.make ~name:"max^(L) uniform estimate r=8 (flat)"
+        (Staged.stage (fun () ->
+             Estcore.Max_oblivious.Flat.l_uniform_into coeffs8 buf8
+               ~dst:buf8.EB.out ~di:0));
       Test.make ~name:"max^(L) PPS estimate (Fig 3)"
         (Staged.stage (fun () -> ignore (Estcore.Max_pps.l pps_outcome)));
+      Test.make ~name:"max^(L) PPS estimate (flat)"
+        (Staged.stage (fun () ->
+             Estcore.Max_pps.Flat.l_into ~taus bufp ~dst:bufp.EB.out ~di:0));
+      Test.make ~name:"OR^(L) r=2 per-key (reference)"
+        (Staged.stage (fun () -> ignore (Estcore.Or_oblivious.l_r2 or_outcome)));
+      Test.make ~name:"OR^(L) r=2 per-key (flat table)"
+        (Staged.stage (fun () ->
+             Estcore.Or_oblivious.Table.eval_into or_table ~code:or_code
+               ~dst:buf8.EB.out ~di:0));
+      Test.make ~name:"memo: find_or_add hit"
+        (Staged.stage (fun () ->
+             ignore (Numerics.Memo.find_or_add memo_bench "hit" (fun () -> 1.))));
+      Test.make ~name:"designer fingerprint (cheap key)"
+        (Staged.stage (fun () ->
+             ignore (Estcore.Designer.fingerprint keyed_problem)));
+      Test.make ~name:"designer fingerprint (structural)"
+        (Staged.stage (fun () ->
+             ignore (Estcore.Designer.fingerprint structural_problem)));
       Test.make ~name:"exact per-key moments (pps_r2_fast)"
         (Staged.stage (fun () ->
              ignore
@@ -112,20 +169,25 @@ let bechamel_tests () =
                Estcore.Designer.Problems.oblivious ~probs:[| 0.3; 0.6 |]
                  ~grid:[ 0.; 1. ]
                  ~f:(fun v -> Float.max v.(0) v.(1))
+                 ()
                |> Estcore.Designer.Problems.sort_data
                     Estcore.Designer.Problems.order_l
              in
              ignore (Estcore.Designer.solve_order problem)));
-      (* Cached variant: pays fingerprinting, skips the elimination sweep.
-         On this toy problem the two are comparable; on sweep-sized
-         problems the sweep dominates and the cache wins. *)
+      (* Cached variant: rebuilds the problem each call (the realistic
+         sweep pattern) but carries a precomputed key, so the lookup is a
+         cheap string build plus a memo hit — it must beat the uncached
+         derivation above, and bench/compare.sh enforces that. (Before
+         the precomputed keys, the structural MD5 fingerprint made this
+         "cache" 3-4x slower than just re-deriving the toy table.) *)
       Test.make ~name:"designer: derive OR^(L) r=2 (cached)"
         (Staged.stage (fun () ->
              let problem =
-               Estcore.Designer.Problems.oblivious ~probs:[| 0.3; 0.6 |]
-                 ~grid:[ 0.; 1. ]
+               Estcore.Designer.Problems.oblivious ~fname:"max2"
+                 ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ]
                  ~f:(fun v -> Float.max v.(0) v.(1))
-               |> Estcore.Designer.Problems.sort_data
+                 ()
+               |> Estcore.Designer.Problems.sort_data ~tag:"order-l"
                     Estcore.Designer.Problems.order_l
              in
              ignore
@@ -245,6 +307,54 @@ let server_kernel ~copies ~traffic pool =
     k_par = t_srv_par;
   }
 
+(* Estimates-per-second kernel: a columnar pool of pre-drawn r=8
+   oblivious outcomes, evaluated [evals] times through the flat uniform
+   max^(L). Both variants walk the SAME [Pool.chunks] layout and the
+   partial chunk sums are combined left to right, so the parallel sum is
+   bit-identical to the sequential one; each chunk body owns its own
+   Evalbuf (per-domain scratch, never shared). Returns closures so the
+   caller can schedule the sequential run before the first domain
+   spawn. *)
+let estimates_kernel ~evals pool =
+  let n = 16384 and r = 8 in
+  let probs8 = Array.make r 0.2 in
+  let v8 = Array.init r (fun i -> float_of_int (r - i)) in
+  let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r ~p:0.2 in
+  let rng = Numerics.Prng.create ~seed:23 () in
+  let vals = Float.Array.make (n * r) 0. in
+  let present = Bytes.make (n * r) '\000' in
+  for i = 0 to n - 1 do
+    let o = Sampling.Outcome.Oblivious.draw rng ~probs:probs8 v8 in
+    for j = 0 to r - 1 do
+      match o.values.(j) with
+      | Some v ->
+          Float.Array.set vals ((i * r) + j) v;
+          Bytes.set present ((i * r) + j) '\001'
+      | None -> ()
+    done
+  done;
+  let chunk_sum (lo, hi) =
+    let buf = EB.create ~r_max:r in
+    let acc = ref 0. in
+    for e = lo to hi - 1 do
+      let base = (e land (n - 1)) * r in
+      for j = 0 to r - 1 do
+        Float.Array.set buf.EB.vals j (Float.Array.get vals (base + j));
+        Bytes.set buf.EB.present j (Bytes.get present (base + j))
+      done;
+      Estcore.Max_oblivious.Flat.l_uniform_into coeffs8 buf ~dst:buf.EB.out
+        ~di:0;
+      acc := !acc +. Float.Array.get buf.EB.out 0
+    done;
+    !acc
+  in
+  let layout = Array.of_list (Numerics.Pool.chunks pool evals) in
+  let seq () = Array.fold_left ( +. ) 0. (Array.map chunk_sum layout) in
+  let par () =
+    Array.fold_left ( +. ) 0. (Numerics.Pool.parallel_map pool chunk_sum layout)
+  in
+  (seq, par)
+
 let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
   let probs8 = Array.make 8 0.2 in
   let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
@@ -267,6 +377,9 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
   let sweep_seq, t_sweep_seq =
     wall (fun () -> Experiments.Fig4.panel ~rho:0.5 ~steps:sweep_steps ())
   in
+  let est_evals = mc_trials in
+  let est_seq_run, est_par_run = estimates_kernel ~evals:est_evals pool in
+  let est_seq, t_est_seq = wall est_seq_run in
   Numerics.Memo.clear_all ();
   let mc_par, t_mc_par =
     wall (fun () ->
@@ -279,6 +392,9 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
     wall (fun () -> Experiments.Fig4.panel ~pool ~rho:0.5 ~steps:sweep_steps ())
   in
   assert (sweep_seq = sweep_par);
+  let est_par, t_est_par = wall est_par_run in
+  assert (est_seq = est_par);
+  (* bit-identical: same chunk layout, same left-to-right combine *)
   (* The server kernel runs last: both of its variants touch the pool
      (flush is a pool task even at one shard), so by now the domains
      exist either way and seq vs par stays internally fair. *)
@@ -295,6 +411,12 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
       k_work = sweep_steps + 1;
       k_seq = t_sweep_seq;
       k_par = t_sweep_par;
+    };
+    {
+      k_name = "per-key estimates max^(L) r=8 (flat)";
+      k_work = est_evals;
+      k_seq = t_est_seq;
+      k_par = t_est_par;
     };
     server;
   ]
@@ -324,7 +446,7 @@ let metrics_sample () =
   ignore (Experiments.Fig4.panel ~rho:0.5 ~steps:20 ());
   let module D = Estcore.Designer in
   let f v = Float.max v.(0) v.(1) in
-  let problem = D.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ] ~f in
+  let problem = D.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ] ~f () in
   let batches =
     D.Problems.batches_by
       (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
@@ -343,6 +465,12 @@ let write_json ~path ~jobs ~rows ~kernels ~caches ~metrics =
   add "{\n";
   add "\"schema\": \"optsample-bench/1\",\n";
   add (Printf.sprintf "\"jobs\": %d,\n" jobs);
+  (* Physical parallelism of the recording host. compare.sh only
+     enforces its parallel-speedup floor when this exceeds 1 — a pool of
+     N domains on one core cannot beat its own sequential run, and a
+     gate that pretends otherwise just teaches people to ignore red. *)
+  add
+    (Printf.sprintf "\"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
   add "\"bechamel_ns_per_run\": [\n";
   let n = List.length rows in
   List.iteri

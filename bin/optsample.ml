@@ -297,7 +297,7 @@ let derive_cmd =
       | `Or -> fun v -> if Array.exists (fun x -> x > 0.5) v then 1. else 0.
     in
     let module D = Estcore.Designer in
-    let problem = D.Problems.oblivious ~probs ~grid ~f in
+    let problem = D.Problems.oblivious ~probs ~grid ~f () in
     let result =
       match order with
       | `L ->
@@ -712,7 +712,8 @@ let exists_cmd =
           Estcore.Existence.exists
             (Estcore.Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |]
                ~f:(fun v ->
-                 if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0.))
+                 if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0.)
+               ())
     in
     Format.fprintf ppf
       "nonnegative unbiased estimator %s (p = %.2f, %.2f, %s seeds)@."

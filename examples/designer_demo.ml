@@ -32,7 +32,7 @@ let () =
      the paper leaves to its general recursion (our library instantiates \
      it as Max_oblivious.l_r3; the engine must agree):@.";
   let problem =
-    D.Problems.oblivious ~probs ~grid ~f:vmax
+    D.Problems.oblivious ~probs ~grid ~f:vmax ()
     |> D.Problems.sort_data D.Problems.order_l
   in
   (match D.solve_order problem with
@@ -73,7 +73,7 @@ let () =
     "@.2. sparse-first symmetric OR^(U) for r = 3, p = 0.25 each:@.";
   let probs = [| 0.25; 0.25; 0.25 |] in
   let or3 v = if vmax v > 0.5 then 1. else 0. in
-  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:or3 in
+  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:or3 () in
   let batches =
     D.Problems.batches_by
       (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)

@@ -102,6 +102,71 @@ let estimate t ~est ~select =
     (fun acc h -> if select h then acc +. est (key_outcome t h) else acc)
     0. (sampled_keys t)
 
+module EB = Estcore.Evalbuf
+
+(* Allocation-free estimate loop (the serving hot path). The samples are
+   flattened once into per-instance (ascending key, unboxed value)
+   columns; each union key is then assembled into an {!Estcore.Evalbuf}
+   by cursor merge instead of [key_outcome]'s three fresh arrays and
+   [List.assoc_opt] walks, and the per-key estimate goes through the
+   store-into flat evaluators. Per key the only allocations left are the
+   boxed floats [Seeds.seed] returns. Bit-identical to {!estimate} with
+   the corresponding reference estimator: same ascending union-key
+   order, same seed recomputation at recorded instance ids, same
+   left-to-right accumulation, and evaluators that mirror the reference
+   closed forms operation for operation (enforced by the test suite).
+   The entry columns are stable-sorted by key, so a duplicated key
+   resolves to its first binding — exactly [List.assoc_opt]'s answer. *)
+let estimate_flat t ~est ~select =
+  let r = Array.length t.samples in
+  let buf = EB.create ~r_max:(max r 1) in
+  let sorted =
+    Array.map
+      (fun (s : P.pps) ->
+        List.stable_sort
+          (fun ((a : int), _) (b, _) -> Int.compare a b)
+          s.P.entries)
+      t.samples
+  in
+  let keys = Array.map (fun l -> Array.of_list (List.map fst l)) sorted in
+  let vals = Array.map (fun l -> Float.Array.of_list (List.map snd l)) sorted in
+  let cursors = Array.make (max r 1) 0 in
+  let acc = Float.Array.make 1 0. in
+  List.iter
+    (fun h ->
+      if select h then begin
+        for i = 0 to r - 1 do
+          Float.Array.set buf.EB.phi i
+            (Sampling.Seeds.seed t.seeds
+               ~instance:t.samples.(i).P.instance_id ~key:h);
+          let ks = keys.(i) in
+          let n = Array.length ks in
+          let c = ref cursors.(i) in
+          while !c < n && Array.unsafe_get ks !c < h do
+            incr c
+          done;
+          cursors.(i) <- !c;
+          if !c < n && Array.unsafe_get ks !c = h then begin
+            Float.Array.set buf.EB.vals i (Float.Array.get vals.(i) !c);
+            Bytes.set buf.EB.present i '\001'
+          end
+          else begin
+            Float.Array.set buf.EB.vals i 0.;
+            Bytes.set buf.EB.present i '\000'
+          end
+        done;
+        (match est with
+        | `Max_l ->
+            Estcore.Max_pps.Flat.l_into ~taus:t.taus buf ~dst:buf.EB.out ~di:0
+        | `Max_ht ->
+            Estcore.Ht.Flat.max_pps_into ~taus:t.taus buf ~dst:buf.EB.out
+              ~di:0);
+        Float.Array.set acc 0
+          (Float.Array.get acc 0 +. Float.Array.get buf.EB.out 0)
+      end)
+    (sampled_keys t);
+  Float.Array.get acc 0
+
 let exact_variance ~taus ~instances ~moments ~select =
   List.fold_left
     (fun acc h ->

@@ -54,6 +54,19 @@ val estimate :
 (** [Σ_{h ∈ select ∩ sampled} est(outcome h)]. Unbiased for the sum
     aggregate when [est] is unbiased per key. *)
 
+val estimate_flat :
+  pps_samples ->
+  est:[ `Max_l | `Max_ht ] ->
+  select:(int -> bool) ->
+  float
+(** {!estimate} through the allocation-free flat evaluators
+    ({!Estcore.Max_pps.Flat.l_into} / {!Estcore.Ht.Flat.max_pps_into}):
+    samples are flattened once into per-instance ascending-key columns,
+    each union key is assembled into a reused {!Estcore.Evalbuf} by
+    cursor merge, and per-key evaluation allocates nothing beyond the
+    boxed seeds. Bit-identical to {!estimate} with the corresponding
+    reference estimator (asserted by the test suite). *)
+
 val exact_variance :
   taus:float array ->
   instances:Sampling.Instance.t list ->

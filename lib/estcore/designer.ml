@@ -2,6 +2,10 @@ type 'k problem = {
   data : float array list;
   f : float array -> float;
   dist : float array -> (float * 'k) list;
+  key : string option;
+      (* precomputed-at-construction fingerprint key: scheme name,
+         caller-asserted function name and parameters, rendered once.
+         [None] falls back to the structural MD5 walk. *)
 }
 
 type 'k estimator = ('k, float) Hashtbl.t
@@ -410,7 +414,7 @@ let solve_partition_robust ?(eps = 1e-9) ?(seed = 0x7A57) ?(attempts = 2)
    structural hash of the outcome key). Two problems with the same
    fingerprint derive the same estimator table, so the fingerprint is a
    sound memo key for the solvers below. *)
-let fingerprint problem =
+let structural_fingerprint problem =
   let buf = Buffer.create 1024 in
   List.iter
     (fun v ->
@@ -424,10 +428,29 @@ let fingerprint problem =
     problem.data;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* The "k:" prefix keeps the cheap-key namespace disjoint from the
+   structural one (an MD5 hex digest is pure hex, never "k:..."), so a
+   keyed and an unkeyed problem can share one cache without colliding.
+   The structural walk is timed into the [memo.fingerprint] histogram —
+   the cost the precomputed key exists to avoid stays visible. *)
+let fingerprint problem =
+  match problem.key with
+  | Some k -> "k:" ^ k
+  | None ->
+      if Numerics.Obs.enabled () then begin
+        Numerics.Obs.count "memo.fingerprint.structural";
+        let t0 = Numerics.Obs.now_ns () in
+        let d = structural_fingerprint problem in
+        Numerics.Obs.observe_ns "memo.fingerprint"
+          (Int64.sub (Numerics.Obs.now_ns ()) t0);
+        d
+      end
+      else structural_fingerprint problem
+
 type 'k cache = (string, ('k estimator, string) result) Numerics.Memo.t
 
 let cache ?(capacity = 64) ~name () : 'k cache =
-  Numerics.Memo.create ~capacity ~name ~hash:Hashtbl.hash ~equal:String.equal ()
+  Numerics.Memo.create ~capacity ~name ~hash:String.hash ~equal:String.equal ()
 
 let solve_order_cached ?(eps = 1e-9) ~cache:(c : 'k cache) problem =
   let key = Printf.sprintf "order:%h:%s" eps (fingerprint problem) in
@@ -500,6 +523,16 @@ let is_unbiased ?(eps = 1e-7) problem est =
     problem.data
 
 module Problems = struct
+  (* Canonical cheap-key rendering: scheme, caller-asserted function
+     name, then every numeric parameter in %h (exact bit image). The key
+     is sound only if [fname] really identifies [f] — that contract is
+     the caller's. *)
+  let floats_key a =
+    String.concat "," (List.map (Printf.sprintf "%h") (Array.to_list a))
+
+  let key_of scheme fname parts =
+    Option.map (fun n -> String.concat ":" (scheme :: n :: parts)) fname
+
   let vectors_of_grid grid r =
     let cells = Array.of_list grid in
     let m = Array.length cells in
@@ -513,7 +546,7 @@ module Problems = struct
         done;
         v)
 
-  let oblivious ~probs ~grid ~f =
+  let oblivious ?fname ~probs ~grid ~f () =
     let r = Array.length probs in
     {
       data = vectors_of_grid grid r;
@@ -522,6 +555,9 @@ module Problems = struct
         (fun v ->
           Sampling.Outcome.Oblivious.enumerate ~probs v
           |> List.map (fun (p, (o : Sampling.Outcome.Oblivious.t)) -> (p, o.values)));
+      key =
+        key_of "oblivious" fname
+          [ floats_key probs; floats_key (Array.of_list grid) ];
     }
 
   let binary_domain r =
@@ -530,7 +566,7 @@ module Problems = struct
 
   let to_bits v = Array.map (fun x -> if x > 0.5 then 1 else 0) v
 
-  let binary_known_seeds ~probs ~f =
+  let binary_known_seeds ?fname ~probs ~f () =
     let r = Array.length probs in
     {
       data = binary_domain r;
@@ -540,9 +576,10 @@ module Problems = struct
           Sampling.Outcome.Binary.enumerate ~probs (to_bits v)
           |> List.map (fun (p, (o : Sampling.Outcome.Binary.t)) ->
                  (p, (o.below, o.sampled))));
+      key = key_of "binary-known" fname [ floats_key probs ];
     }
 
-  let binary_unknown_seeds ~probs ~f =
+  let binary_unknown_seeds ?fname ~probs ~f () =
     let r = Array.length probs in
     {
       data = binary_domain r;
@@ -564,9 +601,10 @@ module Problems = struct
               else List.map (fun (p, mask) -> (p, false :: mask)) rest
           in
           go 0 |> List.map (fun (p, mask) -> (p, Array.of_list mask)));
+      key = key_of "binary-unknown" fname [ floats_key probs ];
     }
 
-  let pps_discretized ~taus ~grid ~buckets ~f =
+  let pps_discretized ?fname ~taus ~grid ~buckets ~f () =
     let r = Array.length taus in
     if buckets <= 0 then invalid_arg "pps_discretized: buckets must be positive";
     let centers =
@@ -597,9 +635,26 @@ module Problems = struct
               in
               (prob_each, (observed, b)))
             all_buckets);
+      key =
+        key_of "pps-discretized" fname
+          [
+            floats_key taus;
+            floats_key (Array.of_list grid);
+            string_of_int buckets;
+          ];
     }
 
-  let sort_data cmp problem = { problem with data = List.stable_sort cmp problem.data }
+  (* Reordering the data domain changes what Algorithm 1 derives, so a
+     reorder must change the fingerprint: with [?tag] the tag is folded
+     into the cheap key; without it the key is dropped and the problem
+     falls back to the structural (order-sensitive) digest. *)
+  let sort_data ?tag cmp problem =
+    let key =
+      match (tag, problem.key) with
+      | Some t, Some k -> Some (k ^ "#" ^ t)
+      | _ -> None
+    in
+    { problem with data = List.stable_sort cmp problem.data; key }
 
   let order_difference_multiset a b =
     let is_zero v = Array.for_all (fun x -> x = 0.) v in

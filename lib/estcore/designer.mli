@@ -20,6 +20,11 @@ type 'k problem = {
   dist : float array -> (float * 'k) list;
       (** outcome distribution given the data vector; probabilities must
           sum to 1 (zero-probability entries are allowed and ignored) *)
+  key : string option;
+      (** precomputed fingerprint key, rendered once at construction by
+          the {!Problems} constructors when given [?fname]; [None] makes
+          {!fingerprint} fall back to the structural MD5 walk over the
+          whole problem *)
 }
 
 type 'k estimator
@@ -121,10 +126,18 @@ val solve_partition_robust :
     it (one per key type, typically a top-level value). *)
 
 val fingerprint : 'k problem -> string
-(** Canonical digest of a problem: MD5 over the data domain, its target
-    values, and every vector's outcome distribution (probability plus a
-    structural hash of the outcome key). Problems with equal
-    fingerprints derive equal tables. *)
+(** Memo key of a problem. With a precomputed [key] (constructors given
+    [?fname]) this is ["k:" ^ key] — one small concatenation, strictly
+    cheaper than any table derivation. Without one it is the canonical
+    structural digest: MD5 over the data domain, its target values, and
+    every vector's outcome distribution (probability plus a structural
+    hash of the outcome key); that walk re-enumerates every outcome
+    distribution, so it can cost as much as the derivation it guards —
+    its latency is recorded in the [memo.fingerprint] histogram (and
+    counted by [memo.fingerprint.structural]) whenever {!Numerics.Obs}
+    is enabled. Problems with equal fingerprints derive equal tables;
+    for cheap keys that soundness rests on the caller's [?fname]
+    honestly identifying the target function. *)
 
 type 'k cache
 (** A bounded {!Numerics.Memo} of derived tables, keyed by fingerprint. *)
@@ -152,12 +165,21 @@ val is_monotone : ?eps:float -> 'k problem -> 'k estimator -> bool
     [o']. Nonnegativity is implied when the empty-information outcome is
     reachable. *)
 
-(** Ready-made finite problems for the paper's sampling schemes. *)
+(** Ready-made finite problems for the paper's sampling schemes.
+
+    Every constructor takes [?fname]: a caller-asserted name for [f].
+    When given, the problem carries a precomputed fingerprint key
+    (scheme, [fname], and the numeric parameters rendered in [%h]), so
+    {!fingerprint} is a cheap concatenation instead of the structural
+    MD5 walk. The key is sound only if [fname] uniquely identifies the
+    target function among uses of the same cache. *)
 module Problems : sig
   val oblivious :
+    ?fname:string ->
     probs:float array ->
     grid:float list ->
     f:(float array -> float) ->
+    unit ->
     float option array problem
   (** Weight-oblivious Poisson over the data domain [grid^r] (r = length
       of [probs]). Outcome key: the vector of sampled values. Data is in
@@ -165,20 +187,30 @@ module Problems : sig
       {!solve_order}. *)
 
   val binary_known_seeds :
-    probs:float array -> f:(float array -> float) -> (bool array * bool array) problem
+    ?fname:string ->
+    probs:float array ->
+    f:(float array -> float) ->
+    unit ->
+    (bool array * bool array) problem
   (** Weighted sampling of binary data with known seeds (Section 5.1):
       outcome key = (below, sampled) indicator pair. *)
 
   val binary_unknown_seeds :
-    probs:float array -> f:(float array -> float) -> bool array problem
+    ?fname:string ->
+    probs:float array ->
+    f:(float array -> float) ->
+    unit ->
+    bool array problem
   (** Weighted sampling of binary data, seeds {e not} available: outcome
       key = the set of sampled entries only (Section 6's model). *)
 
   val pps_discretized :
+    ?fname:string ->
     taus:float array ->
     grid:float list ->
     buckets:int ->
     f:(float array -> float) ->
+    unit ->
     (float option array * int array) problem
   (** Weighted PPS sampling with known seeds, seeds discretized into
       [buckets] equal cells (bucket centers). Outcome key =
@@ -189,8 +221,16 @@ module Problems : sig
       form. Data is in raw enumeration order. *)
 
   val sort_data :
-    (float array -> float array -> int) -> 'k problem -> 'k problem
-  (** Stable-sort the data domain by the given ≺ comparator. *)
+    ?tag:string ->
+    (float array -> float array -> int) ->
+    'k problem ->
+    'k problem
+  (** Stable-sort the data domain by the given ≺ comparator. The data
+      order is part of what {!solve_order} derives, so the precomputed
+      key must change with it: [?tag] (a caller-asserted name for the
+      comparator) is appended to the cheap key; without it the key is
+      dropped and the sorted problem falls back to the structural
+      fingerprint. *)
 
   val order_difference_multiset : float array -> float array -> int
   (** The Section 5.2 order: 0 first, then lexicographically by the

@@ -1,0 +1,57 @@
+(* Reusable per-domain scratch for the allocation-free ("flat")
+   evaluators. Allocated once per domain / chunk body, then threaded
+   through every per-key evaluation: the evaluators read inputs from and
+   write results into these buffers, so a call performs zero heap
+   allocation on the classic (non-flambda) native compiler, where a
+   float-returning call would box its result at the boundary. *)
+
+type t = {
+  vals : floatarray; (* per-entry inputs (sampled values, seeds, ...) *)
+  phi : floatarray; (* determining-vector / sort scratch *)
+  perm : Bytes.t; (* sorting permutation scratch, entry indices *)
+  present : Bytes.t; (* per-entry presence flags, '\001' = sampled *)
+  out : floatarray; (* result slots; slot 0 is the default target *)
+}
+
+let create ~r_max =
+  if r_max < 1 then invalid_arg "Evalbuf.create: r_max must be >= 1";
+  if r_max > 255 then invalid_arg "Evalbuf.create: r_max must be <= 255";
+  {
+    vals = Float.Array.make r_max 0.;
+    phi = Float.Array.make r_max 0.;
+    perm = Bytes.make r_max '\000';
+    present = Bytes.make r_max '\000';
+    out = Float.Array.make 1 0.;
+  }
+
+let r_max t = Float.Array.length t.vals
+let result t = Float.Array.get t.out 0
+
+let load_oblivious t (o : Sampling.Outcome.Oblivious.t) =
+  let r = Array.length o.values in
+  if r > r_max t then invalid_arg "Evalbuf.load_oblivious: r exceeds r_max";
+  for i = 0 to r - 1 do
+    match o.values.(i) with
+    | Some v ->
+        Float.Array.set t.vals i v;
+        Bytes.set t.present i '\001'
+    | None ->
+        Float.Array.set t.vals i 0.;
+        Bytes.set t.present i '\000'
+  done
+
+let load_pps t (o : Sampling.Outcome.Pps.t) =
+  let r = Array.length o.values in
+  if r > r_max t then invalid_arg "Evalbuf.load_pps: r exceeds r_max";
+  for i = 0 to r - 1 do
+    (* seeds ride in [phi]: the PPS evaluators read the seed only for
+       unsampled entries, and never use [phi] as sort scratch. *)
+    Float.Array.set t.phi i o.seeds.(i);
+    match o.values.(i) with
+    | Some v ->
+        Float.Array.set t.vals i v;
+        Bytes.set t.present i '\001'
+    | None ->
+        Float.Array.set t.vals i 0.;
+        Bytes.set t.present i '\000'
+  done

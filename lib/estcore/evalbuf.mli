@@ -1,0 +1,39 @@
+(** Reusable scratch buffers for the allocation-free estimate path.
+
+    The flat evaluators ({!Max_oblivious.Flat}, {!Ht.Flat},
+    {!Max_pps.Flat}, {!Or_oblivious.Table}, {!Or_weighted.Table}) follow
+    a store-into convention: inputs are read from caller-owned unboxed
+    buffers and the result is written into {!field-out} slot 0, so a call
+    passes only pointers and immediates and performs {e zero heap
+    allocation} — measured, not assumed: the test suite pins every flat
+    evaluator at a zero [Gc.minor_words] delta per call, and the classic
+    (non-flambda) native compiler is the baseline for that guarantee.
+
+    A buffer is scratch for {e one} evaluation at a time and must not be
+    shared across domains: create one per domain (e.g. inside each
+    parallel chunk body), never hoist one across a [Pool] fan-out. *)
+
+type t = {
+  vals : floatarray;  (** per-entry inputs (sampled values) *)
+  phi : floatarray;  (** determining-vector / seed scratch *)
+  perm : Bytes.t;  (** sorting-permutation scratch (entry indices) *)
+  present : Bytes.t;  (** presence flags, ['\001'] = sampled *)
+  out : floatarray;  (** result slots; slot 0 is the default target *)
+}
+
+val create : r_max:int -> t
+(** Scratch sized for outcomes with up to [r_max] entries
+    (1 ≤ r_max ≤ 255). *)
+
+val r_max : t -> int
+val result : t -> float
+(** [result t] reads [out] slot 0 — the value the last [*_into] call
+    stored. (Reading it boxes the float; do so outside hot loops.) *)
+
+val load_oblivious : t -> Sampling.Outcome.Oblivious.t -> unit
+(** Unpack an oblivious outcome into [vals]/[present]. Convenience for
+    tests and benches; hot callers fill the buffers directly. *)
+
+val load_pps : t -> Sampling.Outcome.Pps.t -> unit
+(** Unpack a PPS outcome: values into [vals]/[present], seeds into
+    [phi]. *)

@@ -47,16 +47,16 @@ let or2 v = if v.(0) > 0.5 || v.(1) > 0.5 then 1. else 0.
 let xor2 v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0.
 
 let or_unknown_seeds ~p1 ~p2 =
-  exists (Designer.Problems.binary_unknown_seeds ~probs:[| p1; p2 |] ~f:or2)
+  exists (Designer.Problems.binary_unknown_seeds ~probs:[| p1; p2 |] ~f:or2 ())
 
 let or_known_seeds ~p1 ~p2 =
-  exists (Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2)
+  exists (Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2 ())
 
 let xor_unknown_seeds ~p1 ~p2 =
-  exists (Designer.Problems.binary_unknown_seeds ~probs:[| p1; p2 |] ~f:xor2)
+  exists (Designer.Problems.binary_unknown_seeds ~probs:[| p1; p2 |] ~f:xor2 ())
 
 let xor_known_seeds ~p1 ~p2 =
-  exists (Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:xor2)
+  exists (Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:xor2 ())
 
 let lth_unknown_seeds ~r ~l ~p =
   if Array.length p <> r then invalid_arg "Existence.lth_unknown_seeds";
@@ -66,4 +66,4 @@ let lth_unknown_seeds ~r ~l ~p =
     Array.sort (fun a b -> Float.compare b a) s;
     s.(l - 1)
   in
-  exists (Designer.Problems.binary_unknown_seeds ~probs:p ~f)
+  exists (Designer.Problems.binary_unknown_seeds ~probs:p ~f ())

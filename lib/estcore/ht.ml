@@ -69,6 +69,60 @@ let max_pps_variance ~taus ~v =
     m *. m *. ((1. /. p) -. 1.)
   end
 
+(* Allocation-free variants reading from an [Evalbuf] (values in [vals],
+   presence in [present], seeds in [phi]) and storing into a caller
+   slot. Operation-for-operation mirrors of the reference evaluators
+   above — bit-identity and the zero-allocation bound are enforced by
+   the test suite. *)
+module Flat = struct
+  let max_pps_into ~(taus : float array) (buf : Evalbuf.t) ~(dst : floatarray)
+      ~di =
+    let r = Array.length taus in
+    if r > Float.Array.length buf.Evalbuf.phi then
+      invalid_arg "Ht.Flat.max_pps_into: r exceeds buffer capacity";
+    let max_sampled = ref 0. in
+    let max_unsampled_bound = ref 0. in
+    for i = 0 to r - 1 do
+      if Bytes.unsafe_get buf.Evalbuf.present i <> '\000' then
+        max_sampled :=
+          Float.max !max_sampled (Float.Array.unsafe_get buf.Evalbuf.vals i)
+      else
+        max_unsampled_bound :=
+          Float.max !max_unsampled_bound
+            (Float.Array.unsafe_get buf.Evalbuf.phi i *. Array.unsafe_get taus i)
+    done;
+    if !max_sampled > 0. && !max_unsampled_bound <= !max_sampled then begin
+      let p = ref 1. in
+      for i = 0 to r - 1 do
+        p := !p *. Float.min 1. (!max_sampled /. Array.unsafe_get taus i)
+      done;
+      Float.Array.unsafe_set dst di (!max_sampled /. !p)
+    end
+    else Float.Array.unsafe_set dst di 0.
+
+  let max_oblivious_into ~(probs : float array) (buf : Evalbuf.t)
+      ~(dst : floatarray) ~di =
+    let r = Array.length probs in
+    if r > Float.Array.length buf.Evalbuf.vals then
+      invalid_arg "Ht.Flat.max_oblivious_into: r exceeds buffer capacity";
+    let all = ref true in
+    for i = 0 to r - 1 do
+      if Bytes.unsafe_get buf.Evalbuf.present i = '\000' then all := false
+    done;
+    if !all then begin
+      let vmax = ref neg_infinity in
+      for i = 0 to r - 1 do
+        vmax := Float.max !vmax (Float.Array.unsafe_get buf.Evalbuf.vals i)
+      done;
+      let pall = ref 1. in
+      for i = 0 to r - 1 do
+        pall := !pall *. Array.unsafe_get probs i
+      done;
+      Float.Array.unsafe_set dst di (!vmax /. !pall)
+    end
+    else Float.Array.unsafe_set dst di 0.
+end
+
 let min_pps (o : P.t) =
   if Array.for_all (fun x -> x <> None) o.values then begin
     let v = Array.mapi sampled_value_exn o.values in

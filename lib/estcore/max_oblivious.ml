@@ -26,7 +26,16 @@ let l_r2 (o : outcome) =
       else (phi.(1) /. (p2 *. q)) -. (phi.(0) *. (1. -. p2) /. (p2 *. q))
 
 module Coeffs = struct
-  type t = { r : int; p : float; alpha : float array; prefix : float array }
+  type t = {
+    r : int;
+    p : float;
+    alpha : float array;
+    prefix : float array;
+    (* [alpha] flattened into an unboxed float array: the flat evaluator
+       reads coefficients without pointer-chasing boxed floats. Same
+       values as [alpha], element for element. *)
+    alpha_fa : floatarray;
+  }
 
   let r t = t.r
   let p t = t.p
@@ -56,12 +65,24 @@ module Coeffs = struct
     let alpha =
       Array.init r (fun i -> if i = 0 then a.(1) else a.(i + 1) -. a.(i))
     in
-    { r; p; alpha; prefix = Array.init r (fun i -> a.(i + 1)) }
+    {
+      r;
+      p;
+      alpha;
+      prefix = Array.init r (fun i -> a.(i + 1));
+      alpha_fa = Float.Array.init r (fun i -> alpha.(i));
+    }
+
+  (* Monomorphic key hash: mixes [r] with the IEEE bit pattern of [p].
+     Consistent with the [Float.equal] in [equal] on the valid domain
+     p ∈ (0,1] (no −0/NaN, so bitwise-distinct ⇒ not [Float.equal]). *)
+  let hash_key (r, p) =
+    (r * 0x9e3779b1) lxor Int64.to_int (Int64.bits_of_float p)
 
   (* (r, p) → coefficient table, shared across sweeps and domains. *)
   let cache : (int * float, t) Numerics.Memo.t =
     Numerics.Memo.create ~capacity:64 ~name:"max_oblivious.coeffs"
-      ~hash:Hashtbl.hash
+      ~hash:hash_key
       ~equal:(fun (r1, p1) (r2, p2) -> r1 = r2 && Float.equal p1 p2)
       ()
 
@@ -154,6 +175,11 @@ module General = struct
     (* Memoized prefix sums, keyed by the prefix as a bitmask of entry
        indices. *)
     table : (int, float) Hashtbl.t;
+    (* The fully-forced table flattened into an unboxed array indexed by
+       prefix mask (slot 0 unused, 0.): the flat evaluator reads prefix
+       sums with one bounds-free load instead of a hashtable probe.
+       Filled by [create] after forcing; read-only afterwards. *)
+    mutable a_flat : floatarray;
   }
 
   let r t = t.r
@@ -221,12 +247,20 @@ module General = struct
       !acc /. (!w_empty *. one_minus_qs)
     end
 
+  (* Monomorphic probability-vector hash over IEEE bit patterns —
+     consistent with the [Float.equal] element test below on the valid
+     domain (0,1] (no −0/NaN). *)
+  let hash_probs a =
+    Array.fold_left
+      (fun h p -> (h * 0x01000193) lxor Int64.to_int (Int64.bits_of_float p))
+      0x811c9dc5 a
+
   (* probs → fully-forced prefix-sum table. Entries are 2^r floats, so
      the capacity stays small; the table is read-only after [create],
      which makes sharing across domains safe. *)
   let cache : (float array, t) Numerics.Memo.t =
     Numerics.Memo.create ~capacity:32 ~name:"max_oblivious.general"
-      ~hash:Hashtbl.hash
+      ~hash:hash_probs
       ~equal:(fun a b ->
         Array.length a = Array.length b && Array.for_all2 Float.equal a b)
       ()
@@ -239,12 +273,20 @@ module General = struct
       probs;
     Numerics.Memo.find_or_add cache (Array.copy probs) @@ fun () ->
     let t =
-      { probs = Array.copy probs; r = Array.length probs; table = Hashtbl.create 64 }
+      {
+        probs = Array.copy probs;
+        r = Array.length probs;
+        table = Hashtbl.create 64;
+        a_flat = Float.Array.make 0 0.;
+      }
     in
     (* Force the full table now so estimates are pure lookups. *)
     for mask = 1 to (1 lsl t.r) - 1 do
       ignore (a t mask)
     done;
+    t.a_flat <-
+      Float.Array.init (1 lsl t.r) (fun mask ->
+          if mask = 0 then 0. else a t mask);
     t
 
   let prefix_sum t indices =
@@ -286,6 +328,127 @@ module General = struct
           prev := ai)
         idx;
       !acc
+    end
+end
+
+(* Allocation-free per-key evaluation: inputs come from an [Evalbuf]
+   (values in [vals], presence in [present]) and the result is stored
+   into a caller slot, so a call passes only pointers and immediates —
+   no boxed-float returns, no closures, no intermediate arrays. Each
+   evaluator mirrors its reference implementation operation for
+   operation (same comparator, same accumulation order), so results are
+   bit-identical; the test suite enforces both properties. *)
+module Flat = struct
+  (* Descending insertion sort of [fa.(0..n-1)] under [Float.compare]'s
+     total order — the same order as the reference's
+     [List.sort (fun a b -> Float.compare b a)] (NaN sorts last). *)
+  let sort_desc (fa : floatarray) n =
+    for j = 1 to n - 1 do
+      let v = Float.Array.unsafe_get fa j in
+      let m = ref j in
+      while
+        !m > 0 && Float.compare (Float.Array.unsafe_get fa (!m - 1)) v < 0
+      do
+        Float.Array.unsafe_set fa !m (Float.Array.unsafe_get fa (!m - 1));
+        decr m
+      done;
+      Float.Array.unsafe_set fa !m v
+    done
+
+  let l_uniform_into (c : Coeffs.t) (buf : Evalbuf.t) ~(dst : floatarray) ~di =
+    let r = c.Coeffs.r in
+    if r > Float.Array.length buf.Evalbuf.phi then
+      invalid_arg "Flat.l_uniform_into: r exceeds buffer capacity";
+    (* Compact the sampled values into [phi.(0..k-1)] in ascending entry
+       order — the reference's [sampled_values] order. *)
+    let k = ref 0 in
+    for i = 0 to r - 1 do
+      if Bytes.unsafe_get buf.Evalbuf.present i <> '\000' then begin
+        Float.Array.unsafe_set buf.Evalbuf.phi !k
+          (Float.Array.unsafe_get buf.Evalbuf.vals i);
+        incr k
+      end
+    done;
+    let k = !k in
+    if k = 0 then Float.Array.unsafe_set dst di 0.
+    else begin
+      sort_desc buf.Evalbuf.phi k;
+      (* Sorted determining vector: the max replicated in the first
+         r − k slots, the sorted sampled values in the last k. *)
+      let mx = Float.Array.unsafe_get buf.Evalbuf.phi 0 in
+      let alpha = c.Coeffs.alpha_fa in
+      let acc = ref 0. in
+      for i = 0 to r - 1 do
+        let u =
+          if i < r - k then mx
+          else Float.Array.unsafe_get buf.Evalbuf.phi (i - (r - k))
+        in
+        acc := !acc +. (Float.Array.unsafe_get alpha i *. u)
+      done;
+      Float.Array.unsafe_set dst di !acc
+    end
+
+  let general_into (g : General.t) (buf : Evalbuf.t) ~(dst : floatarray) ~di =
+    let r = g.General.r in
+    if r > Float.Array.length buf.Evalbuf.phi then
+      invalid_arg "Flat.general_into: r exceeds buffer capacity";
+    (* Determining vector: max of the sampled values (ascending entry
+       order, 0. seed — exactly [determining_vector_l]). *)
+    let m = ref 0. in
+    let any = ref false in
+    for i = 0 to r - 1 do
+      if Bytes.unsafe_get buf.Evalbuf.present i <> '\000' then begin
+        any := true;
+        m := Float.max !m (Float.Array.unsafe_get buf.Evalbuf.vals i)
+      end
+    done;
+    if not !any then Float.Array.unsafe_set dst di 0.
+    else begin
+      let m = !m in
+      for i = 0 to r - 1 do
+        Float.Array.unsafe_set buf.Evalbuf.phi i
+          (if Bytes.unsafe_get buf.Evalbuf.present i <> '\000' then
+             Float.Array.unsafe_get buf.Evalbuf.vals i
+           else m)
+      done;
+      (* Sorting permutation of φ — the reference comparator
+         (φ descending, entry index ascending on ties) is a strict total
+         order, so insertion sort lands on the same unique permutation
+         as [Array.sort]. *)
+      for i = 0 to r - 1 do
+        Bytes.unsafe_set buf.Evalbuf.perm i (Char.unsafe_chr i)
+      done;
+      for j = 1 to r - 1 do
+        let x = Char.code (Bytes.unsafe_get buf.Evalbuf.perm j) in
+        let phx = Float.Array.unsafe_get buf.Evalbuf.phi x in
+        let m' = ref j in
+        let continue = ref true in
+        while !continue && !m' > 0 do
+          let y = Char.code (Bytes.unsafe_get buf.Evalbuf.perm (!m' - 1)) in
+          let c = Float.compare phx (Float.Array.unsafe_get buf.Evalbuf.phi y) in
+          if c > 0 || (c = 0 && x < y) then begin
+            Bytes.unsafe_set buf.Evalbuf.perm !m' (Char.unsafe_chr y);
+            decr m'
+          end
+          else continue := false
+        done;
+        Bytes.unsafe_set buf.Evalbuf.perm !m' (Char.unsafe_chr x)
+      done;
+      (* Coefficients from consecutive prefix sums along the sorting
+         permutation — same walk, same accumulation order as
+         [General.estimate]. *)
+      let a_flat = g.General.a_flat in
+      let acc = ref 0. in
+      let mask = ref 0 in
+      let prev = ref 0. in
+      for j = 0 to r - 1 do
+        let i = Char.code (Bytes.unsafe_get buf.Evalbuf.perm j) in
+        mask := !mask lor (1 lsl i);
+        let ai = Float.Array.unsafe_get a_flat !mask in
+        acc := !acc +. ((ai -. !prev) *. Float.Array.unsafe_get buf.Evalbuf.phi i);
+        prev := ai
+      done;
+      Float.Array.unsafe_set dst di !acc
     end
 end
 

@@ -113,6 +113,29 @@ module General : sig
       along the sorting permutation of the determining vector. *)
 end
 
+(** Allocation-free per-key evaluation. The functions here are
+    operation-for-operation mirrors of {!l_uniform} and
+    {!General.estimate} — same comparator, same accumulation order, so
+    results are {e bit-identical} — that read inputs from an {!Evalbuf}
+    ([vals] + [present], filled by the caller or {!Evalbuf.load_oblivious})
+    and store the estimate into [dst.(di)]. A call passes only pointers
+    and immediates and performs zero heap allocation; both properties
+    are enforced by the test suite. Hot-path discipline: probability /
+    coefficient validation is the caller's job (do it once per batch,
+    not per key). *)
+module Flat : sig
+  val l_uniform_into : Coeffs.t -> Evalbuf.t -> dst:floatarray -> di:int -> unit
+  (** {!l_uniform} on the outcome described by the buffer ([r] entries,
+      [r = Coeffs.r]): 0 when nothing is sampled, else the coefficient
+      form on the sorted determining vector. *)
+
+  val general_into : General.t -> Evalbuf.t -> dst:floatarray -> di:int -> unit
+  (** {!General.estimate} on the outcome described by the buffer:
+      determining vector, sorting permutation, prefix-sum walk — all in
+      scratch, with the prefix sums read from the table's flattened
+      [2^r]-entry float array. *)
+end
+
 val u_r2 : outcome -> float
 (** Symmetric [max^(U)], r = 2 (Section 4.2 final table). *)
 

@@ -67,5 +67,84 @@ let l (o : outcome) =
     estimate_det ~tau_hi:o.taus.(0) ~tau_lo:o.taus.(1) ~hi:phi.(0) ~lo:phi.(1)
   else estimate_det ~tau_hi:o.taus.(1) ~tau_lo:o.taus.(0) ~hi:phi.(1) ~lo:phi.(0)
 
+(* Allocation-free variant: inputs from an [Evalbuf] (values in [vals],
+   presence in [present], seeds in [phi]), result stored into a caller
+   slot. The closed forms are duplicated rather than called — a
+   non-inlined float-returning call would box its result — and the
+   duplication is pinned to [estimate_det]/[l] bit for bit by the test
+   suite. *)
+module Flat = struct
+  (* [@inline always]: a direct call would box the four float arguments
+     at the boundary; inlined into [l_into] they stay unboxed locals. *)
+  let[@inline always] estimate_det_into ~tau_hi ~tau_lo ~hi ~lo
+      (dst : floatarray) di =
+    if lo > hi then invalid_arg "Max_pps.Flat: lo > hi";
+    if hi <= 0. then Float.Array.unsafe_set dst di 0.
+    else if hi = lo then
+      (* Eq. (25), as in [equal_values_estimate]. *)
+      if hi <= 0. then Float.Array.unsafe_set dst di 0.
+      else begin
+        let p1 = Float.min 1. (hi /. tau_hi) in
+        let p2 = Float.min 1. (hi /. tau_lo) in
+        Float.Array.unsafe_set dst di (hi /. (p1 +. ((1. -. p1) *. p2)))
+      end
+    else if lo >= tau_lo then
+      (* Case v1 ≥ v2 ≥ τ2: eq. (26). *)
+      Float.Array.unsafe_set dst di
+        (lo +. ((hi -. lo) /. Float.min 1. (hi /. tau_hi)))
+    else if hi >= tau_hi then
+      (* Case v1 ≥ τ1, v2 ≤ min(τ2, v1). *)
+      Float.Array.unsafe_set dst di hi
+    else begin
+      let t1 = tau_hi and t2 = tau_lo in
+      let tt = t1 *. t2 in
+      let s = t1 +. t2 in
+      if hi <= t2 then
+        (* Case v2 ≤ v1 ≤ min(τ1,τ2): eq. (29). *)
+        Float.Array.unsafe_set dst di
+          ((tt /. (s -. hi))
+          +. (tt *. (t1 -. hi) /. (hi *. s)
+             *. log ((s -. lo) *. hi /. (lo *. (s -. hi))))
+          +. ((hi -. lo) *. tt *. (t1 -. hi) /. (hi *. (s -. lo) *. (s -. hi))))
+      else
+        (* Case v2 ≤ τ2 ≤ v1 ≤ τ1: eq. (30) with the corrected log (see
+           [estimate_det]). *)
+        Float.Array.unsafe_set dst di
+          (t1 +. t2 -. (tt /. hi)
+          +. (tt *. (t1 -. hi) /. (hi *. s)
+             *. log ((s -. lo) *. t2 /. (t1 *. lo)))
+          +. (t2 *. (t1 -. hi) *. (t2 -. lo) /. ((s -. lo) *. hi)))
+    end
+
+  let l_into ~(taus : float array) (buf : Evalbuf.t) ~(dst : floatarray) ~di =
+    if Array.length taus <> 2 then invalid_arg "Max_pps.Flat.l_into: r = 2 only";
+    let s0 = Bytes.unsafe_get buf.Evalbuf.present 0 <> '\000' in
+    let s1 = Bytes.unsafe_get buf.Evalbuf.present 1 <> '\000' in
+    let v0 = Float.Array.unsafe_get buf.Evalbuf.vals 0 in
+    let v1 = Float.Array.unsafe_get buf.Evalbuf.vals 1 in
+    let u0 = Float.Array.unsafe_get buf.Evalbuf.phi 0 in
+    let u1 = Float.Array.unsafe_get buf.Evalbuf.phi 1 in
+    let t0 = Array.unsafe_get taus 0 in
+    let t1 = Array.unsafe_get taus 1 in
+    (* [determining_vector], branch for branch. *)
+    let phi0 = ref 0. and phi1 = ref 0. in
+    (if s0 then
+       if s1 then begin
+         phi0 := v0;
+         phi1 := v1
+       end
+       else begin
+         phi0 := v0;
+         phi1 := Float.min (u1 *. t1) v0
+       end
+     else if s1 then begin
+       phi0 := Float.min (u0 *. t0) v1;
+       phi1 := v1
+     end);
+    if !phi0 >= !phi1 then
+      estimate_det_into ~tau_hi:t0 ~tau_lo:t1 ~hi:!phi0 ~lo:!phi1 dst di
+    else estimate_det_into ~tau_hi:t1 ~tau_lo:t0 ~hi:!phi1 ~lo:!phi0 dst di
+end
+
 let var_l ?tol ~taus ~v () = (Exact.pps ?tol ~taus ~v l).Exact.var
 let var_ht ~taus ~v = Ht.max_pps_variance ~taus ~v

@@ -42,6 +42,22 @@ val equal_values_estimate : tau1:float -> tau2:float -> float -> float
 (** Eq. (25): the estimate for determining vectors (v,v); exposed for
     tests. *)
 
+(** Allocation-free mirror of {!l}: inputs from an {!Evalbuf} (values in
+    [vals], presence in [present], seeds in [phi]), result stored into
+    [dst.(di)]. The closed forms are duplicated (a non-inlined
+    float-returning call would box its result); bit-identity against
+    {!l}/{!estimate_det} and the zero-allocation bound are enforced by
+    the test suite. *)
+module Flat : sig
+  val estimate_det_into :
+    tau_hi:float -> tau_lo:float -> hi:float -> lo:float ->
+    floatarray -> int -> unit
+  (** {!estimate_det} storing into the given slot; exposed for the
+      case-by-case bit-identity tests. *)
+
+  val l_into : taus:float array -> Evalbuf.t -> dst:floatarray -> di:int -> unit
+end
+
 val var_l : ?tol:float -> taus:float array -> v:float array -> unit -> float
 (** Exact variance of {!l} on data [v] (seed-space quadrature). *)
 

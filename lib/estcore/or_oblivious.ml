@@ -30,6 +30,58 @@ let l_general g (o : outcome) =
   check_binary o;
   Max_oblivious.General.estimate g o
 
+(* Flattened OR^(L) table for r = 2: with binary data an outcome entry
+   carries one of three states (unsampled / sampled 0 / sampled 1), so
+   the whole estimator is nine floats. Cells are produced by the
+   reference [l_r2], then served by one unboxed load per key —
+   allocation-free and bit-identical to evaluating [l_r2] directly. *)
+module Table = struct
+  type t = { cells : floatarray }
+
+  let state_unsampled = 0
+  let state_zero = 1
+  let state_one = 2
+  let[@inline] code s0 s1 = (3 * s0) + s1
+
+  let of_probs ~p1 ~p2 =
+    if p1 <= 0. || p1 > 1. || p2 <= 0. || p2 > 1. then
+      invalid_arg "Or_oblivious.Table: probabilities must be in (0,1]";
+    let value = function 0 -> None | 1 -> Some 0. | _ -> Some 1. in
+    let probs = [| p1; p2 |] in
+    let cells =
+      Float.Array.init 9 (fun c ->
+          l_r2
+            {
+              Sampling.Outcome.Oblivious.probs;
+              values = [| value (c / 3); value (c mod 3) |];
+            })
+    in
+    { cells }
+
+  (* Bit-pattern hash over the probability pair; consistent with the
+     [Float.equal] test on the validated domain (0,1]. *)
+  let hash_pp (p1, p2) =
+    Int64.to_int (Int64.bits_of_float p1)
+    lxor (Int64.to_int (Int64.bits_of_float p2) * 0x9e3779b1)
+
+  let cache : (float * float, t) Numerics.Memo.t =
+    Numerics.Memo.create ~capacity:64 ~name:"or_oblivious.table" ~hash:hash_pp
+      ~equal:(fun (a1, a2) (b1, b2) -> Float.equal a1 b1 && Float.equal a2 b2)
+      ()
+
+  let create ~p1 ~p2 =
+    Numerics.Memo.find_or_add cache (p1, p2) (fun () -> of_probs ~p1 ~p2)
+
+  let cell t c = Float.Array.get t.cells c
+
+  let eval_into t ~code ~(dst : floatarray) ~di =
+    Float.Array.unsafe_set dst di (Float.Array.get t.cells code)
+
+  let add_into t ~code (acc : floatarray) =
+    Float.Array.unsafe_set acc 0
+      (Float.Array.unsafe_get acc 0 +. Float.Array.get t.cells code)
+end
+
 let var_ht ~probs =
   let pall = Array.fold_left ( *. ) 1. probs in
   (1. /. pall) -. 1.

@@ -28,6 +28,42 @@ val l_general : Max_oblivious.General.t -> outcome -> float
 (** [OR^(L)] for any r with {e arbitrary} per-entry probabilities, via
     the general Theorem 4.1 solver (binary values required). *)
 
+(** Flattened OR^(L) table for r = 2: binary data gives each outcome
+    entry one of three states — unsampled, sampled 0, sampled 1 — so
+    the whole estimator is nine floats, derived once by the reference
+    {!l_r2} and then served by a single unboxed load per key
+    (allocation-free, bit-identical to {!l_r2}). *)
+module Table : sig
+  type t
+
+  val state_unsampled : int
+  (** Entry state 0: not sampled. *)
+
+  val state_zero : int
+  (** Entry state 1: sampled, value 0. *)
+
+  val state_one : int
+  (** Entry state 2: sampled, value 1. *)
+
+  val code : int -> int -> int
+  (** [code s0 s1] — cell index of the state pair, [3·s0 + s1]. *)
+
+  val of_probs : p1:float -> p2:float -> t
+  (** Derive the nine cells via {!l_r2} (probabilities in (0,1]). *)
+
+  val create : p1:float -> p2:float -> t
+  (** {!of_probs} memoized on [(p1, p2)] (cache ["or_oblivious.table"]);
+      the returned table is shared — treat it as read-only. *)
+
+  val cell : t -> int -> float
+  (** Cell value at a code; for tests (reading boxes the float). *)
+
+  val eval_into : t -> code:int -> dst:floatarray -> di:int -> unit
+  val add_into : t -> code:int -> floatarray -> unit
+  (** [add_into t ~code acc] adds the cell to [acc.(0)] — the
+      sum-aggregate hot path. *)
+end
+
 val var_ht : probs:float array -> float
 (** Eq. (23): variance of OR^(HT) on any data with OR(v) = 1. *)
 

@@ -20,6 +20,45 @@ let u (o : outcome) =
   check_r2 o;
   Or_oblivious.u_r2 (B.to_oblivious o)
 
+(* Flattened binary known-seeds OR^(L) table, r = 2: the outcome key is
+   the (below, sampled) indicator pair — 16 combinations — so a derived
+   estimator flattens into 16 unboxed cells served by one load per key.
+   Cells come from a machine-derived [Designer] table (the serving
+   path's source of truth); combinations the derivation never reached
+   (e.g. sampled without below) hold NaN and are never addressed by
+   well-formed outcomes. *)
+module Table = struct
+  type t = { cells : floatarray }
+
+  let[@inline] code ~b0 ~b1 ~s0 ~s1 =
+    (if b0 then 1 else 0)
+    lor (if b1 then 2 else 0)
+    lor (if s0 then 4 else 0)
+    lor if s1 then 8 else 0
+
+  let of_estimator (est : (bool array * bool array) Designer.estimator) =
+    let cells =
+      Float.Array.init 16 (fun c ->
+          let key =
+            ( [| c land 1 <> 0; c land 2 <> 0 |],
+              [| c land 4 <> 0; c land 8 <> 0 |] )
+          in
+          match Designer.lookup est key with
+          | v -> v
+          | exception Not_found -> Float.nan)
+    in
+    { cells }
+
+  let cell t c = Float.Array.get t.cells c
+
+  let eval_into t ~code ~(dst : floatarray) ~di =
+    Float.Array.unsafe_set dst di (Float.Array.get t.cells code)
+
+  let add_into t ~code (acc : floatarray) =
+    Float.Array.unsafe_set acc 0
+      (Float.Array.unsafe_get acc 0 +. Float.Array.get t.cells code)
+end
+
 let var_of est ~p1 ~p2 ~v = (Exact.binary ~probs:[| p1; p2 |] ~v est).Exact.var
 let var_l ~p1 ~p2 ~v = var_of l ~p1 ~p2 ~v
 let var_u ~p1 ~p2 ~v = var_of u ~p1 ~p2 ~v

@@ -28,6 +28,27 @@ val l : outcome -> float
 val u : outcome -> float
 (** [OR^(U)] (Section 5.1 table), with [c = 1 + max(0, 1−p₁−p₂)]. *)
 
+(** Flattened binary known-seeds OR^(L) table, r = 2. The outcome key is
+    the (below, sampled) indicator pair — 16 combinations — flattened
+    from a machine-derived {!Designer} table into 16 unboxed cells
+    served by one load per key. This is the engine's serving path for
+    [QUERY or]: same cell values as [Designer.lookup], so responses are
+    bit-identical to the hashtable path it replaces. Combinations the
+    derivation never reached hold NaN (never addressed by well-formed
+    outcomes). *)
+module Table : sig
+  type t
+
+  val code : b0:bool -> b1:bool -> s0:bool -> s1:bool -> int
+  (** Cell index of the ((below₀, below₁), (sampled₀, sampled₁)) key. *)
+
+  val of_estimator : (bool array * bool array) Designer.estimator -> t
+  val cell : t -> int -> float
+  val eval_into : t -> code:int -> dst:floatarray -> di:int -> unit
+  val add_into : t -> code:int -> floatarray -> unit
+  (** [add_into t ~code acc] adds the cell to [acc.(0)]. *)
+end
+
 val var_l : p1:float -> p2:float -> v:int array -> float
 (** Exact variance of {!l} on binary data [v] — equals the
     weight-oblivious variance (Section 5.1). *)

@@ -13,7 +13,7 @@ let count_below_max v =
 
 let derive ~p ~grid ~f ~ht =
   let probs = Array.make 3 p in
-  let problem = D.Problems.oblivious ~probs ~grid ~f in
+  let problem = D.Problems.oblivious ~probs ~grid ~f () in
   (* The greedy batch order can make the nonnegativity-constrained
      extension infeasible even when an estimator exists; try dense-first,
      then sparse-first, then a single global batch — the latter is the

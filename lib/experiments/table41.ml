@@ -15,8 +15,10 @@ let closed_form_table ~p1 ~p2 ~v1 ~v2 =
 let engine_agrees ?(grid = [ 0.; 1.; 2.; 3. ]) ~p1 ~p2 () =
   let probs = [| p1; p2 |] in
   let problem =
-    D.Problems.oblivious ~probs ~grid ~f:(fun v -> Float.max v.(0) v.(1))
-    |> D.Problems.sort_data D.Problems.order_l
+    D.Problems.oblivious ~fname:"max2" ~probs ~grid
+      ~f:(fun v -> Float.max v.(0) v.(1))
+      ()
+    |> D.Problems.sort_data ~tag:"order-l" D.Problems.order_l
   in
   match D.solve_order problem with
   | Error _ -> false

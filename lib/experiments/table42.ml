@@ -4,7 +4,7 @@ module MO = Estcore.Max_oblivious
 let vmax (v : float array) = Float.max v.(0) v.(1)
 
 let check ~probs ~batches ~closed () =
-  let problem = D.Problems.oblivious ~probs ~grid:[] ~f:vmax in
+  let problem = D.Problems.oblivious ~probs ~grid:[] ~f:vmax () in
   ignore problem;
   match D.solve_partition ~batches ~f:vmax ~dist:(fun v ->
             Sampling.Outcome.Oblivious.enumerate ~probs v

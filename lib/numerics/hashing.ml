@@ -4,7 +4,7 @@ let combine a b =
   (* Boost-style combine lifted to 64 bits, then avalanched. *)
   mix64 (Int64.add (Int64.logxor a 0x9E3779B97F4A7C15L) (Int64.add (Int64.shift_left b 6) b))
 
-let hash_int ~salt k = mix64 (combine salt (Int64.of_int k))
+let[@inline] hash_int ~salt k = mix64 (combine salt (Int64.of_int k))
 
 let fnv_offset = 0xCBF29CE484222325L
 let fnv_prime = 0x100000001B3L
@@ -17,13 +17,13 @@ let hash_string ~salt s =
   mix64 (combine salt !h)
 
 let ulp53 = 1.110223024625156540e-16
-let to_unit h = Int64.to_float (Int64.shift_right_logical h 11) *. ulp53
+let[@inline] to_unit h = Int64.to_float (Int64.shift_right_logical h 11) *. ulp53
 
-let to_unit_open h =
+let[@inline] to_unit_open h =
   let x = to_unit h in
   if x > 0. then x else to_unit (mix64 (Int64.add h 1L))
 
-let uniform_int ~salt h = to_unit_open (hash_int ~salt h)
+let[@inline] uniform_int ~salt h = to_unit_open (hash_int ~salt h)
 let uniform_string ~salt s = to_unit_open (hash_string ~salt s)
 
 let salt_of_instance ~master i =

@@ -163,10 +163,18 @@ let create ?(capacity = 256) ~name ~hash ~equal () =
 
 let name t = t.name
 
+(* Top-level recursion instead of [List.find_opt (fun e -> ...)]: the
+   predicate closure would capture [k] and allocate on every lookup,
+   including hits — this is the fast path [find_or_add] takes under the
+   lock. *)
+let rec find_in_bucket equal k = function
+  | [] -> None
+  | e :: es -> if equal e.key k then Some e else find_in_bucket equal k es
+
 let find_locked t khash k =
   match Hashtbl.find_opt t.buckets khash with
   | None -> None
-  | Some es -> List.find_opt (fun e -> t.equal e.key k) es
+  | Some es -> find_in_bucket t.equal k es
 
 (* Second chance: advance the hand, clearing reference bits, until a slot
    with a clear bit turns up. Terminates within two revolutions. *)

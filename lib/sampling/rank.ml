@@ -4,7 +4,7 @@ let pp_family ppf = function
   | PPS -> Format.pp_print_string ppf "PPS"
   | EXP -> Format.pp_print_string ppf "EXP"
 
-let rank family ~w ~u =
+let[@inline] rank family ~w ~u =
   if w < 0. then invalid_arg "Rank.rank: negative value";
   if u <= 0. || u >= 1. then invalid_arg "Rank.rank: seed must be in (0,1)";
   if w = 0. then infinity

@@ -5,11 +5,11 @@ let create ?(master = 42) mode = { mode; master }
 let mode t = t.mode
 let master t = t.master
 
-let salt t ~instance =
+let[@inline] salt t ~instance =
   let i = match t.mode with Shared -> 0 | Independent -> 1 + instance in
   Numerics.Hashing.salt_of_instance ~master:t.master i
 
-let seed t ~instance ~key = Numerics.Hashing.uniform_int ~salt:(salt t ~instance) key
+let[@inline] seed t ~instance ~key = Numerics.Hashing.uniform_int ~salt:(salt t ~instance) key
 
 let seed_string t ~instance ~key =
   Numerics.Hashing.uniform_string ~salt:(salt t ~instance) key

@@ -17,15 +17,44 @@ let or_cache : (bool array * bool array) Designer.cache =
 
 let or2 v = if v.(0) > 0.5 || v.(1) > 0.5 then 1. else 0.
 
+(* [~fname]/[~tag] give the problem a precomputed fingerprint key, so
+   the per-query cache lookup is a cheap string build instead of the
+   structural MD5 walk over the whole 16-vector domain. *)
 let or_problem ~p1 ~p2 =
-  Designer.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2
-  |> Designer.Problems.sort_data Designer.Problems.order_l
+  Designer.Problems.binary_known_seeds ~fname:"or2" ~probs:[| p1; p2 |] ~f:or2
+    ()
+  |> Designer.Problems.sort_data ~tag:"order-l" Designer.Problems.order_l
+
+(* Flattened 16-cell copies of the served OR^(L) tables, keyed by the
+   probability pair. [Or_weighted.Table.of_estimator] copies the derived
+   cell values verbatim, so the flat path returns bit-identical sums. *)
+let or_table_cache : (float * float, Estcore.Or_weighted.Table.t) Numerics.Memo.t
+    =
+  Numerics.Memo.create ~capacity:64 ~name:"server.or_table"
+    ~hash:(fun (p1, p2) ->
+      (* bit-pattern hash, consistent with Float.equal on the validated
+         domain p ∈ (0,1] (no -0. or nan to distinguish) *)
+      Int64.to_int (Int64.bits_of_float p1)
+      lxor (Int64.to_int (Int64.bits_of_float p2) * 0x9e3779b1))
+    ~equal:(fun (a1, a2) (b1, b2) -> Float.equal a1 b1 && Float.equal a2 b2)
+    ()
+
+let or_table ~p1 ~p2 table =
+  Numerics.Memo.find_or_add or_table_cache (p1, p2) (fun () ->
+      Estcore.Or_weighted.Table.of_estimator table)
+
+let or_flat_tables ~p1 ~p2 =
+  match Designer.solve_order_cached ~cache:or_cache (or_problem ~p1 ~p2) with
+  | Ok table -> Ok (table, or_table ~p1 ~p2 table)
+  | Error e -> Error e
 
 module ISet = Set.Make (Int)
 
 (* Sum of per-key table lookups over the union of the two samples; the
    outcome key of key h is its (below, sampled) indicator pair, with
-   seeds recomputed at the instances' recorded ids. *)
+   seeds recomputed at the instances' recorded ids. The reference for
+   {!eval_or_flat} below; kept as the oracle the bit-identity tests
+   compare against. *)
 let eval_or_table table seeds ~ids:(id1, id2) ~p1 ~p2 ~s1 ~s2 =
   let set1 = ISet.of_list s1 and set2 = ISet.of_list s2 in
   ISet.fold
@@ -38,6 +67,25 @@ let eval_or_table table seeds ~ids:(id1, id2) ~p1 ~p2 ~s1 ~s2 =
       acc +. Designer.lookup table key)
     (ISet.union set1 set2)
     0.
+
+(* Serving path of [QUERY or]: same ascending key walk and same
+   left-to-right accumulation as {!eval_or_table}, but each key costs
+   one cell index and one unboxed load instead of two fresh bool arrays
+   and a hashtable probe — bit-identical by construction. *)
+let eval_or_flat flat seeds ~ids:(id1, id2) ~p1 ~p2 ~s1 ~s2 =
+  let set1 = ISet.of_list s1 and set2 = ISet.of_list s2 in
+  let acc = Float.Array.make 1 0. in
+  ISet.iter
+    (fun h ->
+      let u1 = Sampling.Seeds.seed seeds ~instance:id1 ~key:h in
+      let u2 = Sampling.Seeds.seed seeds ~instance:id2 ~key:h in
+      let code =
+        Estcore.Or_weighted.Table.code ~b0:(u1 <= p1) ~b1:(u2 <= p2)
+          ~s0:(ISet.mem h set1) ~s1:(ISet.mem h set2)
+      in
+      Estcore.Or_weighted.Table.add_into flat ~code acc)
+    (ISet.union set1 set2);
+  Float.Array.get acc 0
 
 let select_all _ = true
 
@@ -56,12 +104,10 @@ let names_field insts =
 let run_max st insts =
   let ps = pps_samples_of st insts in
   let r = List.length insts in
-  let ht =
-    Aggregates.Sum_agg.estimate ps ~est:Estcore.Ht.max_pps ~select:select_all
-  in
+  let ht = Aggregates.Sum_agg.estimate_flat ps ~est:`Max_ht ~select:select_all in
   if r = 2 then
     let l =
-      Aggregates.Sum_agg.estimate ps ~est:Estcore.Max_pps.l ~select:select_all
+      Aggregates.Sum_agg.estimate_flat ps ~est:`Max_l ~select:select_all
     in
     [ ("estimate", P.jfloat l); ("estimator", P.jstr "max-l");
       ("ht", P.jfloat ht) ]
@@ -91,7 +137,8 @@ let run_or st insts =
            when Algorithm 1 fails on this probability pair. *)
         match Designer.solve_order_cached ~cache:or_cache (or_problem ~p1 ~p2) with
         | Ok table ->
-            ( eval_or_table table seeds ~ids:(ids.(0), ids.(1)) ~p1 ~p2 ~s1 ~s2,
+            let flat = or_table ~p1 ~p2 table in
+            ( eval_or_flat flat seeds ~ids:(ids.(0), ids.(1)) ~p1 ~p2 ~s1 ~s2,
               "designer" )
         | Error cause ->
             Numerics.Robust.note_degradation ~site:"server.query.or"

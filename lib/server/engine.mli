@@ -11,7 +11,10 @@
     - [or] — binary OR / distinct count over the live binary support
       samples. The per-key table is machine-derived by Algorithm 1 on
       {!Estcore.Designer.Problems.binary_known_seeds} (memoized in a
-      designer cache under the problem fingerprint); when derivation
+      designer cache under the problem's precomputed cheap fingerprint),
+      then flattened into an {!Estcore.Or_weighted.Table} (memoized per
+      probability pair) so serving reads one unboxed cell per key —
+      bit-identical to the hashtable walk; when derivation
       fails the engine degrades to the closed-form [OR^(L)]
       ({!Aggregates.Distinct.l_estimate}) and says so in the
       [provenance] field — the {!Numerics.Robust} ladder pattern.
@@ -27,6 +30,36 @@
     {!Numerics.Obs} span named [server.query/<kind>]. *)
 
 type t
+
+val eval_or_table :
+  (bool array * bool array) Estcore.Designer.estimator ->
+  Sampling.Seeds.t ->
+  ids:int * int ->
+  p1:float ->
+  p2:float ->
+  s1:int list ->
+  s2:int list ->
+  float
+(** Reference OR^(L) sum: per-key hashtable lookups on freshly built
+    (below, sampled) keys. Exposed as the oracle the bit-identity tests
+    compare the serving path against. *)
+
+val eval_or_flat :
+  Estcore.Or_weighted.Table.t ->
+  Sampling.Seeds.t ->
+  ids:int * int ->
+  p1:float ->
+  p2:float ->
+  s1:int list ->
+  s2:int list ->
+  float
+(** The serving path: same walk through a flattened 16-cell table —
+    bit-identical to {!eval_or_table} on the table it was flattened
+    from. *)
+
+val or_flat_tables : p1:float -> p2:float -> ((bool array * bool array) Estcore.Designer.estimator * Estcore.Or_weighted.Table.t, string) result
+(** Derive (memoized) the served OR^(L) table for a probability pair and
+    its flattened copy — the exact pair [QUERY or] uses; for tests. *)
 
 val create : Store.t -> t
 val store : t -> Store.t

@@ -1,0 +1,29 @@
+(* Allocation assertion helper for the flat-evaluator guarantee.
+
+   [assert_no_alloc] measures the [Gc.minor_words] delta across many
+   calls of a thunk and fails unless it is exactly zero. The guarantee
+   is per *call*, so the thunk must not capture freshly allocated state;
+   warm-up calls first let one-time lazy initialization (closure
+   specialization, cache fills) happen outside the measured window.
+
+   The measurement is meaningful only on the native compiler —
+   bytecode boxes floats at every step — so under [Other]/[Bytecode]
+   backends the check degrades to "the thunk runs without raising". *)
+
+let is_native = Sys.backend_type = Sys.Native
+
+let assert_no_alloc ?(runs = 50_000) ?(warmup = 100) name (f : unit -> unit) =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  if not is_native then f ()
+  else begin
+    let before = Gc.minor_words () in
+    for _ = 1 to runs do
+      f ()
+    done;
+    let delta = Gc.minor_words () -. before in
+    if delta <> 0. then
+      Alcotest.failf "%s: allocated %.0f minor words over %d calls (%.2f/call)"
+        name delta runs (delta /. float_of_int runs)
+  end

@@ -152,6 +152,34 @@ let test_sum_agg_unbiased_ht () =
          let samples = SA.sample_pps seeds ~taus two_instances in
          SA.estimate samples ~est:Estcore.Ht.max_pps ~select:(fun _ -> true)))
 
+let test_sum_agg_flat_bit_identity () =
+  (* The flat path reuses one Evalbuf per sweep; the guarantee is not
+     "close", it is the same bits as the reference estimators — over
+     plain PPS samples and priority (bottom-k) samples, with and
+     without a selection predicate. *)
+  let check_samples msg samples =
+    List.iter
+      (fun (sname, select) ->
+        List.iter
+          (fun (ename, est, ref_est) ->
+            let flat = SA.estimate_flat samples ~est ~select in
+            let reference = SA.estimate samples ~est:ref_est ~select in
+            if Int64.bits_of_float flat <> Int64.bits_of_float reference then
+              Alcotest.failf "%s/%s/%s: flat %.17g vs reference %.17g" msg
+                ename sname flat reference)
+          [
+            ("max_l", `Max_l, Estcore.Max_pps.l);
+            ("max_ht", `Max_ht, Estcore.Ht.max_pps);
+          ])
+      [ ("all", (fun _ -> true)); ("even keys", fun h -> h mod 2 = 0) ]
+  in
+  List.iter
+    (fun master ->
+      let seeds = Sampling.Seeds.create ~master Sampling.Seeds.Independent in
+      check_samples "pps" (SA.sample_pps seeds ~taus:[| 15.; 20. |] two_instances);
+      check_samples "priority" (SA.sample_priority seeds ~k:40 two_instances))
+    [ 3; 9; 27 ]
+
 let test_exact_variance_additive () =
   let taus = [| 15.; 20. |] in
   let sel h = h mod 2 = 0 in
@@ -392,6 +420,8 @@ let () =
           Alcotest.test_case "sampled keys sorted" `Quick test_sampled_keys_sorted;
           Alcotest.test_case "L unbiased + variance" `Slow test_sum_agg_unbiased_l;
           Alcotest.test_case "HT unbiased" `Slow test_sum_agg_unbiased_ht;
+          Alcotest.test_case "flat path bit-identical" `Quick
+            test_sum_agg_flat_bit_identity;
           Alcotest.test_case "variance additivity" `Quick test_exact_variance_additive;
           Alcotest.test_case "of_summaries" `Quick test_of_summaries;
         ] );

@@ -19,7 +19,7 @@ let test_order_derives_or_l () =
     (fun (p1, p2) ->
       let probs = [| p1; p2 |] in
       let problem =
-        D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+        D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
         |> D.Problems.sort_data D.Problems.order_l
       in
       match D.solve_order problem with
@@ -39,7 +39,7 @@ let test_order_derives_max_l_grid () =
   (* Multi-valued grid, general (p1,p2): must agree with eq. (12). *)
   let probs = [| 0.35; 0.65 |] in
   let problem =
-    D.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2.; 5. ] ~f:vmax
+    D.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2.; 5. ] ~f:vmax ()
     |> D.Problems.sort_data D.Problems.order_l
   in
   match D.solve_order problem with
@@ -59,7 +59,7 @@ let test_order_derives_max_l_r3_uniform () =
   let probs = Array.make 3 p in
   let c = Max_oblivious.Coeffs.compute ~r:3 ~p in
   let problem =
-    D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+    D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
     |> D.Problems.sort_data D.Problems.order_l
   in
   match D.solve_order problem with
@@ -79,7 +79,7 @@ let test_order_weighted_binary_or () =
   let p1 = 0.3 and p2 = 0.45 in
   let or2 v = if vmax v > 0.5 then 1. else 0. in
   let problem =
-    D.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2
+    D.Problems.binary_known_seeds ~probs:[| p1; p2 |] ~f:or2 ()
     |> D.Problems.sort_data D.Problems.order_l
   in
   match D.solve_order problem with
@@ -102,7 +102,7 @@ let test_order_failure_xor_unknown_seeds () =
      Algorithm 1 must either fail or produce a biased/negative table. *)
   let xor v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0. in
   let problem =
-    D.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor
+    D.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor ()
     |> D.Problems.sort_data D.Problems.order_u
   in
   match D.solve_order problem with
@@ -115,7 +115,7 @@ let test_order_failure_xor_unknown_seeds () =
 let test_order_expectation_variance () =
   let probs = [| 0.5; 0.5 |] in
   let problem =
-    D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+    D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
     |> D.Problems.sort_data D.Problems.order_l
   in
   match D.solve_order problem with
@@ -154,7 +154,7 @@ let test_partition_r3_or_u () =
      r = 3 — check unbiasedness and nonnegativity of the derived table. *)
   let probs = [| 0.25; 0.25; 0.25 |] in
   let or3 v = if vmax v > 0.5 then 1. else 0. in
-  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:or3 in
+  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:or3 () in
   let batches =
     D.Problems.batches_by
       (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
@@ -170,7 +170,7 @@ let test_partition_symmetry () =
   (* The level-batch estimator must be symmetric when p1 = p2. *)
   let p = 0.35 in
   let probs = [| p; p |] in
-  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2. ] ~f:vmax in
+  let problem = D.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2. ] ~f:vmax () in
   let batches =
     D.Problems.batches_by
       (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
@@ -190,7 +190,7 @@ let test_partition_symmetry () =
 let test_partition_infeasible () =
   (* XOR with unknown seeds: the partition engine must report failure. *)
   let xor v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0. in
-  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor in
+  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor () in
   let batches =
     D.Problems.batches_by
       (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
@@ -216,7 +216,7 @@ let test_order_discretized_pps_converges () =
   let m = 64 in
   let vmax2 v = Float.max v.(0) v.(1) in
   let problem =
-    D.Problems.pps_discretized ~taus ~grid ~buckets:m ~f:vmax2
+    D.Problems.pps_discretized ~taus ~grid ~buckets:m ~f:vmax2 ()
     |> D.Problems.sort_data D.Problems.order_difference_multiset
   in
   match D.solve_order problem with
@@ -259,7 +259,7 @@ let test_or_threshold () =
 let test_find_witness_valid () =
   (* A feasible witness must actually be unbiased on every data vector. *)
   let or2 v = if vmax v > 0.5 then 1. else 0. in
-  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.7; 0.7 |] ~f:or2 in
+  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.7; 0.7 |] ~f:or2 () in
   match Existence.find problem with
   | None -> Alcotest.fail "expected witness"
   | Some table ->
@@ -279,7 +279,7 @@ let test_find_witness_valid () =
 
 let test_find_none_when_infeasible () =
   let xor v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0. in
-  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.5; 0.5 |] ~f:xor in
+  let problem = D.Problems.binary_unknown_seeds ~probs:[| 0.5; 0.5 |] ~f:xor () in
   Alcotest.(check bool) "no witness" true (Existence.find problem = None)
 
 let test_lth_boundary () =
@@ -289,6 +289,73 @@ let test_lth_boundary () =
     (Existence.lth_unknown_seeds ~r:2 ~l:1 ~p:[| 0.7; 0.7 |]);
   Alcotest.(check bool) "l=2 r=2 (min) always feasible" true
     (Existence.lth_unknown_seeds ~r:2 ~l:2 ~p:[| 0.2; 0.2 |])
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: the cheap precomputed key vs the structural digest    *)
+(* ------------------------------------------------------------------ *)
+
+let is_cheap fp = String.length fp >= 2 && String.sub fp 0 2 = "k:"
+
+let test_fingerprint_cheap_key () =
+  let probs = [| 0.3; 0.6 |] in
+  let mk ?fname ?(probs = probs) ~f () =
+    D.Problems.oblivious ?fname ~probs ~grid:[ 0.; 1. ] ~f ()
+  in
+  let keyed = mk ~fname:"max2" ~f:vmax () in
+  Alcotest.(check bool) "?fname gives a cheap key" true
+    (is_cheap (D.fingerprint keyed));
+  Alcotest.(check bool) "no ?fname digests structurally" false
+    (is_cheap (D.fingerprint (mk ~f:vmax ())));
+  Alcotest.(check string) "deterministic" (D.fingerprint keyed)
+    (D.fingerprint (mk ~fname:"max2" ~f:vmax ()));
+  Alcotest.(check bool) "probs distinguish keys" true
+    (D.fingerprint keyed
+    <> D.fingerprint (mk ~fname:"max2" ~probs:[| 0.3; 0.7 |] ~f:vmax ()));
+  Alcotest.(check bool) "fname distinguishes keys" true
+    (D.fingerprint keyed <> D.fingerprint (mk ~fname:"min2" ~f:(fun _ -> 0.) ()))
+
+let test_fingerprint_sort_tag () =
+  let keyed =
+    D.Problems.oblivious ~fname:"max2" ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ]
+      ~f:vmax ()
+  in
+  let tagged = D.Problems.sort_data ~tag:"order-l" D.Problems.order_l keyed in
+  Alcotest.(check bool) "tagged sort keeps a cheap key" true
+    (is_cheap (D.fingerprint tagged));
+  Alcotest.(check bool) "tag separates sorted from unsorted" true
+    (D.fingerprint tagged <> D.fingerprint keyed);
+  (* data order is part of what Algorithm 1 derives, and an untagged
+     comparator is invisible to any caller-asserted name — the cheap key
+     must be dropped, not silently reused *)
+  Alcotest.(check bool) "untagged sort falls back to structural" false
+    (is_cheap (D.fingerprint (D.Problems.sort_data D.Problems.order_l keyed)))
+
+let test_cheap_key_derives_identical_table () =
+  let probs = [| 0.3; 0.6 |] in
+  let mk fname =
+    (match fname with
+    | Some n ->
+        D.Problems.oblivious ~fname:n ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
+        |> D.Problems.sort_data ~tag:"order-l" D.Problems.order_l
+    | None ->
+        D.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
+        |> D.Problems.sort_data D.Problems.order_l)
+  in
+  let cache = D.cache ~name:"test.cheap-key" () in
+  match (D.solve_order_cached ~cache (mk (Some "max2")), D.solve_order (mk None)) with
+  | Ok cached, Ok direct ->
+      List.iter2
+        (fun (k1, v1) (k2, v2) ->
+          Alcotest.(check bool) "same outcome key" true (k1 = k2);
+          check_float "cheap key derives the structural table" v2 v1)
+        (D.bindings cached) (D.bindings direct);
+      (* a second keyed solve must be a hit: the shared table itself *)
+      (match D.solve_order_cached ~cache (mk (Some "max2")) with
+      | Ok again ->
+          Alcotest.(check bool) "cache hit returns the shared table" true
+            (cached == again)
+      | Error e -> Alcotest.failf "re-solve: %s" e)
+  | Error e, _ | _, Error e -> Alcotest.failf "derivation failed: %s" e
 
 let () =
   Alcotest.run "designer"
@@ -319,5 +386,12 @@ let () =
           Alcotest.test_case "witness is valid" `Quick test_find_witness_valid;
           Alcotest.test_case "no witness when infeasible" `Quick test_find_none_when_infeasible;
           Alcotest.test_case "lth boundaries" `Quick test_lth_boundary;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "cheap key shape" `Quick test_fingerprint_cheap_key;
+          Alcotest.test_case "sort tag" `Quick test_fingerprint_sort_tag;
+          Alcotest.test_case "cheap key derives identical table" `Quick
+            test_cheap_key_derives_identical_table;
         ] );
     ]

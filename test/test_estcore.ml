@@ -363,6 +363,7 @@ let test_l_r3_engine_agreement () =
   let problem =
     Estcore.Designer.Problems.oblivious ~probs ~grid:[ 0.; 1.; 2. ]
       ~f:(fun v -> vmax v)
+      ()
     |> Estcore.Designer.Problems.sort_data Estcore.Designer.Problems.order_l
   in
   match Estcore.Designer.solve_order problem with
@@ -1060,6 +1061,255 @@ let test_exact_dominates_pool () =
       Alcotest.(check bool) "pooled strict" false
         (Exact.dominates ~pool ~var_a:var_b ~var_b:var_a grid))
 
+(* ------------------------------------------------------------------ *)
+(* Flat (allocation-free) evaluators                                   *)
+(*                                                                     *)
+(* The contract is twofold and both halves are load-bearing for the    *)
+(* serving path: every flat evaluator must be bit-identical to its     *)
+(* reference evaluator (not merely close — the engine swaps one for    *)
+(* the other and responses must not change), and a call must allocate  *)
+(* zero minor words (measured, via Allocheck).                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_bits msg expected actual =
+  if Int64.bits_of_float expected <> Int64.bits_of_float actual then
+    Alcotest.failf "%s: expected %h, got %h" msg expected actual
+
+let test_flat_l_uniform_bit_identity () =
+  let rng = Numerics.Prng.create ~seed:71 () in
+  List.iter
+    (fun (r, p) ->
+      let coeffs = Max_oblivious.Coeffs.compute ~r ~p in
+      let probs = Array.make r p in
+      let buf = Evalbuf.create ~r_max:r in
+      (* the empty outcome first: the 0-estimate short circuit *)
+      let empty = OO.of_mask ~probs (Array.make r 1.) (Array.make r false) in
+      Evalbuf.load_oblivious buf empty;
+      Max_oblivious.Flat.l_uniform_into coeffs buf ~dst:buf.Evalbuf.out ~di:0;
+      check_bits
+        (Printf.sprintf "r=%d empty" r)
+        (Max_oblivious.l_uniform coeffs empty)
+        (Evalbuf.result buf);
+      for trial = 1 to 200 do
+        let v =
+          Array.init r (fun i ->
+              if (trial + i) mod 5 = 0 then 0.
+              else 10. *. Numerics.Prng.float rng)
+        in
+        let o = OO.draw rng ~probs v in
+        Evalbuf.load_oblivious buf o;
+        Max_oblivious.Flat.l_uniform_into coeffs buf ~dst:buf.Evalbuf.out ~di:0;
+        check_bits
+          (Printf.sprintf "r=%d trial %d" r trial)
+          (Max_oblivious.l_uniform coeffs o)
+          (Evalbuf.result buf)
+      done)
+    [ (2, 0.5); (8, 0.3); (32, 0.2) ]
+
+let test_flat_general_bit_identity () =
+  (* r = 2: exhaustive masks over the value grid, heterogeneous p. *)
+  List.iter
+    (fun (p1, p2) ->
+      let probs = [| p1; p2 |] in
+      let g = Max_oblivious.General.create ~probs in
+      let buf = Evalbuf.create ~r_max:2 in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun mask ->
+              let o = OO.of_mask ~probs v mask in
+              Evalbuf.load_oblivious buf o;
+              Max_oblivious.Flat.general_into g buf ~dst:buf.Evalbuf.out ~di:0;
+              check_bits "general r=2"
+                (Max_oblivious.General.estimate g o)
+                (Evalbuf.result buf))
+            [
+              [| false; false |];
+              [| true; false |];
+              [| false; true |];
+              [| true; true |];
+            ])
+        value_grid)
+    prob_grid;
+  (* r = 5: random draws (values with ties and zeros). *)
+  let rng = Numerics.Prng.create ~seed:72 () in
+  let probs = [| 0.2; 0.35; 0.5; 0.65; 0.8 |] in
+  let g = Max_oblivious.General.create ~probs in
+  let buf = Evalbuf.create ~r_max:5 in
+  for trial = 1 to 200 do
+    let v =
+      Array.init 5 (fun i ->
+          if (trial + i) mod 4 = 0 then 0.
+          else Float.round (8. *. Numerics.Prng.float rng))
+    in
+    let o = OO.draw rng ~probs v in
+    Evalbuf.load_oblivious buf o;
+    Max_oblivious.Flat.general_into g buf ~dst:buf.Evalbuf.out ~di:0;
+    check_bits "general r=5"
+      (Max_oblivious.General.estimate g o)
+      (Evalbuf.result buf)
+  done
+
+let test_flat_pps_bit_identity () =
+  let rng = Numerics.Prng.create ~seed:73 () in
+  List.iter
+    (fun taus ->
+      let buf = Evalbuf.create ~r_max:2 in
+      for trial = 1 to 300 do
+        let v =
+          [|
+            (if trial mod 7 = 0 then 0.
+             else 1.2 *. taus.(0) *. Numerics.Prng.float rng);
+            (if trial mod 11 = 0 then 0.
+             else 1.2 *. taus.(1) *. Numerics.Prng.float rng);
+          |]
+        in
+        let o = OP.draw rng ~taus v in
+        Evalbuf.load_pps buf o;
+        Max_pps.Flat.l_into ~taus buf ~dst:buf.Evalbuf.out ~di:0;
+        check_bits
+          (Printf.sprintf "taus (%g,%g) trial %d" taus.(0) taus.(1) trial)
+          (Max_pps.l o) (Evalbuf.result buf)
+      done)
+    [ [| 1.; 1. |]; [| 1.; 3. |]; [| 10.; 4. |] ]
+
+let test_flat_estimate_det_cases () =
+  (* Every closed-form branch of Figure 3 plus edge determining vectors:
+     zeros, equal values, values at / just under the threshold, tiny and
+     huge magnitudes — and a NaN input, which must take the same branch
+     (all comparisons false) on both sides. *)
+  let dst = Float.Array.make 1 Float.nan in
+  let check ~tau_hi ~tau_lo ~hi ~lo =
+    Max_pps.Flat.estimate_det_into ~tau_hi ~tau_lo ~hi ~lo dst 0;
+    let expected = Max_pps.estimate_det ~tau_hi ~tau_lo ~hi ~lo in
+    let actual = Float.Array.get dst 0 in
+    if
+      not (Float.is_nan expected && Float.is_nan actual)
+      && Int64.bits_of_float expected <> Int64.bits_of_float actual
+    then
+      Alcotest.failf "estimate_det (tau %h %h, v %h %h): expected %h, got %h"
+        tau_hi tau_lo hi lo expected actual
+  in
+  List.iter
+    (fun (tau_hi, tau_lo) ->
+      List.iter
+        (fun (hi, lo) ->
+          if hi >= lo || Float.is_nan hi then check ~tau_hi ~tau_lo ~hi ~lo)
+        [
+          (0., 0.);
+          (1e-12, 0.);
+          (0.3, 0.3);
+          (0.7, 0.2);
+          (tau_lo /. 2., tau_lo /. 2.);
+          (tau_hi *. 0.999999, 0.);
+          (tau_hi *. 0.999999, tau_lo *. 0.999999);
+          (tau_hi /. 3., tau_lo /. 7.);
+          (1e9 *. Float.min tau_hi tau_lo, 0.1);
+          (Float.nan, 0.5);
+        ])
+    [ (1., 1.); (1., 3.); (3., 1.); (10., 4.) ]
+
+let test_flat_ht_bit_identity () =
+  let rng = Numerics.Prng.create ~seed:74 () in
+  (* weighted known-seeds variant, r = 2 *)
+  let taus = [| 5.; 3. |] in
+  let buf = Evalbuf.create ~r_max:2 in
+  for trial = 1 to 300 do
+    let v =
+      [|
+        (if trial mod 6 = 0 then 0. else 6. *. Numerics.Prng.float rng);
+        (if trial mod 9 = 0 then 0. else 4. *. Numerics.Prng.float rng);
+      |]
+    in
+    let o = OP.draw rng ~taus v in
+    Evalbuf.load_pps buf o;
+    Ht.Flat.max_pps_into ~taus buf ~dst:buf.Evalbuf.out ~di:0;
+    check_bits "ht pps" (Ht.max_pps o) (Evalbuf.result buf)
+  done;
+  (* weight-oblivious variant, r = 3 *)
+  let probs = [| 0.4; 0.6; 0.8 |] in
+  let buf = Evalbuf.create ~r_max:3 in
+  for trial = 1 to 300 do
+    let v =
+      Array.init 3 (fun i ->
+          if (trial + i) mod 5 = 0 then 0.
+          else 7. *. Numerics.Prng.float rng)
+    in
+    let o = OO.draw rng ~probs v in
+    Evalbuf.load_oblivious buf o;
+    Ht.Flat.max_oblivious_into ~probs buf ~dst:buf.Evalbuf.out ~di:0;
+    check_bits "ht oblivious" (Ht.max_oblivious o) (Evalbuf.result buf)
+  done
+
+let test_or_table_bit_identity () =
+  let module T = Or_oblivious.Table in
+  let states =
+    [ (T.state_unsampled, None); (T.state_zero, Some 0.); (T.state_one, Some 1.) ]
+  in
+  List.iter
+    (fun (p1, p2) ->
+      let t = T.create ~p1 ~p2 in
+      let dst = Float.Array.make 1 0. in
+      List.iter
+        (fun (s0, v0) ->
+          List.iter
+            (fun (s1, v1) ->
+              let o =
+                { Sampling.Outcome.Oblivious.probs = [| p1; p2 |];
+                  values = [| v0; v1 |] }
+              in
+              let code = T.code s0 s1 in
+              let reference = Or_oblivious.l_r2 o in
+              check_bits "cell" reference (T.cell t code);
+              T.eval_into t ~code ~dst ~di:0;
+              check_bits "eval_into" reference (Float.Array.get dst 0);
+              Float.Array.set dst 0 1.25;
+              T.add_into t ~code dst;
+              check_bits "add_into" (1.25 +. reference) (Float.Array.get dst 0))
+            states)
+        states)
+    prob_grid
+
+let test_flat_zero_alloc () =
+  let rng = Numerics.Prng.create ~seed:77 () in
+  (* max^(L), uniform coefficients, r = 8 *)
+  let coeffs8 = Max_oblivious.Coeffs.compute ~r:8 ~p:0.3 in
+  let probs8 = Array.make 8 0.3 in
+  let buf8 = Evalbuf.create ~r_max:8 in
+  Evalbuf.load_oblivious buf8
+    (OO.draw rng ~probs:probs8 (Array.init 8 (fun i -> float_of_int (i + 1))));
+  Allocheck.assert_no_alloc "Max_oblivious.Flat.l_uniform_into" (fun () ->
+      Max_oblivious.Flat.l_uniform_into coeffs8 buf8 ~dst:buf8.Evalbuf.out ~di:0);
+  (* max^(L), general Theorem 4.1 table, r = 5 heterogeneous p *)
+  let probs5 = [| 0.2; 0.35; 0.5; 0.65; 0.8 |] in
+  let g5 = Max_oblivious.General.create ~probs:probs5 in
+  let buf5 = Evalbuf.create ~r_max:5 in
+  Evalbuf.load_oblivious buf5
+    (OO.draw rng ~probs:probs5 [| 1.; 0.; 3.; 2.; 5. |]);
+  Allocheck.assert_no_alloc "Max_oblivious.Flat.general_into" (fun () ->
+      Max_oblivious.Flat.general_into g5 buf5 ~dst:buf5.Evalbuf.out ~di:0);
+  (* weighted PPS max^(L) and max^(HT), r = 2 *)
+  let taus = [| 5.; 3. |] in
+  let bufp = Evalbuf.create ~r_max:2 in
+  Evalbuf.load_pps bufp (OP.of_seeds ~taus ~seeds:[| 0.3; 0.8 |] [| 2.5; 1. |]);
+  Allocheck.assert_no_alloc "Max_pps.Flat.l_into" (fun () ->
+      Max_pps.Flat.l_into ~taus bufp ~dst:bufp.Evalbuf.out ~di:0);
+  Allocheck.assert_no_alloc "Max_pps.Flat.estimate_det_into" (fun () ->
+      Max_pps.Flat.estimate_det_into ~tau_hi:5. ~tau_lo:3. ~hi:2.5 ~lo:1.
+        bufp.Evalbuf.out 0);
+  Allocheck.assert_no_alloc "Ht.Flat.max_pps_into" (fun () ->
+      Ht.Flat.max_pps_into ~taus bufp ~dst:bufp.Evalbuf.out ~di:0);
+  Allocheck.assert_no_alloc "Ht.Flat.max_oblivious_into" (fun () ->
+      Ht.Flat.max_oblivious_into ~probs:probs8 buf8 ~dst:buf8.Evalbuf.out ~di:0);
+  (* OR^(L) r=2 table reads *)
+  let ot = Or_oblivious.Table.create ~p1:0.3 ~p2:0.6 in
+  let code = Or_oblivious.Table.(code state_one state_unsampled) in
+  let acc = Float.Array.make 1 0. in
+  Allocheck.assert_no_alloc "Or_oblivious.Table.eval_into" (fun () ->
+      Or_oblivious.Table.eval_into ot ~code ~dst:acc ~di:0);
+  Allocheck.assert_no_alloc "Or_oblivious.Table.add_into" (fun () ->
+      Or_oblivious.Table.add_into ot ~code acc)
+
 let () =
   Alcotest.run "estcore"
     [
@@ -1203,6 +1453,22 @@ let () =
           Alcotest.test_case "unbiased" `Quick test_or_weighted_unbiased;
           Alcotest.test_case "printed tables" `Quick test_or_weighted_tables;
           Alcotest.test_case "variance transfer" `Quick test_or_weighted_variance_transfer;
+        ] );
+      ( "flat",
+        [
+          Alcotest.test_case "max^(L) uniform bit-identity r=2,8,32" `Quick
+            test_flat_l_uniform_bit_identity;
+          Alcotest.test_case "max^(L) general bit-identity" `Quick
+            test_flat_general_bit_identity;
+          Alcotest.test_case "max^(L) PPS bit-identity" `Quick
+            test_flat_pps_bit_identity;
+          Alcotest.test_case "Fig 3 cases bit-identity + edges" `Quick
+            test_flat_estimate_det_cases;
+          Alcotest.test_case "HT bit-identity" `Quick test_flat_ht_bit_identity;
+          Alcotest.test_case "OR^(L) r=2 table bit-identity" `Quick
+            test_or_table_bit_identity;
+          Alcotest.test_case "zero allocation per call" `Quick
+            test_flat_zero_alloc;
         ] );
       ( "exact",
         [

@@ -375,7 +375,7 @@ let xor2 v = if (v.(0) > 0.5) <> (v.(1) > 0.5) then 1. else 0.
 let test_delta_xor_zero () =
   (* XOR with unknown seeds: data (1,0) has Δ = 0 (witness (1,1) is
      consistent with every outcome of (1,0)), proving non-existence. *)
-  let problem = Designer.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2 in
+  let problem = Designer.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2 () in
   check_float "delta = 0" 0. (Bounds.delta problem ~v:[| 1.; 0. |] ~eps:0.5);
   match Bounds.witness problem ~v:[| 1.; 0. |] ~eps:0.5 with
   | Some (z, mass) ->
@@ -385,7 +385,7 @@ let test_delta_xor_zero () =
 
 let test_delta_or_positive () =
   (* OR with known seeds: Δ > 0 everywhere (estimator exists). *)
-  let problem = Designer.Problems.binary_known_seeds ~probs:[| 0.3; 0.3 |] ~f:or2 in
+  let problem = Designer.Problems.binary_known_seeds ~probs:[| 0.3; 0.3 |] ~f:or2 () in
   List.iter
     (fun v ->
       if or2 v > 0. then
@@ -395,7 +395,7 @@ let test_delta_or_positive () =
 
 let test_delta_no_witness () =
   (* ε larger than the function's range: Δ = 1. *)
-  let problem = Designer.Problems.binary_known_seeds ~probs:[| 0.3; 0.3 |] ~f:or2 in
+  let problem = Designer.Problems.binary_known_seeds ~probs:[| 0.3; 0.3 |] ~f:or2 () in
   check_float "delta = 1" 1. (Bounds.delta problem ~v:[| 1.; 1. |] ~eps:5.)
 
 let test_refutes_matches_lp () =
@@ -408,17 +408,17 @@ let test_refutes_matches_lp () =
       Alcotest.failf "%s: delta = 0 but LP found an estimator" label
   in
   check "xor unknown"
-    (Designer.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2);
+    (Designer.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2 ());
   check "xor known"
-    (Designer.Problems.binary_known_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2);
+    (Designer.Problems.binary_known_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2 ());
   check "or unknown p<1"
-    (Designer.Problems.binary_unknown_seeds ~probs:[| 0.3; 0.3 |] ~f:or2);
+    (Designer.Problems.binary_unknown_seeds ~probs:[| 0.3; 0.3 |] ~f:or2 ());
   check "or known"
-    (Designer.Problems.binary_known_seeds ~probs:[| 0.3; 0.3 |] ~f:or2);
+    (Designer.Problems.binary_known_seeds ~probs:[| 0.3; 0.3 |] ~f:or2 ());
   (* And the Δ-criterion does fire on XOR/unknown. *)
   Alcotest.(check bool) "xor refuted by delta" true
     (Bounds.refutes_existence
-       (Designer.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2))
+       (Designer.Problems.binary_unknown_seeds ~probs:[| 0.6; 0.6 |] ~f:xor2 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Monotonicity checker                                                *)
@@ -427,7 +427,7 @@ let test_refutes_matches_lp () =
 let test_monotone_or_l () =
   let probs = [| 0.4; 0.6 |] in
   let problem =
-    Designer.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+    Designer.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
     |> Designer.Problems.sort_data Designer.Problems.order_l
   in
   match Designer.solve_order problem with
@@ -441,7 +441,7 @@ let test_monotone_detects_violation () =
      max estimator modified to a large value on a partial outcome. *)
   let probs = [| 0.5; 0.5 |] in
   let problem =
-    Designer.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax
+    Designer.Problems.oblivious ~probs ~grid:[ 0.; 1. ] ~f:vmax ()
     |> Designer.Problems.sort_data Designer.Problems.order_l
   in
   match Designer.solve_order problem with
@@ -488,7 +488,7 @@ let test_xor_known_seeds_feasible () =
 let test_xor_known_seeds_derivable () =
   (* And the designer actually produces an unbiased nonnegative XOR
      estimator with known seeds. *)
-  let problem = Designer.Problems.binary_known_seeds ~probs:[| 0.4; 0.4 |] ~f:xor2 in
+  let problem = Designer.Problems.binary_known_seeds ~probs:[| 0.4; 0.4 |] ~f:xor2 () in
   let batches =
     Designer.Problems.batches_by
       (fun v -> Array.fold_left (fun a x -> if x > 0. then a + 1 else a) 0 v)
@@ -582,7 +582,7 @@ let prop_solve_order_sound =
       let grid = [ 0.; 1.; 1. +. Numerics.Prng.float rng ] in
       let f v = Array.fold_left Float.max 0. v in
       let problem =
-        Designer.Problems.oblivious ~probs ~grid ~f
+        Designer.Problems.oblivious ~probs ~grid ~f ()
         |> Designer.Problems.sort_data Designer.Problems.order_l
       in
       match Designer.solve_order problem with

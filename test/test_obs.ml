@@ -143,7 +143,7 @@ let test_chrome_trace_golden () =
       let module D = Estcore.Designer in
       let f v = Float.max v.(0) v.(1) in
       let problem =
-        D.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ] ~f
+        D.Problems.oblivious ~probs:[| 0.3; 0.6 |] ~grid:[ 0.; 1. ] ~f ()
       in
       let batches =
         D.Problems.batches_by

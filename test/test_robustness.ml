@@ -143,7 +143,7 @@ let or_problem () =
   let f v = if Array.exists (fun x -> x > 0.5) v then 1. else 0. in
   let problem =
     Estcore.Designer.Problems.oblivious ~probs:[| 0.4; 0.6 |] ~grid:[ 0.; 1. ]
-      ~f
+      ~f ()
   in
   let batches =
     Estcore.Designer.Problems.batches_by

@@ -390,6 +390,61 @@ let test_engine_or_designer_matches_closed_form () =
       Alcotest.(check (option string)) "no degradations" (Some "0")
         (P.json_field "degradations" resp)
 
+(* The engine now serves [QUERY or] through the flattened 16-cell
+   Or_weighted table. The flat walk must return the same bits as the
+   hashtable oracle it replaced, on every (ids, sampled-sets) shape —
+   and its per-key reads must allocate nothing. *)
+let test_engine_or_flat_matches_table () =
+  let p1 = 0.4 and p2 = 0.7 in
+  match Engine.or_flat_tables ~p1 ~p2 with
+  | Error m -> Alcotest.failf "derive: %s" m
+  | Ok (table, flat) ->
+      List.iter
+        (fun master ->
+          let seeds =
+            Sampling.Seeds.create ~master Sampling.Seeds.Independent
+          in
+          List.iter
+            (fun ((id1, id2) as ids) ->
+              (* Well-formed binary outcomes only: key h is sampled in an
+                 instance iff its value there is 1 AND its recomputed seed
+                 is below p — the oracle's table has no rows for anything
+                 else (and the engine can never produce anything else). *)
+              let keys = List.init 12 (fun i -> i + 1) in
+              let sampled id p v1 =
+                List.filter
+                  (fun h ->
+                    v1 h
+                    && Sampling.Seeds.seed seeds ~instance:id ~key:h <= p)
+                  keys
+              in
+              let s1 = sampled id1 p1 (fun h -> h mod 2 = 0) in
+              let s2 = sampled id2 p2 (fun h -> h mod 3 <> 0) in
+              List.iter
+                (fun (s1, s2) ->
+                  let oracle =
+                    Engine.eval_or_table table seeds ~ids ~p1 ~p2 ~s1 ~s2
+                  in
+                  let served =
+                    Engine.eval_or_flat flat seeds ~ids ~p1 ~p2 ~s1 ~s2
+                  in
+                  if Int64.bits_of_float oracle <> Int64.bits_of_float served
+                  then
+                    Alcotest.failf
+                      "flat OR serving differs: oracle %.17g vs flat %.17g"
+                      oracle served)
+                [ ([], []); (s1, []); ([], s2); (s1, s2) ])
+            [ (0, 1); (3, 8) ])
+        [ 7; 11; 13 ];
+      let acc = Float.Array.make 1 0. in
+      let code =
+        Estcore.Or_weighted.Table.code ~b0:true ~b1:false ~s0:true ~s1:false
+      in
+      Allocheck.assert_no_alloc "Or_weighted.Table.eval_into" (fun () ->
+          Estcore.Or_weighted.Table.eval_into flat ~code ~dst:acc ~di:0);
+      Allocheck.assert_no_alloc "Or_weighted.Table.add_into" (fun () ->
+          Estcore.Or_weighted.Table.add_into flat ~code acc)
+
 (* Regression: [Sum_agg.key_outcome] must recompute seeds at the
    samples' recorded instance ids, not their array positions — live
    server instances are not numbered 0..r-1. *)
@@ -604,6 +659,8 @@ let () =
           Alcotest.test_case "session verbs" `Quick test_engine_session_verbs;
           Alcotest.test_case "or table equals closed form" `Quick
             test_engine_or_designer_matches_closed_form;
+          Alcotest.test_case "flat OR serving bit-identical + alloc-free"
+            `Quick test_engine_or_flat_matches_table;
           Alcotest.test_case "sum_agg recomputes seeds at recorded ids"
             `Quick test_sum_agg_recorded_ids;
         ] );

@@ -90,6 +90,10 @@ validate() {
     echo "FAIL  $1: no cached designer micro-benchmark" ; ok=0 ; }
   grep -q '"name": "per-key estimates max' "$1" || {
     echo "FAIL  $1: no estimates-throughput kernel" ; ok=0 ; }
+  grep -q '"name": "kernels/wal: append' "$1" || {
+    echo "FAIL  $1: no wal append micro-benchmark" ; ok=0 ; }
+  grep -q '"name": "kernels/wal: recover' "$1" || {
+    echo "FAIL  $1: no wal recovery micro-benchmark" ; ok=0 ; }
   [ "$ok" = 1 ]
 }
 

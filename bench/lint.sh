@@ -62,6 +62,19 @@ if [ -n "$block_hits" ]; then
     status=1
 fi
 
+# Durability discipline: every byte that reaches a WAL segment or a
+# snapshot file goes through Durable (the CRC'd, fault-aware,
+# fsync-gated writer). Raw writes in wal.ml/snapshot.ml would bypass
+# the CRC framing, the atomic-replace protocol and the Faultify I/O
+# plane at once — exactly the bytes a crash test would never see torn.
+durable_hits=$(grep -nE 'open_out|output_string|output_char|output_bytes|Out_channel|Unix\.write|Unix\.single_write|Unix\.ftruncate|Unix\.fsync|Unix\.openfile' \
+    "$root/lib/server/wal.ml" "$root/lib/server/snapshot.ml" 2>/dev/null)
+if [ -n "$durable_hits" ]; then
+    echo "lint: raw file writes are banned in wal.ml/snapshot.ml — go through Durable:" >&2
+    echo "$durable_hits" >&2
+    status=1
+fi
+
 # Hot-path discipline: the per-key evaluator modules must stay off the
 # polymorphic runtime. `Stdlib.compare`/bare `compare` walks tags and
 # boxes floats; `Hashtbl.hash` hashes structure (and is why derivation

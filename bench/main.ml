@@ -104,6 +104,52 @@ let bechamel_tests () =
       (List.init 1000 (fun i -> (i, float_of_int (1 + (i mod 50)))))
   in
   let seeds = Sampling.Seeds.create ~master:5 Sampling.Seeds.Independent in
+  (* WAL kernels: a live log appended in place (fsync=never isolates the
+     framing + write cost from the fsync), and a full recovery replay of
+     a prepared 512-op segment. One tiny shared pool keeps the replay
+     store from spawning fresh domains per measured call. *)
+  let wal_root = Filename.temp_file "bench_wal" "" in
+  Sys.remove wal_root;
+  Unix.mkdir wal_root 0o700;
+  let wal_pool = Numerics.Pool.create ~domains:1 () in
+  let wal_live =
+    let cfg =
+      {
+        (Server.Wal.default_config ~dir:(Filename.concat wal_root "live")) with
+        fsync = Server.Wal.Never;
+      }
+    in
+    match Server.Wal.recover ~pool:wal_pool cfg with
+    | Ok r -> r.Server.Wal.wal
+    | Error m -> invalid_arg m
+  in
+  let wal_sync =
+    let cfg =
+      Server.Wal.default_config ~dir:(Filename.concat wal_root "sync")
+    in
+    match Server.Wal.recover ~pool:wal_pool cfg with
+    | Ok r -> r.Server.Wal.wal
+    | Error m -> invalid_arg m
+  in
+  let wal_op = Server.Wal.Ingest { name = "bench"; key = 12345; weight = 1.5 } in
+  let replay_cfg =
+    Server.Wal.default_config ~dir:(Filename.concat wal_root "replay")
+  in
+  (match Server.Wal.recover ~pool:wal_pool replay_cfg with
+  | Error m -> invalid_arg m
+  | Ok r ->
+      let wal = r.Server.Wal.wal in
+      let ok = function Ok () -> () | Error m -> invalid_arg m in
+      ok
+        (Server.Wal.append wal
+           (Server.Wal.Create { name = "bench"; tau = 100.; k = 64; p = 0.2 }));
+      for i = 0 to 510 do
+        ok
+          (Server.Wal.append wal
+             (Server.Wal.Ingest
+                { name = "bench"; key = i; weight = 1. +. float_of_int (i mod 7) }))
+      done;
+      Server.Wal.close wal);
   Test.make_grouped ~name:"kernels"
     [
       Test.make ~name:"coeffs r=32 (Thm 4.2 recursion)"
@@ -193,6 +239,26 @@ let bechamel_tests () =
              ignore
                (Estcore.Designer.solve_order_cached ~cache:designer_cache
                   problem)));
+      Test.make ~name:"wal: frame encode (INGEST)"
+        (Staged.stage (fun () -> ignore (Server.Wal.encode_frame wal_op)));
+      Test.make ~name:"wal: append (fsync=never)"
+        (Staged.stage (fun () ->
+             match Server.Wal.append wal_live wal_op with
+             | Ok () -> ()
+             | Error m -> invalid_arg m));
+      (* The durability premium: same append under fsync=always — the
+         gap between this pair IS the cost of "no acknowledged record is
+         ever lost". *)
+      Test.make ~name:"wal: append (fsync=always)"
+        (Staged.stage (fun () ->
+             match Server.Wal.append wal_sync wal_op with
+             | Ok () -> ()
+             | Error m -> invalid_arg m));
+      Test.make ~name:"wal: recover 512-op segment"
+        (Staged.stage (fun () ->
+             match Server.Wal.recover ~pool:wal_pool replay_cfg with
+             | Ok r -> Server.Wal.close r.Server.Wal.wal
+             | Error m -> invalid_arg m));
       (* Disabled-overhead pair: the same tiny kernel bare and under a
          disabled span + counter. The perf gate compares the two, pinning
          the off-mode instrumentation cost to one atomic load + branch. *)
@@ -278,7 +344,9 @@ let server_kernel ~copies ~traffic pool =
       Array.iter
         (fun (key, weight) ->
           for c = 0 to copies - 1 do
-            get (Server.Store.ingest st ~name:(name side c) ~key ~weight)
+            match Server.Store.ingest st ~name:(name side c) ~key ~weight with
+            | Ok () -> ()
+            | Error e -> invalid_arg (Server.Store.ingest_error_to_string e)
           done)
         recs
     in

@@ -580,8 +580,58 @@ let serve_cmd =
             "Warm start: load this snapshot if it exists (write one back \
              with the SNAPSHOT request).")
   in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Durable op log: recover from the newest checkpoint + log in \
+             $(docv) (created if missing), then log every mutating \
+             request. SNAPSHOT requests roll the log over as a \
+             checkpoint. Excludes $(b,--snapshot).")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "always"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL fsync policy: $(b,always) (no acknowledged record is \
+             ever lost), $(b,interval=N) (fsync every N appends), or \
+             $(b,never).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 65536
+      & info [ "max-inflight" ]
+          ~doc:
+            "Admission limit: shed ingest (structured overloaded error \
+             with a retry_after_ms hint) when a shard has this many \
+             records pending.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ]
+          ~doc:
+            "Per-session read timeout in milliseconds (SO_RCVTIMEO); 0 = \
+             none. Idle sessions are answered a structured timeout error \
+             and closed.")
+  in
+  let backlog =
+    Arg.(value & opt int 16 & info [ "backlog" ] ~doc:"Listen backlog.")
+  in
+  let max_line_bytes =
+    Arg.(
+      value & opt int 8192
+      & info [ "max-line-bytes" ]
+          ~doc:
+            "Reject request lines longer than this (structured error, \
+             connection closed).")
+  in
   let run host port socket shards master shared tau k p flush_every snapshot
-      jobs strict trace metrics =
+      wal fsync max_inflight timeout_ms backlog max_line_bytes jobs strict
+      trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     with_strict strict @@ fun () ->
     let pool = pool_of_jobs jobs in
@@ -596,36 +646,89 @@ let serve_cmd =
         default_k = k;
         default_p = p;
         flush_every;
+        max_inflight;
       }
     in
-    let store =
-      match snapshot with
-      | Some path when Sys.file_exists path -> (
-          match Server.Snapshot.load ~pool ~shards path with
-          | Ok st ->
-              Format.fprintf ppf "warm start: %d instance(s) from %s@."
-                (List.length (Server.Store.instances st))
-                path;
-              st
-          | Error e ->
-              Format.eprintf "cannot load snapshot %s: %a@." path
-                Sampling.Io.pp_parse_error e;
-              exit 1)
-      | _ -> Server.Store.create ~pool cfg
+    if wal <> None && snapshot <> None then begin
+      Format.eprintf
+        "--wal and --snapshot are exclusive: the WAL directory holds its \
+         own checkpoints@.";
+      exit 1
+    end;
+    let store, wal_handle =
+      match wal with
+      | Some dir -> (
+          let fsync =
+            match Server.Wal.fsync_policy_of_string fsync with
+            | Ok p -> p
+            | Error m ->
+                Format.eprintf "%s@." m;
+                exit 1
+          in
+          let wcfg = { (Server.Wal.default_config ~dir) with fsync } in
+          match Server.Wal.recover ~pool ~store_cfg:cfg wcfg with
+          | Error m ->
+              Format.eprintf "cannot recover from WAL %s: %s@." dir m;
+              exit 1
+          | Ok r ->
+              Format.fprintf ppf
+                "wal recovery: %d instance(s), %d op(s) replayed%s%s%s@."
+                (List.length (Server.Store.instances r.Server.Wal.store))
+                r.Server.Wal.replayed
+                (match r.Server.Wal.checkpoint_epoch with
+                | Some e -> Printf.sprintf " on checkpoint epoch %d" e
+                | None -> " (cold start)")
+                (if r.Server.Wal.truncated_bytes > 0 then
+                   Printf.sprintf ", %d torn byte(s) dropped"
+                     r.Server.Wal.truncated_bytes
+                 else "")
+                (match r.Server.Wal.skipped_checkpoints with
+                | [] -> ""
+                | q ->
+                    Printf.sprintf ", %d checkpoint(s) quarantined"
+                      (List.length q));
+              (r.Server.Wal.store, Some r.Server.Wal.wal))
+      | None -> (
+          match snapshot with
+          | Some path when Sys.file_exists path -> (
+              match Server.Snapshot.load ~pool ~shards path with
+              | Ok st ->
+                  Format.fprintf ppf "warm start: %d instance(s) from %s@."
+                    (List.length (Server.Store.instances st))
+                    path;
+                  (st, None)
+              | Error e ->
+                  Format.eprintf "cannot load snapshot %s: %a@." path
+                    Sampling.Io.pp_parse_error e;
+                  exit 1)
+          | _ -> (Server.Store.create ~pool cfg, None))
     in
-    let engine = Server.Engine.create store in
+    let engine = Server.Engine.create ?wal:wal_handle store in
+    let dcfg =
+      {
+        Server.Daemon.backlog;
+        max_line_bytes;
+        read_timeout_s = float_of_int timeout_ms /. 1000.;
+      }
+    in
     let sock =
       match socket with
-      | Some path ->
-          Format.fprintf ppf "listening on %s (%d shard(s))@." path shards;
-          Server.Daemon.listen_unix ~path
+      | Some path -> (
+          match Server.Daemon.listen_unix ~backlog ~path () with
+          | Ok sock ->
+              Format.fprintf ppf "listening on %s (%d shard(s))@." path shards;
+              sock
+          | Error m ->
+              Format.eprintf "%s@." m;
+              exit 1)
       | None ->
-          let sock, bound = Server.Daemon.listen_tcp ~host ~port () in
+          let sock, bound = Server.Daemon.listen_tcp ~host ~backlog ~port () in
           Format.fprintf ppf "listening on %s:%d (%d shard(s))@." host bound
             shards;
           sock
     in
-    Server.Daemon.serve engine sock;
+    Server.Daemon.serve ~config:dcfg engine sock;
+    Option.iter Server.Wal.close wal_handle;
     Format.fprintf ppf "shutdown@.";
     Numerics.Pool.shutdown pool
   in
@@ -634,7 +737,8 @@ let serve_cmd =
        ~doc:"Run the streaming summary daemon (line protocol, v1)")
     Term.(
       const run $ host_arg $ port_arg $ socket_arg $ shards $ master $ shared
-      $ tau $ k $ p $ flush_every $ snapshot $ jobs_arg $ strict_arg
+      $ tau $ k $ p $ flush_every $ snapshot $ wal $ fsync $ max_inflight
+      $ timeout_ms $ backlog $ max_line_bytes $ jobs_arg $ strict_arg
       $ trace_arg $ metrics_arg)
 
 let client_cmd =
@@ -646,11 +750,32 @@ let client_cmd =
             "Requests to send (quote each one, e.g. 'QUERY max a b'). With \
              none, requests are read from stdin, one per line.")
   in
-  let run host port socket requests =
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ]
+          ~doc:
+            "Retry attempts for dropped connections and overloaded \
+             responses (exponential backoff with full jitter, honoring \
+             the server's retry_after_ms hint); 1 = fail fast.")
+  in
+  let retry_base_ms =
+    Arg.(
+      value & opt int 10
+      & info [ "retry-base-ms" ] ~doc:"Base backoff delay in milliseconds.")
+  in
+  let run host port socket retries retry_base_ms requests =
     let conn =
       match socket with
       | Some path -> Server.Client.connect_unix ~path
       | None -> Server.Client.connect_tcp ~host ~port ()
+    in
+    let retry =
+      {
+        Server.Client.default_retry with
+        attempts = max 1 retries;
+        base_delay_ms = retry_base_ms;
+      }
     in
     match conn with
     | Error m ->
@@ -658,7 +783,7 @@ let client_cmd =
         exit 1
     | Ok c ->
         let send line =
-          match Server.Client.request c line with
+          match Server.Client.request_retry ~retry c line with
           | Ok response ->
               Format.fprintf ppf "%s@." response;
               Server.Protocol.json_ok response
@@ -686,7 +811,9 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send requests to a running optsample daemon and print responses")
-    Term.(const run $ host_arg $ port_arg $ socket_arg $ requests)
+    Term.(
+      const run $ host_arg $ port_arg $ socket_arg $ retries $ retry_base_ms
+      $ requests)
 
 (* ---------- exists ---------- *)
 

@@ -1,5 +1,9 @@
 type kind = Nan | Non_convergence | Infeasible
 
+type io_kind = Io_torn_write | Io_short_write | Io_fsync_fail | Io_drop | Io_delay
+
+exception Crash of string
+
 type state = {
   seed : int;
   rate : float;
@@ -95,3 +99,89 @@ let fire ~site ~kinds:site_kinds =
               Some (List.nth eligible idx)
             end
           end)
+
+(* --- the I/O fault plane ------------------------------------------------
+
+   Same machinery, independent armed state: the durability tests (torn
+   writes, failed fsyncs, dropped connections) must be able to run while
+   the solver plane stays clean, and vice versa. The two planes share
+   the deterministic draw — (seed, site, per-site counter) — and the
+   disarmed fast path is one atomic read. *)
+
+type io_state = {
+  io_seed : int;
+  io_rate : float;
+  io_kinds : io_kind list;
+  io_counters : (string, int) Hashtbl.t;
+  mutable io_injected : int;
+}
+
+let io_mutex = Mutex.create ()
+let io_enabled = Atomic.make false
+let io_state : io_state option ref = ref None
+let io_last_injected = ref 0
+
+let all_io_kinds =
+  [ Io_torn_write; Io_short_write; Io_fsync_fail; Io_drop; Io_delay ]
+
+let arm_io ?(rate = 0.5) ?(kinds = all_io_kinds) ~seed () =
+  if rate < 0. || rate > 1. then invalid_arg "Faultify.arm_io: rate in [0,1]";
+  if kinds = [] then invalid_arg "Faultify.arm_io: empty kind list";
+  Mutex.protect io_mutex (fun () ->
+      io_last_injected := 0;
+      io_state :=
+        Some
+          {
+            io_seed = seed;
+            io_rate = rate;
+            io_kinds = kinds;
+            io_counters = Hashtbl.create 16;
+            io_injected = 0;
+          };
+      Atomic.set io_enabled true)
+
+let disarm_io () =
+  Mutex.protect io_mutex (fun () ->
+      Atomic.set io_enabled false;
+      (match !io_state with
+      | Some s -> io_last_injected := s.io_injected
+      | None -> ());
+      io_state := None)
+
+let io_armed () = Atomic.get io_enabled
+
+let io_injection_count () =
+  Mutex.protect io_mutex (fun () ->
+      match !io_state with
+      | Some s -> s.io_injected
+      | None -> !io_last_injected)
+
+let fire_io ~site ~kinds:site_kinds =
+  if not (Atomic.get io_enabled) then None
+  else
+    Mutex.protect io_mutex (fun () ->
+        match !io_state with
+        | None -> None
+        | Some s ->
+            let counter =
+              Option.value ~default:0 (Hashtbl.find_opt s.io_counters site)
+            in
+            Hashtbl.replace s.io_counters site (counter + 1);
+            let eligible =
+              List.filter (fun k -> List.mem k site_kinds) s.io_kinds
+            in
+            if eligible = [] then None
+            else begin
+              let bits = draw ~seed:s.io_seed ~site ~counter in
+              if uniform_of_bits bits >= s.io_rate then None
+              else begin
+                s.io_injected <- s.io_injected + 1;
+                let idx =
+                  Int64.to_int
+                    (Int64.rem
+                       (Int64.shift_right_logical (Prng.SplitMix64.mix bits) 3)
+                       (Int64.of_int (List.length eligible)))
+                in
+                Some (List.nth eligible idx)
+              end
+            end)

@@ -54,3 +54,47 @@ val fire : site:string -> kinds:kind list -> kind option
     (drawn from the intersection of the armed kinds and [kinds] — the
     kinds meaningful at this site) must be injected now, [None]
     otherwise (including whenever disarmed). *)
+
+(** {2 The I/O fault plane}
+
+    A second, independently-armed plane for the durability layer
+    ([Server.Wal], [Server.Snapshot], [Protocol.Conn]): torn and short
+    writes, failed fsyncs, dropped connections and delayed reads. It
+    shares the deterministic draw — whether a call fires depends only on
+    [(seed, site, per-site counter)] — but has its own armed state, so
+    crash-recovery tests can inject I/O faults while the solver plane
+    stays clean (and vice versa). *)
+
+type io_kind =
+  | Io_torn_write
+      (** a prefix of the buffer reaches the file, then the process dies
+          ({!Crash}) — the classic mid-write crash *)
+  | Io_short_write
+      (** the write is cut short and reported as an error; the process
+          survives and the writer must restore a consistent tail *)
+  | Io_fsync_fail
+      (** fsync reports failure after the bytes were handed to the OS —
+          the caller must treat durability as unknown *)
+  | Io_drop  (** the connection is closed mid-operation *)
+  | Io_delay  (** the read stalls (exercises [SO_RCVTIMEO] timeouts) *)
+
+exception Crash of string
+(** Simulated process death at the named site, raised by the fault-aware
+    writers on the kinds that model a crash (never caught by the
+    serving plane itself — the crash-recovery tests catch it, abandon
+    the in-memory state, and recover from disk). *)
+
+val arm_io : ?rate:float -> ?kinds:io_kind list -> seed:int -> unit -> unit
+(** Arm the I/O plane (default [rate] 0.5, default kinds: all five).
+    Resets the per-site counters. *)
+
+val disarm_io : unit -> unit
+val io_armed : unit -> bool
+
+val io_injection_count : unit -> int
+(** Total I/O faults injected since the last {!arm_io}. *)
+
+val fire_io : site:string -> kinds:io_kind list -> io_kind option
+(** Like {!fire}, on the I/O plane. [Some k] when a fault of kind [k]
+    must be injected at this call, [None] otherwise (always [None] when
+    the plane is disarmed — a single atomic read). *)

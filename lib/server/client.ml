@@ -1,6 +1,19 @@
-type t = { conn : Protocol.Conn.t }
+type retry = {
+  attempts : int;
+  base_delay_ms : int;
+  max_delay_ms : int;
+  seed : int;
+}
 
-let handshake conn =
+let default_retry =
+  { attempts = 5; base_delay_ms = 10; max_delay_ms = 2000; seed = 42 }
+
+type t = {
+  addr : Unix.sockaddr;
+  mutable conn : Protocol.Conn.t option;  (* [None] after a drop *)
+}
+
+let handshake addr conn =
   match Protocol.Conn.input_line_opt conn with
   | None -> Error "connection closed before greeting"
   | Some greeting ->
@@ -8,34 +21,130 @@ let handshake conn =
         Error (Printf.sprintf "bad greeting %S" greeting)
       else (
         match Protocol.json_field "protocol" greeting with
-        | Some v when v = string_of_int Protocol.version -> Ok { conn }
+        | Some v when v = string_of_int Protocol.version ->
+            Ok { addr; conn = Some conn }
         | Some v ->
             Error
               (Printf.sprintf "server speaks protocol %s, this client %d" v
                  Protocol.version)
         | None -> Error (Printf.sprintf "greeting has no protocol field: %S" greeting))
 
-let connect sockaddr =
+let dial sockaddr =
   let domain = Unix.domain_of_sockaddr sockaddr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   match Unix.connect fd sockaddr with
-  | () -> handshake (Protocol.Conn.of_fd fd)
+  | () -> Ok (Protocol.Conn.of_fd fd)
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Unix.error_message e)
+
+let connect sockaddr = Result.bind (dial sockaddr) (handshake sockaddr)
 
 let connect_tcp ?(host = "127.0.0.1") ~port () =
   connect (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
 
 let connect_unix ~path = connect (Unix.ADDR_UNIX path)
 
-let request t line =
-  match
-    Protocol.Conn.output_line t.conn line;
-    Protocol.Conn.input_line_opt t.conn
-  with
-  | Some response -> Ok response
-  | None -> Error "connection closed"
-  | exception Sys_error m -> Error m
+(* Re-establish after a drop: fresh socket, fresh greeting. The
+   greeting's protocol check already passed once; re-checking costs one
+   comparison and guards against the server restarting as something
+   else. *)
+let reconnect t =
+  match dial t.addr with
+  | Error _ as e -> e
+  | Ok conn -> (
+      match Protocol.Conn.input_line_opt conn with
+      | Some greeting
+        when Protocol.json_ok greeting
+             && Protocol.json_field "protocol" greeting
+                = Some (string_of_int Protocol.version) ->
+          t.conn <- Some conn;
+          Ok conn
+      | Some greeting ->
+          Protocol.Conn.close conn;
+          Error (Printf.sprintf "bad greeting on reconnect: %S" greeting)
+      | None ->
+          Protocol.Conn.close conn;
+          Error "connection closed before greeting on reconnect")
 
-let close t = Protocol.Conn.close t.conn
+let request t line =
+  match t.conn with
+  | None -> Error "connection closed"
+  | Some conn -> (
+      match
+        Protocol.Conn.output_line conn line;
+        Protocol.Conn.input_line_opt conn
+      with
+      | Some response -> Ok response
+      | None ->
+          Protocol.Conn.close conn;
+          t.conn <- None;
+          Error "connection closed"
+      | exception Sys_error m ->
+          Protocol.Conn.close conn;
+          t.conn <- None;
+          Error m)
+
+(* Exponential backoff with full jitter: attempt [i] sleeps
+   uniform[0, min(max_delay, base * 2^i)) milliseconds. Full jitter
+   (rather than equal or decorrelated) desynchronizes a thundering herd
+   fastest; the draw comes from a seeded Numerics.Prng stream so retry
+   schedules are reproducible in tests. *)
+let backoff_ms rng retry ~attempt =
+  let cap =
+    min (float_of_int retry.max_delay_ms)
+      (float_of_int retry.base_delay_ms *. Float.of_int (1 lsl min attempt 20))
+  in
+  int_of_float (Numerics.Prng.float rng *. cap)
+
+(* select-based sleep (the blocking sleep syscalls are banned under
+   lib/server — they would park a pool domain if a client ever runs on
+   one). *)
+let default_sleep ms =
+  if ms > 0 then ignore (Unix.select [] [] [] (float_of_int ms /. 1000.))
+
+let retryable_response response =
+  (not (Protocol.json_ok response))
+  && Protocol.json_field "kind" response = Some "overloaded"
+
+let request_retry ?(retry = default_retry) ?(sleep = default_sleep) t line =
+  (* A fresh seeded stream per call: retry schedules are reproducible
+     in tests, and distinct [retry.seed]s desynchronize distinct
+     clients. *)
+  let rng = Numerics.Prng.create ~seed:retry.seed () in
+  let rec go attempt =
+    let outcome =
+      match t.conn with
+      | Some _ -> request t line
+      | None -> Result.bind (reconnect t) (fun _ -> request t line)
+    in
+    let retry_again hint =
+      if attempt + 1 >= retry.attempts then outcome
+      else begin
+        let ms =
+          match hint with
+          | Some ms when ms >= 0 -> min ms retry.max_delay_ms
+          | _ -> backoff_ms rng retry ~attempt
+        in
+        sleep ms;
+        go (attempt + 1)
+      end
+    in
+    match outcome with
+    | Ok response when retryable_response response ->
+        (* The server shed the request: honor its retry_after_ms hint
+           when present, jittered backoff otherwise. *)
+        retry_again
+          (Option.map int_of_float
+             (Protocol.json_float_field "retry_after_ms" response))
+    | Ok _ -> outcome
+    | Error _ -> retry_again None
+  in
+  go 0
+
+let close t =
+  match t.conn with
+  | Some conn ->
+      Protocol.Conn.close conn;
+      t.conn <- None
+  | None -> ()

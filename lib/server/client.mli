@@ -12,8 +12,38 @@ val connect_unix : path:string -> (t, string) result
 
 val request : t -> string -> (string, string) result
 (** Send one request line, read the one-line JSON response. [Error] on a
-    closed connection. The response is returned verbatim — inspect it
-    with {!Protocol.json_field} / {!Protocol.json_float_field} /
-    {!Protocol.json_ok}. *)
+    closed connection (the client remembers the drop; a later
+    {!request_retry} reconnects, {!request} does not). The response is
+    returned verbatim — inspect it with {!Protocol.json_field} /
+    {!Protocol.json_float_field} / {!Protocol.json_ok}. *)
+
+(** {2 Retry} *)
+
+type retry = {
+  attempts : int;  (** total tries, including the first *)
+  base_delay_ms : int;
+  max_delay_ms : int;
+  seed : int;  (** jitter stream seed — fix it for reproducible schedules *)
+}
+
+val default_retry : retry
+(** [attempts = 5], [base_delay_ms = 10], [max_delay_ms = 2000],
+    [seed = 42]. *)
+
+val backoff_ms : Numerics.Prng.t -> retry -> attempt:int -> int
+(** Exponential backoff with {e full} jitter: a uniform draw from
+    [\[0, min (max_delay_ms, base_delay_ms * 2^attempt))]. Full jitter
+    desynchronizes a thundering herd fastest; exposed for the schedule
+    tests. *)
+
+val request_retry :
+  ?retry:retry -> ?sleep:(int -> unit) -> t -> string -> (string, string) result
+(** {!request} with retries: a dropped connection is re-dialed (fresh
+    socket, greeting re-checked) and a structured [kind="overloaded"]
+    response backs off and resends — honoring the server's
+    [retry_after_ms] hint when present, jittered backoff otherwise.
+    Non-retryable responses (ok, or any other error) return immediately.
+    [sleep] (milliseconds; default a [select]-based wait) is injectable
+    so tests can record the schedule instead of waiting it out. *)
 
 val close : t -> unit

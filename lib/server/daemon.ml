@@ -1,8 +1,17 @@
-let listen_tcp ?(host = "127.0.0.1") ~port () =
+type config = {
+  backlog : int;
+  max_line_bytes : int;
+  read_timeout_s : float;
+}
+
+let default_config = { backlog = 16; max_line_bytes = 8192; read_timeout_s = 0. }
+
+let listen_tcp ?(host = "127.0.0.1") ?(backlog = default_config.backlog) ~port
+    () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen sock 16;
+  Unix.listen sock backlog;
   let bound =
     match Unix.getsockname sock with
     | Unix.ADDR_INET (_, p) -> p
@@ -10,24 +19,60 @@ let listen_tcp ?(host = "127.0.0.1") ~port () =
   in
   (sock, bound)
 
-let listen_unix ~path =
-  (if Sys.file_exists path then
-     try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 16;
-  sock
+(* Reclaiming the path is only safe when what sits there is a stale
+   socket; unlinking whatever file the operator mistyped (a snapshot, a
+   WAL segment, ...) would be data loss dressed up as convenience. *)
+let listen_unix ?(backlog = default_config.backlog) ~path () =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) | { Unix.st_kind = Unix.S_SOCK; _ }
+    -> (
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.bind sock (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.listen sock backlog;
+          Ok sock
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e)))
+  | { Unix.st_kind = _; _ } ->
+      Error
+        (Printf.sprintf
+           "refusing to unlink %s: it exists and is not a socket" path)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot stat %s: %s" path (Unix.error_message e))
 
 (* One session: greeting, then request/response lines until EOF, QUIT or
    SHUTDOWN. Engine exceptions (strict-mode solver errors, invalid
    arguments) answer as error objects — a bad query must not take the
-   daemon down. *)
-let session engine conn =
+   daemon down. Reads are bounded both in size (slowloris / garbage
+   defense: an over-long line answers a structured error and the
+   connection closes) and, when configured, in time (SO_RCVTIMEO on the
+   accepted socket). *)
+let session ?(config = default_config) engine conn =
   Protocol.Conn.output_line conn Protocol.greeting;
   let rec loop () =
-    match Protocol.Conn.input_line_opt conn with
-    | None -> `Closed
-    | Some line ->
+    match Protocol.Conn.input_line_bounded conn ~max:config.max_line_bytes with
+    | `Eof -> `Closed
+    | `Timeout ->
+        Numerics.Obs.count "server.session.timeout";
+        (try
+           Protocol.Conn.output_line conn
+             (Protocol.error ~kind:"timeout"
+                (Printf.sprintf "idle for more than %gs" config.read_timeout_s))
+         with Sys_error _ -> ());
+        `Closed
+    | `Too_long ->
+        Numerics.Obs.count "server.session.line_too_long";
+        (try
+           Protocol.Conn.output_line conn
+             (Protocol.error ~kind:"line_too_long"
+                (Printf.sprintf "request line exceeds %d bytes"
+                   config.max_line_bytes))
+         with Sys_error _ -> ());
+        `Closed
+    | `Line line ->
         let trimmed = String.trim line in
         if trimmed = "" || trimmed.[0] = '#' then loop ()
         else begin
@@ -50,15 +95,18 @@ let session engine conn =
   Protocol.Conn.close conn;
   outcome
 
-let serve engine sock =
+let serve ?(config = default_config) engine sock =
   let rec accept_loop () =
     match Unix.accept sock with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
     | fd, _ -> (
         Numerics.Obs.count "server.accept";
+        if config.read_timeout_s > 0. then
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_timeout_s
+           with Unix.Unix_error _ -> ());
         let outcome =
           Numerics.Obs.span ~cat:"server" "server.session" @@ fun () ->
-          session engine (Protocol.Conn.of_fd fd)
+          session ~config engine (Protocol.Conn.of_fd fd)
         in
         match outcome with `Closed -> accept_loop () | `Stop -> ())
   in
@@ -67,9 +115,9 @@ let serve engine sock =
 
 type t = { d_port : int; dom : unit Domain.t }
 
-let start engine =
-  let sock, port = listen_tcp ~port:0 () in
-  { d_port = port; dom = Domain.spawn (fun () -> serve engine sock) }
+let start ?(config = default_config) engine =
+  let sock, port = listen_tcp ~backlog:config.backlog ~port:0 () in
+  { d_port = port; dom = Domain.spawn (fun () -> serve ~config engine sock) }
 
 let port t = t.d_port
 let join t = Domain.join t.dom

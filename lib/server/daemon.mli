@@ -6,18 +6,38 @@
     parallelism lives below, in the sharded flush, not in the accept
     loop). A malformed request or a session-level exception answers with
     an error object and keeps the daemon alive; only [SHUTDOWN] (or
-    closing the listening socket) stops the loop. *)
+    closing the listening socket) stops the loop.
 
-val listen_tcp : ?host:string -> port:int -> unit -> Unix.file_descr * int
+    Sessions are hardened against abusive peers: request lines are read
+    through {!Protocol.Conn.input_line_bounded}, so an over-long line
+    (slowloris, binary garbage) answers a structured
+    [kind="line_too_long"] error and closes without unbounded buffering,
+    and an optional [SO_RCVTIMEO] read timeout answers
+    [kind="timeout"] and closes an idle connection. *)
+
+type config = {
+  backlog : int;  (** [Unix.listen] backlog (default 16) *)
+  max_line_bytes : int;
+      (** reject request lines longer than this (default 8192) *)
+  read_timeout_s : float;
+      (** per-session [SO_RCVTIMEO]; [0.] (default) = no timeout *)
+}
+
+val default_config : config
+
+val listen_tcp :
+  ?host:string -> ?backlog:int -> port:int -> unit -> Unix.file_descr * int
 (** Bind + listen on [host:port] (default host ["127.0.0.1"]); returns
     the listening socket and the bound port — pass [port:0] to let the
     kernel pick one (the in-process test harness does). *)
 
-val listen_unix : path:string -> Unix.file_descr
-(** Bind + listen on a Unix-domain socket path (unlinked first if a
-    stale socket file is in the way). *)
+val listen_unix :
+  ?backlog:int -> path:string -> unit -> (Unix.file_descr, string) result
+(** Bind + listen on a Unix-domain socket path. A stale {e socket} file
+    at the path is unlinked and reclaimed; any other kind of file is an
+    [Error] — the daemon must never destroy a mistyped data file. *)
 
-val serve : Engine.t -> Unix.file_descr -> unit
+val serve : ?config:config -> Engine.t -> Unix.file_descr -> unit
 (** Run the accept loop on the calling domain until a session issues
     [SHUTDOWN]. Closes the listening socket before returning.
     Instrumented with [server.accept] / [server.session] counters and a
@@ -28,7 +48,7 @@ val serve : Engine.t -> Unix.file_descr -> unit
 type t
 (** A daemon running on its own domain. *)
 
-val start : Engine.t -> t
+val start : ?config:config -> Engine.t -> t
 (** Bind [127.0.0.1:0], then run {!serve} on a fresh domain. The engine
     (and its store) must not be touched directly by other domains while
     the daemon runs — talk to it through a {!Client}. *)

@@ -1,0 +1,58 @@
+(** The single low-level writer for the durability plane.
+
+    Every byte that [Server.Wal] or [Server.Snapshot] puts on disk goes
+    through this module (enforced by [bench/lint.sh]): it computes the
+    CRCs, performs the writes and fsyncs, and consults the
+    {!Numerics.Faultify} I/O fault plane so torn writes, short writes
+    and failed fsyncs exercise every durable path the same way. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]); the check
+    value for ["123456789"] is [0xCBF43926l]. *)
+
+val crc32_update : int32 -> string -> int -> int -> int32
+(** [crc32_update crc s pos len] extends a running CRC over a substring
+    (streaming form; [crc32 s = crc32_update 0l s 0 (length s)]). *)
+
+(** {2 Append writer} *)
+
+type writer
+(** An append-only file handle that knows how many bytes are durably
+    framed, so an injected short write can restore a consistent tail. *)
+
+val openw : path:string -> (writer, string) result
+(** Open (creating if needed) for append; the writer's offset starts at
+    the current file size. *)
+
+val offset : writer -> int
+val path : writer -> string
+
+val append : site:string -> writer -> string -> (unit, string) result
+(** Append the string as one unit. Under an armed I/O fault plane this
+    site may tear (prefix written, {!Numerics.Faultify.Crash} raised) or
+    short-write (prefix written, then the tail is restored with
+    [ftruncate] and [Error] returned — the file stays consistent and the
+    record was never acknowledged). *)
+
+val fsync : site:string -> writer -> (unit, string) result
+(** Flush to stable storage. An injected fsync failure raises
+    {!Numerics.Faultify.Crash}: durability was not confirmed, so the
+    caller must treat the store as crashed rather than continue with an
+    unknown tail. *)
+
+val close : writer -> unit
+(** Idempotent. *)
+
+val truncate_file : path:string -> int -> unit
+(** Best-effort [ftruncate] to [len] bytes — recovery's way of
+    physically dropping a torn tail it has already decided to ignore.
+    Errors are swallowed: the tail is re-detected on the next recovery. *)
+
+(** {2 Whole files} *)
+
+val read_file : string -> (string, string) result
+
+val write_file_atomic : site:string -> path:string -> string -> (unit, string) result
+(** Write-to-tmp, fsync, rename-over-target. A crash mid-write leaves
+    the previous file untouched (only a [.tmp] sibling behind), which is
+    what lets recovery fall back to the last durable checkpoint. *)

@@ -2,10 +2,11 @@ module P = Protocol
 module Designer = Estcore.Designer
 module Distinct = Aggregates.Distinct
 
-type t = { t_store : Store.t }
+type t = { t_store : Store.t; t_wal : Wal.t option }
 
-let create s = { t_store = s }
+let create ?wal s = { t_store = s; t_wal = wal }
 let store t = t.t_store
+let wal t = t.t_wal
 
 type action = Continue | Close | Stop
 
@@ -285,24 +286,60 @@ let run_stats st =
       ("pending", P.jint (Store.pending st));
       ("degradations", P.jint (Numerics.Robust.degradation_count ())) ]
 
+(* Mutating requests follow the write-ahead discipline: validate (no
+   side effect), log to the WAL, then apply. An op that fails to log is
+   answered as an error and never applied — the log is always a superset
+   of acknowledged state, so replay reproduces it exactly. *)
+let log_op t op =
+  match t.t_wal with None -> Ok () | Some wal -> Wal.append wal op
+
+(* Back-off hint: proportional to how deep the shard backlog is — a
+   drain pass clears thousands of records per millisecond, so the
+   constant is deliberately small. *)
+let overloaded_response depth limit =
+  P.error ~kind:"overloaded"
+    ~retry_after_ms:(1 + (depth / 1024))
+    (Printf.sprintf "overloaded: %d records pending on shard (limit %d)" depth
+       limit)
+
 let handle_request t req =
   let st = t.t_store in
   match req with
   | P.Hello _ -> (P.ok_fields [ ("protocol", P.jint P.version) ], Continue)
   | P.Create { name; tau; k; p } -> (
-      match Store.create_instance st ~name ?tau ?k ?p () with
-      | Ok inst ->
-          let cfg = Store.instance_config inst in
-          ( P.ok_fields
-              [ ("name", P.jstr name); ("id", P.jint (Store.id inst));
-                ("tau", P.jfloat cfg.Store.tau); ("k", P.jint cfg.Store.k);
-                ("p", P.jfloat cfg.Store.p) ],
-            Continue )
-      | Error m -> (P.error m, Continue))
+      (* Pre-resolve defaults and pre-check the name so the logged op is
+         self-contained (replay is independent of server defaults) and
+         logging cannot be followed by a failing apply. *)
+      let cfg = Store.config st in
+      let tau = Option.value tau ~default:cfg.Store.default_tau in
+      let k = Option.value k ~default:cfg.Store.default_k in
+      let p = Option.value p ~default:cfg.Store.default_p in
+      if Store.find st name <> None then
+        (P.error (Printf.sprintf "instance %S already exists" name), Continue)
+      else
+        match log_op t (Wal.Create { name; tau; k; p }) with
+        | Error m -> (P.error ~kind:"wal" m, Continue)
+        | Ok () -> (
+            match Store.create_instance st ~name ~tau ~k ~p () with
+            | Ok inst ->
+                ( P.ok_fields
+                    [ ("name", P.jstr name); ("id", P.jint (Store.id inst));
+                      ("tau", P.jfloat tau); ("k", P.jint k);
+                      ("p", P.jfloat p) ],
+                  Continue )
+            | Error m -> (P.error m, Continue)))
   | P.Ingest { name; key; weight } -> (
-      match Store.ingest st ~name ~key ~weight with
-      | Ok () -> (P.ok_fields [], Continue)
-      | Error m -> (P.error m, Continue))
+      match Store.check_ingest st ~name ~weight with
+      | Error (Store.Overloaded { depth; limit }) ->
+          (overloaded_response depth limit, Continue)
+      | Error (Store.Rejected m) -> (P.error m, Continue)
+      | Ok () -> (
+          match log_op t (Wal.Ingest { name; key; weight }) with
+          | Error m -> (P.error ~kind:"wal" m, Continue)
+          | Ok () -> (
+              match Store.ingest st ~name ~key ~weight with
+              | Ok () -> (P.ok_fields [], Continue)
+              | Error e -> (P.error (Store.ingest_error_to_string e), Continue))))
   | P.Query { kind; names } -> (
       match query t kind names with
       | Ok response -> (response, Continue)
@@ -310,14 +347,26 @@ let handle_request t req =
   | P.Snapshot path -> (
       Store.flush st;
       match Snapshot.write st ~path with
-      | Ok n ->
-          ( P.ok_fields [ ("path", P.jstr path); ("instances", P.jint n) ],
-            Continue )
-      | Error m -> (P.error m, Continue))
+      | Error m -> (P.error m, Continue)
+      | Ok n -> (
+          let base = [ ("path", P.jstr path); ("instances", P.jint n) ] in
+          (* With a WAL attached, a manual SNAPSHOT doubles as a
+             checkpoint: the log rolls over and replay-on-restart
+             shortens to the delta since this point. *)
+          match t.t_wal with
+          | None -> (P.ok_fields base, Continue)
+          | Some wal -> (
+              match Wal.checkpoint wal st with
+              | Ok epoch ->
+                  (P.ok_fields (base @ [ ("epoch", P.jint epoch) ]), Continue)
+              | Error m -> (P.error ~kind:"wal" m, Continue))))
   | P.Stats -> (run_stats st, Continue)
-  | P.Flush ->
-      Store.flush st;
-      (P.ok_fields [ ("pending", P.jint (Store.pending st)) ], Continue)
+  | P.Flush -> (
+      match log_op t Wal.Flush with
+      | Error m -> (P.error ~kind:"wal" m, Continue)
+      | Ok () ->
+          Store.flush st;
+          (P.ok_fields [ ("pending", P.jint (Store.pending st)) ], Continue))
   | P.Quit -> (P.ok_fields [ ("bye", P.jstr "quit") ], Close)
   | P.Shutdown -> (P.ok_fields [ ("bye", P.jstr "shutdown") ], Stop)
 

@@ -61,8 +61,17 @@ val or_flat_tables : p1:float -> p2:float -> ((bool array * bool array) Estcore.
 (** Derive (memoized) the served OR^(L) table for a probability pair and
     its flattened copy — the exact pair [QUERY or] uses; for tests. *)
 
-val create : Store.t -> t
+val create : ?wal:Wal.t -> Store.t -> t
+(** With [?wal], mutating requests (CREATE / INGEST / FLUSH) follow the
+    write-ahead discipline — validate, log, apply — so the log is always
+    a superset of acknowledged state; SNAPSHOT additionally rolls the
+    log over as a {!Wal.checkpoint} (the response gains an [epoch]
+    field). An overloaded store answers a structured error with
+    [kind="overloaded"] and a [retry_after_ms] hint instead of queueing
+    unboundedly. *)
+
 val store : t -> Store.t
+val wal : t -> Wal.t option
 
 type action = Continue | Close | Stop
 

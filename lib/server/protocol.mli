@@ -68,8 +68,12 @@ val ok_fields : (string * string) list -> string
 (** [ok_fields fields] is [{"ok":true,<fields>}]; field values must
     already be valid JSON fragments (use {!jstr}/{!jfloat}/{!jint}). *)
 
-val error : string -> string
-(** [{"ok":false,"error":<msg>}]. *)
+val error : ?kind:string -> ?retry_after_ms:int -> string -> string
+(** [{"ok":false,"error":<msg>}], optionally extended with a
+    machine-readable ["kind"] (e.g. ["overloaded"], ["timeout"],
+    ["line_too_long"]) and a ["retry_after_ms"] back-off hint — how
+    clients distinguish back-off-and-retry from fix-your-request
+    without parsing prose. *)
 
 val jstr : string -> string
 (** JSON string literal with escaping. *)
@@ -101,11 +105,26 @@ module Conn : sig
   type t
 
   val of_fd : Unix.file_descr -> t
+
   val input_line_opt : t -> string option
-  (** Next line ([None] at EOF). Strips a trailing CR. *)
+  (** Next line ([None] at EOF, or on a read timeout — the caller cannot
+      use a half-received line either way). Strips a trailing CR. *)
+
+  val input_line_bounded :
+    t -> max:int -> [ `Line of string | `Too_long | `Timeout | `Eof ]
+  (** Like {!input_line_opt} but refuses lines longer than [max] bytes
+      {e while reading} — a slowloris peer cannot make the server buffer
+      unboundedly. [`Too_long] leaves the rest of the line unread (the
+      session must answer a structured error and close). [`Timeout] is a
+      blocking read that hit the socket's [SO_RCVTIMEO]. *)
 
   val output_line : t -> string -> unit
   (** Write the line plus ['\n'] and flush. *)
 
   val close : t -> unit
+
+  (** Both directions consult the {!Numerics.Faultify} I/O plane (sites
+      ["conn.read"], ["conn.write"]): an injected [Io_drop] closes the
+      connection mid-operation, an injected [Io_delay] stalls a read —
+      the client retry and server timeout tests drive on these. *)
 end

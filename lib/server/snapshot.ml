@@ -124,6 +124,7 @@ let of_string_r ?pool ?shards s =
           default_k;
           default_p;
           flush_every;
+          max_inflight = Store.default_config.Store.max_inflight;
         }
       in
       let st = Store.create ?pool cfg in
@@ -172,28 +173,29 @@ let of_string_r ?pool ?shards s =
                     Hashtbl.add seen key n;
                     match Store.ingest st ~name ~key ~weight with
                     | Ok () -> entries name seen lines
-                    | Error m -> err n m))
+                    | Error (Store.Overloaded _) -> (
+                        (* Replay outruns the drain; shedding here would
+                           drop snapshotted records. Flush and retry. *)
+                        Store.flush st;
+                        match Store.ingest st ~name ~key ~weight with
+                        | Ok () -> entries name seen lines
+                        | Error e -> err n (Store.ingest_error_to_string e))
+                    | Error e -> err n (Store.ingest_error_to_string e)))
             | _ -> err n "expected two fields '<int-key> <hex-float>' or 'end'")
       in
       instances 0 rest
 
+(* All snapshot bytes go through Durable: the write is atomic (tmp +
+   fsync + rename — a crash mid-write never damages the previous file)
+   and the I/O fault plane applies, so the crash-recovery suite can tear
+   snapshot writes too. *)
 let write st ~path =
   let s = to_string st in
-  match
-    let oc = open_out path in
-    output_string oc s;
-    close_out oc
-  with
-  | () -> Ok (List.length (Store.instances st))
-  | exception Sys_error m -> Error m
+  match Durable.write_file_atomic ~site:"snapshot.write" ~path s with
+  | Ok () -> Ok (List.length (Store.instances st))
+  | Error m -> Error m
 
 let load ?pool ?shards path =
-  match
-    let ic = open_in path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    s
-  with
-  | s -> of_string_r ?pool ?shards s
-  | exception Sys_error m -> err 0 m
+  match Durable.read_file path with
+  | Ok s -> of_string_r ?pool ?shards s
+  | Error m -> err 0 m

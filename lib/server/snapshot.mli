@@ -43,8 +43,10 @@ val of_string_r :
     garbage are all structured errors. *)
 
 val write : Store.t -> path:string -> (int, string) result
-(** Write to a file; returns the number of instances persisted. File
-    system errors come back as [Error]. *)
+(** Write to a file {e atomically} (via {!Durable.write_file_atomic}:
+    tmp + fsync + rename, so a crash mid-write never damages a previous
+    snapshot at the same path); returns the number of instances
+    persisted. File system errors come back as [Error]. *)
 
 val load :
   ?pool:Numerics.Pool.t ->

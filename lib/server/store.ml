@@ -8,6 +8,7 @@ type config = {
   default_k : int;
   default_p : float;
   flush_every : int;
+  max_inflight : int;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     default_k = 64;
     default_p = 0.05;
     flush_every = 8192;
+    max_inflight = 65536;
   }
 
 type instance_config = { tau : float; k : int; p : float }
@@ -207,18 +209,48 @@ let flush t =
   ignore
     (Numerics.Pool.parallel_map ~grain:1 (pool t) (drain t) t.t_shards)
 
-let ingest t ~name ~key ~weight =
+type ingest_error =
+  | Overloaded of { depth : int; limit : int }
+  | Rejected of string
+
+let ingest_error_to_string = function
+  | Overloaded { depth; limit } ->
+      Printf.sprintf "overloaded: %d records pending on shard (limit %d)" depth
+        limit
+  | Rejected m -> m
+
+(* Validation + admission, with no side effect: the engine runs this
+   before logging to the WAL (write-ahead discipline — a record must
+   never be logged and then shed, or shed and then logged). Under the
+   single-producer contract a passing check cannot turn into a shed by
+   the time the matching [ingest] runs: only this thread grows the
+   mailbox. *)
+let check_ingest_i t ~name ~weight =
   if not (Float.is_finite weight) || weight <= 0. then
-    Error (Printf.sprintf "weight %g must be finite and > 0" weight)
+    Error (Rejected (Printf.sprintf "weight %g must be finite and > 0" weight))
   else
     match Hashtbl.find_opt t.by_name name with
-    | None -> Error (Printf.sprintf "unknown instance %S" name)
+    | None -> Error (Rejected (Printf.sprintf "unknown instance %S" name))
     | Some inst ->
-        Numerics.Obs.count "server.ingest";
-        push (shard_of t inst) { r_inst = inst; r_key = key; r_weight = weight };
-        t.pending_since_flush <- t.pending_since_flush + 1;
-        if t.pending_since_flush >= t.cfg.flush_every then flush t;
-        Ok ()
+        let depth = Atomic.get (shard_of t inst).depth in
+        if depth >= t.cfg.max_inflight then begin
+          Numerics.Obs.count "server.ingest.shed";
+          Error (Overloaded { depth; limit = t.cfg.max_inflight })
+        end
+        else Ok inst
+
+let check_ingest t ~name ~weight =
+  Result.map (fun (_ : instance) -> ()) (check_ingest_i t ~name ~weight)
+
+let ingest t ~name ~key ~weight =
+  match check_ingest_i t ~name ~weight with
+  | Error e -> Error e
+  | Ok inst ->
+      Numerics.Obs.count "server.ingest";
+      push (shard_of t inst) { r_inst = inst; r_key = key; r_weight = weight };
+      t.pending_since_flush <- t.pending_since_flush + 1;
+      if t.pending_since_flush >= t.cfg.flush_every then flush t;
+      Ok ()
 
 let pending t =
   Array.fold_left (fun acc s -> acc + Atomic.get s.depth) 0 t.t_shards

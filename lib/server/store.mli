@@ -46,11 +46,14 @@ type config = {
   default_k : int;  (** bottom-k / VarOpt size default *)
   default_p : float;  (** binary-sample probability default *)
   flush_every : int;  (** auto-flush when this many records are pending *)
+  max_inflight : int;
+      (** admission limit: shed (structured {!Overloaded} error) when a
+          record's target shard already holds this many pending records *)
 }
 
 val default_config : config
 (** [shards = 1], [master = 42], [Independent], [tau = 100.], [k = 64],
-    [p = 0.05], [flush_every = 8192]. *)
+    [p = 0.05], [flush_every = 8192], [max_inflight = 65536]. *)
 
 type instance_config = { tau : float; k : int; p : float }
 
@@ -81,11 +84,27 @@ val find : t -> string -> instance option
 val instances : t -> instance list
 (** All instances in creation (= id) order. *)
 
-val ingest : t -> name:string -> key:int -> weight:float -> (unit, string) result
+type ingest_error =
+  | Overloaded of { depth : int; limit : int }
+      (** the target shard's mailbox is at [max_inflight]; the record was
+          shed (not queued) and the client should back off and retry *)
+  | Rejected of string  (** invalid record: bad weight or unknown instance *)
+
+val ingest_error_to_string : ingest_error -> string
+
+val check_ingest : t -> name:string -> weight:float -> (unit, ingest_error) result
+(** Validation + admission with {e no} side effect — the write-ahead
+    gate: the engine checks first, then logs to the WAL, then calls
+    {!ingest}, so a record is never logged-then-shed or shed-then-logged.
+    Under the single-producer contract a passing check cannot turn into
+    a shed by the time the matching {!ingest} runs. *)
+
+val ingest : t -> name:string -> key:int -> weight:float -> (unit, ingest_error) result
 (** Push one record onto the owning shard's mailbox. Lock-free; the
     record is applied at the next {!flush} (or automatically once
     [flush_every] records are pending). [weight] must be finite and
-    positive. Single-producer: call from one session thread at a time. *)
+    positive; a full shard sheds with {!Overloaded}. Single-producer:
+    call from one session thread at a time. *)
 
 val flush : t -> unit
 (** Drain every shard mailbox across the pool and apply all pending

@@ -105,7 +105,7 @@ let cfg_one =
 let ingest_exn st ~name ~key ~weight =
   match Store.ingest st ~name ~key ~weight with
   | Ok () -> ()
-  | Error m -> Alcotest.failf "ingest: %s" m
+  | Error e -> Alcotest.failf "ingest: %s" (Store.ingest_error_to_string e)
 
 let create_exn st ~name ?tau ?k ?p () =
   match Store.create_instance st ~name ?tau ?k ?p () with

@@ -84,6 +84,8 @@ validate() {
     echo "FAIL  $1: no obs disabled-overhead kernel pair" ; ok=0 ; }
   grep -q '"name": "server.ingest+query' "$1" || {
     echo "FAIL  $1: no server.ingest+query kernel pair" ; ok=0 ; }
+  grep -q '"name": "server.saturation' "$1" || {
+    echo "FAIL  $1: no server.saturation kernel pair" ; ok=0 ; }
   grep -q '(flat)' "$1" || {
     echo "FAIL  $1: no flat-evaluator micro-benchmarks" ; ok=0 ; }
   grep -q 'derive OR^(L) r=2 (cached)' "$1" || {
@@ -167,7 +169,13 @@ done
 #     parallel speedup > 1 — enforced only when the recording host has
 #     more than one core: a pool of N domains on a single core cannot
 #     beat its own sequential run, and pretending otherwise would train
-#     everyone to ignore a red gate. The skip is loud, not silent.
+#     everyone to ignore a red gate. The skip is loud, not silent;
+# (d) batched ingest (INGESTN) must be >= 5x line-at-a-time ingest in
+#     the BASELINE saturation kernel — the batched framing has to
+#     actually amortize the per-request round trip, WAL frame and
+#     mailbox CAS, or it is protocol surface for nothing. (This one
+#     holds even on one core: both modes run on the same host and the
+#     win comes from fewer syscalls and frames, not from parallelism.)
 echo "== hot-path gate =="
 
 getns() { # FILE NAME -> ns/run, empty when absent
@@ -212,6 +220,28 @@ check_flat "kernels/OR^(L) r=2 per-key (reference)" \
            "kernels/OR^(L) r=2 per-key (flat table)"
 if [ -z "$flat_ok" ]; then
   echo "no flat evaluator reached 5x over its baseline reference" >>"$fail"
+fi
+
+sat_line=$(awk '/"name": "server\.saturation/ { print; exit }' "$baseline")
+sat=$(printf '%s\n' "$sat_line" \
+  | sed -n 's/.*"speedup": *\([0-9.][0-9.]*\).*/\1/p')
+sat_work=$(printf '%s\n' "$sat_line" \
+  | sed -n 's/.*"work": *\([0-9][0-9]*\).*/\1/p')
+if [ -z "$sat" ]; then
+  echo "  server.saturation kernel MISSING in baseline"
+  echo "missing saturation kernel in baseline" >>"$fail"
+elif [ "${sat_work:-0}" -lt 10000 ]; then
+  # Quick-mode (--check) recordings carry a workload too small to
+  # amortize anything; the floor only means something at full size.
+  echo "  SKIPPED: batched>=5x line gate (baseline saturation work=${sat_work:-?};"
+  echo "           quick-mode recording, floor enforced on full runs only)"
+else
+  awk -v s="$sat" -v fail="$fail" 'BEGIN {
+    bad = (s < 5.0)
+    printf "  %-48s x%.3f  (floor x5.000)  %s\n", \
+      "batched vs line ingest (baseline)", s, bad ? "BELOW FLOOR" : "ok"
+    if (bad) print "batched ingest under 5x line ingest in baseline" >>fail
+  }'
 fi
 
 host_cores=$(sed -n 's/.*"host_cores": *\([0-9][0-9]*\).*/\1/p' "$current" | head -n 1)

@@ -62,6 +62,19 @@ if [ -n "$block_hits" ]; then
     status=1
 fi
 
+# Event-loop discipline: the daemon is a single-domain select loop over
+# nonblocking sockets. Channel line readers would block the whole loop
+# on one slow client, and threads would reintroduce the
+# one-session-per-thread model the loop replaced. All socket reads go
+# through the incremental per-connection buffer.
+loop_hits=$(grep -nE 'input_line|really_input|Thread\.' \
+    "$root/lib/server/daemon.ml" 2>/dev/null)
+if [ -n "$loop_hits" ]; then
+    echo "lint: blocking line readers and threads are banned in the daemon event loop:" >&2
+    echo "$loop_hits" >&2
+    status=1
+fi
+
 # Durability discipline: every byte that reaches a WAL segment or a
 # snapshot file goes through Durable (the CRC'd, fault-aware,
 # fsync-gated writer). Raw writes in wal.ml/snapshot.ml would bypass

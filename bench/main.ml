@@ -375,6 +375,123 @@ let server_kernel ~copies ~traffic pool =
     k_par = t_srv_par;
   }
 
+(* Saturation kernel: C concurrent client domains hammer a live daemon
+   over real TCP, line-at-a-time INGEST vs INGESTN-batched — the serving
+   plane's ops/s under concurrency, not the estimators'. Each client
+   owns its own instance pair (per-instance summaries depend on arrival
+   order, so cross-client interleaving must not touch shared instances),
+   instances are created from one setup connection before the clock
+   starts (ids, hence seed substreams, are creation-order), and both
+   runs feed the identical per-instance record sequences — so the final
+   query answers must be bit-identical, asserted on every bench run.
+   Sequential = one request per record; parallel = INGESTN batches. *)
+let saturation_kernel ~clients ~records_per_client ~batch () =
+  let streams =
+    Array.init clients (fun c ->
+        let rng = Numerics.Prng.create ~seed:(1000 + c) () in
+        Array.init records_per_client (fun i ->
+            ( ((c * records_per_client) + i) mod 4096,
+              1. +. (Numerics.Prng.float rng *. 9.) )))
+  in
+  let get = function Ok v -> v | Error m -> invalid_arg m in
+  let ok_exn resp =
+    if not (Server.Protocol.json_ok resp) then invalid_arg resp
+  in
+  let a_name c = Printf.sprintf "a%d" c and b_name c = Printf.sprintf "b%d" c in
+  let b_side recs =
+    Array.of_list
+      (List.filteri (fun i _ -> i mod 4 = 0) (Array.to_list recs))
+  in
+  (* Request strings are pre-built outside the wall clock for BOTH
+     modes — a bulk loader streams prepared frames, and the kernel
+     measures the serving plane, not client-side Printf. *)
+  let line_requests ~name recs =
+    Array.map
+      (fun (key, weight) -> Printf.sprintf "INGEST %s %d %h" name key weight)
+      recs
+  in
+  let batch_requests ~name recs =
+    let n = Array.length recs in
+    let rec go start acc =
+      if start >= n then Array.of_list (List.rev acc)
+      else
+        let len = min batch (n - start) in
+        go (start + len)
+          (Server.Protocol.batch_payload ~name (Array.sub recs start len)
+          :: acc)
+    in
+    go 0 []
+  in
+  let requests ~batched c =
+    let build = if batched then batch_requests else line_requests in
+    Array.append
+      (build ~name:(a_name c) streams.(c))
+      (build ~name:(b_name c) (b_side streams.(c)))
+  in
+  let run ~batched =
+    let st =
+      Server.Store.create { Server.Store.default_config with master = 31 }
+    in
+    let daemon = Server.Daemon.start (Server.Engine.create st) in
+    let port = Server.Daemon.port daemon in
+    let setup = get (Server.Client.connect_tcp ~port ()) in
+    for c = 0 to clients - 1 do
+      ok_exn
+        (get
+           (Server.Client.request setup
+              (Printf.sprintf "CREATE %s tau=400 k=128 p=0.1" (a_name c))));
+      ok_exn
+        (get
+           (Server.Client.request setup
+              (Printf.sprintf "CREATE %s tau=400 k=128 p=0.1" (b_name c))))
+    done;
+    let prepared = Array.init clients (fun c -> requests ~batched c) in
+    let (), elapsed =
+      wall (fun () ->
+          Array.iter Domain.join
+            (Array.init clients (fun c ->
+                 Domain.spawn (fun () ->
+                     let conn = get (Server.Client.connect_tcp ~port ()) in
+                     Array.iter
+                       (fun req ->
+                         ok_exn (get (Server.Client.request conn req)))
+                       prepared.(c);
+                     ok_exn (get (Server.Client.request conn "QUIT"));
+                     Server.Client.close conn))))
+    in
+    let answers =
+      List.concat_map
+        (fun c ->
+          List.map
+            (fun kind ->
+              get
+                (Server.Client.request setup
+                   (Printf.sprintf "QUERY %s %s %s" kind (a_name c) (b_name c))))
+            [ "max"; "or"; "distinct"; "dominance" ])
+        (List.init clients Fun.id)
+    in
+    ok_exn (get (Server.Client.request setup "SHUTDOWN"));
+    Server.Client.close setup;
+    Server.Daemon.join daemon;
+    Numerics.Pool.shutdown (Server.Store.pool st);
+    (answers, elapsed)
+  in
+  Numerics.Memo.clear_all ();
+  let line_answers, t_line = run ~batched:false in
+  Numerics.Memo.clear_all ();
+  let batch_answers, t_batch = run ~batched:true in
+  (* The whole point of batching is amortization, not approximation. *)
+  assert (line_answers = batch_answers);
+  let total =
+    clients * (records_per_client + Array.length (b_side streams.(0)))
+  in
+  {
+    k_name = "server.saturation (INGESTN batch vs line)";
+    k_work = total;
+    k_seq = t_line;
+    k_par = t_batch;
+  }
+
 (* Estimates-per-second kernel: a columnar pool of pre-drawn r=8
    oblivious outcomes, evaluated [evals] times through the flat uniform
    max^(L). Both variants walk the SAME [Pool.chunks] layout and the
@@ -423,7 +540,8 @@ let estimates_kernel ~evals pool =
   in
   (seq, par)
 
-let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
+let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
+    ~sat_clients ~sat_records ~sat_batch pool =
   let probs8 = Array.make 8 0.2 in
   let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
   let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r:8 ~p:0.2 in
@@ -467,6 +585,13 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
      (flush is a pool task even at one shard), so by now the domains
      exist either way and seq vs par stays internally fair. *)
   let server = server_kernel ~copies:server_copies ~traffic:server_traffic pool in
+  (* The saturation kernel spawns its own client domains and daemons and
+     runs dead last: the shared pool is idle by then, and its own
+     stores' lazy pools are shut down before it returns. *)
+  let saturation =
+    saturation_kernel ~clients:sat_clients ~records_per_client:sat_records
+      ~batch:sat_batch ()
+  in
   [
     {
       k_name = "monte_carlo max^(L) r=8";
@@ -487,6 +612,7 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool =
       k_par = t_est_par;
     };
     server;
+    saturation;
   ]
 
 let json_escape s =
@@ -599,12 +725,21 @@ let run_perf ?json ?(check = false) ~pool ppf =
   let server_traffic =
     if check then check_server_traffic else default_server_traffic
   in
+  (* Full-mode sizing: the recorded batched/line ratio is gated, so it
+     has to be stable across runs on a 1-core host. Few client domains
+     keep the line mode request/response-dominated (more domains let
+     line traffic pipeline across connections and add scheduler noise);
+     a deep per-client stream drowns domain-spawn and GC jitter. *)
+  let sat_clients = if check then 4 else 2 in
+  let sat_records = if check then 240 else 10000 in
+  let sat_batch = if check then 64 else 500 in
   (* Snapshot BEFORE the wall-clock kernels: those purge every cache
      (entries and counters) between runs, so this is the last moment the
      Bechamel section's hit/miss history is still visible. *)
   let caches = Numerics.Memo.all_stats () in
   let kernels =
-    kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic pool
+    kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
+      ~sat_clients ~sat_records ~sat_batch pool
   in
   List.iter
     (fun k ->

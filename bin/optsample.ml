@@ -537,7 +537,17 @@ let outcome_cmd =
 (* ---------- serve / client: the streaming summary service ---------- *)
 
 let port_arg =
-  Arg.(value & opt int 7411 & info [ "port" ] ~doc:"TCP port.")
+  (* A bare int would let out-of-range ports truncate inside htons and
+     bind somewhere unrelated. *)
+  let port_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some p when p >= 1 && p <= 65535 -> Ok p
+      | _ -> Error (`Msg (Printf.sprintf "port %s not in 1..65535" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt port_conv 7411 & info [ "port" ] ~doc:"TCP port (1-65535).")
 
 let host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind/connect address.")
@@ -629,9 +639,19 @@ let serve_cmd =
             "Reject request lines longer than this (structured error, \
              connection closed).")
   in
+  let max_conns =
+    Arg.(
+      value
+      & opt int Server.Daemon.default_config.Server.Daemon.max_conns
+      & info [ "max-conns" ]
+          ~doc:
+            "Maximum simultaneous connections in the event loop (select \
+             is FD_SETSIZE-bound, so at most ~960); excess connections \
+             wait in the listen backlog.")
+  in
   let run host port socket shards master shared tau k p flush_every snapshot
-      wal fsync max_inflight timeout_ms backlog max_line_bytes jobs strict
-      trace metrics =
+      wal fsync max_inflight timeout_ms backlog max_line_bytes max_conns jobs
+      strict trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     with_strict strict @@ fun () ->
     let pool = pool_of_jobs jobs in
@@ -706,9 +726,11 @@ let serve_cmd =
     let engine = Server.Engine.create ?wal:wal_handle store in
     let dcfg =
       {
+        Server.Daemon.default_config with
         Server.Daemon.backlog;
         max_line_bytes;
         read_timeout_s = float_of_int timeout_ms /. 1000.;
+        max_conns;
       }
     in
     let sock =
@@ -738,8 +760,8 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg $ socket_arg $ shards $ master $ shared
       $ tau $ k $ p $ flush_every $ snapshot $ wal $ fsync $ max_inflight
-      $ timeout_ms $ backlog $ max_line_bytes $ jobs_arg $ strict_arg
-      $ trace_arg $ metrics_arg)
+      $ timeout_ms $ backlog $ max_line_bytes $ max_conns $ jobs_arg
+      $ strict_arg $ trace_arg $ metrics_arg)
 
 let client_cmd =
   let requests =
@@ -764,7 +786,17 @@ let client_cmd =
       value & opt int 10
       & info [ "retry-base-ms" ] ~doc:"Base backoff delay in milliseconds.")
   in
-  let run host port socket retries retry_base_ms requests =
+  let batch =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Coalesce consecutive INGEST requests for one instance into \
+             INGESTN batches of up to $(docv) records (one response per \
+             batch). Other requests flush the pending batch first. 0 = \
+             send every request as-is.")
+  in
+  let run host port socket retries retry_base_ms batch requests =
     let conn =
       match socket with
       | Some path -> Server.Client.connect_unix ~path
@@ -782,14 +814,50 @@ let client_cmd =
         Format.eprintf "cannot connect: %s@." m;
         exit 1
     | Ok c ->
-        let send line =
-          match Server.Client.request_retry ~retry c line with
+        let print_response = function
           | Ok response ->
               Format.fprintf ppf "%s@." response;
               Server.Protocol.json_ok response
           | Error m ->
               Format.eprintf "connection error: %s@." m;
               exit 1
+        in
+        let send_raw line =
+          print_response (Server.Client.request_retry ~retry c line)
+        in
+        (* --batch coalescer: consecutive INGESTs into one instance pile
+           up until the batch is full or a different request (or a
+           different instance) flushes them as one INGESTN. *)
+        let pending_name = ref "" in
+        let pending = ref [] in
+        let npending = ref 0 in
+        let flush_batch () =
+          if !npending = 0 then true
+          else begin
+            let name = !pending_name in
+            let records = Array.of_list (List.rev !pending) in
+            pending := [];
+            npending := 0;
+            print_response (Server.Client.ingest_many ~retry c ~name records)
+          end
+        in
+        let send line =
+          if batch <= 0 then send_raw line
+          else
+            match Server.Protocol.parse line with
+            | Ok (Server.Protocol.Ingest { name; key; weight }) ->
+                let switched =
+                  if !npending > 0 && !pending_name <> name then flush_batch ()
+                  else true
+                in
+                pending_name := name;
+                pending := (key, weight) :: !pending;
+                incr npending;
+                let full = if !npending >= batch then flush_batch () else true in
+                switched && full
+            | _ -> (
+                match flush_batch () with
+                | flushed -> send_raw line && flushed)
         in
         let ok =
           if requests <> [] then
@@ -805,6 +873,7 @@ let client_cmd =
             !acc
           end
         in
+        let ok = flush_batch () && ok in
         Server.Client.close c;
         if not ok then exit 1
   in
@@ -813,7 +882,7 @@ let client_cmd =
        ~doc:"Send requests to a running optsample daemon and print responses")
     Term.(
       const run $ host_arg $ port_arg $ socket_arg $ retries $ retry_base_ms
-      $ requests)
+      $ batch $ requests)
 
 (* ---------- exists ---------- *)
 

@@ -142,6 +142,36 @@ let request_retry ?(retry = default_retry) ?(sleep = default_sleep) t line =
   in
   go 0
 
+(* Batched ingest: the whole batch travels as one multi-line payload
+   through [request_retry] — [Protocol.Conn.output_line] writes the
+   payload verbatim plus one newline, and the server answers exactly one
+   response per batch. Retry semantics therefore match the single-op
+   path for free: a shed (kind="overloaded") or dropped batch is resent
+   {e whole} on a fresh payload write, and the server's all-or-nothing
+   admission guarantees it was never half-applied. *)
+let ingest_many ?retry ?sleep t ~name records =
+  let n = Array.length records in
+  if n = 0 then Ok (Protocol.ok_fields [ ("ingested", Protocol.jint 0) ])
+  else begin
+    let chunk = Protocol.max_batch in
+    let rec go start acc =
+      if start >= n then
+        Ok (Protocol.ok_fields [ ("ingested", Protocol.jint acc) ])
+      else
+        let len = min chunk (n - start) in
+        let payload =
+          Protocol.batch_payload ~name (Array.sub records start len)
+        in
+        match request_retry ?retry ?sleep t payload with
+        | Error _ as e -> e
+        | Ok response when not (Protocol.json_ok response) -> Ok response
+        | Ok response ->
+            if start + len >= n && start = 0 then Ok response
+            else go (start + len) (acc + len)
+    in
+    go 0 0
+  end
+
 let close t =
   match t.conn with
   | Some conn ->

@@ -46,4 +46,21 @@ val request_retry :
     [sleep] (milliseconds; default a [select]-based wait) is injectable
     so tests can record the schedule instead of waiting it out. *)
 
+val ingest_many :
+  ?retry:retry ->
+  ?sleep:(int -> unit) ->
+  t ->
+  name:string ->
+  (int * float) array ->
+  (string, string) result
+(** Batched ingest: the records are sent as [INGESTN] payloads
+    ({!Protocol.batch_payload}, chunks of at most {!Protocol.max_batch})
+    with {!request_retry} semantics per chunk — a shed or dropped batch
+    is retried {e whole} (the server's all-or-nothing admission
+    guarantees it was never half-applied). A batch that fits one chunk
+    returns the server's response verbatim; larger inputs return a
+    synthesized [{"ok":true,"ingested":<total>}] on success, or the
+    first failing chunk's response/error (records after it unsent). An
+    empty array sends nothing and answers [ingested = 0]. *)
+
 val close : t -> unit

@@ -1,26 +1,46 @@
-(** The serving loop: a minimal TCP / Unix-socket daemon over
-    {!Protocol} + {!Engine}, stdlib [Unix] only.
+(** The serving loop: a readiness-driven multi-client TCP / Unix-socket
+    daemon over {!Protocol} + {!Engine}, stdlib [Unix] only.
 
-    Sessions are handled {e sequentially} — one connection at a time —
-    which matches the store's single-producer ingest contract (the
-    parallelism lives below, in the sharded flush, not in the accept
-    loop). A malformed request or a session-level exception answers with
-    an error object and keeps the daemon alive; only [SHUTDOWN] (or
-    closing the listening socket) stops the loop.
+    All sockets are nonblocking and multiplexed through one
+    [Unix.select] on a single domain — up to [max_conns] connections
+    stay open at once, while request {e execution} remains sequential,
+    which is exactly the store's single-producer ingest contract (the
+    parallelism lives below, in the sharded flush, not in the serving
+    loop). Each connection is a state machine: an incremental read
+    buffer carrying the byte-bounded line discipline, a buffered write
+    queue drained as the socket accepts bytes, and an optional in-flight
+    [INGESTN] batch collecting body lines.
 
-    Sessions are hardened against abusive peers: request lines are read
-    through {!Protocol.Conn.input_line_bounded}, so an over-long line
-    (slowloris, binary garbage) answers a structured
-    [kind="line_too_long"] error and closes without unbounded buffering,
-    and an optional [SO_RCVTIMEO] read timeout answers
-    [kind="timeout"] and closes an idle connection. *)
+    Hardening, preserved from the sequential loop and extended:
+
+    - an over-long request line (slowloris, binary garbage) answers a
+      structured [kind="line_too_long"] error and closes, without
+      unbounded buffering;
+    - a connection idle past [read_timeout_s] answers [kind="timeout"]
+      and closes (deadlines tracked in the loop; no [SO_RCVTIMEO]
+      blocking reads anywhere);
+    - a peer that stops consuming responses (write queue past
+      [write_highwater]) stops being {e read} until it drains —
+      backpressure per connection, never a stall for the others;
+    - a malformed request or an engine exception answers an error object
+      and keeps the daemon alive; only [SHUTDOWN] (or closing the
+      listening socket) stops the loop, and the shutdown drains every
+      connection's pending responses (bounded by a 5 s deadline) before
+      closing. *)
 
 type config = {
-  backlog : int;  (** [Unix.listen] backlog (default 16) *)
+  backlog : int;  (** [Unix.listen] backlog (default 64) *)
   max_line_bytes : int;
       (** reject request lines longer than this (default 8192) *)
   read_timeout_s : float;
-      (** per-session [SO_RCVTIMEO]; [0.] (default) = no timeout *)
+      (** idle deadline per connection; [0.] (default) = no timeout *)
+  max_conns : int;
+      (** accept at most this many simultaneous connections (default
+          960 — [Unix.select] is FD_SETSIZE-bound at 1024); excess
+          connections wait in the listen backlog *)
+  write_highwater : int;
+      (** stop reading from a connection whose pending output exceeds
+          this many bytes, until it drains (default 256 KiB) *)
 }
 
 val default_config : config
@@ -38,10 +58,11 @@ val listen_unix :
     [Error] — the daemon must never destroy a mistyped data file. *)
 
 val serve : ?config:config -> Engine.t -> Unix.file_descr -> unit
-(** Run the accept loop on the calling domain until a session issues
-    [SHUTDOWN]. Closes the listening socket before returning.
-    Instrumented with [server.accept] / [server.session] counters and a
-    [server.session] span per connection. *)
+(** Run the event loop on the calling domain until a session issues
+    [SHUTDOWN]. Closes every connection and the listening socket before
+    returning. Instrumented with [server.accept] /
+    [server.session.timeout] / [server.session.line_too_long]
+    counters. *)
 
 (** {2 In-process daemon (tests, bench)} *)
 

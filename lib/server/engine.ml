@@ -302,6 +302,24 @@ let overloaded_response depth limit =
     (Printf.sprintf "overloaded: %d records pending on shard (limit %d)" depth
        limit)
 
+(* One batch = one admission check, one WAL frame (group commit), one
+   mailbox CAS — same write-ahead discipline as single INGEST, amortized
+   over the whole batch. All-or-nothing end to end: a rejected or
+   overloaded batch applies no record and logs no frame. *)
+let handle_ingest_many t ~name records =
+  let st = t.t_store in
+  match Store.check_ingest_many st ~name ~records with
+  | Error (Store.Overloaded { depth; limit }) -> overloaded_response depth limit
+  | Error (Store.Rejected m) -> P.error m
+  | Ok () -> (
+      match log_op t (Wal.Ingest_batch { name; records }) with
+      | Error m -> P.error ~kind:"wal" m
+      | Ok () -> (
+          match Store.ingest_many st ~name ~records with
+          | Ok () ->
+              P.ok_fields [ ("ingested", P.jint (Array.length records)) ]
+          | Error e -> P.error (Store.ingest_error_to_string e)))
+
 let handle_request t req =
   let st = t.t_store in
   match req with
@@ -340,6 +358,15 @@ let handle_request t req =
               match Store.ingest st ~name ~key ~weight with
               | Ok () -> (P.ok_fields [], Continue)
               | Error e -> (P.error (Store.ingest_error_to_string e), Continue))))
+  | P.Ingest_many { name = _; count } ->
+      (* The header alone is not executable — the [count] body lines are
+         connection-level framing, collected by the daemon's event loop
+         (or any transport) and executed via [handle_ingest_many]. *)
+      ( P.error
+          (Printf.sprintf
+             "INGESTN header without its %d body lines (batched framing is \
+              connection-level)" count),
+        Continue )
   | P.Query { kind; names } -> (
       match query t kind names with
       | Ok response -> (response, Continue)

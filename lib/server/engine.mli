@@ -75,6 +75,13 @@ val wal : t -> Wal.t option
 
 type action = Continue | Close | Stop
 
+val handle_ingest_many : t -> name:string -> (int * float) array -> string
+(** Execute one whole [INGESTN] batch: one admission check
+    ({!Store.check_ingest_many}), one {!Wal.Ingest_batch} frame (the
+    group commit), one {!Store.ingest_many} push — all-or-nothing, same
+    write-ahead discipline and structured [overloaded] / [wal] errors as
+    single INGEST. Returns the single JSON response for the batch. *)
+
 val handle_request : t -> Protocol.request -> string * action
 (** Execute one request; returns the one-line JSON response and what the
     session should do next ([Close] after QUIT, [Stop] after SHUTDOWN). *)

@@ -9,6 +9,7 @@ type request =
       p : float option;
     }
   | Ingest of { name : string; key : int; weight : float }
+  | Ingest_many of { name : string; count : int }
   | Query of { kind : query_kind; names : string list }
   | Snapshot of string
   | Stats
@@ -17,6 +18,12 @@ type request =
   | Shutdown
 
 let version = 1
+
+(* Batch size cap: 1024 records per INGESTN frame keeps the worst-case
+   WAL payload ("B <name> <n>" + 1024 "<key> <%h weight>" pairs, ~45
+   bytes each) comfortably under [Wal.max_payload] (64 KiB), so one
+   batch is always one loggable frame. *)
+let max_batch = 1024
 
 let query_kind_name = function
   | Max -> "max"
@@ -121,6 +128,18 @@ let parse line =
             err (Printf.sprintf "weight %g must be > 0" weight)
           else Ok (Ingest { name; key; weight })
       | "INGEST", _ -> err "INGEST takes: <instance> <key> <weight>"
+      | "INGESTN", [ name; count ] ->
+          let* name = parse_name "instance name" name in
+          let* count = parse_int "record count" count in
+          if count < 1 || count > max_batch then
+            err
+              (Printf.sprintf "record count %d out of [1,%d]" count max_batch)
+          else Ok (Ingest_many { name; count })
+      | "INGESTN", _ ->
+          err
+            (Printf.sprintf
+               "INGESTN takes: <instance> <count>, followed by <count> body \
+                lines '<key> <weight>' (count <= %d)" max_batch)
       | "QUERY", kind :: names ->
           let* kind =
             match String.lowercase_ascii kind with
@@ -158,6 +177,41 @@ let parse line =
       | "SHUTDOWN", [] -> Ok Shutdown
       | "SHUTDOWN", _ -> err "SHUTDOWN takes no arguments"
       | v, _ -> err (Printf.sprintf "unknown request %S" v))
+
+(* A batch body line is "<key> <weight>" — same key/weight grammar and
+   validation as INGEST, without re-tokenizing the verb and name n
+   times. *)
+let parse_batch_record line =
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [ key; weight ] ->
+      let* key = parse_int "key" key in
+      let* weight = parse_float "weight" weight in
+      if weight <= 0. then err (Printf.sprintf "weight %g must be > 0" weight)
+      else Ok (key, weight)
+  | _ -> err "batch record takes: <key> <weight>"
+
+(* Shared by Client.ingest_many, the CLI coalescer and the bench: the
+   whole batch as one multi-line payload (header + body, no trailing
+   newline) so a retry resends it atomically over one write. Weights are
+   emitted as lossless hex literals — the server parses back the exact
+   same float, so batched and line-at-a-time ingest are bit-identical. *)
+let batch_payload ~name records =
+  let n = Array.length records in
+  if n < 1 || n > max_batch then
+    invalid_arg
+      (Printf.sprintf "Protocol.batch_payload: %d records out of [1,%d]" n
+         max_batch);
+  let buf = Buffer.create (24 + (24 * n)) in
+  Buffer.add_string buf (Printf.sprintf "INGESTN %s %d" name n);
+  Array.iter
+    (fun (key, weight) ->
+      Buffer.add_string buf (Printf.sprintf "\n%d %h" key weight))
+    records;
+  Buffer.contents buf
 
 (* --- response assembly --- *)
 

@@ -16,6 +16,12 @@
     - [INGEST <name> <key> <weight>] — feed one record. Weights must be
       finite and positive (they accumulate per key, like repeated flows
       of one destination).
+    - [INGESTN <name> <n>] followed by [n] body lines [<key> <weight>] —
+      feed a batch of up to {!max_batch} records into one instance,
+      answered by a {e single} response once all [n] body lines arrived
+      (one parse of the header, one WAL frame, one mailbox push for the
+      whole batch). A batch is applied atomically: any invalid body line
+      or an overloaded shard rejects the {e whole} batch.
     - [QUERY max|or|distinct|dominance <name> <name> [...]] — estimate a
       multi-instance aggregate from the live summaries.
     - [SNAPSHOT <path>] — persist the full store.
@@ -39,6 +45,11 @@ type request =
       p : float option;
     }
   | Ingest of { name : string; key : int; weight : float }
+  | Ingest_many of { name : string; count : int }
+      (** the INGESTN {e header} only — the [count] body lines are
+          connection-level framing, collected by the transport (see
+          {!parse_batch_record}) and executed through
+          [Engine.handle_ingest_many] *)
   | Query of { kind : query_kind; names : string list }
   | Snapshot of string
   | Stats
@@ -49,6 +60,10 @@ type request =
 val version : int
 (** Protocol version spoken by this build (1). *)
 
+val max_batch : int
+(** Largest [n] an [INGESTN] header may declare (1024) — sized so one
+    batch always encodes as one [Wal] frame under {!Wal.max_payload}. *)
+
 val query_kind_name : query_kind -> string
 
 val valid_name : string -> bool
@@ -57,6 +72,17 @@ val valid_name : string -> bool
 val parse : string -> (request, Sampling.Io.parse_error) result
 (** Parse one request line. The [line] field of an error is 0 (sessions
     number their own requests). *)
+
+val parse_batch_record : string -> (int * float, Sampling.Io.parse_error) result
+(** Parse one [INGESTN] body line [<key> <weight>] — same grammar and
+    validation (finite, positive weight) as the INGEST tokens. *)
+
+val batch_payload : name:string -> (int * float) array -> string
+(** The whole batch as one multi-line request payload (header plus body
+    lines, no trailing newline) — what {!Client.ingest_many} writes in a
+    single send so a retried batch is resent atomically. Weights are
+    emitted as lossless [%h] hex literals. Raises [Invalid_argument]
+    when the record count is outside [\[1, max_batch\]]. *)
 
 (** {2 Response assembly}
 
@@ -94,12 +120,13 @@ val json_field : string -> string -> string option
 val json_float_field : string -> string -> float option
 val json_ok : string -> bool
 
-(** {2 Line-oriented connection I/O}
+(** {2 Line-oriented connection I/O (client side)}
 
-    The only sanctioned blocking reads in [lib/server] — the lint bans
-    [Unix.read]/[input_line] everywhere else under this library, which
-    keeps shard-owned code paths (store, engine, snapshot) free of
-    syscalls. *)
+    Blocking buffered line I/O for {!Client} and the tests — the daemon
+    itself speaks nonblocking [Unix.read]/[Unix.write] inside its event
+    loop and never touches this module (enforced by [bench/lint.sh]);
+    the shard-owned code paths (store, engine, snapshot) stay free of
+    socket syscalls entirely. *)
 
 module Conn : sig
   type t

@@ -252,6 +252,69 @@ let ingest t ~name ~key ~weight =
       if t.pending_since_flush >= t.cfg.flush_every then flush t;
       Ok ()
 
+(* Batch admission is all-or-nothing: every weight validated up front,
+   and the whole batch shed when it would push the shard past
+   [max_inflight] (depth + n > limit reduces to the single-record
+   depth >= limit check at n = 1) — a batch is never half-applied. *)
+let check_ingest_many_i t ~name ~records =
+  let n = Array.length records in
+  if n = 0 then Error (Rejected "empty batch")
+  else begin
+    let bad = ref None in
+    Array.iter
+      (fun (_, w) ->
+        if !bad = None && (not (Float.is_finite w) || w <= 0.) then
+          bad := Some w)
+      records;
+    match !bad with
+    | Some w ->
+        Error
+          (Rejected (Printf.sprintf "weight %g must be finite and > 0" w))
+    | None -> (
+        match Hashtbl.find_opt t.by_name name with
+        | None -> Error (Rejected (Printf.sprintf "unknown instance %S" name))
+        | Some inst ->
+            let depth = Atomic.get (shard_of t inst).depth in
+            if depth + n > t.cfg.max_inflight then begin
+              Numerics.Obs.count "server.ingest.shed";
+              Error (Overloaded { depth; limit = t.cfg.max_inflight })
+            end
+            else Ok inst)
+  end
+
+let check_ingest_many t ~name ~records =
+  Result.map (fun (_ : instance) -> ()) (check_ingest_many_i t ~name ~records)
+
+(* One CAS publishes the whole batch: the cells are prepended in reverse
+   so the drain's [List.rev] restores arrival order — per-instance
+   application order is exactly as if each record had been pushed one at
+   a time. All records of a batch target one instance, hence one shard. *)
+let push_many shard inst records =
+  let n = Array.length records in
+  let rec go () =
+    let old = Atomic.get shard.mailbox in
+    let cells = ref old in
+    for i = 0 to n - 1 do
+      let key, weight = records.(i) in
+      cells := { r_inst = inst; r_key = key; r_weight = weight } :: !cells
+    done;
+    if not (Atomic.compare_and_set shard.mailbox old !cells) then go ()
+  in
+  go ();
+  ignore (Atomic.fetch_and_add shard.depth n)
+
+let ingest_many t ~name ~records =
+  match check_ingest_many_i t ~name ~records with
+  | Error e -> Error e
+  | Ok inst ->
+      let n = Array.length records in
+      Numerics.Obs.count ~by:n "server.ingest";
+      Numerics.Obs.count "server.ingest.batch";
+      push_many (shard_of t inst) inst records;
+      t.pending_since_flush <- t.pending_since_flush + n;
+      if t.pending_since_flush >= t.cfg.flush_every then flush t;
+      Ok ()
+
 let pending t =
   Array.fold_left (fun acc s -> acc + Atomic.get s.depth) 0 t.t_shards
 

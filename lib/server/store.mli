@@ -106,6 +106,22 @@ val ingest : t -> name:string -> key:int -> weight:float -> (unit, ingest_error)
     positive; a full shard sheds with {!Overloaded}. Single-producer:
     call from one session thread at a time. *)
 
+val check_ingest_many :
+  t -> name:string -> records:(int * float) array -> (unit, ingest_error) result
+(** Batch form of {!check_ingest}: every weight validated, and the whole
+    batch shed ({!Overloaded}) when [depth + n] would exceed
+    [max_inflight] — all-or-nothing, same write-ahead role. An empty
+    batch is {!Rejected}. *)
+
+val ingest_many :
+  t -> name:string -> records:(int * float) array -> (unit, ingest_error) result
+(** Push a whole batch of [(key, weight)] records for one instance onto
+    its shard's mailbox with a {e single} CAS (amortizing the dispatch
+    that {!ingest} pays per record). Application order equals the array
+    order — summaries are bit-identical to [n] single {!ingest} calls.
+    All-or-nothing: an invalid weight or an overloaded shard rejects the
+    batch without queueing any record. Single-producer, like {!ingest}. *)
+
 val flush : t -> unit
 (** Drain every shard mailbox across the pool and apply all pending
     records, in per-shard arrival order. Idempotent when nothing is

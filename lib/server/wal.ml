@@ -47,6 +47,7 @@ let default_config ~dir = { dir; fsync = Always; segment_bytes = 1 lsl 22 }
 type op =
   | Create of { name : string; tau : float; k : int; p : float }
   | Ingest of { name : string; key : int; weight : float }
+  | Ingest_batch of { name : string; records : (int * float) array }
   | Flush
 
 (* --- op payloads (text, floats as lossless hex literals) --- *)
@@ -54,6 +55,18 @@ type op =
 let encode_op = function
   | Create { name; tau; k; p } -> Printf.sprintf "C %s %h %d %h" name tau k p
   | Ingest { name; key; weight } -> Printf.sprintf "I %s %d %h" name key weight
+  | Ingest_batch { name; records } ->
+      (* One frame per batch — this is the group commit: one append, one
+         [maybe_sync], however many records the batch carries. Sized by
+         Protocol.max_batch to always fit [max_payload]. *)
+      let buf = Buffer.create (16 + (24 * Array.length records)) in
+      Buffer.add_string buf
+        (Printf.sprintf "B %s %d" name (Array.length records));
+      Array.iter
+        (fun (key, weight) ->
+          Buffer.add_string buf (Printf.sprintf " %d %h" key weight))
+        records;
+      Buffer.contents buf
   | Flush -> "F"
 
 let decode_op payload =
@@ -82,6 +95,30 @@ let decode_op payload =
               if weight <= 0. then
                 Error (Printf.sprintf "weight %g must be > 0" weight)
               else Ok (Ingest { name; key; weight })))
+  | "B" :: name :: count :: rest when Protocol.valid_name name ->
+      Result.bind (int_tok "record count" count) (fun count ->
+          if count < 1 || List.length rest <> 2 * count then
+            Error
+              (Printf.sprintf
+                 "batch op declares %d records but carries %d tokens" count
+                 (List.length rest))
+          else
+            let records = Array.make count (0, 0.) in
+            let rec fill i = function
+              | [] -> Ok (Ingest_batch { name; records })
+              | key :: weight :: rest ->
+                  Result.bind (int_tok "key" key) (fun key ->
+                      Result.bind (float_tok "weight" weight) (fun weight ->
+                          if weight <= 0. then
+                            Error
+                              (Printf.sprintf "weight %g must be > 0" weight)
+                          else begin
+                            records.(i) <- (key, weight);
+                            fill (i + 1) rest
+                          end))
+              | [ _ ] -> Error "odd batch token count"
+            in
+            fill 0 rest)
   | [ "F" ] -> Ok Flush
   | _ -> Error (Printf.sprintf "unrecognized op payload %S" payload)
 
@@ -269,6 +306,14 @@ let apply_op store op =
           Store.flush store;
           Result.map_error Store.ingest_error_to_string
             (Store.ingest store ~name ~key ~weight)
+      | Error e -> Error (Store.ingest_error_to_string e))
+  | Ingest_batch { name; records } -> (
+      match Store.ingest_many store ~name ~records with
+      | Ok () -> Ok ()
+      | Error (Store.Overloaded _) ->
+          Store.flush store;
+          Result.map_error Store.ingest_error_to_string
+            (Store.ingest_many store ~name ~records)
       | Error e -> Error (Store.ingest_error_to_string e))
   | Flush ->
       Store.flush store;

@@ -38,9 +38,19 @@ type op =
       (** resolved parameters — defaults applied {e before} logging, so
           replay is independent of the server's defaults *)
   | Ingest of { name : string; key : int; weight : float }
+  | Ingest_batch of { name : string; records : (int * float) array }
+      (** one [INGESTN] batch as {e one} frame — the group commit: a
+          single append (hence a single fsync under [Always], a single
+          interval tick under [Interval]) covers the whole batch, and a
+          torn tail drops the batch atomically (a frame is all-or-nothing
+          by construction, so no partial batch can ever replay) *)
   | Flush
 
 (** {2 Frames (exposed for tests and the bench kernels)} *)
+
+val max_payload : int
+(** Largest payload a frame may carry (64 KiB); [Protocol.max_batch] is
+    sized so a full batch always fits. *)
 
 val encode_frame : op -> string
 

@@ -40,6 +40,11 @@ let test_protocol_parse () =
     (P.Create { name = "h.2-x"; tau = Some 50.5; k = Some 16; p = Some 0.25 });
   check_request "ingest" "INGEST h1 17 3.5"
     (P.Ingest { name = "h1"; key = 17; weight = 3.5 });
+  check_request "ingestn" "INGESTN h1 16"
+    (P.Ingest_many { name = "h1"; count = 16 });
+  check_request "ingestn at the cap"
+    (Printf.sprintf "INGESTN h1 %d" P.max_batch)
+    (P.Ingest_many { name = "h1"; count = P.max_batch });
   check_request "query max" "QUERY max h1 h2"
     (P.Query { kind = P.Max; names = [ "h1"; "h2" ] });
   check_request "query or" "QUERY or a b c"
@@ -67,6 +72,11 @@ let test_protocol_parse_errors () =
   check_rejected "ingest nonpositive weight" "INGEST h1 17 0";
   check_rejected "ingest non-finite weight" "INGEST h1 17 inf";
   check_rejected "ingest bad key" "INGEST h1 x 1.0";
+  check_rejected "ingestn zero count" "INGESTN h1 0";
+  check_rejected "ingestn over the cap"
+    (Printf.sprintf "INGESTN h1 %d" (P.max_batch + 1));
+  check_rejected "ingestn non-int count" "INGESTN h1 x";
+  check_rejected "ingestn missing count" "INGESTN h1";
   check_rejected "query unknown kind" "QUERY median h1 h2";
   check_rejected "query one name" "QUERY max h1";
   check_rejected "snapshot no path" "SNAPSHOT";
@@ -94,6 +104,41 @@ let test_protocol_json () =
     (P.json_field "protocol" P.greeting);
   Alcotest.(check bool) "valid name" true (P.valid_name "a.B-2_c");
   Alcotest.(check bool) "invalid name" false (P.valid_name "a b")
+
+let test_protocol_batch_framing () =
+  let records = [| (17, 3.5); (0, 0x1.fffp-3); (4096, 1e9) |] in
+  let payload = P.batch_payload ~name:"h1" records in
+  (match String.split_on_char '\n' payload with
+  | header :: body ->
+      check_request "batch header" header
+        (P.Ingest_many { name = "h1"; count = 3 });
+      Alcotest.(check int) "one body line per record" 3 (List.length body);
+      List.iteri
+        (fun i line ->
+          match P.parse_batch_record line with
+          | Ok (key, weight) ->
+              Alcotest.(check int) "key roundtrips" (fst records.(i)) key;
+              check_float ~eps:0. "weight roundtrips bit-exactly"
+                (snd records.(i)) weight
+          | Error e -> Alcotest.failf "record %d: %s" i e.Sampling.Io.message)
+        body
+  | [] -> Alcotest.fail "empty payload");
+  List.iter
+    (fun line ->
+      match P.parse_batch_record line with
+      | Ok _ -> Alcotest.failf "bad record %S accepted" line
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S carries a message" line)
+            true
+            (String.length e.Sampling.Io.message > 0))
+    [ ""; "7"; "7 0"; "7 -1"; "7 nan"; "x 1.0"; "7 1 extra" ];
+  (match P.batch_payload ~name:"h1" [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty batch payload accepted");
+  match P.batch_payload ~name:"h1" (Array.make (P.max_batch + 1) (1, 1.)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized batch payload accepted"
 
 (* ------------------------------------------------------------------ *)
 (* Store                                                               *)
@@ -192,6 +237,62 @@ let preserved_summaries_of st =
         Store.cardinality i, Store.pps_sample i, Store.bottom_k i,
         Store.binary_sample i ))
     (Store.instances st)
+
+let test_store_ingest_many () =
+  (* Bit-identity: a batch is exactly its records applied in arrival
+     order — the single-CAS publish must not reorder them. Repeated keys
+     make order observable through the incremental summaries. *)
+  let records =
+    Array.init 300 (fun i -> ((i * 7 mod 97) + 1, 0.5 +. (float_of_int i /. 13.)))
+  in
+  let build batched =
+    let st = Store.create cfg_one in
+    ignore (create_exn st ~name:"h" ~tau:40. ~k:32 ~p:0.3 ());
+    if batched then (
+      match Store.ingest_many st ~name:"h" ~records with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "ingest_many: %s" (Store.ingest_error_to_string e))
+    else
+      Array.iter (fun (key, weight) -> ingest_exn st ~name:"h" ~key ~weight)
+        records;
+    st
+  in
+  Alcotest.(check bool) "batch bit-identical to singles" true
+    (summaries_of (build true) = summaries_of (build false))
+
+let test_store_ingest_many_guards () =
+  let st =
+    Store.create { cfg_one with flush_every = max_int; max_inflight = 10 }
+  in
+  ignore (create_exn st ~name:"h" ());
+  let records n = Array.init n (fun i -> (i + 1, 1.)) in
+  (* All-or-nothing admission: a batch that would overflow the mailbox
+     budget is shed whole, with no side effect. *)
+  (match Store.check_ingest_many st ~name:"h" ~records:(records 11) with
+  | Error (Store.Overloaded { depth; limit }) ->
+      Alcotest.(check int) "depth reported" 0 depth;
+      Alcotest.(check int) "limit reported" 10 limit
+  | _ -> Alcotest.fail "expected an overload shed");
+  (match Store.ingest_many st ~name:"h" ~records:(records 11) with
+  | Error (Store.Overloaded _) -> ()
+  | _ -> Alcotest.fail "ingest_many should shed too");
+  Alcotest.(check int) "nothing queued by a shed batch" 0 (Store.pending st);
+  (* Rejections: empty batch, a bad weight anywhere in the batch, an
+     unknown instance — all before anything is queued. *)
+  Alcotest.(check bool) "empty batch rejected" true
+    (Result.is_error (Store.ingest_many st ~name:"h" ~records:[||]));
+  Alcotest.(check bool) "bad weight poisons the whole batch" true
+    (Result.is_error
+       (Store.ingest_many st ~name:"h" ~records:[| (1, 1.); (2, 0.) |]));
+  Alcotest.(check bool) "unknown instance" true
+    (Result.is_error (Store.ingest_many st ~name:"nope" ~records:(records 2)));
+  Alcotest.(check int) "still nothing queued" 0 (Store.pending st);
+  (* A batch that exactly fits the budget lands whole. *)
+  (match Store.ingest_many st ~name:"h" ~records:(records 10) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fit batch: %s" (Store.ingest_error_to_string e));
+  Alcotest.(check int) "all ten queued" 10 (Store.pending st)
 
 let answers_of st =
   let e = Engine.create st in
@@ -349,6 +450,16 @@ let test_engine_session_verbs () =
   Alcotest.(check bool) "duplicate create rejected" false (P.json_ok resp);
   let resp, _ = Engine.handle_line e "INGEST h1 3 2.5" in
   Alcotest.(check bool) "ingest ok" true (P.json_ok resp);
+  (* Batched framing is connection-level: a bare INGESTN header reaching
+     the request dispatcher (no body collection in front of it) is
+     answered as an error, not silently dropped. *)
+  let resp, act = Engine.handle_line e "INGESTN h1 4" in
+  Alcotest.(check bool) "bare INGESTN header rejected" false (P.json_ok resp);
+  Alcotest.(check bool) "ingestn error continues" true (act = Engine.Continue);
+  let resp = Engine.handle_ingest_many e ~name:"h1" [| (5, 1.5); (6, 2.5) |] in
+  Alcotest.(check bool) "handle_ingest_many ok" true (P.json_ok resp);
+  Alcotest.(check (option string)) "ingested count" (Some "2")
+    (P.json_field "ingested" resp);
   let resp, _ = Engine.handle_line e "FLUSH" in
   Alcotest.(check bool) "flush ok" true (P.json_ok resp);
   Alcotest.(check (option string)) "flush reports empty mailboxes"
@@ -625,6 +736,196 @@ let test_e2e_daemon () =
       Server.Client.close c2;
       Server.Daemon.join daemon2)
 
+(* ------------------------------------------------------------------ *)
+(* Event loop: concurrency, backpressure, batching                     *)
+(* ------------------------------------------------------------------ *)
+
+(* 64 concurrent connections (8 domains x 8 sockets, interleaved at the
+   select loop) must leave the store bit-identical to one sequential
+   client replaying the same per-connection streams: every connection
+   owns its instance, so per-instance arrival order — the only order
+   that matters — is fixed by construction, and the event loop must not
+   corrupt, drop or cross-deliver a single line. *)
+let test_e2e_concurrent_identical () =
+  let n_conns = 64 and n_domains = 8 and per_conn = 120 in
+  let stream cid =
+    let rng = Numerics.Prng.create ~seed:(900 + cid) () in
+    Array.init per_conn (fun _ ->
+        (1 + Numerics.Prng.int rng 512, 0.25 +. (Numerics.Prng.float rng *. 8.)))
+  in
+  let run ~concurrent =
+    let st =
+      Store.create
+        { Store.default_config with master = 77; flush_every = 4096 }
+    in
+    let daemon = Server.Daemon.start (Engine.create st) in
+    let port = Server.Daemon.port daemon in
+    let connect () =
+      match Server.Client.connect_tcp ~port () with
+      | Ok c -> c
+      | Error m -> Alcotest.failf "connect: %s" m
+    in
+    (* Instance ids are assigned in creation order, so all creation goes
+       through one setup connection before any traffic. *)
+    let setup = connect () in
+    for cid = 0 to n_conns - 1 do
+      ignore
+        (ok_exn setup (Printf.sprintf "CREATE c%d tau=200 k=64 p=0.15" cid))
+    done;
+    let send c cid (key, weight) =
+      ignore (ok_exn c (Printf.sprintf "INGEST c%d %d %h" cid key weight))
+    in
+    (if concurrent then
+       let worker d () =
+         let width = n_conns / n_domains in
+         let conns =
+           List.init width (fun j ->
+               let cid = (d * width) + j in
+               (connect (), cid, stream cid))
+         in
+         for r = 0 to per_conn - 1 do
+           List.iter (fun (c, cid, recs) -> send c cid recs.(r)) conns
+         done;
+         List.iter
+           (fun (c, _, _) ->
+             ignore (ok_exn c "QUIT");
+             Server.Client.close c)
+           conns
+       in
+       List.init n_domains (fun d -> Domain.spawn (worker d))
+       |> List.iter Domain.join
+     else
+       for cid = 0 to n_conns - 1 do
+         let c = connect () in
+         Array.iter (send c cid) (stream cid);
+         ignore (ok_exn c "QUIT");
+         Server.Client.close c
+       done);
+    ignore (ok_exn setup "FLUSH");
+    let answers =
+      List.init (n_conns / 2) (fun i ->
+          ok_exn setup
+            (Printf.sprintf "QUERY max c%d c%d" (2 * i) ((2 * i) + 1)))
+    in
+    ignore (ok_exn setup "SHUTDOWN");
+    Server.Client.close setup;
+    Server.Daemon.join daemon;
+    answers
+  in
+  Alcotest.(check (list string))
+    "64 concurrent connections bit-identical to sequential"
+    (run ~concurrent:false) (run ~concurrent:true)
+
+(* A reader that stops draining its socket must not stall anyone else:
+   once its queued responses cross the high-water mark the loop parks
+   that connection (stops reading more requests from it) while other
+   sessions keep getting answers — and every queued response is still
+   delivered, in order, when the slow reader catches up. *)
+let test_e2e_slow_reader_backpressure () =
+  let st =
+    Store.create { Store.default_config with master = 5; flush_every = 4096 }
+  in
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.write_highwater = 2048 }
+  in
+  let daemon = Server.Daemon.start ~config (Engine.create st) in
+  let port = Server.Daemon.port daemon in
+  let setup =
+    match Server.Client.connect_tcp ~port () with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "connect: %s" m
+  in
+  (* Enough instances that one STATS response dwarfs the high-water
+     mark. *)
+  for i = 1 to 48 do
+    ignore (ok_exn setup (Printf.sprintf "CREATE s%d tau=50 k=16 p=0.2" i))
+  done;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let slow = P.Conn.of_fd fd in
+  (match P.Conn.input_line_opt slow with
+  | Some g when P.json_ok g -> ()
+  | _ -> Alcotest.fail "greeting");
+  let n_requests = 400 in
+  for _ = 1 to n_requests do
+    P.Conn.output_line slow "STATS"
+  done;
+  (* The slow reader's responses are now queued (kernel buffers plus the
+     daemon's bounded write queue); a well-behaved session still gets
+     every answer. *)
+  for _ = 1 to 25 do
+    ignore (ok_exn setup "STATS")
+  done;
+  (* Catching up delivers every queued response, none dropped or torn. *)
+  for i = 1 to n_requests do
+    match P.Conn.input_line_opt slow with
+    | Some resp when P.json_ok resp -> ()
+    | Some resp -> Alcotest.failf "response %d not ok: %s" i resp
+    | None -> Alcotest.failf "connection dropped after %d responses" (i - 1)
+  done;
+  ignore (ok_exn setup "SHUTDOWN");
+  P.Conn.close slow;
+  Server.Client.close setup;
+  Server.Daemon.join daemon
+
+(* Batched and line-at-a-time ingest land bit-identical state: same
+   records, same arrival order, one frame vs many. Covers chunking too —
+   the stream is longer than Protocol.max_batch. *)
+let test_e2e_client_batch_identical () =
+  let n_records = (2 * P.max_batch) + 300 in
+  let recs seed =
+    let rng = Numerics.Prng.create ~seed () in
+    Array.init n_records (fun _ ->
+        (1 + Numerics.Prng.int rng 1024, 0.5 +. (Numerics.Prng.float rng *. 20.)))
+  in
+  let run ~batched =
+    let st =
+      Store.create
+        { Store.default_config with master = 909; flush_every = 8192 }
+    in
+    let daemon = Server.Daemon.start (Engine.create st) in
+    let c =
+      match Server.Client.connect_tcp ~port:(Server.Daemon.port daemon) () with
+      | Ok c -> c
+      | Error m -> Alcotest.failf "connect: %s" m
+    in
+    List.iter
+      (fun name ->
+        ignore (ok_exn c (Printf.sprintf "CREATE %s tau=300 k=96 p=0.1" name)))
+      [ "a"; "b" ];
+    List.iter
+      (fun (name, seed) ->
+        if batched then begin
+          match Server.Client.ingest_many c ~name (recs seed) with
+          | Ok resp ->
+              if not (P.json_ok resp) then
+                Alcotest.failf "ingest_many answered %s" resp;
+              Alcotest.(check (option string)) "total ingested reported"
+                (Some (string_of_int n_records))
+                (P.json_field "ingested" resp)
+          | Error m -> Alcotest.failf "ingest_many: %s" m
+        end
+        else
+          Array.iter
+            (fun (key, weight) ->
+              ignore
+                (ok_exn c (Printf.sprintf "INGEST %s %d %h" name key weight)))
+            (recs seed))
+      [ ("a", 31); ("b", 32) ];
+    ignore (ok_exn c "FLUSH");
+    let answers =
+      List.map
+        (fun q -> ok_exn c (Printf.sprintf "QUERY %s a b" q))
+        [ "max"; "or"; "distinct"; "dominance" ]
+    in
+    ignore (ok_exn c "SHUTDOWN");
+    Server.Client.close c;
+    Server.Daemon.join daemon;
+    answers
+  in
+  Alcotest.(check (list string)) "batched ingest bit-identical to lines"
+    (run ~batched:false) (run ~batched:true)
+
 let () =
   Alcotest.run "server"
     [
@@ -634,6 +935,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
           Alcotest.test_case "json assembly and inspection" `Quick
             test_protocol_json;
+          Alcotest.test_case "batch payload framing" `Quick
+            test_protocol_batch_framing;
         ] );
       ( "store",
         [
@@ -641,6 +944,10 @@ let () =
             `Quick test_store_incremental_matches_batch;
           Alcotest.test_case "ingest guards" `Quick test_store_ingest_guards;
           Alcotest.test_case "auto flush" `Quick test_store_auto_flush;
+          Alcotest.test_case "batch ingest bit-identical to singles" `Quick
+            test_store_ingest_many;
+          Alcotest.test_case "batch admission all-or-nothing" `Quick
+            test_store_ingest_many_guards;
           Alcotest.test_case "bit-identical across 1/2/4 shards" `Slow
             test_store_shard_determinism;
         ] );
@@ -665,5 +972,13 @@ let () =
             `Quick test_sum_agg_recorded_ids;
         ] );
       ( "e2e",
-        [ Alcotest.test_case "daemon over tcp" `Slow test_e2e_daemon ] );
+        [
+          Alcotest.test_case "daemon over tcp" `Slow test_e2e_daemon;
+          Alcotest.test_case "64 concurrent connections bit-identical" `Slow
+            test_e2e_concurrent_identical;
+          Alcotest.test_case "slow reader does not stall others" `Quick
+            test_e2e_slow_reader_backpressure;
+          Alcotest.test_case "batched client bit-identical to lines" `Slow
+            test_e2e_client_batch_identical;
+        ] );
     ]

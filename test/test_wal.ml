@@ -96,6 +96,8 @@ let sample_ops =
     Wal.Create { name = "a-1.x"; tau = 0x1.9p6; k = 32; p = 0.2 };
     Wal.Ingest { name = "a-1.x"; key = 17; weight = 3.5 };
     Wal.Ingest { name = "b"; key = 0; weight = 0x1.fffp-3 };
+    Wal.Ingest_batch
+      { name = "b"; records = [| (3, 1.5); (17, 0x1.23p-4); (3, 0.25) |] };
     Wal.Flush;
   ]
 
@@ -131,6 +133,26 @@ let test_frame_torn_detection () =
   | _ -> Alcotest.fail "bit flip not detected");
   Alcotest.(check bool) "empty is End" true (Wal.decode_at "" 0 = Wal.End)
 
+let test_batch_frame_capacity () =
+  (* The group-commit invariant rests on one batch = one frame, so the
+     worst-case INGESTN batch — [Protocol.max_batch] records, each with
+     the widest possible key and weight tokens — must fit under the
+     decoder's payload cap, or a legal batch would be unrecoverable. *)
+  let records = Array.make P.max_batch (max_int, Float.max_float) in
+  let op = Wal.Ingest_batch { name = String.make 256 'n'; records } in
+  let frame = Wal.encode_frame op in
+  Alcotest.(check bool)
+    (Printf.sprintf "worst-case batch payload (%d bytes) fits max_payload (%d)"
+       (String.length frame - 8) Wal.max_payload)
+    true
+    (String.length frame - 8 <= Wal.max_payload);
+  match Wal.decode_at frame 0 with
+  | Wal.Frame (op', next) ->
+      Alcotest.(check bool) "roundtrips bit-exactly" true (op' = op);
+      Alcotest.(check int) "whole frame consumed" (String.length frame) next
+  | Wal.Torn m -> Alcotest.failf "worst-case batch frame torn: %s" m
+  | Wal.End -> Alcotest.fail "worst-case batch frame decoded as End"
+
 (* ------------------------------------------------------------------ *)
 (* The scripted workload shared by the WAL / crash tests               *)
 (* ------------------------------------------------------------------ *)
@@ -160,6 +182,8 @@ let req_of_op = function
   | Wal.Create { name; tau; k; p } ->
       P.Create { name; tau = Some tau; k = Some k; p = Some p }
   | Wal.Ingest { name; key; weight } -> P.Ingest { name; key; weight }
+  | Wal.Ingest_batch _ ->
+      invalid_arg "req_of_op: batch ops execute via Engine.handle_ingest_many"
   | Wal.Flush -> P.Flush
 
 let take n l = List.filteri (fun i _ -> i < n) l
@@ -177,6 +201,16 @@ let reference_store m =
           match Store.ingest st ~name ~key ~weight with
           | Ok () -> ()
           | Error e -> Alcotest.failf "ref ingest: %s" (Store.ingest_error_to_string e))
+      | Wal.Ingest_batch { name; records } ->
+          (* Reference semantics of a batch: its records, in order. *)
+          Array.iter
+            (fun (key, weight) ->
+              match Store.ingest st ~name ~key ~weight with
+              | Ok () -> ()
+              | Error e ->
+                  Alcotest.failf "ref ingest: %s"
+                    (Store.ingest_error_to_string e))
+            records
       | Wal.Flush -> Store.flush st)
     (take m script);
   Store.flush st;
@@ -220,7 +254,12 @@ let wal_cfg ?(fsync = Wal.Always) ?(segment_bytes = 1 lsl 22) dir =
 let run_ops engine ops =
   List.iter
     (fun op ->
-      let resp, _ = Engine.handle_request engine (req_of_op op) in
+      let resp =
+        match op with
+        | Wal.Ingest_batch { name; records } ->
+            Engine.handle_ingest_many engine ~name records
+        | op -> fst (Engine.handle_request engine (req_of_op op))
+      in
       if not (P.json_ok resp) then Alcotest.failf "op rejected: %s" resp)
     ops
 
@@ -448,6 +487,68 @@ let test_crash_during_checkpoint () =
   check_equals_reference ~msg:"crash in checkpoint" r2.Wal.store mid;
   Wal.close r2.Wal.wal
 
+let test_crash_torn_batch () =
+  (* Group commit's crash contract: a batched frame torn mid-write is
+     dropped {e atomically} on recovery — none of its records survive,
+     not a prefix of them. *)
+  with_dir "crash" @@ fun dir ->
+  let mid = 20 in
+  let r = get (Wal.recover ~store_cfg:cfg (wal_cfg dir)) in
+  let engine = Engine.create ~wal:r.Wal.wal r.Wal.store in
+  run_ops engine (take mid script);
+  (* Keys >= 100 never appear in the script, so any survivor from this
+     batch would be unambiguous. *)
+  let records = Array.init 16 (fun i -> (100 + i, 2.5 +. float_of_int i)) in
+  F.arm_io ~rate:1.0 ~kinds:[ F.Io_torn_write ] ~seed:29 ();
+  (match Engine.handle_ingest_many engine ~name:"a" records with
+  | exception F.Crash _ -> ()
+  | resp -> Alcotest.failf "expected a crash mid-batch, got %s" resp);
+  F.disarm_io ();
+  let r2 = get (Wal.recover ~store_cfg:cfg (wal_cfg dir)) in
+  Alcotest.(check int) "only the pre-batch prefix replayed" mid r2.Wal.replayed;
+  Alcotest.(check bool) "torn batch frame truncated" true
+    (r2.Wal.truncated_bytes > 0);
+  let weights = weights_of r2.Wal.store "a" in
+  Array.iter
+    (fun (key, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no partial record: key %d absent" key)
+        true
+        (not (List.mem_assoc key weights)))
+    records;
+  check_equals_reference ~msg:"torn batch dropped atomically" r2.Wal.store mid;
+  Wal.close r2.Wal.wal
+
+let test_wal_batch_replay_equals_singles () =
+  (* The script's ingests regrouped as one INGESTN batch per instance:
+     per-instance arrival order is unchanged, so recovery must land on
+     bits identical to the single-op reference run. *)
+  with_dir "wal" @@ fun dir ->
+  let batch name =
+    script
+    |> List.filter_map (function
+         | Wal.Ingest { name = n; key; weight } when n = name ->
+             Some (key, weight)
+         | _ -> None)
+    |> Array.of_list
+  in
+  let r = get (Wal.recover ~store_cfg:cfg (wal_cfg dir)) in
+  let engine = Engine.create ~wal:r.Wal.wal r.Wal.store in
+  run_ops engine
+    [
+      Wal.Create { name = "a"; tau = 60.; k = 32; p = 0.2 };
+      Wal.Create { name = "b"; tau = 60.; k = 32; p = 0.2 };
+      Wal.Ingest_batch { name = "a"; records = batch "a" };
+      Wal.Ingest_batch { name = "b"; records = batch "b" };
+    ];
+  Wal.close r.Wal.wal;
+  let r2 = get (Wal.recover ~store_cfg:cfg (wal_cfg dir)) in
+  Alcotest.(check int) "two creates + two batch frames replayed" 4
+    r2.Wal.replayed;
+  check_equals_reference ~msg:"batched replay equals singles" r2.Wal.store
+    n_script;
+  Wal.close r2.Wal.wal
+
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -564,6 +665,69 @@ let test_retry_honors_overload () =
   List.iter
     (fun ms -> Alcotest.(check int) "honored the server hint" hint ms)
     !sleeps;
+  ignore (get (Client.request c "SHUTDOWN"));
+  Client.close c;
+  Daemon.join daemon
+
+let test_batch_retry_whole () =
+  (* A shed batch is retried {e whole}: admission checks the batch
+     before anything is logged or queued, so a retry can never
+     double-apply a half-landed prefix. *)
+  let st = Store.create { cfg with flush_every = max_int; max_inflight = 8 } in
+  let daemon = Daemon.start (Engine.create st) in
+  let c = get (Client.connect_tcp ~port:(Daemon.port daemon) ()) in
+  Alcotest.(check bool) "create ok" true
+    (P.json_ok (get (Client.request c "CREATE a tau=50 k=16 p=0.2")));
+  let sleeps = ref [] in
+  let retry = { Client.default_retry with attempts = 3 } in
+  let big = Array.init 9 (fun i -> (i + 1, 1.5)) in
+  let resp =
+    get
+      (Client.ingest_many ~retry
+         ~sleep:(fun ms -> sleeps := ms :: !sleeps)
+         c ~name:"a" big)
+  in
+  Alcotest.(check (option string)) "whole batch shed" (Some "overloaded")
+    (P.json_field "kind" resp);
+  Alcotest.(check int) "slept between whole-batch retries"
+    (retry.Client.attempts - 1)
+    (List.length !sleeps);
+  Alcotest.(check int) "never half-applied" 0 (Store.pending st);
+  (* One record fewer fits the budget exactly — and lands whole. *)
+  let fits = Array.init 8 (fun i -> (i + 1, 1.5)) in
+  let resp = get (Client.ingest_many c ~name:"a" fits) in
+  Alcotest.(check bool) "batch within budget lands" true (P.json_ok resp);
+  Alcotest.(check (option string)) "ingested count" (Some "8")
+    (P.json_field "ingested" resp);
+  Alcotest.(check int) "all queued" 8 (Store.pending st);
+  ignore (get (Client.request c "SHUTDOWN"));
+  Client.close c;
+  Daemon.join daemon
+
+let test_batch_malformed_body () =
+  (* A poisoned body line yields one error response for the whole batch
+     while the remaining body lines are still consumed — the framing
+     stays in sync and the session survives. *)
+  let st = Store.create cfg in
+  let daemon = Daemon.start (Engine.create st) in
+  let c = get (Client.connect_tcp ~port:(Daemon.port daemon) ()) in
+  Alcotest.(check bool) "create ok" true
+    (P.json_ok (get (Client.request c "CREATE a tau=50 k=16 p=0.2")));
+  let resp = get (Client.request c "INGESTN a 3\n1 2.5\nbogus line\n3 1.25") in
+  Alcotest.(check bool) "poisoned batch rejected" false (P.json_ok resp);
+  Alcotest.(check bool) "session still in sync" true
+    (P.json_ok (get (Client.request c "STATS")));
+  Store.flush st;
+  Alcotest.(check int) "nothing applied" 0
+    (Store.cardinality (Option.get (Store.find st "a")));
+  (* A well-formed batch through the same session lands whole. *)
+  let resp = get (Client.request c "INGESTN a 2\n7 1.5\n9 2.5") in
+  Alcotest.(check bool) "batch ok" true (P.json_ok resp);
+  Alcotest.(check (option string)) "ingested count" (Some "2")
+    (P.json_field "ingested" resp);
+  Store.flush st;
+  Alcotest.(check int) "both records applied" 2
+    (Store.cardinality (Option.get (Store.find st "a")));
   ignore (get (Client.request c "SHUTDOWN"));
   Client.close c;
   Daemon.join daemon
@@ -701,6 +865,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "torn and corrupt detection" `Quick
             test_frame_torn_detection;
+          Alcotest.test_case "worst-case batch fits one frame" `Quick
+            test_batch_frame_capacity;
         ] );
       ( "wal",
         [
@@ -727,6 +893,10 @@ let () =
             test_shed_then_killed;
           Alcotest.test_case "crash during checkpoint write" `Quick
             test_crash_during_checkpoint;
+          Alcotest.test_case "torn batched frame dropped atomically" `Quick
+            test_crash_torn_batch;
+          Alcotest.test_case "batched replay equals singles" `Quick
+            test_wal_batch_replay_equals_singles;
         ] );
       ( "admission",
         [ Alcotest.test_case "bounded mailboxes shed" `Quick test_shed_policy ] );
@@ -736,6 +906,10 @@ let () =
           Alcotest.test_case "reconnect after drop" `Quick test_client_reconnect;
           Alcotest.test_case "retry honors overload hints" `Quick
             test_retry_honors_overload;
+          Alcotest.test_case "shed batch retried whole" `Quick
+            test_batch_retry_whole;
+          Alcotest.test_case "malformed batch body keeps framing in sync"
+            `Quick test_batch_malformed_body;
           Alcotest.test_case "injected connection drop" `Quick
             test_conn_drop_injection;
         ] );

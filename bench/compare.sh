@@ -86,6 +86,8 @@ validate() {
     echo "FAIL  $1: no server.ingest+query kernel pair" ; ok=0 ; }
   grep -q '"name": "server.saturation' "$1" || {
     echo "FAIL  $1: no server.saturation kernel pair" ; ok=0 ; }
+  grep -q '"name": "router.fanout' "$1" || {
+    echo "FAIL  $1: no router.fanout kernel pair" ; ok=0 ; }
   grep -q '(flat)' "$1" || {
     echo "FAIL  $1: no flat-evaluator micro-benchmarks" ; ok=0 ; }
   grep -q 'derive OR^(L) r=2 (cached)' "$1" || {

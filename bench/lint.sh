@@ -88,6 +88,20 @@ if [ -n "$durable_hits" ]; then
     status=1
 fi
 
+# Cluster discipline: the router never mutates a store directly — every
+# backend effect travels over the wire protocol (so the daemons stay the
+# single writers of their partitions), and the router's local query
+# stores are built only through Merge.materialize. A direct Store
+# mutation in router.ml would fork cluster state from the daemons that
+# own it.
+router_hits=$(grep -nE 'Store\.(ingest|ingest_many|create_instance|install_summary|flush|check_ingest)' \
+    "$root/lib/server/router.ml" 2>/dev/null)
+if [ -n "$router_hits" ]; then
+    echo "lint: direct Store mutation is banned in the router — speak the protocol or Merge.materialize:" >&2
+    echo "$router_hits" >&2
+    status=1
+fi
+
 # Hot-path discipline: the per-key evaluator modules must stay off the
 # polymorphic runtime. `Stdlib.compare`/bare `compare` walks tags and
 # boxes floats; `Hashtbl.hash` hashes structure (and is why derivation

@@ -492,6 +492,124 @@ let saturation_kernel ~clients ~records_per_client ~batch () =
     k_par = t_batch;
   }
 
+(* Router fan-out kernel: the identical bulk load plus all four queries,
+   once through a single daemon (the sequential column) and once through
+   the router over two local daemons (the parallel column). Equality-
+   asserted — the cluster answers byte-identically to the single node;
+   fan-out buys placement and write spreading, never approximation. On a
+   one-box run the router adds a hop and a merge, so the "speedup" is
+   really the fan-out overhead factor; the gate only requires it to stay
+   stable, not to exceed 1. *)
+let router_kernel ~records ~batch () =
+  let recs seed =
+    let rng = Numerics.Prng.create ~seed () in
+    Array.init records (fun i ->
+        ((i * 5 mod 4096) + 1, 1. +. (Numerics.Prng.float rng *. 9.)))
+  in
+  let streams = [ ("a", recs 51); ("b", recs 52) ] in
+  (* INGESTN frames prepared outside the wall clock, as in the
+     saturation kernel: the measurement is the serving plane. *)
+  let frames =
+    List.concat_map
+      (fun (name, rs) ->
+        let n = Array.length rs in
+        let rec go start acc =
+          if start >= n then List.rev acc
+          else
+            let len = min batch (n - start) in
+            go (start + len)
+              (Server.Protocol.batch_payload ~name (Array.sub rs start len)
+              :: acc)
+        in
+        go 0 [])
+      streams
+  in
+  let get = function Ok v -> v | Error m -> invalid_arg m in
+  let ok_exn resp =
+    if not (Server.Protocol.json_ok resp) then invalid_arg resp
+  in
+  let store_cfg = { Server.Store.default_config with master = 61 } in
+  let load_and_query port =
+    let conn = get (Server.Client.connect_tcp ~port ()) in
+    List.iter
+      (fun (name, _) ->
+        ok_exn
+          (get
+             (Server.Client.request conn
+                (Printf.sprintf "CREATE %s tau=400 k=128 p=0.1" name))))
+      streams;
+    let answers, elapsed =
+      wall (fun () ->
+          List.iter
+            (fun frame -> ok_exn (get (Server.Client.request conn frame)))
+            frames;
+          List.map
+            (fun kind ->
+              get
+                (Server.Client.request conn
+                   (Printf.sprintf "QUERY %s a b" kind)))
+            [ "max"; "or"; "distinct"; "dominance" ])
+    in
+    (conn, answers, elapsed)
+  in
+  let shutdown_daemon port =
+    let c = get (Server.Client.connect_tcp ~port ()) in
+    ok_exn (get (Server.Client.request c "SHUTDOWN"));
+    Server.Client.close c
+  in
+  let run_single () =
+    let st = Server.Store.create store_cfg in
+    let daemon = Server.Daemon.start (Server.Engine.create st) in
+    let conn, answers, t = load_and_query (Server.Daemon.port daemon) in
+    ok_exn (get (Server.Client.request conn "SHUTDOWN"));
+    Server.Client.close conn;
+    Server.Daemon.join daemon;
+    Numerics.Pool.shutdown (Server.Store.pool st);
+    (answers, t)
+  in
+  let run_cluster () =
+    let stores = Array.init 2 (fun _ -> Server.Store.create store_cfg) in
+    let backends =
+      Array.map
+        (fun st -> Server.Daemon.start (Server.Engine.create st))
+        stores
+    in
+    let addrs =
+      Array.to_list
+        (Array.map
+           (fun d ->
+             Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.Daemon.port d))
+           backends)
+    in
+    let router = get (Server.Router.connect ~store_cfg addrs) in
+    let rd = Server.Router.start router in
+    let conn, answers, t = load_and_query (Server.Daemon.port rd) in
+    ok_exn (get (Server.Client.request conn "SHUTDOWN"));
+    Server.Client.close conn;
+    Server.Daemon.join rd;
+    Server.Router.close router;
+    Array.iter (fun d -> shutdown_daemon (Server.Daemon.port d)) backends;
+    Array.iter Server.Daemon.join backends;
+    Array.iter
+      (fun st -> Numerics.Pool.shutdown (Server.Store.pool st))
+      stores;
+    (answers, t)
+  in
+  Numerics.Memo.clear_all ();
+  let single_answers, t_single = run_single () in
+  Numerics.Memo.clear_all ();
+  let cluster_answers, t_cluster = run_cluster () in
+  (* The whole point: the cluster is a deployment choice, not an
+     estimator change. *)
+  assert (single_answers = cluster_answers);
+  {
+    k_name = "router.fanout (2 daemons vs single, merged queries)";
+    k_work = 2 * records;
+    k_seq = t_single;
+    k_par = t_cluster;
+  }
+
 (* Estimates-per-second kernel: a columnar pool of pre-drawn r=8
    oblivious outcomes, evaluated [evals] times through the flat uniform
    max^(L). Both variants walk the SAME [Pool.chunks] layout and the
@@ -541,7 +659,7 @@ let estimates_kernel ~evals pool =
   (seq, par)
 
 let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
-    ~sat_clients ~sat_records ~sat_batch pool =
+    ~sat_clients ~sat_records ~sat_batch ~route_records ~route_batch pool =
   let probs8 = Array.make 8 0.2 in
   let v8 = Array.init 8 (fun i -> float_of_int (8 - i)) in
   let coeffs8 = Estcore.Max_oblivious.Coeffs.compute ~r:8 ~p:0.2 in
@@ -592,6 +710,9 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
     saturation_kernel ~clients:sat_clients ~records_per_client:sat_records
       ~batch:sat_batch ()
   in
+  (* The router kernel also owns its daemons and client connections and
+     follows the saturation kernel for the same pool-idleness reason. *)
+  let router = router_kernel ~records:route_records ~batch:route_batch () in
   [
     {
       k_name = "monte_carlo max^(L) r=8";
@@ -613,6 +734,7 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
     };
     server;
     saturation;
+    router;
   ]
 
 let json_escape s =
@@ -733,13 +855,15 @@ let run_perf ?json ?(check = false) ~pool ppf =
   let sat_clients = if check then 4 else 2 in
   let sat_records = if check then 240 else 10000 in
   let sat_batch = if check then 64 else 500 in
+  let route_records = if check then 300 else 6000 in
+  let route_batch = if check then 64 else 500 in
   (* Snapshot BEFORE the wall-clock kernels: those purge every cache
      (entries and counters) between runs, so this is the last moment the
      Bechamel section's hit/miss history is still visible. *)
   let caches = Numerics.Memo.all_stats () in
   let kernels =
     kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
-      ~sat_clients ~sat_records ~sat_batch pool
+      ~sat_clients ~sat_records ~sat_batch ~route_records ~route_batch pool
   in
   List.iter
     (fun k ->

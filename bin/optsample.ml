@@ -822,8 +822,26 @@ let client_cmd =
               Format.eprintf "connection error: %s@." m;
               exit 1
         in
+        (* PULL / SYNC answer a header plus payload lines — read them
+           through request_lines so the payload never desynchronizes the
+           connection (left-over lines would be mistaken for the next
+           response). *)
+        let multiline line =
+          match Server.Protocol.parse line with
+          | Ok (Server.Protocol.Pull _ | Server.Protocol.Sync) -> true
+          | _ -> false
+        in
         let send_raw line =
-          print_response (Server.Client.request_retry ~retry c line)
+          if multiline line then (
+            match Server.Client.request_lines c line with
+            | Ok (header, payload) ->
+                Format.fprintf ppf "%s@." header;
+                List.iter (fun l -> Format.fprintf ppf "%s@." l) payload;
+                Server.Protocol.json_ok header
+            | Error m ->
+                Format.eprintf "connection error: %s@." m;
+                exit 1)
+          else print_response (Server.Client.request_retry ~retry c line)
         in
         (* --batch coalescer: consecutive INGESTs into one instance pile
            up until the batch is full or a different request (or a
@@ -884,6 +902,166 @@ let client_cmd =
       const run $ host_arg $ port_arg $ socket_arg $ retries $ retry_base_ms
       $ batch $ requests)
 
+(* ---------- route: the cluster front door ---------- *)
+
+let route_cmd =
+  let backends =
+    Arg.(
+      value & opt_all string []
+      & info [ "backend" ] ~docv:"ADDR"
+          ~doc:
+            "A storage daemon to route over: $(i,HOST:PORT), $(i,PORT) \
+             (localhost), or a Unix-socket path (anything containing a \
+             '/'). Repeatable; backend order is the placement order and \
+             must be identical across router restarts.")
+  in
+  let master = Arg.(value & opt int 42 & info [ "master" ] ~doc:"Master hash seed; must match every backend.") in
+  let shared =
+    Arg.(
+      value & flag
+      & info [ "shared-seeds" ]
+          ~doc:"Coordinated sampling mode; must match every backend.")
+  in
+  let tau = Arg.(value & opt float 100. & info [ "tau" ] ~doc:"Default PPS threshold for CREATE without one.") in
+  let k = Arg.(value & opt int 64 & info [ "k" ] ~doc:"Default bottom-k / VarOpt size.") in
+  let p = Arg.(value & opt float 0.05 & info [ "p" ] ~doc:"Default binary sampling probability.") in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ]
+          ~doc:
+            "Retry attempts per backend request (dropped connections, \
+             overloaded responses); 1 = fail fast.")
+  in
+  let retry_base_ms =
+    Arg.(
+      value & opt int 10
+      & info [ "retry-base-ms" ] ~doc:"Base backoff delay in milliseconds.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ]
+          ~doc:"Per-session read timeout in milliseconds; 0 = none.")
+  in
+  let backlog =
+    Arg.(value & opt int 16 & info [ "backlog" ] ~doc:"Listen backlog.")
+  in
+  let max_line_bytes =
+    Arg.(
+      value & opt int 8192
+      & info [ "max-line-bytes" ]
+          ~doc:"Reject request lines longer than this.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int Server.Daemon.default_config.Server.Daemon.max_conns
+      & info [ "max-conns" ]
+          ~doc:"Maximum simultaneous connections in the event loop.")
+  in
+  let parse_backend s =
+    if String.contains s '/' then Ok (Unix.ADDR_UNIX s)
+    else
+      let mk host port =
+        match int_of_string_opt port with
+        | Some p when p >= 1 && p <= 65535 -> (
+            match Unix.inet_addr_of_string host with
+            | addr -> Ok (Unix.ADDR_INET (addr, p))
+            | exception Failure _ ->
+                Error (Printf.sprintf "bad backend host %S" host))
+        | _ -> Error (Printf.sprintf "bad backend port %S" port)
+      in
+      match String.rindex_opt s ':' with
+      | Some i ->
+          mk (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+      | None -> mk "127.0.0.1" s
+  in
+  let run host port socket backends master shared tau k p retries retry_base_ms
+      timeout_ms backlog max_line_bytes max_conns =
+    if backends = [] then begin
+      Format.eprintf "route needs at least one --backend@.";
+      exit 1
+    end;
+    let addrs =
+      List.map
+        (fun s ->
+          match parse_backend s with
+          | Ok a -> a
+          | Error m ->
+              Format.eprintf "%s@." m;
+              exit 1)
+        backends
+    in
+    let cfg =
+      {
+        Server.Store.shards = 1;
+        master;
+        mode =
+          (if shared then Sampling.Seeds.Shared else Sampling.Seeds.Independent);
+        default_tau = tau;
+        default_k = k;
+        default_p = p;
+        flush_every = 8192;
+        max_inflight = 65536;
+      }
+    in
+    let retry =
+      {
+        Server.Client.default_retry with
+        attempts = max 1 retries;
+        base_delay_ms = retry_base_ms;
+      }
+    in
+    match Server.Router.connect ~retry ~store_cfg:cfg addrs with
+    | Error m ->
+        Format.eprintf "cannot start router: %s@." m;
+        exit 1
+    | Ok t ->
+        let dcfg =
+          {
+            Server.Daemon.default_config with
+            Server.Daemon.backlog;
+            max_line_bytes;
+            read_timeout_s = float_of_int timeout_ms /. 1000.;
+            max_conns;
+          }
+        in
+        let sock =
+          match socket with
+          | Some path -> (
+              match Server.Daemon.listen_unix ~backlog ~path () with
+              | Ok sock ->
+                  Format.fprintf ppf "routing %d backend(s) on %s@."
+                    (Server.Router.backend_count t)
+                    path;
+                  sock
+              | Error m ->
+                  Format.eprintf "%s@." m;
+                  exit 1)
+          | None ->
+              let sock, bound =
+                Server.Daemon.listen_tcp ~host ~backlog ~port ()
+              in
+              Format.fprintf ppf "routing %d backend(s) on %s:%d@."
+                (Server.Router.backend_count t)
+                host bound;
+              sock
+        in
+        Server.Router.serve ~config:dcfg t sock;
+        Server.Router.close t;
+        Format.fprintf ppf "shutdown@."
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster router: fan writes to key owners, answer queries \
+          from merged summaries (bit-identical to a single node)")
+    Term.(
+      const run $ host_arg $ port_arg $ socket_arg $ backends $ master $ shared
+      $ tau $ k $ p $ retries $ retry_base_ms $ timeout_ms $ backlog
+      $ max_line_bytes $ max_conns)
+
 (* ---------- exists ---------- *)
 
 let exists_cmd =
@@ -934,5 +1112,5 @@ let () =
           [
             repro_cmd; distinct_cmd; maxdom_cmd; derive_cmd; exists_cmd;
             gen_cmd; sample_cmd; estimate_cmd; outcome_cmd; serve_cmd;
-            client_cmd; plots_cmd; catalog_cmd;
+            route_cmd; client_cmd; plots_cmd; catalog_cmd;
           ]))

@@ -90,12 +90,24 @@ let request t line =
    (rather than equal or decorrelated) desynchronizes a thundering herd
    fastest; the draw comes from a seeded Numerics.Prng stream so retry
    schedules are reproducible in tests. *)
+let envelope_ms retry ~attempt =
+  min (float_of_int retry.max_delay_ms)
+    (float_of_int retry.base_delay_ms *. Float.of_int (1 lsl min attempt 20))
+
 let backoff_ms rng retry ~attempt =
-  let cap =
-    min (float_of_int retry.max_delay_ms)
-      (float_of_int retry.base_delay_ms *. Float.of_int (1 lsl min attempt 20))
-  in
-  int_of_float (Numerics.Prng.float rng *. cap)
+  int_of_float (Numerics.Prng.float rng *. envelope_ms retry ~attempt)
+
+(* A server's retry_after_ms is advice, not authority: a NaN, infinite
+   or negative hint (confused or malicious server) is discarded, and a
+   valid one is clamped into the same envelope this attempt's jittered
+   backoff draws from — a peer can speed our retry up, never stall us
+   past our own schedule. The comparison happens in float space, so an
+   absurd 1e300 never reaches int_of_float (whose result is undefined
+   outside [min_int, max_int]). *)
+let clamp_hint_ms retry ~attempt hint =
+  if Float.is_finite hint && hint >= 0. then
+    Some (int_of_float (Float.min hint (envelope_ms retry ~attempt)))
+  else None
 
 (* select-based sleep (the blocking sleep syscalls are banned under
    lib/server — they would park a pool domain if a client ever runs on
@@ -122,9 +134,9 @@ let request_retry ?(retry = default_retry) ?(sleep = default_sleep) t line =
       if attempt + 1 >= retry.attempts then outcome
       else begin
         let ms =
-          match hint with
-          | Some ms when ms >= 0 -> min ms retry.max_delay_ms
-          | _ -> backoff_ms rng retry ~attempt
+          match Option.bind hint (clamp_hint_ms retry ~attempt) with
+          | Some ms -> ms
+          | None -> backoff_ms rng retry ~attempt
         in
         sleep ms;
         go (attempt + 1)
@@ -133,14 +145,53 @@ let request_retry ?(retry = default_retry) ?(sleep = default_sleep) t line =
     match outcome with
     | Ok response when retryable_response response ->
         (* The server shed the request: honor its retry_after_ms hint
-           when present, jittered backoff otherwise. *)
-        retry_again
-          (Option.map int_of_float
-             (Protocol.json_float_field "retry_after_ms" response))
+           when present and sane (validated + clamped into this
+           attempt's backoff envelope), jittered backoff otherwise. *)
+        retry_again (Protocol.json_float_field "retry_after_ms" response)
     | Ok _ -> outcome
     | Error _ -> retry_again None
   in
   go 0
+
+(* Multi-line responses (PULL, SYNC): the header's "lines" field says
+   how many raw payload lines follow. A dropped connection is re-dialed
+   once before reading the header (so a restarted backend is transparent
+   to pull/sync callers, mirroring request_retry's transport recovery);
+   a drop *mid-payload* is an error — there is no way to resume a
+   half-read payload. *)
+let request_lines t line =
+  let header =
+    let attempt () =
+      match t.conn with
+      | Some _ -> request t line
+      | None -> Result.bind (reconnect t) (fun _ -> request t line)
+    in
+    match attempt () with Ok _ as ok -> ok | Error _ -> attempt ()
+  in
+  match header with
+  | Error m -> Error m
+  | Ok header -> (
+      let announced =
+        if Protocol.json_ok header then
+          Option.bind (Protocol.json_field "lines" header) int_of_string_opt
+        else None
+      in
+      match (announced, t.conn) with
+      | None, _ | Some _, None -> Ok (header, [])
+      | Some n, Some conn ->
+          let rec go i acc =
+            if i = n then Ok (header, List.rev acc)
+            else
+              match Protocol.Conn.input_line_opt conn with
+              | Some l -> go (i + 1) (l :: acc)
+              | None ->
+                  Protocol.Conn.close conn;
+                  t.conn <- None;
+                  Error
+                    (Printf.sprintf
+                       "connection closed after %d of %d payload lines" i n)
+          in
+          go 0 [])
 
 (* Batched ingest: the whole batch travels as one multi-line payload
    through [request_retry] — [Protocol.Conn.output_line] writes the

@@ -7,6 +7,7 @@
 
 type t
 
+val connect : Unix.sockaddr -> (t, string) result
 val connect_tcp : ?host:string -> port:int -> unit -> (t, string) result
 val connect_unix : path:string -> (t, string) result
 
@@ -16,6 +17,15 @@ val request : t -> string -> (string, string) result
     {!request_retry} reconnects, {!request} does not). The response is
     returned verbatim — inspect it with {!Protocol.json_field} /
     {!Protocol.json_float_field} / {!Protocol.json_ok}. *)
+
+val request_lines : t -> string -> (string * string list, string) result
+(** Send a request whose response may be multi-line (PULL, SYNC): read
+    the JSON header, then exactly as many raw payload lines as its
+    [lines] field announces. A response without a [lines] field (an
+    error object, or any single-line response) returns with an empty
+    payload list. A dropped connection is re-dialed once before the
+    request; a drop {e mid-payload} is an [Error] (a half-read payload
+    cannot be resumed). *)
 
 (** {2 Retry} *)
 
@@ -35,6 +45,14 @@ val backoff_ms : Numerics.Prng.t -> retry -> attempt:int -> int
     [\[0, min (max_delay_ms, base_delay_ms * 2^attempt))]. Full jitter
     desynchronizes a thundering herd fastest; exposed for the schedule
     tests. *)
+
+val clamp_hint_ms : retry -> attempt:int -> float -> int option
+(** Validate a server's [retry_after_ms] hint: [None] for NaN, infinite
+    or negative values (the hint is discarded and jittered backoff
+    used), otherwise the hint clamped to this attempt's backoff envelope
+    [min (max_delay_ms, base_delay_ms * 2^attempt)] — a confused or
+    malicious server can speed a retry up but never stall the client
+    past its own schedule. Exposed for the validation tests. *)
 
 val request_retry :
   ?retry:retry -> ?sleep:(int -> unit) -> t -> string -> (string, string) result

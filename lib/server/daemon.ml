@@ -102,7 +102,18 @@ let ns_to_s ns = Int64.to_float ns /. 1e9
 
 (* --- the event loop --- *)
 
-let serve ?(config = default_config) engine sock =
+(* The loop itself is transport + framing only; what a request *means*
+   is behind these two hooks, so the same loop serves both a storage
+   daemon (hooks into Engine) and the cluster router (hooks that fan out
+   over the wire). The INGESTN body collection stays in the loop — it is
+   connection-level framing — and hands the handler whole, well-formed
+   batches. *)
+type handlers = {
+  on_request : Protocol.request -> string * Engine.action;
+  on_batch : name:string -> (int * float) array -> string;
+}
+
+let serve_handlers ?(config = default_config) handlers sock =
   (* A peer that closes mid-response must surface as a write error on
      this connection, not as a process-fatal signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -162,7 +173,10 @@ let serve ?(config = default_config) engine sock =
     match c.batch with
     | Some b ->
         b.b_n <- b.b_n + 1;
-        (match Protocol.parse_batch_record line with
+        (* [~line] = 1-based body line index: a bad record deep in the
+           batch is diagnosed as "line <n>: ...", so the client can find
+           it without bisecting the payload. *)
+        (match Protocol.parse_batch_record ~line:b.b_n line with
         | Ok r -> if b.b_err = None then b.b_got <- r :: b.b_got
         | Error e ->
             if b.b_err = None then
@@ -174,7 +188,7 @@ let serve ?(config = default_config) engine sock =
             | Some m -> Protocol.error m
             | None -> (
                 let records = Array.of_list (List.rev b.b_got) in
-                try Engine.handle_ingest_many engine ~name:b.b_name records
+                try handlers.on_batch ~name:b.b_name records
                 with
                 | Numerics.Robust.Solver_error f ->
                     Protocol.error ("strict: " ^ Numerics.Robust.to_string f)
@@ -194,7 +208,7 @@ let serve ?(config = default_config) engine sock =
                     b_err = None }
           | Ok req -> (
               let response, action =
-                try Engine.handle_request engine req with
+                try handlers.on_request req with
                 | Numerics.Robust.Solver_error f ->
                     ( Protocol.error
                         ("strict: " ^ Numerics.Robust.to_string f),
@@ -411,11 +425,25 @@ let serve ?(config = default_config) engine sock =
     conns;
   try Unix.close sock with Unix.Unix_error _ -> ()
 
+let engine_handlers engine =
+  {
+    on_request = (fun req -> Engine.handle_request engine req);
+    on_batch =
+      (fun ~name records -> Engine.handle_ingest_many engine ~name records);
+  }
+
+let serve ?config engine sock =
+  serve_handlers ?config (engine_handlers engine) sock
+
 type t = { d_port : int; dom : unit Domain.t }
 
-let start ?(config = default_config) engine =
+let start_handlers ?(config = default_config) handlers =
   let sock, port = listen_tcp ~backlog:config.backlog ~port:0 () in
-  { d_port = port; dom = Domain.spawn (fun () -> serve ~config engine sock) }
+  {
+    d_port = port;
+    dom = Domain.spawn (fun () -> serve_handlers ~config handlers sock);
+  }
 
+let start ?config engine = start_handlers ?config (engine_handlers engine)
 let port t = t.d_port
 let join t = Domain.join t.dom

@@ -57,12 +57,31 @@ val listen_unix :
     at the path is unlinked and reclaimed; any other kind of file is an
     [Error] — the daemon must never destroy a mistyped data file. *)
 
-val serve : ?config:config -> Engine.t -> Unix.file_descr -> unit
+(** {2 Pluggable request handling}
+
+    The event loop is transport + framing only; request {e meaning}
+    lives behind these hooks. A storage daemon plugs in {!Engine}
+    ({!serve}); the cluster {!Router} plugs in fan-out handlers over the
+    same loop. INGESTN body collection stays in the loop (it is
+    connection-level framing): [on_batch] receives whole, well-formed
+    batches, with malformed body lines already answered as line-numbered
+    errors. Handler exceptions answer as error objects, same as engine
+    exceptions. *)
+type handlers = {
+  on_request : Protocol.request -> string * Engine.action;
+  on_batch : name:string -> (int * float) array -> string;
+}
+
+val serve_handlers : ?config:config -> handlers -> Unix.file_descr -> unit
 (** Run the event loop on the calling domain until a session issues
-    [SHUTDOWN]. Closes every connection and the listening socket before
-    returning. Instrumented with [server.accept] /
-    [server.session.timeout] / [server.session.line_too_long]
-    counters. *)
+    [SHUTDOWN] (i.e. [on_request] returns {!Engine.Stop}). Closes every
+    connection and the listening socket before returning. Instrumented
+    with [server.accept] / [server.session.timeout] /
+    [server.session.line_too_long] counters. *)
+
+val serve : ?config:config -> Engine.t -> Unix.file_descr -> unit
+(** {!serve_handlers} over {!Engine.handle_request} /
+    {!Engine.handle_ingest_many}. *)
 
 (** {2 In-process daemon (tests, bench)} *)
 
@@ -73,6 +92,11 @@ val start : ?config:config -> Engine.t -> t
 (** Bind [127.0.0.1:0], then run {!serve} on a fresh domain. The engine
     (and its store) must not be touched directly by other domains while
     the daemon runs — talk to it through a {!Client}. *)
+
+val start_handlers : ?config:config -> handlers -> t
+(** {!start} with custom {!handlers} (how tests run an in-process
+    {!Router}). The handlers run on the daemon's domain — any state they
+    close over must not be touched by other domains while it runs. *)
 
 val port : t -> int
 

@@ -90,6 +90,10 @@ let eval_or_flat flat seeds ~ids:(id1, id2) ~p1 ~p2 ~s1 ~s2 =
 
 let select_all _ = true
 
+let mode_name = function
+  | Sampling.Seeds.Shared -> "shared"
+  | Sampling.Seeds.Independent -> "independent"
+
 let pps_samples_of st insts =
   {
     Aggregates.Sum_agg.seeds = Store.seeds st;
@@ -387,6 +391,52 @@ let handle_request t req =
               | Ok epoch ->
                   (P.ok_fields (base @ [ ("epoch", P.jint epoch) ]), Continue)
               | Error m -> (P.error ~kind:"wal" m, Continue))))
+  | P.Pull name -> (
+      match Store.find st name with
+      | None ->
+          (P.error (Printf.sprintf "unknown instance %S" name), Continue)
+      | Some inst ->
+          Store.flush st;
+          let cfg = Store.config st in
+          let lines = Merge.payload (Store.export_summary inst) in
+          ( P.ok_lines
+              [ ("name", P.jstr name); ("id", P.jint (Store.id inst));
+                ("master", P.jint cfg.Store.master);
+                ("mode", P.jstr (mode_name cfg.Store.mode)) ]
+              lines,
+            Continue ))
+  | P.Sync -> (
+      Store.flush st;
+      (* Checkpoint-then-ship: with a WAL attached the shipped snapshot
+         is exactly the new checkpoint's content (same Snapshot.to_string
+         of the same flushed store), so a follower holding the payload
+         holds the checkpoint. *)
+      let extra =
+        match t.t_wal with
+        | None -> Ok []
+        | Some wal -> (
+            match Wal.checkpoint wal st with
+            | Ok epoch -> Ok [ ("epoch", P.jint epoch) ]
+            | Error m -> Error m)
+      in
+      match extra with
+      | Error m -> (P.error ~kind:"wal" m, Continue)
+      | Ok extra ->
+          let cfg = Store.config st in
+          let lines =
+            match
+              List.rev (String.split_on_char '\n' (Snapshot.to_string st))
+            with
+            | "" :: rev -> List.rev rev
+            | rev -> List.rev rev
+          in
+          ( P.ok_lines
+              (("instances", P.jint (List.length (Store.instances st)))
+               :: ("master", P.jint cfg.Store.master)
+               :: ("mode", P.jstr (mode_name cfg.Store.mode))
+               :: extra)
+              lines,
+            Continue ))
   | P.Stats -> (run_stats st, Continue)
   | P.Flush -> (
       match log_op t Wal.Flush with

@@ -14,6 +14,8 @@ type request =
   | Snapshot of string
   | Stats
   | Flush
+  | Pull of string
+  | Sync
   | Quit
   | Shutdown
 
@@ -172,6 +174,12 @@ let parse line =
       | "STATS", _ -> err "STATS takes no arguments"
       | "FLUSH", [] -> Ok Flush
       | "FLUSH", _ -> err "FLUSH takes no arguments"
+      | "PULL", [ name ] ->
+          let* name = parse_name "instance name" name in
+          Ok (Pull name)
+      | "PULL", _ -> err "PULL takes exactly one argument: the instance name"
+      | "SYNC", [] -> Ok Sync
+      | "SYNC", _ -> err "SYNC takes no arguments"
       | "QUIT", [] -> Ok Quit
       | "QUIT", _ -> err "QUIT takes no arguments"
       | "SHUTDOWN", [] -> Ok Shutdown
@@ -180,19 +188,23 @@ let parse line =
 
 (* A batch body line is "<key> <weight>" — same key/weight grammar and
    validation as INGEST, without re-tokenizing the verb and name n
-   times. *)
-let parse_batch_record line =
+   times. [line] (1-based body line index) stamps any diagnostic, so a
+   NaN/infinite/negative weight deep inside a batch is reported with the
+   offending body line, exactly like the single-line path reports the
+   offending tokens. *)
+let parse_batch_record ?(line = 0) s =
   let tokens =
-    String.split_on_char ' ' (String.trim line)
+    String.split_on_char ' ' (String.trim s)
     |> List.filter (fun t -> t <> "")
   in
-  match tokens with
+  (match tokens with
   | [ key; weight ] ->
       let* key = parse_int "key" key in
       let* weight = parse_float "weight" weight in
       if weight <= 0. then err (Printf.sprintf "weight %g must be > 0" weight)
       else Ok (key, weight)
-  | _ -> err "batch record takes: <key> <weight>"
+  | _ -> err "batch record takes: <key> <weight>")
+  |> Result.map_error (fun e -> { e with Sampling.Io.line })
 
 (* Shared by Client.ingest_many, the CLI coalescer and the bench: the
    whole batch as one multi-line payload (header + body, no trailing
@@ -275,6 +287,14 @@ let error ?kind ?retry_after_ms msg =
 let greeting =
   ok_fields
     [ ("server", jstr "optsample-serve"); ("protocol", jint version) ]
+
+(* Multi-line responses (PULL, SYNC): a JSON header whose ["lines"]
+   field announces how many raw payload lines follow — the response
+   direction's mirror of INGESTN's request framing. Payload lines are
+   raw text (the snapshot / summary formats), never JSON. *)
+let ok_lines fields lines =
+  String.concat "\n"
+    (ok_fields (fields @ [ ("lines", jint (List.length lines)) ]) :: lines)
 
 (* --- response inspection --- *)
 

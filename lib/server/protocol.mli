@@ -27,6 +27,15 @@
     - [SNAPSHOT <path>] — persist the full store.
     - [STATS] — per-instance and per-shard counters.
     - [FLUSH] — drain all shard mailboxes now.
+    - [PULL <name>] — export one instance's mergeable summary
+      ({!Merge.payload} lines) for cluster-mode query merging. The
+      response is {e multi-line}: a JSON header whose [lines] field
+      announces how many raw payload lines follow (the response
+      direction's mirror of INGESTN's request framing).
+    - [SYNC] — ship the full store as snapshot text (same multi-line
+      framing); with a WAL attached the server takes a
+      {!Wal.checkpoint} first and reports the new [epoch] — how a
+      follower receives checkpoints for failover.
     - [QUIT] — end the session (connection closes).
     - [SHUTDOWN] — end the session and stop the accept loop.
 
@@ -54,6 +63,8 @@ type request =
   | Snapshot of string
   | Stats
   | Flush
+  | Pull of string  (** export one instance's mergeable summary *)
+  | Sync  (** checkpoint (when a WAL is attached) and ship the snapshot *)
   | Quit
   | Shutdown
 
@@ -73,9 +84,12 @@ val parse : string -> (request, Sampling.Io.parse_error) result
 (** Parse one request line. The [line] field of an error is 0 (sessions
     number their own requests). *)
 
-val parse_batch_record : string -> (int * float, Sampling.Io.parse_error) result
+val parse_batch_record :
+  ?line:int -> string -> (int * float, Sampling.Io.parse_error) result
 (** Parse one [INGESTN] body line [<key> <weight>] — same grammar and
-    validation (finite, positive weight) as the INGEST tokens. *)
+    validation (finite, positive weight) as the INGEST tokens. [line]
+    (1-based body line index, default 0 = unnumbered) stamps the error,
+    so a bad weight inside a batch is diagnosed as ["line <n>: ..."]. *)
 
 val batch_payload : name:string -> (int * float) array -> string
 (** The whole batch as one multi-line request payload (header plus body
@@ -93,6 +107,12 @@ val greeting : string
 val ok_fields : (string * string) list -> string
 (** [ok_fields fields] is [{"ok":true,<fields>}]; field values must
     already be valid JSON fragments (use {!jstr}/{!jfloat}/{!jint}). *)
+
+val ok_lines : (string * string) list -> string list -> string
+(** Multi-line response: [ok_fields] header extended with a ["lines"]
+    count, followed by the raw payload lines, newline-joined (the
+    transport appends the final newline). Clients read the header, then
+    exactly [lines] more lines — see {!Client.request_lines}. *)
 
 val error : ?kind:string -> ?retry_after_ms:int -> string -> string
 (** [{"ok":false,"error":<msg>}], optionally extended with a

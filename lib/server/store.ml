@@ -327,9 +327,17 @@ let records inst = inst.i_records
 let volume inst = inst.i_volume
 let cardinality inst = Hashtbl.length inst.weights
 
+(* Every export below goes through these two helpers: hashtable
+   iteration order depends on insertion history, so anything emitted to
+   a snapshot, a STATS response or a merge payload is sorted first —
+   byte-stable regardless of ingestion order (regression-tested by
+   diffing snapshots of permuted streams). *)
 let sorted_entries tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2)
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort Int.compare
 
 let to_instance inst = Sampling.Instance.of_assoc (sorted_entries inst.weights)
 
@@ -366,12 +374,87 @@ let bottom_k inst =
     threshold;
   }
 
-let binary_sample inst =
-  Hashtbl.fold (fun k () acc -> k :: acc) inst.binary_tbl []
-  |> List.sort Int.compare
-
+let binary_sample inst = sorted_keys inst.binary_tbl
 let varopt_entries inst = Sampling.Varopt.entries inst.vo
 let varopt_threshold inst = Sampling.Varopt.threshold inst.vo
+
+(* --- mergeable summary export / install (cluster mode) --- *)
+
+type summary = {
+  s_name : string;
+  s_id : int;
+  s_cfg : instance_config;
+  s_records : int;
+  s_volume : float;
+  s_weights : (int * float) list;
+  s_pps : (int * float) list;
+  s_binary : int list;
+  s_bk : (float * int) list;
+}
+
+let export_summary inst =
+  {
+    s_name = inst.i_name;
+    s_id = inst.id;
+    s_cfg = inst.icfg;
+    s_records = inst.i_records;
+    s_volume = inst.i_volume;
+    s_weights = sorted_entries inst.weights;
+    s_pps = sorted_entries inst.pps_tbl;
+    s_binary = sorted_keys inst.binary_tbl;
+    s_bk = RankSet.elements inst.bk_set;
+  }
+
+(* The summary is installed verbatim under its *recorded* id: seed
+   derivation, the VarOpt substream and the shard assignment all key off
+   [s_id], so a store materialized from a subset of another store's
+   instances answers queries with the original seeds. The VarOpt
+   reservoir is not part of the summary; it is rebuilt canonically from
+   the aggregated weights in ascending key order on the instance's
+   private substream — exactly the reservoir a [Snapshot] restore of the
+   same weights would hold (and unused by the four query kinds, which
+   read only the PPS and binary samples). *)
+let install_summary t s =
+  if not (Protocol.valid_name s.s_name) then
+    Error (Printf.sprintf "invalid instance name %S" s.s_name)
+  else if Hashtbl.mem t.by_name s.s_name then
+    Error (Printf.sprintf "instance %S already exists" s.s_name)
+  else if s.s_id < 0 then
+    Error (Printf.sprintf "invalid instance id %d" s.s_id)
+  else begin
+    let inst =
+      {
+        id = s.s_id;
+        i_name = s.s_name;
+        icfg = s.s_cfg;
+        weights = Hashtbl.create (max 16 (List.length s.s_weights));
+        i_records = s.s_records;
+        i_volume = s.s_volume;
+        pps_tbl = Hashtbl.create (max 16 (List.length s.s_pps));
+        binary_tbl = Hashtbl.create (max 16 (List.length s.s_binary));
+        bk_set = RankSet.empty;
+        bk_rank = Hashtbl.create 256;
+        vo = Sampling.Varopt.create ~k:s.s_cfg.k;
+        vo_rng = Numerics.Prng.substream ~master:t.cfg.master s.s_id;
+      }
+    in
+    List.iter (fun (k, v) -> Hashtbl.replace inst.weights k v) s.s_weights;
+    List.iter (fun (k, v) -> Hashtbl.replace inst.pps_tbl k v) s.s_pps;
+    List.iter (fun k -> Hashtbl.replace inst.binary_tbl k ()) s.s_binary;
+    List.iter
+      (fun (rank, key) ->
+        inst.bk_set <- RankSet.add (rank, key) inst.bk_set;
+        Hashtbl.replace inst.bk_rank key rank)
+      s.s_bk;
+    List.iter
+      (fun (key, weight) ->
+        Sampling.Varopt.add inst.vo inst.vo_rng ~key ~weight)
+      s.s_weights;
+    Hashtbl.add t.by_name s.s_name inst;
+    t.rev_instances <- inst :: t.rev_instances;
+    t.n_instances <- max t.n_instances (s.s_id + 1);
+    Ok inst
+  end
 
 type shard_stats = { shard : int; queue_depth : int; applied : int }
 

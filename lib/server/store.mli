@@ -162,6 +162,42 @@ val binary_sample : instance -> int list
 val varopt_entries : instance -> (int * float) list
 val varopt_threshold : instance -> float
 
+(** {2 Mergeable summaries (cluster mode)}
+
+    A [summary] is the complete, order-independent export of one
+    instance: every list is sorted (weights/PPS/binary ascending by key,
+    bottom-k ascending by [(rank, key)]), so serializing a summary is
+    byte-stable whatever the ingestion order or hashtable state — the
+    same guarantee the snapshot format gives, extended to the merge
+    payloads {!Merge} puts on the wire. *)
+
+type summary = {
+  s_name : string;
+  s_id : int;  (** recorded id — seed derivation keys off this *)
+  s_cfg : instance_config;
+  s_records : int;
+  s_volume : float;
+  s_weights : (int * float) list;  (** accumulated weights, ascending key *)
+  s_pps : (int * float) list;  (** live PPS sample, ascending key *)
+  s_binary : int list;  (** binary support sample, ascending *)
+  s_bk : (float * int) list;
+      (** bottom-k working set: the [k+1] smallest [(rank, key)] pairs,
+          ascending *)
+}
+
+val export_summary : instance -> summary
+(** Export the live summaries (flush the store first). *)
+
+val install_summary : t -> summary -> (instance, string) result
+(** Register an instance carrying exactly the summary's state, under its
+    {e recorded} id (so seed recomputation matches the exporting store —
+    the materialized store answers queries bit-identically). The VarOpt
+    reservoir is rebuilt canonically from the aggregated weights in
+    ascending key order on the instance's private substream (same
+    reservoir a {!Snapshot} restore of those weights holds; the four
+    query kinds never read it). [Error] when the name is taken or
+    invalid. *)
+
 (** {2 Shard introspection (STATS)} *)
 
 type shard_stats = {

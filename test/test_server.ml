@@ -140,6 +140,62 @@ let test_protocol_batch_framing () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "oversized batch payload accepted"
 
+(* Batch-body diagnostics carry the 1-based body line number, so a
+   client can point at the offending record of a thousand-line INGESTN
+   the same way single-line INGEST errors point at the request. *)
+let test_protocol_batch_line_numbers () =
+  List.iter
+    (fun bad ->
+      match P.parse_batch_record ~line:3 bad with
+      | Ok _ -> Alcotest.failf "bad record %S accepted" bad
+      | Error e ->
+          Alcotest.(check int)
+            (Printf.sprintf "%S reports its body line" bad)
+            3 e.Sampling.Io.line;
+          let rendered = Sampling.Io.parse_error_to_string e in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S renders 'line 3:'" bad)
+            true
+            (String.length rendered >= 7 && String.sub rendered 0 7 = "line 3:"))
+    [ "7 nan"; "7 inf"; "7 -1"; "7 0"; "x 1.0"; "" ];
+  (* A good record parses identically whatever line it sits on. *)
+  match P.parse_batch_record ~line:9 "7 0x1.8p1" with
+  | Ok (key, weight) ->
+      Alcotest.(check int) "key" 7 key;
+      check_float ~eps:0. "weight" 3.0 weight
+  | Error e -> Alcotest.failf "good record rejected: %s" e.Sampling.Io.message
+
+(* retry_after_ms hints are advice, not authority: non-finite and
+   negative hints fall back to jittered backoff, and a sane hint is
+   clamped into the attempt's backoff envelope. *)
+let test_client_hint_clamping () =
+  let retry = Server.Client.default_retry in
+  (* default: base 10ms, max 2000ms -> envelope 10*2^attempt up to 2000 *)
+  let clamp = Server.Client.clamp_hint_ms retry in
+  Alcotest.(check (option int)) "NaN discarded" None (clamp ~attempt:0 Float.nan);
+  Alcotest.(check (option int)) "+inf discarded" None
+    (clamp ~attempt:0 Float.infinity);
+  Alcotest.(check (option int)) "-inf discarded" None
+    (clamp ~attempt:0 Float.neg_infinity);
+  Alcotest.(check (option int)) "negative discarded" None
+    (clamp ~attempt:0 (-5.));
+  Alcotest.(check (option int)) "in-envelope hint honored" (Some 5)
+    (clamp ~attempt:0 5.);
+  Alcotest.(check (option int)) "zero honored" (Some 0) (clamp ~attempt:0 0.);
+  Alcotest.(check (option int)) "absurd hint clamped to the envelope"
+    (Some 10) (clamp ~attempt:0 1e300);
+  Alcotest.(check (option int)) "envelope grows with the attempt" (Some 80)
+    (clamp ~attempt:3 1e9);
+  Alcotest.(check (option int)) "envelope capped at max_delay_ms" (Some 2000)
+    (clamp ~attempt:19 1e9);
+  (* The jittered draw itself never leaves the envelope either. *)
+  let rng = Numerics.Prng.create ~seed:7 () in
+  for attempt = 0 to 12 do
+    let ms = Server.Client.backoff_ms rng retry ~attempt in
+    Alcotest.(check bool) "backoff within the envelope" true
+      (ms >= 0 && ms <= retry.Server.Client.max_delay_ms)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -926,6 +982,52 @@ let test_e2e_client_batch_identical () =
   Alcotest.(check (list string)) "batched ingest bit-identical to lines"
     (run ~batched:false) (run ~batched:true)
 
+(* The daemon's INGESTN rejection points at the offending body line by
+   number — and the whole batch is refused (all-or-nothing), leaving the
+   session usable. *)
+let test_e2e_batch_line_diagnostic () =
+  let st =
+    Store.create { Store.default_config with master = 13; flush_every = 4096 }
+  in
+  let daemon = Server.Daemon.start (Engine.create st) in
+  let port = Server.Daemon.port daemon in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let conn = P.Conn.of_fd fd in
+  (match P.Conn.input_line_opt conn with
+  | Some g when P.json_ok g -> ()
+  | _ -> Alcotest.fail "greeting");
+  let roundtrip line =
+    P.Conn.output_line conn line;
+    match P.Conn.input_line_opt conn with
+    | Some resp -> resp
+    | None -> Alcotest.fail "connection dropped"
+  in
+  if not (P.json_ok (roundtrip "CREATE h1 tau=50 k=16 p=0.2")) then
+    Alcotest.fail "create failed";
+  (* Third body line is bad: the response must say "line 3". *)
+  P.Conn.output_line conn "INGESTN h1 4";
+  P.Conn.output_line conn "1 0x1p0";
+  P.Conn.output_line conn "2 0x1p0";
+  P.Conn.output_line conn "3 nan";
+  let resp = roundtrip "4 0x1p0" in
+  Alcotest.(check bool) "bad batch rejected" false (P.json_ok resp);
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec find i = i + n <= h && (String.sub hay i n = needle || find (i + 1)) in
+    find 0
+  in
+  Alcotest.(check bool) "diagnostic names body line 3" true
+    (contains "line 3" resp);
+  (* Nothing of the batch landed, and the session still works. *)
+  let stats = roundtrip "STATS" in
+  Alcotest.(check bool) "stats ok after rejected batch" true (P.json_ok stats);
+  Alcotest.(check bool) "no record admitted from the bad batch" true
+    (contains "\"records\":0" stats);
+  ignore (roundtrip "SHUTDOWN");
+  P.Conn.close conn;
+  Server.Daemon.join daemon
+
 let () =
   Alcotest.run "server"
     [
@@ -937,6 +1039,10 @@ let () =
             test_protocol_json;
           Alcotest.test_case "batch payload framing" `Quick
             test_protocol_batch_framing;
+          Alcotest.test_case "batch diagnostics carry line numbers" `Quick
+            test_protocol_batch_line_numbers;
+          Alcotest.test_case "retry hint validation and clamping" `Quick
+            test_client_hint_clamping;
         ] );
       ( "store",
         [
@@ -980,5 +1086,7 @@ let () =
             test_e2e_slow_reader_backpressure;
           Alcotest.test_case "batched client bit-identical to lines" `Slow
             test_e2e_client_batch_identical;
+          Alcotest.test_case "batch rejection names the body line" `Quick
+            test_e2e_batch_line_diagnostic;
         ] );
     ]

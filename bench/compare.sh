@@ -94,6 +94,8 @@ validate() {
     echo "FAIL  $1: no cached designer micro-benchmark" ; ok=0 ; }
   grep -q '"name": "per-key estimates max' "$1" || {
     echo "FAIL  $1: no estimates-throughput kernel" ; ok=0 ; }
+  grep -q '"name": "monotone.similarity' "$1" || {
+    echo "FAIL  $1: no monotone similarity kernel pair" ; ok=0 ; }
   grep -q '"name": "kernels/wal: append' "$1" || {
     echo "FAIL  $1: no wal append micro-benchmark" ; ok=0 ; }
   grep -q '"name": "kernels/wal: recover' "$1" || {

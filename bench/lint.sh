@@ -107,12 +107,18 @@ fi
 # boxes floats; `Hashtbl.hash` hashes structure (and is why derivation
 # fingerprints used to cost more than derivations). Cache keys there use
 # bit-pattern hashes and monomorphic Float/Int comparisons instead.
+# The monotone L* engine and the similarity aggregate it serves are on
+# the per-key query path, so they are held to the same bans.
 hot_files=""
-for m in max_oblivious max_pps ht or_oblivious or_weighted evalbuf; do
+for m in max_oblivious max_pps ht or_oblivious or_weighted evalbuf monotone; do
     for ext in ml mli; do
         f="$root/lib/estcore/$m.$ext"
         [ -f "$f" ] && hot_files="$hot_files $f"
     done
+done
+for ext in ml mli; do
+    f="$root/lib/aggregates/similarity.$ext"
+    [ -f "$f" ] && hot_files="$hot_files $f"
 done
 poly_hits=$(grep -nE 'Stdlib\.compare|Hashtbl\.hash|Stdlib\.hash|[^._[:alnum:]]compare[[:space:]]+[^( ]' \
     $hot_files 2>/dev/null)

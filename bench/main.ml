@@ -658,6 +658,54 @@ let estimates_kernel ~evals pool =
   in
   (seq, par)
 
+(* Similarity-serving kernel: a columnar pool of pre-drawn r=2
+   coordinated PPS outcomes, each evaluated through the Monotone flat
+   twins (one L*-union plus one L*-intersection estimate per eval — the
+   per-key work of QUERY jaccard). Same chunk layout and left-to-right
+   combine as the estimates kernel, so the parallel sum is bit-identical
+   to the sequential one; each chunk body owns its own Evalbuf. *)
+let similarity_kernel ~evals pool =
+  let n = 16384 and r = 2 in
+  let taus = [| 30.; 40. |] in
+  let rng = Numerics.Prng.create ~seed:29 () in
+  let vals = Float.Array.make (n * r) 0. in
+  let present = Bytes.make (n * r) '\000' in
+  for i = 0 to n - 1 do
+    let v =
+      Array.init r (fun _ -> float_of_int (1 + Numerics.Prng.int rng 32))
+    in
+    let o = Estcore.Coordinated.draw rng ~taus v in
+    for j = 0 to r - 1 do
+      match o.Sampling.Outcome.Pps.values.(j) with
+      | Some v ->
+          Float.Array.set vals ((i * r) + j) v;
+          Bytes.set present ((i * r) + j) '\001'
+      | None -> ()
+    done
+  done;
+  let chunk_sum (lo, hi) =
+    let buf = EB.create ~r_max:r in
+    let acc = ref 0. in
+    for e = lo to hi - 1 do
+      let base = (e land (n - 1)) * r in
+      for j = 0 to r - 1 do
+        Float.Array.set buf.EB.vals j (Float.Array.get vals (base + j));
+        Bytes.set buf.EB.present j (Bytes.get present (base + j))
+      done;
+      Estcore.Monotone.Flat.max_into ~taus buf ~dst:buf.EB.out ~di:0;
+      acc := !acc +. Float.Array.get buf.EB.out 0;
+      Estcore.Monotone.Flat.min_into ~taus buf ~dst:buf.EB.out ~di:0;
+      acc := !acc +. Float.Array.get buf.EB.out 0
+    done;
+    !acc
+  in
+  let layout = Array.of_list (Numerics.Pool.chunks pool evals) in
+  let seq () = Array.fold_left ( +. ) 0. (Array.map chunk_sum layout) in
+  let par () =
+    Array.fold_left ( +. ) 0. (Numerics.Pool.parallel_map pool chunk_sum layout)
+  in
+  (seq, par)
+
 let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
     ~sat_clients ~sat_records ~sat_batch ~route_records ~route_batch pool =
   let probs8 = Array.make 8 0.2 in
@@ -684,6 +732,8 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
   let est_evals = mc_trials in
   let est_seq_run, est_par_run = estimates_kernel ~evals:est_evals pool in
   let est_seq, t_est_seq = wall est_seq_run in
+  let sim_seq_run, sim_par_run = similarity_kernel ~evals:est_evals pool in
+  let sim_seq, t_sim_seq = wall sim_seq_run in
   Numerics.Memo.clear_all ();
   let mc_par, t_mc_par =
     wall (fun () ->
@@ -699,6 +749,8 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
   let est_par, t_est_par = wall est_par_run in
   assert (est_seq = est_par);
   (* bit-identical: same chunk layout, same left-to-right combine *)
+  let sim_par, t_sim_par = wall sim_par_run in
+  assert (sim_seq = sim_par);
   (* The server kernel runs last: both of its variants touch the pool
      (flush is a pool task even at one shard), so by now the domains
      exist either way and seq vs par stays internally fair. *)
@@ -731,6 +783,12 @@ let kernel_timings ~mc_trials ~sweep_steps ~server_copies ~server_traffic
       k_work = est_evals;
       k_seq = t_est_seq;
       k_par = t_est_par;
+    };
+    {
+      k_name = "monotone.similarity L* r=2 (flat)";
+      k_work = est_evals;
+      k_seq = t_sim_seq;
+      k_par = t_sim_par;
     };
     server;
     saturation;

@@ -573,7 +573,9 @@ let serve_cmd =
     Arg.(
       value & flag
       & info [ "shared-seeds" ]
-          ~doc:"Coordinated sampling: all instances share one seed per key.")
+          ~doc:
+            "Coordinated sampling: all instances share one seed per key \
+             (required by the jaccard/l1/union/intersection queries).")
   in
   let tau = Arg.(value & opt float 100. & info [ "tau" ] ~doc:"Default PPS threshold.") in
   let k = Arg.(value & opt int 64 & info [ "k" ] ~doc:"Default bottom-k / VarOpt size.") in
@@ -769,8 +771,9 @@ let client_cmd =
       value & pos_all string []
       & info [] ~docv:"REQUEST"
           ~doc:
-            "Requests to send (quote each one, e.g. 'QUERY max a b'). With \
-             none, requests are read from stdin, one per line.")
+            "Requests to send (quote each one, e.g. 'QUERY max a b' or \
+             'QUERY jaccard a b'). With none, requests are read from stdin, \
+             one per line.")
   in
   let retries =
     Arg.(

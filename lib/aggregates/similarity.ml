@@ -1,0 +1,78 @@
+module M = Estcore.Monotone
+module EB = Estcore.Evalbuf
+
+type sums = { union_hat : float; inter_hat : float }
+
+let site_union = "similarity.union"
+let site_inter = "similarity.intersection"
+
+let sums t ~select =
+  let union_hat =
+    Sum_agg.estimate t
+      ~est:(fun o -> M.guard ~site:site_union (M.max_lstar o))
+      ~select
+  in
+  let inter_hat =
+    Sum_agg.estimate t
+      ~est:(fun o -> M.guard ~site:site_inter (M.min_lstar o))
+      ~select
+  in
+  { union_hat; inter_hat }
+
+(* One cursor-merge walk computing both sums — the serving hot path,
+   mirroring {!Sum_agg.estimate_flat}'s columnar layout. The monotone
+   closed forms read only values/presence/thresholds, so no per-key
+   seeds are recomputed (the one allocation the max/or flat loops still
+   pay); bit-identity to {!sums} holds because both walk the same
+   ascending union keys and accumulate the same guarded per-key values
+   left to right, with twin evaluators underneath. *)
+let sums_flat t ~select =
+  let r = Array.length t.Sum_agg.samples in
+  let buf = EB.create ~r_max:(max r 1) in
+  let sorted =
+    Array.map
+      (fun (s : Sampling.Poisson.pps) ->
+        List.stable_sort
+          (fun ((a : int), _) (b, _) -> Int.compare a b)
+          s.Sampling.Poisson.entries)
+      t.Sum_agg.samples
+  in
+  let keys = Array.map (fun l -> Array.of_list (List.map fst l)) sorted in
+  let vals = Array.map (fun l -> Float.Array.of_list (List.map snd l)) sorted in
+  let cursors = Array.make (max r 1) 0 in
+  let acc = Float.Array.make 2 0. in
+  let out = Float.Array.make 1 0. in
+  List.iter
+    (fun h ->
+      if select h then begin
+        for i = 0 to r - 1 do
+          let ks = keys.(i) in
+          let n = Array.length ks in
+          let c = ref cursors.(i) in
+          while !c < n && Array.unsafe_get ks !c < h do
+            incr c
+          done;
+          cursors.(i) <- !c;
+          if !c < n && Array.unsafe_get ks !c = h then begin
+            Float.Array.set buf.EB.vals i (Float.Array.get vals.(i) !c);
+            Bytes.set buf.EB.present i '\001'
+          end
+          else begin
+            Float.Array.set buf.EB.vals i 0.;
+            Bytes.set buf.EB.present i '\000'
+          end
+        done;
+        M.Flat.max_into ~taus:t.Sum_agg.taus buf ~dst:out ~di:0;
+        Float.Array.set acc 0
+          (Float.Array.get acc 0
+          +. M.guard ~site:site_union (Float.Array.get out 0));
+        M.Flat.min_into ~taus:t.Sum_agg.taus buf ~dst:out ~di:0;
+        Float.Array.set acc 1
+          (Float.Array.get acc 1
+          +. M.guard ~site:site_inter (Float.Array.get out 0))
+      end)
+    (Sum_agg.sampled_keys t);
+  { union_hat = Float.Array.get acc 0; inter_hat = Float.Array.get acc 1 }
+
+let jaccard s = if s.union_hat > 0. then s.inter_hat /. s.union_hat else 0.
+let l1 s = s.union_hat -. s.inter_hat

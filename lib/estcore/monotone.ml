@@ -1,0 +1,302 @@
+module P = Sampling.Outcome.Pps
+
+(* --- lower-bound function machinery (generic monotone f) --- *)
+
+type lb = { at : float -> float; breakpoints : float list }
+
+let lstar ?tol lb ~u =
+  if not (u > 0. && u <= 1.) then
+    invalid_arg (Printf.sprintf "Monotone.lstar: seed %g outside (0,1]" u);
+  let head = lb.at u /. u in
+  let tail =
+    if u < 1. then
+      Numerics.Integrate.robust_pieces ?tol ~breakpoints:lb.breakpoints
+        (fun x -> lb.at x /. (x *. x))
+        u 1.
+    else 0.
+  in
+  head -. tail
+
+let guard ~site x =
+  if Float.is_finite x && x >= 0. then x
+  else begin
+    let reason =
+      if Float.is_finite x then
+        Numerics.Robust.Invalid_input (Printf.sprintf "negative estimate %h" x)
+      else Numerics.Robust.Non_finite "estimate"
+    in
+    Numerics.Robust.note_degradation ~site ~fallback:"zero"
+      (Numerics.Robust.fail (Numerics.Robust.Other "monotone-lstar") reason);
+    0.
+  end
+
+(* --- step trajectories --- *)
+
+type steps = { xs : float array; ds : float array }
+
+let total s =
+  let acc = ref 0. in
+  for t = Array.length s.ds - 1 downto 0 do
+    acc := !acc +. s.ds.(t)
+  done;
+  !acc
+
+let lb_of_steps s =
+  let n = Array.length s.xs in
+  {
+    at =
+      (fun x ->
+        (* descending-t order: the same order [lstar_steps] and [total]
+           accumulate in, so the three agree to the last bit. *)
+        let acc = ref 0. in
+        for t = n - 1 downto 0 do
+          if s.xs.(t) >= x then acc := !acc +. s.ds.(t)
+        done;
+        !acc);
+    breakpoints = Array.to_list s.xs;
+  }
+
+(* Σ δ_t/x_t, descending x — the telescoped lower-end integral: piece j
+   of the seed line contributes f̲(u)/u − ∫_u^1 f̲/x² =
+   Σ_{x_t ≥ u} δ_t/x_t, independent of where in the piece u fell. *)
+let lstar_steps s =
+  let acc = ref 0. in
+  for t = Array.length s.xs - 1 downto 0 do
+    acc := !acc +. (s.ds.(t) /. s.xs.(t))
+  done;
+  !acc
+
+(* Merge coincident jump positions (equal entry points) so [xs] is
+   strictly ascending; [pairs] arrives ascending. *)
+let steps_of_ascending pairs =
+  let n = List.length pairs in
+  if n = 0 then { xs = [||]; ds = [||] }
+  else begin
+    let xs = Array.make n 0. and ds = Array.make n 0. in
+    let m = ref 0 in
+    List.iter
+      (fun (x, d) ->
+        if !m > 0 && Float.equal xs.(!m - 1) x then
+          ds.(!m - 1) <- ds.(!m - 1) +. d
+        else begin
+          xs.(!m) <- x;
+          ds.(!m) <- d;
+          incr m
+        end)
+      pairs;
+    { xs = Array.sub xs 0 !m; ds = Array.sub ds 0 !m }
+  end
+
+(* --- coordinated-outcome estimators --- *)
+
+(* Entry point of a sampled entry: the largest seed that still samples
+   it ([v ≥ u·τ*] ⇔ [u ≤ min(1, v/τ)] with τ the PPS threshold). *)
+let[@inline always] entry_point v tau = Float.min 1. (v /. tau)
+
+let value_exn (o : P.t) i =
+  match o.values.(i) with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Monotone: unsampled slot %d after a presence check" i)
+
+(* Sampled indices, insertion-sorted under the total order (entry point
+   descending, index ascending) — the walk order the max trajectory is
+   discovered in. Total, so any correct sort gives the same sequence;
+   the Flat twin repeats the identical algorithm on its Bytes scratch. *)
+let sorted_sampled (o : P.t) =
+  let r = P.r o in
+  let perm = Array.make (max r 1) 0 in
+  let c = ref 0 in
+  for i = 0 to r - 1 do
+    match o.values.(i) with
+    | Some _ ->
+        perm.(!c) <- i;
+        incr c
+    | None -> ()
+  done;
+  let c = !c in
+  for k = 1 to c - 1 do
+    let j = perm.(k) in
+    let aj = entry_point (value_exn o j) o.taus.(j) in
+    let i = ref (k - 1) in
+    let moving = ref true in
+    while !moving && !i >= 0 do
+      let p = perm.(!i) in
+      let ap = entry_point (value_exn o p) o.taus.(p) in
+      if ap < aj || (Float.equal ap aj && p > j) then begin
+        perm.(!i + 1) <- perm.(!i);
+        decr i
+      end
+      else moving := false
+    done;
+    perm.(!i + 1) <- j
+  done;
+  (perm, c)
+
+let max_lstar (o : P.t) =
+  let perm, c = sorted_sampled o in
+  let acc = ref 0. and m = ref 0. in
+  for k = 0 to c - 1 do
+    let j = perm.(k) in
+    let v = value_exn o j in
+    if v > !m then begin
+      acc := !acc +. ((v -. !m) /. entry_point v o.taus.(j));
+      m := v
+    end
+  done;
+  !acc
+
+let max_steps (o : P.t) =
+  let perm, c = sorted_sampled o in
+  let jumps = ref [] and m = ref 0. in
+  for k = 0 to c - 1 do
+    let j = perm.(k) in
+    let v = value_exn o j in
+    if v > !m then begin
+      jumps := (entry_point v o.taus.(j), v -. !m) :: !jumps;
+      m := v
+    end
+  done;
+  (* the walk ran entry points descending, so the reversal ascends *)
+  steps_of_ascending !jumps
+
+let min_lstar (o : P.t) =
+  let r = P.r o in
+  if r = 0 then 0.
+  else begin
+    let all = ref true in
+    for i = 0 to r - 1 do
+      match o.values.(i) with None -> all := false | Some _ -> ()
+    done;
+    if not !all then 0.
+    else begin
+      let mv = ref infinity and ma = ref 1. in
+      for i = 0 to r - 1 do
+        let v = value_exn o i in
+        let a = entry_point v o.taus.(i) in
+        if v < !mv then mv := v;
+        if a < !ma then ma := a
+      done;
+      !mv /. !ma
+    end
+  end
+
+let min_steps (o : P.t) =
+  let r = P.r o in
+  let all = ref (r > 0) in
+  for i = 0 to r - 1 do
+    match o.values.(i) with None -> all := false | Some _ -> ()
+  done;
+  if not !all then { xs = [||]; ds = [||] }
+  else begin
+    let mv = ref infinity and ma = ref 1. in
+    for i = 0 to r - 1 do
+      let v = value_exn o i in
+      let a = entry_point v o.taus.(i) in
+      if v < !mv then mv := v;
+      if a < !ma then ma := a
+    done;
+    { xs = [| !ma |]; ds = [| !mv |] }
+  end
+
+let sum_lstar (o : P.t) =
+  let r = P.r o in
+  let acc = ref 0. in
+  for i = 0 to r - 1 do
+    match o.values.(i) with
+    | Some v -> acc := !acc +. (v /. entry_point v o.taus.(i))
+    | None -> ()
+  done;
+  !acc
+
+let sum_steps (o : P.t) =
+  let r = P.r o in
+  let pairs = ref [] in
+  for i = r - 1 downto 0 do
+    match o.values.(i) with
+    | Some v -> pairs := (entry_point v o.taus.(i), v) :: !pairs
+    | None -> ()
+  done;
+  steps_of_ascending
+    (List.sort (fun ((a : float), _) (b, _) -> Float.compare a b) !pairs)
+
+(* --- allocation-free serving twins --- *)
+
+(* Duplicates of [max_lstar]/[min_lstar] over an [Evalbuf]: values in
+   [vals], presence in [present], the sort permutation in [perm] (entry
+   indices as bytes), result stored into a caller slot. Same entry-point
+   arithmetic, same total sort order, same accumulation sequence as the
+   references — bit-identity is pinned by the test suite. [phi] (seeds)
+   is never read: the closed forms are seed-free. *)
+module Flat = struct
+  let max_into ~(taus : float array) (buf : Evalbuf.t) ~(dst : floatarray) ~di
+      =
+    let r = Array.length taus in
+    if r > Evalbuf.r_max buf then
+      invalid_arg "Monotone.Flat.max_into: r exceeds r_max";
+    let perm = buf.Evalbuf.perm in
+    let vals = buf.Evalbuf.vals in
+    let c = ref 0 in
+    for i = 0 to r - 1 do
+      if Bytes.unsafe_get buf.Evalbuf.present i <> '\000' then begin
+        Bytes.unsafe_set perm !c (Char.unsafe_chr i);
+        incr c
+      end
+    done;
+    let c = !c in
+    for k = 1 to c - 1 do
+      let j = Char.code (Bytes.unsafe_get perm k) in
+      let aj =
+        entry_point (Float.Array.unsafe_get vals j) (Array.unsafe_get taus j)
+      in
+      let i = ref (k - 1) in
+      let moving = ref true in
+      while !moving && !i >= 0 do
+        let p = Char.code (Bytes.unsafe_get perm !i) in
+        let ap =
+          entry_point (Float.Array.unsafe_get vals p) (Array.unsafe_get taus p)
+        in
+        if ap < aj || (Float.equal ap aj && p > j) then begin
+          Bytes.unsafe_set perm (!i + 1) (Bytes.unsafe_get perm !i);
+          decr i
+        end
+        else moving := false
+      done;
+      Bytes.unsafe_set perm (!i + 1) (Char.unsafe_chr j)
+    done;
+    let acc = ref 0. and m = ref 0. in
+    for k = 0 to c - 1 do
+      let j = Char.code (Bytes.unsafe_get perm k) in
+      let v = Float.Array.unsafe_get vals j in
+      if v > !m then begin
+        acc := !acc +. ((v -. !m) /. entry_point v (Array.unsafe_get taus j));
+        m := v
+      end
+    done;
+    Float.Array.unsafe_set dst di !acc
+
+  let min_into ~(taus : float array) (buf : Evalbuf.t) ~(dst : floatarray) ~di
+      =
+    let r = Array.length taus in
+    if r > Evalbuf.r_max buf then
+      invalid_arg "Monotone.Flat.min_into: r exceeds r_max";
+    if r = 0 then Float.Array.unsafe_set dst di 0.
+    else begin
+      let all = ref true in
+      for i = 0 to r - 1 do
+        if Bytes.unsafe_get buf.Evalbuf.present i = '\000' then all := false
+      done;
+      if not !all then Float.Array.unsafe_set dst di 0.
+      else begin
+        let mv = ref infinity and ma = ref 1. in
+        for i = 0 to r - 1 do
+          let v = Float.Array.unsafe_get buf.Evalbuf.vals i in
+          let a = entry_point v (Array.unsafe_get taus i) in
+          if v < !mv then mv := v;
+          if a < !ma then ma := a
+        done;
+        Float.Array.unsafe_set dst di (!mv /. !ma)
+      end
+    end
+end

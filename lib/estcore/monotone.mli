@@ -1,0 +1,130 @@
+(** The monotone-estimation framework over {e coordinated} samples — the
+    L* estimator of "Estimation for Monotone Sampling" (arXiv:1212.0243)
+    and "What You Can Do with Coordinated Samples" (arXiv:1206.5637),
+    specialized to the {!Coordinated} PPS scheme.
+
+    A coordinated outcome is monotone in the shared seed: raising [u]
+    can only lose information (entry [i] is sampled iff [u ≤ a_i] where
+    [a_i = min(1, v_i/τ*_i)] is its {e entry point}). For a monotone
+    nonnegative [f] of the data vector, let [f̲(x)] be the {e lower
+    bound function} — the infimum of [f] over all data consistent with
+    the outcome the realized data would produce at seed [x]. The L*
+    estimator is the lower-end integral
+
+    {[ f̂ = f̲(u)/u − ∫_u^1 f̲(x)/x² dx ]}
+
+    It is unbiased whenever [f̲(0⁺) = f(v)] (full information in the
+    limit — true for max, min and sum over PPS outcomes), nonnegative,
+    and variance-competitive: at most 4× the variance of any admissible
+    estimator, pointwise.
+
+    For the step trajectories PPS outcomes induce, the integral
+    telescopes to the exact closed form [Σ_t δ_t / x_t] over the jumps
+    [(x_t, δ_t)] of [f̲] — each jump is paid for by the probability
+    [x_t] of observing it. That closed form is what serves; the
+    quadrature engine ({!lstar}) is the generic-f reference the tests
+    pin it against. *)
+
+(** {2 Lower-bound function machinery (generic monotone f)} *)
+
+type lb = {
+  at : float -> float;
+      (** [f̲(x)] for [x ∈ (0,1]] — non-increasing, nonnegative. At a
+          jump point the bound includes the jump (an entry with
+          [a_i = x] is still sampled at seed [x]). *)
+  breakpoints : float list;
+      (** where [at] jumps — quadrature splits pieces here. *)
+}
+
+val lstar : ?tol:float -> lb -> u:float -> float
+(** The lower-end integral evaluated by
+    {!Numerics.Integrate.robust_pieces} (GL-32 with the 64-vs-48 and
+    adaptive-Simpson degradation ladder behind it): [f̲(u)/u −
+    ∫_u^1 f̲(x)/x² dx]. Raises [Invalid_argument] unless [u ∈ (0,1]].
+    The generic engine for arbitrary monotone [f]; the step-trajectory
+    paths below shortcut it exactly. *)
+
+val guard : site:string -> float -> float
+(** Nonnegativity/finiteness guard on an estimate: a NaN, infinite or
+    negative value is recorded via {!Numerics.Robust.note_degradation}
+    (so [Strict] mode raises, and server responses count it in their
+    [degradations] field) and degrades to 0. The L* closed forms are
+    provably nonnegative, so a trip means corrupted inputs — the guard
+    keeps one poisoned key from taking down a whole aggregate. *)
+
+(** {2 Step trajectories (PPS outcomes)} *)
+
+type steps = {
+  xs : float array;  (** jump positions, strictly ascending, in (0,1] *)
+  ds : float array;  (** jump sizes, [> 0] *)
+}
+(** A piecewise-constant lower-bound function: [f̲(x) = Σ_{x_t ≥ x} δ_t].
+    Entries with [v ≥ τ*] have entry point 1 and contribute a jump at
+    [x = 1]. *)
+
+val total : steps -> float
+(** [f̲(0⁺) = Σ_t δ_t] — must equal [f(v)] for the estimator to be
+    unbiased (the estimability condition). *)
+
+val lb_of_steps : steps -> lb
+(** The trajectory as a {!lb}, for the quadrature reference path. *)
+
+val lstar_steps : steps -> float
+(** Exact closed form of {!lstar} on a step trajectory: [Σ_t δ_t/x_t],
+    summed in descending-[x] order (the order the reference estimators
+    discover the jumps in). Independent of the realized seed: sampled
+    entries are exactly those with [x_t ≥ u]. *)
+
+(** {2 Coordinated-outcome estimators}
+
+    Reference (allocating) per-key estimators for the three monotone
+    functions the similarity queries decompose into. All read only the
+    sampled values and thresholds — never the seeds — so they apply
+    unchanged to store summaries. Unbiased under {e shared} seeds only
+    ({!Sampling.Seeds.Shared}); the server refuses them on
+    independent-seed stores. *)
+
+val max_steps : Sampling.Outcome.Pps.t -> steps
+(** Trajectory of [f = max]: walking the sampled entries by descending
+    entry point, each new running maximum [v] jumps the bound by
+    [v − m] at its entry point. *)
+
+val min_steps : Sampling.Outcome.Pps.t -> steps
+(** Trajectory of [f = min]: one jump of [min(v)] at [min_i a_i] — the
+    minimum is known only when {e every} entry is sampled (empty when
+    any entry is missing: the infimum over consistent data is 0). *)
+
+val sum_steps : Sampling.Outcome.Pps.t -> steps
+(** Trajectory of [f = Σ]: each sampled entry jumps by [v_i] at [a_i]. *)
+
+val max_lstar : Sampling.Outcome.Pps.t -> float
+(** L* for [max]: [Σ (v − m)/a] over the descending-entry-point walk.
+    Specializes to the classic optimal coordinated max estimator
+    ({!Coordinated.max_ht}) when thresholds are equal. *)
+
+val min_lstar : Sampling.Outcome.Pps.t -> float
+(** L* for [min]: [min(v)/min_i a_i] when all entries are sampled, else
+    0 — exactly the inverse-probability {!Coordinated.min_ht} (for
+    all-or-nothing information, L* {e is} HT). *)
+
+val sum_lstar : Sampling.Outcome.Pps.t -> float
+(** L* for [Σ]: [Σ v_i/a_i] over sampled entries — the per-entry HT
+    sum, recovered as a sanity anchor. *)
+
+(** {2 Allocation-free serving twins}
+
+    Store-into evaluators over a reused {!Evalbuf}, in the
+    {!Max_pps.Flat} mold: inputs from [vals]/[present], sort scratch in
+    [perm], result into a caller slot, zero minor words per call. Each
+    duplicates its reference estimator operation for operation — same
+    entry-point computation, same total (entry point desc, index asc)
+    sort order, same left-to-right accumulation — so the pair is
+    bit-identical (pinned by the test suite). Seeds ([phi]) are never
+    read: the L* closed forms are seed-free. *)
+module Flat : sig
+  val max_into :
+    taus:float array -> Evalbuf.t -> dst:floatarray -> di:int -> unit
+
+  val min_into :
+    taus:float array -> Evalbuf.t -> dst:floatarray -> di:int -> unit
+end

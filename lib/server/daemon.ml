@@ -226,8 +226,12 @@ let serve_handlers ?(config = default_config) handlers sock =
                   drain_deadline_ns :=
                     Int64.add (Numerics.Obs.now_ns ()) 5_000_000_000L)
           | Error e ->
+              (* Unknown verbs and malformed tokens answer a structured
+                 bad_request and the session continues — a typo must not
+                 cost the connection. *)
               enqueue c
-                (Protocol.error (Sampling.Io.parse_error_to_string e)))
+                (Protocol.error ~kind:"bad_request"
+                   (Sampling.Io.parse_error_to_string e)))
   in
   (* Consume every complete line in the read buffer, then compact. The
      leftover is always one partial line; longer than the bound means a

@@ -211,6 +211,47 @@ let run_dominance st insts =
     (("estimate", P.jfloat max_ht) :: ("estimator", P.jstr "maxdom-ht")
     :: fields)
 
+(* Similarity / distance queries: the union and intersection sum
+   aggregates through the Monotone L* engine, one columnar walk for
+   both ({!Aggregates.Similarity.sums_flat}), with jaccard and l1
+   derived from the pair. Guard degradations (a poisoned per-key
+   estimate clamped to 0) surface in the response's [degradations]
+   field like every other ladder. Shared-seed stores only: under
+   independent seeds the joint inclusion law is a product, not the
+   diagonal the L* forms integrate over, so the engine refuses rather
+   than serve a silently biased answer. *)
+let run_similarity st kind insts =
+  match (Store.config st).Store.mode with
+  | Sampling.Seeds.Independent ->
+      Error
+        "similarity queries need coordinated samples: restart with shared \
+         seeds (serve --shared-seeds)"
+  | Sampling.Seeds.Shared -> (
+      match (kind, insts) with
+      | P.L1, _ :: _ :: _ :: _ ->
+          Error
+            (Printf.sprintf "l1 takes exactly two instances (got %d)"
+               (List.length insts))
+      | _ ->
+          let ps = pps_samples_of st insts in
+          let s = Aggregates.Similarity.sums_flat ps ~select:select_all in
+          let tail =
+            [ ("union", P.jfloat s.Aggregates.Similarity.union_hat);
+              ("intersection", P.jfloat s.Aggregates.Similarity.inter_hat) ]
+          in
+          let estimate, estimator =
+            match kind with
+            | P.Union -> (s.Aggregates.Similarity.union_hat, "union-lstar")
+            | P.Intersection ->
+                (s.Aggregates.Similarity.inter_hat, "intersection-lstar")
+            | P.Jaccard -> (Aggregates.Similarity.jaccard s, "jaccard-lstar")
+            | _ -> (Aggregates.Similarity.l1 s, "l1-lstar")
+          in
+          Ok
+            (("estimate", P.jfloat estimate)
+            :: ("estimator", P.jstr estimator)
+            :: tail))
+
 let query t kind names =
   let st = t.t_store in
   let resolve name =
@@ -232,21 +273,25 @@ let query t kind names =
       @@ fun () ->
       Store.flush st;
       let before = Numerics.Robust.degradation_count () in
-      let fields =
+      let fields_r =
         match kind with
-        | P.Max -> run_max st insts
-        | P.Or -> run_or st insts
-        | P.Distinct -> run_distinct st insts
-        | P.Dominance -> run_dominance st insts
+        | P.Max -> Ok (run_max st insts)
+        | P.Or -> Ok (run_or st insts)
+        | P.Distinct -> Ok (run_distinct st insts)
+        | P.Dominance -> Ok (run_dominance st insts)
+        | P.Jaccard | P.L1 | P.Union | P.Intersection ->
+            run_similarity st kind insts
       in
-      let degraded = Numerics.Robust.degradation_count () - before in
-      Ok
-        (P.ok_fields
-           (("kind", P.jstr kind_name)
-           :: ("instances", names_field insts)
-           :: ("r", P.jint (List.length insts))
-           :: fields
-           @ [ ("degradations", P.jint degraded) ]))
+      Result.map
+        (fun fields ->
+          let degraded = Numerics.Robust.degradation_count () - before in
+          P.ok_fields
+            (("kind", P.jstr kind_name)
+            :: ("instances", names_field insts)
+            :: ("r", P.jint (List.length insts))
+            :: fields
+            @ [ ("degradations", P.jint degraded) ]))
+        fields_r
 
 let instance_stats inst =
   let cfg = Store.instance_config inst in
@@ -374,7 +419,11 @@ let handle_request t req =
   | P.Query { kind; names } -> (
       match query t kind names with
       | Ok response -> (response, Continue)
-      | Error m -> (P.error m, Continue))
+      | Error m ->
+          (* Every query failure is a fix-your-request condition (unknown
+             instance, wrong arity, wrong seed mode) — say so in a
+             machine-readable way. *)
+          (P.error ~kind:"bad_request" m, Continue))
   | P.Snapshot path -> (
       Store.flush st;
       match Snapshot.write st ~path with
@@ -451,4 +500,8 @@ let handle_line t line =
   match P.parse line with
   | Ok req -> handle_request t req
   | Error e ->
-      (P.error (Sampling.Io.parse_error_to_string e), Continue)
+      (* Structured kind so a client that sent an unknown verb or a
+         malformed token can tell fix-your-request from back-off — and a
+         regression test can pin that the session survives it. *)
+      ( P.error ~kind:"bad_request" (Sampling.Io.parse_error_to_string e),
+        Continue )

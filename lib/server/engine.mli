@@ -23,6 +23,15 @@
       five outcome-class counts (Section 8.1).
     - [dominance] — max-dominance ([max^(L)] for r = 2, HT for any r)
       and min-dominance (HT) over the live PPS samples (Section 8.2).
+    - [jaccard] / [l1] / [union] / [intersection] — similarity and
+      distance queries served by the {!Estcore.Monotone} L* engine over
+      the live PPS samples ({!Aggregates.Similarity}): weighted
+      union/intersection sums, their ratio (jaccard) and difference
+      (l1, r = 2 only). Shared-seed stores only — an independent-seed
+      store answers [kind="bad_request"] instead of a silently biased
+      estimate, and every other query refusal (unknown instance, wrong
+      arity, unknown verb at the parse layer) carries the same
+      structured kind.
 
     Responses carry a [degradations] field — the number of
     {!Numerics.Robust} fallbacks consumed while answering — so clients

@@ -1,4 +1,12 @@
-type query_kind = Max | Or | Distinct | Dominance
+type query_kind =
+  | Max
+  | Or
+  | Distinct
+  | Dominance
+  | Jaccard
+  | L1
+  | Union
+  | Intersection
 
 type request =
   | Hello of int
@@ -32,6 +40,10 @@ let query_kind_name = function
   | Or -> "or"
   | Distinct -> "distinct"
   | Dominance -> "dominance"
+  | Jaccard -> "jaccard"
+  | L1 -> "l1"
+  | Union -> "union"
+  | Intersection -> "intersection"
 
 let valid_name s =
   s <> ""
@@ -149,11 +161,15 @@ let parse line =
             | "or" -> Ok Or
             | "distinct" -> Ok Distinct
             | "dominance" -> Ok Dominance
+            | "jaccard" -> Ok Jaccard
+            | "l1" -> Ok L1
+            | "union" -> Ok Union
+            | "intersection" -> Ok Intersection
             | k ->
                 err
                   (Printf.sprintf
-                     "unknown query kind %S (expected max, or, distinct or \
-                      dominance)" k)
+                     "unknown query kind %S (expected max, or, distinct, \
+                      dominance, jaccard, l1, union or intersection)" k)
           in
           if List.length names < 2 then
             err "QUERY needs at least two instance names"

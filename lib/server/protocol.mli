@@ -24,6 +24,11 @@
       or an overloaded shard rejects the {e whole} batch.
     - [QUERY max|or|distinct|dominance <name> <name> [...]] — estimate a
       multi-instance aggregate from the live summaries.
+    - [QUERY jaccard|l1|union|intersection <name> <name> [...]] —
+      similarity / distance queries served by the {!Estcore.Monotone} L*
+      engine over coordinated PPS summaries. Shared-seed stores only
+      ([serve --shared-seeds]); an independent-seed store answers a
+      structured [kind="bad_request"] error, as does [l1] with r ≠ 2.
     - [SNAPSHOT <path>] — persist the full store.
     - [STATS] — per-instance and per-shard counters.
     - [FLUSH] — drain all shard mailboxes now.
@@ -43,7 +48,15 @@
     yields a structured {!parse_error} carrying the offending input, and
     the session answers with an error object instead of dying. *)
 
-type query_kind = Max | Or | Distinct | Dominance
+type query_kind =
+  | Max
+  | Or
+  | Distinct
+  | Dominance
+  | Jaccard
+  | L1
+  | Union
+  | Intersection
 
 type request =
   | Hello of int

@@ -227,7 +227,11 @@ let on_request t (req : P.request) : string * Engine.action =
       | Ok st -> (
           match Engine.query (Engine.create st) kind names with
           | Ok response -> (response, Engine.Continue)
-          | Error m -> (P.error m, Engine.Continue)))
+          | Error m ->
+              (* Same structured kind as a single node: a query the
+                 merged store refuses is a client mistake, not a backend
+                 fault. *)
+              (P.error ~kind:"bad_request" m, Engine.Continue)))
   | P.Pull name -> (
       (* Merged PULL: what a single node holding the union would answer —
          lets routers stack and gives operators one-stop summaries. *)

@@ -26,10 +26,11 @@ let tau = 50.
 let k = 32
 let p = 0.2
 
-let cfg ?(shards = 1) () =
-  { Store.default_config with Store.shards; master; flush_every = 4096 }
+let cfg ?(shards = 1) ?(mode = Sampling.Seeds.Independent) () =
+  { Store.default_config with Store.shards; master; flush_every = 4096; mode }
 
-let seeds () = Sampling.Seeds.create ~master Sampling.Seeds.Independent
+let seeds ?(mode = Sampling.Seeds.Independent) () =
+  Sampling.Seeds.create ~master mode
 
 (* Quarter-unit weights: dyadic rationals whose sums stay exact in
    binary floating point at these magnitudes, so re-associating additions
@@ -49,8 +50,8 @@ let ingest_all st name recs =
     recs
 
 (* One store, instances created in a fixed order, each fed its records. *)
-let store_of parts =
-  let st = Store.create (cfg ()) in
+let store_of ?mode parts =
+  let st = Store.create (cfg ?mode ()) in
   List.iter
     (fun (name, _) ->
       match Store.create_instance st ~name ~tau ~k ~p () with
@@ -184,11 +185,13 @@ let test_merge_equals_union_overlap () =
 
 (* The router's law: partition the stream by key ownership across 1, 2
    and 4 stores; the merged summaries — and every query answer computed
-   from them — are bit-identical to the unpartitioned store. *)
-let test_partitions_equal_single_node () =
+   from them — are bit-identical to the unpartitioned store. Shared-mode
+   stores additionally survive a snapshot → restart round trip with
+   byte-identical answers (the snapshot header carries the seed mode). *)
+let check_partitions_equal_single_node ?mode kinds =
   let names = [ "a"; "b" ] in
   let recs = [ ("a", records ~seed:71 3000); ("b", records ~seed:72 3000) ] in
-  let single = store_of recs in
+  let single = store_of ?mode recs in
   let single_engine = Engine.create single in
   let query_all e =
     List.map
@@ -196,14 +199,14 @@ let test_partitions_equal_single_node () =
         match Engine.query e kind names with
         | Ok r -> r
         | Error m -> Alcotest.failf "query: %s" m)
-      [ P.Max; P.Or; P.Distinct; P.Dominance ]
+      kinds
   in
   let reference = query_all single_engine in
   List.iter
     (fun nparts ->
       let stores =
         Array.init nparts (fun _ ->
-            let st = Store.create (cfg ()) in
+            let st = Store.create (cfg ?mode ()) in
             List.iter
               (fun name ->
                 match Store.create_instance st ~name ~tau ~k ~p () with
@@ -230,7 +233,7 @@ let test_partitions_equal_single_node () =
             let parts =
               Array.to_list (Array.map (fun st -> export st name) stores)
             in
-            match Merge.merge_all (seeds ()) parts with
+            match Merge.merge_all (seeds ?mode ()) parts with
             | Ok s -> s
             | Error m -> Alcotest.failf "merge_all: %s" m)
           names
@@ -242,14 +245,35 @@ let test_partitions_equal_single_node () =
                nparts)
             (export single name) merged)
         names merged_summaries;
-      match Merge.materialize (cfg ()) merged_summaries with
+      match Merge.materialize (cfg ?mode ()) merged_summaries with
       | Error m -> Alcotest.failf "materialize: %s" m
       | Ok st ->
           Alcotest.(check (list string))
             (Printf.sprintf "answers over %d partitions bit-identical" nparts)
             reference
-            (query_all (Engine.create st)))
+            (query_all (Engine.create st));
+          (* ... and again on the store a restart would reload. *)
+          let reloaded =
+            match Snapshot.of_string_r (Snapshot.to_string st) with
+            | Ok st' -> st'
+            | Error e ->
+                Alcotest.failf "snapshot reload: %s"
+                  (Sampling.Io.parse_error_to_string e)
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf
+               "answers after snapshot restart bit-identical (%d partitions)"
+               nparts)
+            reference
+            (query_all (Engine.create reloaded)))
     [ 1; 2; 4 ]
+
+let test_partitions_equal_single_node () =
+  check_partitions_equal_single_node [ P.Max; P.Or; P.Distinct; P.Dominance ]
+
+let test_partitions_equal_single_node_similarity () =
+  check_partitions_equal_single_node ~mode:Sampling.Seeds.Shared
+    [ P.Jaccard; P.L1; P.Union; P.Intersection ]
 
 (* Satellite: ingestion order across keys never changes a byte — same
    records forward and reversed give identical snapshots, PULL payloads
@@ -308,32 +332,33 @@ let feed c name recs =
       if not (P.json_ok resp) then Alcotest.failf "ingest_many answered %s" resp
   | Error m -> Alcotest.failf "ingest_many: %s" m
 
-let queries c =
-  List.map
-    (fun kind -> ok_exn c (Printf.sprintf "QUERY %s a b" kind))
-    [ "max"; "or"; "distinct"; "dominance" ]
+let default_kinds = [ "max"; "or"; "distinct"; "dominance" ]
+let similarity_kinds = [ "jaccard"; "l1"; "union"; "intersection" ]
+
+let queries ?(kinds = default_kinds) c =
+  List.map (fun kind -> ok_exn c (Printf.sprintf "QUERY %s a b" kind)) kinds
 
 let e2e_recs () =
   [ ("a", records ~seed:91 1200); ("b", records ~seed:92 1200) ]
 
 (* Reference: one daemon, no router. *)
-let single_node_answers recs =
-  let daemon = Daemon.start (Engine.create (Store.create (cfg ()))) in
+let single_node_answers ?mode ?kinds recs =
+  let daemon = Daemon.start (Engine.create (Store.create (cfg ?mode ()))) in
   let c =
     connect_exn "daemon" (Client.connect_tcp ~port:(Daemon.port daemon) ())
   in
   List.iter (fun (name, _) -> ignore (ok_exn c (create_line name))) recs;
   List.iter (fun (name, rs) -> feed c name rs) recs;
-  let answers = queries c in
+  let answers = queries ?kinds c in
   ignore (ok_exn c "SHUTDOWN");
   Client.close c;
   Daemon.join daemon;
   answers
 
-let cluster_answers ~nbackends recs =
+let cluster_answers ?mode ?kinds ?probe ~nbackends recs =
   let backends =
     Array.init nbackends (fun _ ->
-        Daemon.start (Engine.create (Store.create (cfg ()))))
+        Daemon.start (Engine.create (Store.create (cfg ?mode ()))))
   in
   let addrs =
     Array.to_list
@@ -344,7 +369,7 @@ let cluster_answers ~nbackends recs =
          backends)
   in
   let router =
-    match Router.connect ~store_cfg:(cfg ()) addrs with
+    match Router.connect ~store_cfg:(cfg ?mode ()) addrs with
     | Ok t -> t
     | Error m -> Alcotest.failf "router connect: %s" m
   in
@@ -352,7 +377,8 @@ let cluster_answers ~nbackends recs =
   let c = connect_exn "router" (Client.connect_tcp ~port:(Daemon.port rd) ()) in
   List.iter (fun (name, _) -> ignore (ok_exn c (create_line name))) recs;
   List.iter (fun (name, rs) -> feed c name rs) recs;
-  let answers = queries c in
+  let answers = queries ?kinds c in
+  Option.iter (fun f -> f c) probe;
   ignore (ok_exn c "SHUTDOWN");
   Client.close c;
   Daemon.join rd;
@@ -378,6 +404,37 @@ let test_e2e_cluster_bit_identical () =
            nbackends)
         reference
         (cluster_answers ~nbackends recs))
+    [ 2; 4 ]
+
+(* The similarity verbs through the router: PULL → merge → materialize →
+   local L* answers byte-identical to a single shared-seed daemon. The
+   probe also pins the router's refusal discipline — an unknown query
+   kind is answered [kind="bad_request"] on the same connection, which
+   keeps serving afterwards. *)
+let test_e2e_cluster_similarity_bit_identical () =
+  let recs = e2e_recs () in
+  let mode = Sampling.Seeds.Shared in
+  let kinds = similarity_kinds @ default_kinds in
+  let reference = single_node_answers ~mode ~kinds recs in
+  let probe c =
+    match Client.request_retry c "QUERY frobnicate a b" with
+    | Error m -> Alcotest.failf "router dropped an unknown kind: %s" m
+    | Ok resp ->
+        Alcotest.(check bool) "unknown kind answered not-ok" false
+          (P.json_ok resp);
+        Alcotest.(check (option string)) "unknown kind is bad_request"
+          (Some "bad_request")
+          (P.json_field "kind" resp);
+        ignore (ok_exn c "STATS")
+  in
+  List.iter
+    (fun nbackends ->
+      Alcotest.(check (list string))
+        (Printf.sprintf
+           "%d-daemon cluster similarity answers bit-identical to single node"
+           nbackends)
+        reference
+        (cluster_answers ~mode ~kinds ~probe ~nbackends recs))
     [ 2; 4 ]
 
 (* Failover: kill a daemon, recover its partition on a fresh process from
@@ -542,6 +599,10 @@ let () =
             test_merge_equals_union_overlap;
           Alcotest.test_case "1/2/4 partitions equal single node" `Slow
             test_partitions_equal_single_node;
+          Alcotest.test_case
+            "similarity over 1/2/4 partitions equals single node, survives \
+             restart"
+            `Slow test_partitions_equal_single_node_similarity;
           Alcotest.test_case "exports independent of ingest order" `Quick
             test_order_independent_exports;
         ] );
@@ -549,6 +610,9 @@ let () =
         [
           Alcotest.test_case "2/4-daemon cluster bit-identical" `Slow
             test_e2e_cluster_bit_identical;
+          Alcotest.test_case
+            "shared-seed cluster serves similarity bit-identical" `Slow
+            test_e2e_cluster_similarity_bit_identical;
           Alcotest.test_case "failover from shipped checkpoint" `Slow
             test_e2e_failover_checkpoint;
           Alcotest.test_case "sync checkpoints the wal" `Quick

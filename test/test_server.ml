@@ -643,6 +643,107 @@ let test_sum_agg_recorded_ids () =
     (I.union_keys [ a; b ])
 
 (* ------------------------------------------------------------------ *)
+(* Similarity queries (the Monotone L* engine behind QUERY jaccard/...) *)
+(* ------------------------------------------------------------------ *)
+
+let shared_store () =
+  let st =
+    Store.create
+      {
+        Store.default_config with
+        master = 808;
+        flush_every = 1024;
+        mode = Sampling.Seeds.Shared;
+      }
+  in
+  ignore (create_exn st ~name:"h1" ~tau:40. ~k:16 ~p:0.3 ());
+  ignore (create_exn st ~name:"h2" ~tau:60. ~k:16 ~p:0.2 ());
+  feed_random st ~names:[ "h1"; "h2" ] ~records:2000 ~keys:250 ~seed:23;
+  Store.flush st;
+  st
+
+(* The served estimates must equal the reference Similarity.sums run on
+   the store's own samples — the engine's flat path is just a faster
+   spelling of that sum. *)
+let test_engine_similarity_queries () =
+  let st = shared_store () in
+  let e = Engine.create st in
+  let insts =
+    List.map
+      (fun n ->
+        match Store.find st n with
+        | Some i -> i
+        | None -> Alcotest.failf "instance %s missing" n)
+      [ "h1"; "h2" ]
+  in
+  let ps =
+    {
+      Aggregates.Sum_agg.seeds = Store.seeds st;
+      taus =
+        Array.of_list
+          (List.map (fun i -> (Store.instance_config i).Store.tau) insts);
+      samples = Array.of_list (List.map Store.pps_sample insts);
+    }
+  in
+  let s = Aggregates.Similarity.sums ps ~select:(fun _ -> true) in
+  Alcotest.(check bool) "data produces a real union" true
+    (s.Aggregates.Similarity.union_hat > 0.);
+  List.iter
+    (fun (kind, name, expected) ->
+      match Engine.query e kind [ "h1"; "h2" ] with
+      | Error m -> Alcotest.failf "%s query: %s" name m
+      | Ok resp ->
+          Alcotest.(check (option string))
+            (name ^ " estimator name")
+            (Some (name ^ "-lstar"))
+            (P.json_field "estimator" resp);
+          check_float ~eps:0.
+            (name ^ " equals reference sums")
+            expected
+            (float_field_exn name "estimate" resp);
+          check_float ~eps:0. (name ^ " union field")
+            s.Aggregates.Similarity.union_hat
+            (float_field_exn name "union" resp);
+          check_float ~eps:0.
+            (name ^ " intersection field")
+            s.Aggregates.Similarity.inter_hat
+            (float_field_exn name "intersection" resp))
+    [
+      (P.Union, "union", s.Aggregates.Similarity.union_hat);
+      (P.Intersection, "intersection", s.Aggregates.Similarity.inter_hat);
+      (P.Jaccard, "jaccard", Aggregates.Similarity.jaccard s);
+      (P.L1, "l1", Aggregates.Similarity.l1 s);
+    ]
+
+(* Every refusal on the similarity path is a structured bad_request: the
+   independent-seed store (where the estimate would be silently biased),
+   the wrong l1 arity, unknown instances, and unknown query kinds at the
+   parse layer. None of them may drop the session. *)
+let test_engine_similarity_guards () =
+  let bad_request resp =
+    Alcotest.(check bool) "answered not-ok" false (P.json_ok resp);
+    Alcotest.(check (option string)) "kind is bad_request"
+      (Some "bad_request")
+      (P.json_field "kind" resp)
+  in
+  let indep = Engine.create (populated_store ()) in
+  let resp, act = Engine.handle_line indep "QUERY jaccard h1 h2" in
+  bad_request resp;
+  Alcotest.(check bool) "session continues" true (act = Engine.Continue);
+  let shared = Engine.create (shared_store ()) in
+  (match Engine.query shared P.Jaccard [ "h1"; "h2" ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "shared-store jaccard refused: %s" m);
+  let resp, _ = Engine.handle_line shared "QUERY l1 h1 h2 h1" in
+  bad_request resp;
+  let resp, _ = Engine.handle_line shared "QUERY union h1 nope" in
+  bad_request resp;
+  let resp, _ = Engine.handle_line shared "QUERY frobnicate h1 h2" in
+  bad_request resp;
+  let resp, _ = Engine.handle_line shared "NONSENSE" in
+  bad_request resp
+
+(* ------------------------------------------------------------------ *)
 (* End to end: daemon + client over TCP                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1028,6 +1129,44 @@ let test_e2e_batch_line_diagnostic () =
   P.Conn.close conn;
   Server.Daemon.join daemon
 
+(* Regression: an unknown verb or query kind over the wire must be
+   answered with a structured bad_request on the same connection — a
+   typo must not cost the session. *)
+let test_e2e_unknown_verb_keeps_connection () =
+  let st =
+    Store.create { Store.default_config with master = 21; flush_every = 4096 }
+  in
+  let daemon = Server.Daemon.start (Engine.create st) in
+  let port = Server.Daemon.port daemon in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let conn = P.Conn.of_fd fd in
+  (match P.Conn.input_line_opt conn with
+  | Some g when P.json_ok g -> ()
+  | _ -> Alcotest.fail "greeting");
+  let roundtrip line =
+    P.Conn.output_line conn line;
+    match P.Conn.input_line_opt conn with
+    | Some resp -> resp
+    | None -> Alcotest.failf "connection dropped after %S" line
+  in
+  if not (P.json_ok (roundtrip "CREATE h1 tau=50 k=16 p=0.2")) then
+    Alcotest.fail "create failed";
+  List.iter
+    (fun line ->
+      let resp = roundtrip line in
+      Alcotest.(check bool) (line ^ " answered not-ok") false (P.json_ok resp);
+      Alcotest.(check (option string)) (line ^ " kind") (Some "bad_request")
+        (P.json_field "kind" resp))
+    [ "FROBNICATE now"; "QUERY frobnicate h1"; "QUERY jaccard h1 h1" ];
+  (* jaccard above: independent-seed store — same structured refusal. *)
+  let stats = roundtrip "STATS" in
+  Alcotest.(check bool) "session still serves after bad requests" true
+    (P.json_ok stats);
+  ignore (roundtrip "SHUTDOWN");
+  P.Conn.close conn;
+  Server.Daemon.join daemon
+
 let () =
   Alcotest.run "server"
     [
@@ -1076,6 +1215,10 @@ let () =
             `Quick test_engine_or_flat_matches_table;
           Alcotest.test_case "sum_agg recomputes seeds at recorded ids"
             `Quick test_sum_agg_recorded_ids;
+          Alcotest.test_case "similarity queries equal reference sums" `Quick
+            test_engine_similarity_queries;
+          Alcotest.test_case "similarity refusals are structured bad_request"
+            `Quick test_engine_similarity_guards;
         ] );
       ( "e2e",
         [
@@ -1088,5 +1231,7 @@ let () =
             test_e2e_client_batch_identical;
           Alcotest.test_case "batch rejection names the body line" `Quick
             test_e2e_batch_line_diagnostic;
+          Alcotest.test_case "unknown verbs answer bad_request, keep session"
+            `Quick test_e2e_unknown_verb_keeps_connection;
         ] );
     ]
